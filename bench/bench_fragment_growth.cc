@@ -1,0 +1,87 @@
+// E1 — Fig. 3: "The growth of OVN's controller codebase and the number of
+// OpenFlow fragments over time."
+//
+// The paper plots OVN's ovn-controller code base and the count of OpenFlow
+// program fragments scattered through it growing together across releases,
+// as evidence that the conventional architecture sprawls: every new
+// feature adds flow-emitting code sites all over the controller.
+//
+// We cannot re-measure OVN's history, so we reproduce the mechanism: a
+// conventional fragment-style controller (src/baseline/fragments.cc)
+// implements 12 network features the way OVN does — imperative emitters
+// scattering cookie-tagged flows — while the unified approach implements
+// the same features as Datalog rules in one program.  Enabling the
+// features one by one ("releases") yields the two growth curves:
+//
+//   conventional: fragment sites + imperative LOC   (grows like Fig. 3)
+//   unified:      rules + declarative LOC           (grows far slower)
+//
+// The unified program for every prefix is additionally compiled through
+// the real dlog frontend to prove it is well-formed.
+#include "baseline/fragments.h"
+#include "bench/bench_util.h"
+#include "common/strings.h"
+#include "dlog/program.h"
+
+namespace nerpa {
+namespace {
+
+using baseline::FeatureInfo;
+using baseline::Features;
+using baseline::FragmentController;
+using baseline::FragmentWorkload;
+using baseline::UnifiedFeatureRules;
+using bench::Banner;
+using bench::Table;
+
+int Run() {
+  Banner("E1 / Fig. 3",
+         "fragment sprawl: conventional OpenFlow controller vs unified "
+         "program");
+
+  FragmentWorkload workload;  // a small fixed deployment
+  ofp::FlowSwitch flows;
+  FragmentController controller(&flows, workload);
+
+  Table table({"features", "latest feature", "fragment sites", "flows",
+               "imperative LOC", "datalog rules", "datalog LOC"});
+  int imperative_loc = 0;
+  int datalog_rules = 0;
+  for (int count = 1; count <= static_cast<int>(Features().size()); ++count) {
+    const FeatureInfo& feature = Features()[static_cast<size_t>(count - 1)];
+    imperative_loc += feature.imperative_loc;
+    datalog_rules += feature.datalog_rules;
+    Status enabled = controller.EnableFeatures(count);
+    if (!enabled.ok()) {
+      std::fprintf(stderr, "%s\n", enabled.ToString().c_str());
+      return 1;
+    }
+    std::string unified = UnifiedFeatureRules(count);
+    auto compiled = dlog::Program::Parse(unified);
+    if (!compiled.ok()) {
+      std::fprintf(stderr, "unified program (features=%d): %s\n", count,
+                   compiled.status().ToString().c_str());
+      return 1;
+    }
+    table.AddRow({std::to_string(count), feature.name,
+                  std::to_string(controller.FragmentSites()),
+                  std::to_string(controller.FlowCount()),
+                  std::to_string(imperative_loc),
+                  std::to_string(datalog_rules),
+                  std::to_string(CountCodeLines(unified))});
+  }
+  table.Print();
+  std::printf(
+      "\npaper reference: Fig. 3 shows ovn-controller's code base and its\n"
+      "scattered OpenFlow fragments growing at the same rate over six\n"
+      "years.  Expected shape here: fragment sites and imperative LOC climb\n"
+      "together with every feature, while the unified program adds a few\n"
+      "rules per feature and every prefix still type-checks as one\n"
+      "program.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace nerpa
+
+int main() { return nerpa::Run(); }

@@ -1,0 +1,163 @@
+// E4 — §2.2's incremental-processing payoff, after the eBay ovn-controller
+// engine: "This reduced latency by 3x and CPU cost by 20x in production."
+//
+// Workload: a network preloaded with N ports; then a stream of K=200 small
+// configuration changes (the §2.1 regime: "small, frequent configuration
+// changes"), each change moving one port to another VLAN.  Three
+// controllers consume the stream:
+//
+//   * full      — conventional recompute-and-diff per change
+//   * imperative— hand-written incremental callbacks (the eBay style)
+//   * dlog      — the automatically incremental engine running the same
+//                 logic as declarative rules
+//
+// Reported per N: mean per-change latency and total CPU for each, plus the
+// full/incremental ratios.  Expected shape: ratios grow with N, crossing
+// the paper's 3x / 20x figures once the network is large enough.
+#include <random>
+
+#include "baseline/imperative.h"
+#include "bench/bench_util.h"
+#include "dlog/engine.h"
+
+namespace nerpa {
+namespace {
+
+using baseline::FullRecomputeController;
+using baseline::ImperativeIncrementalController;
+using baseline::LogicalEntry;
+using baseline::PortConfig;
+using bench::Banner;
+using bench::Table;
+using dlog::Engine;
+using dlog::Row;
+using dlog::Value;
+
+constexpr int kChanges = 200;
+
+/// The same logic as the baselines' port/vlan features, as rules.
+constexpr const char* kProgram = R"(
+input relation PortCfg(name: string, port: bigint, vlan: bigint)
+output relation InVlanUntagged(port: bigint, vlan: bigint)
+output relation OutVlan(port: bigint, vlan: bigint, tagged: bigint)
+output relation FloodVlan(vlan: bigint, group: bigint)
+output relation MulticastGroup(group: bigint, port: bigint)
+InVlanUntagged(p, v) :- PortCfg(_, p, v).
+OutVlan(p, v, 0) :- PortCfg(_, p, v).
+MulticastGroup(v + 1, p) :- PortCfg(_, p, v).
+FloodVlan(v, v + 1) :- PortCfg(_, p, v).
+)";
+
+struct RunResult {
+  double mean_latency = 0;
+  double cpu_seconds = 0;
+};
+
+template <typename ApplyChange>
+RunResult Measure(int n_changes, ApplyChange&& apply) {
+  double total = 0;
+  int64_t cpu_before = ProcessCpuNanos();
+  for (int i = 0; i < n_changes; ++i) {
+    Stopwatch watch;
+    apply(i);
+    total += watch.ElapsedSeconds();
+  }
+  RunResult result;
+  result.mean_latency = total / n_changes;
+  result.cpu_seconds =
+      static_cast<double>(ProcessCpuNanos() - cpu_before) * 1e-9;
+  return result;
+}
+
+int Run() {
+  Banner("E4 / §2.2",
+         "config-change stream: full recompute vs hand-written incremental "
+         "vs dlog");
+  auto program = dlog::Program::Parse(kProgram);
+  if (!program.ok()) {
+    std::fprintf(stderr, "%s\n", program.status().ToString().c_str());
+    return 1;
+  }
+
+  Table table({"ports", "full/chg", "imperative/chg", "dlog/chg",
+               "lat full/dlog", "cpu full/dlog", "cpu full/imp"});
+  for (int ports : {100, 400, 1600, 6400}) {
+    std::mt19937_64 rng(7);
+    auto vlan_of = [&](int port, int generation) {
+      return static_cast<int64_t>((port + generation * 7) % 64 + 1);
+    };
+
+    // --- full recompute ---
+    size_t sink_ops = 0;
+    auto sink = [&](const LogicalEntry&, int) { ++sink_ops; };
+    FullRecomputeController full(sink);
+    for (int p = 0; p < ports; ++p) {
+      full.AddPort({StrFormat("p%d", p), p, false, vlan_of(p, 0), {}});
+    }
+    RunResult full_result = Measure(kChanges, [&](int i) {
+      int p = static_cast<int>(rng() % static_cast<uint64_t>(ports));
+      full.AddPort({StrFormat("p%d", p), p, false, vlan_of(p, i + 1), {}});
+    });
+
+    // --- hand-written incremental ---
+    rng.seed(7);
+    ImperativeIncrementalController imperative(sink);
+    for (int p = 0; p < ports; ++p) {
+      imperative.AddPort({StrFormat("p%d", p), p, false, vlan_of(p, 0), {}});
+    }
+    RunResult imp_result = Measure(kChanges, [&](int i) {
+      int p = static_cast<int>(rng() % static_cast<uint64_t>(ports));
+      imperative.AddPort(
+          {StrFormat("p%d", p), p, false, vlan_of(p, i + 1), {}});
+    });
+
+    // --- dlog engine ---
+    rng.seed(7);
+    Engine engine(*program);
+    std::vector<int64_t> current_vlan(static_cast<size_t>(ports));
+    auto port_row = [&](int p, int64_t vlan) {
+      return Row{Value::String(StrFormat("p%d", p)), Value::Int(p),
+                 Value::Int(vlan)};
+    };
+    for (int p = 0; p < ports; ++p) {
+      current_vlan[static_cast<size_t>(p)] = vlan_of(p, 0);
+      if (!engine.Insert("PortCfg", port_row(p, vlan_of(p, 0))).ok()) {
+        return 1;
+      }
+    }
+    if (!engine.Commit().ok()) return 1;
+    RunResult dlog_result = Measure(kChanges, [&](int i) {
+      int p = static_cast<int>(rng() % static_cast<uint64_t>(ports));
+      int64_t old_vlan = current_vlan[static_cast<size_t>(p)];
+      int64_t new_vlan = vlan_of(p, i + 1);
+      (void)engine.Delete("PortCfg", port_row(p, old_vlan));
+      (void)engine.Insert("PortCfg", port_row(p, new_vlan));
+      (void)engine.Commit();
+      current_vlan[static_cast<size_t>(p)] = new_vlan;
+    });
+
+    table.AddRow(
+        {std::to_string(ports), bench::Us(full_result.mean_latency),
+         bench::Us(imp_result.mean_latency),
+         bench::Us(dlog_result.mean_latency),
+         StrFormat("%.1fx",
+                   full_result.mean_latency / dlog_result.mean_latency),
+         StrFormat("%.1fx", full_result.cpu_seconds /
+                                std::max(dlog_result.cpu_seconds, 1e-9)),
+         StrFormat("%.1fx", full_result.cpu_seconds /
+                                std::max(imp_result.cpu_seconds, 1e-9))});
+  }
+  table.Print();
+  std::printf(
+      "\npaper reference (§2.2, eBay's incremental ovn-controller engine):\n"
+      "incremental processing reduced latency 3x and CPU 20x in production.\n"
+      "Expected shape: both ratios grow with network size; the hand-written\n"
+      "incremental controller is the fastest but is the code §2.2 calls\n"
+      "hard to maintain (see bench_loc_table).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace nerpa
+
+int main() { return nerpa::Run(); }

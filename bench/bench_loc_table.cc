@@ -1,0 +1,105 @@
+// E3 — the §4.3 lines-of-code table.
+//
+// "snvs consists of 350 LOC of DDlog (250 of rules, 100 of generated
+//  relations); 300 of P4; 5 OVSDB tables with 2–5 fields each; and 50 of
+//  generated Rust glue code.  700 total LOC is at least an order of
+//  magnitude less than an incremental implementation of similar features
+//  in Java or C."
+//
+// We measure the same artifacts from this repository's actual sources:
+// the hand-written snvs rules, the generated relation declarations, the P4
+// pipeline listing, the OVSDB schema, and — for the comparison the paper
+// makes — the hand-written incremental controller implementing the same
+// features (src/baseline/imperative.cc).
+#include <fstream>
+#include <sstream>
+
+#include "baseline/imperative.h"
+#include "bench/bench_util.h"
+#include "common/strings.h"
+#include "snvs/snvs.h"
+
+namespace nerpa {
+namespace {
+
+using bench::Banner;
+using bench::Table;
+
+std::string ReadFileOr(const char* path, const std::string& fallback) {
+  std::ifstream in(path);
+  if (!in) return fallback;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+int Run() {
+  Banner("E3 / §4.3", "snvs lines-of-code inventory vs the paper's table");
+
+  auto stack_result = snvs::BuildSnvsStack();
+  if (!stack_result.ok()) {
+    std::fprintf(stderr, "%s\n", stack_result.status().ToString().c_str());
+    return 1;
+  }
+  snvs::SnvsStack& stack = **stack_result;
+
+  int rules_loc = CountCodeLines(snvs::SnvsRules());
+  int generated_decls_loc = CountCodeLines(stack.bindings().DeclsText());
+  int p4_loc = CountCodeLines(snvs::SnvsP4Source());
+  const ovsdb::DatabaseSchema& schema = stack.db().schema();
+  size_t tables = schema.tables.size();
+  size_t min_fields = SIZE_MAX, max_fields = 0;
+  for (const auto& [name, table] : schema.tables) {
+    min_fields = std::min(min_fields, table.columns.size());
+    max_fields = std::max(max_fields, table.columns.size());
+  }
+  // The "glue" the prototype hand-counts is generated for us by
+  // src/nerpa/bindings.cc at runtime; the per-program artifact is zero
+  // lines (that is the point of co-design), so we report the generated
+  // declaration text as the visible artifact.
+  int total =
+      rules_loc + generated_decls_loc + p4_loc + static_cast<int>(tables);
+
+  // The hand-written incremental comparator, measured from its source.
+  std::string imperative_source = ReadFileOr(
+      baseline::kImperativeSourcePath, "");
+  int imperative_loc = CountCodeLines(imperative_source);
+
+  Table table({"artifact", "paper (snvs prototype)", "this repo (measured)"});
+  table.AddRow({"control plane: hand-written rules", "250 LOC (DDlog)",
+                StrFormat("%d LOC (dlog dialect)", rules_loc)});
+  table.AddRow({"control plane: generated relations", "100 LOC",
+                StrFormat("%d LOC", generated_decls_loc)});
+  table.AddRow({"data plane: P4 program", "300 LOC",
+                StrFormat("%d LOC (textual P4 dialect)", p4_loc)});
+  table.AddRow({"management plane: OVSDB tables", "5 tables, 2-5 fields",
+                StrFormat("%zu tables, %zu-%zu fields", tables, min_fields,
+                          max_fields)});
+  table.AddRow({"inter-plane glue", "50 LOC (generated Rust)",
+                "0 LOC (generated in-process)"});
+  table.AddRow({"total", "~700 LOC", StrFormat("~%d LOC", total)});
+  table.AddRow({"hand-written incremental equivalent",
+                ">= 10x more (Java/C, §4.3)",
+                imperative_loc > 0
+                    ? StrFormat("%d LOC (C++ baseline, VLAN+MAC+ACL+mirror "
+                                "only)",
+                                imperative_loc)
+                    : "source not found"});
+  table.Print();
+
+  if (imperative_loc > 0 && rules_loc > 0) {
+    std::printf(
+        "\nratio: the hand-written incremental controller is %.1fx the size\n"
+        "of the declarative rules for the same features — and it is the\n"
+        "EASY part: it covers the logical entries only, with no OVSDB\n"
+        "monitor handling, no P4Runtime conversion, and no transaction\n"
+        "machinery (all of which the rules get from the framework).\n",
+        static_cast<double>(imperative_loc) / rules_loc);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace nerpa
+
+int main() { return nerpa::Run(); }

@@ -1,0 +1,139 @@
+// E7 — §4.1 "Streaming APIs for performance": changes are grouped into
+// transactions, and batching matters.
+//
+// google-benchmark micro-benchmarks of the per-transaction machinery at
+// every plane: Datalog commit overhead vs batch size, OVSDB transact
+// cost, P4Runtime writes, and per-packet pipeline execution.  The headline
+// series is dlog_commit/batch: per-row cost should fall sharply as rows
+// are batched into one transaction, which is why Nerpa propagates OVSDB's
+// transaction grouping end to end instead of feeding changes one by one.
+#include <benchmark/benchmark.h>
+
+#include "common/strings.h"
+
+#include "dlog/engine.h"
+#include "ovsdb/database.h"
+#include "p4/runtime.h"
+#include "snvs/snvs.h"
+
+namespace nerpa {
+namespace {
+
+constexpr const char* kJoinProgram = R"(
+input relation E(a: bigint, b: bigint)
+input relation F(b: bigint, c: bigint)
+output relation J(a: bigint, c: bigint)
+J(a, c) :- E(a, b), F(b, c).
+)";
+
+dlog::Row IntRow(int64_t a, int64_t b) {
+  return dlog::Row{dlog::Value::Int(a), dlog::Value::Int(b)};
+}
+
+/// Per-row cost of a commit carrying `batch` inserted rows.
+void BM_DlogCommitBatch(benchmark::State& state) {
+  auto program = dlog::Program::Parse(kJoinProgram).value();
+  dlog::Engine engine(program);
+  // Pre-populate the joined side (1:1 join keys so the per-row derived
+  // work is constant and the per-transaction floor is visible).
+  for (int i = 0; i < 4096; ++i) {
+    (void)engine.Insert("F", IntRow(i, i));
+  }
+  (void)engine.Commit();
+  int64_t batch = state.range(0);
+  int64_t next = 0;
+  for (auto _ : state) {
+    for (int64_t i = 0; i < batch; ++i) {
+      (void)engine.Insert("E", IntRow(next, next % 4096));
+      ++next;
+    }
+    benchmark::DoNotOptimize(engine.Commit());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_DlogCommitBatch)->Arg(1)->Arg(8)->Arg(64)->Arg(512);
+
+/// An empty commit: the fixed floor of the transaction machinery.
+void BM_DlogEmptyCommit(benchmark::State& state) {
+  auto program = dlog::Program::Parse(kJoinProgram).value();
+  dlog::Engine engine(program);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Commit());
+  }
+}
+BENCHMARK(BM_DlogEmptyCommit);
+
+/// OVSDB insert transactions (typed builder -> JSON ops -> commit).
+void BM_OvsdbInsertTxn(benchmark::State& state) {
+  ovsdb::Database db(snvs::SnvsSchema());
+  int64_t next = 0;
+  for (auto _ : state) {
+    ovsdb::TxnBuilder txn(&db);
+    txn.Insert("Port", {
+                           {"name", ovsdb::Datum::String(
+                                        StrFormat("p%lld",
+                                                  static_cast<long long>(
+                                                      next)))},
+                           {"port", ovsdb::Datum::Integer(next % 65536)},
+                           {"vlan_mode", ovsdb::Datum::String("access")},
+                           {"tag", ovsdb::Datum::Integer(next % 4096)},
+                       });
+    benchmark::DoNotOptimize(txn.Commit());
+    ++next;
+  }
+}
+BENCHMARK(BM_OvsdbInsertTxn)->Iterations(20000);
+
+/// P4Runtime exact-match table writes.
+void BM_P4RuntimeWrite(benchmark::State& state) {
+  auto program = snvs::SnvsP4Program();
+  p4::Switch device(program);
+  p4::RuntimeClient client(&device);
+  uint64_t next = 0;
+  for (auto _ : state) {
+    p4::TableEntry entry;
+    entry.table = "Dmac";
+    entry.match = {p4::MatchField::Exact(next % 4096),
+                   p4::MatchField::Exact(0x020000000000ULL + next)};
+    entry.action = "Forward";
+    entry.action_args = {next % 65536};
+    benchmark::DoNotOptimize(client.Insert(std::move(entry)));
+    ++next;
+  }
+}
+BENCHMARK(BM_P4RuntimeWrite)->Iterations(100000);
+
+/// Full per-packet pipeline execution (parse, 8 tables, deparse).
+void BM_P4PacketPipeline(benchmark::State& state) {
+  auto stack = snvs::BuildSnvsStack().value();
+  (void)stack->AddPort("p1", 1, "access", 10);
+  (void)stack->AddPort("p2", 2, "access", 10);
+  net::Packet frame = net::MakeEthernetFrame(
+      net::Mac(0, 0, 0, 0, 0, 0xBB), net::Mac(0, 0, 0, 0, 0, 0xAA), 0x0800,
+      {1, 2, 3, 4});
+  // Learn both MACs first so the steady state is unicast.
+  (void)stack->InjectPacket(0, 1, frame);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        stack->device().ProcessPacket(p4::PacketIn{1, frame}));
+  }
+}
+BENCHMARK(BM_P4PacketPipeline);
+
+/// End-to-end: one management-plane change through all three planes.
+void BM_FullStackPortAdd(benchmark::State& state) {
+  auto stack = snvs::BuildSnvsStack().value();
+  int64_t next = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stack->AddPort(
+        StrFormat("p%lld", static_cast<long long>(next)), next % 65536,
+        "access", next % 4096 + 1));
+    ++next;
+  }
+}
+BENCHMARK(BM_FullStackPortAdd)->Iterations(3000);
+
+}  // namespace
+}  // namespace nerpa
+
+BENCHMARK_MAIN();

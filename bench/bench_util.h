@@ -1,0 +1,77 @@
+// Shared helpers for the experiment harnesses: aligned table printing and
+// simple statistics.  Each bench binary reproduces one table/figure of the
+// paper (see DESIGN.md's experiment index) and prints the paper's reference
+// values next to the measured ones.
+#ifndef NERPA_BENCH_BENCH_UTIL_H_
+#define NERPA_BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/strings.h"
+
+namespace nerpa::bench {
+
+/// Prints a header box for an experiment.
+inline void Banner(const std::string& id, const std::string& title) {
+  std::string line(72, '=');
+  std::printf("%s\n%s — %s\n%s\n", line.c_str(), id.c_str(), title.c_str(),
+              line.c_str());
+}
+
+/// A fixed-width text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void Print() const {
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& row) {
+      for (size_t c = 0; c < row.size(); ++c) {
+        std::printf("%s%-*s", c == 0 ? "  " : "  ",
+                    static_cast<int>(widths[c]), row[c].c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(headers_);
+    std::vector<std::string> rule;
+    for (size_t w : widths) rule.push_back(std::string(w, '-'));
+    print_row(rule);
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Ms(double seconds) {
+  return StrFormat("%.3f ms", seconds * 1e3);
+}
+
+inline std::string Us(double seconds) {
+  return StrFormat("%.1f us", seconds * 1e6);
+}
+
+inline double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  size_t index = static_cast<size_t>(p * static_cast<double>(values.size() - 1));
+  return values[index];
+}
+
+}  // namespace nerpa::bench
+
+#endif  // NERPA_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,147 @@
+// Multi-device deployment: device-column bindings route table entries to
+// the switch each row names (§4.1: "our solution can generally support
+// multiple classes of devices").
+//
+// Unlike the other examples this one wires a stack from scratch — schema,
+// pipeline, bindings, rules, controller — showing exactly what a user
+// writes for their own network program.
+//
+//   $ ./build/examples/multi_device
+#include <cstdio>
+
+#include "nerpa/controller.h"
+#include "snvs/snvs.h"
+
+using namespace nerpa;
+
+namespace {
+
+/// Management plane: which switch/port belongs to which vlan.
+ovsdb::DatabaseSchema MakeSchema() {
+  ovsdb::DatabaseSchema schema;
+  schema.name = "fabric";
+  ovsdb::TableSchema assignment;
+  assignment.name = "Assignment";
+  assignment.columns = {
+      {"device", ovsdb::ColumnType::Scalar(ovsdb::BaseType::String()), false,
+       true},
+      {"port",
+       ovsdb::ColumnType::Scalar(ovsdb::BaseType::Integer(0, 65535)), false,
+       true},
+      {"vlan", ovsdb::ColumnType::Scalar(ovsdb::BaseType::Integer(0, 4095)),
+       false, true},
+  };
+  schema.tables.emplace("Assignment", std::move(assignment));
+  return schema;
+}
+
+/// Data plane: one admission table; every switch runs this program.
+std::shared_ptr<const p4::P4Program> MakePipeline() {
+  auto program = std::make_shared<p4::P4Program>();
+  program->name = "fabric";
+  program->headers = {
+      {"ethernet", {{"dstAddr", 48}, {"srcAddr", 48}, {"etherType", 16}}}};
+  program->metadata = {{"vlan", 12}};
+  p4::ParserState start;
+  start.name = "start";
+  start.extracts = "ethernet";
+  start.transitions = {{std::nullopt, "accept"}};
+  program->parser = {start};
+  program->actions = {
+      {"Assign", {{"vid", 12}}, {p4::ActionOp::SetFieldFromParam(
+                                    "meta.vlan", "vid")}},
+      {"Discard", {}, {p4::ActionOp::Drop()}},
+  };
+  p4::Table table;
+  table.name = "VlanMap";
+  table.keys = {{"standard.ingress_port", p4::MatchKind::kExact, 0}};
+  table.actions = {"Assign"};
+  table.default_action = "Discard";
+  program->tables = {table};
+  program->ingress = {p4::ControlNode::Apply("VlanMap")};
+  program->deparser = {"ethernet"};
+  Status validated = program->Validate();
+  if (!validated.ok()) std::abort();
+  return program;
+}
+
+constexpr const char* kRules = R"(
+VlanMap(d, p as bit<16>, "Assign", v as bit<12>) :- Assignment(_, d, p, v).
+)";
+
+}  // namespace
+
+int main() {
+  ovsdb::Database db(MakeSchema());
+  auto pipeline = MakePipeline();
+
+  // Device-aware bindings: digest inputs and table outputs get a leading
+  // `device: string` column the controller routes on.
+  BindingOptions options;
+  options.with_device_column = true;
+  auto bindings = GenerateBindings(db.schema(), *pipeline, options);
+  if (!bindings.ok()) {
+    std::fprintf(stderr, "%s\n", bindings.status().ToString().c_str());
+    return 1;
+  }
+  std::string source = bindings->DeclsText() + kRules;
+  std::printf("control plane program:\n%s\n", source.c_str());
+  auto program = dlog::Program::Parse(source);
+  if (!program.ok()) {
+    std::fprintf(stderr, "%s\n", program.status().ToString().c_str());
+    return 1;
+  }
+
+  // Two leaf switches running the same pipeline.
+  p4::Switch leaf0(pipeline), leaf1(pipeline);
+  p4::RuntimeClient client0(&leaf0), client1(&leaf1);
+  Controller controller(&db, *program, pipeline, *bindings);
+  (void)controller.AddDevice("leaf0", &client0);
+  (void)controller.AddDevice("leaf1", &client1);
+  Status started = controller.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "%s\n", started.ToString().c_str());
+    return 1;
+  }
+
+  // Three assignments, routed by the device column.
+  ovsdb::TxnBuilder txn(&db);
+  txn.Insert("Assignment", {{"device", ovsdb::Datum::String("leaf0")},
+                            {"port", ovsdb::Datum::Integer(1)},
+                            {"vlan", ovsdb::Datum::Integer(10)}});
+  txn.Insert("Assignment", {{"device", ovsdb::Datum::String("leaf0")},
+                            {"port", ovsdb::Datum::Integer(2)},
+                            {"vlan", ovsdb::Datum::Integer(20)}});
+  txn.Insert("Assignment", {{"device", ovsdb::Datum::String("leaf1")},
+                            {"port", ovsdb::Datum::Integer(1)},
+                            {"vlan", ovsdb::Datum::Integer(30)}});
+  if (!txn.Commit().ok() || !controller.last_error().ok()) {
+    std::fprintf(stderr, "transaction failed: %s\n",
+                 controller.last_error().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("leaf0 VlanMap entries: %zu   leaf1 VlanMap entries: %zu\n",
+              leaf0.GetTable("VlanMap")->size(),
+              leaf1.GetTable("VlanMap")->size());
+  for (const p4::TableEntry* entry : leaf0.GetTable("VlanMap")->Entries()) {
+    std::printf("  leaf0: %s\n", entry->ToString().c_str());
+  }
+  for (const p4::TableEntry* entry : leaf1.GetTable("VlanMap")->Entries()) {
+    std::printf("  leaf1: %s\n", entry->ToString().c_str());
+  }
+
+  // Move the leaf1 assignment to leaf0: the entry migrates between devices
+  // in one incremental step.
+  ovsdb::TxnBuilder move(&db);
+  move.Update("Assignment",
+              {{"device", "==", ovsdb::Datum::String("leaf1")}},
+              {{"device", ovsdb::Datum::String("leaf0")},
+               {"port", ovsdb::Datum::Integer(7)}});
+  if (!move.Commit().ok() || !controller.last_error().ok()) return 1;
+  std::printf("\nafter moving the assignment to leaf0 port 7:\n");
+  std::printf("leaf0 VlanMap entries: %zu   leaf1 VlanMap entries: %zu\n",
+              leaf0.GetTable("VlanMap")->size(),
+              leaf1.GetTable("VlanMap")->size());
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Quickstart: bring up the full Nerpa stack (management database +
+// incremental control plane + P4 switch), add two ports through the
+// management plane, and watch a packet forward.
+//
+//   $ ./build/examples/quickstart
+//
+// Everything below is the public API a downstream user codes against:
+// snvs::BuildSnvsStack() wires an OVSDB-style database, the generated
+// bindings, the Datalog program, and a P4 behavioural switch into one
+// controller (see src/snvs/snvs.cc for how to wire your own program).
+#include <cstdio>
+
+#include "snvs/snvs.h"
+
+using namespace nerpa;
+
+int main() {
+  // 1. Build the stack: schema + rules + pipeline, type-checked together.
+  auto stack_result = snvs::BuildSnvsStack();
+  if (!stack_result.ok()) {
+    std::fprintf(stderr, "failed to build stack: %s\n",
+                 stack_result.status().ToString().c_str());
+    return 1;
+  }
+  snvs::SnvsStack& stack = **stack_result;
+  std::printf("stack is up; control-plane program:\n%s\n",
+              stack.program_text().c_str());
+
+  // 2. Configure the network through the management plane.  Each call is
+  //    one OVSDB transaction; the controller reacts incrementally.
+  if (!stack.AddPort("host-a", 1, "access", 10).ok() ||
+      !stack.AddPort("host-b", 2, "access", 10).ok()) {
+    std::fprintf(stderr, "failed to add ports\n");
+    return 1;
+  }
+  std::printf("added ports host-a (port 1) and host-b (port 2) on vlan 10\n");
+  std::printf("data plane now has %zu admission entries\n",
+              stack.device().GetTable("InVlanUntagged")->size());
+
+  // 3. Send a packet from A to B.  The first one floods (and the switch
+  //    learns A); B's reply is then delivered unicast.
+  net::Mac mac_a(0, 0, 0, 0, 0, 0xAA), mac_b(0, 0, 0, 0, 0, 0xBB);
+  net::Packet hello =
+      net::MakeEthernetFrame(mac_b, mac_a, 0x0800, {'h', 'i'});
+  auto out = stack.InjectPacket(0, 1, hello);
+  if (!out.ok()) {
+    std::fprintf(stderr, "inject: %s\n", out.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nA -> B (unknown destination): delivered to %zu port(s)\n",
+              out->size());
+
+  net::Packet reply = net::MakeEthernetFrame(mac_a, mac_b, 0x0800, {'y', 'o'});
+  out = stack.InjectPacket(0, 2, reply);
+  if (!out.ok()) return 1;
+  std::printf("B -> A (A was learned):     delivered to port %llu only\n",
+              static_cast<unsigned long long>((*out)[0].port));
+
+  std::printf("\ncontroller stats: %llu dlog transactions, %llu entries "
+              "installed, %llu digests processed\n",
+              static_cast<unsigned long long>(
+                  stack.controller().stats().dlog_txns),
+              static_cast<unsigned long long>(
+                  stack.controller().stats().entries_inserted),
+              static_cast<unsigned long long>(
+                  stack.controller().stats().digests));
+  return 0;
+}

@@ -1,0 +1,9 @@
+#!/bin/sh
+# Regenerates every experiment in DESIGN.md's index and the full test log.
+#   scripts/run_experiments.sh [build-dir]
+set -e
+BUILD="${1:-build}"
+cmake -B "$BUILD" -G Ninja
+cmake --build "$BUILD"
+ctest --test-dir "$BUILD" 2>&1 | tee test_output.txt
+for b in "$BUILD"/bench/bench_*; do [ -f "$b" ] && [ -x "$b" ] && "$b"; done 2>&1 | tee bench_output.txt

@@ -1,0 +1,381 @@
+#include "baseline/fragments.h"
+
+#include "common/strings.h"
+
+namespace nerpa::baseline {
+
+const char* const kFragmentsSourcePath = __FILE__;
+
+// Table-id regions, one per feature (conventional controllers also carve
+// the OpenFlow table space feature by feature).
+namespace tid {
+constexpr int kVlan = 0;
+constexpr int kSecurityGroups = 5;
+constexpr int kAclIngress = 10;
+constexpr int kDhcp = 15;
+constexpr int kArp = 20;
+constexpr int kNat = 25;
+constexpr int kLb = 30;
+constexpr int kQos = 35;
+constexpr int kL2 = 40;
+constexpr int kMirror = 45;
+constexpr int kTunnel = 50;
+constexpr int kGateway = 55;
+}  // namespace tid
+
+const std::vector<FeatureInfo>& Features() {
+  static const std::vector<FeatureInfo> kFeatures = {
+      {"l2_forwarding", 26, 2},
+      {"vlan_isolation", 30, 4},
+      {"acl_ingress", 22, 2},
+      {"port_mirroring", 14, 1},
+      {"arp_responder", 22, 1},
+      {"dhcp_relay", 18, 1},
+      {"load_balancer", 30, 2},
+      {"nat", 26, 2},
+      {"security_groups", 30, 2},
+      {"qos", 20, 1},
+      {"tunnel_encap", 24, 2},
+      {"gateway", 24, 2},
+  };
+  return kFeatures;
+}
+
+void FragmentController::Emit(int table, int priority,
+                              std::vector<ofp::OfMatch> match,
+                              std::vector<ofp::OfAction> actions,
+                              std::string cookie) {
+  ofp::Flow flow;
+  flow.table_id = table;
+  flow.priority = priority;
+  flow.match = std::move(match);
+  flow.actions = std::move(actions);
+  flow.cookie = std::move(cookie);
+  flows_->AddFlow(std::move(flow));
+}
+
+Status FragmentController::EnableFeatures(int count) {
+  if (count < 0 || count > static_cast<int>(Features().size())) {
+    return InvalidArgument("bad feature count");
+  }
+  flows_->Clear();
+  using Emitter = void (FragmentController::*)();
+  static constexpr Emitter kEmitters[] = {
+      &FragmentController::EmitL2Forwarding,
+      &FragmentController::EmitVlanIsolation,
+      &FragmentController::EmitAclIngress,
+      &FragmentController::EmitPortMirroring,
+      &FragmentController::EmitArpResponder,
+      &FragmentController::EmitDhcpRelay,
+      &FragmentController::EmitLoadBalancer,
+      &FragmentController::EmitNat,
+      &FragmentController::EmitSecurityGroups,
+      &FragmentController::EmitQos,
+      &FragmentController::EmitTunnelEncap,
+      &FragmentController::EmitGateway,
+  };
+  for (int i = 0; i < count; ++i) {
+    (this->*kEmitters[i])();
+  }
+  return Status::Ok();
+}
+
+size_t FragmentController::FragmentSites() const {
+  return flows_->FlowsByCookie().size();
+}
+
+// --- Feature emitters.  Each Emit call site is one "fragment" in the
+// --- Fig. 3 sense; note how related logic scatters across tables and
+// --- priorities, exactly the sprawl §1 describes.
+
+void FragmentController::EmitL2Forwarding() {
+  for (int port = 0; port < workload_.ports; ++port) {
+    for (int m = 0; m < workload_.macs_per_port; ++m) {
+      uint64_t mac = 0x020000000000ULL +
+                     static_cast<uint64_t>(port) * 256 +
+                     static_cast<uint64_t>(m);
+      // Unicast entry for a learned MAC.
+      Emit(tid::kL2, 100,
+           {{"ethernet.dstAddr", mac, ~uint64_t{0}}},
+           {{ofp::OfAction::Kind::kOutput, "", static_cast<uint64_t>(port)}},
+           "l2/unicast");
+      // And the corresponding learn-suppression entry.
+      Emit(tid::kL2 + 1, 100,
+           {{"ethernet.srcAddr", mac, ~uint64_t{0}},
+            {"standard.ingress_port", static_cast<uint64_t>(port),
+             ~uint64_t{0}}},
+           {}, "l2/smac");
+    }
+  }
+  // Flood on miss.
+  Emit(tid::kL2, 0, {}, {{ofp::OfAction::Kind::kGroup, "", 1}}, "l2/flood");
+}
+
+void FragmentController::EmitVlanIsolation() {
+  for (int port = 0; port < workload_.ports; ++port) {
+    uint64_t vlan = static_cast<uint64_t>(port % workload_.vlans) + 10;
+    // Access admission: untagged packets adopt the port vlan.
+    Emit(tid::kVlan, 90,
+         {{"standard.ingress_port", static_cast<uint64_t>(port), ~uint64_t{0}},
+          {"vlan._valid", 0, 1}},
+         {{ofp::OfAction::Kind::kSetField, "meta.vlan", vlan}},
+         "vlan/access_in");
+    // Tagged packets on the wrong vlan are dropped.
+    Emit(tid::kVlan, 80,
+         {{"standard.ingress_port", static_cast<uint64_t>(port), ~uint64_t{0}},
+          {"vlan._valid", 1, 1}},
+         {{ofp::OfAction::Kind::kDrop, "", 0}}, "vlan/wrong_tag");
+    // Egress tagging for trunk uplinks.
+    Emit(tid::kL2 + 2, 90,
+         {{"standard.egress_port", static_cast<uint64_t>(port), ~uint64_t{0}},
+          {"meta.vlan", vlan, 0xFFF}},
+         {{ofp::OfAction::Kind::kPushVlan, "", vlan}}, "vlan/egress_tag");
+  }
+  // Default drop for unconfigured ports.
+  Emit(tid::kVlan, 0, {}, {{ofp::OfAction::Kind::kDrop, "", 0}},
+       "vlan/default_drop");
+}
+
+void FragmentController::EmitAclIngress() {
+  for (int rule = 0; rule < workload_.acl_rules; ++rule) {
+    uint64_t mac = 0x060000000000ULL + static_cast<uint64_t>(rule);
+    // Block-listed sources.
+    Emit(tid::kAclIngress, 100 + rule,
+         {{"ethernet.srcAddr", mac, ~uint64_t{0}}},
+         {{ofp::OfAction::Kind::kDrop, "", 0}}, "acl/block_src");
+  }
+  // Allow everything else.
+  Emit(tid::kAclIngress, 0, {}, {}, "acl/allow_default");
+}
+
+void FragmentController::EmitPortMirroring() {
+  for (int port = 0; port < workload_.ports; port += 4) {
+    Emit(tid::kMirror, 50,
+         {{"standard.ingress_port", static_cast<uint64_t>(port), ~uint64_t{0}}},
+         {{ofp::OfAction::Kind::kClone, "",
+           static_cast<uint64_t>(workload_.ports + 1)}},
+         "mirror/span");
+  }
+}
+
+void FragmentController::EmitArpResponder() {
+  for (int port = 0; port < workload_.ports; ++port) {
+    uint64_t ip = 0x0A000000ULL + static_cast<uint64_t>(port);
+    // Respond to ARP requests for known IPs at the first hop.
+    Emit(tid::kArp, 100,
+         {{"ethernet.etherType", 0x0806, 0xFFFF},
+          {"arp.tpa", ip, 0xFFFFFFFF}},
+         {{ofp::OfAction::Kind::kOutput, "", static_cast<uint64_t>(port)}},
+         "arp/responder");
+  }
+}
+
+void FragmentController::EmitDhcpRelay() {
+  for (int vlan = 0; vlan < workload_.vlans; ++vlan) {
+    Emit(tid::kDhcp, 100,
+         {{"meta.vlan", static_cast<uint64_t>(vlan) + 10, 0xFFF},
+          {"ip.proto", 17, 0xFF},
+          {"udp.dst", 67, 0xFFFF}},
+         {{ofp::OfAction::Kind::kOutput, "",
+           static_cast<uint64_t>(workload_.ports + 2)}},
+         "dhcp/relay");
+  }
+}
+
+void FragmentController::EmitLoadBalancer() {
+  for (int lb = 0; lb < workload_.load_balancers; ++lb) {
+    uint64_t vip = 0xC0A80000ULL + static_cast<uint64_t>(lb);
+    uint32_t group = 100 + static_cast<uint32_t>(lb);
+    // VIP traffic goes to the LB group...
+    Emit(tid::kLb, 100, {{"ip.dst", vip, 0xFFFFFFFF}},
+         {{ofp::OfAction::Kind::kGroup, "", group}}, "lb/vip");
+    std::vector<uint64_t> members;
+    for (int b = 0; b < workload_.backends_per_lb; ++b) {
+      members.push_back(static_cast<uint64_t>(b % workload_.ports));
+      // ...and each backend needs a return-path rewrite.
+      Emit(tid::kLb + 1, 100,
+           {{"ip.src", vip + 0x10000ULL * static_cast<uint64_t>(b),
+             0xFFFFFFFF}},
+           {{ofp::OfAction::Kind::kSetField, "ip.src", vip}}, "lb/unsnat");
+    }
+    flows_->SetGroup(group, members);
+  }
+}
+
+void FragmentController::EmitNat() {
+  for (int port = 0; port < workload_.ports; port += 2) {
+    uint64_t internal = 0x0A000100ULL + static_cast<uint64_t>(port);
+    uint64_t external = 0xC6336400ULL + static_cast<uint64_t>(port);
+    Emit(tid::kNat, 100, {{"ip.src", internal, 0xFFFFFFFF}},
+         {{ofp::OfAction::Kind::kSetField, "ip.src", external}}, "nat/snat");
+    Emit(tid::kNat + 1, 100, {{"ip.dst", external, 0xFFFFFFFF}},
+         {{ofp::OfAction::Kind::kSetField, "ip.dst", internal}},
+         "nat/dnat");
+  }
+}
+
+void FragmentController::EmitSecurityGroups() {
+  // Pairwise allow within the group — the quadratic blow-up that makes
+  // fragment counts explode in practice.
+  for (int a = 0; a < workload_.ports; ++a) {
+    for (int b = 0; b < workload_.ports; ++b) {
+      if (a == b) continue;
+      Emit(tid::kSecurityGroups, 100,
+           {{"standard.ingress_port", static_cast<uint64_t>(a), ~uint64_t{0}},
+            {"meta.dst_port", static_cast<uint64_t>(b), ~uint64_t{0}}},
+           {}, "sg/pair_allow");
+    }
+  }
+  Emit(tid::kSecurityGroups, 0, {}, {{ofp::OfAction::Kind::kDrop, "", 0}},
+       "sg/default_deny");
+}
+
+void FragmentController::EmitQos() {
+  for (int port = 0; port < workload_.ports; ++port) {
+    Emit(tid::kQos, 100,
+         {{"standard.ingress_port", static_cast<uint64_t>(port), ~uint64_t{0}}},
+         {{ofp::OfAction::Kind::kSetField, "meta.meter",
+           static_cast<uint64_t>(port % 4)}},
+         "qos/meter");
+  }
+}
+
+void FragmentController::EmitTunnelEncap() {
+  for (int chassis = 0; chassis < workload_.remote_chassis; ++chassis) {
+    uint64_t tep = 0xAC100000ULL + static_cast<uint64_t>(chassis);
+    Emit(tid::kTunnel, 100,
+         {{"meta.dst_chassis", static_cast<uint64_t>(chassis), ~uint64_t{0}}},
+         {{ofp::OfAction::Kind::kSetField, "tunnel.dst", tep},
+          {ofp::OfAction::Kind::kOutput, "",
+           static_cast<uint64_t>(workload_.ports + 3)}},
+         "tunnel/encap");
+    Emit(tid::kTunnel + 1, 100, {{"tunnel.src", tep, 0xFFFFFFFF}},
+         {{ofp::OfAction::Kind::kSetField, "meta.from_tunnel", 1}},
+         "tunnel/decap");
+  }
+}
+
+void FragmentController::EmitGateway() {
+  for (int route = 0; route < workload_.external_routes; ++route) {
+    uint64_t prefix = 0x08000000ULL + (static_cast<uint64_t>(route) << 16);
+    Emit(tid::kGateway, 50 + route,
+         {{"ip.dst", prefix, 0xFFFF0000ULL}},
+         {{ofp::OfAction::Kind::kSetField, "meta.next_hop",
+           static_cast<uint64_t>(route)},
+          {ofp::OfAction::Kind::kOutput, "",
+           static_cast<uint64_t>(workload_.ports + 4)}},
+         "gw/route");
+  }
+  Emit(tid::kGateway, 0, {}, {{ofp::OfAction::Kind::kDrop, "", 0}},
+       "gw/no_route");
+}
+
+// --- The unified counterpart ---
+
+std::string UnifiedFeatureRules(int count) {
+  // Shared input relations (the management-plane view).
+  std::string out = R"(
+input relation PortCfg(port: bigint, vlan: bigint)
+input relation MacBinding(mac: bit<48>, port: bigint, vlan: bigint)
+input relation AclCfg(mac: bit<48>, allow: bool)
+input relation MirrorCfg(src: bigint, dst: bigint)
+input relation ArpEntry(ip: bit<32>, port: bigint)
+input relation DhcpServer(vlan: bigint, port: bigint)
+input relation Vip(vip: bit<32>, lb: bigint)
+input relation Backend(lb: bigint, ip: bit<32>, port: bigint)
+input relation SgMember(port: bigint)
+input relation QosCfg(port: bigint, meter: bigint)
+input relation Chassis(id: bigint, tep: bit<32>)
+input relation Route(prefix: bit<32>, plen: bigint, next_hop: bigint)
+)";
+  // Each entry appends the feature's output relations and rules; the rule
+  // counts here are what FeatureInfo::datalog_rules records.
+  static const char* kFeatureRules[] = {
+      // l2_forwarding: 2 rules
+      R"(
+output relation L2Unicast(mac: bit<48>, port: bigint)
+output relation L2Smac(mac: bit<48>, port: bigint)
+L2Unicast(m, p) :- MacBinding(m, p, _).
+L2Smac(m, p) :- MacBinding(m, p, _).
+)",
+      // vlan_isolation: 4 rules
+      R"(
+output relation VlanAdmit(port: bigint, vlan: bigint)
+output relation VlanDrop(port: bigint)
+output relation VlanEgress(port: bigint, vlan: bigint)
+output relation VlanFlood(vlan: bigint, port: bigint)
+VlanAdmit(p, v) :- PortCfg(p, v).
+VlanDrop(p) :- PortCfg(p, _).
+VlanEgress(p, v) :- PortCfg(p, v).
+VlanFlood(v, p) :- PortCfg(p, v).
+)",
+      // acl_ingress: 2 rules
+      R"(
+output relation AclBlock(mac: bit<48>)
+output relation AclPass(mac: bit<48>)
+AclBlock(m) :- AclCfg(m, false).
+AclPass(m) :- AclCfg(m, true).
+)",
+      // port_mirroring: 1 rule
+      R"(
+output relation Span(src: bigint, dst: bigint)
+Span(s, d) :- MirrorCfg(s, d).
+)",
+      // arp_responder: 1 rule
+      R"(
+output relation ArpReply(ip: bit<32>, port: bigint)
+ArpReply(ip, p) :- ArpEntry(ip, p).
+)",
+      // dhcp_relay: 1 rule
+      R"(
+output relation DhcpFlow(vlan: bigint, port: bigint)
+DhcpFlow(v, p) :- DhcpServer(v, p).
+)",
+      // load_balancer: 2 rules
+      R"(
+output relation LbGroup(vip: bit<32>, lb: bigint)
+output relation LbUnsnat(ip: bit<32>, vip: bit<32>)
+LbGroup(vip, lb) :- Vip(vip, lb).
+LbUnsnat(ip, vip) :- Vip(vip, lb), Backend(lb, ip, _).
+)",
+      // nat: 2 rules
+      R"(
+output relation Snat(port: bigint, vlan: bigint)
+output relation Dnat(port: bigint, vlan: bigint)
+Snat(p, v) :- PortCfg(p, v), p % 2 == 0.
+Dnat(p, v) :- PortCfg(p, v), p % 2 == 0.
+)",
+      // security_groups: 2 rules
+      R"(
+output relation SgAllow(a: bigint, b: bigint)
+output relation SgDeny(a: bigint)
+SgAllow(a, b) :- SgMember(a), SgMember(b), a != b.
+SgDeny(a) :- SgMember(a).
+)",
+      // qos: 1 rule
+      R"(
+output relation Meter(port: bigint, meter: bigint)
+Meter(p, m) :- QosCfg(p, m).
+)",
+      // tunnel_encap: 2 rules
+      R"(
+output relation Encap(chassis: bigint, tep: bit<32>)
+output relation Decap(tep: bit<32>)
+Encap(c, t) :- Chassis(c, t).
+Decap(t) :- Chassis(_, t).
+)",
+      // gateway: 2 rules
+      R"(
+output relation GwRoute(prefix: bit<32>, plen: bigint, next_hop: bigint)
+output relation GwMiss(prefix: bit<32>)
+GwRoute(pfx, len, nh) :- Route(pfx, len, nh).
+GwMiss(pfx) :- Route(pfx, _, _).
+)",
+  };
+  for (int i = 0; i < count && i < 12; ++i) {
+    out += kFeatureRules[i];
+  }
+  return out;
+}
+
+}  // namespace nerpa::baseline

@@ -1,0 +1,97 @@
+// The Fig. 3 apparatus: a conventional fragment-style OpenFlow controller
+// vs. the unified declarative program, over a growing feature set.
+//
+// The paper's Fig. 3 plots OVN's controller code base and the number of
+// OpenFlow program fragments scattered through it growing at the same rate
+// across releases.  We reproduce the *mechanism*: a controller in the
+// conventional style implements each network feature as imperative code
+// that emits flow fragments (each distinct emission site tagged with a
+// cookie), while the unified approach implements the same feature as a few
+// Datalog rules in one program.  The bench (bench_fragment_growth) enables
+// features one by one and reports, per step:
+//   * fragment sites (distinct cookies)        — the "scattered" metric
+//   * flows installed for a fixed workload
+//   * lines of imperative emitter code (measured from this module)
+//   * Datalog rules and lines for the same feature set
+#ifndef NERPA_BASELINE_FRAGMENTS_H_
+#define NERPA_BASELINE_FRAGMENTS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ofp/flow.h"
+
+namespace nerpa::baseline {
+
+/// The workload the features are instantiated over.
+struct FragmentWorkload {
+  int ports = 8;
+  int vlans = 4;
+  int macs_per_port = 4;
+  int acl_rules = 8;
+  int load_balancers = 2;
+  int backends_per_lb = 3;
+  int remote_chassis = 3;
+  int external_routes = 6;
+};
+
+/// One network feature in the conventional controller.
+struct FeatureInfo {
+  const char* name;
+  int imperative_loc;  // hand-counted LOC of the emitter (kept in sync by
+                       // the fragments unit test against the .cc source)
+  int datalog_rules;   // rules in UnifiedFeatureRules for this feature
+};
+
+/// The 12 features, in the order they "shipped".
+const std::vector<FeatureInfo>& Features();
+
+/// Absolute path of fragments.cc at build time; the unit test measures the
+/// real emitter sizes from it to keep FeatureInfo::imperative_loc honest.
+extern const char* const kFragmentsSourcePath;
+
+/// A conventional controller: enabling feature `i` runs its emitter, which
+/// scatters flow fragments (cookies) into the switch.
+class FragmentController {
+ public:
+  FragmentController(ofp::FlowSwitch* flows, FragmentWorkload workload)
+      : flows_(flows), workload_(workload) {}
+
+  /// Enables features [0, count); re-runs all emitters from scratch.
+  Status EnableFeatures(int count);
+
+  /// Distinct emission sites (cookies) currently installed.
+  size_t FragmentSites() const;
+  size_t FlowCount() const { return flows_->FlowCount(); }
+
+ private:
+  // One emitter per feature; each emits flows from several code sites.
+  void EmitL2Forwarding();
+  void EmitVlanIsolation();
+  void EmitAclIngress();
+  void EmitPortMirroring();
+  void EmitArpResponder();
+  void EmitDhcpRelay();
+  void EmitLoadBalancer();
+  void EmitNat();
+  void EmitSecurityGroups();
+  void EmitQos();
+  void EmitTunnelEncap();
+  void EmitGateway();
+
+  void Emit(int table, int priority, std::vector<ofp::OfMatch> match,
+            std::vector<ofp::OfAction> actions, std::string cookie);
+
+  ofp::FlowSwitch* flows_;
+  FragmentWorkload workload_;
+};
+
+/// The unified-program counterpart: Datalog rules implementing features
+/// [0, count), as one self-contained parseable program.
+std::string UnifiedFeatureRules(int count);
+
+}  // namespace nerpa::baseline
+
+#endif  // NERPA_BASELINE_FRAGMENTS_H_

@@ -1,0 +1,27 @@
+#include "common/clock.h"
+
+#include <ctime>
+#include <fstream>
+#include <string>
+
+#include <unistd.h>
+
+namespace nerpa {
+
+int64_t ProcessCpuNanos() {
+  timespec ts{};
+  if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<int64_t>(ts.tv_sec) * 1000000000LL + ts.tv_nsec;
+}
+
+int64_t CurrentRssBytes() {
+  std::ifstream statm("/proc/self/statm");
+  if (!statm) return 0;
+  long long total = 0, resident = 0;
+  statm >> total >> resident;
+  long page = sysconf(_SC_PAGESIZE);
+  if (page <= 0) page = 4096;
+  return resident * page;
+}
+
+}  // namespace nerpa

@@ -1,0 +1,41 @@
+// Timing and memory probes used by the benchmark harnesses.
+#ifndef NERPA_COMMON_CLOCK_H_
+#define NERPA_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace nerpa {
+
+/// Monotonic nanoseconds since an arbitrary epoch.
+inline int64_t MonotonicNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Per-process CPU time (user+system) in nanoseconds; E4/E5 report CPU
+/// ratios, matching the paper's "CPU cost" phrasing.
+int64_t ProcessCpuNanos();
+
+/// Resident set size in bytes (Linux /proc/self/statm); 0 if unavailable.
+/// E5 reports RAM ratios against this.
+int64_t CurrentRssBytes();
+
+/// Simple stopwatch over the monotonic clock.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(MonotonicNanos()) {}
+  void Reset() { start_ = MonotonicNanos(); }
+  int64_t ElapsedNanos() const { return MonotonicNanos() - start_; }
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-9;
+  }
+
+ private:
+  int64_t start_;
+};
+
+}  // namespace nerpa
+
+#endif  // NERPA_COMMON_CLOCK_H_

@@ -1,0 +1,35 @@
+// Hashing helpers: FNV-1a and boost-style hash combination.
+#ifndef NERPA_COMMON_HASH_H_
+#define NERPA_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+namespace nerpa {
+
+/// 64-bit FNV-1a over raw bytes.
+inline uint64_t Fnv1a(const void* data, size_t size,
+                      uint64_t seed = 0xcbf29ce484222325ULL) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+inline uint64_t Fnv1a(std::string_view s) { return Fnv1a(s.data(), s.size()); }
+
+/// Mixes `value`'s hash into `seed` (boost::hash_combine recipe, 64-bit).
+template <typename T>
+inline void HashCombine(size_t& seed, const T& value) {
+  std::hash<T> hasher;
+  seed ^= hasher(value) + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+}
+
+}  // namespace nerpa
+
+#endif  // NERPA_COMMON_HASH_H_

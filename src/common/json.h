@@ -1,0 +1,83 @@
+// A small JSON value model, parser, and serializer.
+//
+// OVSDB's native data model is JSON (RFC 7047); the management-plane schema
+// and transaction formats in src/ovsdb are defined in terms of this type.
+// Benches also use it for emitting machine-readable results.
+#ifndef NERPA_COMMON_JSON_H_
+#define NERPA_COMMON_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+
+namespace nerpa {
+
+/// An immutable-ish JSON document node.  Numbers distinguish integers from
+/// doubles because OVSDB's "integer" atoms must round-trip exactly.
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  using Object = std::map<std::string, Json>;  // ordered for stable output
+
+  Json() : rep_(nullptr) {}
+  Json(std::nullptr_t) : rep_(nullptr) {}       // NOLINT(runtime/explicit)
+  Json(bool b) : rep_(b) {}                     // NOLINT(runtime/explicit)
+  Json(int64_t i) : rep_(i) {}                  // NOLINT(runtime/explicit)
+  Json(int i) : rep_(static_cast<int64_t>(i)) {}// NOLINT(runtime/explicit)
+  Json(double d) : rep_(d) {}                   // NOLINT(runtime/explicit)
+  Json(std::string s) : rep_(std::move(s)) {}   // NOLINT(runtime/explicit)
+  Json(const char* s) : rep_(std::string(s)) {} // NOLINT(runtime/explicit)
+  Json(Array a) : rep_(std::move(a)) {}         // NOLINT(runtime/explicit)
+  Json(Object o) : rep_(std::move(o)) {}        // NOLINT(runtime/explicit)
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(rep_); }
+  bool is_bool() const { return std::holds_alternative<bool>(rep_); }
+  bool is_integer() const { return std::holds_alternative<int64_t>(rep_); }
+  bool is_double() const { return std::holds_alternative<double>(rep_); }
+  bool is_number() const { return is_integer() || is_double(); }
+  bool is_string() const { return std::holds_alternative<std::string>(rep_); }
+  bool is_array() const { return std::holds_alternative<Array>(rep_); }
+  bool is_object() const { return std::holds_alternative<Object>(rep_); }
+
+  bool as_bool() const { return std::get<bool>(rep_); }
+  int64_t as_integer() const { return std::get<int64_t>(rep_); }
+  /// Numeric value as double regardless of integer/double representation.
+  double as_double() const {
+    return is_integer() ? static_cast<double>(as_integer())
+                        : std::get<double>(rep_);
+  }
+  const std::string& as_string() const { return std::get<std::string>(rep_); }
+  const Array& as_array() const { return std::get<Array>(rep_); }
+  Array& as_array() { return std::get<Array>(rep_); }
+  const Object& as_object() const { return std::get<Object>(rep_); }
+  Object& as_object() { return std::get<Object>(rep_); }
+
+  /// Object member lookup; returns nullptr if absent or not an object.
+  const Json* Find(std::string_view key) const;
+
+  /// Serializes compactly ({"a":1}); `indent` > 0 pretty-prints.
+  std::string Dump(int indent = 0) const;
+
+  /// Parses a complete JSON document; trailing garbage is an error.
+  static Result<Json> Parse(std::string_view text);
+
+  bool operator==(const Json& o) const { return rep_ == o.rep_; }
+  bool operator!=(const Json& o) const { return !(*this == o); }
+
+ private:
+  void DumpTo(std::string& out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, int64_t, double, std::string, Array,
+               Object>
+      rep_;
+};
+
+}  // namespace nerpa
+
+#endif  // NERPA_COMMON_JSON_H_

@@ -1,0 +1,47 @@
+// Minimal leveled logging to stderr.  The controller runtime logs plane
+// synchronization events at kInfo and internal diagnostics at kDebug.
+#ifndef NERPA_COMMON_LOG_H_
+#define NERPA_COMMON_LOG_H_
+
+#include <sstream>
+#include <string>
+
+namespace nerpa {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level that is emitted (default kWarning, so tests and
+/// benches stay quiet unless something is wrong).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+// The message is built unconditionally and suppressed at destruction when
+// below the active level; log statements are rare enough that this is fine.
+#define LOG_DEBUG ::nerpa::internal::LogMessage(::nerpa::LogLevel::kDebug, __FILE__, __LINE__)
+#define LOG_INFO ::nerpa::internal::LogMessage(::nerpa::LogLevel::kInfo, __FILE__, __LINE__)
+#define LOG_WARNING ::nerpa::internal::LogMessage(::nerpa::LogLevel::kWarning, __FILE__, __LINE__)
+#define LOG_ERROR ::nerpa::internal::LogMessage(::nerpa::LogLevel::kError, __FILE__, __LINE__)
+
+}  // namespace nerpa
+
+#endif  // NERPA_COMMON_LOG_H_

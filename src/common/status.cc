@@ -1,0 +1,53 @@
+#include "common/status.h"
+
+namespace nerpa {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid argument";
+    case StatusCode::kNotFound: return "not found";
+    case StatusCode::kAlreadyExists: return "already exists";
+    case StatusCode::kFailedPrecondition: return "failed precondition";
+    case StatusCode::kTypeError: return "type error";
+    case StatusCode::kParseError: return "parse error";
+    case StatusCode::kConstraintError: return "constraint error";
+    case StatusCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "ok";
+  std::string out = StatusCodeName(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+Status InvalidArgument(std::string message) {
+  return Status(StatusCode::kInvalidArgument, std::move(message));
+}
+Status NotFound(std::string message) {
+  return Status(StatusCode::kNotFound, std::move(message));
+}
+Status AlreadyExists(std::string message) {
+  return Status(StatusCode::kAlreadyExists, std::move(message));
+}
+Status FailedPrecondition(std::string message) {
+  return Status(StatusCode::kFailedPrecondition, std::move(message));
+}
+Status TypeError(std::string message) {
+  return Status(StatusCode::kTypeError, std::move(message));
+}
+Status ParseError(std::string message) {
+  return Status(StatusCode::kParseError, std::move(message));
+}
+Status ConstraintError(std::string message) {
+  return Status(StatusCode::kConstraintError, std::move(message));
+}
+Status Internal(std::string message) {
+  return Status(StatusCode::kInternal, std::move(message));
+}
+
+}  // namespace nerpa

@@ -1,0 +1,131 @@
+// Lightweight error-handling vocabulary used across every plane.
+//
+// Nerpa's planes exchange data constantly (management -> control -> data and
+// digests back); most conversion and validation failures are recoverable and
+// must carry a precise message to the operator, so the codebase uses
+// Status/Result instead of exceptions on those paths.  Programming errors
+// (violated invariants) still assert.
+#ifndef NERPA_COMMON_STATUS_H_
+#define NERPA_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace nerpa {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // caller supplied malformed data
+  kNotFound,          // named entity does not exist
+  kAlreadyExists,     // uniqueness violated
+  kFailedPrecondition,// operation illegal in current state
+  kTypeError,         // cross-plane type check failure
+  kParseError,        // surface-syntax or JSON parse failure
+  kConstraintError,   // schema/referential constraint violated
+  kInternal,          // invariant violation that was caught dynamically
+};
+
+/// Human-readable name of a StatusCode ("type error", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error value.  Cheap to copy on success (empty message).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code != StatusCode::kOk);
+  }
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "ok" or "<code name>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& o) const {
+    return code_ == o.code_ && message_ == o.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value of type T or an error Status.  Modeled after absl::StatusOr.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : rep_(std::move(value)) {}          // NOLINT(runtime/explicit)
+  Result(Status status) : rep_(std::move(status)) {    // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(rep_).ok() && "Result from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(rep_);
+  }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+// Convenience constructors.
+Status InvalidArgument(std::string message);
+Status NotFound(std::string message);
+Status AlreadyExists(std::string message);
+Status FailedPrecondition(std::string message);
+Status TypeError(std::string message);
+Status ParseError(std::string message);
+Status ConstraintError(std::string message);
+Status Internal(std::string message);
+
+/// Propagates an error Status from an expression that yields Status.
+#define NERPA_RETURN_IF_ERROR(expr)                  \
+  do {                                               \
+    ::nerpa::Status nerpa_status_ = (expr);          \
+    if (!nerpa_status_.ok()) return nerpa_status_;   \
+  } while (0)
+
+/// Evaluates a Result<T> expression, assigning the value on success and
+/// propagating the Status on failure.
+#define NERPA_ASSIGN_OR_RETURN(lhs, expr)            \
+  NERPA_ASSIGN_OR_RETURN_IMPL(                       \
+      NERPA_STATUS_CONCAT(result_, __LINE__), lhs, expr)
+#define NERPA_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr)  \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+#define NERPA_STATUS_CONCAT_INNER(a, b) a##b
+#define NERPA_STATUS_CONCAT(a, b) NERPA_STATUS_CONCAT_INNER(a, b)
+
+}  // namespace nerpa
+
+#endif  // NERPA_COMMON_STATUS_H_

@@ -1,0 +1,40 @@
+// Small string utilities shared by the parsers, schema printers, and benches.
+#ifndef NERPA_COMMON_STRINGS_H_
+#define NERPA_COMMON_STRINGS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nerpa {
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Joins `parts` with `sep` between elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Quotes `s` as a C/JSON-style string literal, escaping specials.
+std::string QuoteString(std::string_view s);
+
+/// True if `s` is a valid identifier ([A-Za-z_][A-Za-z0-9_]*).
+bool IsIdentifier(std::string_view s);
+
+/// Counts non-empty, non-comment ("//", "#", "--") lines — the LOC metric
+/// used by the paper's §4.3 table reproduction.
+int CountCodeLines(std::string_view text);
+
+}  // namespace nerpa
+
+#endif  // NERPA_COMMON_STRINGS_H_

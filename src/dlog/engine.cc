@@ -1,0 +1,1357 @@
+#include "dlog/engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+
+#include "common/log.h"
+#include "common/strings.h"
+#include "dlog/eval.h"
+
+namespace nerpa::dlog {
+
+bool TxnDelta::empty() const {
+  for (const auto& [name, delta] : outputs) {
+    if (!delta.empty()) return false;
+  }
+  return true;
+}
+
+std::string TxnDelta::ToString() const {
+  std::string out;
+  for (const auto& [name, delta] : outputs) {
+    for (const auto& [row, weight] : delta) {
+      out += StrFormat("%s %s%s\n", weight > 0 ? "+" : "-", name.c_str(),
+                       RowToString(row).c_str());
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Lexicographic row order (used for deterministic output deltas).
+bool RowLess(const Row& a, const Row& b) {
+  return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end(),
+                                      [](const Value& x, const Value& y) {
+                                        return x < y;
+                                      });
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Transaction processor.
+// ---------------------------------------------------------------------------
+
+class Engine::Txn {
+ public:
+  /// Which snapshot of a relation a lookup reads.
+  enum class Mode { kOld, kNew };
+
+  /// Overlay for relations inside the recursive stratum being processed:
+  /// rows in `removed` (unless also in `removed_except`) are hidden, rows in
+  /// `added` are visible.  The base is always the pre-fold state.
+  struct RelOverlay {
+    const RowSet* removed = nullptr;
+    const RowSet* removed_except = nullptr;
+    const RowSet* added = nullptr;
+    // Per-arrangement index of `added` rows (parallel to the relation's
+    // arrangement list).
+    const std::vector<std::unordered_map<Row, std::vector<Row>, RowHash,
+                                         RowEq>>* added_index = nullptr;
+  };
+  using Overlay = std::unordered_map<int, RelOverlay>;
+
+  Txn(Engine* engine, bool is_init)
+      : e_(*engine), program_(*engine->program_), is_init_(is_init) {}
+
+  Result<TxnDelta> Run() {
+    NERPA_RETURN_IF_ERROR(ApplyInputs());
+    for (const Stratum& stratum : program_.strata()) {
+      if (stratum.recursive) {
+        NERPA_RETURN_IF_ERROR(ProcessRecursive(stratum));
+      } else {
+        NERPA_RETURN_IF_ERROR(ProcessNonRecursive(stratum));
+      }
+    }
+    TxnDelta out = CollectOutputs();
+    Cleanup();
+    ++e_.transactions_;
+    return out;
+  }
+
+ private:
+  // --- Folding deltas into relation state ---
+
+  /// Adds/removes `row` in every arrangement of `rel`, recording presence
+  /// flips and per-key deletions.
+  void UpdateArrangements(int rel, const Row& row, int direction) {
+    if (!e_.options_.use_arrangements) return;
+    RelState& state = e_.relations_[static_cast<size_t>(rel)];
+    const auto& specs = program_.arrangements()[static_cast<size_t>(rel)];
+    for (size_t a = 0; a < specs.size(); ++a) {
+      Row key = ProjectRow(row, specs[a].key_positions);
+      Arrangement& arr = state.arrangements[a];
+      if (direction > 0) {
+        RowSet& bucket = arr.index[key];
+        bool was_empty = bucket.empty();
+        bucket.insert(row);
+        if (was_empty) BumpFlip(arr, key, +1);
+      } else {
+        auto it = arr.index.find(key);
+        if (it == arr.index.end()) continue;
+        it->second.erase(row);
+        arr.deleted[key].push_back(row);
+        if (it->second.empty()) {
+          arr.index.erase(it);
+          BumpFlip(arr, key, -1);
+        }
+      }
+    }
+  }
+
+  static void BumpFlip(Arrangement& arr, const Row& key, int direction) {
+    int& flip = arr.flips[key];
+    flip += direction;
+    if (flip == 0) arr.flips.erase(key);
+  }
+
+  static Row ProjectRow(const Row& row, const std::vector<int>& positions) {
+    Row key;
+    key.reserve(positions.size());
+    for (int p : positions) key.push_back(row[static_cast<size_t>(p)]);
+    return key;
+  }
+
+  /// Applies a set-level delta (rows with +-1) to `rel`: counts are forced
+  /// to 1/absent.  Used for inputs and recursive-stratum relations.
+  void FoldSetDelta(int rel, const std::vector<std::pair<Row, int>>& delta) {
+    RelState& state = e_.relations_[static_cast<size_t>(rel)];
+    for (const auto& [row, direction] : delta) {
+      if (direction > 0) {
+        state.counts[row] = 1;
+      } else {
+        state.counts.erase(row);
+        state.txn_deleted.push_back(row);
+      }
+      UpdateArrangements(rel, row, direction);
+      int64_t& d = state.set_delta[row];
+      d += direction;
+      if (d == 0) state.set_delta.erase(row);
+    }
+  }
+
+  /// Applies a derivation-count delta to `rel`, deriving the set-level
+  /// transitions.  Used for non-recursive derived relations.
+  Status FoldCountDelta(int rel, const ZSet& count_delta) {
+    RelState& state = e_.relations_[static_cast<size_t>(rel)];
+    for (const auto& [row, weight] : count_delta) {
+      if (weight == 0) continue;
+      int64_t old_count = 0;
+      auto it = state.counts.find(row);
+      if (it != state.counts.end()) old_count = it->second;
+      int64_t new_count = old_count + weight;
+      if (new_count < 0) {
+        return Internal(StrFormat(
+            "negative derivation count for %s in relation '%s'",
+            RowToString(row).c_str(),
+            program_.relation(rel).name.c_str()));
+      }
+      if (new_count == 0) {
+        if (it != state.counts.end()) state.counts.erase(it);
+      } else if (it != state.counts.end()) {
+        it->second = new_count;
+      } else {
+        state.counts.emplace(row, new_count);
+      }
+      if (old_count == 0 && new_count > 0) {
+        UpdateArrangements(rel, row, +1);
+        int64_t& d = state.set_delta[row];
+        if (++d == 0) state.set_delta.erase(row);
+      } else if (old_count > 0 && new_count == 0) {
+        UpdateArrangements(rel, row, -1);
+        state.txn_deleted.push_back(row);
+        int64_t& d = state.set_delta[row];
+        if (--d == 0) state.set_delta.erase(row);
+      }
+    }
+    return Status::Ok();
+  }
+
+  // --- Reading relations (old/new + overlay) ---
+
+  const RelOverlay* FindOverlay(int rel) const {
+    if (overlay_ == nullptr) return nullptr;
+    auto it = overlay_->find(rel);
+    return it == overlay_->end() ? nullptr : &it->second;
+  }
+
+  static bool OverlayHides(const RelOverlay& ov, const Row& row) {
+    if (ov.removed != nullptr && ov.removed->count(row) != 0) {
+      return !(ov.removed_except != nullptr &&
+               ov.removed_except->count(row) != 0);
+    }
+    return false;
+  }
+
+  /// Invokes `fn(row)` for every row of `rel` matching `key` under the
+  /// given arrangement, mode and the active overlay.  `fn` returns false to
+  /// stop early; ForEachMatch then returns false.
+  template <typename Fn>
+  bool ForEachMatch(int rel, int arrangement, const Row& key, Mode mode,
+                    Fn&& fn) {
+    RelState& state = e_.relations_[static_cast<size_t>(rel)];
+    const RelOverlay* ov = FindOverlay(rel);
+    if (arrangement >= 0 && !e_.options_.use_arrangements) {
+      // Ablation mode: scan and filter by the arrangement's key positions.
+      const auto& positions =
+          program_.arrangements()[static_cast<size_t>(rel)]
+                                 [static_cast<size_t>(arrangement)]
+                                     .key_positions;
+      auto matches_key = [&](const Row& row) {
+        for (size_t k = 0; k < positions.size(); ++k) {
+          if (!(row[static_cast<size_t>(positions[k])] == key[k])) {
+            return false;
+          }
+        }
+        return true;
+      };
+      for (const auto& [row, count] : state.counts) {
+        if (ov != nullptr && OverlayHides(*ov, row)) continue;
+        if (mode == Mode::kOld) {
+          auto d = state.set_delta.find(row);
+          if (d != state.set_delta.end() && d->second > 0) continue;
+        }
+        if (matches_key(row) && !fn(row)) return false;
+      }
+      if (mode == Mode::kOld) {
+        for (const Row& row : state.txn_deleted) {
+          if (matches_key(row) && !fn(row)) return false;
+        }
+      }
+      if (ov != nullptr && ov->added != nullptr) {
+        for (const Row& row : *ov->added) {
+          if (matches_key(row) && !fn(row)) return false;
+        }
+      }
+      return true;
+    }
+    if (arrangement >= 0) {
+      Arrangement& arr = state.arrangements[static_cast<size_t>(arrangement)];
+      auto bucket = arr.index.find(key);
+      if (bucket != arr.index.end()) {
+        for (const Row& row : bucket->second) {
+          if (ov != nullptr && OverlayHides(*ov, row)) continue;
+          if (mode == Mode::kOld) {
+            auto d = state.set_delta.find(row);
+            if (d != state.set_delta.end() && d->second > 0) continue;
+          }
+          if (!fn(row)) return false;
+        }
+      }
+      if (mode == Mode::kOld) {
+        auto deleted = arr.deleted.find(key);
+        if (deleted != arr.deleted.end()) {
+          for (const Row& row : deleted->second) {
+            if (!fn(row)) return false;
+          }
+        }
+      }
+      if (ov != nullptr && ov->added_index != nullptr) {
+        const auto& added_arr =
+            (*ov->added_index)[static_cast<size_t>(arrangement)];
+        auto added = added_arr.find(key);
+        if (added != added_arr.end()) {
+          for (const Row& row : added->second) {
+            if (!fn(row)) return false;
+          }
+        }
+      }
+      return true;
+    }
+    // Full scan.
+    for (const auto& [row, count] : state.counts) {
+      if (ov != nullptr && OverlayHides(*ov, row)) continue;
+      if (mode == Mode::kOld) {
+        auto d = state.set_delta.find(row);
+        if (d != state.set_delta.end() && d->second > 0) continue;
+      }
+      if (!fn(row)) return false;
+    }
+    if (mode == Mode::kOld) {
+      for (const Row& row : state.txn_deleted) {
+        if (!fn(row)) return false;
+      }
+    }
+    if (ov != nullptr && ov->added != nullptr) {
+      for (const Row& row : *ov->added) {
+        if (!fn(row)) return false;
+      }
+    }
+    return true;
+  }
+
+  /// Presence test for negation: does any row of `rel` match `key`?
+  bool AnyMatch(int rel, int arrangement, const Row& key, Mode mode) {
+    bool found = false;
+    ForEachMatch(rel, arrangement, key, mode, [&](const Row&) {
+      found = true;
+      return false;
+    });
+    return found;
+  }
+
+  /// Set-level membership test under mode + overlay.
+  bool ContainsRow(int rel, const Row& row, Mode mode) {
+    RelState& state = e_.relations_[static_cast<size_t>(rel)];
+    const RelOverlay* ov = FindOverlay(rel);
+    if (ov != nullptr) {
+      if (ov->added != nullptr && ov->added->count(row) != 0) return true;
+      if (OverlayHides(*ov, row)) return false;
+    }
+    bool present_new = state.counts.count(row) != 0;
+    if (mode == Mode::kNew) return present_new;
+    auto d = state.set_delta.find(row);
+    if (d == state.set_delta.end()) return present_new;
+    return d->second < 0;  // deleted this txn => was present before
+  }
+
+  // --- The join executor ---
+
+  /// Binds `row` against `terms`, returning false on mismatch.  Newly bound
+  /// slots are appended to `trail` for later unbinding.
+  bool MatchTerms(const std::vector<TermPlan>& terms, const Row& row,
+                  std::vector<int>& trail) {
+    for (size_t p = 0; p < terms.size(); ++p) {
+      const TermPlan& term = terms[p];
+      switch (term.kind) {
+        case TermPlan::Kind::kIgnore:
+          break;
+        case TermPlan::Kind::kCheckConst:
+          if (!(row[p] == term.constant)) return false;
+          break;
+        case TermPlan::Kind::kBind:
+        case TermPlan::Kind::kCheckVar: {
+          size_t slot = static_cast<size_t>(term.slot);
+          // Affine head terms (bigint only): slot value = row value - offset.
+          Value value = term.offset == 0
+                            ? row[p]
+                            : Value::Int(row[p].as_int() - term.offset);
+          if (bound_[slot]) {
+            if (!(frame_[slot] == value)) return false;
+          } else {
+            frame_[slot] = std::move(value);
+            bound_[slot] = 1;
+            trail.push_back(term.slot);
+          }
+          break;
+        }
+      }
+    }
+    return true;
+  }
+
+  void Unbind(const std::vector<int>& trail, size_t from) {
+    for (size_t i = from; i < trail.size(); ++i) {
+      bound_[static_cast<size_t>(trail[i])] = 0;
+    }
+  }
+
+  /// Builds the lookup key row for a literal from currently bound slots.
+  Row BuildKey(const StepPlan& step, const std::vector<int>& positions) {
+    Row key;
+    key.reserve(positions.size());
+    for (int p : positions) {
+      const TermPlan& term = step.terms[static_cast<size_t>(p)];
+      if (term.kind == TermPlan::Kind::kCheckConst) {
+        key.push_back(term.constant);
+      } else {
+        key.push_back(frame_[static_cast<size_t>(term.slot)]);
+      }
+    }
+    return key;
+  }
+
+  /// Context for one rule-body execution.
+  struct Exec {
+    const CompiledRule* rule = nullptr;
+    const std::vector<LookupPlan>* lookups = nullptr;
+    int skip_step = -1;   // pinned literal (already bound), or -1
+    int pinned_step = -1; // for mode decisions in delta variants
+    bool delta_modes = false;  // true: j<pinned NEW, j>pinned OLD
+    Mode uniform_mode = Mode::kNew;  // used when !delta_modes
+    bool stop_at_aggregate = false;
+  };
+
+  Mode StepMode(const Exec& exec, int step_index) const {
+    if (!exec.delta_modes) return exec.uniform_mode;
+    return step_index < exec.pinned_step ? Mode::kNew : Mode::kOld;
+  }
+
+  /// Recursively executes body steps from `step_index` on; `lookup_index`
+  /// tracks the position in exec.lookups.  Sink(frame) is called for each
+  /// satisfying assignment (at the aggregate step when stop_at_aggregate).
+  template <typename Sink>
+  Status ExecSteps(const Exec& exec, size_t step_index, size_t lookup_index,
+                   Sink&& sink) {
+    const CompiledRule& rule = *exec.rule;
+    if (step_index >= rule.steps.size()) {
+      ++e_.rule_firings_;
+      return sink(frame_);
+    }
+    if (static_cast<int>(step_index) == exec.skip_step) {
+      return ExecSteps(exec, step_index + 1, lookup_index,
+                       std::forward<Sink>(sink));
+    }
+    const StepPlan& step = rule.steps[step_index];
+    switch (step.kind) {
+      case BodyElem::Kind::kLiteral: {
+        const LookupPlan& lookup = (*exec.lookups)[lookup_index];
+        assert(lookup.step_index == static_cast<int>(step_index));
+        Mode mode = StepMode(exec, static_cast<int>(step_index));
+        Row key = BuildKey(step, lookup.key_positions);
+        if (step.negated) {
+          bool present;
+          if (lookup.arrangement >= 0 || !lookup.key_positions.empty()) {
+            present = AnyMatch(step.relation, lookup.arrangement, key, mode);
+          } else {
+            present = RelationNonEmpty(step.relation, mode);
+          }
+          if (present) return Status::Ok();  // antijoin: branch dies
+          return ExecSteps(exec, step_index + 1, lookup_index + 1,
+                           std::forward<Sink>(sink));
+        }
+        Status status = Status::Ok();
+        ForEachMatch(step.relation, lookup.arrangement, key, mode,
+                     [&](const Row& row) {
+                       std::vector<int> trail;
+                       if (MatchTerms(step.terms, row, trail)) {
+                         Status s =
+                             ExecSteps(exec, step_index + 1, lookup_index + 1,
+                                       sink);
+                         if (!s.ok()) {
+                           status = s;
+                           Unbind(trail, 0);
+                           return false;
+                         }
+                       }
+                       Unbind(trail, 0);
+                       return true;
+                     });
+        return status;
+      }
+      case BodyElem::Kind::kCondition: {
+        NERPA_ASSIGN_OR_RETURN(Value v, EvalExpr(*step.condition, frame_));
+        if (!v.as_bool()) return Status::Ok();
+        return ExecSteps(exec, step_index + 1, lookup_index,
+                         std::forward<Sink>(sink));
+      }
+      case BodyElem::Kind::kAssignment: {
+        NERPA_ASSIGN_OR_RETURN(Value v, EvalExpr(*step.expr, frame_));
+        size_t slot = static_cast<size_t>(step.slot);
+        frame_[slot] = std::move(v);
+        bound_[slot] = 1;
+        Status s = ExecSteps(exec, step_index + 1, lookup_index,
+                             std::forward<Sink>(sink));
+        bound_[slot] = 0;
+        return s;
+      }
+      case BodyElem::Kind::kFlatMap: {
+        NERPA_ASSIGN_OR_RETURN(Value v, EvalExpr(*step.expr, frame_));
+        size_t slot = static_cast<size_t>(step.slot);
+        for (const Value& elem : v.as_tuple()) {
+          frame_[slot] = elem;
+          bound_[slot] = 1;
+          Status s = ExecSteps(exec, step_index + 1, lookup_index, sink);
+          bound_[slot] = 0;
+          NERPA_RETURN_IF_ERROR(s);
+        }
+        return Status::Ok();
+      }
+      case BodyElem::Kind::kAggregate: {
+        if (exec.stop_at_aggregate) {
+          ++e_.rule_firings_;
+          return sink(frame_);
+        }
+        return Internal("aggregate reached in non-aggregate execution");
+      }
+    }
+    return Internal("bad step kind");
+  }
+
+  bool RelationNonEmpty(int rel, Mode mode) {
+    RelState& state = e_.relations_[static_cast<size_t>(rel)];
+    const RelOverlay* ov = FindOverlay(rel);
+    if (mode == Mode::kNew && ov == nullptr) return !state.counts.empty();
+    // Rare path: count visible rows until one is found.
+    bool found = false;
+    ForEachMatch(rel, -1, Row{}, mode, [&](const Row&) {
+      found = true;
+      return false;
+    });
+    return found;
+  }
+
+  /// Prepares the frame for `rule` and runs `body(trail)`.
+  template <typename Body>
+  Status WithFrame(const CompiledRule& rule, Body&& body) {
+    frame_.assign(static_cast<size_t>(rule.frame_size), Value());
+    bound_.assign(static_cast<size_t>(rule.frame_size), 0);
+    return body();
+  }
+
+  /// Evaluates the head expressions into a row.
+  Result<Row> HeadRow(const CompiledRule& rule) {
+    Row row;
+    row.reserve(rule.head_exprs.size());
+    for (const ExprPtr& expr : rule.head_exprs) {
+      NERPA_ASSIGN_OR_RETURN(Value v, EvalExpr(*expr, frame_));
+      row.push_back(std::move(v));
+    }
+    return row;
+  }
+
+  // --- Delta-plan driving ---
+
+  bool RuleHasPositiveLiteral(const CompiledRule& rule) const {
+    for (const StepPlan& step : rule.steps) {
+      if (step.kind == BodyElem::Kind::kLiteral && !step.negated) return true;
+    }
+    return false;
+  }
+
+  /// Runs one delta variant of `rule` for every pinned change, feeding
+  /// (frame, weight) pairs into `sink`.
+  template <typename Sink>
+  Status ProcessDeltaPlan(const CompiledRule& rule, const DeltaPlan& plan,
+                          bool stop_at_aggregate, Sink&& sink) {
+    const StepPlan& pinned =
+        rule.steps[static_cast<size_t>(plan.pinned_step)];
+    Exec exec;
+    exec.rule = &rule;
+    exec.lookups = &plan.lookups;
+    exec.skip_step = plan.pinned_step;
+    exec.pinned_step = plan.pinned_step;
+    exec.delta_modes = true;
+    exec.stop_at_aggregate = stop_at_aggregate;
+
+    RelState& pinned_state =
+        e_.relations_[static_cast<size_t>(pinned.relation)];
+    if (!pinned.negated) {
+      if (pinned_state.set_delta.empty()) return Status::Ok();
+      // Copy: sinks may fold into unrelated relations, never this one, but
+      // iterate a copy anyway to stay safe under rehash.
+      std::vector<std::pair<Row, int64_t>> changes(
+          pinned_state.set_delta.begin(), pinned_state.set_delta.end());
+      for (const auto& [row, weight] : changes) {
+        NERPA_RETURN_IF_ERROR(WithFrame(rule, [&]() -> Status {
+          std::vector<int> trail;
+          if (!MatchTerms(pinned.terms, row, trail)) return Status::Ok();
+          int64_t w = weight;
+          return ExecSteps(exec, 0, 0, [&](std::vector<Value>&) {
+            return sink(w);
+          });
+        }));
+      }
+      return Status::Ok();
+    }
+    // Pinned negated literal: driven by presence flips of its key.
+    if (plan.pinned_arrangement >= 0) {
+      Arrangement& arr =
+          pinned_state.arrangements[static_cast<size_t>(
+              plan.pinned_arrangement)];
+      if (arr.flips.empty()) return Status::Ok();
+      std::vector<std::pair<Row, int>> flips(arr.flips.begin(),
+                                             arr.flips.end());
+      // Key positions, sorted, matching arrangement key construction.
+      const auto& spec = program_.arrangements()[static_cast<size_t>(
+          pinned.relation)][static_cast<size_t>(plan.pinned_arrangement)];
+      for (const auto& [key, flip] : flips) {
+        NERPA_RETURN_IF_ERROR(WithFrame(rule, [&]() -> Status {
+          std::vector<int> trail;
+          // Bind pinned terms from the key.
+          for (size_t k = 0; k < spec.key_positions.size(); ++k) {
+            const TermPlan& term =
+                pinned.terms[static_cast<size_t>(spec.key_positions[k])];
+            if (term.kind == TermPlan::Kind::kCheckConst) {
+              if (!(key[k] == term.constant)) return Status::Ok();
+            } else {
+              size_t slot = static_cast<size_t>(term.slot);
+              if (bound_[slot]) {
+                if (!(frame_[slot] == key[k])) return Status::Ok();
+              } else {
+                frame_[slot] = key[k];
+                bound_[slot] = 1;
+                trail.push_back(term.slot);
+              }
+            }
+          }
+          int64_t w = -flip;  // key became present => derivations vanish
+          return ExecSteps(exec, 0, 0, [&](std::vector<Value>&) {
+            return sink(w);
+          });
+        }));
+      }
+      return Status::Ok();
+    }
+    // Negated literal with an empty key: whole-relation emptiness flip.
+    bool old_nonempty;
+    {
+      size_t inserted = 0, deleted = 0;
+      for (const auto& [row, d] : pinned_state.set_delta) {
+        if (d > 0) ++inserted;
+        else ++deleted;
+      }
+      old_nonempty =
+          pinned_state.counts.size() + deleted - inserted > 0;
+    }
+    bool new_nonempty = !pinned_state.counts.empty();
+    if (old_nonempty == new_nonempty) return Status::Ok();
+    int64_t w = new_nonempty ? -1 : +1;
+    return WithFrame(rule, [&]() -> Status {
+      return ExecSteps(exec, 0, 0, [&](std::vector<Value>&) {
+        return sink(w);
+      });
+    });
+  }
+
+  /// Full evaluation of `rule` in original order (init-time rules without
+  /// positive literals; weight +1), mode = OLD per the implicit-TRUE-literal
+  /// delta expansion.
+  template <typename Sink>
+  Status ProcessInitFull(const CompiledRule& rule, bool stop_at_aggregate,
+                         Sink&& sink) {
+    Exec exec;
+    exec.rule = &rule;
+    exec.lookups = &rule.full_plan.lookups;
+    exec.delta_modes = false;
+    exec.uniform_mode = Mode::kOld;
+    exec.stop_at_aggregate = stop_at_aggregate;
+    return WithFrame(rule, [&]() -> Status {
+      return ExecSteps(exec, 0, 0, [&](std::vector<Value>&) {
+        return sink(int64_t{1});
+      });
+    });
+  }
+
+  // --- Aggregation ---
+
+  Row CollectSlots(const std::vector<int>& slots) {
+    Row out;
+    out.reserve(slots.size());
+    for (int slot : slots) out.push_back(frame_[static_cast<size_t>(slot)]);
+    return out;
+  }
+
+  /// Aggregate result over a group's current (count > 0) binding rows; the
+  /// aggregate argument value is the last element of each binding row.
+  std::optional<Value> ComputeAgg(const StepPlan& step, const ZSet& group) {
+    if (group.empty()) return std::nullopt;
+    switch (step.agg_func) {
+      case AggFunc::kCount:
+        return Value::Int(static_cast<int64_t>(group.size()));
+      case AggFunc::kSum: {
+        int64_t total = 0;
+        bool is_bit = step.result_type.kind == Type::Kind::kBit;
+        for (const auto& [binding, count] : group) {
+          total += binding.back().NumericAsInt();
+        }
+        return is_bit ? Value::Bit(step.result_type.MaskBits(
+                            static_cast<uint64_t>(total)))
+                      : Value::Int(total);
+      }
+      case AggFunc::kMin:
+      case AggFunc::kMax: {
+        std::optional<Value> best;
+        for (const auto& [binding, count] : group) {
+          const Value& v = binding.back();
+          if (!best) {
+            best = v;
+          } else if (step.agg_func == AggFunc::kMin ? v < *best : *best < v) {
+            best = v;
+          }
+        }
+        return best;
+      }
+    }
+    return std::nullopt;
+  }
+
+  /// Processes one aggregate rule: collects binding deltas via its delta
+  /// plans (plus init full eval), updates the persistent group state, and
+  /// emits head count deltas for dirty groups.
+  Status ProcessAggRule(const CompiledRule& rule, ZSet& head_delta) {
+    const StepPlan& agg =
+        rule.steps[static_cast<size_t>(rule.aggregate_step)];
+    // group key -> (binding row -> weight)
+    std::unordered_map<Row, ZSet, RowHash, RowEq> collected;
+
+    auto collect = [&](int64_t weight) -> Status {
+      Row group = CollectSlots(agg.group_slots);
+      Row binding = CollectSlots(agg.binding_slots);
+      NERPA_ASSIGN_OR_RETURN(Value arg, EvalExpr(*agg.agg_arg, frame_));
+      binding.push_back(std::move(arg));
+      ZSet& bucket = collected[group];
+      int64_t& w = bucket[binding];
+      w += weight;
+      if (w == 0) bucket.erase(binding);
+      return Status::Ok();
+    };
+
+    if (is_init_ && !RuleHasPositiveLiteral(rule)) {
+      NERPA_RETURN_IF_ERROR(
+          ProcessInitFull(rule, /*stop_at_aggregate=*/true, collect));
+    }
+    for (const DeltaPlan& plan : rule.delta_plans) {
+      NERPA_RETURN_IF_ERROR(
+          ProcessDeltaPlan(rule, plan, /*stop_at_aggregate=*/true, collect));
+    }
+    if (collected.empty()) return Status::Ok();
+
+    AggState& state =
+        e_.agg_states_[static_cast<size_t>(agg.agg_state_index)];
+    for (auto& [group, delta] : collected) {
+      ZSet& group_state = state.groups[group];
+      std::optional<Value> old_result = ComputeAgg(agg, group_state);
+      for (const auto& [binding, weight] : delta) {
+        int64_t& count = group_state[binding];
+        count += weight;
+        if (count < 0) {
+          return Internal("negative aggregation support count");
+        }
+        if (count == 0) group_state.erase(binding);
+      }
+      std::optional<Value> new_result = ComputeAgg(agg, group_state);
+      if (group_state.empty()) state.groups.erase(group);
+      if (old_result == new_result) continue;
+      // Emit head transitions with the group frame.
+      frame_.assign(static_cast<size_t>(rule.frame_size), Value());
+      bound_.assign(static_cast<size_t>(rule.frame_size), 0);
+      for (size_t g = 0; g < agg.group_slots.size(); ++g) {
+        size_t slot = static_cast<size_t>(agg.group_slots[g]);
+        frame_[slot] = group[g];
+        bound_[slot] = 1;
+      }
+      if (old_result) {
+        frame_[static_cast<size_t>(agg.result_slot)] = *old_result;
+        bound_[static_cast<size_t>(agg.result_slot)] = 1;
+        NERPA_ASSIGN_OR_RETURN(Row row, HeadRow(rule));
+        int64_t& w = head_delta[row];
+        w -= 1;
+        if (w == 0) head_delta.erase(row);
+      }
+      if (new_result) {
+        frame_[static_cast<size_t>(agg.result_slot)] = *new_result;
+        bound_[static_cast<size_t>(agg.result_slot)] = 1;
+        NERPA_ASSIGN_OR_RETURN(Row row, HeadRow(rule));
+        int64_t& w = head_delta[row];
+        w += 1;
+        if (w == 0) head_delta.erase(row);
+      }
+    }
+    return Status::Ok();
+  }
+
+  // --- Stratum processing ---
+
+  Status ProcessNonRecursive(const Stratum& stratum) {
+    // Non-recursive SCCs contain exactly one relation.
+    int head_rel = stratum.relations[0];
+    ZSet head_delta;
+    for (int rule_index : stratum.rules) {
+      const CompiledRule& rule =
+          program_.rules()[static_cast<size_t>(rule_index)];
+      if (rule.has_aggregate) {
+        NERPA_RETURN_IF_ERROR(ProcessAggRule(rule, head_delta));
+        continue;
+      }
+      auto emit = [&](int64_t weight) -> Status {
+        NERPA_ASSIGN_OR_RETURN(Row row, HeadRow(rule));
+        int64_t& w = head_delta[row];
+        w += weight;
+        if (w == 0) head_delta.erase(row);
+        return Status::Ok();
+      };
+      if (is_init_ && !RuleHasPositiveLiteral(rule)) {
+        NERPA_RETURN_IF_ERROR(
+            ProcessInitFull(rule, /*stop_at_aggregate=*/false, emit));
+      }
+      for (const DeltaPlan& plan : rule.delta_plans) {
+        NERPA_RETURN_IF_ERROR(
+            ProcessDeltaPlan(rule, plan, /*stop_at_aggregate=*/false, emit));
+      }
+    }
+    return FoldCountDelta(head_rel, head_delta);
+  }
+
+  // --- Recursive strata: semi-naive insertion + DRed deletion ---
+
+  struct SccWork {
+    RowSet overdeleted;
+    RowSet rederived;
+    RowSet inserted;
+    std::vector<std::unordered_map<Row, std::vector<Row>, RowHash, RowEq>>
+        inserted_index;  // parallel to the relation's arrangements
+  };
+
+  Status ProcessRecursive(const Stratum& stratum) {
+    std::unordered_map<int, SccWork> work;
+    for (int rel : stratum.relations) {
+      SccWork& w = work[rel];
+      w.inserted_index.resize(
+          program_.arrangements()[static_cast<size_t>(rel)].size());
+    }
+    auto in_scc = [&](int rel) { return work.count(rel) != 0; };
+
+    // Does any external dependency carry a delta?  (Cheap early-out.)
+    bool external_change = is_init_;
+    for (int rule_index : stratum.rules) {
+      const CompiledRule& rule =
+          program_.rules()[static_cast<size_t>(rule_index)];
+      for (const StepPlan& step : rule.steps) {
+        if (step.kind != BodyElem::Kind::kLiteral || in_scc(step.relation)) {
+          continue;
+        }
+        RelState& state = e_.relations_[static_cast<size_t>(step.relation)];
+        if (!state.set_delta.empty()) external_change = true;
+      }
+    }
+    if (!external_change) return Status::Ok();
+
+    // ---- Phase 1: overdelete, then rederive (DRed). ----
+    // Seeds: deletion-direction external changes, everything read OLD.
+    std::vector<std::pair<int, Row>> worklist;  // (relation, tuple)
+    auto overdelete = [&](int rel, const Row& row) {
+      SccWork& w = work[rel];
+      if (w.overdeleted.count(row) != 0) return;
+      RelState& state = e_.relations_[static_cast<size_t>(rel)];
+      if (state.counts.count(row) == 0) return;  // not present before txn
+      w.overdeleted.insert(row);
+      worklist.emplace_back(rel, row);
+    };
+
+    for (int rule_index : stratum.rules) {
+      const CompiledRule& rule =
+          program_.rules()[static_cast<size_t>(rule_index)];
+      for (const DeltaPlan& plan : rule.delta_plans) {
+        const StepPlan& pinned =
+            rule.steps[static_cast<size_t>(plan.pinned_step)];
+        if (in_scc(pinned.relation)) continue;  // SCC pins handled below
+        // Deletion direction only: positive literal deletions (weight -1)
+        // and negated-literal keys that became present (flip +1 => w -1).
+        NERPA_RETURN_IF_ERROR(ProcessDeltaVariantDirection(
+            rule, plan, /*deletion_direction=*/true, Mode::kOld,
+            [&](std::vector<Value>&) -> Status {
+              NERPA_ASSIGN_OR_RETURN(Row row, HeadRow(rule));
+              overdelete(rule.head_relation, row);
+              return Status::Ok();
+            }));
+      }
+    }
+    // Propagate overdeletion through SCC literals (all OLD state).
+    while (!worklist.empty()) {
+      auto [rel, row] = std::move(worklist.back());
+      worklist.pop_back();
+      for (int rule_index : stratum.rules) {
+        const CompiledRule& rule =
+            program_.rules()[static_cast<size_t>(rule_index)];
+        for (const DeltaPlan& plan : rule.delta_plans) {
+          const StepPlan& pinned =
+              rule.steps[static_cast<size_t>(plan.pinned_step)];
+          if (pinned.relation != rel || pinned.negated) continue;
+          Exec exec;
+          exec.rule = &rule;
+          exec.lookups = &plan.lookups;
+          exec.skip_step = plan.pinned_step;
+          exec.delta_modes = false;
+          exec.uniform_mode = Mode::kOld;
+          NERPA_RETURN_IF_ERROR(WithFrame(rule, [&]() -> Status {
+            std::vector<int> trail;
+            if (!MatchTerms(pinned.terms, row, trail)) return Status::Ok();
+            return ExecSteps(exec, 0, 0, [&](std::vector<Value>&) -> Status {
+              NERPA_ASSIGN_OR_RETURN(Row head, HeadRow(rule));
+              overdelete(rule.head_relation, head);
+              return Status::Ok();
+            });
+          }));
+        }
+      }
+    }
+
+    // Rederive: a tuple survives if some rule body still derives it from
+    // the non-overdeleted remainder (externals read NEW).
+    Overlay rederive_overlay;
+    for (int rel : stratum.relations) {
+      RelOverlay ov;
+      ov.removed = &work[rel].overdeleted;
+      ov.removed_except = &work[rel].rederived;
+      rederive_overlay[rel] = ov;
+    }
+    size_t total_overdeleted = 0;
+    for (int rel : stratum.relations) {
+      total_overdeleted += work[rel].overdeleted.size();
+    }
+    if (total_overdeleted <= 32) {
+      // Small overdeletion: per-tuple backward re-derivation is cheapest.
+      bool changed = true;
+      while (changed) {
+        changed = false;
+        for (int rel : stratum.relations) {
+          SccWork& w = work[rel];
+          for (const Row& row : w.overdeleted) {
+            if (w.rederived.count(row) != 0) continue;
+            NERPA_ASSIGN_OR_RETURN(
+                bool derivable,
+                CanRederive(stratum, rel, row, &rederive_overlay));
+            if (derivable) {
+              w.rederived.insert(row);
+              changed = true;
+            }
+          }
+        }
+      }
+    } else {
+      // Large overdeletion (dense graphs): forward semi-naive passes over
+      // the surviving state, keeping any head that was overdeleted but is
+      // still derivable.  Each pass is one full stratum evaluation; passes
+      // bound by the re-derivation depth.
+      overlay_ = &rederive_overlay;
+      bool changed = true;
+      while (changed) {
+        changed = false;
+        for (int rule_index : stratum.rules) {
+          const CompiledRule& rule =
+              program_.rules()[static_cast<size_t>(rule_index)];
+          SccWork& w = work[rule.head_relation];
+          Exec exec;
+          exec.rule = &rule;
+          exec.lookups = &rule.full_plan.lookups;
+          exec.delta_modes = false;
+          exec.uniform_mode = Mode::kNew;
+          Status status = WithFrame(rule, [&]() -> Status {
+            return ExecSteps(exec, 0, 0, [&](std::vector<Value>&) -> Status {
+              NERPA_ASSIGN_OR_RETURN(Row head, HeadRow(rule));
+              if (w.overdeleted.count(head) != 0 &&
+                  w.rederived.count(head) == 0) {
+                w.rederived.insert(head);
+                changed = true;
+              }
+              return Status::Ok();
+            });
+          });
+          overlay_ = nullptr;
+          NERPA_RETURN_IF_ERROR(status);
+          overlay_ = &rederive_overlay;
+        }
+      }
+      overlay_ = nullptr;
+    }
+
+    // ---- Phase 2: semi-naive insertion over the post-deletion state. ----
+    Overlay insert_overlay;
+    for (int rel : stratum.relations) {
+      RelOverlay ov;
+      ov.removed = &work[rel].overdeleted;
+      ov.removed_except = &work[rel].rederived;
+      ov.added = &work[rel].inserted;
+      ov.added_index = &work[rel].inserted_index;
+      insert_overlay[rel] = ov;
+    }
+    overlay_ = &insert_overlay;
+    std::vector<std::pair<int, Row>> insert_worklist;
+    auto insert_tuple = [&](int rel, const Row& row) {
+      SccWork& w = work[rel];
+      if (w.inserted.count(row) != 0) return;
+      // Present in the working state already?
+      RelState& state = e_.relations_[static_cast<size_t>(rel)];
+      bool base_present = state.counts.count(row) != 0 &&
+                          !(w.overdeleted.count(row) != 0 &&
+                            w.rederived.count(row) == 0);
+      if (base_present) return;
+      w.inserted.insert(row);
+      const auto& specs = program_.arrangements()[static_cast<size_t>(rel)];
+      for (size_t a = 0; a < specs.size(); ++a) {
+        w.inserted_index[a][ProjectRow(row, specs[a].key_positions)]
+            .push_back(row);
+      }
+      insert_worklist.emplace_back(rel, row);
+    };
+
+    for (int rule_index : stratum.rules) {
+      const CompiledRule& rule =
+          program_.rules()[static_cast<size_t>(rule_index)];
+      auto emit = [&](std::vector<Value>&) -> Status {
+        NERPA_ASSIGN_OR_RETURN(Row row, HeadRow(rule));
+        insert_tuple(rule.head_relation, row);
+        return Status::Ok();
+      };
+      if (is_init_ && !RuleHasPositiveLiteral(rule)) {
+        Exec exec;
+        exec.rule = &rule;
+        exec.lookups = &rule.full_plan.lookups;
+        exec.delta_modes = false;
+        exec.uniform_mode = Mode::kOld;
+        NERPA_RETURN_IF_ERROR(WithFrame(rule, [&]() -> Status {
+          return ExecSteps(exec, 0, 0, emit);
+        }));
+      }
+      // Also: rules with only external literals and fact-like rules fire
+      // through insertion-direction external deltas.
+      for (const DeltaPlan& plan : rule.delta_plans) {
+        const StepPlan& pinned =
+            rule.steps[static_cast<size_t>(plan.pinned_step)];
+        if (in_scc(pinned.relation)) continue;
+        NERPA_RETURN_IF_ERROR(ProcessDeltaVariantDirection(
+            rule, plan, /*deletion_direction=*/false, Mode::kNew, emit));
+      }
+      // Rederived-from-deletions interplay: a deleted external tuple can
+      // also *enable* a negated literal; that is the insertion direction of
+      // a negated pin and is covered above.
+    }
+    while (!insert_worklist.empty()) {
+      auto [rel, row] = std::move(insert_worklist.back());
+      insert_worklist.pop_back();
+      for (int rule_index : stratum.rules) {
+        const CompiledRule& rule =
+            program_.rules()[static_cast<size_t>(rule_index)];
+        for (const DeltaPlan& plan : rule.delta_plans) {
+          const StepPlan& pinned =
+              rule.steps[static_cast<size_t>(plan.pinned_step)];
+          if (pinned.relation != rel || pinned.negated) continue;
+          Exec exec;
+          exec.rule = &rule;
+          exec.lookups = &plan.lookups;
+          exec.skip_step = plan.pinned_step;
+          exec.delta_modes = false;
+          exec.uniform_mode = Mode::kNew;
+          NERPA_RETURN_IF_ERROR(WithFrame(rule, [&]() -> Status {
+            std::vector<int> trail;
+            if (!MatchTerms(pinned.terms, row, trail)) return Status::Ok();
+            return ExecSteps(exec, 0, 0, [&](std::vector<Value>&) -> Status {
+              NERPA_ASSIGN_OR_RETURN(Row head, HeadRow(rule));
+              insert_tuple(rule.head_relation, head);
+              return Status::Ok();
+            });
+          }));
+        }
+      }
+    }
+    overlay_ = nullptr;
+
+    // ---- Fold the net changes. ----
+    for (int rel : stratum.relations) {
+      SccWork& w = work[rel];
+      std::vector<std::pair<Row, int>> delta;
+      for (const Row& row : w.overdeleted) {
+        if (w.rederived.count(row) != 0) continue;
+        if (w.inserted.count(row) != 0) continue;  // net zero
+        delta.emplace_back(row, -1);
+      }
+      for (const Row& row : w.inserted) {
+        delta.emplace_back(row, +1);
+      }
+      FoldSetDelta(rel, delta);
+    }
+    return Status::Ok();
+  }
+
+  /// Runs a delta variant restricted to one direction of external change:
+  /// deletion direction = positive-literal deletions and negation flips to
+  /// present; insertion direction = the mirror images.  All non-pinned
+  /// literals are read with `uniform_mode` (recursive strata use all-OLD
+  /// for overdeletion and all-NEW for insertion).
+  template <typename Sink>
+  Status ProcessDeltaVariantDirection(const CompiledRule& rule,
+                                      const DeltaPlan& plan,
+                                      bool deletion_direction, Mode mode,
+                                      Sink&& sink) {
+    const StepPlan& pinned =
+        rule.steps[static_cast<size_t>(plan.pinned_step)];
+    Exec exec;
+    exec.rule = &rule;
+    exec.lookups = &plan.lookups;
+    exec.skip_step = plan.pinned_step;
+    exec.delta_modes = false;
+    exec.uniform_mode = mode;
+
+    RelState& pinned_state =
+        e_.relations_[static_cast<size_t>(pinned.relation)];
+    if (!pinned.negated) {
+      int want = deletion_direction ? -1 : +1;
+      if (pinned_state.set_delta.empty()) return Status::Ok();
+      std::vector<Row> rows;
+      for (const auto& [row, weight] : pinned_state.set_delta) {
+        if ((weight < 0) == (want < 0)) rows.push_back(row);
+      }
+      for (const Row& row : rows) {
+        NERPA_RETURN_IF_ERROR(WithFrame(rule, [&]() -> Status {
+          std::vector<int> trail;
+          if (!MatchTerms(pinned.terms, row, trail)) return Status::Ok();
+          return ExecSteps(exec, 0, 0, sink);
+        }));
+      }
+      return Status::Ok();
+    }
+    // Negated pin: deletion direction = keys that became present (flip +1).
+    if (plan.pinned_arrangement < 0) {
+      // Empty key: whole-relation emptiness flip.
+      size_t inserted = 0, deleted = 0;
+      for (const auto& [row, d] : pinned_state.set_delta) {
+        if (d > 0) ++inserted;
+        else ++deleted;
+      }
+      bool old_nonempty = pinned_state.counts.size() + deleted - inserted > 0;
+      bool new_nonempty = !pinned_state.counts.empty();
+      if (old_nonempty == new_nonempty) return Status::Ok();
+      bool became_present = !old_nonempty && new_nonempty;
+      if (became_present != deletion_direction) return Status::Ok();
+      return WithFrame(rule, [&]() -> Status {
+        return ExecSteps(exec, 0, 0, sink);
+      });
+    }
+    Arrangement& arr = pinned_state.arrangements[static_cast<size_t>(
+        plan.pinned_arrangement)];
+    if (arr.flips.empty()) return Status::Ok();
+    int want_flip = deletion_direction ? +1 : -1;
+    const auto& spec = program_.arrangements()[static_cast<size_t>(
+        pinned.relation)][static_cast<size_t>(plan.pinned_arrangement)];
+    std::vector<Row> keys;
+    for (const auto& [key, flip] : arr.flips) {
+      if ((flip > 0) == (want_flip > 0)) keys.push_back(key);
+    }
+    for (const Row& key : keys) {
+      NERPA_RETURN_IF_ERROR(WithFrame(rule, [&]() -> Status {
+        std::vector<int> trail;
+        for (size_t k = 0; k < spec.key_positions.size(); ++k) {
+          const TermPlan& term =
+              pinned.terms[static_cast<size_t>(spec.key_positions[k])];
+          if (term.kind == TermPlan::Kind::kCheckConst) {
+            if (!(key[k] == term.constant)) return Status::Ok();
+          } else {
+            size_t slot = static_cast<size_t>(term.slot);
+            frame_[slot] = key[k];
+            bound_[slot] = 1;
+            trail.push_back(term.slot);
+          }
+        }
+        return ExecSteps(exec, 0, 0, sink);
+      }));
+    }
+    return Status::Ok();
+  }
+
+  /// Is `row` of SCC relation `rel` derivable under `overlay` (externals
+  /// NEW)?  Uses the head-inverted re-derivation plan.
+  Result<bool> CanRederive(const Stratum& stratum, int rel, const Row& row,
+                           Overlay* overlay) {
+    overlay_ = overlay;
+    bool derivable = false;
+    for (int rule_index : stratum.rules) {
+      if (derivable) break;
+      const CompiledRule& rule =
+          program_.rules()[static_cast<size_t>(rule_index)];
+      if (rule.head_relation != rel) continue;
+      Exec exec;
+      exec.rule = &rule;
+      exec.lookups = &rule.rederive_plan.lookups;
+      exec.delta_modes = false;
+      exec.uniform_mode = Mode::kNew;
+      Status status = WithFrame(rule, [&]() -> Status {
+        std::vector<int> trail;
+        if (!MatchTerms(rule.head_pattern, row, trail)) return Status::Ok();
+        return ExecSteps(exec, 0, 0, [&](std::vector<Value>&) -> Status {
+          derivable = true;
+          // Early exit: report a sentinel error swallowed below.
+          return FailedPrecondition("__found__");
+        });
+      });
+      if (!status.ok() && status.message() != "__found__") {
+        overlay_ = nullptr;
+        return status;
+      }
+    }
+    overlay_ = nullptr;
+    return derivable;
+  }
+
+  // --- Inputs / outputs / cleanup ---
+
+  Status ApplyInputs() {
+    // Net presence change per (relation, row), respecting op order.
+    std::map<int, std::vector<std::pair<Row, int>>> net;
+    std::map<int, std::unordered_map<Row, bool, RowHash, RowEq>> finals;
+    for (const auto& [rel, row, direction] : e_.pending_) {
+      finals[rel][row] = direction > 0;
+    }
+    for (auto& [rel, rows] : finals) {
+      RelState& state = e_.relations_[static_cast<size_t>(rel)];
+      for (auto& [row, present_final] : rows) {
+        bool present_initial = state.counts.count(row) != 0;
+        if (present_initial == present_final) continue;
+        net[rel].emplace_back(row, present_final ? +1 : -1);
+      }
+    }
+    e_.pending_.clear();
+    for (auto& [rel, delta] : net) {
+      FoldSetDelta(rel, delta);
+    }
+    return Status::Ok();
+  }
+
+  TxnDelta CollectOutputs() {
+    TxnDelta out;
+    for (size_t rel = 0; rel < program_.relations().size(); ++rel) {
+      const RelationDecl& decl = program_.relations()[rel];
+      if (decl.role != RelationRole::kOutput) continue;
+      RelState& state = e_.relations_[rel];
+      if (state.set_delta.empty()) continue;
+      SetDelta delta;
+      for (const auto& [row, d] : state.set_delta) {
+        if (d != 0) delta.emplace_back(row, d > 0 ? +1 : -1);
+      }
+      std::sort(delta.begin(), delta.end(),
+                [](const auto& a, const auto& b) {
+                  if (a.second != b.second) return a.second < b.second;
+                  return RowLess(a.first, b.first);
+                });
+      out.outputs[decl.name] = std::move(delta);
+    }
+    return out;
+  }
+
+  void Cleanup() {
+    for (RelState& state : e_.relations_) {
+      state.set_delta.clear();
+      state.txn_deleted.clear();
+      for (Arrangement& arr : state.arrangements) {
+        arr.flips.clear();
+        arr.deleted.clear();
+      }
+    }
+  }
+
+  Engine& e_;
+  const Program& program_;
+  bool is_init_;
+  const Overlay* overlay_ = nullptr;
+  std::vector<Value> frame_;
+  std::vector<char> bound_;
+};
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+Engine::Engine(std::shared_ptr<const Program> program, EngineOptions options)
+    : program_(std::move(program)), options_(options) {
+  relations_.resize(program_->relations().size());
+  for (size_t rel = 0; rel < relations_.size(); ++rel) {
+    relations_[rel].arrangements.resize(program_->arrangements()[rel].size());
+  }
+  if (!options_.use_arrangements) {
+    // Incremental antijoin is driven by arrangement presence flips; refuse
+    // programs that need it rather than computing wrong answers.
+    for (const CompiledRule& rule : program_->rules()) {
+      for (const StepPlan& step : rule.steps) {
+        if (step.kind == BodyElem::Kind::kLiteral && step.negated) {
+          LOG_ERROR << "dlog: EngineOptions.use_arrangements=false is "
+                       "incompatible with negation (rule at line "
+                    << rule.line << "); re-enabling arrangements";
+          options_.use_arrangements = true;
+        }
+      }
+    }
+  }
+  agg_states_.resize(static_cast<size_t>(program_->aggregate_state_count()));
+  Txn init(this, /*is_init=*/true);
+  Result<TxnDelta> result = init.Run();
+  if (result.ok()) {
+    initial_delta_ = std::move(result).value();
+  } else {
+    // Fact evaluation can only fail on runtime expression errors (e.g.
+    // division by zero in a fact); surface loudly.
+    LOG_ERROR << "dlog: fact evaluation failed: "
+              << result.status().ToString();
+  }
+}
+
+int Engine::RelationId(std::string_view name) const {
+  return program_->FindRelation(name);
+}
+
+Status Engine::Insert(std::string_view relation, Row row) {
+  int rel = RelationId(relation);
+  if (rel < 0) return NotFound("no relation '" + std::string(relation) + "'");
+  const RelationDecl& decl = program_->relation(rel);
+  if (decl.role != RelationRole::kInput) {
+    return FailedPrecondition("relation '" + decl.name + "' is not an input");
+  }
+  NERPA_RETURN_IF_ERROR(decl.CheckRow(row));
+  pending_.emplace_back(rel, std::move(row), +1);
+  return Status::Ok();
+}
+
+Status Engine::Delete(std::string_view relation, Row row) {
+  int rel = RelationId(relation);
+  if (rel < 0) return NotFound("no relation '" + std::string(relation) + "'");
+  const RelationDecl& decl = program_->relation(rel);
+  if (decl.role != RelationRole::kInput) {
+    return FailedPrecondition("relation '" + decl.name + "' is not an input");
+  }
+  NERPA_RETURN_IF_ERROR(decl.CheckRow(row));
+  pending_.emplace_back(rel, std::move(row), -1);
+  return Status::Ok();
+}
+
+Result<TxnDelta> Engine::Commit() {
+  Txn txn(this, /*is_init=*/false);
+  return txn.Run();
+}
+
+TxnDelta Engine::TakeInitialDelta() {
+  TxnDelta out = std::move(initial_delta_);
+  initial_delta_ = TxnDelta{};
+  return out;
+}
+
+Result<std::vector<Row>> Engine::Dump(std::string_view relation) const {
+  int rel = RelationId(relation);
+  if (rel < 0) return NotFound("no relation '" + std::string(relation) + "'");
+  std::vector<Row> rows;
+  rows.reserve(relations_[static_cast<size_t>(rel)].counts.size());
+  for (const auto& [row, count] : relations_[static_cast<size_t>(rel)].counts) {
+    rows.push_back(row);
+  }
+  std::sort(rows.begin(), rows.end(), RowLess);
+  return rows;
+}
+
+bool Engine::Contains(std::string_view relation, const Row& row) const {
+  int rel = RelationId(relation);
+  if (rel < 0) return false;
+  return relations_[static_cast<size_t>(rel)].counts.count(row) != 0;
+}
+
+size_t Engine::Size(std::string_view relation) const {
+  int rel = RelationId(relation);
+  if (rel < 0) return 0;
+  return relations_[static_cast<size_t>(rel)].counts.size();
+}
+
+Engine::Stats Engine::GetStats() const {
+  Stats stats;
+  stats.rule_firings = rule_firings_;
+  stats.transactions = transactions_;
+  for (const RelState& state : relations_) {
+    stats.tuples += state.counts.size();
+    for (const Arrangement& arr : state.arrangements) {
+      for (const auto& [key, bucket] : arr.index) {
+        stats.arrangement_entries += bucket.size();
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace nerpa::dlog

@@ -1,0 +1,142 @@
+// The incremental Datalog evaluator — the DDlog-equivalent runtime.
+//
+// A transaction supplies a batch of input-relation inserts/deletes and the
+// engine returns the exact set-level delta of every output relation,
+// spending work proportional to the size of the change (§1, §2.1 of the
+// paper), not the size of the database.  Mechanisms:
+//
+//   * Derivation counting: every derived tuple carries its number of
+//     derivations; downstream consumers see only set-level transitions
+//     (count 0 <-> positive), giving Datalog set semantics on top of
+//     weighted (z-set) deltas.
+//   * Delta rules: each rule is evaluated once per body literal, with the
+//     changed literal pinned to the change set, literals to its left read
+//     in the post-transaction state and literals to its right in the
+//     pre-transaction state (the standard bilinear expansion).
+//   * Arrangements: hash indexes on (relation, key positions), planned at
+//     compile time and maintained incrementally; these are the memory cost
+//     the paper's load-balancer worst case measures (§2.2).
+//   * Stratified negation as incremental antijoin via per-arrangement
+//     presence flips.
+//   * Incremental group-by aggregation with persistent per-group state.
+//   * Recursion by semi-naive insertion plus DRed (delete-and-rederive)
+//     for deletions, with set semantics inside recursive strata.
+#ifndef NERPA_DLOG_ENGINE_H_
+#define NERPA_DLOG_ENGINE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "dlog/program.h"
+
+namespace nerpa::dlog {
+
+/// Weighted tuple collection (row -> weight / derivation count).
+using ZSet = std::unordered_map<Row, int64_t, RowHash, RowEq>;
+using RowSet = std::unordered_set<Row, RowHash, RowEq>;
+
+/// A set-level relation delta: rows with +1 (inserted) or -1 (deleted).
+using SetDelta = std::vector<std::pair<Row, int>>;
+
+/// The result of a transaction: per-output-relation set deltas, sorted for
+/// determinism.
+struct TxnDelta {
+  std::map<std::string, SetDelta> outputs;
+
+  bool empty() const;
+  std::string ToString() const;
+};
+
+struct EngineOptions {
+  /// Ablation switch: when false, no arrangements (hash join indexes) are
+  /// built or consulted — every join lookup scans the relation and filters
+  /// by key.  Saves the index memory E5 measures, at the join cost the
+  /// ablation bench quantifies.  Programs with negation are rejected in
+  /// this mode (incremental antijoin needs arrangement presence flips).
+  bool use_arrangements = true;
+};
+
+class Engine {
+ public:
+  /// Builds runtime state for `program` and evaluates fact rules; their
+  /// effect on outputs is available via TakeInitialDelta().
+  explicit Engine(std::shared_ptr<const Program> program,
+                  EngineOptions options = {});
+
+  const Program& program() const { return *program_; }
+
+  /// Queues an insert/delete of `row` into an input relation.  The change
+  /// takes effect at Commit().  Duplicate inserts and deletes of absent
+  /// rows are ignored at commit time (set semantics), matching DDlog.
+  Status Insert(std::string_view relation, Row row);
+  Status Delete(std::string_view relation, Row row);
+
+  /// Applies all queued changes as one transaction; returns the output
+  /// deltas.  On error the queued changes are discarded and state is
+  /// unchanged.
+  Result<TxnDelta> Commit();
+
+  /// Output rows derived from fact rules at construction time.
+  TxnDelta TakeInitialDelta();
+
+  // --- Introspection (between transactions) ---
+
+  /// Sorted set-level contents of any relation.
+  Result<std::vector<Row>> Dump(std::string_view relation) const;
+  bool Contains(std::string_view relation, const Row& row) const;
+  size_t Size(std::string_view relation) const;
+
+  struct Stats {
+    size_t tuples = 0;              // total tuples across relations
+    size_t arrangement_entries = 0; // total indexed rows across arrangements
+    uint64_t rule_firings = 0;      // cumulative sink invocations
+    uint64_t transactions = 0;
+  };
+  Stats GetStats() const;
+
+ private:
+  class Txn;  // transaction processor (engine.cc)
+
+  /// One hash index over a relation, per its compile-time ArrangementSpec.
+  struct Arrangement {
+    std::unordered_map<Row, RowSet, RowHash, RowEq> index;
+    // Per-transaction presence flips of keys: +1 bucket became non-empty,
+    // -1 became empty.  Drives pinned negated literals.
+    std::unordered_map<Row, int, RowHash, RowEq> flips;
+    // Per-transaction deleted rows by key, for OLD-state lookups.
+    std::unordered_map<Row, std::vector<Row>, RowHash, RowEq> deleted;
+  };
+
+  struct RelState {
+    ZSet counts;                      // derivation counts, always > 0
+    std::vector<Arrangement> arrangements;
+    ZSet set_delta;                   // this txn's set-level delta (+1/-1)
+    std::vector<Row> txn_deleted;     // rows deleted this txn (for scans)
+  };
+
+  /// Persistent aggregation state: group key -> binding row -> count.
+  struct AggState {
+    std::unordered_map<Row, ZSet, RowHash, RowEq> groups;
+  };
+
+  int RelationId(std::string_view name) const;
+
+  std::shared_ptr<const Program> program_;
+  EngineOptions options_;
+  std::vector<RelState> relations_;
+  std::vector<AggState> agg_states_;
+  std::vector<std::tuple<int, Row, int>> pending_;  // (relation, row, +-1)
+  TxnDelta initial_delta_;
+  uint64_t rule_firings_ = 0;
+  uint64_t transactions_ = 0;
+};
+
+}  // namespace nerpa::dlog
+
+#endif  // NERPA_DLOG_ENGINE_H_

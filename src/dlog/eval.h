@@ -1,0 +1,27 @@
+// Expression evaluation over a rule frame, plus the builtin function
+// catalogue shared between the type checker and the evaluator.
+#ifndef NERPA_DLOG_EVAL_H_
+#define NERPA_DLOG_EVAL_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "dlog/ast.h"
+#include "dlog/type.h"
+
+namespace nerpa::dlog {
+
+/// Result type of builtin `name` applied to `arg_types`; error if no such
+/// builtin or the argument types are wrong.
+Result<Type> BuiltinResultType(std::string_view name,
+                               const std::vector<Type>& arg_types);
+
+/// Evaluates a type-checked expression.  `frame` is the rule's variable
+/// frame indexed by Expr::var_slot.  Runtime failures (division by zero)
+/// are reported as Status, never UB.
+Result<Value> EvalExpr(const Expr& expr, const std::vector<Value>& frame);
+
+}  // namespace nerpa::dlog
+
+#endif  // NERPA_DLOG_EVAL_H_

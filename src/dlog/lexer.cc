@@ -1,0 +1,167 @@
+#include "dlog/lexer.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace nerpa::dlog {
+
+Result<std::vector<Token>> Tokenize(std::string_view source) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  int line = 1;
+
+  auto error = [&](const std::string& message) {
+    return ParseError(StrFormat("line %d: %s", line, message.c_str()));
+  };
+
+  while (i < source.size()) {
+    char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '/' && i + 1 < source.size()) {
+      if (source[i + 1] == '/') {
+        while (i < source.size() && source[i] != '\n') ++i;
+        continue;
+      }
+      if (source[i + 1] == '*') {
+        i += 2;
+        while (i + 1 < source.size() &&
+               !(source[i] == '*' && source[i + 1] == '/')) {
+          if (source[i] == '\n') ++line;
+          ++i;
+        }
+        if (i + 1 >= source.size()) return error("unterminated /* comment");
+        i += 2;
+        continue;
+      }
+    }
+    // Identifiers / keywords.
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < source.size() &&
+             (std::isalnum(static_cast<unsigned char>(source[i])) ||
+              source[i] == '_')) {
+        ++i;
+      }
+      Token t;
+      t.kind = TokKind::kIdent;
+      t.text = std::string(source.substr(start, i - start));
+      t.line = line;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    // Numbers: decimal or 0x hex.
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      int base = 10;
+      if (c == '0' && i + 1 < source.size() &&
+          (source[i + 1] == 'x' || source[i + 1] == 'X')) {
+        base = 16;
+        i += 2;
+      }
+      uint64_t value = 0;
+      bool any = false;
+      while (i < source.size()) {
+        char d = source[i];
+        int digit;
+        if (d >= '0' && d <= '9') digit = d - '0';
+        else if (base == 16 && d >= 'a' && d <= 'f') digit = d - 'a' + 10;
+        else if (base == 16 && d >= 'A' && d <= 'F') digit = d - 'A' + 10;
+        else if (d == '_') { ++i; continue; }  // digit separators
+        else break;
+        value = value * static_cast<unsigned>(base) +
+                static_cast<unsigned>(digit);
+        any = true;
+        ++i;
+      }
+      if (base == 16 && !any) return error("malformed hex literal");
+      Token t;
+      t.kind = TokKind::kInt;
+      t.text = std::string(source.substr(start, i - start));
+      t.int_value = static_cast<int64_t>(value);
+      t.line = line;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    // Strings.
+    if (c == '"') {
+      ++i;
+      std::string text;
+      bool closed = false;
+      while (i < source.size()) {
+        char d = source[i++];
+        if (d == '"') {
+          closed = true;
+          break;
+        }
+        if (d == '\n') return error("newline in string literal");
+        if (d == '\\') {
+          if (i >= source.size()) break;
+          char esc = source[i++];
+          switch (esc) {
+            case 'n': text += '\n'; break;
+            case 't': text += '\t'; break;
+            case 'r': text += '\r'; break;
+            case '"': text += '"'; break;
+            case '\\': text += '\\'; break;
+            default: return error("bad escape in string literal");
+          }
+        } else {
+          text += d;
+        }
+      }
+      if (!closed) return error("unterminated string literal");
+      Token t;
+      t.kind = TokKind::kString;
+      t.text = std::move(text);
+      t.line = line;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    // Punctuation, longest match first.
+    static const char* kMulti[] = {":-", "==", "!=", "<=", ">=",
+                                   "<<", ">>", "++", "=>"};
+    bool matched = false;
+    for (const char* op : kMulti) {
+      size_t len = 2;
+      if (source.substr(i, len) == op) {
+        Token t;
+        t.kind = TokKind::kPunct;
+        t.text = op;
+        t.line = line;
+        tokens.push_back(std::move(t));
+        i += len;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    static const std::string kSingle = "()[]{}<>,.:;=+-*/%&|^~!";
+    if (kSingle.find(c) != std::string::npos) {
+      Token t;
+      t.kind = TokKind::kPunct;
+      t.text = std::string(1, c);
+      t.line = line;
+      tokens.push_back(std::move(t));
+      ++i;
+      continue;
+    }
+    return error(StrFormat("unexpected character '%c'", c));
+  }
+  Token eof;
+  eof.kind = TokKind::kEof;
+  eof.line = line;
+  tokens.push_back(std::move(eof));
+  return tokens;
+}
+
+}  // namespace nerpa::dlog

@@ -1,0 +1,44 @@
+// Tokenizer for the Datalog dialect surface syntax.
+#ifndef NERPA_DLOG_LEXER_H_
+#define NERPA_DLOG_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace nerpa::dlog {
+
+enum class TokKind {
+  kIdent,     // identifiers and keywords (parser distinguishes)
+  kInt,       // integer literal
+  kString,    // string literal (unescaped text)
+  kPunct,     // operators and punctuation, text holds the spelling
+  kEof,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEof;
+  std::string text;
+  int64_t int_value = 0;
+  int line = 0;
+
+  bool Is(TokKind k) const { return kind == k; }
+  bool IsPunct(std::string_view p) const {
+    return kind == TokKind::kPunct && text == p;
+  }
+  bool IsIdent(std::string_view id) const {
+    return kind == TokKind::kIdent && text == id;
+  }
+};
+
+/// Tokenizes the whole source.  Comments: `//` to end of line and
+/// `/* ... */`.  Multi-char operators: `:-` `==` `!=` `<=` `>=` `<<` `>>`
+/// `++` `=>`.
+Result<std::vector<Token>> Tokenize(std::string_view source);
+
+}  // namespace nerpa::dlog
+
+#endif  // NERPA_DLOG_LEXER_H_

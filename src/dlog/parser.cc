@@ -1,0 +1,469 @@
+#include "dlog/parser.h"
+
+#include "common/strings.h"
+#include "dlog/lexer.h"
+
+namespace nerpa::dlog {
+
+namespace {
+
+bool IsKeyword(const std::string& word) {
+  static const char* kKeywords[] = {
+      "input", "output", "relation", "not", "var", "if", "then", "else",
+      "true", "false", "and", "or", "group_by", "bool", "bigint", "string",
+      "bit", "Vec", "in", "as"};
+  for (const char* k : kKeywords) {
+    if (word == k) return true;
+  }
+  return false;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<ProgramAst> ParseProgram() {
+    ProgramAst program;
+    while (!Peek().Is(TokKind::kEof)) {
+      if (Peek().IsIdent("input") || Peek().IsIdent("output") ||
+          Peek().IsIdent("relation")) {
+        NERPA_ASSIGN_OR_RETURN(RelationDecl decl, ParseRelationDecl());
+        if (program.FindRelation(decl.name) != nullptr) {
+          return Error("duplicate relation '" + decl.name + "'");
+        }
+        program.relations.push_back(std::move(decl));
+      } else {
+        NERPA_ASSIGN_OR_RETURN(Rule rule, ParseRule());
+        program.rules.push_back(std::move(rule));
+      }
+    }
+    return program;
+  }
+
+  Result<ExprPtr> ParseSingleExpr() {
+    NERPA_ASSIGN_OR_RETURN(ExprPtr expr, ParseExpr());
+    if (!Peek().Is(TokKind::kEof)) return Error("trailing tokens after expression");
+    return expr;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t index = pos_ + ahead;
+    if (index >= tokens_.size()) index = tokens_.size() - 1;  // EOF
+    return tokens_[index];
+  }
+  const Token& Next() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+
+  Status Error(const std::string& message) const {
+    return ParseError(StrFormat("line %d: %s", Peek().line, message.c_str()));
+  }
+
+  bool ConsumePunct(std::string_view p) {
+    if (Peek().IsPunct(p)) {
+      Next();
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeIdent(std::string_view id) {
+    if (Peek().IsIdent(id)) {
+      Next();
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectPunct(std::string_view p) {
+    if (!ConsumePunct(p)) {
+      return Error(StrFormat("expected '%.*s', got '%s'",
+                             static_cast<int>(p.size()), p.data(),
+                             Peek().text.c_str()));
+    }
+    return Status::Ok();
+  }
+
+  Result<std::string> ExpectName() {
+    if (!Peek().Is(TokKind::kIdent) || IsKeyword(Peek().text)) {
+      return Error("expected an identifier, got '" + Peek().text + "'");
+    }
+    return Next().text;
+  }
+
+  // --- Types ---
+
+  Result<Type> ParseType() {
+    if (ConsumeIdent("bool")) return Type::Bool();
+    if (ConsumeIdent("bigint")) return Type::Int();
+    if (ConsumeIdent("string")) return Type::String();
+    if (ConsumeIdent("bit")) {
+      NERPA_RETURN_IF_ERROR(ExpectPunct("<"));
+      if (!Peek().Is(TokKind::kInt)) return Error("expected bit width");
+      int width = static_cast<int>(Next().int_value);
+      if (width < 1 || width > 64) {
+        return Error(StrFormat("bit width %d out of range [1, 64]", width));
+      }
+      NERPA_RETURN_IF_ERROR(ExpectPunct(">"));
+      return Type::Bit(width);
+    }
+    if (ConsumeIdent("Vec")) {
+      NERPA_RETURN_IF_ERROR(ExpectPunct("<"));
+      NERPA_ASSIGN_OR_RETURN(Type elem, ParseType());
+      NERPA_RETURN_IF_ERROR(ExpectPunct(">"));
+      return Type::Vec(std::move(elem));
+    }
+    if (ConsumePunct("(")) {
+      std::vector<Type> elems;
+      if (!ConsumePunct(")")) {
+        do {
+          NERPA_ASSIGN_OR_RETURN(Type elem, ParseType());
+          elems.push_back(std::move(elem));
+        } while (ConsumePunct(","));
+        NERPA_RETURN_IF_ERROR(ExpectPunct(")"));
+      }
+      return Type::Tuple(std::move(elems));
+    }
+    return Error("expected a type, got '" + Peek().text + "'");
+  }
+
+  // --- Declarations ---
+
+  Result<RelationDecl> ParseRelationDecl() {
+    RelationDecl decl;
+    if (ConsumeIdent("input")) {
+      decl.role = RelationRole::kInput;
+    } else if (ConsumeIdent("output")) {
+      decl.role = RelationRole::kOutput;
+    }
+    if (!ConsumeIdent("relation")) return Error("expected 'relation'");
+    NERPA_ASSIGN_OR_RETURN(decl.name, ExpectName());
+    NERPA_RETURN_IF_ERROR(ExpectPunct("("));
+    if (!ConsumePunct(")")) {
+      do {
+        Column column;
+        NERPA_ASSIGN_OR_RETURN(column.name, ExpectName());
+        NERPA_RETURN_IF_ERROR(ExpectPunct(":"));
+        NERPA_ASSIGN_OR_RETURN(column.type, ParseType());
+        for (const Column& existing : decl.columns) {
+          if (existing.name == column.name) {
+            return Error("duplicate column '" + column.name + "'");
+          }
+        }
+        decl.columns.push_back(std::move(column));
+      } while (ConsumePunct(","));
+      NERPA_RETURN_IF_ERROR(ExpectPunct(")"));
+    }
+    return decl;
+  }
+
+  // --- Rules ---
+
+  Result<Rule> ParseRule() {
+    Rule rule;
+    rule.line = Peek().line;
+    NERPA_ASSIGN_OR_RETURN(rule.head, ParseAtom());
+    if (ConsumePunct(":-")) {
+      do {
+        NERPA_ASSIGN_OR_RETURN(BodyElem elem, ParseBodyElem());
+        rule.body.push_back(std::move(elem));
+      } while (ConsumePunct(","));
+    }
+    NERPA_RETURN_IF_ERROR(ExpectPunct("."));
+    return rule;
+  }
+
+  Result<Atom> ParseAtom() {
+    Atom atom;
+    NERPA_ASSIGN_OR_RETURN(atom.relation, ExpectName());
+    NERPA_RETURN_IF_ERROR(ExpectPunct("("));
+    if (!ConsumePunct(")")) {
+      do {
+        NERPA_ASSIGN_OR_RETURN(ExprPtr term, ParseExpr());
+        atom.terms.push_back(std::move(term));
+      } while (ConsumePunct(","));
+      NERPA_RETURN_IF_ERROR(ExpectPunct(")"));
+    }
+    return atom;
+  }
+
+  Result<BodyElem> ParseBodyElem() {
+    BodyElem elem;
+    if (ConsumeIdent("not")) {
+      elem.kind = BodyElem::Kind::kLiteral;
+      elem.negated = true;
+      NERPA_ASSIGN_OR_RETURN(elem.atom, ParseAtom());
+      return elem;
+    }
+    if (ConsumeIdent("var")) {
+      NERPA_ASSIGN_OR_RETURN(elem.var, ExpectName());
+      // FlatMap form: `var x in expr`.
+      if (ConsumeIdent("in")) {
+        elem.kind = BodyElem::Kind::kFlatMap;
+        NERPA_ASSIGN_OR_RETURN(elem.expr, ParseExpr());
+        return elem;
+      }
+      NERPA_RETURN_IF_ERROR(ExpectPunct("="));
+      // Aggregate form: AGG "(" expr ")" "group_by" "(" vars ")".
+      if (Peek().Is(TokKind::kIdent) && Peek(1).IsPunct("(") &&
+          AggFuncFromName(Peek().text).ok()) {
+        // Look ahead for group_by after the closing paren to distinguish a
+        // plain call named like an aggregate, e.g. var x = count(y) + 1.
+        size_t save = pos_;
+        AggFunc func = AggFuncFromName(Next().text).value();
+        Next();  // "("
+        Result<ExprPtr> arg = ParseExpr();
+        if (arg.ok() && ConsumePunct(")") && ConsumeIdent("group_by")) {
+          elem.kind = BodyElem::Kind::kAggregate;
+          elem.agg_func = func;
+          elem.expr = std::move(arg).value();
+          NERPA_RETURN_IF_ERROR(ExpectPunct("("));
+          do {
+            NERPA_ASSIGN_OR_RETURN(std::string v, ExpectName());
+            elem.group_by.push_back(std::move(v));
+          } while (ConsumePunct(","));
+          NERPA_RETURN_IF_ERROR(ExpectPunct(")"));
+          return elem;
+        }
+        pos_ = save;  // not an aggregate; reparse as expression
+      }
+      elem.kind = BodyElem::Kind::kAssignment;
+      NERPA_ASSIGN_OR_RETURN(elem.expr, ParseExpr());
+      return elem;
+    }
+    // Positive literal iff "Name(" where Name is not a builtin call —
+    // resolved later; here the heuristic is: identifier starting uppercase
+    // followed by "(" is an atom (relations are capitalized by convention
+    // and the compiler enforces it).
+    if (Peek().Is(TokKind::kIdent) && !IsKeyword(Peek().text) &&
+        !Peek().text.empty() && std::isupper(static_cast<unsigned char>(
+            Peek().text[0])) && Peek(1).IsPunct("(")) {
+      elem.kind = BodyElem::Kind::kLiteral;
+      NERPA_ASSIGN_OR_RETURN(elem.atom, ParseAtom());
+      return elem;
+    }
+    elem.kind = BodyElem::Kind::kCondition;
+    NERPA_ASSIGN_OR_RETURN(elem.condition, ParseExpr());
+    return elem;
+  }
+
+  // --- Expressions (precedence climbing) ---
+
+  Result<ExprPtr> ParseExpr() { return ParseIf(); }
+
+  Result<ExprPtr> ParseIf() {
+    if (ConsumeIdent("if")) {
+      NERPA_ASSIGN_OR_RETURN(ExprPtr c, ParseExpr());
+      if (!ConsumeIdent("then")) return Error("expected 'then'");
+      NERPA_ASSIGN_OR_RETURN(ExprPtr t, ParseExpr());
+      if (!ConsumeIdent("else")) return Error("expected 'else'");
+      NERPA_ASSIGN_OR_RETURN(ExprPtr f, ParseExpr());
+      return Expr::MakeCond(std::move(c), std::move(t), std::move(f));
+    }
+    return ParseOr();
+  }
+
+  Result<ExprPtr> ParseOr() {
+    NERPA_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (ConsumeIdent("or")) {
+      NERPA_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = Expr::MakeBinary(BinOp::kOr, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    NERPA_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+    while (ConsumeIdent("and")) {
+      NERPA_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+      lhs = Expr::MakeBinary(BinOp::kAnd, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (ConsumeIdent("not")) {
+      NERPA_ASSIGN_OR_RETURN(ExprPtr arg, ParseNot());
+      return Expr::MakeUnary(UnOp::kNot, std::move(arg));
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    NERPA_ASSIGN_OR_RETURN(ExprPtr lhs, ParseBitOr());
+    struct { const char* text; BinOp op; } kOps[] = {
+        {"==", BinOp::kEq}, {"!=", BinOp::kNe}, {"<=", BinOp::kLe},
+        {">=", BinOp::kGe}, {"<", BinOp::kLt}, {">", BinOp::kGt}};
+    for (const auto& candidate : kOps) {
+      if (Peek().IsPunct(candidate.text)) {
+        Next();
+        NERPA_ASSIGN_OR_RETURN(ExprPtr rhs, ParseBitOr());
+        return Expr::MakeBinary(candidate.op, std::move(lhs), std::move(rhs));
+      }
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseBitOr() {
+    NERPA_ASSIGN_OR_RETURN(ExprPtr lhs, ParseBitXor());
+    while (Peek().IsPunct("|")) {
+      Next();
+      NERPA_ASSIGN_OR_RETURN(ExprPtr rhs, ParseBitXor());
+      lhs = Expr::MakeBinary(BinOp::kBitOr, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseBitXor() {
+    NERPA_ASSIGN_OR_RETURN(ExprPtr lhs, ParseBitAnd());
+    while (Peek().IsPunct("^")) {
+      Next();
+      NERPA_ASSIGN_OR_RETURN(ExprPtr rhs, ParseBitAnd());
+      lhs = Expr::MakeBinary(BinOp::kBitXor, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseBitAnd() {
+    NERPA_ASSIGN_OR_RETURN(ExprPtr lhs, ParseShift());
+    while (Peek().IsPunct("&")) {
+      Next();
+      NERPA_ASSIGN_OR_RETURN(ExprPtr rhs, ParseShift());
+      lhs = Expr::MakeBinary(BinOp::kBitAnd, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseShift() {
+    NERPA_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+    while (Peek().IsPunct("<<") || Peek().IsPunct(">>")) {
+      BinOp op = Peek().IsPunct("<<") ? BinOp::kShl : BinOp::kShr;
+      Next();
+      NERPA_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+      lhs = Expr::MakeBinary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    NERPA_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+    while (Peek().IsPunct("+") || Peek().IsPunct("-") ||
+           Peek().IsPunct("++")) {
+      BinOp op = Peek().IsPunct("+") ? BinOp::kAdd
+                 : Peek().IsPunct("-") ? BinOp::kSub : BinOp::kConcat;
+      Next();
+      NERPA_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+      lhs = Expr::MakeBinary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    NERPA_ASSIGN_OR_RETURN(ExprPtr lhs, ParseCast());
+    while (Peek().IsPunct("*") || Peek().IsPunct("/") || Peek().IsPunct("%")) {
+      BinOp op = Peek().IsPunct("*") ? BinOp::kMul
+                 : Peek().IsPunct("/") ? BinOp::kDiv : BinOp::kMod;
+      Next();
+      NERPA_ASSIGN_OR_RETURN(ExprPtr rhs, ParseCast());
+      lhs = Expr::MakeBinary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseCast() {
+    NERPA_ASSIGN_OR_RETURN(ExprPtr expr, ParseUnary());
+    while (ConsumeIdent("as")) {
+      NERPA_ASSIGN_OR_RETURN(Type target, ParseType());
+      expr = Expr::MakeCast(std::move(expr), std::move(target));
+    }
+    return expr;
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (ConsumePunct("-")) {
+      NERPA_ASSIGN_OR_RETURN(ExprPtr arg, ParseUnary());
+      return Expr::MakeUnary(UnOp::kNeg, std::move(arg));
+    }
+    if (ConsumePunct("~")) {
+      NERPA_ASSIGN_OR_RETURN(ExprPtr arg, ParseUnary());
+      return Expr::MakeUnary(UnOp::kBitNot, std::move(arg));
+    }
+    return ParsePrimary();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& token = Peek();
+    if (token.Is(TokKind::kInt)) {
+      Next();
+      return Expr::MakeLit(Value::Int(token.int_value));
+    }
+    if (token.Is(TokKind::kString)) {
+      Next();
+      return Expr::MakeLit(Value::String(token.text));
+    }
+    if (token.IsIdent("true")) {
+      Next();
+      return Expr::MakeLit(Value::Bool(true));
+    }
+    if (token.IsIdent("false")) {
+      Next();
+      return Expr::MakeLit(Value::Bool(false));
+    }
+    if (token.IsPunct("_")) {  // lexer emits "_" as an identifier, see below
+      Next();
+      return Expr::MakeWildcard();
+    }
+    if (token.Is(TokKind::kIdent)) {
+      if (token.text == "_") {
+        Next();
+        return Expr::MakeWildcard();
+      }
+      if (IsKeyword(token.text) && token.text != "if") {
+        return Error("unexpected keyword '" + token.text + "' in expression");
+      }
+      if (token.text == "if") return ParseIf();
+      std::string name = Next().text;
+      if (ConsumePunct("(")) {
+        std::vector<ExprPtr> args;
+        if (!ConsumePunct(")")) {
+          do {
+            NERPA_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+            args.push_back(std::move(arg));
+          } while (ConsumePunct(","));
+          NERPA_RETURN_IF_ERROR(ExpectPunct(")"));
+        }
+        return Expr::MakeCall(std::move(name), std::move(args));
+      }
+      return Expr::MakeVar(std::move(name));
+    }
+    if (ConsumePunct("(")) {
+      NERPA_ASSIGN_OR_RETURN(ExprPtr first, ParseExpr());
+      if (ConsumePunct(")")) return first;
+      std::vector<ExprPtr> elems;
+      elems.push_back(std::move(first));
+      while (ConsumePunct(",")) {
+        NERPA_ASSIGN_OR_RETURN(ExprPtr elem, ParseExpr());
+        elems.push_back(std::move(elem));
+      }
+      NERPA_RETURN_IF_ERROR(ExpectPunct(")"));
+      return Expr::MakeTuple(std::move(elems));
+    }
+    return Error("expected an expression, got '" + token.text + "'");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ProgramAst> ParseProgram(std::string_view source) {
+  NERPA_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  return Parser(std::move(tokens)).ParseProgram();
+}
+
+Result<ExprPtr> ParseExpr(std::string_view source) {
+  NERPA_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  return Parser(std::move(tokens)).ParseSingleExpr();
+}
+
+}  // namespace nerpa::dlog

@@ -1,0 +1,125 @@
+#include "dlog/type.h"
+
+#include "common/strings.h"
+
+namespace nerpa::dlog {
+
+bool Type::operator==(const Type& o) const {
+  return kind == o.kind && width == o.width && elems == o.elems;
+}
+
+std::string Type::ToString() const {
+  switch (kind) {
+    case Kind::kBool: return "bool";
+    case Kind::kInt: return "bigint";
+    case Kind::kBit: return StrFormat("bit<%d>", width);
+    case Kind::kString: return "string";
+    case Kind::kTuple: {
+      std::string out = "(";
+      for (size_t i = 0; i < elems.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += elems[i].ToString();
+      }
+      return out + ")";
+    }
+    case Kind::kVec: return "Vec<" + elems[0].ToString() + ">";
+  }
+  return "?";
+}
+
+Status Type::CheckValue(const Value& value) const {
+  switch (kind) {
+    case Kind::kBool:
+      if (!value.is_bool()) return TypeError("expected bool");
+      return Status::Ok();
+    case Kind::kInt:
+      if (!value.is_int()) return TypeError("expected bigint");
+      return Status::Ok();
+    case Kind::kBit:
+      if (!value.is_bit()) return TypeError("expected " + ToString());
+      if (MaskBits(value.as_bit()) != value.as_bit()) {
+        return TypeError(StrFormat("value %llu does not fit in bit<%d>",
+                                   static_cast<unsigned long long>(
+                                       value.as_bit()),
+                                   width));
+      }
+      return Status::Ok();
+    case Kind::kString:
+      if (!value.is_string()) return TypeError("expected string");
+      return Status::Ok();
+    case Kind::kTuple: {
+      if (!value.is_tuple() || value.as_tuple().size() != elems.size()) {
+        return TypeError("expected " + ToString());
+      }
+      for (size_t i = 0; i < elems.size(); ++i) {
+        NERPA_RETURN_IF_ERROR(elems[i].CheckValue(value.as_tuple()[i]));
+      }
+      return Status::Ok();
+    }
+    case Kind::kVec: {
+      if (!value.is_tuple()) return TypeError("expected " + ToString());
+      for (const Value& elem : value.as_tuple()) {
+        NERPA_RETURN_IF_ERROR(elems[0].CheckValue(elem));
+      }
+      return Status::Ok();
+    }
+  }
+  return TypeError("bad type");
+}
+
+Value Type::DefaultValue() const {
+  switch (kind) {
+    case Kind::kBool: return Value::Bool(false);
+    case Kind::kInt: return Value::Int(0);
+    case Kind::kBit: return Value::Bit(0);
+    case Kind::kString: return Value::String("");
+    case Kind::kTuple: {
+      ValueVec elems_v;
+      for (const Type& t : elems) elems_v.push_back(t.DefaultValue());
+      return Value::Tuple(std::move(elems_v));
+    }
+    case Kind::kVec: return Value::Tuple({});
+  }
+  return Value::Int(0);
+}
+
+const char* RelationRoleName(RelationRole role) {
+  switch (role) {
+    case RelationRole::kInput: return "input";
+    case RelationRole::kInternal: return "internal";
+    case RelationRole::kOutput: return "output";
+  }
+  return "?";
+}
+
+Status RelationDecl::CheckRow(const Row& row) const {
+  if (row.size() != columns.size()) {
+    return TypeError(StrFormat("relation %s expects %zu columns, got %zu",
+                               name.c_str(), columns.size(), row.size()));
+  }
+  for (size_t i = 0; i < columns.size(); ++i) {
+    Status s = columns[i].type.CheckValue(row[i]);
+    if (!s.ok()) {
+      return TypeError(StrFormat("%s.%s: %s", name.c_str(),
+                                 columns[i].name.c_str(),
+                                 s.message().c_str()));
+    }
+  }
+  return Status::Ok();
+}
+
+std::string RelationDecl::ToString() const {
+  std::string out;
+  if (role != RelationRole::kInternal) {
+    out += RelationRoleName(role);
+    out += ' ';
+  }
+  out += "relation " + name + "(";
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns[i].name + ": " + columns[i].type.ToString();
+  }
+  return out + ")";
+}
+
+}  // namespace nerpa::dlog

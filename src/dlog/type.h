@@ -1,0 +1,97 @@
+// Static types for the Datalog dialect.
+//
+// DDlog's pitch (§4.1 "Types for correctness") is a real type system over
+// relations; this is the C++ mirror: scalars, bit<N>, strings, tuples, and
+// vectors, with structural equality and a printable surface form.
+#ifndef NERPA_DLOG_TYPE_H_
+#define NERPA_DLOG_TYPE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dlog/value.h"
+
+namespace nerpa::dlog {
+
+/// A structural type.
+struct Type {
+  enum class Kind { kBool, kInt, kBit, kString, kTuple, kVec };
+
+  Kind kind = Kind::kInt;
+  int width = 0;             // kBit: 1..64
+  std::vector<Type> elems;   // kTuple: element types; kVec: one element type
+
+  static Type Bool() { return Type{Kind::kBool, 0, {}}; }
+  static Type Int() { return Type{Kind::kInt, 0, {}}; }
+  static Type Bit(int width) { return Type{Kind::kBit, width, {}}; }
+  static Type String() { return Type{Kind::kString, 0, {}}; }
+  static Type Tuple(std::vector<Type> elems) {
+    return Type{Kind::kTuple, 0, std::move(elems)};
+  }
+  static Type Vec(Type elem) { return Type{Kind::kVec, 0, {std::move(elem)}}; }
+
+  bool is_numeric() const { return kind == Kind::kInt || kind == Kind::kBit; }
+
+  bool operator==(const Type& o) const;
+  bool operator!=(const Type& o) const { return !(*this == o); }
+
+  /// Surface syntax: "bool", "bigint", "bit<12>", "string", "(t1, t2)",
+  /// "Vec<t>".
+  std::string ToString() const;
+
+  /// Checks that `value` inhabits this type (including bit-width range).
+  Status CheckValue(const Value& value) const;
+
+  /// The zero/default value of the type.
+  Value DefaultValue() const;
+
+  /// Masks a raw u64 to this bit type's width.
+  uint64_t MaskBits(uint64_t raw) const {
+    if (width >= 64) return raw;
+    return raw & ((uint64_t{1} << width) - 1);
+  }
+};
+
+/// One column of a relation.
+struct Column {
+  std::string name;
+  Type type;
+
+  bool operator==(const Column& o) const {
+    return name == o.name && type == o.type;
+  }
+};
+
+/// Where a relation's tuples come from (§3's three roles).
+enum class RelationRole {
+  kInput,    // fed by the management plane or data-plane digests
+  kInternal, // intermediate view
+  kOutput,   // consumed by the data plane (match-action table contents)
+};
+
+const char* RelationRoleName(RelationRole role);
+
+/// A relation declaration: `input relation Port(id: bit<32>, ...)`.
+struct RelationDecl {
+  std::string name;
+  RelationRole role = RelationRole::kInternal;
+  std::vector<Column> columns;
+
+  int FindColumn(std::string_view column_name) const {
+    for (size_t i = 0; i < columns.size(); ++i) {
+      if (columns[i].name == column_name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  /// Validates a row against the column types.
+  Status CheckRow(const Row& row) const;
+
+  /// Surface form, e.g. "input relation Port(id: bit<32>)".
+  std::string ToString() const;
+};
+
+}  // namespace nerpa::dlog
+
+#endif  // NERPA_DLOG_TYPE_H_

@@ -1,0 +1,79 @@
+#include "dlog/value.h"
+
+#include "common/strings.h"
+
+namespace nerpa::dlog {
+
+size_t Value::Hash() const {
+  size_t seed = rep_.index() * 0x9e3779b97f4a7c15ULL;
+  switch (rep_.index()) {
+    case 0: HashCombine(seed, std::get<0>(rep_)); break;
+    case 1: HashCombine(seed, std::get<1>(rep_)); break;
+    case 2: HashCombine(seed, std::get<2>(rep_)); break;
+    case 3: HashCombine(seed, std::get<3>(rep_)); break;
+    case 4:
+      for (const Value& v : *std::get<4>(rep_)) HashCombine(seed, v.Hash());
+      break;
+  }
+  return seed;
+}
+
+bool Value::operator==(const Value& o) const {
+  if (rep_.index() != o.rep_.index()) return false;
+  switch (rep_.index()) {
+    case 0: return std::get<0>(rep_) == std::get<0>(o.rep_);
+    case 1: return std::get<1>(rep_) == std::get<1>(o.rep_);
+    case 2: return std::get<2>(rep_) == std::get<2>(o.rep_);
+    case 3: return std::get<3>(rep_) == std::get<3>(o.rep_);
+    default: {
+      const ValueVec& a = *std::get<4>(rep_);
+      const ValueVec& b = *std::get<4>(o.rep_);
+      return a == b;
+    }
+  }
+}
+
+bool Value::operator<(const Value& o) const {
+  if (rep_.index() != o.rep_.index()) return rep_.index() < o.rep_.index();
+  switch (rep_.index()) {
+    case 0: return std::get<0>(rep_) < std::get<0>(o.rep_);
+    case 1: return std::get<1>(rep_) < std::get<1>(o.rep_);
+    case 2: return std::get<2>(rep_) < std::get<2>(o.rep_);
+    case 3: return std::get<3>(rep_) < std::get<3>(o.rep_);
+    default: {
+      const ValueVec& a = *std::get<4>(rep_);
+      const ValueVec& b = *std::get<4>(o.rep_);
+      return std::lexicographical_compare(a.begin(), a.end(), b.begin(),
+                                          b.end());
+    }
+  }
+}
+
+std::string Value::ToString() const {
+  switch (rep_.index()) {
+    case 0: return as_bool() ? "true" : "false";
+    case 1: return std::to_string(as_int());
+    case 2: return std::to_string(as_bit());
+    case 3: return QuoteString(as_string());
+    default: {
+      std::string out = "(";
+      const ValueVec& elems = as_tuple();
+      for (size_t i = 0; i < elems.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += elems[i].ToString();
+      }
+      return out + ")";
+    }
+  }
+}
+
+std::string RowToString(const Row& row) {
+  std::string out = "(";
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += row[i].ToString();
+  }
+  return out + ")";
+}
+
+}  // namespace nerpa::dlog

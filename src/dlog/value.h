@@ -1,0 +1,97 @@
+// Runtime values for the incremental Datalog engine.
+//
+// DDlog's value universe (booleans, integers, bit-vectors, strings, and
+// structured data) is mirrored here.  Values are hashable and totally
+// ordered so rows can live in z-set maps and arrangements.
+#ifndef NERPA_DLOG_VALUE_H_
+#define NERPA_DLOG_VALUE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace nerpa::dlog {
+
+class Value;
+
+/// A tuple/vector payload; shared so copying Values is cheap.
+using ValueVec = std::vector<Value>;
+
+/// One Datalog runtime value: bool, signed 64-bit int, bit<N> (stored
+/// zero-extended in a u64), string, or a vector/tuple of values.
+class Value {
+ public:
+  Value() : rep_(false) {}
+  static Value Bool(bool v) { return Value(Rep(v)); }
+  static Value Int(int64_t v) { return Value(Rep(v)); }
+  static Value Bit(uint64_t v) { return Value(Rep(v)); }
+  static Value String(std::string v) { return Value(Rep(std::move(v))); }
+  static Value Tuple(ValueVec elems) {
+    return Value(Rep(std::make_shared<const ValueVec>(std::move(elems))));
+  }
+
+  bool is_bool() const { return rep_.index() == 0; }
+  bool is_int() const { return rep_.index() == 1; }
+  bool is_bit() const { return rep_.index() == 2; }
+  bool is_string() const { return rep_.index() == 3; }
+  bool is_tuple() const { return rep_.index() == 4; }
+
+  bool as_bool() const { return std::get<0>(rep_); }
+  int64_t as_int() const { return std::get<1>(rep_); }
+  uint64_t as_bit() const { return std::get<2>(rep_); }
+  const std::string& as_string() const { return std::get<3>(rep_); }
+  const ValueVec& as_tuple() const { return *std::get<4>(rep_); }
+
+  /// Numeric view: int value or bit value as signed (for mixed arithmetic
+  /// the type checker has already unified the operand types).
+  int64_t NumericAsInt() const {
+    return is_int() ? as_int() : static_cast<int64_t>(as_bit());
+  }
+
+  size_t Hash() const;
+  bool operator==(const Value& o) const;
+  bool operator!=(const Value& o) const { return !(*this == o); }
+  bool operator<(const Value& o) const;
+
+  /// Debug form: true, 42, "s", (a, b).
+  std::string ToString() const;
+
+ private:
+  using Rep = std::variant<bool, int64_t, uint64_t, std::string,
+                           std::shared_ptr<const ValueVec>>;
+  explicit Value(Rep rep) : rep_(std::move(rep)) {}
+
+  Rep rep_;
+};
+
+/// A relation row.
+using Row = std::vector<Value>;
+
+struct RowHash {
+  size_t operator()(const Row& row) const {
+    size_t seed = 0x9e3779b97f4a7c15ULL ^ row.size();
+    for (const Value& value : row) HashCombine(seed, value.Hash());
+    return seed;
+  }
+};
+
+struct RowEq {
+  bool operator()(const Row& a, const Row& b) const { return a == b; }
+};
+
+std::string RowToString(const Row& row);
+
+}  // namespace nerpa::dlog
+
+template <>
+struct std::hash<nerpa::dlog::Value> {
+  size_t operator()(const nerpa::dlog::Value& v) const noexcept {
+    return v.Hash();
+  }
+};
+
+#endif  // NERPA_DLOG_VALUE_H_

@@ -1,0 +1,232 @@
+#include "nerpa/controller.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "common/strings.h"
+
+namespace nerpa {
+
+Controller::Controller(ovsdb::Database* db,
+                       std::shared_ptr<const dlog::Program> program,
+                       std::shared_ptr<const p4::P4Program> p4_program,
+                       Bindings bindings, Options options)
+    : db_(db),
+      program_(std::move(program)),
+      p4_program_(std::move(p4_program)),
+      bindings_(std::move(bindings)),
+      options_(std::move(options)) {}
+
+Controller::~Controller() {
+  if (monitor_id_ != 0) db_->RemoveMonitor(monitor_id_);
+}
+
+Status Controller::AddDevice(std::string name, p4::RuntimeClient* client) {
+  if (started_) {
+    return FailedPrecondition("cannot add devices after Start()");
+  }
+  for (const Device& device : devices_) {
+    if (device.name == name) {
+      return AlreadyExists("device '" + name + "' already registered");
+    }
+  }
+  devices_.push_back(Device{std::move(name), client});
+  return Status::Ok();
+}
+
+Status Controller::Start() {
+  if (started_) return FailedPrecondition("controller already started");
+  NERPA_RETURN_IF_ERROR(TypeCheck(*program_, bindings_));
+  // The multicast relation, when configured, must be declared by hand with
+  // the documented shape.
+  if (!options_.multicast_relation.empty()) {
+    int id = program_->FindRelation(options_.multicast_relation);
+    if (id < 0) {
+      return NotFound("multicast relation '" + options_.multicast_relation +
+                      "' is not declared");
+    }
+    const dlog::RelationDecl& decl = program_->relation(id);
+    size_t expected = bindings_.options.with_device_column ? 3 : 2;
+    if (decl.role != dlog::RelationRole::kOutput ||
+        decl.columns.size() != expected) {
+      return TypeError(StrFormat(
+          "multicast relation '%s' must be an output relation with %zu "
+          "columns ([device: string,] group: bit<16>, port: bit<16>)",
+          decl.name.c_str(), expected));
+    }
+  }
+  engine_ = std::make_unique<dlog::Engine>(program_);
+  started_ = true;
+  // Outputs derived from facts.
+  dlog::TxnDelta initial = engine_->TakeInitialDelta();
+  NERPA_RETURN_IF_ERROR(ApplyOutputDelta(initial));
+  // Subscribe to every bound management-plane table.  The monitor delivers
+  // the current database contents immediately as inserts.
+  std::vector<std::string> tables;
+  for (const OvsdbBinding& binding : bindings_.ovsdb_tables) {
+    tables.push_back(binding.table);
+  }
+  monitor_id_ = db_->AddMonitor(
+      tables, [this](const ovsdb::TableUpdates& updates) {
+        OnOvsdbUpdate(updates);
+      });
+  return last_error_;
+}
+
+void Controller::OnOvsdbUpdate(const ovsdb::TableUpdates& updates) {
+  Status status = ProcessOvsdbUpdates(updates);
+  if (!status.ok()) {
+    ++stats_.errors;
+    if (last_error_.ok()) last_error_ = status;
+    LOG_ERROR << "controller: failed to process management update: "
+              << status.ToString();
+  }
+}
+
+Status Controller::ProcessOvsdbUpdates(const ovsdb::TableUpdates& updates) {
+  ++stats_.ovsdb_updates;
+  for (const auto& [table_name, rows] : updates) {
+    const OvsdbBinding* binding = bindings_.FindOvsdbTable(table_name);
+    if (binding == nullptr) continue;  // not bound; ignore
+    const ovsdb::TableSchema* schema = db_->schema().FindTable(table_name);
+    for (const auto& [uuid, update] : rows) {
+      if (update.old_row) {
+        NERPA_ASSIGN_OR_RETURN(dlog::Row row,
+                               OvsdbRowToDlog(*schema, *update.old_row));
+        NERPA_RETURN_IF_ERROR(
+            engine_->Delete(binding->relation, std::move(row)));
+      }
+      if (update.new_row) {
+        NERPA_ASSIGN_OR_RETURN(dlog::Row row,
+                               OvsdbRowToDlog(*schema, *update.new_row));
+        NERPA_RETURN_IF_ERROR(
+            engine_->Insert(binding->relation, std::move(row)));
+      }
+    }
+  }
+  NERPA_ASSIGN_OR_RETURN(dlog::TxnDelta delta, engine_->Commit());
+  ++stats_.dlog_txns;
+  return ApplyOutputDelta(delta);
+}
+
+Status Controller::WriteEntry(const std::string& device, p4::UpdateType type,
+                              const p4::TableEntry& entry) {
+  bool routed = !device.empty();
+  bool any = false;
+  for (const Device& candidate : devices_) {
+    if (routed && candidate.name != device) continue;
+    any = true;
+    NERPA_RETURN_IF_ERROR(
+        candidate.client->Write({p4::Update{type, entry}}));
+    if (type == p4::UpdateType::kInsert) {
+      ++stats_.entries_inserted;
+    } else if (type == p4::UpdateType::kDelete) {
+      ++stats_.entries_deleted;
+    }
+  }
+  if (routed && !any) {
+    return NotFound("output row targets unknown device '" + device + "'");
+  }
+  return Status::Ok();
+}
+
+Status Controller::ApplyOutputDelta(const dlog::TxnDelta& delta) {
+  // Deletes first so that modify (retract+assert of the same match key)
+  // never collides with the still-installed old entry.
+  struct PendingInsert {
+    std::string device;
+    p4::TableEntry entry;
+  };
+  std::vector<PendingInsert> inserts;
+  for (const auto& [relation, rows] : delta.outputs) {
+    if (relation == options_.multicast_relation) {
+      NERPA_RETURN_IF_ERROR(ApplyMulticastDelta(rows));
+      continue;
+    }
+    const TableBinding* binding = bindings_.FindTable(relation);
+    if (binding == nullptr) {
+      LOG_WARNING << "controller: output relation '" << relation
+                  << "' is not bound to a P4 table; ignoring its delta";
+      continue;
+    }
+    for (const auto& [row, direction] : rows) {
+      NERPA_ASSIGN_OR_RETURN(auto converted,
+                             DlogRowToEntry(*binding, *p4_program_, row));
+      if (direction < 0) {
+        NERPA_RETURN_IF_ERROR(WriteEntry(converted.first,
+                                         p4::UpdateType::kDelete,
+                                         converted.second));
+      } else {
+        inserts.push_back(PendingInsert{std::move(converted.first),
+                                        std::move(converted.second)});
+      }
+    }
+  }
+  for (const PendingInsert& pending : inserts) {
+    NERPA_RETURN_IF_ERROR(
+        WriteEntry(pending.device, p4::UpdateType::kInsert, pending.entry));
+  }
+  return Status::Ok();
+}
+
+Status Controller::ApplyMulticastDelta(const dlog::SetDelta& delta) {
+  bool with_device = bindings_.options.with_device_column;
+  std::set<std::pair<std::string, uint32_t>> dirty;
+  for (const auto& [row, direction] : delta) {
+    size_t base = with_device ? 1 : 0;
+    std::string device = with_device ? row[0].as_string() : "";
+    uint32_t group = static_cast<uint32_t>(row[base].as_bit());
+    uint64_t port = row[base + 1].as_bit();
+    auto key = std::make_pair(device, group);
+    auto& members = multicast_members_[key];
+    if (direction > 0) {
+      if (std::find(members.begin(), members.end(), port) == members.end()) {
+        members.push_back(port);
+        std::sort(members.begin(), members.end());
+      }
+    } else {
+      members.erase(std::remove(members.begin(), members.end(), port),
+                    members.end());
+    }
+    dirty.insert(key);
+  }
+  for (const auto& key : dirty) {
+    const auto& [device, group] = key;
+    const std::vector<uint64_t>& members = multicast_members_[key];
+    bool routed = !device.empty();
+    for (const Device& candidate : devices_) {
+      if (routed && candidate.name != device) continue;
+      NERPA_RETURN_IF_ERROR(
+          candidate.client->SetMulticastGroup(group, members));
+      ++stats_.multicast_updates;
+    }
+    if (members.empty()) multicast_members_.erase(key);
+  }
+  return Status::Ok();
+}
+
+Status Controller::SyncDataPlaneNotifications() {
+  if (!started_) return FailedPrecondition("controller not started");
+  bool any = false;
+  Status first_error;
+  for (Device& device : devices_) {
+    device.client->SubscribeDigests([&](const p4::DigestMessage& message) {
+      const DigestBinding* binding = bindings_.FindDigest(message.name);
+      if (binding == nullptr) return;
+      dlog::Row row =
+          DigestToDlog(*binding, message, device.name, digest_seq_++);
+      Status status = engine_->Insert(binding->relation, std::move(row));
+      if (!status.ok() && first_error.ok()) first_error = status;
+      ++stats_.digests;
+      any = true;
+    });
+    device.client->PollDigests();
+  }
+  NERPA_RETURN_IF_ERROR(first_error);
+  if (!any) return Status::Ok();
+  NERPA_ASSIGN_OR_RETURN(dlog::TxnDelta delta, engine_->Commit());
+  ++stats_.dlog_txns;
+  return ApplyOutputDelta(delta);
+}
+
+}  // namespace nerpa

@@ -1,0 +1,118 @@
+// The Nerpa controller: the state-synchronization runtime that ties the
+// three planes together (§3 "The Nerpa controller, in charge of state
+// synchronization, installs the data from the controller output relations
+// as entries in the programmable data plane tables").
+//
+// Data flow per management-plane transaction (all synchronous in-process,
+// mirroring the prototype's event loop):
+//
+//   OVSDB commit -> monitor delta -> Datalog input delta -> incremental
+//   transaction -> output delta -> P4Runtime writes (deletes then inserts)
+//
+// and the feedback loop (§4.2):
+//
+//   data-plane digest -> Datalog input insert -> incremental transaction
+//   -> table writes (e.g. MAC learning)
+#ifndef NERPA_NERPA_CONTROLLER_H_
+#define NERPA_NERPA_CONTROLLER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dlog/engine.h"
+#include "nerpa/bindings.h"
+#include "ovsdb/database.h"
+#include "p4/runtime.h"
+
+namespace nerpa {
+
+class Controller {
+ public:
+  struct Options {
+    /// Name of an (extra, hand-declared) output relation whose rows are
+    /// multicast group membership instead of table entries.  Shape:
+    /// ([device: string,] group: bit<16>, port: bit<16>) — device present
+    /// iff the bindings were generated with a device column.
+    std::string multicast_relation;
+  };
+
+  /// The database and runtime clients must outlive the controller.
+  /// `p4_program` is the (validated) data-plane program the bindings were
+  /// generated from; all registered devices must run it.
+  Controller(ovsdb::Database* db,
+             std::shared_ptr<const dlog::Program> program,
+             std::shared_ptr<const p4::P4Program> p4_program,
+             Bindings bindings, Options options = {});
+  ~Controller();
+
+  Controller(const Controller&) = delete;
+  Controller& operator=(const Controller&) = delete;
+
+  /// Registers a data-plane device.  With device-column bindings the name
+  /// routes entries; without, every entry is installed on every device.
+  Status AddDevice(std::string name, p4::RuntimeClient* client);
+
+  /// Type-checks the program against the bindings, applies fact-derived
+  /// outputs, and subscribes to the management plane (receiving the current
+  /// contents as the first delta).  Call after AddDevice().
+  Status Start();
+
+  /// Drains digests from every device through the control plane.  Returns
+  /// the first error, if any.  (In-process stand-in for the P4Runtime
+  /// digest stream.)
+  Status SyncDataPlaneNotifications();
+
+  struct Stats {
+    uint64_t ovsdb_updates = 0;
+    uint64_t dlog_txns = 0;
+    uint64_t entries_inserted = 0;
+    uint64_t entries_deleted = 0;
+    uint64_t multicast_updates = 0;
+    uint64_t digests = 0;
+    uint64_t errors = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  /// First error hit inside a monitor callback (callbacks cannot return
+  /// Status); ok() if none.
+  const Status& last_error() const { return last_error_; }
+
+  /// The underlying engine (introspection in tests/benches).
+  dlog::Engine& engine() { return *engine_; }
+
+ private:
+  struct Device {
+    std::string name;
+    p4::RuntimeClient* client;
+  };
+
+  void OnOvsdbUpdate(const ovsdb::TableUpdates& updates);
+  Status ProcessOvsdbUpdates(const ovsdb::TableUpdates& updates);
+  Status ApplyOutputDelta(const dlog::TxnDelta& delta);
+  Status ApplyMulticastDelta(const dlog::SetDelta& delta);
+  Status WriteEntry(const std::string& device, p4::UpdateType type,
+                    const p4::TableEntry& entry);
+
+  ovsdb::Database* db_;
+  std::shared_ptr<const dlog::Program> program_;
+  std::shared_ptr<const p4::P4Program> p4_program_;
+  Bindings bindings_;
+  Options options_;
+  std::unique_ptr<dlog::Engine> engine_;
+  std::vector<Device> devices_;
+  uint64_t monitor_id_ = 0;
+  bool started_ = false;
+  int64_t digest_seq_ = 0;
+  // (device, group) -> member ports, for multicast reprogramming.
+  std::map<std::pair<std::string, uint32_t>, std::vector<uint64_t>>
+      multicast_members_;
+  Stats stats_;
+  Status last_error_;
+};
+
+}  // namespace nerpa
+
+#endif  // NERPA_NERPA_CONTROLLER_H_

@@ -1,0 +1,67 @@
+#include "net/ip.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace nerpa::net {
+
+std::optional<Ipv4> Ipv4::Parse(std::string_view text) {
+  uint32_t bits = 0;
+  int octets = 0;
+  size_t i = 0;
+  while (i <= text.size()) {
+    int value = 0;
+    int digits = 0;
+    while (i < text.size() && digits < 3 &&
+           std::isdigit(static_cast<unsigned char>(text[i]))) {
+      value = value * 10 + (text[i++] - '0');
+      ++digits;
+    }
+    if (digits == 0 || value > 255) return std::nullopt;
+    bits = (bits << 8) | static_cast<unsigned>(value);
+    ++octets;
+    if (i == text.size()) break;
+    if (text[i] != '.') return std::nullopt;
+    ++i;
+  }
+  if (octets != 4) return std::nullopt;
+  return Ipv4(bits);
+}
+
+std::string Ipv4::ToString() const {
+  return StrFormat("%u.%u.%u.%u", (bits_ >> 24) & 0xFF, (bits_ >> 16) & 0xFF,
+                   (bits_ >> 8) & 0xFF, bits_ & 0xFF);
+}
+
+Ipv4Prefix::Ipv4Prefix(Ipv4 addr, int length) : length_(length) {
+  if (length_ < 0) length_ = 0;
+  if (length_ > 32) length_ = 32;
+  addr_ = Ipv4(addr.bits() & Mask());
+}
+
+std::optional<Ipv4Prefix> Ipv4Prefix::Parse(std::string_view text) {
+  size_t slash = text.find('/');
+  if (slash == std::string_view::npos) {
+    auto addr = Ipv4::Parse(text);
+    if (!addr) return std::nullopt;
+    return Ipv4Prefix(*addr, 32);
+  }
+  auto addr = Ipv4::Parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  std::string_view len_text = text.substr(slash + 1);
+  if (len_text.empty() || len_text.size() > 2) return std::nullopt;
+  int length = 0;
+  for (char c : len_text) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return std::nullopt;
+    length = length * 10 + (c - '0');
+  }
+  if (length > 32) return std::nullopt;
+  return Ipv4Prefix(*addr, length);
+}
+
+std::string Ipv4Prefix::ToString() const {
+  return addr_.ToString() + "/" + std::to_string(length_);
+}
+
+}  // namespace nerpa::net

@@ -1,0 +1,72 @@
+// IPv4 address and prefix value types.
+#ifndef NERPA_NET_IP_H_
+#define NERPA_NET_IP_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace nerpa::net {
+
+/// An IPv4 address in host byte order.
+class Ipv4 {
+ public:
+  constexpr Ipv4() = default;
+  explicit constexpr Ipv4(uint32_t bits) : bits_(bits) {}
+  constexpr Ipv4(uint8_t a, uint8_t b, uint8_t c, uint8_t d)
+      : bits_((uint32_t{a} << 24) | (uint32_t{b} << 16) | (uint32_t{c} << 8) |
+              uint32_t{d}) {}
+
+  constexpr uint32_t bits() const { return bits_; }
+
+  /// Parses dotted-quad "10.0.0.1".
+  static std::optional<Ipv4> Parse(std::string_view text);
+
+  std::string ToString() const;
+
+  constexpr auto operator<=>(const Ipv4&) const = default;
+
+ private:
+  uint32_t bits_ = 0;
+};
+
+/// A CIDR prefix (address + length).  Normalizes host bits to zero.
+class Ipv4Prefix {
+ public:
+  constexpr Ipv4Prefix() = default;
+  Ipv4Prefix(Ipv4 addr, int length);
+
+  Ipv4 address() const { return addr_; }
+  int length() const { return length_; }
+  uint32_t Mask() const {
+    return length_ == 0 ? 0u : ~uint32_t{0} << (32 - length_);
+  }
+
+  bool Contains(Ipv4 ip) const {
+    return (ip.bits() & Mask()) == addr_.bits();
+  }
+
+  /// Parses "10.1.0.0/16"; a bare address means /32.
+  static std::optional<Ipv4Prefix> Parse(std::string_view text);
+
+  std::string ToString() const;
+
+  auto operator<=>(const Ipv4Prefix&) const = default;
+
+ private:
+  Ipv4 addr_;
+  int length_ = 0;
+};
+
+}  // namespace nerpa::net
+
+template <>
+struct std::hash<nerpa::net::Ipv4> {
+  size_t operator()(const nerpa::net::Ipv4& ip) const noexcept {
+    return std::hash<uint32_t>{}(ip.bits());
+  }
+};
+
+#endif  // NERPA_NET_IP_H_

@@ -1,0 +1,43 @@
+#include "net/mac.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace nerpa::net {
+
+std::optional<Mac> Mac::Parse(std::string_view text) {
+  uint64_t bits = 0;
+  int octets = 0;
+  size_t i = 0;
+  while (i < text.size()) {
+    int value = 0;
+    int digits = 0;
+    while (i < text.size() && digits < 2 &&
+           std::isxdigit(static_cast<unsigned char>(text[i]))) {
+      char c = text[i++];
+      int d = (c >= '0' && c <= '9') ? c - '0'
+              : (c >= 'a' && c <= 'f') ? c - 'a' + 10
+                                       : c - 'A' + 10;
+      value = value * 16 + d;
+      ++digits;
+    }
+    if (digits == 0) return std::nullopt;
+    bits = (bits << 8) | static_cast<unsigned>(value);
+    ++octets;
+    if (i == text.size()) break;
+    if (text[i] != ':' && text[i] != '-') return std::nullopt;
+    ++i;
+    if (i == text.size()) return std::nullopt;  // trailing separator
+  }
+  if (octets != 6) return std::nullopt;
+  return Mac(bits);
+}
+
+std::string Mac::ToString() const {
+  auto b = Bytes();
+  return StrFormat("%02x:%02x:%02x:%02x:%02x:%02x", b[0], b[1], b[2], b[3],
+                   b[4], b[5]);
+}
+
+}  // namespace nerpa::net

@@ -1,0 +1,69 @@
+// Ethernet MAC address value type.
+#ifndef NERPA_NET_MAC_H_
+#define NERPA_NET_MAC_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace nerpa::net {
+
+/// A 48-bit Ethernet address.  Stored as the canonical u64 (upper 16 bits
+/// zero) so it can flow through dlog bit<48> columns unchanged.
+class Mac {
+ public:
+  constexpr Mac() = default;
+  explicit constexpr Mac(uint64_t bits) : bits_(bits & 0xFFFFFFFFFFFFULL) {}
+  constexpr Mac(uint8_t a, uint8_t b, uint8_t c, uint8_t d, uint8_t e,
+                uint8_t f)
+      : bits_((uint64_t{a} << 40) | (uint64_t{b} << 32) | (uint64_t{c} << 24) |
+              (uint64_t{d} << 16) | (uint64_t{e} << 8) | uint64_t{f}) {}
+
+  constexpr uint64_t bits() const { return bits_; }
+
+  constexpr bool IsBroadcast() const { return bits_ == 0xFFFFFFFFFFFFULL; }
+  /// Group bit of the first octet (multicast includes broadcast).
+  constexpr bool IsMulticast() const { return (bits_ >> 40) & 0x01; }
+  constexpr bool IsUnicast() const { return !IsMulticast(); }
+  constexpr bool IsZero() const { return bits_ == 0; }
+
+  std::array<uint8_t, 6> Bytes() const {
+    return {static_cast<uint8_t>(bits_ >> 40),
+            static_cast<uint8_t>(bits_ >> 32),
+            static_cast<uint8_t>(bits_ >> 24),
+            static_cast<uint8_t>(bits_ >> 16),
+            static_cast<uint8_t>(bits_ >> 8),
+            static_cast<uint8_t>(bits_)};
+  }
+
+  static Mac FromBytes(const uint8_t bytes[6]) {
+    return Mac(bytes[0], bytes[1], bytes[2], bytes[3], bytes[4], bytes[5]);
+  }
+
+  static constexpr Mac Broadcast() { return Mac(0xFFFFFFFFFFFFULL); }
+
+  /// Parses "aa:bb:cc:dd:ee:ff" (case-insensitive).
+  static std::optional<Mac> Parse(std::string_view text);
+
+  /// "aa:bb:cc:dd:ee:ff".
+  std::string ToString() const;
+
+  constexpr auto operator<=>(const Mac&) const = default;
+
+ private:
+  uint64_t bits_ = 0;
+};
+
+}  // namespace nerpa::net
+
+template <>
+struct std::hash<nerpa::net::Mac> {
+  size_t operator()(const nerpa::net::Mac& mac) const noexcept {
+    return std::hash<uint64_t>{}(mac.bits());
+  }
+};
+
+#endif  // NERPA_NET_MAC_H_

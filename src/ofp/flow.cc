@@ -1,0 +1,195 @@
+#include "ofp/flow.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace nerpa::ofp {
+
+std::string OfAction::ToString() const {
+  switch (kind) {
+    case Kind::kOutput:
+      return StrFormat("output:%llu", static_cast<unsigned long long>(value));
+    case Kind::kGroup:
+      return StrFormat("group:%llu", static_cast<unsigned long long>(value));
+    case Kind::kSetField:
+      return StrFormat("set_field:%s=%llx", field.c_str(),
+                       static_cast<unsigned long long>(value));
+    case Kind::kClone:
+      return StrFormat("clone:%llu", static_cast<unsigned long long>(value));
+    case Kind::kPushVlan:
+      return StrFormat("push_vlan:%llu",
+                       static_cast<unsigned long long>(value));
+    case Kind::kPopVlan: return "pop_vlan";
+    case Kind::kDrop: return "drop";
+  }
+  return "?";
+}
+
+std::string Flow::ToString() const {
+  std::string out = StrFormat("table=%d priority=%d", table_id, priority);
+  for (const OfMatch& m : match) {
+    out += StrFormat(" %s=%llx/%llx", m.field.c_str(),
+                     static_cast<unsigned long long>(m.value),
+                     static_cast<unsigned long long>(m.mask));
+  }
+  out += " actions=";
+  for (size_t i = 0; i < actions.size(); ++i) {
+    if (i > 0) out += ',';
+    out += actions[i].ToString();
+  }
+  if (!cookie.empty()) out += " cookie=" + cookie;
+  return out;
+}
+
+void FlowSwitch::AddFlow(Flow flow) {
+  auto& flows = tables_[flow.table_id];
+  flows.push_back(std::move(flow));
+  std::stable_sort(flows.begin(), flows.end(),
+                   [](const Flow& a, const Flow& b) {
+                     return a.priority > b.priority;
+                   });
+}
+
+size_t FlowSwitch::RemoveByCookie(std::string_view cookie) {
+  size_t removed = 0;
+  for (auto& [table_id, flows] : tables_) {
+    auto it = std::remove_if(flows.begin(), flows.end(), [&](const Flow& f) {
+      return f.cookie == cookie;
+    });
+    removed += static_cast<size_t>(flows.end() - it);
+    flows.erase(it, flows.end());
+  }
+  return removed;
+}
+
+void FlowSwitch::Clear() {
+  tables_.clear();
+  groups_.clear();
+}
+
+size_t FlowSwitch::FlowCount() const {
+  size_t total = 0;
+  for (const auto& [table_id, flows] : tables_) total += flows.size();
+  return total;
+}
+
+std::string FlowSwitch::DumpFlows() const {
+  std::string out;
+  for (const auto& [table_id, flows] : tables_) {
+    for (const Flow& flow : flows) {
+      out += flow.ToString() + "\n";
+    }
+  }
+  return out;
+}
+
+std::map<std::string, size_t> FlowSwitch::FlowsByCookie() const {
+  std::map<std::string, size_t> out;
+  for (const auto& [table_id, flows] : tables_) {
+    for (const Flow& flow : flows) ++out[flow.cookie];
+  }
+  return out;
+}
+
+void FlowSwitch::SetGroup(uint32_t group, std::vector<uint64_t> ports) {
+  if (ports.empty()) {
+    groups_.erase(group);
+  } else {
+    groups_[group] = std::move(ports);
+  }
+}
+
+const Flow* FlowSwitch::Lookup(int table_id, const FieldMap& fields) const {
+  auto it = tables_.find(table_id);
+  if (it == tables_.end()) return nullptr;
+  for (const Flow& flow : it->second) {  // sorted by priority desc
+    bool all = true;
+    for (const OfMatch& m : flow.match) {
+      auto field = fields.find(m.field);
+      uint64_t value = field == fields.end() ? 0 : field->second;
+      if (!m.Matches(value)) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return &flow;
+  }
+  return nullptr;
+}
+
+FlowSwitch::Verdict FlowSwitch::RunTables(FieldMap& fields, int first,
+                                          int last) const {
+  Verdict verdict;
+  for (auto it = tables_.lower_bound(first);
+       it != tables_.end() && it->first <= last; ++it) {
+    const Flow* flow = Lookup(it->first, fields);
+    if (flow == nullptr) continue;
+    for (const OfAction& action : flow->actions) {
+      switch (action.kind) {
+        case OfAction::Kind::kOutput:
+          verdict.port = action.value;
+          verdict.group.reset();
+          verdict.drop = false;
+          break;
+        case OfAction::Kind::kGroup:
+          verdict.group = static_cast<uint32_t>(action.value);
+          verdict.drop = false;
+          break;
+        case OfAction::Kind::kSetField:
+          fields[action.field] = action.value;
+          break;
+        case OfAction::Kind::kClone:
+          verdict.clones.push_back(action.value);
+          break;
+        case OfAction::Kind::kPushVlan:
+          fields["vlan._valid"] = 1;
+          fields["vlan.vid"] = action.value;
+          break;
+        case OfAction::Kind::kPopVlan:
+          fields["vlan._valid"] = 0;
+          fields["vlan.vid"] = 0;
+          break;
+        case OfAction::Kind::kDrop:
+          verdict.drop = true;
+          verdict.port.reset();
+          verdict.group.reset();
+          break;
+      }
+    }
+    if (verdict.drop) break;
+  }
+  return verdict;
+}
+
+std::vector<OfPacketOut> FlowSwitch::Process(const FieldMap& in_fields,
+                                             uint64_t in_port) const {
+  FieldMap fields = in_fields;
+  fields["standard.ingress_port"] = in_port;
+  Verdict ingress = RunTables(fields, 0, egress_boundary_ - 1);
+  std::vector<OfPacketOut> out;
+  auto egress_one = [&](FieldMap copy, uint64_t port) {
+    copy["standard.egress_port"] = port;
+    Verdict verdict = RunTables(copy, egress_boundary_, 1 << 30);
+    if (verdict.drop) return;
+    out.push_back(OfPacketOut{port, std::move(copy)});
+  };
+  for (uint64_t port : ingress.clones) {
+    out.push_back(OfPacketOut{port, in_fields});  // original fields
+  }
+  if (ingress.drop) return out;
+  if (ingress.group) {
+    auto group = groups_.find(*ingress.group);
+    if (group != groups_.end()) {
+      for (uint64_t port : group->second) {
+        if (port == in_port) continue;  // source pruning
+        egress_one(fields, port);
+      }
+    }
+  } else if (ingress.port) {
+    egress_one(fields, *ingress.port);
+  }
+  return out;
+}
+
+}  // namespace nerpa::ofp

@@ -1,0 +1,124 @@
+// An OpenFlow-style flow layer: masked-match flows organized in a table
+// pipeline, plus a software switch that evaluates them over parsed packet
+// fields.
+//
+// Two consumers:
+//   * p4c_of.h lowers a P4 program + its runtime entries to this layer —
+//     the reproduction of the Nerpa repo's `p4c-of` backend, which lets the
+//     same control plane drive a high-performance flow switch (§4.1).
+//   * The Fig. 3 benchmark counts "OpenFlow program fragments" emitted by a
+//     conventional fragment-style controller.
+#ifndef NERPA_OFP_FLOW_H_
+#define NERPA_OFP_FLOW_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace nerpa::ofp {
+
+/// A masked match on one named field ("ethernet.dstAddr", "meta.vlan",
+/// "vlan._valid", ...).  mask selects the significant bits.
+struct OfMatch {
+  std::string field;
+  uint64_t value = 0;
+  uint64_t mask = ~uint64_t{0};
+
+  bool Matches(uint64_t field_value) const {
+    return (field_value & mask) == (value & mask);
+  }
+};
+
+struct OfAction {
+  enum class Kind {
+    kOutput,     // forward to port `value`
+    kGroup,      // replicate via group `value`
+    kSetField,   // field = value
+    kClone,      // mirror the original (pre-modification) fields to a port
+    kPushVlan,   // add 802.1Q tag with vid = value
+    kPopVlan,
+    kDrop,
+  };
+  Kind kind = Kind::kDrop;
+  std::string field;  // kSetField
+  uint64_t value = 0;
+
+  std::string ToString() const;
+};
+
+/// One flow entry.  `cookie` records the controller code site ("fragment")
+/// that emitted it — the unit Fig. 3 counts.
+struct Flow {
+  int table_id = 0;
+  int priority = 0;
+  std::vector<OfMatch> match;
+  std::vector<OfAction> actions;
+  std::string cookie;
+
+  std::string ToString() const;
+};
+
+/// A parsed-packet view: named fields plus synthetic validity bits
+/// ("vlan._valid").  The OF layer is defined over this view; conversion
+/// from/to raw packets lives with the caller.
+using FieldMap = std::map<std::string, uint64_t>;
+
+struct OfPacketOut {
+  uint64_t port = 0;
+  FieldMap fields;
+};
+
+/// A pipeline of flow tables evaluated in ascending table_id order; the
+/// highest-priority matching flow's actions run, then evaluation continues
+/// with the next table (single-pass, goto-next semantics).  A table with no
+/// matching flow simply falls through.
+class FlowSwitch {
+ public:
+  void AddFlow(Flow flow);
+  /// Removes all flows with this cookie; returns how many were removed.
+  size_t RemoveByCookie(std::string_view cookie);
+  void Clear();
+
+  size_t FlowCount() const;
+  /// Human-readable listing of every flow (diagnostics).
+  std::string DumpFlows() const;
+  /// Flows grouped by cookie — the "fragments" metric.
+  std::map<std::string, size_t> FlowsByCookie() const;
+
+  void SetGroup(uint32_t group, std::vector<uint64_t> ports);
+
+  /// Runs `fields` through the ingress tables; returns the output packets
+  /// (with per-copy egress table processing).
+  std::vector<OfPacketOut> Process(const FieldMap& fields,
+                                   uint64_t in_port) const;
+
+  /// Table ids >= this bound are egress tables, applied per output copy
+  /// with "standard.egress_port" set.
+  void SetEgressBoundary(int first_egress_table) {
+    egress_boundary_ = first_egress_table;
+  }
+
+ private:
+  const Flow* Lookup(int table_id, const FieldMap& fields) const;
+  /// Applies `table_range` tables to fields; returns unicast/multicast
+  /// decision.
+  struct Verdict {
+    bool drop = false;
+    std::optional<uint64_t> port;
+    std::optional<uint32_t> group;
+    std::vector<uint64_t> clones;
+  };
+  Verdict RunTables(FieldMap& fields, int first, int last) const;
+
+  std::map<int, std::vector<Flow>> tables_;  // table_id -> flows
+  std::map<uint32_t, std::vector<uint64_t>> groups_;
+  int egress_boundary_ = 1 << 30;
+};
+
+}  // namespace nerpa::ofp
+
+#endif  // NERPA_OFP_FLOW_H_

@@ -1,0 +1,62 @@
+// p4c-of: lowering a P4 pipeline (program + runtime entries) to OpenFlow
+// style flow tables — the reproduction of the Nerpa repository's `p4c-of`
+// backend, which "compiles P4 into OpenFlow and allows the use of
+// high-performance software switches" (§4.1).
+//
+// Supported subset (matches what snvs needs):
+//   * Control flow: nested conditionals on field equality and header
+//     validity; each conditional becomes extra guard matches on the flows
+//     of the tables it dominates.
+//   * Match kinds: exact, LPM (via priority), ternary, optional.
+//     Range matches are rejected.
+//   * Actions: set-field, output, multicast group, drop, push/pop VLAN.
+//     Digests have no OpenFlow equivalent and are lowered to no-ops with a
+//     warning (real p4c-of falls back to packet-in).
+#ifndef NERPA_OFP_P4C_OF_H_
+#define NERPA_OFP_P4C_OF_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "net/packet.h"
+#include "ofp/flow.h"
+#include "p4/interpreter.h"
+
+namespace nerpa::ofp {
+
+/// Static layout of the lowered pipeline: OF table ids in application
+/// order plus the guard matches each table inherits from control flow.
+struct OfLayout {
+  std::map<std::string, int> table_ids;
+  std::map<std::string, std::vector<OfMatch>> table_guards;
+  int egress_boundary = 0;
+  std::vector<std::string> warnings;
+};
+
+/// Computes the layout for `program` (must be validated).
+Result<OfLayout> PlanLayout(const p4::P4Program& program);
+
+/// Lowers one table entry to a flow under `layout`.
+Result<Flow> LowerEntry(const p4::P4Program& program, const OfLayout& layout,
+                        const p4::TableEntry& entry,
+                        std::vector<std::string>* warnings = nullptr);
+
+/// Compiles the full current state of `sw` (entries, defaults, multicast
+/// groups) into a ready-to-run FlowSwitch.
+Result<FlowSwitch> CompileP4ToOf(const p4::Switch& sw, OfLayout* layout_out,
+                                 std::vector<std::string>* warnings = nullptr);
+
+/// Parses a raw packet into the OF field view using the program's parse
+/// graph (adds "<header>._valid" bits).
+Result<FieldMap> PacketToFields(const p4::P4Program& program,
+                                const net::Packet& packet);
+
+/// Serializes a field view back to bytes per the program's deparser.
+net::Packet FieldsToPacket(const p4::P4Program& program,
+                           const FieldMap& fields);
+
+}  // namespace nerpa::ofp
+
+#endif  // NERPA_OFP_P4C_OF_H_

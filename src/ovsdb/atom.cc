@@ -1,0 +1,104 @@
+#include "ovsdb/atom.h"
+
+#include "common/strings.h"
+
+namespace nerpa::ovsdb {
+
+const char* AtomicTypeName(AtomicType type) {
+  switch (type) {
+    case AtomicType::kInteger: return "integer";
+    case AtomicType::kReal: return "real";
+    case AtomicType::kBoolean: return "boolean";
+    case AtomicType::kString: return "string";
+    case AtomicType::kUuid: return "uuid";
+  }
+  return "?";
+}
+
+Result<AtomicType> AtomicTypeFromName(std::string_view name) {
+  if (name == "integer") return AtomicType::kInteger;
+  if (name == "real") return AtomicType::kReal;
+  if (name == "boolean") return AtomicType::kBoolean;
+  if (name == "string") return AtomicType::kString;
+  if (name == "uuid") return AtomicType::kUuid;
+  return ParseError("unknown atomic type '" + std::string(name) + "'");
+}
+
+bool Atom::operator<(const Atom& o) const {
+  if (rep_.index() != o.rep_.index()) return rep_.index() < o.rep_.index();
+  switch (rep_.index()) {
+    case 0: return integer() < o.integer();
+    case 1: return real() < o.real();
+    case 2: return boolean() < o.boolean();
+    case 3: return string() < o.string();
+    default: return uuid() < o.uuid();
+  }
+}
+
+Json Atom::ToJson() const {
+  switch (type()) {
+    case AtomicType::kInteger: return Json(integer());
+    case AtomicType::kReal: return Json(real());
+    case AtomicType::kBoolean: return Json(boolean());
+    case AtomicType::kString: return Json(string());
+    case AtomicType::kUuid:
+      return Json(Json::Array{Json("uuid"), Json(uuid().ToString())});
+  }
+  return Json();
+}
+
+Result<Atom> Atom::FromJson(const Json& json, AtomicType expected,
+                            const std::map<std::string, Uuid>* named_uuids) {
+  switch (expected) {
+    case AtomicType::kInteger:
+      if (json.is_integer()) return Atom(json.as_integer());
+      return ParseError("expected integer atom, got " + json.Dump());
+    case AtomicType::kReal:
+      if (json.is_number()) return Atom(json.as_double());
+      return ParseError("expected real atom, got " + json.Dump());
+    case AtomicType::kBoolean:
+      if (json.is_bool()) return Atom(json.as_bool());
+      return ParseError("expected boolean atom, got " + json.Dump());
+    case AtomicType::kString:
+      if (json.is_string()) return Atom(json.as_string());
+      return ParseError("expected string atom, got " + json.Dump());
+    case AtomicType::kUuid: {
+      if (!json.is_array() || json.as_array().size() != 2 ||
+          !json.as_array()[0].is_string() || !json.as_array()[1].is_string()) {
+        return ParseError("expected [\"uuid\",...] pair, got " + json.Dump());
+      }
+      const std::string& tag = json.as_array()[0].as_string();
+      const std::string& text = json.as_array()[1].as_string();
+      if (tag == "uuid") {
+        auto uuid = Uuid::Parse(text);
+        if (!uuid) return ParseError("malformed uuid '" + text + "'");
+        return Atom(*uuid);
+      }
+      if (tag == "named-uuid") {
+        if (named_uuids == nullptr) {
+          return ParseError("named-uuid not allowed in this context");
+        }
+        auto it = named_uuids->find(text);
+        if (it == named_uuids->end()) {
+          return ParseError("unknown named-uuid '" + text + "'");
+        }
+        return Atom(it->second);
+      }
+      return ParseError("expected uuid tag, got '" + tag + "'");
+    }
+  }
+  return ParseError("bad atomic type");
+}
+
+std::string Atom::ToString() const {
+  switch (type()) {
+    case AtomicType::kInteger: return std::to_string(integer());
+    case AtomicType::kReal: return StrFormat("%g", real());
+    case AtomicType::kBoolean: return boolean() ? "true" : "false";
+    case AtomicType::kString: return QuoteString(string());
+    case AtomicType::kUuid: return uuid().ToString();
+  }
+  return "?";
+}
+
+}  // namespace nerpa::ovsdb

@@ -1,0 +1,196 @@
+#include "ovsdb/client.h"
+
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/strings.h"
+
+namespace nerpa::ovsdb {
+
+OvsdbClient::~OvsdbClient() { Disconnect(); }
+
+Status OvsdbClient::Connect(const std::string& host, uint16_t port) {
+  Disconnect();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return Internal("socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return InvalidArgument("bad host '" + host + "' (use a dotted quad)");
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    return Internal(StrFormat("connect(%s:%u) failed: %s", host.c_str(), port,
+                              std::strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return Status::Ok();
+}
+
+void OvsdbClient::Disconnect() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  inbox_.clear();
+  handlers_.clear();
+}
+
+Status OvsdbClient::ReadMore(int timeout_ms) {
+  pollfd pfd{fd_, POLLIN, 0};
+  int ready = ::poll(&pfd, 1, timeout_ms);
+  if (ready < 0) return Internal("poll() failed");
+  if (ready == 0) return Status::Ok();  // timeout; caller decides
+  char buffer[4096];
+  ssize_t n = ::recv(fd_, buffer, sizeof buffer, 0);
+  if (n == 0) return FailedPrecondition("server closed the connection");
+  if (n < 0) return Internal("recv() failed");
+  return splitter_.Feed(
+      std::string_view(buffer, static_cast<size_t>(n)),
+      [&](std::string_view text) -> Status {
+        NERPA_ASSIGN_OR_RETURN(Json json, Json::Parse(text));
+        NERPA_ASSIGN_OR_RETURN(JsonRpcMessage message,
+                               JsonRpcMessage::FromJson(json));
+        inbox_.push_back(std::move(message));
+        return Status::Ok();
+      });
+}
+
+int OvsdbClient::DeliverQueued() {
+  int delivered = 0;
+  for (auto it = inbox_.begin(); it != inbox_.end();) {
+    if (it->kind == JsonRpcMessage::Kind::kNotification &&
+        it->method == "update" && it->params.is_array() &&
+        it->params.as_array().size() == 2) {
+      std::string key = it->params.as_array()[0].Dump();
+      auto handler = handlers_.find(key);
+      if (handler != handlers_.end()) {
+        handler->second(it->params.as_array()[0], it->params.as_array()[1]);
+        ++delivered;
+      }
+      it = inbox_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return delivered;
+}
+
+Result<JsonRpcMessage> OvsdbClient::Call(const std::string& method,
+                                         Json params) {
+  if (fd_ < 0) return FailedPrecondition("not connected");
+  Json id(next_id_++);
+  JsonRpcMessage request =
+      JsonRpcMessage::Request(method, std::move(params), id);
+  std::string wire = request.ToJson().Dump();
+  size_t sent = 0;
+  while (sent < wire.size()) {
+    ssize_t n =
+        ::send(fd_, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return Internal("send() failed");
+    sent += static_cast<size_t>(n);
+  }
+  // Wait for the matching response; queue notifications seen on the way.
+  for (int spins = 0; spins < 10000; ++spins) {
+    for (auto it = inbox_.begin(); it != inbox_.end(); ++it) {
+      if (it->kind == JsonRpcMessage::Kind::kResponse && it->id == id) {
+        JsonRpcMessage response = std::move(*it);
+        inbox_.erase(it);
+        return response;
+      }
+    }
+    NERPA_RETURN_IF_ERROR(ReadMore(/*timeout_ms=*/1000));
+  }
+  return Internal("no response to '" + method + "'");
+}
+
+Status OvsdbClient::Echo() {
+  NERPA_ASSIGN_OR_RETURN(
+      JsonRpcMessage response,
+      Call("echo", Json(Json::Array{Json("ping")})));
+  if (!response.error.is_null()) {
+    return Internal("echo error: " + response.error.Dump());
+  }
+  return Status::Ok();
+}
+
+Result<DatabaseSchema> OvsdbClient::GetSchema() {
+  NERPA_ASSIGN_OR_RETURN(JsonRpcMessage response,
+                         Call("get_schema", Json(Json::Array{})));
+  if (!response.error.is_null()) {
+    return Internal("get_schema error: " + response.error.Dump());
+  }
+  return DatabaseSchema::FromJson(response.result);
+}
+
+Result<Json> OvsdbClient::Transact(Json operations) {
+  if (!operations.is_array()) {
+    return InvalidArgument("transact takes an array of operations");
+  }
+  Json::Array params;
+  params.push_back(Json("db"));
+  for (Json& op : operations.as_array()) params.push_back(std::move(op));
+  NERPA_ASSIGN_OR_RETURN(JsonRpcMessage response,
+                         Call("transact", Json(std::move(params))));
+  if (!response.error.is_null()) {
+    return FailedPrecondition("transact error: " + response.error.Dump());
+  }
+  return response.result;
+}
+
+Result<Json> OvsdbClient::Monitor(Json monitor_id,
+                                  const std::vector<std::string>& tables,
+                                  UpdateHandler handler) {
+  Json::Array params;
+  params.push_back(Json("db"));
+  params.push_back(monitor_id);
+  Json::Object requests;
+  for (const std::string& table : tables) {
+    requests[table] = Json(Json::Object{});
+  }
+  params.push_back(Json(std::move(requests)));
+  NERPA_ASSIGN_OR_RETURN(JsonRpcMessage response,
+                         Call("monitor", Json(std::move(params))));
+  if (!response.error.is_null()) {
+    return FailedPrecondition("monitor error: " + response.error.Dump());
+  }
+  handlers_[monitor_id.Dump()] = std::move(handler);
+  return response.result;
+}
+
+Status OvsdbClient::MonitorCancel(const Json& monitor_id) {
+  NERPA_ASSIGN_OR_RETURN(
+      JsonRpcMessage response,
+      Call("monitor_cancel", Json(Json::Array{monitor_id})));
+  if (!response.error.is_null()) {
+    return FailedPrecondition("monitor_cancel error: " +
+                              response.error.Dump());
+  }
+  handlers_.erase(monitor_id.Dump());
+  return Status::Ok();
+}
+
+Result<int> OvsdbClient::Poll() {
+  NERPA_RETURN_IF_ERROR(ReadMore(/*timeout_ms=*/0));
+  return DeliverQueued();
+}
+
+Result<int> OvsdbClient::WaitForUpdate(int timeout_ms) {
+  int waited = 0;
+  while (true) {
+    int delivered = DeliverQueued();
+    if (delivered > 0) return delivered;
+    if (waited >= timeout_ms) return 0;
+    NERPA_RETURN_IF_ERROR(ReadMore(/*timeout_ms=*/50));
+    waited += 50;
+  }
+}
+
+}  // namespace nerpa::ovsdb

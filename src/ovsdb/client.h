@@ -1,0 +1,73 @@
+// A TCP OVSDB client for OvsdbServer: synchronous request/response plus an
+// explicitly pumped update stream (no hidden threads — tests and the
+// networked controller call Poll()/WaitForUpdate() deterministically).
+#ifndef NERPA_OVSDB_CLIENT_H_
+#define NERPA_OVSDB_CLIENT_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+#include "ovsdb/jsonrpc.h"
+#include "ovsdb/schema.h"
+
+namespace nerpa::ovsdb {
+
+class OvsdbClient {
+ public:
+  OvsdbClient() = default;
+  ~OvsdbClient();
+
+  OvsdbClient(const OvsdbClient&) = delete;
+  OvsdbClient& operator=(const OvsdbClient&) = delete;
+
+  Status Connect(const std::string& host, uint16_t port);
+  void Disconnect();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Round-trip "echo" (liveness probe).
+  Status Echo();
+
+  /// Fetches and parses the database schema.
+  Result<DatabaseSchema> GetSchema();
+
+  /// Runs a transaction (array of operation objects, as Database::Transact
+  /// takes); returns the per-op results.
+  Result<Json> Transact(Json operations);
+
+  using UpdateHandler =
+      std::function<void(const Json& monitor_id, const Json& updates)>;
+
+  /// Registers a monitor on `tables` (empty = all); returns the initial
+  /// contents.  Subsequent updates are queued and delivered to `handler`
+  /// from Poll().
+  Result<Json> Monitor(Json monitor_id, const std::vector<std::string>& tables,
+                       UpdateHandler handler);
+  Status MonitorCancel(const Json& monitor_id);
+
+  /// Drains any queued update notifications into their handlers without
+  /// blocking.  Returns the number of updates delivered.
+  Result<int> Poll();
+
+  /// Blocks (up to `timeout_ms`) until at least one update is delivered.
+  Result<int> WaitForUpdate(int timeout_ms);
+
+ private:
+  /// Sends a request and blocks for its response, queueing any
+  /// notifications that arrive in between.
+  Result<JsonRpcMessage> Call(const std::string& method, Json params);
+  Status ReadMore(int timeout_ms);  // feeds the splitter from the socket
+  int DeliverQueued();
+
+  int fd_ = -1;
+  int64_t next_id_ = 1;
+  JsonStreamSplitter splitter_;
+  std::deque<JsonRpcMessage> inbox_;        // parsed, undelivered messages
+  std::map<std::string, UpdateHandler> handlers_;  // monitor id dump -> cb
+};
+
+}  // namespace nerpa::ovsdb
+
+#endif  // NERPA_OVSDB_CLIENT_H_

@@ -1,0 +1,192 @@
+// The management-plane database: an in-memory OVSDB (RFC 7047) lookalike.
+//
+// Key properties Nerpa depends on, all implemented here:
+//   * Transactional mutation: a "transact" request is a list of operations
+//     applied atomically; any failure rolls the whole batch back.
+//   * Monitors: subscribers receive the per-transaction delta (old/new row
+//     pairs) after each commit — this stream drives the incremental control
+//     plane, giving the "changes grouped into transactions" property of §4.1.
+//   * Schema enforcement: column types, enum/range constraints, unique
+//     indexes, strong/weak referential integrity, and garbage collection of
+//     unreferenced rows in non-root tables.
+#ifndef NERPA_OVSDB_DATABASE_H_
+#define NERPA_OVSDB_DATABASE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "ovsdb/datum.h"
+#include "ovsdb/schema.h"
+
+namespace nerpa::ovsdb {
+
+/// A row: its UUID plus column values.  Missing columns read as the column
+/// type's default.
+struct Row {
+  Uuid uuid;
+  std::map<std::string, Datum> columns;
+
+  const Datum* Find(std::string_view column) const {
+    auto it = columns.find(std::string(column));
+    return it == columns.end() ? nullptr : &it->second;
+  }
+
+  bool operator==(const Row& o) const {
+    return uuid == o.uuid && columns == o.columns;
+  }
+};
+
+/// One row's change within a transaction delta.
+///   insert: old absent, new present.   delete: old present, new absent.
+///   modify: both present (and differing).
+struct RowUpdate {
+  std::optional<Row> old_row;
+  std::optional<Row> new_row;
+
+  bool is_insert() const { return !old_row && new_row; }
+  bool is_delete() const { return old_row && !new_row; }
+  bool is_modify() const { return old_row && new_row; }
+};
+
+using TableUpdate = std::map<Uuid, RowUpdate>;
+/// table name -> row updates; the unit delivered to each monitor per commit.
+using TableUpdates = std::map<std::string, TableUpdate>;
+
+/// A typed `where` clause: [column, function, value].
+struct Clause {
+  std::string column;   // "_uuid" selects by row id
+  std::string function; // "==", "!=", "<", "<=", ">", ">=", "includes", "excludes"
+  Datum value;
+};
+
+class Database {
+ public:
+  explicit Database(DatabaseSchema schema);
+
+  const DatabaseSchema& schema() const { return schema_; }
+
+  /// Executes a JSON "transact" request: an array of operation objects
+  /// (insert/select/update/mutate/delete/wait/comment/abort).  Returns the
+  /// per-operation result array; if any operation fails the transaction is
+  /// rolled back and the Status is the error.
+  Result<Json> Transact(const Json& operations);
+
+  /// Parses `text` as JSON and calls Transact.
+  Result<Json> TransactText(std::string_view text);
+
+  // --- Read API (between transactions) ---
+
+  /// Row by UUID; nullptr if missing.  Pointer valid until next Transact.
+  const Row* GetRow(std::string_view table, const Uuid& uuid) const;
+  /// All rows of `table` (unspecified order).
+  std::vector<const Row*> GetRows(std::string_view table) const;
+  size_t RowCount(std::string_view table) const;
+  /// Rows matching all `where` clauses.
+  Result<std::vector<const Row*>> SelectRows(
+      std::string_view table, const std::vector<Clause>& where) const;
+
+  // --- Monitors ---
+
+  using MonitorCallback = std::function<void(const TableUpdates&)>;
+
+  /// Registers a monitor on `tables` (empty = all tables).  The current
+  /// contents are delivered immediately as an initial batch of inserts;
+  /// thereafter the callback fires synchronously after every commit that
+  /// touches a monitored table.  Returns a handle for RemoveMonitor.
+  uint64_t AddMonitor(std::vector<std::string> tables, MonitorCallback cb);
+  void RemoveMonitor(uint64_t id);
+
+  /// Number of committed transactions (monotone; useful for tests).
+  uint64_t commit_count() const { return commit_count_; }
+
+  // --- Durability (append-only journal, like ovsdb-server's file) ---
+
+  /// Starts appending every committed transaction's operations to `path`
+  /// (one JSON array per line).  The file is created if missing; an
+  /// existing journal is appended to, so call Restore() first when warm-
+  /// starting.
+  Status EnableJournal(const std::string& path);
+
+  /// Builds a database by replaying a journal produced by EnableJournal.
+  /// Commits that fail during replay (impossible for a journal written by
+  /// this code) abort the restore.
+  static Result<std::unique_ptr<Database>> RestoreFromJournal(
+      DatabaseSchema schema, const std::string& path);
+
+ private:
+  struct TableData {
+    std::unordered_map<Uuid, Row> rows;
+    // One map per schema index: index-column datums -> row uuid.
+    std::vector<std::map<std::vector<Datum>, Uuid>> index_maps;
+  };
+
+  struct Monitor {
+    uint64_t id;
+    std::vector<std::string> tables;  // empty = all
+    MonitorCallback callback;
+  };
+
+  class Txn;  // transaction executor (database.cc)
+
+  TableData* FindTable(std::string_view name);
+  const TableData* FindTable(std::string_view name) const;
+
+  DatabaseSchema schema_;
+  std::map<std::string, TableData> tables_;
+  std::vector<Monitor> monitors_;
+  uint64_t next_monitor_id_ = 1;
+  uint64_t commit_count_ = 0;
+  std::string journal_path_;  // empty = durability off
+};
+
+/// Evaluates one clause against a row (exposed for tests).
+Result<bool> EvalClause(const TableSchema& schema, const Row& row,
+                        const Clause& clause);
+
+/// Parses a wire-format row object ({column: datum-json}) into a Row.
+/// Used by clients consuming monitor "update" notifications.
+Result<Row> RowFromJson(const TableSchema& schema, const Uuid& uuid,
+                        const Json& row_json);
+
+/// Typed transaction builder: accumulates operations, then `Commit()`
+/// produces and executes the JSON request.  This mirrors the client
+/// libraries real OVSDB users code against.
+class TxnBuilder {
+ public:
+  explicit TxnBuilder(Database* db) : db_(db) {}
+
+  /// Adds an insert; returns the named-uuid name usable in later refs
+  /// (Datum::String is NOT a ref — use RefByName()).
+  std::string Insert(std::string_view table,
+                     std::map<std::string, Datum> columns);
+  void Update(std::string_view table, std::vector<Clause> where,
+              std::map<std::string, Datum> columns);
+  void Mutate(std::string_view table, std::vector<Clause> where,
+              std::vector<std::tuple<std::string, std::string, Datum>> mutations);
+  void Delete(std::string_view table, std::vector<Clause> where);
+
+  /// A JSON value that references the row inserted earlier in this
+  /// transaction under `name`.
+  static Json RefByName(std::string_view name);
+
+  /// Executes the accumulated operations atomically.  On success returns the
+  /// UUIDs of inserted rows, in insert order.
+  Result<std::vector<Uuid>> Commit();
+
+ private:
+  Database* db_;
+  Json::Array ops_;
+  int insert_count_ = 0;
+};
+
+}  // namespace nerpa::ovsdb
+
+#endif  // NERPA_OVSDB_DATABASE_H_

@@ -1,0 +1,142 @@
+#include "ovsdb/jsonrpc.h"
+
+namespace nerpa::ovsdb {
+
+Json JsonRpcMessage::ToJson() const {
+  Json::Object obj;
+  switch (kind) {
+    case Kind::kRequest:
+      obj["method"] = Json(method);
+      obj["params"] = params;
+      obj["id"] = id;
+      break;
+    case Kind::kNotification:
+      obj["method"] = Json(method);
+      obj["params"] = params;
+      obj["id"] = Json(nullptr);
+      break;
+    case Kind::kResponse:
+      obj["result"] = result;
+      obj["error"] = error;
+      obj["id"] = id;
+      break;
+  }
+  return Json(std::move(obj));
+}
+
+Result<JsonRpcMessage> JsonRpcMessage::FromJson(const Json& json) {
+  if (!json.is_object()) return ParseError("JSON-RPC message not an object");
+  JsonRpcMessage message;
+  const Json* method = json.Find("method");
+  const Json* id = json.Find("id");
+  if (method != nullptr && method->is_string()) {
+    message.method = method->as_string();
+    if (const Json* params = json.Find("params")) message.params = *params;
+    if (id != nullptr && !id->is_null()) {
+      message.kind = Kind::kRequest;
+      message.id = *id;
+    } else {
+      message.kind = Kind::kNotification;
+    }
+    return message;
+  }
+  const Json* result = json.Find("result");
+  const Json* error = json.Find("error");
+  if (result == nullptr && error == nullptr) {
+    return ParseError("JSON-RPC message has neither method nor result");
+  }
+  message.kind = Kind::kResponse;
+  if (result != nullptr) message.result = *result;
+  if (error != nullptr) message.error = *error;
+  if (id != nullptr) message.id = *id;
+  return message;
+}
+
+JsonRpcMessage JsonRpcMessage::Request(std::string method, Json params,
+                                       Json id) {
+  JsonRpcMessage message;
+  message.kind = Kind::kRequest;
+  message.method = std::move(method);
+  message.params = std::move(params);
+  message.id = std::move(id);
+  return message;
+}
+
+JsonRpcMessage JsonRpcMessage::Notification(std::string method, Json params) {
+  JsonRpcMessage message;
+  message.kind = Kind::kNotification;
+  message.method = std::move(method);
+  message.params = std::move(params);
+  return message;
+}
+
+JsonRpcMessage JsonRpcMessage::Response(Json result, Json id) {
+  JsonRpcMessage message;
+  message.kind = Kind::kResponse;
+  message.result = std::move(result);
+  message.error = Json(nullptr);
+  message.id = std::move(id);
+  return message;
+}
+
+JsonRpcMessage JsonRpcMessage::ErrorResponse(Json error, Json id) {
+  JsonRpcMessage message;
+  message.kind = Kind::kResponse;
+  message.result = Json(nullptr);
+  message.error = std::move(error);
+  message.id = std::move(id);
+  return message;
+}
+
+Status JsonStreamSplitter::Feed(
+    std::string_view bytes,
+    const std::function<Status(std::string_view)>& on_document) {
+  for (char c : bytes) {
+    if (buffer_.empty() && depth_ == 0 &&
+        (c == ' ' || c == '\n' || c == '\t' || c == '\r')) {
+      continue;  // inter-message whitespace
+    }
+    buffer_ += c;
+    if (in_string_) {
+      if (escaped_) {
+        escaped_ = false;
+      } else if (c == '\\') {
+        escaped_ = true;
+      } else if (c == '"') {
+        in_string_ = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_string_ = true;
+        break;
+      case '{':
+      case '[':
+        ++depth_;
+        break;
+      case '}':
+      case ']':
+        --depth_;
+        if (depth_ < 0) {
+          return ParseError("unbalanced JSON in stream");
+        }
+        break;
+      default:
+        break;
+    }
+    if (depth_ == 0 && !buffer_.empty() && !in_string_) {
+      // A complete value ends only at a closing brace/bracket for the
+      // object/array messages OVSDB exchanges; bare scalars are not valid
+      // top-level messages here.
+      if (c == '}' || c == ']') {
+        std::string document = std::move(buffer_);
+        buffer_.clear();
+        NERPA_RETURN_IF_ERROR(on_document(document));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace nerpa::ovsdb

@@ -1,0 +1,56 @@
+// JSON-RPC plumbing for the OVSDB wire protocol (RFC 7047 §4: JSON-RPC
+// 1.0 over a stream socket, messages framed as concatenated JSON values).
+#ifndef NERPA_OVSDB_JSONRPC_H_
+#define NERPA_OVSDB_JSONRPC_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "common/json.h"
+#include "common/status.h"
+
+namespace nerpa::ovsdb {
+
+/// One JSON-RPC message: a request (method + params + id), a notification
+/// (method + params, null id), or a response (result/error + id).
+struct JsonRpcMessage {
+  enum class Kind { kRequest, kNotification, kResponse };
+
+  Kind kind = Kind::kRequest;
+  std::string method;   // request / notification
+  Json params;          // request / notification (array)
+  Json id;              // request / response
+  Json result;          // response
+  Json error;           // response (null when ok)
+
+  Json ToJson() const;
+  static Result<JsonRpcMessage> FromJson(const Json& json);
+
+  static JsonRpcMessage Request(std::string method, Json params, Json id);
+  static JsonRpcMessage Notification(std::string method, Json params);
+  static JsonRpcMessage Response(Json result, Json id);
+  static JsonRpcMessage ErrorResponse(Json error, Json id);
+};
+
+/// Incremental splitter for a stream of concatenated JSON values: feed raw
+/// bytes, collect complete top-level documents.  Tracks nesting depth and
+/// string/escape state; no re-parsing of partial input.
+class JsonStreamSplitter {
+ public:
+  /// Appends bytes; invokes `on_document(text)` for each completed
+  /// top-level JSON value.  Returns an error on structurally impossible
+  /// input (e.g. unbalanced closers).
+  Status Feed(std::string_view bytes,
+              const std::function<Status(std::string_view)>& on_document);
+
+ private:
+  std::string buffer_;
+  int depth_ = 0;
+  bool in_string_ = false;
+  bool escaped_ = false;
+};
+
+}  // namespace nerpa::ovsdb
+
+#endif  // NERPA_OVSDB_JSONRPC_H_

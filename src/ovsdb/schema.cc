@@ -1,0 +1,381 @@
+#include "ovsdb/schema.h"
+
+#include "common/strings.h"
+
+namespace nerpa::ovsdb {
+
+BaseType BaseType::Integer(std::optional<int64_t> min,
+                           std::optional<int64_t> max) {
+  BaseType t;
+  t.type = AtomicType::kInteger;
+  t.min_integer = min;
+  t.max_integer = max;
+  return t;
+}
+
+BaseType BaseType::Real() {
+  BaseType t;
+  t.type = AtomicType::kReal;
+  return t;
+}
+
+BaseType BaseType::Boolean() {
+  BaseType t;
+  t.type = AtomicType::kBoolean;
+  return t;
+}
+
+BaseType BaseType::String() {
+  BaseType t;
+  t.type = AtomicType::kString;
+  return t;
+}
+
+BaseType BaseType::StringEnum(std::vector<std::string> values) {
+  BaseType t;
+  t.type = AtomicType::kString;
+  for (std::string& v : values) t.enum_values.emplace_back(std::move(v));
+  return t;
+}
+
+BaseType BaseType::Ref(std::string table, bool weak) {
+  BaseType t;
+  t.type = AtomicType::kUuid;
+  t.ref_table = std::move(table);
+  t.ref_weak = weak;
+  return t;
+}
+
+Status BaseType::CheckAtom(const Atom& atom) const {
+  if (atom.type() != type) {
+    return TypeError(StrFormat("atom %s has type %s, expected %s",
+                               atom.ToString().c_str(),
+                               AtomicTypeName(atom.type()),
+                               AtomicTypeName(type)));
+  }
+  if (type == AtomicType::kInteger) {
+    if (min_integer && atom.integer() < *min_integer) {
+      return ConstraintError(StrFormat("integer %lld below minimum %lld",
+                                       static_cast<long long>(atom.integer()),
+                                       static_cast<long long>(*min_integer)));
+    }
+    if (max_integer && atom.integer() > *max_integer) {
+      return ConstraintError(StrFormat("integer %lld above maximum %lld",
+                                       static_cast<long long>(atom.integer()),
+                                       static_cast<long long>(*max_integer)));
+    }
+  }
+  if (type == AtomicType::kReal) {
+    if (min_real && atom.real() < *min_real) {
+      return ConstraintError(StrFormat("real %g below minimum %g", atom.real(),
+                                       *min_real));
+    }
+    if (max_real && atom.real() > *max_real) {
+      return ConstraintError(StrFormat("real %g above maximum %g", atom.real(),
+                                       *max_real));
+    }
+  }
+  if (!enum_values.empty()) {
+    for (const Atom& allowed : enum_values) {
+      if (allowed == atom) return Status::Ok();
+    }
+    return ConstraintError("value " + atom.ToString() +
+                           " not in enum constraint");
+  }
+  return Status::Ok();
+}
+
+Json BaseType::ToJson() const {
+  // Short form for unconstrained types, object form otherwise — like OVSDB.
+  bool constrained = min_integer || max_integer || min_real || max_real ||
+                     !enum_values.empty() || !ref_table.empty();
+  if (!constrained) return Json(AtomicTypeName(type));
+  Json::Object obj;
+  obj["type"] = Json(AtomicTypeName(type));
+  if (min_integer) obj["minInteger"] = Json(*min_integer);
+  if (max_integer) obj["maxInteger"] = Json(*max_integer);
+  if (min_real) obj["minReal"] = Json(*min_real);
+  if (max_real) obj["maxReal"] = Json(*max_real);
+  if (!enum_values.empty()) {
+    Json::Array values;
+    for (const Atom& atom : enum_values) values.push_back(atom.ToJson());
+    obj["enum"] =
+        Json(Json::Array{Json("set"), Json(std::move(values))});
+  }
+  if (!ref_table.empty()) {
+    obj["refTable"] = Json(ref_table);
+    obj["refType"] = Json(ref_weak ? "weak" : "strong");
+  }
+  return Json(std::move(obj));
+}
+
+Result<BaseType> BaseType::FromJson(const Json& json) {
+  BaseType out;
+  if (json.is_string()) {
+    NERPA_ASSIGN_OR_RETURN(out.type, AtomicTypeFromName(json.as_string()));
+    return out;
+  }
+  if (!json.is_object()) {
+    return ParseError("base type must be string or object");
+  }
+  const Json* type = json.Find("type");
+  if (type == nullptr || !type->is_string()) {
+    return ParseError("base type object missing 'type'");
+  }
+  NERPA_ASSIGN_OR_RETURN(out.type, AtomicTypeFromName(type->as_string()));
+  if (const Json* v = json.Find("minInteger"); v && v->is_integer()) {
+    out.min_integer = v->as_integer();
+  }
+  if (const Json* v = json.Find("maxInteger"); v && v->is_integer()) {
+    out.max_integer = v->as_integer();
+  }
+  if (const Json* v = json.Find("minReal"); v && v->is_number()) {
+    out.min_real = v->as_double();
+  }
+  if (const Json* v = json.Find("maxReal"); v && v->is_number()) {
+    out.max_real = v->as_double();
+  }
+  if (const Json* v = json.Find("enum"); v != nullptr) {
+    // ["set", [...]] or a single scalar.
+    Json::Array values;
+    if (v->is_array() && v->as_array().size() == 2 &&
+        v->as_array()[0].is_string() &&
+        v->as_array()[0].as_string() == "set") {
+      values = v->as_array()[1].as_array();
+    } else {
+      values.push_back(*v);
+    }
+    for (const Json& value : values) {
+      NERPA_ASSIGN_OR_RETURN(Atom atom, Atom::FromJson(value, out.type));
+      out.enum_values.push_back(std::move(atom));
+    }
+  }
+  if (const Json* v = json.Find("refTable"); v && v->is_string()) {
+    out.ref_table = v->as_string();
+    if (const Json* rt = json.Find("refType"); rt && rt->is_string()) {
+      out.ref_weak = rt->as_string() == "weak";
+    }
+  }
+  return out;
+}
+
+ColumnType ColumnType::Scalar(BaseType base) {
+  ColumnType t;
+  t.key = std::move(base);
+  return t;
+}
+
+ColumnType ColumnType::Optional(BaseType base) {
+  ColumnType t;
+  t.key = std::move(base);
+  t.min = 0;
+  return t;
+}
+
+ColumnType ColumnType::Set(BaseType base, unsigned min, unsigned max) {
+  ColumnType t;
+  t.key = std::move(base);
+  t.min = min;
+  t.max = max;
+  return t;
+}
+
+ColumnType ColumnType::Map(BaseType key, BaseType value, unsigned min,
+                           unsigned max) {
+  ColumnType t;
+  t.key = std::move(key);
+  t.value = std::move(value);
+  t.min = min;
+  t.max = max;
+  return t;
+}
+
+Json ColumnType::ToJson() const {
+  if (is_scalar() && !is_map()) return key.ToJson();
+  Json::Object obj;
+  obj["key"] = key.ToJson();
+  if (value) obj["value"] = value->ToJson();
+  if (min != 1) obj["min"] = Json(static_cast<int64_t>(min));
+  if (max != 1) {
+    obj["max"] = max == kUnlimited ? Json("unlimited")
+                                   : Json(static_cast<int64_t>(max));
+  }
+  return Json(std::move(obj));
+}
+
+Result<ColumnType> ColumnType::FromJson(const Json& json) {
+  ColumnType out;
+  if (json.is_string()) {
+    NERPA_ASSIGN_OR_RETURN(out.key, BaseType::FromJson(json));
+    return out;
+  }
+  if (!json.is_object()) return ParseError("column type must be string/object");
+  // An object may either be a bare constrained base type (has "type") or a
+  // full column type (has "key").
+  if (json.Find("key") == nullptr) {
+    NERPA_ASSIGN_OR_RETURN(out.key, BaseType::FromJson(json));
+    return out;
+  }
+  NERPA_ASSIGN_OR_RETURN(out.key, BaseType::FromJson(*json.Find("key")));
+  if (const Json* v = json.Find("value"); v != nullptr) {
+    NERPA_ASSIGN_OR_RETURN(BaseType value, BaseType::FromJson(*v));
+    out.value = std::move(value);
+  }
+  if (const Json* v = json.Find("min"); v && v->is_integer()) {
+    out.min = static_cast<unsigned>(v->as_integer());
+  }
+  if (const Json* v = json.Find("max"); v != nullptr) {
+    if (v->is_string() && v->as_string() == "unlimited") {
+      out.max = kUnlimited;
+    } else if (v->is_integer()) {
+      out.max = static_cast<unsigned>(v->as_integer());
+    }
+  }
+  if (out.min > out.max) return ParseError("column min exceeds max");
+  return out;
+}
+
+const ColumnSchema* TableSchema::FindColumn(std::string_view name) const {
+  for (const ColumnSchema& column : columns) {
+    if (column.name == name) return &column;
+  }
+  return nullptr;
+}
+
+const TableSchema* DatabaseSchema::FindTable(std::string_view name) const {
+  auto it = tables.find(std::string(name));
+  return it == tables.end() ? nullptr : &it->second;
+}
+
+Status DatabaseSchema::Validate() const {
+  for (const auto& [table_name, table] : tables) {
+    for (const ColumnSchema& column : table.columns) {
+      if (!IsIdentifier(column.name)) {
+        return ConstraintError("bad column name '" + column.name + "' in " +
+                               table_name);
+      }
+      for (const BaseType* base :
+           {&column.type.key,
+            column.type.value ? &*column.type.value : nullptr}) {
+        if (base == nullptr) continue;
+        if (!base->ref_table.empty() && FindTable(base->ref_table) == nullptr) {
+          return ConstraintError(StrFormat(
+              "column %s.%s references unknown table '%s'",
+              table_name.c_str(), column.name.c_str(),
+              base->ref_table.c_str()));
+        }
+      }
+    }
+    for (const auto& index : table.indexes) {
+      for (const std::string& column : index) {
+        if (table.FindColumn(column) == nullptr) {
+          return ConstraintError(StrFormat(
+              "index on %s names unknown column '%s'", table_name.c_str(),
+              column.c_str()));
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Json DatabaseSchema::ToJson() const {
+  Json::Object root;
+  root["name"] = Json(name);
+  root["version"] = Json(version);
+  Json::Object tables_json;
+  for (const auto& [table_name, table] : tables) {
+    Json::Object table_json;
+    Json::Object columns_json;
+    for (const ColumnSchema& column : table.columns) {
+      Json::Object column_json;
+      column_json["type"] = column.type.ToJson();
+      if (column.ephemeral) column_json["ephemeral"] = Json(true);
+      if (!column.mutable_) column_json["mutable"] = Json(false);
+      columns_json[column.name] = Json(std::move(column_json));
+    }
+    table_json["columns"] = Json(std::move(columns_json));
+    if (!table.indexes.empty()) {
+      Json::Array indexes_json;
+      for (const auto& index : table.indexes) {
+        Json::Array cols;
+        for (const std::string& c : index) cols.push_back(Json(c));
+        indexes_json.push_back(Json(std::move(cols)));
+      }
+      table_json["indexes"] = Json(std::move(indexes_json));
+    }
+    if (!table.is_root) table_json["isRoot"] = Json(false);
+    if (table.max_rows != kUnlimited) {
+      table_json["maxRows"] = Json(static_cast<int64_t>(table.max_rows));
+    }
+    tables_json[table_name] = Json(std::move(table_json));
+  }
+  root["tables"] = Json(std::move(tables_json));
+  return Json(std::move(root));
+}
+
+Result<DatabaseSchema> DatabaseSchema::FromJson(const Json& json) {
+  if (!json.is_object()) return ParseError("schema must be an object");
+  DatabaseSchema out;
+  if (const Json* v = json.Find("name"); v && v->is_string()) {
+    out.name = v->as_string();
+  } else {
+    return ParseError("schema missing 'name'");
+  }
+  if (const Json* v = json.Find("version"); v && v->is_string()) {
+    out.version = v->as_string();
+  }
+  const Json* tables = json.Find("tables");
+  if (tables == nullptr || !tables->is_object()) {
+    return ParseError("schema missing 'tables' object");
+  }
+  for (const auto& [table_name, table_json] : tables->as_object()) {
+    TableSchema table;
+    table.name = table_name;
+    const Json* columns = table_json.Find("columns");
+    if (columns == nullptr || !columns->is_object()) {
+      return ParseError("table '" + table_name + "' missing 'columns'");
+    }
+    for (const auto& [column_name, column_json] : columns->as_object()) {
+      ColumnSchema column;
+      column.name = column_name;
+      const Json* type = column_json.Find("type");
+      if (type == nullptr) {
+        return ParseError("column '" + column_name + "' missing 'type'");
+      }
+      NERPA_ASSIGN_OR_RETURN(column.type, ColumnType::FromJson(*type));
+      if (const Json* v = column_json.Find("ephemeral"); v && v->is_bool()) {
+        column.ephemeral = v->as_bool();
+      }
+      if (const Json* v = column_json.Find("mutable"); v && v->is_bool()) {
+        column.mutable_ = v->as_bool();
+      }
+      table.columns.push_back(std::move(column));
+    }
+    if (const Json* v = table_json.Find("indexes"); v && v->is_array()) {
+      for (const Json& index_json : v->as_array()) {
+        std::vector<std::string> index;
+        for (const Json& c : index_json.as_array()) {
+          index.push_back(c.as_string());
+        }
+        table.indexes.push_back(std::move(index));
+      }
+    }
+    if (const Json* v = table_json.Find("isRoot"); v && v->is_bool()) {
+      table.is_root = v->as_bool();
+    }
+    if (const Json* v = table_json.Find("maxRows"); v && v->is_integer()) {
+      table.max_rows = static_cast<unsigned>(v->as_integer());
+    }
+    out.tables.emplace(table_name, std::move(table));
+  }
+  NERPA_RETURN_IF_ERROR(out.Validate());
+  return out;
+}
+
+Result<DatabaseSchema> DatabaseSchema::FromJsonText(std::string_view text) {
+  NERPA_ASSIGN_OR_RETURN(Json json, Json::Parse(text));
+  return FromJson(json);
+}
+
+}  // namespace nerpa::ovsdb

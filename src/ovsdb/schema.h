@@ -1,0 +1,110 @@
+// OVSDB database schemas (RFC 7047 §3.2): typed columns with constraints,
+// set/map cardinality, enumerations, and inter-table references.
+//
+// Nerpa's binding generator (src/nerpa/bindings.h) turns each table schema
+// into a control-plane input relation declaration, which is what makes the
+// management plane part of the type-checked full stack.
+#ifndef NERPA_OVSDB_SCHEMA_H_
+#define NERPA_OVSDB_SCHEMA_H_
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "ovsdb/atom.h"
+
+namespace nerpa::ovsdb {
+
+/// An atomic type plus its value constraints.
+struct BaseType {
+  AtomicType type = AtomicType::kString;
+
+  // Constraints (RFC 7047 <base-type>):
+  std::optional<int64_t> min_integer;
+  std::optional<int64_t> max_integer;
+  std::optional<double> min_real;
+  std::optional<double> max_real;
+  std::vector<Atom> enum_values;  // empty = unconstrained
+  std::string ref_table;          // for kUuid: the referenced table
+  bool ref_weak = false;          // weak refs may dangle; strong must resolve
+
+  static BaseType Integer(std::optional<int64_t> min = std::nullopt,
+                          std::optional<int64_t> max = std::nullopt);
+  static BaseType Real();
+  static BaseType Boolean();
+  static BaseType String();
+  static BaseType StringEnum(std::vector<std::string> values);
+  static BaseType Ref(std::string table, bool weak = false);
+
+  /// Checks an atom against type and constraints.
+  Status CheckAtom(const Atom& atom) const;
+
+  Json ToJson() const;
+  static Result<BaseType> FromJson(const Json& json);
+};
+
+constexpr unsigned kUnlimited = std::numeric_limits<unsigned>::max();
+
+/// A column's full type: scalar (min=max=1), optional (min=0,max=1),
+/// set (max>1), or map (value present).
+struct ColumnType {
+  BaseType key;
+  std::optional<BaseType> value;  // present => map
+  unsigned min = 1;
+  unsigned max = 1;
+
+  bool is_map() const { return value.has_value(); }
+  bool is_scalar() const { return !is_map() && min == 1 && max == 1; }
+  bool is_optional_scalar() const { return !is_map() && min == 0 && max == 1; }
+
+  static ColumnType Scalar(BaseType base);
+  static ColumnType Optional(BaseType base);
+  static ColumnType Set(BaseType base, unsigned min = 0,
+                        unsigned max = kUnlimited);
+  static ColumnType Map(BaseType key, BaseType value, unsigned min = 0,
+                        unsigned max = kUnlimited);
+
+  Json ToJson() const;
+  static Result<ColumnType> FromJson(const Json& json);
+};
+
+struct ColumnSchema {
+  std::string name;
+  ColumnType type;
+  bool ephemeral = false;  // not durable; still monitored
+  bool mutable_ = true;    // false => write-once at insert
+};
+
+struct TableSchema {
+  std::string name;
+  std::vector<ColumnSchema> columns;  // declaration order is kept for output
+  std::vector<std::vector<std::string>> indexes;  // unique-key column sets
+  bool is_root = true;  // non-root rows are garbage-collected when unreferenced
+  unsigned max_rows = kUnlimited;
+
+  const ColumnSchema* FindColumn(std::string_view name) const;
+};
+
+struct DatabaseSchema {
+  std::string name;
+  std::string version = "1.0.0";
+  std::map<std::string, TableSchema> tables;
+
+  const TableSchema* FindTable(std::string_view name) const;
+
+  /// Validates internal consistency (refTables exist, index columns exist).
+  Status Validate() const;
+
+  Json ToJson() const;
+  static Result<DatabaseSchema> FromJson(const Json& json);
+  static Result<DatabaseSchema> FromJsonText(std::string_view text);
+};
+
+}  // namespace nerpa::ovsdb
+
+#endif  // NERPA_OVSDB_SCHEMA_H_

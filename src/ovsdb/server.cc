@@ -1,0 +1,317 @@
+#include "ovsdb/server.h"
+
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/log.h"
+#include "common/strings.h"
+
+namespace nerpa::ovsdb {
+
+Json TableUpdatesToJson(const DatabaseSchema& schema,
+                        const TableUpdates& updates) {
+  Json::Object tables_json;
+  for (const auto& [table_name, rows] : updates) {
+    const TableSchema* table = schema.FindTable(table_name);
+    Json::Object rows_json;
+    for (const auto& [uuid, update] : rows) {
+      Json::Object row_json;
+      auto row_to_json = [&](const Row& row) {
+        Json::Object columns;
+        for (const ColumnSchema& column : table->columns) {
+          const Datum* datum = row.Find(column.name);
+          Datum fallback;
+          if (datum == nullptr) {
+            fallback = Datum::Default(column.type);
+            datum = &fallback;
+          }
+          columns[column.name] = datum->ToJson();
+        }
+        return Json(std::move(columns));
+      };
+      if (update.old_row) row_json["old"] = row_to_json(*update.old_row);
+      if (update.new_row) row_json["new"] = row_to_json(*update.new_row);
+      rows_json[uuid.ToString()] = Json(std::move(row_json));
+    }
+    tables_json[table_name] = Json(std::move(rows_json));
+  }
+  return Json(std::move(tables_json));
+}
+
+OvsdbServer::OvsdbServer(std::unique_ptr<Database> db) : db_(std::move(db)) {}
+
+OvsdbServer::~OvsdbServer() { Stop(); }
+
+Status OvsdbServer::Start(uint16_t port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Internal("socket() failed");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Internal(StrFormat("bind(127.0.0.1:%u) failed: %s", port,
+                              std::strerror(errno)));
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, 8) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Internal("listen() failed");
+  }
+  if (::pipe(wake_pipe_) != 0) return Internal("pipe() failed");
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { ServiceLoop(); });
+  return Status::Ok();
+}
+
+void OvsdbServer::Stop() {
+  if (!running_.exchange(false)) {
+    return;
+  }
+  // Wake the poll loop.
+  char byte = 'x';
+  (void)!::write(wake_pipe_[1], &byte, 1);
+  if (thread_.joinable()) thread_.join();
+  for (auto& client : clients_) {
+    if (client->fd >= 0) ::close(client->fd);
+  }
+  clients_.clear();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  listen_fd_ = -1;
+  for (int& fd : wake_pipe_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+}
+
+void OvsdbServer::SendTo(Client& client, const JsonRpcMessage& message) {
+  client.outbox += message.ToJson().Dump();
+  FlushOutbox(client);
+}
+
+void OvsdbServer::FlushOutbox(Client& client) {
+  while (!client.outbox.empty()) {
+    ssize_t n = ::send(client.fd, client.outbox.data(), client.outbox.size(),
+                       MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;  // retry later
+      client.outbox.clear();
+      return;  // peer gone; DropClient happens on the read side
+    }
+    client.outbox.erase(0, static_cast<size_t>(n));
+  }
+}
+
+void OvsdbServer::ServiceLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    std::vector<pollfd> fds;
+    fds.push_back({listen_fd_, POLLIN, 0});
+    fds.push_back({wake_pipe_[0], POLLIN, 0});
+    for (const auto& client : clients_) {
+      short events = POLLIN;
+      if (!client->outbox.empty()) events |= POLLOUT;
+      fds.push_back({client->fd, events, 0});
+    }
+    if (::poll(fds.data(), fds.size(), 200) < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents & POLLIN) {
+      char sink[16];
+      (void)!::read(wake_pipe_[0], sink, sizeof sink);
+    }
+    if (fds[0].revents & POLLIN) {
+      int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd >= 0) {
+        int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+        auto client = std::make_unique<Client>();
+        client->fd = fd;
+        clients_.push_back(std::move(client));
+      }
+    }
+    // Service clients (index-based; HandleDocument may not mutate clients_).
+    for (size_t i = 0; i < clients_.size();) {
+      Client& client = *clients_[i];
+      size_t poll_index = 2 + i;
+      bool drop = false;
+      if (poll_index < fds.size() && (fds[poll_index].revents & POLLOUT)) {
+        FlushOutbox(client);
+      }
+      if (poll_index < fds.size() && (fds[poll_index].revents & POLLIN)) {
+        char buffer[4096];
+        ssize_t n = ::recv(client.fd, buffer, sizeof buffer, 0);
+        if (n <= 0) {
+          drop = true;
+        } else {
+          Status fed = client.splitter.Feed(
+              std::string_view(buffer, static_cast<size_t>(n)),
+              [&](std::string_view text) -> Status {
+                HandleDocument(client, text);
+                return Status::Ok();
+              });
+          if (!fed.ok()) drop = true;  // protocol violation
+        }
+      }
+      if (poll_index < fds.size() &&
+          (fds[poll_index].revents & (POLLHUP | POLLERR))) {
+        drop = true;
+      }
+      if (drop) {
+        DropClient(i);
+      } else {
+        ++i;
+      }
+    }
+  }
+}
+
+void OvsdbServer::DropClient(size_t index) {
+  Client& client = *clients_[index];
+  for (const auto& [name, monitor_id] : client.monitors) {
+    db_->RemoveMonitor(monitor_id);
+  }
+  ::close(client.fd);
+  clients_.erase(clients_.begin() + static_cast<long>(index));
+}
+
+void OvsdbServer::HandleDocument(Client& client, std::string_view text) {
+  auto json = Json::Parse(text);
+  if (!json.ok()) {
+    SendTo(client, JsonRpcMessage::ErrorResponse(Json("parse error"),
+                                                 Json(nullptr)));
+    return;
+  }
+  auto message = JsonRpcMessage::FromJson(*json);
+  if (!message.ok()) {
+    SendTo(client, JsonRpcMessage::ErrorResponse(Json("bad message"),
+                                                 Json(nullptr)));
+    return;
+  }
+  if (message->kind == JsonRpcMessage::Kind::kResponse) {
+    return;  // e.g. the peer answering our echo; nothing to do
+  }
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+  JsonRpcMessage response = HandleRequest(client, *message);
+  if (message->kind == JsonRpcMessage::Kind::kRequest) {
+    SendTo(client, response);
+  }
+}
+
+JsonRpcMessage OvsdbServer::HandleRequest(Client& client,
+                                          const JsonRpcMessage& request) {
+  auto ok = [&](Json result) {
+    return JsonRpcMessage::Response(std::move(result), request.id);
+  };
+  auto fail = [&](const std::string& error) {
+    return JsonRpcMessage::ErrorResponse(Json(error), request.id);
+  };
+
+  if (request.method == "echo") {
+    return ok(request.params);
+  }
+  if (request.method == "list_dbs") {
+    return ok(Json(Json::Array{Json(db_->schema().name)}));
+  }
+  if (request.method == "get_schema") {
+    return ok(db_->schema().ToJson());
+  }
+  if (request.method == "transact") {
+    // params: [db-name, op1, op2, ...]
+    if (!request.params.is_array() || request.params.as_array().empty()) {
+      return fail("transact needs [db, ops...]");
+    }
+    Json::Array ops(request.params.as_array().begin() + 1,
+                    request.params.as_array().end());
+    Result<Json> result = db_->Transact(Json(std::move(ops)));
+    if (!result.ok()) {
+      return fail(result.status().ToString());
+    }
+    return ok(std::move(result).value());
+  }
+  if (request.method == "monitor") {
+    Result<Json> result = DoMonitor(client, request.params);
+    if (!result.ok()) return fail(result.status().ToString());
+    return ok(std::move(result).value());
+  }
+  if (request.method == "monitor_cancel") {
+    Result<Json> result = DoMonitorCancel(client, request.params);
+    if (!result.ok()) return fail(result.status().ToString());
+    return ok(std::move(result).value());
+  }
+  return fail("unknown method '" + request.method + "'");
+}
+
+Result<Json> OvsdbServer::DoMonitor(Client& client, const Json& params) {
+  // params: [db-name, monitor-id(any json), {table: ...} or null = all]
+  if (!params.is_array() || params.as_array().size() < 2) {
+    return InvalidArgument("monitor needs [db, id, requests?]");
+  }
+  Json monitor_id = params.as_array()[1];
+  std::string key = monitor_id.Dump();
+  if (client.monitors.count(key) != 0) {
+    return AlreadyExists("duplicate monitor id " + key);
+  }
+  std::vector<std::string> tables;
+  if (params.as_array().size() >= 3 && params.as_array()[2].is_object()) {
+    for (const auto& [table, spec] : params.as_array()[2].as_object()) {
+      if (db_->schema().FindTable(table) == nullptr) {
+        return NotFound("no table '" + table + "'");
+      }
+      tables.push_back(table);
+    }
+  }
+  // Capture the initial snapshot delivered synchronously by AddMonitor as
+  // the reply; subsequent deltas go out as "update" notifications.  The
+  // flag/snapshot live on the heap because the callback outlives this
+  // frame.
+  auto first = std::make_shared<bool>(true);
+  auto initial = std::make_shared<Json>(Json::Object{});
+  Client* client_ptr = &client;
+  uint64_t id = db_->AddMonitor(
+      tables, [this, client_ptr, monitor_id, initial, first](
+                  const TableUpdates& updates) {
+        Json payload = TableUpdatesToJson(db_->schema(), updates);
+        if (*first) {
+          *initial = std::move(payload);
+          return;
+        }
+        // Runs on the service thread during Transact; push a notification.
+        SendTo(*client_ptr,
+               JsonRpcMessage::Notification(
+                   "update", Json(Json::Array{monitor_id, payload})));
+      });
+  *first = false;
+  client.monitors[key] = id;
+  return *initial;
+}
+
+Result<Json> OvsdbServer::DoMonitorCancel(Client& client, const Json& params) {
+  if (!params.is_array() || params.as_array().empty()) {
+    return InvalidArgument("monitor_cancel needs [id]");
+  }
+  std::string key = params.as_array()[0].Dump();
+  auto it = client.monitors.find(key);
+  if (it == client.monitors.end()) {
+    return NotFound("no monitor " + key);
+  }
+  db_->RemoveMonitor(it->second);
+  client.monitors.erase(it);
+  return Json(Json::Object{});
+}
+
+}  // namespace nerpa::ovsdb

@@ -1,0 +1,82 @@
+// A TCP OVSDB server: the management plane behind a real process-style
+// boundary, speaking the RFC 7047 JSON-RPC methods the prototype's OVSDB
+// spoke ("get_schema", "transact", "monitor", "monitor_cancel", "echo",
+// "list_dbs").  Monitor updates are pushed to subscribers as "update"
+// notifications.
+//
+// Threading model: the server owns a single service thread which is the
+// ONLY accessor of the Database after Start() — clients (including the
+// in-process OvsdbClient) interact exclusively through the socket.
+#ifndef NERPA_OVSDB_SERVER_H_
+#define NERPA_OVSDB_SERVER_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "ovsdb/database.h"
+#include "ovsdb/jsonrpc.h"
+
+namespace nerpa::ovsdb {
+
+class OvsdbServer {
+ public:
+  /// Takes ownership of the database.  Nothing listens until Start().
+  explicit OvsdbServer(std::unique_ptr<Database> db);
+  ~OvsdbServer();
+
+  OvsdbServer(const OvsdbServer&) = delete;
+  OvsdbServer& operator=(const OvsdbServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts the service thread.
+  Status Start(uint16_t port = 0);
+  /// The bound port (valid after Start()).
+  uint16_t port() const { return port_; }
+  /// Stops the service thread and closes every connection.
+  void Stop();
+
+  /// Requests served (for tests).
+  uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Client {
+    int fd = -1;
+    JsonStreamSplitter splitter;
+    std::string outbox;
+    // monitor name (client-chosen id, dumped json) -> database monitor id
+    std::map<std::string, uint64_t> monitors;
+  };
+
+  void ServiceLoop();
+  void HandleDocument(Client& client, std::string_view text);
+  JsonRpcMessage HandleRequest(Client& client, const JsonRpcMessage& request);
+  Result<Json> DoMonitor(Client& client, const Json& params);
+  Result<Json> DoMonitorCancel(Client& client, const Json& params);
+  void SendTo(Client& client, const JsonRpcMessage& message);
+  void FlushOutbox(Client& client);
+  void DropClient(size_t index);
+
+  std::unique_ptr<Database> db_;
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> requests_served_{0};
+  std::vector<std::unique_ptr<Client>> clients_;
+};
+
+/// Serializes a table-updates delta in the wire form used by "update"
+/// notifications: {table: {uuid: {"old": row?, "new": row?}}}.
+Json TableUpdatesToJson(const DatabaseSchema& schema,
+                        const TableUpdates& updates);
+
+}  // namespace nerpa::ovsdb
+
+#endif  // NERPA_OVSDB_SERVER_H_

@@ -1,0 +1,42 @@
+// 128-bit row identifiers, matching OVSDB's RFC-4122-formatted UUIDs.
+#ifndef NERPA_OVSDB_UUID_H_
+#define NERPA_OVSDB_UUID_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace nerpa::ovsdb {
+
+/// A 128-bit universally unique identifier.  Rows are keyed by Uuid, and
+/// columns may hold (weak or strong) Uuid references to rows in other tables.
+struct Uuid {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  constexpr bool IsZero() const { return hi == 0 && lo == 0; }
+
+  /// Generates a fresh random-looking UUID.  Deterministic per-process
+  /// sequence (splitmix64 over a counter) so tests and benches reproduce.
+  static Uuid Generate();
+
+  /// Parses "xxxxxxxx-xxxx-xxxx-xxxx-xxxxxxxxxxxx".
+  static std::optional<Uuid> Parse(std::string_view text);
+
+  std::string ToString() const;
+
+  auto operator<=>(const Uuid&) const = default;
+};
+
+}  // namespace nerpa::ovsdb
+
+template <>
+struct std::hash<nerpa::ovsdb::Uuid> {
+  size_t operator()(const nerpa::ovsdb::Uuid& u) const noexcept {
+    return static_cast<size_t>(u.hi ^ (u.lo * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+#endif  // NERPA_OVSDB_UUID_H_

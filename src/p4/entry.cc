@@ -1,0 +1,227 @@
+#include "p4/entry.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace nerpa::p4 {
+
+namespace {
+uint64_t WidthMask(int width) {
+  return width >= 64 ? ~uint64_t{0} : ((uint64_t{1} << width) - 1);
+}
+}  // namespace
+
+MatchField MatchField::Exact(uint64_t value) {
+  MatchField f;
+  f.value = value;
+  return f;
+}
+
+MatchField MatchField::Lpm(uint64_t value, int prefix_len) {
+  MatchField f;
+  f.value = value;
+  f.prefix_len = prefix_len;
+  return f;
+}
+
+MatchField MatchField::Ternary(uint64_t value, uint64_t mask) {
+  MatchField f;
+  f.value = value & mask;
+  f.mask = mask;
+  return f;
+}
+
+MatchField MatchField::Range(uint64_t low, uint64_t high) {
+  MatchField f;
+  f.value = low;
+  f.high = high;
+  return f;
+}
+
+MatchField MatchField::Optional(std::optional<uint64_t> value) {
+  MatchField f;
+  if (value) {
+    f.value = *value;
+  } else {
+    f.wildcard = true;
+  }
+  return f;
+}
+
+bool MatchField::Matches(MatchKind kind, int width, uint64_t field) const {
+  switch (kind) {
+    case MatchKind::kExact:
+      return field == value;
+    case MatchKind::kLpm: {
+      if (prefix_len <= 0) return true;
+      uint64_t mask_bits =
+          prefix_len >= width ? WidthMask(width)
+                              : WidthMask(width) ^ WidthMask(width - prefix_len);
+      return (field & mask_bits) == (value & mask_bits);
+    }
+    case MatchKind::kTernary:
+      return (field & mask) == value;
+    case MatchKind::kRange:
+      return field >= value && field <= high;
+    case MatchKind::kOptional:
+      return wildcard || field == value;
+  }
+  return false;
+}
+
+std::string TableEntry::KeyString(const Table& schema) const {
+  std::string out;
+  for (size_t i = 0; i < match.size(); ++i) {
+    const MatchField& f = match[i];
+    switch (schema.keys[i].kind) {
+      case MatchKind::kExact:
+        out += StrFormat("e%llx;", static_cast<unsigned long long>(f.value));
+        break;
+      case MatchKind::kLpm:
+        out += StrFormat("l%llx/%d;", static_cast<unsigned long long>(f.value),
+                         f.prefix_len);
+        break;
+      case MatchKind::kTernary:
+        out += StrFormat("t%llx&%llx;", static_cast<unsigned long long>(f.value),
+                         static_cast<unsigned long long>(f.mask));
+        break;
+      case MatchKind::kRange:
+        out += StrFormat("r%llx-%llx;", static_cast<unsigned long long>(f.value),
+                         static_cast<unsigned long long>(f.high));
+        break;
+      case MatchKind::kOptional:
+        out += f.wildcard
+                   ? "o*;"
+                   : StrFormat("o%llx;",
+                               static_cast<unsigned long long>(f.value));
+        break;
+    }
+  }
+  out += StrFormat("p%d", priority);
+  return out;
+}
+
+std::string TableEntry::ToString() const {
+  std::string out = table + "[";
+  for (size_t i = 0; i < match.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += StrFormat("%llx", static_cast<unsigned long long>(match[i].value));
+  }
+  out += "] -> " + action + "(";
+  for (size_t i = 0; i < action_args.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += StrFormat("%llx",
+                     static_cast<unsigned long long>(action_args[i]));
+  }
+  return out + ")";
+}
+
+bool TableState::pure_exact() const {
+  for (const TableKey& key : schema_->keys) {
+    if (key.kind != MatchKind::kExact) return false;
+  }
+  return true;
+}
+
+Status TableState::Insert(TableEntry entry) {
+  if (entries_.size() >= schema_->size) {
+    return ConstraintError("table '" + schema_->name + "' is full");
+  }
+  std::string key = entry.KeyString(*schema_);
+  if (entries_.count(key) != 0) {
+    return AlreadyExists("entry already exists in table '" + schema_->name +
+                         "': " + entry.ToString());
+  }
+  if (pure_exact()) {
+    std::vector<uint64_t> exact_key;
+    for (const MatchField& f : entry.match) exact_key.push_back(f.value);
+    exact_index_[std::move(exact_key)] = key;
+  }
+  entries_.emplace(std::move(key), std::move(entry));
+  return Status::Ok();
+}
+
+Status TableState::Modify(const TableEntry& entry) {
+  auto it = entries_.find(entry.KeyString(*schema_));
+  if (it == entries_.end()) {
+    return NotFound("no such entry in table '" + schema_->name + "': " +
+                    entry.ToString());
+  }
+  it->second.action = entry.action;
+  it->second.action_args = entry.action_args;
+  return Status::Ok();
+}
+
+Status TableState::Remove(const TableEntry& entry) {
+  std::string key = entry.KeyString(*schema_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return NotFound("no such entry in table '" + schema_->name + "': " +
+                    entry.ToString());
+  }
+  if (pure_exact()) {
+    std::vector<uint64_t> exact_key;
+    for (const MatchField& f : it->second.match) {
+      exact_key.push_back(f.value);
+    }
+    exact_index_.erase(exact_key);
+  }
+  entries_.erase(it);
+  return Status::Ok();
+}
+
+const TableEntry* TableState::Lookup(
+    const std::vector<uint64_t>& key_fields) const {
+  if (pure_exact()) {
+    auto it = exact_index_.find(key_fields);
+    if (it == exact_index_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    ++hits_;
+    const TableEntry& entry = entries_.at(it->second);
+    ++entry.hit_count;
+    return &entry;
+  }
+  // General path: scan, keeping the best (longest LPM prefix sum, then
+  // highest priority) match.
+  const TableEntry* best = nullptr;
+  int best_prefix = -1;
+  int32_t best_priority = 0;
+  for (const auto& [key, entry] : entries_) {
+    bool all = true;
+    int prefix_sum = 0;
+    for (size_t i = 0; i < schema_->keys.size(); ++i) {
+      const TableKey& tk = schema_->keys[i];
+      if (!entry.match[i].Matches(tk.kind, tk.width, key_fields[i])) {
+        all = false;
+        break;
+      }
+      if (tk.kind == MatchKind::kLpm) prefix_sum += entry.match[i].prefix_len;
+    }
+    if (!all) continue;
+    if (best == nullptr || prefix_sum > best_prefix ||
+        (prefix_sum == best_prefix && entry.priority > best_priority)) {
+      best = &entry;
+      best_prefix = prefix_sum;
+      best_priority = entry.priority;
+    }
+  }
+  if (best != nullptr) {
+    ++hits_;
+    ++best->hit_count;
+  } else {
+    ++misses_;
+  }
+  return best;
+}
+
+std::vector<const TableEntry*> TableState::Entries() const {
+  std::vector<const TableEntry*> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) out.push_back(&entry);
+  return out;
+}
+
+}  // namespace nerpa::p4

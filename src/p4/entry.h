@@ -1,0 +1,98 @@
+// Match-action table entries and the match semantics for each match kind.
+//
+// Entries are what the control plane writes through the P4Runtime-style API
+// (runtime.h) and what a data-plane table consults per packet: the concrete
+// realization of the paper's "table entries written by the control plane
+// and read by the data plane" (§2.3).
+#ifndef NERPA_P4_ENTRY_H_
+#define NERPA_P4_ENTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "p4/ir.h"
+
+namespace nerpa::p4 {
+
+/// One key field of an entry; interpretation depends on the key's MatchKind.
+struct MatchField {
+  uint64_t value = 0;
+  uint64_t mask = ~uint64_t{0};     // kTernary
+  int prefix_len = 0;               // kLpm
+  uint64_t high = 0;                // kRange: [value, high]
+  bool wildcard = false;            // kOptional: match anything
+
+  static MatchField Exact(uint64_t value);
+  static MatchField Lpm(uint64_t value, int prefix_len);
+  static MatchField Ternary(uint64_t value, uint64_t mask);
+  static MatchField Range(uint64_t low, uint64_t high);
+  static MatchField Optional(std::optional<uint64_t> value);
+
+  /// Does a packet field value satisfy this match under `kind`/`width`?
+  bool Matches(MatchKind kind, int width, uint64_t field) const;
+};
+
+/// A complete table entry.
+struct TableEntry {
+  std::string table;
+  std::vector<MatchField> match;     // parallel to the table's keys
+  int32_t priority = 0;              // higher wins (ternary/range/optional)
+  std::string action;
+  std::vector<uint64_t> action_args; // parallel to the action's params
+  // Direct counter (packets that hit this entry); maintained by
+  // TableState::Lookup, read through RuntimeClient::ReadCounters.
+  mutable uint64_t hit_count = 0;
+
+  /// Canonical identity of an entry = table + match + priority (P4Runtime
+  /// semantics: modifying an entry keeps its identity, changing match or
+  /// priority makes a different entry).
+  std::string KeyString(const Table& schema) const;
+
+  std::string ToString() const;
+};
+
+/// The runtime contents of one table, with per-kind lookup behaviour:
+/// exact tables use a hash map; LPM prefers the longest prefix; ternary,
+/// range, and optional matches pick the highest-priority matching entry.
+class TableState {
+ public:
+  explicit TableState(const Table* schema) : schema_(schema) {}
+
+  const Table& schema() const { return *schema_; }
+  size_t size() const { return entries_.size(); }
+
+  /// Inserts a new entry; error if an entry with the same match+priority
+  /// exists or the table is full.
+  Status Insert(TableEntry entry);
+  /// Replaces the action of an existing entry.
+  Status Modify(const TableEntry& entry);
+  /// Removes an entry by match+priority.
+  Status Remove(const TableEntry& entry);
+
+  /// Highest-precedence entry matching `key_fields`, or nullptr on miss.
+  const TableEntry* Lookup(const std::vector<uint64_t>& key_fields) const;
+
+  std::vector<const TableEntry*> Entries() const;
+
+  /// Per-table hit/miss counters (a tiny model of P4 direct counters).
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  bool pure_exact() const;
+
+  const Table* schema_;
+  std::map<std::string, TableEntry> entries_;  // canonical key -> entry
+  // Exact-match fast path: serialized key fields -> canonical key.
+  std::map<std::vector<uint64_t>, std::string> exact_index_;
+  mutable uint64_t hits_ = 0;
+  mutable uint64_t misses_ = 0;
+};
+
+}  // namespace nerpa::p4
+
+#endif  // NERPA_P4_ENTRY_H_

@@ -1,0 +1,113 @@
+// A behavioural interpreter for P4Program — the BMv2 stand-in.
+//
+// The switch parses real packet bytes into header fields, runs the ingress
+// control (match-action tables + conditionals), replicates for multicast,
+// runs egress per replica, and deparses back to bytes.  Digests raised by
+// actions are queued for the controller, completing the data-plane side of
+// the paper's feedback loop (§3, §4.2: MAC learning).
+#ifndef NERPA_P4_INTERPRETER_H_
+#define NERPA_P4_INTERPRETER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "net/packet.h"
+#include "p4/entry.h"
+#include "p4/ir.h"
+
+namespace nerpa::p4 {
+
+struct PacketIn {
+  uint64_t port = 0;
+  net::Packet packet;
+};
+
+struct PacketOut {
+  uint64_t port = 0;
+  net::Packet packet;
+};
+
+/// A digest record as delivered to the control plane: the declared fields,
+/// in declaration order.
+struct DigestMessage {
+  std::string name;
+  std::vector<uint64_t> fields;
+
+  bool operator==(const DigestMessage& o) const {
+    return name == o.name && fields == o.fields;
+  }
+};
+
+class Switch {
+ public:
+  /// `program` must have passed Validate().
+  explicit Switch(std::shared_ptr<const P4Program> program);
+
+  const P4Program& program() const { return *program_; }
+
+  /// Table state by name (written through the runtime API).
+  TableState* GetTable(std::string_view name);
+  const TableState* GetTable(std::string_view name) const;
+
+  /// Replaces the port set of a multicast group (empty = delete).
+  void SetMulticastGroup(uint32_t group, std::vector<uint64_t> ports);
+  const std::vector<uint64_t>* GetMulticastGroup(uint32_t group) const;
+
+  /// Runs one packet through the full pipeline.  Returns the (possibly
+  /// replicated, possibly empty) egress packets.
+  Result<std::vector<PacketOut>> ProcessPacket(const PacketIn& in);
+
+  /// Drains queued digests (FIFO).
+  std::vector<DigestMessage> TakeDigests();
+
+  struct Stats {
+    uint64_t packets_in = 0;
+    uint64_t packets_out = 0;
+    uint64_t dropped = 0;
+    uint64_t digests = 0;
+    uint64_t parse_errors = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct HeaderInstance {
+    bool valid = false;
+    std::vector<uint64_t> values;  // parallel to HeaderType::fields
+  };
+
+  /// Per-packet execution context.
+  struct Ctx {
+    std::map<std::string, HeaderInstance> headers;
+    std::map<std::string, uint64_t> metadata;
+    uint64_t ingress_port = 0;
+    uint64_t egress_port = 0;
+    uint64_t mcast_grp = 0;
+    bool unicast_set = false;
+    bool dropped = false;
+    std::vector<uint64_t> clone_ports;  // SPAN copies of the original frame
+    std::vector<uint8_t> payload;  // bytes beyond the parsed headers
+  };
+
+  Status RunParser(Ctx& ctx, const net::Packet& packet);
+  Status RunControl(Ctx& ctx, const std::vector<ControlNode>& nodes);
+  Status ApplyTable(Ctx& ctx, const Table& table);
+  Status ExecAction(Ctx& ctx, const Action& action,
+                    const std::vector<uint64_t>& args);
+  Result<uint64_t> ReadField(const Ctx& ctx, const FieldRef& ref) const;
+  Status WriteField(Ctx& ctx, const FieldRef& ref, uint64_t value);
+  net::Packet Deparse(const Ctx& ctx) const;
+
+  std::shared_ptr<const P4Program> program_;
+  std::map<std::string, TableState> tables_;
+  std::map<uint32_t, std::vector<uint64_t>> multicast_;
+  std::vector<DigestMessage> digests_;
+  Stats stats_;
+};
+
+}  // namespace nerpa::p4
+
+#endif  // NERPA_P4_INTERPRETER_H_

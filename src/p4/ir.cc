@@ -1,0 +1,378 @@
+#include "p4/ir.h"
+
+#include "common/strings.h"
+
+namespace nerpa::p4 {
+
+const char* MatchKindName(MatchKind kind) {
+  switch (kind) {
+    case MatchKind::kExact: return "exact";
+    case MatchKind::kLpm: return "lpm";
+    case MatchKind::kTernary: return "ternary";
+    case MatchKind::kRange: return "range";
+    case MatchKind::kOptional: return "optional";
+  }
+  return "?";
+}
+
+int HeaderType::FindField(std::string_view field) const {
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (fields[i].name == field) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int HeaderType::TotalBits() const {
+  int total = 0;
+  for (const P4Field& field : fields) total += field.width;
+  return total;
+}
+
+ActionOp ActionOp::SetField(FieldRef dest, uint64_t value) {
+  ActionOp op;
+  op.kind = Kind::kSetFieldConst;
+  op.dest = std::move(dest);
+  op.immediate = value;
+  return op;
+}
+
+ActionOp ActionOp::SetFieldFromParam(FieldRef dest, std::string param) {
+  ActionOp op;
+  op.kind = Kind::kSetFieldParam;
+  op.dest = std::move(dest);
+  op.param = std::move(param);
+  return op;
+}
+
+ActionOp ActionOp::CopyField(FieldRef dest, FieldRef src) {
+  ActionOp op;
+  op.kind = Kind::kCopyField;
+  op.dest = std::move(dest);
+  op.src = std::move(src);
+  return op;
+}
+
+ActionOp ActionOp::OutputPort(std::string param) {
+  ActionOp op;
+  op.kind = Kind::kOutput;
+  op.param = std::move(param);
+  return op;
+}
+
+ActionOp ActionOp::OutputConst(uint64_t port) {
+  ActionOp op;
+  op.kind = Kind::kOutput;
+  op.immediate = port;
+  return op;
+}
+
+ActionOp ActionOp::MulticastGroup(std::string param) {
+  ActionOp op;
+  op.kind = Kind::kMulticast;
+  op.param = std::move(param);
+  return op;
+}
+
+ActionOp ActionOp::MulticastConst(uint64_t group) {
+  ActionOp op;
+  op.kind = Kind::kMulticast;
+  op.immediate = group;
+  return op;
+}
+
+ActionOp ActionOp::Drop() {
+  ActionOp op;
+  op.kind = Kind::kDrop;
+  return op;
+}
+
+ActionOp ActionOp::Digest(std::string name) {
+  ActionOp op;
+  op.kind = Kind::kDigest;
+  op.digest_name = std::move(name);
+  return op;
+}
+
+ActionOp ActionOp::ClonePort(std::string param) {
+  ActionOp op;
+  op.kind = Kind::kClone;
+  op.param = std::move(param);
+  return op;
+}
+
+ActionOp ActionOp::PushVlan(std::string vid_param) {
+  ActionOp op;
+  op.kind = Kind::kPushVlan;
+  op.param = std::move(vid_param);
+  return op;
+}
+
+ActionOp ActionOp::PopVlan() {
+  ActionOp op;
+  op.kind = Kind::kPopVlan;
+  return op;
+}
+
+int Action::FindParam(std::string_view param) const {
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (params[i].name == param) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+ControlNode ControlNode::Apply(std::string table) {
+  ControlNode node;
+  node.kind = Kind::kApply;
+  node.table = std::move(table);
+  return node;
+}
+
+ControlNode ControlNode::IfFieldEq(FieldRef field, uint64_t value,
+                                   std::vector<ControlNode> then_branch,
+                                   std::vector<ControlNode> else_branch) {
+  ControlNode node;
+  node.kind = Kind::kConditional;
+  node.pred = Pred::kFieldEq;
+  node.cond_field = std::move(field);
+  node.cond_value = value;
+  node.then_branch = std::move(then_branch);
+  node.else_branch = std::move(else_branch);
+  return node;
+}
+
+ControlNode ControlNode::IfHeaderValid(std::string header,
+                                       std::vector<ControlNode> then_branch,
+                                       std::vector<ControlNode> else_branch) {
+  ControlNode node;
+  node.kind = Kind::kConditional;
+  node.pred = Pred::kHeaderValid;
+  node.cond_header = std::move(header);
+  node.then_branch = std::move(then_branch);
+  node.else_branch = std::move(else_branch);
+  return node;
+}
+
+const HeaderType* P4Program::FindHeader(std::string_view name) const {
+  for (const HeaderType& h : headers) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+const Table* P4Program::FindTable(std::string_view name) const {
+  for (const Table& t : tables) {
+    if (t.name == name) return &t;
+  }
+  return nullptr;
+}
+
+const Action* P4Program::FindAction(std::string_view name) const {
+  for (const Action& a : actions) {
+    if (a.name == name) return &a;
+  }
+  return nullptr;
+}
+
+const Digest* P4Program::FindDigest(std::string_view name) const {
+  for (const Digest& d : digests) {
+    if (d.name == name) return &d;
+  }
+  return nullptr;
+}
+
+const ParserState* P4Program::FindParserState(std::string_view name) const {
+  for (const ParserState& s : parser) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+Result<int> P4Program::FieldWidth(const FieldRef& ref) const {
+  size_t dot = ref.text.find('.');
+  if (dot == std::string::npos) {
+    return InvalidArgument("malformed field reference '" + ref.text + "'");
+  }
+  std::string space = ref.text.substr(0, dot);
+  std::string field = ref.text.substr(dot + 1);
+  if (space == "standard") {
+    if (field == "ingress_port" || field == "egress_port" ||
+        field == "mcast_grp") {
+      return kStandardFieldWidth;
+    }
+    return NotFound("unknown standard metadata field '" + field + "'");
+  }
+  if (space == "meta") {
+    for (const P4Field& f : metadata) {
+      if (f.name == field) return f.width;
+    }
+    return NotFound("unknown metadata field '" + field + "'");
+  }
+  const HeaderType* header = FindHeader(space);
+  if (header == nullptr) return NotFound("unknown header '" + space + "'");
+  int index = header->FindField(field);
+  if (index < 0) {
+    return NotFound(StrFormat("no field '%s' in header '%s'", field.c_str(),
+                              space.c_str()));
+  }
+  return header->fields[static_cast<size_t>(index)].width;
+}
+
+namespace {
+
+Status ValidateControl(const P4Program& program,
+                       const std::vector<ControlNode>& nodes) {
+  for (const ControlNode& node : nodes) {
+    if (node.kind == ControlNode::Kind::kApply) {
+      if (program.FindTable(node.table) == nullptr) {
+        return NotFound("control applies unknown table '" + node.table + "'");
+      }
+    } else {
+      if (node.pred == ControlNode::Pred::kFieldEq ||
+          node.pred == ControlNode::Pred::kFieldNe) {
+        NERPA_RETURN_IF_ERROR(program.FieldWidth(node.cond_field).status());
+      } else if (program.FindHeader(node.cond_header) == nullptr) {
+        return NotFound("condition on unknown header '" + node.cond_header +
+                        "'");
+      }
+      NERPA_RETURN_IF_ERROR(ValidateControl(program, node.then_branch));
+      NERPA_RETURN_IF_ERROR(ValidateControl(program, node.else_branch));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status P4Program::Validate() {
+  for (const HeaderType& header : headers) {
+    for (const P4Field& field : header.fields) {
+      if (field.width < 1 || field.width > 64) {
+        return ConstraintError(StrFormat("field %s.%s width %d out of range",
+                                         header.name.c_str(),
+                                         field.name.c_str(), field.width));
+      }
+    }
+  }
+  if (parser.empty()) return ConstraintError("parser has no states");
+  for (const ParserState& state : parser) {
+    if (!state.extracts.empty() && FindHeader(state.extracts) == nullptr) {
+      return NotFound("parser extracts unknown header '" + state.extracts +
+                      "'");
+    }
+    if (!state.select.text.empty()) {
+      NERPA_RETURN_IF_ERROR(FieldWidth(state.select).status());
+    }
+    for (const ParserState::Transition& t : state.transitions) {
+      if (t.next != "accept" && t.next != "reject" &&
+          FindParserState(t.next) == nullptr) {
+        return NotFound("parser transition to unknown state '" + t.next + "'");
+      }
+    }
+  }
+  for (const Action& action : actions) {
+    for (const ActionOp& op : action.ops) {
+      if (!op.param.empty() && action.FindParam(op.param) < 0) {
+        return NotFound(StrFormat("action %s uses unknown parameter '%s'",
+                                  action.name.c_str(), op.param.c_str()));
+      }
+      switch (op.kind) {
+        case ActionOp::Kind::kSetFieldConst:
+        case ActionOp::Kind::kSetFieldParam:
+          NERPA_RETURN_IF_ERROR(FieldWidth(op.dest).status());
+          break;
+        case ActionOp::Kind::kCopyField:
+          NERPA_RETURN_IF_ERROR(FieldWidth(op.dest).status());
+          NERPA_RETURN_IF_ERROR(FieldWidth(op.src).status());
+          break;
+        case ActionOp::Kind::kDigest:
+          if (FindDigest(op.digest_name) == nullptr) {
+            return NotFound("action emits unknown digest '" + op.digest_name +
+                            "'");
+          }
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  for (Table& table : tables) {
+    for (TableKey& key : table.keys) {
+      NERPA_ASSIGN_OR_RETURN(key.width, FieldWidth(key.field));
+    }
+    for (const std::string& action : table.actions) {
+      if (FindAction(action) == nullptr) {
+        return NotFound(StrFormat("table %s permits unknown action '%s'",
+                                  table.name.c_str(), action.c_str()));
+      }
+    }
+    if (!table.default_action.empty()) {
+      const Action* action = FindAction(table.default_action);
+      if (action == nullptr) {
+        return NotFound("unknown default action '" + table.default_action +
+                        "'");
+      }
+      if (table.default_action_args.size() != action->params.size()) {
+        return ConstraintError(StrFormat(
+            "default action %s of table %s needs %zu arguments, got %zu",
+            action->name.c_str(), table.name.c_str(), action->params.size(),
+            table.default_action_args.size()));
+      }
+    }
+  }
+  for (const std::string& header : deparser) {
+    if (FindHeader(header) == nullptr) {
+      return NotFound("deparser emits unknown header '" + header + "'");
+    }
+  }
+  NERPA_RETURN_IF_ERROR(ValidateControl(*this, ingress));
+  NERPA_RETURN_IF_ERROR(ValidateControl(*this, egress));
+  return Status::Ok();
+}
+
+std::string P4Program::ToString() const {
+  std::string out = "// P4 program: " + name + "\n";
+  for (const HeaderType& header : headers) {
+    out += "header " + header.name + " {\n";
+    for (const P4Field& field : header.fields) {
+      out += StrFormat("  bit<%d> %s;\n", field.width, field.name.c_str());
+    }
+    out += "}\n";
+  }
+  if (!metadata.empty()) {
+    out += "struct metadata {\n";
+    for (const P4Field& field : metadata) {
+      out += StrFormat("  bit<%d> %s;\n", field.width, field.name.c_str());
+    }
+    out += "}\n";
+  }
+  for (const Digest& digest : digests) {
+    out += "digest " + digest.name + " {";
+    for (size_t i = 0; i < digest.fields.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += StrFormat("bit<%d> %s", digest.fields[i].width,
+                       digest.fields[i].name.c_str());
+    }
+    out += "}\n";
+  }
+  for (const Table& table : tables) {
+    out += "table " + table.name + " {\n  key = {";
+    for (size_t i = 0; i < table.keys.size(); ++i) {
+      if (i > 0) out += "; ";
+      out += table.keys[i].field.text + ": " +
+             MatchKindName(table.keys[i].kind);
+    }
+    out += "}\n  actions = {";
+    for (size_t i = 0; i < table.actions.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += table.actions[i];
+    }
+    out += "}\n";
+    if (!table.default_action.empty()) {
+      out += "  default_action = " + table.default_action + ";\n";
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+}  // namespace nerpa::p4

@@ -1,0 +1,197 @@
+// A P4-style pipeline IR: headers, a parse graph, match-action tables,
+// actions over typed fields, digests, and ingress/egress controls.
+//
+// This is the "P4 program" of the Nerpa stack.  It plays two roles:
+//   1. The behavioural interpreter (interpreter.h) executes it over real
+//      packets, standing in for BMv2.
+//   2. The binding generator (nerpa/bindings.h) turns each table into a
+//      control-plane *output* relation and each digest into an *input*
+//      relation, exactly as §4.2 of the paper describes.
+#ifndef NERPA_P4_IR_H_
+#define NERPA_P4_IR_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace nerpa::p4 {
+
+/// One header field; widths are in bits (1..64).
+struct P4Field {
+  std::string name;
+  int width = 0;
+};
+
+struct HeaderType {
+  std::string name;
+  std::vector<P4Field> fields;
+
+  int FindField(std::string_view field) const;
+  int TotalBits() const;
+};
+
+/// A reference to a field: "ethernet.dstAddr", "meta.vlan", or
+/// "standard.ingress_port" / "standard.egress_port" etc.
+struct FieldRef {
+  std::string text;
+
+  FieldRef() = default;
+  FieldRef(std::string t) : text(std::move(t)) {}  // NOLINT(runtime/explicit)
+  FieldRef(const char* t) : text(t) {}             // NOLINT(runtime/explicit)
+
+  bool operator==(const FieldRef& o) const { return text == o.text; }
+  bool operator<(const FieldRef& o) const { return text < o.text; }
+};
+
+/// Parser state: optionally extract one header, then branch on a field.
+struct ParserState {
+  std::string name;
+  std::string extracts;  // header type name to extract; "" = none
+
+  struct Transition {
+    std::optional<uint64_t> match;  // nullopt = default
+    std::string next;               // state name, or "accept" / "reject"
+  };
+  FieldRef select;                  // empty text = unconditional
+  std::vector<Transition> transitions;
+};
+
+enum class MatchKind { kExact, kLpm, kTernary, kRange, kOptional };
+const char* MatchKindName(MatchKind kind);
+
+struct TableKey {
+  FieldRef field;
+  MatchKind kind = MatchKind::kExact;
+  int width = 0;  // resolved during Validate()
+};
+
+/// Primitive operations available in actions.
+struct ActionOp {
+  enum class Kind {
+    kSetFieldConst,  // dest = immediate
+    kSetFieldParam,  // dest = action parameter `param`
+    kCopyField,      // dest = src field
+    kOutput,         // unicast to port (immediate or param)
+    kMulticast,      // replicate to multicast group (immediate or param)
+    kDrop,
+    kDigest,         // send digest_name with digest_fields to the controller
+    kClone,          // mirror the *original* frame to a port (SPAN-style)
+    kPushVlan,       // insert an 802.1Q tag (vid from param/immediate)
+    kPopVlan,
+    kNoOp,
+  };
+  Kind kind = Kind::kNoOp;
+  FieldRef dest;
+  FieldRef src;
+  uint64_t immediate = 0;
+  std::string param;  // non-empty: take the value from this action parameter
+  std::string digest_name;
+
+  static ActionOp SetField(FieldRef dest, uint64_t value);
+  static ActionOp SetFieldFromParam(FieldRef dest, std::string param);
+  static ActionOp CopyField(FieldRef dest, FieldRef src);
+  static ActionOp OutputPort(std::string param);
+  static ActionOp OutputConst(uint64_t port);
+  static ActionOp MulticastGroup(std::string param);
+  static ActionOp MulticastConst(uint64_t group);
+  static ActionOp Drop();
+  static ActionOp Digest(std::string name);
+  static ActionOp ClonePort(std::string param);
+  static ActionOp PushVlan(std::string vid_param);
+  static ActionOp PopVlan();
+};
+
+struct ActionParam {
+  std::string name;
+  int width = 0;
+};
+
+struct Action {
+  std::string name;
+  std::vector<ActionParam> params;
+  std::vector<ActionOp> ops;
+
+  int FindParam(std::string_view param) const;
+};
+
+struct Table {
+  std::string name;
+  std::vector<TableKey> keys;
+  std::vector<std::string> actions;  // names of permitted actions
+  std::string default_action;        // applied on miss ("" = no-op)
+  std::vector<uint64_t> default_action_args;
+  size_t size = 1024;
+};
+
+/// Digest declaration: the data-plane-to-control-plane notification type.
+struct Digest {
+  std::string name;
+  std::vector<P4Field> fields;
+};
+
+/// Control-flow node of a control block.
+struct ControlNode {
+  enum class Kind { kApply, kConditional };
+  Kind kind = Kind::kApply;
+
+  std::string table;  // kApply
+
+  // kConditional:
+  enum class Pred { kFieldEq, kFieldNe, kHeaderValid, kHeaderInvalid };
+  Pred pred = Pred::kFieldEq;
+  FieldRef cond_field;       // kFieldEq/kFieldNe
+  uint64_t cond_value = 0;
+  std::string cond_header;   // kHeaderValid/kHeaderInvalid
+  std::vector<ControlNode> then_branch;
+  std::vector<ControlNode> else_branch;
+
+  static ControlNode Apply(std::string table);
+  static ControlNode IfFieldEq(FieldRef field, uint64_t value,
+                               std::vector<ControlNode> then_branch,
+                               std::vector<ControlNode> else_branch = {});
+  static ControlNode IfHeaderValid(std::string header,
+                                   std::vector<ControlNode> then_branch,
+                                   std::vector<ControlNode> else_branch = {});
+};
+
+/// A complete data-plane program.
+struct P4Program {
+  std::string name;
+  std::vector<HeaderType> headers;
+  std::vector<P4Field> metadata;      // user metadata fields
+  std::vector<ParserState> parser;    // first state is the start state
+  std::vector<Action> actions;
+  std::vector<Table> tables;
+  std::vector<Digest> digests;
+  std::vector<ControlNode> ingress;
+  std::vector<ControlNode> egress;
+  std::vector<std::string> deparser;  // header emit order
+
+  const HeaderType* FindHeader(std::string_view name) const;
+  const Table* FindTable(std::string_view name) const;
+  const Action* FindAction(std::string_view name) const;
+  const Digest* FindDigest(std::string_view name) const;
+  const ParserState* FindParserState(std::string_view name) const;
+
+  /// Width in bits of a field reference; error if unresolvable.
+  Result<int> FieldWidth(const FieldRef& ref) const;
+
+  /// Checks internal consistency and resolves table-key widths.  Must be
+  /// called (once) before the program is interpreted or bound.
+  Status Validate();
+
+  /// Pretty P4-ish source listing (for docs and the LOC table).
+  std::string ToString() const;
+};
+
+/// Well-known standard metadata fields (always present).
+inline constexpr int kStandardFieldWidth = 16;
+inline constexpr uint64_t kDropPort = 0x1FF;
+
+}  // namespace nerpa::p4
+
+#endif  // NERPA_P4_IR_H_

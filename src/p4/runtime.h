@@ -1,0 +1,79 @@
+// A P4Runtime-style control API for the Switch.
+//
+// This is the wire between the control plane and the data plane: typed,
+// validated table writes (insert/modify/delete), multicast group
+// programming, and a digest subscription.  In the real Nerpa this is gRPC;
+// here it is an in-process client with the same semantics, including
+// batch validation (a batch either fully validates or nothing applies).
+#ifndef NERPA_P4_RUNTIME_H_
+#define NERPA_P4_RUNTIME_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "p4/interpreter.h"
+
+namespace nerpa::p4 {
+
+enum class UpdateType { kInsert, kModify, kDelete };
+const char* UpdateTypeName(UpdateType type);
+
+struct Update {
+  UpdateType type = UpdateType::kInsert;
+  TableEntry entry;
+};
+
+class RuntimeClient {
+ public:
+  explicit RuntimeClient(Switch* sw) : switch_(sw) {}
+
+  const P4Program& program() const { return switch_->program(); }
+
+  /// Validates and applies a batch of table updates.  Validation errors
+  /// reject the whole batch before anything applies; application errors
+  /// (e.g. duplicate insert) stop at the failing update — matching
+  /// P4Runtime's sequential-apply semantics.
+  Status Write(const std::vector<Update>& updates);
+
+  /// Convenience single-entry forms.
+  Status Insert(TableEntry entry);
+  Status Modify(TableEntry entry);
+  Status Delete(TableEntry entry);
+
+  /// All entries of `table`.
+  Result<std::vector<TableEntry>> ReadTable(std::string_view table) const;
+
+  /// Direct counters: (entry, packets that hit it) for every entry.
+  Result<std::vector<std::pair<TableEntry, uint64_t>>> ReadCounters(
+      std::string_view table) const;
+
+  Status SetMulticastGroup(uint32_t group, std::vector<uint64_t> ports);
+
+  using DigestHandler = std::function<void(const DigestMessage&)>;
+
+  /// Registers the digest stream handler (one per client, like the
+  /// P4Runtime DigestList stream).
+  void SubscribeDigests(DigestHandler handler) {
+    digest_handler_ = std::move(handler);
+  }
+
+  /// Drains the switch's queued digests into the handler.  In a real
+  /// deployment this is push; tests and the controller call it after
+  /// injecting packets.
+  void PollDigests();
+
+  /// Validates a fully-formed entry against the program (exposed for the
+  /// cross-plane type checker in src/nerpa).
+  Status ValidateEntry(const TableEntry& entry, UpdateType type) const;
+
+ private:
+  Switch* switch_;
+  DigestHandler digest_handler_;
+};
+
+}  // namespace nerpa::p4
+
+#endif  // NERPA_P4_RUNTIME_H_

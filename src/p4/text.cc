@@ -1,0 +1,638 @@
+#include "p4/text.h"
+
+#include "common/strings.h"
+#include "dlog/lexer.h"  // token stream shared with the Datalog frontend
+
+namespace nerpa::p4 {
+
+namespace {
+
+using dlog::Token;
+using dlog::TokKind;
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::shared_ptr<const P4Program>> Run() {
+    auto program = std::make_shared<P4Program>();
+    program_ = program.get();
+    while (!Peek().Is(TokKind::kEof)) {
+      if (ConsumeIdent("header")) {
+        NERPA_RETURN_IF_ERROR(ParseHeader());
+      } else if (ConsumeIdent("metadata")) {
+        NERPA_RETURN_IF_ERROR(ParseMetadata());
+      } else if (ConsumeIdent("digest")) {
+        NERPA_RETURN_IF_ERROR(ParseDigest());
+      } else if (ConsumeIdent("parser")) {
+        NERPA_RETURN_IF_ERROR(ParseParser());
+      } else if (ConsumeIdent("action")) {
+        NERPA_RETURN_IF_ERROR(ParseAction());
+      } else if (ConsumeIdent("table")) {
+        NERPA_RETURN_IF_ERROR(ParseTable());
+      } else if (ConsumeIdent("ingress")) {
+        NERPA_RETURN_IF_ERROR(ParseControl(&program_->ingress));
+      } else if (ConsumeIdent("egress")) {
+        NERPA_RETURN_IF_ERROR(ParseControl(&program_->egress));
+      } else if (ConsumeIdent("deparser")) {
+        NERPA_RETURN_IF_ERROR(ParseDeparser());
+      } else if (ConsumeIdent("program")) {
+        NERPA_ASSIGN_OR_RETURN(program_->name, ExpectName());
+        NERPA_RETURN_IF_ERROR(ExpectPunct(";"));
+      } else {
+        return Error("expected a top-level declaration, got '" +
+                     Peek().text + "'");
+      }
+    }
+    NERPA_RETURN_IF_ERROR(program_->Validate());
+    return std::shared_ptr<const P4Program>(std::move(program));
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t index = pos_ + ahead;
+    if (index >= tokens_.size()) index = tokens_.size() - 1;
+    return tokens_[index];
+  }
+  const Token& Next() {
+    return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_];
+  }
+
+  Status Error(const std::string& message) const {
+    return ParseError(StrFormat("p4 line %d: %s", Peek().line,
+                                message.c_str()));
+  }
+
+  bool ConsumePunct(std::string_view p) {
+    if (Peek().IsPunct(p)) {
+      Next();
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeIdent(std::string_view id) {
+    if (Peek().IsIdent(id)) {
+      Next();
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectPunct(std::string_view p) {
+    if (!ConsumePunct(p)) {
+      return Error(StrFormat("expected '%.*s', got '%s'",
+                             static_cast<int>(p.size()), p.data(),
+                             Peek().text.c_str()));
+    }
+    return Status::Ok();
+  }
+
+  Result<std::string> ExpectName() {
+    if (!Peek().Is(TokKind::kIdent)) {
+      return Error("expected a name, got '" + Peek().text + "'");
+    }
+    return Next().text;
+  }
+
+  Result<int64_t> ExpectInt() {
+    if (!Peek().Is(TokKind::kInt)) {
+      return Error("expected a number, got '" + Peek().text + "'");
+    }
+    return Next().int_value;
+  }
+
+  Result<int> ParseBitType() {
+    if (!ConsumeIdent("bit")) return Error("expected 'bit<N>'");
+    NERPA_RETURN_IF_ERROR(ExpectPunct("<"));
+    NERPA_ASSIGN_OR_RETURN(int64_t width, ExpectInt());
+    NERPA_RETURN_IF_ERROR(ExpectPunct(">"));
+    if (width < 1 || width > 64) return Error("bit width out of range");
+    return static_cast<int>(width);
+  }
+
+  /// "name.field" as one FieldRef.
+  Result<FieldRef> ParseFieldRef() {
+    NERPA_ASSIGN_OR_RETURN(std::string space, ExpectName());
+    NERPA_RETURN_IF_ERROR(ExpectPunct("."));
+    NERPA_ASSIGN_OR_RETURN(std::string field, ExpectName());
+    return FieldRef(space + "." + field);
+  }
+
+  Status ParseHeader() {
+    HeaderType header;
+    NERPA_ASSIGN_OR_RETURN(header.name, ExpectName());
+    NERPA_RETURN_IF_ERROR(ExpectPunct("{"));
+    while (!ConsumePunct("}")) {
+      P4Field field;
+      NERPA_ASSIGN_OR_RETURN(field.width, ParseBitType());
+      NERPA_ASSIGN_OR_RETURN(field.name, ExpectName());
+      NERPA_RETURN_IF_ERROR(ExpectPunct(";"));
+      header.fields.push_back(std::move(field));
+    }
+    program_->headers.push_back(std::move(header));
+    return Status::Ok();
+  }
+
+  Status ParseMetadata() {
+    NERPA_RETURN_IF_ERROR(ExpectPunct("{"));
+    while (!ConsumePunct("}")) {
+      P4Field field;
+      NERPA_ASSIGN_OR_RETURN(field.width, ParseBitType());
+      NERPA_ASSIGN_OR_RETURN(field.name, ExpectName());
+      NERPA_RETURN_IF_ERROR(ExpectPunct(";"));
+      program_->metadata.push_back(std::move(field));
+    }
+    return Status::Ok();
+  }
+
+  Status ParseDigest() {
+    Digest digest;
+    NERPA_ASSIGN_OR_RETURN(digest.name, ExpectName());
+    NERPA_RETURN_IF_ERROR(ExpectPunct("{"));
+    while (!ConsumePunct("}")) {
+      NERPA_ASSIGN_OR_RETURN(FieldRef ref, ParseFieldRef());
+      NERPA_RETURN_IF_ERROR(ExpectPunct(":"));
+      NERPA_ASSIGN_OR_RETURN(int width, ParseBitType());
+      NERPA_RETURN_IF_ERROR(ExpectPunct(";"));
+      digest.fields.push_back({ref.text, width});
+    }
+    program_->digests.push_back(std::move(digest));
+    return Status::Ok();
+  }
+
+  Status ParseParser() {
+    NERPA_RETURN_IF_ERROR(ExpectPunct("{"));
+    while (!ConsumePunct("}")) {
+      if (!ConsumeIdent("state")) return Error("expected 'state'");
+      ParserState state;
+      NERPA_ASSIGN_OR_RETURN(state.name, ExpectName());
+      NERPA_RETURN_IF_ERROR(ExpectPunct("{"));
+      while (!ConsumePunct("}")) {
+        if (ConsumeIdent("extract")) {
+          NERPA_RETURN_IF_ERROR(ExpectPunct("("));
+          NERPA_ASSIGN_OR_RETURN(state.extracts, ExpectName());
+          NERPA_RETURN_IF_ERROR(ExpectPunct(")"));
+          NERPA_RETURN_IF_ERROR(ExpectPunct(";"));
+        } else if (ConsumeIdent("goto")) {
+          ParserState::Transition transition;
+          NERPA_ASSIGN_OR_RETURN(transition.next, ExpectName());
+          NERPA_RETURN_IF_ERROR(ExpectPunct(";"));
+          state.transitions.push_back(std::move(transition));
+        } else if (ConsumeIdent("select")) {
+          NERPA_RETURN_IF_ERROR(ExpectPunct("("));
+          NERPA_ASSIGN_OR_RETURN(state.select, ParseFieldRef());
+          NERPA_RETURN_IF_ERROR(ExpectPunct(")"));
+          NERPA_RETURN_IF_ERROR(ExpectPunct("{"));
+          while (!ConsumePunct("}")) {
+            ParserState::Transition transition;
+            if (ConsumeIdent("default")) {
+              // no match value
+            } else {
+              NERPA_ASSIGN_OR_RETURN(int64_t value, ExpectInt());
+              transition.match = static_cast<uint64_t>(value);
+            }
+            NERPA_RETURN_IF_ERROR(ExpectPunct(":"));
+            NERPA_ASSIGN_OR_RETURN(transition.next, ExpectName());
+            NERPA_RETURN_IF_ERROR(ExpectPunct(";"));
+            state.transitions.push_back(std::move(transition));
+          }
+        } else {
+          return Error("expected extract/goto/select, got '" + Peek().text +
+                       "'");
+        }
+      }
+      program_->parser.push_back(std::move(state));
+    }
+    return Status::Ok();
+  }
+
+  Status ParseAction() {
+    Action action;
+    NERPA_ASSIGN_OR_RETURN(action.name, ExpectName());
+    NERPA_RETURN_IF_ERROR(ExpectPunct("("));
+    if (!ConsumePunct(")")) {
+      do {
+        ActionParam param;
+        NERPA_ASSIGN_OR_RETURN(param.width, ParseBitType());
+        NERPA_ASSIGN_OR_RETURN(param.name, ExpectName());
+        action.params.push_back(std::move(param));
+      } while (ConsumePunct(","));
+      NERPA_RETURN_IF_ERROR(ExpectPunct(")"));
+    }
+    NERPA_RETURN_IF_ERROR(ExpectPunct("{"));
+    while (!ConsumePunct("}")) {
+      NERPA_ASSIGN_OR_RETURN(ActionOp op, ParseActionStmt(action));
+      action.ops.push_back(std::move(op));
+      NERPA_RETURN_IF_ERROR(ExpectPunct(";"));
+    }
+    program_->actions.push_back(std::move(action));
+    return Status::Ok();
+  }
+
+  /// An rvalue position: integer constant, parameter name, or field ref.
+  struct RValue {
+    enum class Kind { kConst, kParam, kField } kind = Kind::kConst;
+    uint64_t constant = 0;
+    std::string param;
+    FieldRef field;
+  };
+
+  Result<RValue> ParseRValue(const Action& action) {
+    RValue out;
+    if (Peek().Is(TokKind::kInt)) {
+      out.kind = RValue::Kind::kConst;
+      out.constant = static_cast<uint64_t>(Next().int_value);
+      return out;
+    }
+    NERPA_ASSIGN_OR_RETURN(std::string name, ExpectName());
+    if (Peek().IsPunct(".")) {
+      Next();
+      NERPA_ASSIGN_OR_RETURN(std::string field, ExpectName());
+      out.kind = RValue::Kind::kField;
+      out.field = FieldRef(name + "." + field);
+      return out;
+    }
+    if (action.FindParam(name) < 0) {
+      return Error("'" + name + "' is not a parameter of this action");
+    }
+    out.kind = RValue::Kind::kParam;
+    out.param = std::move(name);
+    return out;
+  }
+
+  Result<ActionOp> ParseActionStmt(const Action& action) {
+    // Builtin statement forms first.
+    auto builtin_arg = [&](auto make_param, auto make_const)
+        -> Result<ActionOp> {
+      NERPA_RETURN_IF_ERROR(ExpectPunct("("));
+      NERPA_ASSIGN_OR_RETURN(RValue value, ParseRValue(action));
+      NERPA_RETURN_IF_ERROR(ExpectPunct(")"));
+      if (value.kind == RValue::Kind::kParam) return make_param(value.param);
+      if (value.kind == RValue::Kind::kConst) return make_const(value.constant);
+      return Error("expected a constant or parameter argument");
+    };
+    if (ConsumeIdent("output")) {
+      return builtin_arg([](std::string p) { return ActionOp::OutputPort(p); },
+                         [](uint64_t c) { return ActionOp::OutputConst(c); });
+    }
+    if (ConsumeIdent("multicast")) {
+      return builtin_arg(
+          [](std::string p) { return ActionOp::MulticastGroup(p); },
+          [](uint64_t c) { return ActionOp::MulticastConst(c); });
+    }
+    if (ConsumeIdent("clone")) {
+      return builtin_arg(
+          [](std::string p) { return ActionOp::ClonePort(p); },
+          [](uint64_t c) {
+            ActionOp op = ActionOp::ClonePort("");
+            op.param.clear();
+            op.immediate = c;
+            return op;
+          });
+    }
+    if (ConsumeIdent("push_vlan")) {
+      return builtin_arg(
+          [](std::string p) { return ActionOp::PushVlan(p); },
+          [](uint64_t c) {
+            ActionOp op = ActionOp::PushVlan("");
+            op.param.clear();
+            op.immediate = c;
+            return op;
+          });
+    }
+    if (ConsumeIdent("drop")) {
+      NERPA_RETURN_IF_ERROR(ExpectPunct("("));
+      NERPA_RETURN_IF_ERROR(ExpectPunct(")"));
+      return ActionOp::Drop();
+    }
+    if (ConsumeIdent("pop_vlan")) {
+      NERPA_RETURN_IF_ERROR(ExpectPunct("("));
+      NERPA_RETURN_IF_ERROR(ExpectPunct(")"));
+      return ActionOp::PopVlan();
+    }
+    if (ConsumeIdent("digest")) {
+      NERPA_RETURN_IF_ERROR(ExpectPunct("("));
+      NERPA_ASSIGN_OR_RETURN(std::string name, ExpectName());
+      NERPA_RETURN_IF_ERROR(ExpectPunct(")"));
+      return ActionOp::Digest(std::move(name));
+    }
+    // Assignment: fieldref = rvalue.
+    NERPA_ASSIGN_OR_RETURN(FieldRef dest, ParseFieldRef());
+    NERPA_RETURN_IF_ERROR(ExpectPunct("="));
+    NERPA_ASSIGN_OR_RETURN(RValue value, ParseRValue(action));
+    switch (value.kind) {
+      case RValue::Kind::kConst:
+        return ActionOp::SetField(std::move(dest), value.constant);
+      case RValue::Kind::kParam:
+        return ActionOp::SetFieldFromParam(std::move(dest),
+                                           std::move(value.param));
+      case RValue::Kind::kField:
+        return ActionOp::CopyField(std::move(dest), std::move(value.field));
+    }
+    return Error("bad assignment");
+  }
+
+  Status ParseTable() {
+    Table table;
+    NERPA_ASSIGN_OR_RETURN(table.name, ExpectName());
+    NERPA_RETURN_IF_ERROR(ExpectPunct("{"));
+    while (!ConsumePunct("}")) {
+      if (ConsumeIdent("key")) {
+        NERPA_RETURN_IF_ERROR(ExpectPunct("="));
+        NERPA_RETURN_IF_ERROR(ExpectPunct("{"));
+        while (!ConsumePunct("}")) {
+          TableKey key;
+          NERPA_ASSIGN_OR_RETURN(key.field, ParseFieldRef());
+          NERPA_RETURN_IF_ERROR(ExpectPunct(":"));
+          NERPA_ASSIGN_OR_RETURN(std::string kind, ExpectName());
+          if (kind == "exact") key.kind = MatchKind::kExact;
+          else if (kind == "lpm") key.kind = MatchKind::kLpm;
+          else if (kind == "ternary") key.kind = MatchKind::kTernary;
+          else if (kind == "range") key.kind = MatchKind::kRange;
+          else if (kind == "optional") key.kind = MatchKind::kOptional;
+          else return Error("unknown match kind '" + kind + "'");
+          NERPA_RETURN_IF_ERROR(ExpectPunct(";"));
+          table.keys.push_back(std::move(key));
+        }
+      } else if (ConsumeIdent("actions")) {
+        NERPA_RETURN_IF_ERROR(ExpectPunct("="));
+        NERPA_RETURN_IF_ERROR(ExpectPunct("{"));
+        while (!ConsumePunct("}")) {
+          NERPA_ASSIGN_OR_RETURN(std::string name, ExpectName());
+          NERPA_RETURN_IF_ERROR(ExpectPunct(";"));
+          table.actions.push_back(std::move(name));
+        }
+      } else if (ConsumeIdent("default_action")) {
+        NERPA_RETURN_IF_ERROR(ExpectPunct("="));
+        NERPA_ASSIGN_OR_RETURN(table.default_action, ExpectName());
+        if (ConsumePunct("(")) {
+          if (!ConsumePunct(")")) {
+            do {
+              NERPA_ASSIGN_OR_RETURN(int64_t value, ExpectInt());
+              table.default_action_args.push_back(
+                  static_cast<uint64_t>(value));
+            } while (ConsumePunct(","));
+            NERPA_RETURN_IF_ERROR(ExpectPunct(")"));
+          }
+        }
+        NERPA_RETURN_IF_ERROR(ExpectPunct(";"));
+      } else if (ConsumeIdent("size")) {
+        NERPA_RETURN_IF_ERROR(ExpectPunct("="));
+        NERPA_ASSIGN_OR_RETURN(int64_t size, ExpectInt());
+        table.size = static_cast<size_t>(size);
+        NERPA_RETURN_IF_ERROR(ExpectPunct(";"));
+      } else {
+        return Error("expected key/actions/default_action/size, got '" +
+                     Peek().text + "'");
+      }
+    }
+    program_->tables.push_back(std::move(table));
+    return Status::Ok();
+  }
+
+  Status ParseControl(std::vector<ControlNode>* out) {
+    NERPA_RETURN_IF_ERROR(ExpectPunct("{"));
+    return ParseControlBody(out);
+  }
+
+  Status ParseControlBody(std::vector<ControlNode>* out) {
+    while (!ConsumePunct("}")) {
+      if (ConsumeIdent("apply")) {
+        NERPA_RETURN_IF_ERROR(ExpectPunct("("));
+        NERPA_ASSIGN_OR_RETURN(std::string table, ExpectName());
+        NERPA_RETURN_IF_ERROR(ExpectPunct(")"));
+        NERPA_RETURN_IF_ERROR(ExpectPunct(";"));
+        out->push_back(ControlNode::Apply(std::move(table)));
+      } else if (ConsumeIdent("if")) {
+        NERPA_RETURN_IF_ERROR(ExpectPunct("("));
+        ControlNode node;
+        node.kind = ControlNode::Kind::kConditional;
+        bool negated = ConsumePunct("!");
+        if (ConsumeIdent("valid")) {
+          NERPA_RETURN_IF_ERROR(ExpectPunct("("));
+          NERPA_ASSIGN_OR_RETURN(node.cond_header, ExpectName());
+          NERPA_RETURN_IF_ERROR(ExpectPunct(")"));
+          node.pred = negated ? ControlNode::Pred::kHeaderInvalid
+                              : ControlNode::Pred::kHeaderValid;
+        } else {
+          if (negated) return Error("'!' only applies to valid(...)");
+          NERPA_ASSIGN_OR_RETURN(node.cond_field, ParseFieldRef());
+          bool eq = ConsumePunct("==");
+          if (!eq) NERPA_RETURN_IF_ERROR(ExpectPunct("!="));
+          node.pred = eq ? ControlNode::Pred::kFieldEq
+                         : ControlNode::Pred::kFieldNe;
+          NERPA_ASSIGN_OR_RETURN(int64_t value, ExpectInt());
+          node.cond_value = static_cast<uint64_t>(value);
+        }
+        NERPA_RETURN_IF_ERROR(ExpectPunct(")"));
+        NERPA_RETURN_IF_ERROR(ExpectPunct("{"));
+        NERPA_RETURN_IF_ERROR(ParseControlBody(&node.then_branch));
+        if (ConsumeIdent("else")) {
+          NERPA_RETURN_IF_ERROR(ExpectPunct("{"));
+          NERPA_RETURN_IF_ERROR(ParseControlBody(&node.else_branch));
+        }
+        out->push_back(std::move(node));
+      } else {
+        return Error("expected apply/if, got '" + Peek().text + "'");
+      }
+    }
+    return Status::Ok();
+  }
+
+  Status ParseDeparser() {
+    NERPA_RETURN_IF_ERROR(ExpectPunct("{"));
+    while (!ConsumePunct("}")) {
+      if (!ConsumeIdent("emit")) return Error("expected 'emit'");
+      NERPA_RETURN_IF_ERROR(ExpectPunct("("));
+      NERPA_ASSIGN_OR_RETURN(std::string header, ExpectName());
+      NERPA_RETURN_IF_ERROR(ExpectPunct(")"));
+      NERPA_RETURN_IF_ERROR(ExpectPunct(";"));
+      program_->deparser.push_back(std::move(header));
+    }
+    return Status::Ok();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  P4Program* program_ = nullptr;
+};
+
+std::string RValueText(const ActionOp& op) {
+  if (!op.param.empty()) return op.param;
+  return std::to_string(op.immediate);
+}
+
+void PrintControl(const std::vector<ControlNode>& nodes, int depth,
+                  std::string& out) {
+  std::string indent(static_cast<size_t>(depth) * 2, ' ');
+  for (const ControlNode& node : nodes) {
+    if (node.kind == ControlNode::Kind::kApply) {
+      out += indent + "apply(" + node.table + ");\n";
+      continue;
+    }
+    out += indent + "if (";
+    switch (node.pred) {
+      case ControlNode::Pred::kHeaderValid:
+        out += "valid(" + node.cond_header + ")";
+        break;
+      case ControlNode::Pred::kHeaderInvalid:
+        out += "!valid(" + node.cond_header + ")";
+        break;
+      case ControlNode::Pred::kFieldEq:
+        out += node.cond_field.text + " == " + std::to_string(node.cond_value);
+        break;
+      case ControlNode::Pred::kFieldNe:
+        out += node.cond_field.text + " != " + std::to_string(node.cond_value);
+        break;
+    }
+    out += ") {\n";
+    PrintControl(node.then_branch, depth + 1, out);
+    out += indent + "}";
+    if (!node.else_branch.empty()) {
+      out += " else {\n";
+      PrintControl(node.else_branch, depth + 1, out);
+      out += indent + "}";
+    }
+    out += "\n";
+  }
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const P4Program>> ParseP4Text(
+    std::string_view source) {
+  NERPA_ASSIGN_OR_RETURN(std::vector<Token> tokens, dlog::Tokenize(source));
+  return Parser(std::move(tokens)).Run();
+}
+
+std::string ToP4Text(const P4Program& program) {
+  std::string out;
+  if (!program.name.empty()) out += "program " + program.name + ";\n\n";
+  for (const HeaderType& header : program.headers) {
+    out += "header " + header.name + " {\n";
+    for (const P4Field& field : header.fields) {
+      out += StrFormat("  bit<%d> %s;\n", field.width, field.name.c_str());
+    }
+    out += "}\n";
+  }
+  if (!program.metadata.empty()) {
+    out += "metadata {\n";
+    for (const P4Field& field : program.metadata) {
+      out += StrFormat("  bit<%d> %s;\n", field.width, field.name.c_str());
+    }
+    out += "}\n";
+  }
+  for (const Digest& digest : program.digests) {
+    out += "digest " + digest.name + " {\n";
+    for (const P4Field& field : digest.fields) {
+      out += StrFormat("  %s: bit<%d>;\n", field.name.c_str(), field.width);
+    }
+    out += "}\n";
+  }
+  out += "parser {\n";
+  for (const ParserState& state : program.parser) {
+    out += "  state " + state.name + " {\n";
+    if (!state.extracts.empty()) {
+      out += "    extract(" + state.extracts + ");\n";
+    }
+    if (!state.select.text.empty()) {
+      out += "    select (" + state.select.text + ") {\n";
+      for (const ParserState::Transition& t : state.transitions) {
+        out += "      " + (t.match ? std::to_string(*t.match)
+                                   : std::string("default")) +
+               ": " + t.next + ";\n";
+      }
+      out += "    }\n";
+    } else {
+      for (const ParserState::Transition& t : state.transitions) {
+        out += "    goto " + t.next + ";\n";
+      }
+    }
+    out += "  }\n";
+  }
+  out += "}\n";
+  for (const Action& action : program.actions) {
+    out += "action " + action.name + "(";
+    for (size_t i = 0; i < action.params.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += StrFormat("bit<%d> %s", action.params[i].width,
+                       action.params[i].name.c_str());
+    }
+    out += ") {";
+    if (!action.ops.empty()) out += "\n";
+    for (const ActionOp& op : action.ops) {
+      out += "  ";
+      switch (op.kind) {
+        case ActionOp::Kind::kNoOp:
+          break;
+        case ActionOp::Kind::kSetFieldConst:
+        case ActionOp::Kind::kSetFieldParam:
+          out += op.dest.text + " = " + RValueText(op);
+          break;
+        case ActionOp::Kind::kCopyField:
+          out += op.dest.text + " = " + op.src.text;
+          break;
+        case ActionOp::Kind::kOutput:
+          out += "output(" + RValueText(op) + ")";
+          break;
+        case ActionOp::Kind::kMulticast:
+          out += "multicast(" + RValueText(op) + ")";
+          break;
+        case ActionOp::Kind::kDrop:
+          out += "drop()";
+          break;
+        case ActionOp::Kind::kDigest:
+          out += "digest(" + op.digest_name + ")";
+          break;
+        case ActionOp::Kind::kClone:
+          out += "clone(" + RValueText(op) + ")";
+          break;
+        case ActionOp::Kind::kPushVlan:
+          out += "push_vlan(" + RValueText(op) + ")";
+          break;
+        case ActionOp::Kind::kPopVlan:
+          out += "pop_vlan()";
+          break;
+      }
+      out += ";\n";
+    }
+    out += "}\n";
+  }
+  for (const Table& table : program.tables) {
+    out += "table " + table.name + " {\n  key = {";
+    for (const TableKey& key : table.keys) {
+      out += " " + key.field.text + ": " + MatchKindName(key.kind) + ";";
+    }
+    out += " }\n  actions = {";
+    for (const std::string& action : table.actions) {
+      out += " " + action + ";";
+    }
+    out += " }\n";
+    if (!table.default_action.empty()) {
+      out += "  default_action = " + table.default_action;
+      if (!table.default_action_args.empty()) {
+        out += "(";
+        for (size_t i = 0; i < table.default_action_args.size(); ++i) {
+          if (i > 0) out += ", ";
+          out += std::to_string(table.default_action_args[i]);
+        }
+        out += ")";
+      }
+      out += ";\n";
+    }
+    out += StrFormat("  size = %zu;\n}\n", table.size);
+  }
+  out += "ingress {\n";
+  PrintControl(program.ingress, 1, out);
+  out += "}\negress {\n";
+  PrintControl(program.egress, 1, out);
+  out += "}\ndeparser {\n";
+  for (const std::string& header : program.deparser) {
+    out += "  emit(" + header + ");\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace nerpa::p4

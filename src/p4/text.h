@@ -1,0 +1,65 @@
+// A textual frontend for P4Program — a compact P4-16-flavored surface
+// syntax, so data planes are written as source files (like the paper's
+// snvs.p4) rather than C++ builder calls.  ToP4Text() pretty-prints a
+// program back to parseable text (round-trip tested).
+//
+// Grammar (loosely; `*` repetition, `?` optional):
+//
+//   program    := item*
+//   item       := header | metadata | digest | parserblk | action | table
+//               | control | deparser
+//   header     := "header" NAME "{" (type NAME ";")* "}"
+//   metadata   := "metadata" "{" (type NAME ";")* "}"
+//   digest     := "digest" NAME "{" (fieldref ":" type ";")* "}"
+//   parserblk  := "parser" "{" state* "}"
+//   state      := "state" NAME "{" ("extract" "(" NAME ")" ";")?
+//                 (selectstmt | "goto" NAME ";") "}"
+//   selectstmt := "select" "(" fieldref ")" "{"
+//                 (INT ":" NAME ";")* ("default" ":" NAME ";")? "}"
+//   action     := "action" NAME "(" params? ")" "{" stmt* "}"
+//   params     := type NAME ("," type NAME)*
+//   stmt       := fieldref "=" rvalue ";"          (set / copy field)
+//               | "output" "(" rvalue ")" ";"
+//               | "multicast" "(" rvalue ")" ";"
+//               | "clone" "(" rvalue ")" ";"
+//               | "drop" "(" ")" ";"
+//               | "digest" "(" NAME ")" ";"
+//               | "push_vlan" "(" rvalue ")" ";"
+//               | "pop_vlan" "(" ")" ";"
+//   rvalue     := INT | NAME (action parameter) | fieldref (copy)
+//   table      := "table" NAME "{"
+//                 "key" "=" "{" (fieldref ":" matchkind ";")* "}"
+//                 "actions" "=" "{" (NAME ";")* "}"
+//                 ("default_action" "=" NAME ("(" INT ("," INT)* ")")? ";")?
+//                 ("size" "=" INT ";")? "}"
+//   matchkind  := "exact" | "lpm" | "ternary" | "range" | "optional"
+//   control    := ("ingress" | "egress") "{" node* "}"
+//   node       := "apply" "(" NAME ")" ";"
+//               | "if" "(" cond ")" "{" node* "}" ("else" "{" node* "}")?
+//   cond       := "valid" "(" NAME ")" | fieldref ("==" | "!=") INT
+//   deparser   := "deparser" "{" ("emit" "(" NAME ")" ";")* "}"
+//   type       := "bit" "<" INT ">"
+//   fieldref   := NAME "." NAME      (e.g. ethernet.dstAddr, meta.vlan,
+//                                     standard.ingress_port)
+#ifndef NERPA_P4_TEXT_H_
+#define NERPA_P4_TEXT_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "p4/ir.h"
+
+namespace nerpa::p4 {
+
+/// Parses and validates a program from the textual form.
+Result<std::shared_ptr<const P4Program>> ParseP4Text(std::string_view source);
+
+/// Pretty-prints a program as parseable source (inverse of ParseP4Text for
+/// programs expressible in the surface syntax).
+std::string ToP4Text(const P4Program& program);
+
+}  // namespace nerpa::p4
+
+#endif  // NERPA_P4_TEXT_H_

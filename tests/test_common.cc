@@ -1,0 +1,129 @@
+// Unit tests for the common substrate: Status/Result, strings, JSON.
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace nerpa {
+namespace {
+
+TEST(Status, OkAndErrors) {
+  Status ok = Status::Ok();
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.ToString(), "ok");
+
+  Status err = TypeError("mismatch");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.code(), StatusCode::kTypeError);
+  EXPECT_EQ(err.ToString(), "type error: mismatch");
+}
+
+TEST(Status, ResultHoldsValueOrStatus) {
+  Result<int> good(42);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 42);
+
+  Result<int> bad(NotFound("nope"));
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Status, MacrosPropagate) {
+  auto fails = []() -> Status { return InvalidArgument("x"); };
+  auto wrapper = [&]() -> Status {
+    NERPA_RETURN_IF_ERROR(fails());
+    return Internal("unreachable");
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kInvalidArgument);
+
+  auto makes = []() -> Result<int> { return 7; };
+  auto assigns = [&]() -> Result<int> {
+    NERPA_ASSIGN_OR_RETURN(int v, makes());
+    return v + 1;
+  };
+  EXPECT_EQ(*assigns(), 8);
+}
+
+TEST(Strings, SplitJoinTrim) {
+  EXPECT_EQ(Split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Join({"x", "y"}, "::"), "x::y");
+  EXPECT_EQ(Trim("  hi \t\n"), "hi");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(Strings, Predicates) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("fo", "foo"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_TRUE(IsIdentifier("_x9"));
+  EXPECT_FALSE(IsIdentifier("9x"));
+  EXPECT_FALSE(IsIdentifier(""));
+  EXPECT_FALSE(IsIdentifier("a-b"));
+}
+
+TEST(Strings, FormatAndQuote) {
+  EXPECT_EQ(StrFormat("%d-%s", 5, "x"), "5-x");
+  EXPECT_EQ(QuoteString("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+}
+
+TEST(Strings, CountCodeLines) {
+  EXPECT_EQ(CountCodeLines("a\n\n// comment\nb\n# hash\n-- dash\n c "), 3);
+}
+
+TEST(Json, ParseScalars) {
+  EXPECT_TRUE(Json::Parse("null")->is_null());
+  EXPECT_EQ(Json::Parse("true")->as_bool(), true);
+  EXPECT_EQ(Json::Parse("-42")->as_integer(), -42);
+  EXPECT_DOUBLE_EQ(Json::Parse("2.5e2")->as_double(), 250.0);
+  EXPECT_EQ(Json::Parse("\"hi\\n\"")->as_string(), "hi\n");
+}
+
+TEST(Json, ParseNested) {
+  auto doc = Json::Parse(R"({"a": [1, {"b": false}], "c": "x"})");
+  ASSERT_TRUE(doc.ok());
+  const Json* a = doc->Find("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->as_array()[0].as_integer(), 1);
+  EXPECT_EQ(a->as_array()[1].Find("b")->as_bool(), false);
+  EXPECT_EQ(doc->Find("c")->as_string(), "x");
+  EXPECT_EQ(doc->Find("missing"), nullptr);
+}
+
+TEST(Json, RoundTrip) {
+  const char* cases[] = {
+      R"({"a":1,"b":[true,null,"s"],"c":{"d":-7}})",
+      R"([])",
+      R"([[1,2],[3]])",
+      R"("é")",
+  };
+  for (const char* text : cases) {
+    auto doc = Json::Parse(text);
+    ASSERT_TRUE(doc.ok()) << text;
+    auto again = Json::Parse(doc->Dump());
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(*doc, *again) << text;
+  }
+}
+
+TEST(Json, Errors) {
+  EXPECT_FALSE(Json::Parse("").ok());
+  EXPECT_FALSE(Json::Parse("{").ok());
+  EXPECT_FALSE(Json::Parse("[1,]").ok());
+  EXPECT_FALSE(Json::Parse("1 2").ok());
+  EXPECT_FALSE(Json::Parse("{\"a\":}").ok());
+  EXPECT_FALSE(Json::Parse("\"unterminated").ok());
+  EXPECT_FALSE(Json::Parse("tru").ok());
+}
+
+TEST(Json, IntegerPrecisionPreserved) {
+  int64_t big = 9007199254740993LL;  // not representable as double
+  auto doc = Json::Parse(std::to_string(big));
+  ASSERT_TRUE(doc.ok());
+  ASSERT_TRUE(doc->is_integer());
+  EXPECT_EQ(doc->as_integer(), big);
+}
+
+}  // namespace
+}  // namespace nerpa

@@ -1,0 +1,168 @@
+// Controller-runtime behaviours: startup against a pre-populated database,
+// stats accounting, device routing errors, multicast group lifecycle, and
+// lifecycle guards.
+#include <gtest/gtest.h>
+
+#include "nerpa/controller.h"
+#include "ovsdb/database.h"
+#include "p4/text.h"
+#include "snvs/snvs.h"
+
+namespace nerpa {
+namespace {
+
+constexpr const char* kPipeline = R"p4(
+header ethernet { bit<48> dstAddr; bit<48> srcAddr; bit<16> etherType; }
+parser { state start { extract(ethernet); goto accept; } }
+action Discard() { drop(); }
+action Assign(bit<12> vid) { }
+table VlanMap {
+  key = { standard.ingress_port: exact; }
+  actions = { Assign; }
+  default_action = Discard;
+}
+ingress { apply(VlanMap); }
+egress { }
+deparser { emit(ethernet); }
+)p4";
+
+ovsdb::DatabaseSchema Schema() {
+  ovsdb::DatabaseSchema schema;
+  schema.name = "ctl";
+  ovsdb::TableSchema assignment;
+  assignment.name = "Assignment";
+  assignment.columns = {
+      {"device", ovsdb::ColumnType::Scalar(ovsdb::BaseType::String()), false,
+       true},
+      {"port", ovsdb::ColumnType::Scalar(ovsdb::BaseType::Integer(0, 65535)),
+       false, true},
+      {"vlan", ovsdb::ColumnType::Scalar(ovsdb::BaseType::Integer(0, 4095)),
+       false, true},
+  };
+  schema.tables.emplace("Assignment", std::move(assignment));
+  return schema;
+}
+
+constexpr const char* kRules = R"(
+VlanMap(d, p as bit<16>, "Assign", v as bit<12>) :- Assignment(_, d, p, v).
+)";
+
+struct Rig {
+  std::shared_ptr<const p4::P4Program> pipeline;
+  std::unique_ptr<ovsdb::Database> db;
+  Bindings bindings;
+  std::shared_ptr<const dlog::Program> program;
+  std::unique_ptr<p4::Switch> sw0, sw1;
+  std::unique_ptr<p4::RuntimeClient> client0, client1;
+  std::unique_ptr<Controller> controller;
+};
+
+Rig MakeRig() {
+  Rig rig;
+  rig.pipeline = p4::ParseP4Text(kPipeline).value();
+  rig.db = std::make_unique<ovsdb::Database>(Schema());
+  BindingOptions options;
+  options.with_device_column = true;
+  rig.bindings = GenerateBindings(rig.db->schema(), *rig.pipeline, options)
+                     .value();
+  rig.program =
+      dlog::Program::Parse(rig.bindings.DeclsText() + kRules).value();
+  rig.sw0 = std::make_unique<p4::Switch>(rig.pipeline);
+  rig.sw1 = std::make_unique<p4::Switch>(rig.pipeline);
+  rig.client0 = std::make_unique<p4::RuntimeClient>(rig.sw0.get());
+  rig.client1 = std::make_unique<p4::RuntimeClient>(rig.sw1.get());
+  rig.controller = std::make_unique<Controller>(
+      rig.db.get(), rig.program, rig.pipeline, rig.bindings);
+  return rig;
+}
+
+Status AddAssignment(ovsdb::Database& db, const char* device, int64_t port,
+                     int64_t vlan) {
+  ovsdb::TxnBuilder txn(&db);
+  txn.Insert("Assignment", {{"device", ovsdb::Datum::String(device)},
+                            {"port", ovsdb::Datum::Integer(port)},
+                            {"vlan", ovsdb::Datum::Integer(vlan)}});
+  return txn.Commit().status();
+}
+
+TEST(Controller, StartInstallsPreexistingRows) {
+  Rig rig = MakeRig();
+  // Rows exist BEFORE the controller starts: the monitor's initial
+  // snapshot must install them.
+  ASSERT_TRUE(AddAssignment(*rig.db, "sw0", 1, 10).ok());
+  ASSERT_TRUE(AddAssignment(*rig.db, "sw1", 2, 20).ok());
+  ASSERT_TRUE(rig.controller->AddDevice("sw0", rig.client0.get()).ok());
+  ASSERT_TRUE(rig.controller->AddDevice("sw1", rig.client1.get()).ok());
+  ASSERT_TRUE(rig.controller->Start().ok());
+  EXPECT_TRUE(rig.controller->last_error().ok());
+  EXPECT_EQ(rig.sw0->GetTable("VlanMap")->size(), 1u);
+  EXPECT_EQ(rig.sw1->GetTable("VlanMap")->size(), 1u);
+}
+
+TEST(Controller, UnknownDeviceRowSurfacesError) {
+  Rig rig = MakeRig();
+  ASSERT_TRUE(rig.controller->AddDevice("sw0", rig.client0.get()).ok());
+  ASSERT_TRUE(rig.controller->Start().ok());
+  ASSERT_TRUE(AddAssignment(*rig.db, "ghost", 1, 10).ok());
+  // The OVSDB commit succeeds; the controller records the routing failure.
+  EXPECT_FALSE(rig.controller->last_error().ok());
+  EXPECT_GE(rig.controller->stats().errors, 1u);
+}
+
+TEST(Controller, StatsAccounting) {
+  Rig rig = MakeRig();
+  ASSERT_TRUE(rig.controller->AddDevice("sw0", rig.client0.get()).ok());
+  ASSERT_TRUE(rig.controller->Start().ok());
+  ASSERT_TRUE(AddAssignment(*rig.db, "sw0", 1, 10).ok());
+  ASSERT_TRUE(AddAssignment(*rig.db, "sw0", 2, 20).ok());
+  // Move port 1 to vlan 30: retract + assert (a modify through the stack).
+  ovsdb::TxnBuilder txn(rig.db.get());
+  txn.Update("Assignment", {{"port", "==", ovsdb::Datum::Integer(1)}},
+             {{"vlan", ovsdb::Datum::Integer(30)}});
+  ASSERT_TRUE(txn.Commit().ok());
+  ASSERT_TRUE(rig.controller->last_error().ok());
+  const auto& stats = rig.controller->stats();
+  EXPECT_EQ(stats.ovsdb_updates, 3u);
+  EXPECT_EQ(stats.dlog_txns, 3u);
+  EXPECT_EQ(stats.entries_inserted, 3u);  // 2 adds + 1 re-assert
+  EXPECT_EQ(stats.entries_deleted, 1u);   // the retract
+  // The new entry carries the new vlan argument.
+  bool found = false;
+  for (const p4::TableEntry* entry : rig.sw0->GetTable("VlanMap")->Entries()) {
+    if (entry->match[0].value == 1) {
+      EXPECT_EQ(entry->action_args[0], 30u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Controller, LifecycleGuards) {
+  Rig rig = MakeRig();
+  ASSERT_TRUE(rig.controller->AddDevice("sw0", rig.client0.get()).ok());
+  // Duplicate device name.
+  EXPECT_FALSE(rig.controller->AddDevice("sw0", rig.client1.get()).ok());
+  ASSERT_TRUE(rig.controller->Start().ok());
+  // No devices after start; no double start.
+  EXPECT_FALSE(rig.controller->AddDevice("sw1", rig.client1.get()).ok());
+  EXPECT_FALSE(rig.controller->Start().ok());
+  // Digest sync on a digest-less program is a no-op.
+  EXPECT_TRUE(rig.controller->SyncDataPlaneNotifications().ok());
+}
+
+TEST(Controller, MulticastGroupLifecycle) {
+  // Exercised through the snvs stack: groups appear with the first member,
+  // shrink per member, and disappear with the last.
+  auto stack = snvs::BuildSnvsStack().value();
+  ASSERT_TRUE(stack->AddPort("p1", 1, "access", 10).ok());
+  ASSERT_TRUE(stack->AddPort("p2", 2, "access", 10).ok());
+  ASSERT_NE(stack->device().GetMulticastGroup(11), nullptr);
+  EXPECT_EQ(stack->device().GetMulticastGroup(11)->size(), 2u);
+  EXPECT_GE(stack->controller().stats().multicast_updates, 2u);
+  ASSERT_TRUE(stack->DeletePort("p1").ok());
+  ASSERT_TRUE(stack->DeletePort("p2").ok());
+  EXPECT_EQ(stack->device().GetMulticastGroup(11), nullptr);
+}
+
+}  // namespace
+}  // namespace nerpa

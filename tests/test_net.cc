@@ -1,0 +1,105 @@
+// Unit tests for address types and packet codecs.
+#include <gtest/gtest.h>
+
+#include "net/ip.h"
+#include "net/mac.h"
+#include "net/packet.h"
+
+namespace nerpa::net {
+namespace {
+
+TEST(Mac, ParseAndPrint) {
+  auto mac = Mac::Parse("00:1b:44:11:3a:b7");
+  ASSERT_TRUE(mac.has_value());
+  EXPECT_EQ(mac->ToString(), "00:1b:44:11:3a:b7");
+  EXPECT_EQ(mac->bits(), 0x001B44113AB7ULL);
+  EXPECT_TRUE(Mac::Parse("AA-BB-CC-DD-EE-FF").has_value());
+  EXPECT_FALSE(Mac::Parse("00:1b:44:11:3a").has_value());
+  EXPECT_FALSE(Mac::Parse("00:1b:44:11:3a:b7:99").has_value());
+  EXPECT_FALSE(Mac::Parse("zz:1b:44:11:3a:b7").has_value());
+}
+
+TEST(Mac, Properties) {
+  EXPECT_TRUE(Mac::Broadcast().IsBroadcast());
+  EXPECT_TRUE(Mac::Broadcast().IsMulticast());
+  EXPECT_TRUE(Mac(0x01, 0, 0x5E, 0, 0, 1).IsMulticast());
+  EXPECT_TRUE(Mac(0x02, 0, 0, 0, 0, 1).IsUnicast());
+  EXPECT_TRUE(Mac().IsZero());
+}
+
+TEST(Mac, BytesRoundTrip) {
+  Mac mac(0xDE, 0xAD, 0xBE, 0xEF, 0x00, 0x01);
+  auto bytes = mac.Bytes();
+  EXPECT_EQ(Mac::FromBytes(bytes.data()), mac);
+}
+
+TEST(Ipv4, ParseAndPrint) {
+  auto ip = Ipv4::Parse("192.168.1.200");
+  ASSERT_TRUE(ip.has_value());
+  EXPECT_EQ(ip->ToString(), "192.168.1.200");
+  EXPECT_FALSE(Ipv4::Parse("256.0.0.1").has_value());
+  EXPECT_FALSE(Ipv4::Parse("1.2.3").has_value());
+  EXPECT_FALSE(Ipv4::Parse("1.2.3.4.5").has_value());
+  EXPECT_FALSE(Ipv4::Parse("").has_value());
+}
+
+TEST(Ipv4Prefix, ContainsAndNormalizes) {
+  auto prefix = Ipv4Prefix::Parse("10.1.0.0/16");
+  ASSERT_TRUE(prefix.has_value());
+  EXPECT_TRUE(prefix->Contains(*Ipv4::Parse("10.1.200.3")));
+  EXPECT_FALSE(prefix->Contains(*Ipv4::Parse("10.2.0.1")));
+  // Host bits are cleared.
+  auto messy = Ipv4Prefix::Parse("10.1.2.3/16");
+  EXPECT_EQ(messy->ToString(), "10.1.0.0/16");
+  // /0 matches everything.
+  auto all = Ipv4Prefix::Parse("0.0.0.0/0");
+  EXPECT_TRUE(all->Contains(*Ipv4::Parse("255.255.255.255")));
+  EXPECT_FALSE(Ipv4Prefix::Parse("10.0.0.0/33").has_value());
+}
+
+TEST(PacketCodec, BitLevelRoundTrip) {
+  PacketWriter writer;
+  writer.WriteBits(0b101, 3);   // VLAN PCP-style sub-byte field
+  writer.WriteBits(0, 1);
+  writer.WriteBits(0xABC, 12);
+  writer.WriteU16(0x0800);
+  Packet packet = writer.Finish();
+  ASSERT_EQ(packet.size(), 4u);
+
+  PacketReader reader(packet);
+  EXPECT_EQ(*reader.ReadBits(3), 0b101u);
+  EXPECT_EQ(*reader.ReadBits(1), 0u);
+  EXPECT_EQ(*reader.ReadBits(12), 0xABCu);
+  EXPECT_EQ(*reader.ReadU16(), 0x0800u);
+  EXPECT_FALSE(reader.ReadU8().has_value());  // past the end
+}
+
+TEST(PacketCodec, EthernetFrame) {
+  Mac dst(0, 1, 2, 3, 4, 5), src(6, 7, 8, 9, 10, 11);
+  Packet frame = MakeEthernetFrame(dst, src, 0x0800, {0xAA, 0xBB});
+  ASSERT_EQ(frame.size(), 16u);  // 14 header + 2 payload
+  PacketReader reader(frame);
+  EXPECT_EQ(*reader.ReadMac(), dst);
+  EXPECT_EQ(*reader.ReadMac(), src);
+  EXPECT_EQ(*reader.ReadU16(), 0x0800u);
+  EXPECT_EQ(*reader.ReadU8(), 0xAAu);
+}
+
+TEST(PacketCodec, VlanTaggedFrame) {
+  Mac dst(0, 1, 2, 3, 4, 5), src(6, 7, 8, 9, 10, 11);
+  Packet frame = MakeEthernetFrame(dst, src, 0x0800, {}, 0x123);
+  ASSERT_EQ(frame.size(), 18u);
+  PacketReader reader(frame);
+  reader.Skip(12);
+  EXPECT_EQ(*reader.ReadU16(), 0x8100u);       // TPID
+  EXPECT_EQ(*reader.ReadBits(4), 0u);           // pcp+dei
+  EXPECT_EQ(*reader.ReadBits(12), 0x123u);      // vid
+  EXPECT_EQ(*reader.ReadU16(), 0x0800u);        // inner etherType
+}
+
+TEST(PacketCodec, HexDump) {
+  EXPECT_EQ(HexDump({0xDE, 0xAD, 0xBE, 0xEF}), "dead beef");
+}
+
+}  // namespace
+}  // namespace nerpa::net

@@ -1,0 +1,174 @@
+// Tests for the OVSDB wire layer: JSON-RPC messages, stream splitting,
+// and a live TCP server/client exchange with monitors.
+#include <gtest/gtest.h>
+
+#include "ovsdb/client.h"
+#include "ovsdb/server.h"
+#include "snvs/snvs.h"
+
+namespace nerpa::ovsdb {
+namespace {
+
+TEST(JsonRpc, MessageRoundTrip) {
+  JsonRpcMessage request = JsonRpcMessage::Request(
+      "transact", Json(Json::Array{Json("db")}), Json(int64_t{7}));
+  auto back = JsonRpcMessage::FromJson(Json::Parse(request.ToJson().Dump())
+                                           .value());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->kind, JsonRpcMessage::Kind::kRequest);
+  EXPECT_EQ(back->method, "transact");
+  EXPECT_EQ(back->id.as_integer(), 7);
+
+  JsonRpcMessage notification = JsonRpcMessage::Notification(
+      "update", Json(Json::Array{}));
+  back = JsonRpcMessage::FromJson(
+      Json::Parse(notification.ToJson().Dump()).value());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->kind, JsonRpcMessage::Kind::kNotification);
+
+  JsonRpcMessage response =
+      JsonRpcMessage::Response(Json(int64_t{1}), Json(int64_t{7}));
+  back = JsonRpcMessage::FromJson(
+      Json::Parse(response.ToJson().Dump()).value());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->kind, JsonRpcMessage::Kind::kResponse);
+  EXPECT_TRUE(back->error.is_null());
+}
+
+TEST(JsonStreamSplitter, SplitsConcatenatedAndFragmented) {
+  JsonStreamSplitter splitter;
+  std::vector<std::string> documents;
+  auto collect = [&](std::string_view text) -> Status {
+    documents.emplace_back(text);
+    return Status::Ok();
+  };
+  // Two messages in one chunk, then one split across three chunks, with a
+  // brace inside a string to trip naive splitters.
+  ASSERT_TRUE(splitter.Feed(R"({"a":1}{"b":[1,2]})", collect).ok());
+  ASSERT_TRUE(splitter.Feed(R"({"c":"}{", )", collect).ok());
+  ASSERT_TRUE(splitter.Feed(R"("d": "\"}")", collect).ok());
+  ASSERT_TRUE(splitter.Feed("}", collect).ok());
+  ASSERT_EQ(documents.size(), 3u);
+  EXPECT_EQ(documents[0], R"({"a":1})");
+  EXPECT_EQ(documents[1], R"({"b":[1,2]})");
+  auto third = Json::Parse(documents[2]);
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(third->Find("c")->as_string(), "}{");
+  EXPECT_EQ(third->Find("d")->as_string(), "\"}");
+}
+
+TEST(JsonStreamSplitter, RejectsUnbalanced) {
+  JsonStreamSplitter splitter;
+  auto ignore = [](std::string_view) { return Status::Ok(); };
+  EXPECT_FALSE(splitter.Feed("}}", ignore).ok());
+}
+
+class RpcTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    server_ = std::make_unique<OvsdbServer>(
+        std::make_unique<Database>(snvs::SnvsSchema()));
+    ASSERT_TRUE(server_->Start().ok());
+    ASSERT_TRUE(client_.Connect("127.0.0.1", server_->port()).ok());
+  }
+
+  void TearDown() override {
+    client_.Disconnect();
+    server_->Stop();
+  }
+
+  std::unique_ptr<OvsdbServer> server_;
+  OvsdbClient client_;
+};
+
+TEST_F(RpcTest, EchoAndSchema) {
+  ASSERT_TRUE(client_.Echo().ok());
+  auto schema = client_.GetSchema();
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+  EXPECT_EQ(schema->name, "snvs");
+  EXPECT_NE(schema->FindTable("Port"), nullptr);
+}
+
+TEST_F(RpcTest, TransactOverTheWire) {
+  auto result = client_.Transact(Json::Parse(R"([
+    {"op": "insert", "table": "Port",
+     "row": {"name": "p1", "port": 1, "vlan_mode": "access", "tag": 10}}
+  ])").value());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_TRUE(result->is_array());
+  EXPECT_NE(result->as_array()[0].Find("uuid"), nullptr);
+
+  // Errors come back as JSON-RPC errors.
+  result = client_.Transact(Json::Parse(R"([
+    {"op": "insert", "table": "Port",
+     "row": {"name": "p2", "port": 2, "vlan_mode": "bogus", "tag": 1}}
+  ])").value());
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(RpcTest, MonitorStreamsUpdates) {
+  int updates_seen = 0;
+  Json last_update;
+  auto initial = client_.Monitor(
+      Json("m1"), {"Port"}, [&](const Json& id, const Json& updates) {
+        (void)id;
+        ++updates_seen;
+        last_update = updates;
+      });
+  ASSERT_TRUE(initial.ok()) << initial.status().ToString();
+  EXPECT_TRUE(initial->as_object().empty());  // empty db: empty snapshot
+
+  ASSERT_TRUE(client_.Transact(Json::Parse(R"([
+    {"op": "insert", "table": "Port",
+     "row": {"name": "p1", "port": 1, "vlan_mode": "access", "tag": 10}}
+  ])").value()).ok());
+  auto delivered = client_.WaitForUpdate(2000);
+  ASSERT_TRUE(delivered.ok()) << delivered.status().ToString();
+  ASSERT_GE(*delivered, 1);
+  EXPECT_EQ(updates_seen, 1);
+  const Json* port_updates = last_update.Find("Port");
+  ASSERT_NE(port_updates, nullptr);
+  ASSERT_EQ(port_updates->as_object().size(), 1u);
+  const Json& row = port_updates->as_object().begin()->second;
+  EXPECT_EQ(row.Find("new")->Find("name")->as_string(), "p1");
+  EXPECT_EQ(row.Find("old"), nullptr);  // insert: no old
+
+  // A second client gets the current contents in its initial snapshot.
+  OvsdbClient late;
+  ASSERT_TRUE(late.Connect("127.0.0.1", server_->port()).ok());
+  auto late_initial =
+      late.Monitor(Json("m2"), {"Port"}, [](const Json&, const Json&) {});
+  ASSERT_TRUE(late_initial.ok());
+  ASSERT_NE(late_initial->Find("Port"), nullptr);
+  EXPECT_EQ(late_initial->Find("Port")->as_object().size(), 1u);
+
+  // Cancel stops the stream.
+  ASSERT_TRUE(client_.MonitorCancel(Json("m1")).ok());
+  ASSERT_TRUE(client_.Transact(Json::Parse(R"([
+    {"op": "delete", "table": "Port", "where": []}
+  ])").value()).ok());
+  delivered = client_.WaitForUpdate(300);
+  ASSERT_TRUE(delivered.ok());
+  EXPECT_EQ(*delivered, 0);
+}
+
+TEST_F(RpcTest, TwoClientsSeeEachOthersCommits) {
+  OvsdbClient other;
+  ASSERT_TRUE(other.Connect("127.0.0.1", server_->port()).ok());
+  int updates = 0;
+  ASSERT_TRUE(other
+                  .Monitor(Json("watch"), {},
+                           [&](const Json&, const Json&) { ++updates; })
+                  .ok());
+  ASSERT_TRUE(client_.Transact(Json::Parse(R"([
+    {"op": "insert", "table": "Mirror",
+     "row": {"name": "m", "src_port": 1, "out_port": 9}}
+  ])").value()).ok());
+  auto delivered = other.WaitForUpdate(2000);
+  ASSERT_TRUE(delivered.ok());
+  EXPECT_EQ(*delivered, 1);
+  EXPECT_EQ(updates, 1);
+}
+
+}  // namespace
+}  // namespace nerpa::ovsdb

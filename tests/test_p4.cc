@@ -1,0 +1,351 @@
+// Unit tests for the P4 subsystem: IR validation, match-kind semantics,
+// the behavioural interpreter (parsing, pipeline, multicast, digests,
+// VLAN push/pop, clones), and the P4Runtime-style API validation.
+#include <gtest/gtest.h>
+
+#include "net/packet.h"
+#include "p4/interpreter.h"
+#include "p4/runtime.h"
+#include "snvs/snvs.h"
+
+namespace nerpa::p4 {
+namespace {
+
+using net::Mac;
+
+TEST(MatchField, ExactLpmTernaryRangeOptional) {
+  EXPECT_TRUE(MatchField::Exact(5).Matches(MatchKind::kExact, 16, 5));
+  EXPECT_FALSE(MatchField::Exact(5).Matches(MatchKind::kExact, 16, 6));
+
+  // LPM: 10.1.0.0/16 over a 32-bit field.
+  MatchField lpm = MatchField::Lpm(0x0A010000, 16);
+  EXPECT_TRUE(lpm.Matches(MatchKind::kLpm, 32, 0x0A01FFFF));
+  EXPECT_FALSE(lpm.Matches(MatchKind::kLpm, 32, 0x0A020000));
+  EXPECT_TRUE(MatchField::Lpm(0, 0).Matches(MatchKind::kLpm, 32, 0xFFFFFFFF));
+
+  MatchField ternary = MatchField::Ternary(0x0100, 0x0F00);
+  EXPECT_TRUE(ternary.Matches(MatchKind::kTernary, 16, 0xA1FF));
+  EXPECT_FALSE(ternary.Matches(MatchKind::kTernary, 16, 0xA2FF));
+
+  MatchField range = MatchField::Range(10, 20);
+  EXPECT_TRUE(range.Matches(MatchKind::kRange, 16, 10));
+  EXPECT_TRUE(range.Matches(MatchKind::kRange, 16, 20));
+  EXPECT_FALSE(range.Matches(MatchKind::kRange, 16, 21));
+
+  EXPECT_TRUE(MatchField::Optional(std::nullopt)
+                  .Matches(MatchKind::kOptional, 16, 1234));
+  EXPECT_TRUE(MatchField::Optional(7).Matches(MatchKind::kOptional, 16, 7));
+  EXPECT_FALSE(MatchField::Optional(7).Matches(MatchKind::kOptional, 16, 8));
+}
+
+/// A small LPM routing table exercised through TableState.
+TEST(TableState, LongestPrefixWins) {
+  Table schema;
+  schema.name = "route";
+  schema.keys = {{"meta.dst", MatchKind::kLpm, 32}};
+  schema.actions = {"fwd"};
+  TableState state(&schema);
+  auto entry = [&](uint64_t value, int plen, uint64_t port) {
+    TableEntry e;
+    e.table = "route";
+    e.match = {MatchField::Lpm(value, plen)};
+    e.action = "fwd";
+    e.action_args = {port};
+    return e;
+  };
+  ASSERT_TRUE(state.Insert(entry(0x0A000000, 8, 1)).ok());
+  ASSERT_TRUE(state.Insert(entry(0x0A010000, 16, 2)).ok());
+  ASSERT_TRUE(state.Insert(entry(0x0A010200, 24, 3)).ok());
+  EXPECT_EQ(state.Lookup({0x0A010203})->action_args[0], 3u);
+  EXPECT_EQ(state.Lookup({0x0A01FF00})->action_args[0], 2u);
+  EXPECT_EQ(state.Lookup({0x0AFF0000})->action_args[0], 1u);
+  EXPECT_EQ(state.Lookup({0x0B000000}), nullptr);
+  EXPECT_EQ(state.hits(), 3u);
+  EXPECT_EQ(state.misses(), 1u);
+}
+
+TEST(TableState, TernaryPriority) {
+  Table schema;
+  schema.name = "acl";
+  schema.keys = {{"meta.x", MatchKind::kTernary, 16}};
+  schema.actions = {"a"};
+  TableState state(&schema);
+  TableEntry broad;
+  broad.table = "acl";
+  broad.match = {MatchField::Ternary(0, 0)};  // matches all
+  broad.priority = 1;
+  broad.action = "a";
+  broad.action_args = {};
+  TableEntry narrow = broad;
+  narrow.match = {MatchField::Ternary(0x00FF, 0x00FF)};
+  narrow.priority = 10;
+  ASSERT_TRUE(state.Insert(broad).ok());
+  ASSERT_TRUE(state.Insert(narrow).ok());
+  EXPECT_EQ(state.Lookup({0x12FF})->priority, 10);
+  EXPECT_EQ(state.Lookup({0x1200})->priority, 1);
+}
+
+TEST(TableState, DuplicateInsertAndModifyDelete) {
+  Table schema;
+  schema.name = "t";
+  schema.keys = {{"meta.x", MatchKind::kExact, 16}};
+  schema.actions = {"a", "b"};
+  schema.size = 2;
+  TableState state(&schema);
+  TableEntry e;
+  e.table = "t";
+  e.match = {MatchField::Exact(1)};
+  e.action = "a";
+  ASSERT_TRUE(state.Insert(e).ok());
+  EXPECT_FALSE(state.Insert(e).ok());  // duplicate
+  e.action = "b";
+  ASSERT_TRUE(state.Modify(e).ok());
+  EXPECT_EQ(state.Lookup({1})->action, "b");
+  ASSERT_TRUE(state.Remove(e).ok());
+  EXPECT_FALSE(state.Remove(e).ok());  // already gone
+  EXPECT_EQ(state.Lookup({1}), nullptr);
+
+  // Capacity enforced.
+  TableEntry e1 = e, e2 = e, e3 = e;
+  e1.match = {MatchField::Exact(1)};
+  e2.match = {MatchField::Exact(2)};
+  e3.match = {MatchField::Exact(3)};
+  ASSERT_TRUE(state.Insert(e1).ok());
+  ASSERT_TRUE(state.Insert(e2).ok());
+  EXPECT_FALSE(state.Insert(e3).ok());
+}
+
+TEST(P4Program, ValidateCatchesMistakes) {
+  auto program = *snvs::SnvsP4Program();  // copy a known-good program
+  program.tables[0].actions.push_back("NoSuchAction");
+  EXPECT_FALSE(program.Validate().ok());
+
+  auto program2 = *snvs::SnvsP4Program();
+  program2.ingress.push_back(ControlNode::Apply("NoSuchTable"));
+  EXPECT_FALSE(program2.Validate().ok());
+
+  auto program3 = *snvs::SnvsP4Program();
+  program3.parser[0].select = FieldRef("ethernet.nope");
+  EXPECT_FALSE(program3.Validate().ok());
+
+  auto program4 = *snvs::SnvsP4Program();
+  program4.headers[0].fields[0].width = 100;
+  EXPECT_FALSE(program4.Validate().ok());
+}
+
+TEST(RuntimeClient, ValidatesWrites) {
+  auto program = snvs::SnvsP4Program();
+  Switch device(program);
+  RuntimeClient client(&device);
+
+  TableEntry entry;
+  entry.table = "Dmac";
+  entry.match = {MatchField::Exact(10), MatchField::Exact(0xAABBCCDDEEFF)};
+  entry.action = "Forward";
+  entry.action_args = {3};
+  EXPECT_TRUE(client.Insert(entry).ok());
+
+  TableEntry bad = entry;
+  bad.table = "NoTable";
+  EXPECT_FALSE(client.Insert(bad).ok());
+
+  bad = entry;
+  bad.match.pop_back();
+  EXPECT_FALSE(client.Insert(bad).ok());  // arity
+
+  bad = entry;
+  bad.match[0] = MatchField::Exact(0x1FFF);  // exceeds bit<12>
+  EXPECT_FALSE(client.Insert(bad).ok());
+
+  bad = entry;
+  bad.action = "Flood";  // not permitted in Dmac
+  EXPECT_FALSE(client.Insert(bad).ok());
+
+  bad = entry;
+  bad.action_args = {};  // wrong arity
+  EXPECT_FALSE(client.Insert(bad).ok());
+
+  bad = entry;
+  bad.action_args = {0x1FFFF};  // exceeds bit<16> parameter
+  EXPECT_FALSE(client.Insert(bad).ok());
+}
+
+TEST(RuntimeClient, BatchValidatesBeforeApplying) {
+  auto program = snvs::SnvsP4Program();
+  Switch device(program);
+  RuntimeClient client(&device);
+  TableEntry good;
+  good.table = "FloodVlan";
+  good.match = {MatchField::Exact(10)};
+  good.action = "Flood";
+  good.action_args = {11};
+  TableEntry bad = good;
+  bad.action = "NoSuchAction";
+  Status result = client.Write({{UpdateType::kInsert, good},
+                                {UpdateType::kInsert, bad}});
+  EXPECT_FALSE(result.ok());
+  // Validation failed before anything applied.
+  EXPECT_EQ(device.GetTable("FloodVlan")->size(), 0u);
+}
+
+class InterpreterTest : public ::testing::Test {
+ protected:
+  InterpreterTest()
+      : program_(snvs::SnvsP4Program()),
+        device_(program_),
+        client_(&device_) {}
+
+  void ConfigureAccessPort(uint64_t port, uint64_t vlan) {
+    TableEntry admit;
+    admit.table = "InVlanUntagged";
+    admit.match = {MatchField::Exact(port)};
+    admit.action = "SetAccessVlan";
+    admit.action_args = {vlan};
+    ASSERT_TRUE(client_.Insert(admit).ok());
+    TableEntry egress;
+    egress.table = "OutVlan";
+    egress.match = {MatchField::Exact(port), MatchField::Exact(vlan)};
+    egress.action = "EmitUntagged";
+    egress.action_args = {};
+    ASSERT_TRUE(client_.Insert(egress).ok());
+  }
+
+  std::shared_ptr<const P4Program> program_;
+  Switch device_;
+  RuntimeClient client_;
+};
+
+TEST_F(InterpreterTest, ParserRejectsTruncatedPacket) {
+  auto out = device_.ProcessPacket(PacketIn{1, {0xAA, 0xBB}});
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(device_.stats().parse_errors, 1u);
+}
+
+TEST_F(InterpreterTest, UnconfiguredPortDrops) {
+  net::Packet frame = net::MakeEthernetFrame(
+      Mac(0, 0, 0, 0, 0, 2), Mac(0, 0, 0, 0, 0, 1), 0x0800, {});
+  auto out = device_.ProcessPacket(PacketIn{5, frame});
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->empty());
+  EXPECT_EQ(device_.stats().dropped, 1u);
+}
+
+TEST_F(InterpreterTest, UnicastForwardAfterManualEntries) {
+  ConfigureAccessPort(1, 10);
+  ConfigureAccessPort(2, 10);
+  TableEntry fwd;
+  fwd.table = "Dmac";
+  fwd.match = {MatchField::Exact(10), MatchField::Exact(0x02)};
+  fwd.action = "Forward";
+  fwd.action_args = {2};
+  ASSERT_TRUE(client_.Insert(fwd).ok());
+
+  net::Packet frame = net::MakeEthernetFrame(
+      Mac(0, 0, 0, 0, 0, 2), Mac(0, 0, 0, 0, 0, 1), 0x0800, {0x55});
+  auto out = device_.ProcessPacket(PacketIn{1, frame});
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_EQ((*out)[0].port, 2u);
+  EXPECT_EQ((*out)[0].packet, frame);  // untagged in, untagged out
+}
+
+TEST_F(InterpreterTest, DigestRaisedOnSMacMiss) {
+  ConfigureAccessPort(1, 10);
+  net::Packet frame = net::MakeEthernetFrame(
+      Mac(0, 0, 0, 0, 0, 9), Mac(0, 0, 0, 0, 0, 7), 0x0800, {});
+  ASSERT_TRUE(device_.ProcessPacket(PacketIn{1, frame}).ok());
+  auto digests = device_.TakeDigests();
+  ASSERT_EQ(digests.size(), 1u);
+  EXPECT_EQ(digests[0].name, "MacLearn");
+  ASSERT_EQ(digests[0].fields.size(), 3u);
+  EXPECT_EQ(digests[0].fields[0], 1u);    // ingress port
+  EXPECT_EQ(digests[0].fields[1], 10u);   // vlan
+  EXPECT_EQ(digests[0].fields[2], 7u);    // src mac
+  EXPECT_TRUE(device_.TakeDigests().empty());  // drained
+}
+
+TEST_F(InterpreterTest, MulticastReplicatesExceptSource) {
+  ConfigureAccessPort(1, 10);
+  ConfigureAccessPort(2, 10);
+  ConfigureAccessPort(3, 10);
+  TableEntry flood;
+  flood.table = "FloodVlan";
+  flood.match = {MatchField::Exact(10)};
+  flood.action = "Flood";
+  flood.action_args = {11};
+  ASSERT_TRUE(client_.Insert(flood).ok());
+  ASSERT_TRUE(client_.SetMulticastGroup(11, {1, 2, 3}).ok());
+
+  net::Packet frame = net::MakeEthernetFrame(
+      Mac::Broadcast(), Mac(0, 0, 0, 0, 0, 1), 0x0800, {});
+  auto out = device_.ProcessPacket(PacketIn{1, frame});
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 2u);  // 2 and 3; source 1 pruned
+}
+
+TEST_F(InterpreterTest, VlanPushPopRoundTrip) {
+  // Trunk ingress (tagged) to access egress (untagged) and vice versa is
+  // covered by the snvs integration tests; here, exercise push/pop at the
+  // header level directly.
+  ConfigureAccessPort(1, 42);
+  TableEntry trunk_egress;
+  trunk_egress.table = "OutVlan";
+  trunk_egress.match = {MatchField::Exact(7), MatchField::Exact(42)};
+  trunk_egress.action = "EmitTagged";
+  trunk_egress.action_args = {42};
+  ASSERT_TRUE(client_.Insert(trunk_egress).ok());
+  TableEntry fwd;
+  fwd.table = "Dmac";
+  fwd.match = {MatchField::Exact(42), MatchField::Exact(0x02)};
+  fwd.action = "Forward";
+  fwd.action_args = {7};
+  ASSERT_TRUE(client_.Insert(fwd).ok());
+
+  net::Packet untagged = net::MakeEthernetFrame(
+      Mac(0, 0, 0, 0, 0, 2), Mac(0, 0, 0, 0, 0, 1), 0x0800, {0xAB});
+  auto out = device_.ProcessPacket(PacketIn{1, untagged});
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 1u);
+  // The output must carry an 802.1Q tag with vid 42.
+  net::PacketReader reader((*out)[0].packet);
+  reader.Skip(12);
+  EXPECT_EQ(*reader.ReadU16(), 0x8100u);
+  EXPECT_EQ(*reader.ReadBits(4), 0u);
+  EXPECT_EQ(*reader.ReadBits(12), 42u);
+  EXPECT_EQ(*reader.ReadU16(), 0x0800u);
+  EXPECT_EQ(*reader.ReadU8(), 0xABu);
+}
+
+
+TEST_F(InterpreterTest, PerEntryCounters) {
+  ConfigureAccessPort(1, 10);
+  ConfigureAccessPort(2, 10);
+  TableEntry fwd;
+  fwd.table = "Dmac";
+  fwd.match = {MatchField::Exact(10), MatchField::Exact(0x02)};
+  fwd.action = "Forward";
+  fwd.action_args = {2};
+  ASSERT_TRUE(client_.Insert(fwd).ok());
+  net::Packet frame = net::MakeEthernetFrame(
+      Mac(0, 0, 0, 0, 0, 2), Mac(0, 0, 0, 0, 0, 1), 0x0800, {});
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(device_.ProcessPacket(PacketIn{1, frame}).ok());
+  }
+  auto counters = client_.ReadCounters("Dmac");
+  ASSERT_TRUE(counters.ok());
+  ASSERT_EQ(counters->size(), 1u);
+  EXPECT_EQ((*counters)[0].second, 3u);
+}
+
+TEST_F(InterpreterTest, StatsCountPackets) {
+  ConfigureAccessPort(1, 10);
+  net::Packet frame = net::MakeEthernetFrame(
+      Mac(0, 0, 0, 0, 0, 2), Mac(0, 0, 0, 0, 0, 1), 0x0800, {});
+  (void)device_.ProcessPacket(PacketIn{1, frame});
+  (void)device_.ProcessPacket(PacketIn{9, frame});  // unconfigured: drop
+  EXPECT_EQ(device_.stats().packets_in, 2u);
+  EXPECT_GE(device_.stats().dropped, 1u);
+}
+
+}  // namespace
+}  // namespace nerpa::p4

@@ -1,0 +1,68 @@
+// ovsdb_server — serve a schema over TCP, standalone.  The management
+// plane as its own process, like the prototype's ovsdb-server.
+//
+//   $ ./build/tools/ovsdb_server schema.json 6640
+//   $ ./build/tools/ovsdb_server --snvs 6640        # built-in snvs schema
+//
+// Clients speak the JSON-RPC methods in src/ovsdb/server.h (get_schema,
+// transact, monitor, monitor_cancel, echo, list_dbs).
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "ovsdb/server.h"
+#include "snvs/snvs.h"
+
+#include <unistd.h>
+
+namespace {
+volatile std::sig_atomic_t g_stop = 0;
+void HandleSignal(int) { g_stop = 1; }
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || argc > 3) {
+    std::fprintf(stderr,
+                 "usage: %s (schema.json | --snvs) [port]\n", argv[0]);
+    return 2;
+  }
+  nerpa::ovsdb::DatabaseSchema schema;
+  if (std::strcmp(argv[1], "--snvs") == 0) {
+    schema = nerpa::snvs::SnvsSchema();
+  } else {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    auto parsed = nerpa::ovsdb::DatabaseSchema::FromJsonText(text.str());
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "schema: %s\n", parsed.status().ToString().c_str());
+      return 2;
+    }
+    schema = std::move(parsed).value();
+  }
+  uint16_t port = argc == 3 ? static_cast<uint16_t>(std::atoi(argv[2])) : 0;
+
+  nerpa::ovsdb::OvsdbServer server(
+      std::make_unique<nerpa::ovsdb::Database>(std::move(schema)));
+  nerpa::Status started = server.Start(port);
+  if (!started.ok()) {
+    std::fprintf(stderr, "%s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("ovsdb server: db '%s' listening on 127.0.0.1:%u\n",
+              argv[1], server.port());
+  std::fflush(stdout);
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (!g_stop) pause();
+  std::printf("shutting down (%llu requests served)\n",
+              static_cast<unsigned long long>(server.requests_served()));
+  server.Stop();
+  return 0;
+}
