@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fragment_growth.dir/bench_fragment_growth.cc.o"
+  "CMakeFiles/bench_fragment_growth.dir/bench_fragment_growth.cc.o.d"
+  "bench_fragment_growth"
+  "bench_fragment_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fragment_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lb_coldstart.dir/bench_lb_coldstart.cc.o"
+  "CMakeFiles/bench_lb_coldstart.dir/bench_lb_coldstart.cc.o.d"
+  "bench_lb_coldstart"
+  "bench_lb_coldstart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lb_coldstart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

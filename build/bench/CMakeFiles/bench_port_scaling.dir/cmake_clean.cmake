@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_port_scaling.dir/bench_port_scaling.cc.o"
+  "CMakeFiles/bench_port_scaling.dir/bench_port_scaling.cc.o.d"
+  "bench_port_scaling"
+  "bench_port_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_port_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reachability.dir/bench_reachability.cc.o"
+  "CMakeFiles/bench_reachability.dir/bench_reachability.cc.o.d"
+  "bench_reachability"
+  "bench_reachability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reachability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ip_fabric.dir/ip_fabric.cpp.o"
+  "CMakeFiles/ip_fabric.dir/ip_fabric.cpp.o.d"
+  "ip_fabric"
+  "ip_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ip_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mac_learning.dir/mac_learning.cpp.o"
+  "CMakeFiles/mac_learning.dir/mac_learning.cpp.o.d"
+  "mac_learning"
+  "mac_learning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mac_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/networked_stack.dir/networked_stack.cpp.o"
+  "CMakeFiles/networked_stack.dir/networked_stack.cpp.o.d"
+  "networked_stack"
+  "networked_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/networked_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

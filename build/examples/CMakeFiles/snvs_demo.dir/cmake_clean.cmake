@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snvs_demo.dir/snvs_demo.cpp.o"
+  "CMakeFiles/snvs_demo.dir/snvs_demo.cpp.o.d"
+  "snvs_demo"
+  "snvs_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snvs_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

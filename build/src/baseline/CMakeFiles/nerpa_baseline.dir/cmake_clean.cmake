@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nerpa_baseline.dir/fragments.cc.o"
+  "CMakeFiles/nerpa_baseline.dir/fragments.cc.o.d"
+  "CMakeFiles/nerpa_baseline.dir/imperative.cc.o"
+  "CMakeFiles/nerpa_baseline.dir/imperative.cc.o.d"
+  "libnerpa_baseline.a"
+  "libnerpa_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nerpa_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

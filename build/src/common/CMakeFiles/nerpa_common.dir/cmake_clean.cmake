@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nerpa_common.dir/clock.cc.o"
+  "CMakeFiles/nerpa_common.dir/clock.cc.o.d"
+  "CMakeFiles/nerpa_common.dir/json.cc.o"
+  "CMakeFiles/nerpa_common.dir/json.cc.o.d"
+  "CMakeFiles/nerpa_common.dir/log.cc.o"
+  "CMakeFiles/nerpa_common.dir/log.cc.o.d"
+  "CMakeFiles/nerpa_common.dir/status.cc.o"
+  "CMakeFiles/nerpa_common.dir/status.cc.o.d"
+  "CMakeFiles/nerpa_common.dir/strings.cc.o"
+  "CMakeFiles/nerpa_common.dir/strings.cc.o.d"
+  "libnerpa_common.a"
+  "libnerpa_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nerpa_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

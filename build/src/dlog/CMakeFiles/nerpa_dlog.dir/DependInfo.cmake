@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dlog/ast.cc" "src/dlog/CMakeFiles/nerpa_dlog.dir/ast.cc.o" "gcc" "src/dlog/CMakeFiles/nerpa_dlog.dir/ast.cc.o.d"
+  "/root/repo/src/dlog/engine.cc" "src/dlog/CMakeFiles/nerpa_dlog.dir/engine.cc.o" "gcc" "src/dlog/CMakeFiles/nerpa_dlog.dir/engine.cc.o.d"
+  "/root/repo/src/dlog/eval.cc" "src/dlog/CMakeFiles/nerpa_dlog.dir/eval.cc.o" "gcc" "src/dlog/CMakeFiles/nerpa_dlog.dir/eval.cc.o.d"
+  "/root/repo/src/dlog/lexer.cc" "src/dlog/CMakeFiles/nerpa_dlog.dir/lexer.cc.o" "gcc" "src/dlog/CMakeFiles/nerpa_dlog.dir/lexer.cc.o.d"
+  "/root/repo/src/dlog/parser.cc" "src/dlog/CMakeFiles/nerpa_dlog.dir/parser.cc.o" "gcc" "src/dlog/CMakeFiles/nerpa_dlog.dir/parser.cc.o.d"
+  "/root/repo/src/dlog/program.cc" "src/dlog/CMakeFiles/nerpa_dlog.dir/program.cc.o" "gcc" "src/dlog/CMakeFiles/nerpa_dlog.dir/program.cc.o.d"
+  "/root/repo/src/dlog/type.cc" "src/dlog/CMakeFiles/nerpa_dlog.dir/type.cc.o" "gcc" "src/dlog/CMakeFiles/nerpa_dlog.dir/type.cc.o.d"
+  "/root/repo/src/dlog/value.cc" "src/dlog/CMakeFiles/nerpa_dlog.dir/value.cc.o" "gcc" "src/dlog/CMakeFiles/nerpa_dlog.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nerpa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

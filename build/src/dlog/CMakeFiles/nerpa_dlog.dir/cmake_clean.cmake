@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nerpa_dlog.dir/ast.cc.o"
+  "CMakeFiles/nerpa_dlog.dir/ast.cc.o.d"
+  "CMakeFiles/nerpa_dlog.dir/engine.cc.o"
+  "CMakeFiles/nerpa_dlog.dir/engine.cc.o.d"
+  "CMakeFiles/nerpa_dlog.dir/eval.cc.o"
+  "CMakeFiles/nerpa_dlog.dir/eval.cc.o.d"
+  "CMakeFiles/nerpa_dlog.dir/lexer.cc.o"
+  "CMakeFiles/nerpa_dlog.dir/lexer.cc.o.d"
+  "CMakeFiles/nerpa_dlog.dir/parser.cc.o"
+  "CMakeFiles/nerpa_dlog.dir/parser.cc.o.d"
+  "CMakeFiles/nerpa_dlog.dir/program.cc.o"
+  "CMakeFiles/nerpa_dlog.dir/program.cc.o.d"
+  "CMakeFiles/nerpa_dlog.dir/type.cc.o"
+  "CMakeFiles/nerpa_dlog.dir/type.cc.o.d"
+  "CMakeFiles/nerpa_dlog.dir/value.cc.o"
+  "CMakeFiles/nerpa_dlog.dir/value.cc.o.d"
+  "libnerpa_dlog.a"
+  "libnerpa_dlog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nerpa_dlog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for nerpa_dlog.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nerpa/bindings.cc" "src/nerpa/CMakeFiles/nerpa_core.dir/bindings.cc.o" "gcc" "src/nerpa/CMakeFiles/nerpa_core.dir/bindings.cc.o.d"
+  "/root/repo/src/nerpa/controller.cc" "src/nerpa/CMakeFiles/nerpa_core.dir/controller.cc.o" "gcc" "src/nerpa/CMakeFiles/nerpa_core.dir/controller.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nerpa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ovsdb/CMakeFiles/nerpa_ovsdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/dlog/CMakeFiles/nerpa_dlog.dir/DependInfo.cmake"
+  "/root/repo/build/src/p4/CMakeFiles/nerpa_p4.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/nerpa_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nerpa_core.dir/bindings.cc.o"
+  "CMakeFiles/nerpa_core.dir/bindings.cc.o.d"
+  "CMakeFiles/nerpa_core.dir/controller.cc.o"
+  "CMakeFiles/nerpa_core.dir/controller.cc.o.d"
+  "libnerpa_core.a"
+  "libnerpa_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nerpa_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nerpa_net.dir/ip.cc.o"
+  "CMakeFiles/nerpa_net.dir/ip.cc.o.d"
+  "CMakeFiles/nerpa_net.dir/mac.cc.o"
+  "CMakeFiles/nerpa_net.dir/mac.cc.o.d"
+  "CMakeFiles/nerpa_net.dir/packet.cc.o"
+  "CMakeFiles/nerpa_net.dir/packet.cc.o.d"
+  "libnerpa_net.a"
+  "libnerpa_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nerpa_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

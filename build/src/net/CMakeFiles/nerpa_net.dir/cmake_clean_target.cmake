@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnerpa_net.a"
+)

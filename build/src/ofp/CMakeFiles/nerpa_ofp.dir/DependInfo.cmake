@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ofp/flow.cc" "src/ofp/CMakeFiles/nerpa_ofp.dir/flow.cc.o" "gcc" "src/ofp/CMakeFiles/nerpa_ofp.dir/flow.cc.o.d"
+  "/root/repo/src/ofp/p4c_of.cc" "src/ofp/CMakeFiles/nerpa_ofp.dir/p4c_of.cc.o" "gcc" "src/ofp/CMakeFiles/nerpa_ofp.dir/p4c_of.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nerpa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/nerpa_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/p4/CMakeFiles/nerpa_p4.dir/DependInfo.cmake"
+  "/root/repo/build/src/dlog/CMakeFiles/nerpa_dlog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nerpa_ofp.dir/flow.cc.o"
+  "CMakeFiles/nerpa_ofp.dir/flow.cc.o.d"
+  "CMakeFiles/nerpa_ofp.dir/p4c_of.cc.o"
+  "CMakeFiles/nerpa_ofp.dir/p4c_of.cc.o.d"
+  "libnerpa_ofp.a"
+  "libnerpa_ofp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nerpa_ofp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ovsdb/atom.cc" "src/ovsdb/CMakeFiles/nerpa_ovsdb.dir/atom.cc.o" "gcc" "src/ovsdb/CMakeFiles/nerpa_ovsdb.dir/atom.cc.o.d"
+  "/root/repo/src/ovsdb/client.cc" "src/ovsdb/CMakeFiles/nerpa_ovsdb.dir/client.cc.o" "gcc" "src/ovsdb/CMakeFiles/nerpa_ovsdb.dir/client.cc.o.d"
+  "/root/repo/src/ovsdb/database.cc" "src/ovsdb/CMakeFiles/nerpa_ovsdb.dir/database.cc.o" "gcc" "src/ovsdb/CMakeFiles/nerpa_ovsdb.dir/database.cc.o.d"
+  "/root/repo/src/ovsdb/datum.cc" "src/ovsdb/CMakeFiles/nerpa_ovsdb.dir/datum.cc.o" "gcc" "src/ovsdb/CMakeFiles/nerpa_ovsdb.dir/datum.cc.o.d"
+  "/root/repo/src/ovsdb/jsonrpc.cc" "src/ovsdb/CMakeFiles/nerpa_ovsdb.dir/jsonrpc.cc.o" "gcc" "src/ovsdb/CMakeFiles/nerpa_ovsdb.dir/jsonrpc.cc.o.d"
+  "/root/repo/src/ovsdb/schema.cc" "src/ovsdb/CMakeFiles/nerpa_ovsdb.dir/schema.cc.o" "gcc" "src/ovsdb/CMakeFiles/nerpa_ovsdb.dir/schema.cc.o.d"
+  "/root/repo/src/ovsdb/server.cc" "src/ovsdb/CMakeFiles/nerpa_ovsdb.dir/server.cc.o" "gcc" "src/ovsdb/CMakeFiles/nerpa_ovsdb.dir/server.cc.o.d"
+  "/root/repo/src/ovsdb/uuid.cc" "src/ovsdb/CMakeFiles/nerpa_ovsdb.dir/uuid.cc.o" "gcc" "src/ovsdb/CMakeFiles/nerpa_ovsdb.dir/uuid.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nerpa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

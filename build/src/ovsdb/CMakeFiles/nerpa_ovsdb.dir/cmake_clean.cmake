@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nerpa_ovsdb.dir/atom.cc.o"
+  "CMakeFiles/nerpa_ovsdb.dir/atom.cc.o.d"
+  "CMakeFiles/nerpa_ovsdb.dir/client.cc.o"
+  "CMakeFiles/nerpa_ovsdb.dir/client.cc.o.d"
+  "CMakeFiles/nerpa_ovsdb.dir/database.cc.o"
+  "CMakeFiles/nerpa_ovsdb.dir/database.cc.o.d"
+  "CMakeFiles/nerpa_ovsdb.dir/datum.cc.o"
+  "CMakeFiles/nerpa_ovsdb.dir/datum.cc.o.d"
+  "CMakeFiles/nerpa_ovsdb.dir/jsonrpc.cc.o"
+  "CMakeFiles/nerpa_ovsdb.dir/jsonrpc.cc.o.d"
+  "CMakeFiles/nerpa_ovsdb.dir/schema.cc.o"
+  "CMakeFiles/nerpa_ovsdb.dir/schema.cc.o.d"
+  "CMakeFiles/nerpa_ovsdb.dir/server.cc.o"
+  "CMakeFiles/nerpa_ovsdb.dir/server.cc.o.d"
+  "CMakeFiles/nerpa_ovsdb.dir/uuid.cc.o"
+  "CMakeFiles/nerpa_ovsdb.dir/uuid.cc.o.d"
+  "libnerpa_ovsdb.a"
+  "libnerpa_ovsdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nerpa_ovsdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/p4/entry.cc" "src/p4/CMakeFiles/nerpa_p4.dir/entry.cc.o" "gcc" "src/p4/CMakeFiles/nerpa_p4.dir/entry.cc.o.d"
+  "/root/repo/src/p4/interpreter.cc" "src/p4/CMakeFiles/nerpa_p4.dir/interpreter.cc.o" "gcc" "src/p4/CMakeFiles/nerpa_p4.dir/interpreter.cc.o.d"
+  "/root/repo/src/p4/ir.cc" "src/p4/CMakeFiles/nerpa_p4.dir/ir.cc.o" "gcc" "src/p4/CMakeFiles/nerpa_p4.dir/ir.cc.o.d"
+  "/root/repo/src/p4/runtime.cc" "src/p4/CMakeFiles/nerpa_p4.dir/runtime.cc.o" "gcc" "src/p4/CMakeFiles/nerpa_p4.dir/runtime.cc.o.d"
+  "/root/repo/src/p4/text.cc" "src/p4/CMakeFiles/nerpa_p4.dir/text.cc.o" "gcc" "src/p4/CMakeFiles/nerpa_p4.dir/text.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nerpa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/nerpa_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/dlog/CMakeFiles/nerpa_dlog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

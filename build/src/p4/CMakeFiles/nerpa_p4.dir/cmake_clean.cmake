@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nerpa_p4.dir/entry.cc.o"
+  "CMakeFiles/nerpa_p4.dir/entry.cc.o.d"
+  "CMakeFiles/nerpa_p4.dir/interpreter.cc.o"
+  "CMakeFiles/nerpa_p4.dir/interpreter.cc.o.d"
+  "CMakeFiles/nerpa_p4.dir/ir.cc.o"
+  "CMakeFiles/nerpa_p4.dir/ir.cc.o.d"
+  "CMakeFiles/nerpa_p4.dir/runtime.cc.o"
+  "CMakeFiles/nerpa_p4.dir/runtime.cc.o.d"
+  "CMakeFiles/nerpa_p4.dir/text.cc.o"
+  "CMakeFiles/nerpa_p4.dir/text.cc.o.d"
+  "libnerpa_p4.a"
+  "libnerpa_p4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nerpa_p4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

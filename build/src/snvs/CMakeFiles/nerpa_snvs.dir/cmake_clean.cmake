@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nerpa_snvs.dir/snvs.cc.o"
+  "CMakeFiles/nerpa_snvs.dir/snvs.cc.o.d"
+  "libnerpa_snvs.a"
+  "libnerpa_snvs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nerpa_snvs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nerpa_bindings.dir/test_nerpa_bindings.cc.o"
+  "CMakeFiles/test_nerpa_bindings.dir/test_nerpa_bindings.cc.o.d"
+  "test_nerpa_bindings"
+  "test_nerpa_bindings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nerpa_bindings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

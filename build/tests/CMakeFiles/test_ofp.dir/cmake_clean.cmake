@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ofp.dir/test_ofp.cc.o"
+  "CMakeFiles/test_ofp.dir/test_ofp.cc.o.d"
+  "test_ofp"
+  "test_ofp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ofp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

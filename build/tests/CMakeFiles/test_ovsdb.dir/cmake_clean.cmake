@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ovsdb.dir/test_ovsdb.cc.o"
+  "CMakeFiles/test_ovsdb.dir/test_ovsdb.cc.o.d"
+  "test_ovsdb"
+  "test_ovsdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ovsdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

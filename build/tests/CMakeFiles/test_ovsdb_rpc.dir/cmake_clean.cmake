@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ovsdb_rpc.dir/test_ovsdb_rpc.cc.o"
+  "CMakeFiles/test_ovsdb_rpc.dir/test_ovsdb_rpc.cc.o.d"
+  "test_ovsdb_rpc"
+  "test_ovsdb_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ovsdb_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

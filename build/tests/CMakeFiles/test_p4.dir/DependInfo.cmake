@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_p4.cc" "tests/CMakeFiles/test_p4.dir/test_p4.cc.o" "gcc" "tests/CMakeFiles/test_p4.dir/test_p4.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/p4/CMakeFiles/nerpa_p4.dir/DependInfo.cmake"
+  "/root/repo/build/src/snvs/CMakeFiles/nerpa_snvs.dir/DependInfo.cmake"
+  "/root/repo/build/src/nerpa/CMakeFiles/nerpa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ovsdb/CMakeFiles/nerpa_ovsdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/ofp/CMakeFiles/nerpa_ofp.dir/DependInfo.cmake"
+  "/root/repo/build/src/dlog/CMakeFiles/nerpa_dlog.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/nerpa_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nerpa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

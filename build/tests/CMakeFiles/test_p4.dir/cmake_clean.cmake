@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_p4.dir/test_p4.cc.o"
+  "CMakeFiles/test_p4.dir/test_p4.cc.o.d"
+  "test_p4"
+  "test_p4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_p4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

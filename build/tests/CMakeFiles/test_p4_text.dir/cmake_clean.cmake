@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_p4_text.dir/test_p4_text.cc.o"
+  "CMakeFiles/test_p4_text.dir/test_p4_text.cc.o.d"
+  "test_p4_text"
+  "test_p4_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_p4_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_snvs_integration.dir/test_snvs_integration.cc.o"
+  "CMakeFiles/test_snvs_integration.dir/test_snvs_integration.cc.o.d"
+  "test_snvs_integration"
+  "test_snvs_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_snvs_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

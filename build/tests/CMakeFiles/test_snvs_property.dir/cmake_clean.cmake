@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_snvs_property.dir/test_snvs_property.cc.o"
+  "CMakeFiles/test_snvs_property.dir/test_snvs_property.cc.o.d"
+  "test_snvs_property"
+  "test_snvs_property.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_snvs_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

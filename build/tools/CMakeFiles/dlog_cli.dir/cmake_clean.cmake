@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlog_cli.dir/dlog_cli.cc.o"
+  "CMakeFiles/dlog_cli.dir/dlog_cli.cc.o.d"
+  "dlog_cli"
+  "dlog_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlog_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

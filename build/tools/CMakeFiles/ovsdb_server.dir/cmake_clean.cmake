@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ovsdb_server.dir/ovsdb_server_main.cc.o"
+  "CMakeFiles/ovsdb_server.dir/ovsdb_server_main.cc.o.d"
+  "ovsdb_server"
+  "ovsdb_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ovsdb_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
