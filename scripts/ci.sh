@@ -1,0 +1,25 @@
+#!/bin/sh
+# Tier-1 verification, run twice: a plain build, and a build instrumented
+# with AddressSanitizer + UndefinedBehaviorSanitizer (the durability layer
+# does enough raw file and lifetime juggling that the sanitizers earn
+# their keep).
+#   scripts/ci.sh [jobs]
+set -eu
+JOBS="${1:-$(nproc)}"
+
+run_suite() {
+  build_dir="$1"; shift
+  echo "=== configure $build_dir ($*) ==="
+  cmake -B "$build_dir" -S . "$@"
+  echo "=== build $build_dir ==="
+  cmake --build "$build_dir" -j "$JOBS"
+  echo "=== test $build_dir ==="
+  ctest --test-dir "$build_dir" --output-on-failure -j "$JOBS"
+}
+
+run_suite build-ci
+run_suite build-ci-asan \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
+
+echo "CI: both suites passed"

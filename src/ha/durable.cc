@@ -1,0 +1,223 @@
+#include "ha/durable.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.h"
+#include "common/strings.h"
+
+namespace nerpa::ha {
+
+namespace {
+
+constexpr const char* kSnapshotFormat = "nerpa-ha-snapshot-v1";
+
+std::string SnapshotPath(const std::string& dir) {
+  return dir + "/snapshot.json";
+}
+std::string WalPath(const std::string& dir) { return dir + "/wal.jsonl"; }
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return NotFound("cannot read '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return std::move(buffer).str();
+}
+
+}  // namespace
+
+Json DurableStore::SnapshotJson(const ovsdb::Database& db,
+                                int64_t digest_seq) {
+  Json::Object tables;
+  for (const auto& [table_name, table_schema] : db.schema().tables) {
+    std::vector<const ovsdb::Row*> rows = db.GetRows(table_name);
+    // Sort by uuid so identical databases produce identical snapshots.
+    std::sort(rows.begin(), rows.end(),
+              [](const ovsdb::Row* a, const ovsdb::Row* b) {
+                return a->uuid < b->uuid;
+              });
+    Json::Array out_rows;
+    for (const ovsdb::Row* row : rows) {
+      Json::Object columns;
+      for (const auto& [column, datum] : row->columns) {
+        columns[column] = datum.ToJson();
+      }
+      Json::Object entry;
+      entry["uuid"] = Json(row->uuid.ToString());
+      entry["row"] = Json(std::move(columns));
+      out_rows.push_back(Json(std::move(entry)));
+    }
+    tables[table_name] = Json(std::move(out_rows));
+  }
+  Json::Object doc;
+  doc["format"] = Json(kSnapshotFormat);
+  doc["schema"] = Json(db.schema().name);
+  doc["digest_seq"] = Json(digest_seq);
+  doc["tables"] = Json(std::move(tables));
+  return Json(std::move(doc));
+}
+
+Status DurableStore::ApplySnapshot(ovsdb::Database& db, const Json& snapshot) {
+  const Json* format = snapshot.Find("format");
+  if (format == nullptr || !format->is_string() ||
+      format->as_string() != kSnapshotFormat) {
+    return ParseError("snapshot has missing/unsupported format tag");
+  }
+  const Json* tables = snapshot.Find("tables");
+  if (tables == nullptr || !tables->is_object()) {
+    return ParseError("snapshot missing 'tables' object");
+  }
+  // One transaction restores everything: intra-snapshot references resolve
+  // because constraints are enforced at commit, and atomicity means a
+  // half-applied snapshot can never be observed.
+  Json::Array ops;
+  for (const auto& [table_name, rows] : tables->as_object()) {
+    if (!rows.is_array()) {
+      return ParseError("snapshot table '" + table_name + "' is not an array");
+    }
+    for (const Json& entry : rows.as_array()) {
+      const Json* uuid = entry.Find("uuid");
+      const Json* row = entry.Find("row");
+      if (uuid == nullptr || !uuid->is_string() || row == nullptr ||
+          !row->is_object()) {
+        return ParseError("snapshot row entry malformed in table '" +
+                          table_name + "'");
+      }
+      Json::Object op;
+      op["op"] = Json("insert");
+      op["table"] = Json(table_name);
+      op["uuid"] = *uuid;
+      op["row"] = *row;
+      ops.push_back(Json(std::move(op)));
+    }
+  }
+  if (ops.empty()) return Status::Ok();
+  Result<Json> applied = db.Transact(Json(std::move(ops)));
+  if (!applied.ok()) {
+    return Internal("snapshot restore failed: " +
+                    applied.status().ToString());
+  }
+  return Status::Ok();
+}
+
+DurableStore::DurableStore(std::unique_ptr<ovsdb::Database> db,
+                           WriteAheadLog wal, std::string dir)
+    : db_(std::move(db)), wal_(std::move(wal)), dir_(std::move(dir)) {}
+
+DurableStore::~DurableStore() {
+  if (hook_id_ != 0 && db_ != nullptr) db_->RemoveCommitHook(hook_id_);
+}
+
+std::unique_ptr<ovsdb::Database> DurableStore::Release() && {
+  if (hook_id_ != 0) {
+    db_->RemoveCommitHook(hook_id_);
+    hook_id_ = 0;
+  }
+  return std::move(db_);
+}
+
+Result<std::unique_ptr<DurableStore>> DurableStore::Open(
+    ovsdb::DatabaseSchema schema, const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Internal("cannot create HA directory '" + dir +
+                    "': " + ec.message());
+  }
+  auto db = std::make_unique<ovsdb::Database>(std::move(schema));
+
+  bool recovered = false;
+  int64_t digest_seq = 0;
+  uint64_t snapshot_rows = 0;
+  if (std::filesystem::exists(SnapshotPath(dir))) {
+    NERPA_ASSIGN_OR_RETURN(std::string text, ReadFile(SnapshotPath(dir)));
+    NERPA_ASSIGN_OR_RETURN(Json snapshot, Json::Parse(text));
+    NERPA_RETURN_IF_ERROR(ApplySnapshot(*db, snapshot));
+    if (const Json* seq = snapshot.Find("digest_seq");
+        seq != nullptr && seq->is_integer()) {
+      digest_seq = seq->as_integer();
+    }
+    for (const auto& [table, unused] : db->schema().tables) {
+      snapshot_rows += db->RowCount(table);
+    }
+    recovered = true;
+  }
+
+  NERPA_ASSIGN_OR_RETURN(WriteAheadLog wal, WriteAheadLog::Open(WalPath(dir)));
+  NERPA_RETURN_IF_ERROR(wal.Replay([&](const Json& record) {
+    return db->Transact(record).status();
+  }));
+  if (wal.records_replayed() > 0) recovered = true;
+
+  auto store = std::unique_ptr<DurableStore>(
+      new DurableStore(std::move(db), std::move(wal), dir));
+  store->recovered_ = recovered;
+  store->recovered_digest_seq_ = digest_seq;
+  store->recovered_snapshot_rows_ = snapshot_rows;
+  store->recovered_wal_records_ = store->wal_.records_replayed();
+  // Attach the WAL hook only now: recovery replay must not re-append the
+  // records it is reading.
+  store->hook_id_ = store->db_->AddCommitHook([raw = store.get()](
+                                                  const Json& pinned) {
+    Status appended = raw->wal_.Append(pinned);
+    if (!appended.ok()) {
+      LOG_ERROR << "ha: WAL append failed (transaction is NOT durable): "
+                << appended.ToString();
+    }
+  });
+  return store;
+}
+
+Status DurableStore::Checkpoint(int64_t digest_seq) {
+  Json snapshot = SnapshotJson(*db_, digest_seq);
+  std::string tmp = SnapshotPath(dir_) + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
+    if (!out) return Internal("cannot write snapshot tmp '" + tmp + "'");
+    out << snapshot.Dump() << "\n";
+    out.flush();
+    if (!out) return Internal("short write to snapshot tmp '" + tmp + "'");
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, SnapshotPath(dir_), ec);
+  if (ec) {
+    return Internal("cannot publish snapshot: " + ec.message());
+  }
+  // The snapshot now subsumes every logged transaction: compact.
+  NERPA_RETURN_IF_ERROR(wal_.Reset());
+  ++checkpoints_;
+  snapshot_rows_ = 0;
+  for (const auto& [table, unused] : db_->schema().tables) {
+    snapshot_rows_ += db_->RowCount(table);
+  }
+  recovered_digest_seq_ = digest_seq;
+  return Status::Ok();
+}
+
+DurableStore::Stats DurableStore::stats() const {
+  Stats stats;
+  stats.checkpoints = checkpoints_;
+  stats.snapshot_rows = snapshot_rows_;
+  stats.recovered_snapshot_rows = recovered_snapshot_rows_;
+  stats.recovered_wal_records = recovered_wal_records_;
+  stats.truncated_tail_records = wal_.truncated_tail_records();
+  stats.wal_records_appended = wal_.records_appended();
+  return stats;
+}
+
+Result<std::unique_ptr<ovsdb::Database>> RecoverDatabase(
+    ovsdb::DatabaseSchema schema, const std::string& dir) {
+  if (!std::filesystem::exists(SnapshotPath(dir)) &&
+      !std::filesystem::exists(WalPath(dir))) {
+    return NotFound("no HA state under '" + dir + "'");
+  }
+  NERPA_ASSIGN_OR_RETURN(std::unique_ptr<DurableStore> store,
+                         DurableStore::Open(std::move(schema), dir));
+  // Detach the store scaffolding; keep only the rebuilt database.
+  return std::move(*store).Release();
+}
+
+}  // namespace nerpa::ha

@@ -1,0 +1,108 @@
+// Durability and crash recovery for the management plane.
+//
+// The paper leaves "fault-tolerance and replication of the management and
+// control planes" open (§5); this is the single-node half of that story.
+// A DurableStore owns an ovsdb::Database plus an on-disk state directory:
+//
+//   <dir>/snapshot.json   full database image + controller checkpoint
+//                         (digest seq), written atomically (tmp + rename)
+//   <dir>/wal.jsonl       every transaction committed since the snapshot,
+//                         appended and flushed before the commit returns
+//                         to the caller (via Database::AddCommitHook)
+//
+// Open() is also Recover(): if the directory holds state, the database is
+// rebuilt by applying the snapshot as one pinned-uuid transaction and then
+// replaying the WAL record by record; otherwise a fresh database is
+// created.  Checkpoint() writes a new snapshot and truncates the WAL (log
+// compaction), bounding both recovery time and disk growth.
+//
+// The control plane needs no separate durability: it is a pure function of
+// the management plane plus the digest stream, and is re-derived on
+// restart.  What must survive is the controller's digest sequence cursor
+// (most-recent-wins MAC learning orders notifications by it); Checkpoint()
+// persists it and recovered_digest_seq() hands it back for
+// Controller::Options::initial_digest_seq.
+#ifndef NERPA_HA_DURABLE_H_
+#define NERPA_HA_DURABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+#include "ha/wal.h"
+#include "ovsdb/database.h"
+
+namespace nerpa::ha {
+
+class DurableStore {
+ public:
+  /// Opens (recovering if state exists, creating otherwise) a durable
+  /// database for `schema` rooted at directory `dir` (created if missing).
+  static Result<std::unique_ptr<DurableStore>> Open(
+      ovsdb::DatabaseSchema schema, const std::string& dir);
+
+  ~DurableStore();
+  DurableStore(const DurableStore&) = delete;
+  DurableStore& operator=(const DurableStore&) = delete;
+
+  /// The durable database.  Every Transact() against it is WAL-appended
+  /// before the call returns.
+  ovsdb::Database& db() { return *db_; }
+
+  /// True when Open() rebuilt state from disk (vs. starting empty).
+  bool recovered() const { return recovered_; }
+
+  /// The digest sequence saved by the last Checkpoint(); 0 if none.
+  int64_t recovered_digest_seq() const { return recovered_digest_seq_; }
+
+  /// Writes a full snapshot (including `digest_seq`, the controller's
+  /// sequence cursor) and compacts the WAL.
+  Status Checkpoint(int64_t digest_seq);
+
+  struct Stats {
+    uint64_t checkpoints = 0;
+    uint64_t snapshot_rows = 0;          // rows in the last snapshot written
+    uint64_t recovered_snapshot_rows = 0;
+    uint64_t recovered_wal_records = 0;
+    uint64_t truncated_tail_records = 0; // dropped interrupted appends
+    uint64_t wal_records_appended = 0;   // since last checkpoint
+  };
+  Stats stats() const;
+
+  /// Serializes a database into the snapshot JSON document (exposed for
+  /// tests and benches that need to measure snapshot size directly).
+  static Json SnapshotJson(const ovsdb::Database& db, int64_t digest_seq);
+
+  /// Detaches and returns the database, ending durability (no further WAL
+  /// appends).  The store is unusable afterwards.
+  std::unique_ptr<ovsdb::Database> Release() &&;
+
+ private:
+  DurableStore(std::unique_ptr<ovsdb::Database> db, WriteAheadLog wal,
+               std::string dir);
+
+  /// Applies a parsed snapshot document to an empty database.
+  static Status ApplySnapshot(ovsdb::Database& db, const Json& snapshot);
+
+  std::unique_ptr<ovsdb::Database> db_;
+  WriteAheadLog wal_;
+  std::string dir_;
+  uint64_t hook_id_ = 0;
+  bool recovered_ = false;
+  int64_t recovered_digest_seq_ = 0;
+  uint64_t checkpoints_ = 0;
+  uint64_t snapshot_rows_ = 0;
+  uint64_t recovered_snapshot_rows_ = 0;
+  uint64_t recovered_wal_records_ = 0;
+};
+
+/// Convenience: recover just the database (no live store) from `dir`.
+/// NotFound when the directory holds no state.
+Result<std::unique_ptr<ovsdb::Database>> RecoverDatabase(
+    ovsdb::DatabaseSchema schema, const std::string& dir);
+
+}  // namespace nerpa::ha
+
+#endif  // NERPA_HA_DURABLE_H_

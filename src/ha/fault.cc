@@ -1,0 +1,48 @@
+#include "ha/fault.h"
+
+#include "common/clock.h"
+#include "common/strings.h"
+
+namespace nerpa::ha {
+
+Status FaultyRuntimeClient::MaybeFail(const char* what) {
+  ++stats_.write_calls;
+  if (policy_.write_fail_probability <= 0) return Status::Ok();
+  if (policy_.max_failures >= 0 &&
+      stats_.injected_failures >=
+          static_cast<uint64_t>(policy_.max_failures)) {
+    return Status::Ok();
+  }
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  if (coin(rng_) >= policy_.write_fail_probability) return Status::Ok();
+  ++stats_.injected_failures;
+  return Internal(StrFormat("injected fault: %s failed (failure #%llu)", what,
+                            static_cast<unsigned long long>(
+                                stats_.injected_failures)));
+}
+
+void FaultyRuntimeClient::MaybeDelay() {
+  if (policy_.write_delay_nanos <= 0) return;
+  ++stats_.delayed_calls;
+  int64_t deadline = MonotonicNanos() + policy_.write_delay_nanos;
+  while (MonotonicNanos() < deadline) {
+    // Busy-wait: delays in tests are sub-millisecond and sleeping would
+    // round them up to scheduler granularity.
+  }
+}
+
+Status FaultyRuntimeClient::Write(const std::vector<p4::Update>& updates) {
+  NERPA_RETURN_IF_ERROR(MaybeFail("table write"));
+  MaybeDelay();
+  return p4::RuntimeClient::Write(updates);
+}
+
+Status FaultyRuntimeClient::SetMulticastGroup(uint32_t group,
+                                              std::vector<uint64_t> ports) {
+  NERPA_RETURN_IF_ERROR(MaybeFail("multicast group write"));
+  MaybeDelay();
+  return p4::RuntimeClient::SetMulticastGroup(group, std::move(ports));
+}
+
+}  // namespace nerpa::ha
+

@@ -1,0 +1,66 @@
+// Fault injection for the control→data plane write path.
+//
+// A FaultyRuntimeClient is a drop-in p4::RuntimeClient whose write
+// operations (table Write batches and multicast group programming) fail or
+// stall according to a seeded pseudo-random policy.  Reads are never
+// faulted: the point is to exercise the controller's retry/backoff and
+// resynchronization logic against a flaky device, and reads are what the
+// recovery path uses to observe ground truth.
+//
+// Determinism: the policy carries the RNG seed, so a given (seed, call
+// sequence) produces the same fault pattern every run — tests assert exact
+// convergence without flakiness.
+#ifndef NERPA_HA_FAULT_H_
+#define NERPA_HA_FAULT_H_
+
+#include <cstdint>
+#include <random>
+
+#include "common/status.h"
+#include "p4/runtime.h"
+
+namespace nerpa::ha {
+
+struct FaultPolicy {
+  /// Probability in [0, 1] that a write call fails with kUnavailable-style
+  /// Internal error before anything applies.
+  double write_fail_probability = 0;
+  /// RNG seed; same seed → same fault sequence.
+  uint64_t seed = 1;
+  /// Stop injecting after this many failures (< 0 = unlimited).  Lets
+  /// tests model "device flaky then heals".
+  int64_t max_failures = -1;
+  /// Busy-delay applied to every forwarded write, in nanoseconds (models
+  /// a slow device; keep small in tests).
+  int64_t write_delay_nanos = 0;
+};
+
+class FaultyRuntimeClient : public p4::RuntimeClient {
+ public:
+  FaultyRuntimeClient(p4::Switch* sw, FaultPolicy policy)
+      : p4::RuntimeClient(sw), policy_(policy), rng_(policy.seed) {}
+
+  Status Write(const std::vector<p4::Update>& updates) override;
+  Status SetMulticastGroup(uint32_t group,
+                           std::vector<uint64_t> ports) override;
+
+  struct Stats {
+    uint64_t write_calls = 0;      // faultable calls seen
+    uint64_t injected_failures = 0;
+    uint64_t delayed_calls = 0;
+  };
+  const Stats& fault_stats() const { return stats_; }
+
+ private:
+  /// Returns the injected error for this call, or Ok to forward it.
+  Status MaybeFail(const char* what);
+  void MaybeDelay();
+
+  FaultPolicy policy_;
+  std::mt19937_64 rng_;
+  Stats stats_;
+};
+
+}  // namespace nerpa::ha
+
+#endif  // NERPA_HA_FAULT_H_

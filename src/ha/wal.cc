@@ -1,0 +1,67 @@
+#include "ha/wal.h"
+
+#include <vector>
+
+#include "common/strings.h"
+
+namespace nerpa::ha {
+
+Result<WriteAheadLog> WriteAheadLog::Open(const std::string& path) {
+  WriteAheadLog wal(path);
+  wal.out_.open(path, std::ios::app);
+  if (!wal.out_) return Internal("cannot open WAL '" + path + "'");
+  return wal;
+}
+
+Status WriteAheadLog::Append(const Json& record) {
+  out_ << record.Dump() << "\n";
+  out_.flush();
+  if (!out_) return Internal("cannot append to WAL '" + path_ + "'");
+  ++records_appended_;
+  return Status::Ok();
+}
+
+Status WriteAheadLog::Replay(const std::function<Status(const Json&)>& apply) {
+  std::ifstream in(path_);
+  if (!in) return NotFound("no WAL at '" + path_ + "'");
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!Trim(line).empty()) lines.push_back(line);
+  }
+  for (size_t i = 0; i < lines.size(); ++i) {
+    Result<Json> record = Json::Parse(lines[i]);
+    if (!record.ok()) {
+      if (i + 1 == lines.size()) {
+        // Interrupted append: the commit was never made durable, so the
+        // record is simply not part of history.
+        ++truncated_tail_records_;
+        break;
+      }
+      return Internal(StrFormat("WAL '%s' corrupt at record %zu: %s",
+                                path_.c_str(), i + 1,
+                                record.status().ToString().c_str()));
+    }
+    Status applied = apply(record.value());
+    if (!applied.ok()) {
+      return Internal(StrFormat("WAL '%s' replay failed at record %zu: %s",
+                                path_.c_str(), i + 1,
+                                applied.ToString().c_str()));
+    }
+    ++records_replayed_;
+  }
+  return Status::Ok();
+}
+
+Status WriteAheadLog::Reset() {
+  out_.close();
+  out_.open(path_, std::ios::trunc);
+  if (!out_) return Internal("cannot truncate WAL '" + path_ + "'");
+  out_.close();
+  out_.open(path_, std::ios::app);
+  if (!out_) return Internal("cannot reopen WAL '" + path_ + "'");
+  records_appended_ = 0;
+  return Status::Ok();
+}
+
+}  // namespace nerpa::ha

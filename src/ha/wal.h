@@ -1,0 +1,64 @@
+// Write-ahead log for the management plane.
+//
+// One JSON record per line, appended and flushed after every committed
+// OVSDB transaction (via Database::AddCommitHook).  Records are the
+// uuid-pinned "transact" operation arrays, so replaying them through
+// Database::Transact reproduces the exact row identities and contents.
+//
+// Crash tolerance: a process death mid-append leaves at most one
+// truncated final line; Replay() detects and drops it (the transaction it
+// belonged to was never acknowledged as durable).  A malformed record
+// *before* the tail is corruption and fails the replay.
+#ifndef NERPA_HA_WAL_H_
+#define NERPA_HA_WAL_H_
+
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <string>
+
+#include "common/json.h"
+#include "common/status.h"
+
+namespace nerpa::ha {
+
+class WriteAheadLog {
+ public:
+  /// Opens (creating if missing) the log at `path` for appending.
+  static Result<WriteAheadLog> Open(const std::string& path);
+
+  WriteAheadLog(WriteAheadLog&&) = default;
+  WriteAheadLog& operator=(WriteAheadLog&&) = default;
+
+  const std::string& path() const { return path_; }
+
+  /// Appends one record and flushes it to the OS.
+  Status Append(const Json& record);
+
+  /// Invokes `apply` on every well-formed record in file order.  Stops
+  /// with the error if `apply` fails.  A truncated or unparseable *final*
+  /// record is dropped (interrupted append), counted in
+  /// truncated_tail_records().
+  Status Replay(const std::function<Status(const Json&)>& apply);
+
+  /// Truncates the log to empty — called after a snapshot subsumes the
+  /// logged transactions (log compaction).
+  Status Reset();
+
+  uint64_t records_appended() const { return records_appended_; }
+  uint64_t records_replayed() const { return records_replayed_; }
+  uint64_t truncated_tail_records() const { return truncated_tail_records_; }
+
+ private:
+  explicit WriteAheadLog(std::string path) : path_(std::move(path)) {}
+
+  std::string path_;
+  std::ofstream out_;
+  uint64_t records_appended_ = 0;
+  uint64_t records_replayed_ = 0;
+  uint64_t truncated_tail_records_ = 0;
+};
+
+}  // namespace nerpa::ha
+
+#endif  // NERPA_HA_WAL_H_

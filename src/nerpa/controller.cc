@@ -1,6 +1,9 @@
 #include "nerpa/controller.h"
 
 #include <algorithm>
+#include <chrono>
+#include <set>
+#include <thread>
 
 #include "common/log.h"
 #include "common/strings.h"
@@ -15,23 +18,45 @@ Controller::Controller(ovsdb::Database* db,
       program_(std::move(program)),
       p4_program_(std::move(p4_program)),
       bindings_(std::move(bindings)),
-      options_(std::move(options)) {}
+      options_(std::move(options)) {
+  digest_seq_ = options_.initial_digest_seq;
+}
+
+Controller::Controller(ovsdb::Database* db,
+                       std::shared_ptr<const dlog::Program> program,
+                       std::shared_ptr<const p4::P4Program> p4_program,
+                       Bindings bindings)
+    : Controller(db, std::move(program), std::move(p4_program),
+                 std::move(bindings), Options()) {}
 
 Controller::~Controller() {
   if (monitor_id_ != 0) db_->RemoveMonitor(monitor_id_);
 }
 
 Status Controller::AddDevice(std::string name, p4::RuntimeClient* client) {
-  if (started_) {
-    return FailedPrecondition("cannot add devices after Start()");
-  }
   for (const Device& device : devices_) {
     if (device.name == name) {
       return AlreadyExists("device '" + name + "' already registered");
     }
   }
   devices_.push_back(Device{std::move(name), client});
-  return Status::Ok();
+  if (!started_) return Status::Ok();
+  // Late registration = a device (re)joining a live controller: bring it
+  // to the desired state with the minimal write set.
+  Status synced = ResyncDeviceImpl(devices_.back());
+  if (!synced.ok()) {
+    ++stats_.errors;
+    if (last_error_.ok()) last_error_ = synced;
+  }
+  return synced;
+}
+
+Status Controller::ResyncDevice(const std::string& name) {
+  if (!started_) return FailedPrecondition("controller not started");
+  for (Device& device : devices_) {
+    if (device.name == name) return ResyncDeviceImpl(device);
+  }
+  return NotFound("device '" + name + "' is not registered");
 }
 
 Status Controller::Start() {
@@ -57,9 +82,16 @@ Status Controller::Start() {
   }
   engine_ = std::make_unique<dlog::Engine>(program_);
   started_ = true;
+  // Restart mode: let the engine absorb the initial state without writing
+  // to devices, then reconcile each device against the derived state.
+  suppress_writes_ = options_.resync_on_start;
   // Outputs derived from facts.
   dlog::TxnDelta initial = engine_->TakeInitialDelta();
-  NERPA_RETURN_IF_ERROR(ApplyOutputDelta(initial));
+  Status applied = ApplyOutputDelta(initial);
+  if (!applied.ok()) {
+    suppress_writes_ = false;
+    return applied;
+  }
   // Subscribe to every bound management-plane table.  The monitor delivers
   // the current database contents immediately as inserts.
   std::vector<std::string> tables;
@@ -70,6 +102,12 @@ Status Controller::Start() {
       tables, [this](const ovsdb::TableUpdates& updates) {
         OnOvsdbUpdate(updates);
       });
+  if (options_.resync_on_start) {
+    suppress_writes_ = false;
+    for (Device& device : devices_) {
+      NERPA_RETURN_IF_ERROR(ResyncDeviceImpl(device));
+    }
+  }
   return last_error_;
 }
 
@@ -109,15 +147,44 @@ Status Controller::ProcessOvsdbUpdates(const ovsdb::TableUpdates& updates) {
   return ApplyOutputDelta(delta);
 }
 
+Status Controller::WriteWithRetry(const Device& device,
+                                  const std::function<Status()>& write) {
+  const RetryPolicy& retry = options_.retry;
+  int attempts = std::max(1, retry.max_attempts);
+  int64_t backoff = retry.initial_backoff_nanos;
+  Status status;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      ++stats_.retries;
+      std::this_thread::sleep_for(std::chrono::nanoseconds(backoff));
+      backoff = std::min<int64_t>(
+          retry.max_backoff_nanos,
+          static_cast<int64_t>(static_cast<double>(backoff) *
+                               retry.backoff_multiplier));
+    }
+    status = write();
+    if (status.ok()) return status;
+    ++stats_.device_failures[device.name];
+    // Only transient device errors (kInternal — what a flaky transport
+    // raises) are worth re-attempting; validation and application errors
+    // are deterministic and would just replay the failure.
+    if (status.code() != StatusCode::kInternal) break;
+  }
+  ++stats_.write_failures;
+  return status;
+}
+
 Status Controller::WriteEntry(const std::string& device, p4::UpdateType type,
                               const p4::TableEntry& entry) {
+  if (suppress_writes_) return Status::Ok();
   bool routed = !device.empty();
   bool any = false;
   for (const Device& candidate : devices_) {
     if (routed && candidate.name != device) continue;
     any = true;
-    NERPA_RETURN_IF_ERROR(
-        candidate.client->Write({p4::Update{type, entry}}));
+    NERPA_RETURN_IF_ERROR(WriteWithRetry(candidate, [&] {
+      return candidate.client->Write({p4::Update{type, entry}});
+    }));
     if (type == p4::UpdateType::kInsert) {
       ++stats_.entries_inserted;
     } else if (type == p4::UpdateType::kDelete) {
@@ -131,6 +198,17 @@ Status Controller::WriteEntry(const std::string& device, p4::UpdateType type,
 }
 
 Status Controller::ApplyOutputDelta(const dlog::TxnDelta& delta) {
+  if (suppress_writes_) {
+    // Startup resync: the engine itself accumulates the desired table
+    // state, so entry conversion is deferred to ResyncDeviceImpl; only the
+    // multicast membership bookkeeping must be kept current.
+    for (const auto& [relation, rows] : delta.outputs) {
+      if (relation == options_.multicast_relation) {
+        NERPA_RETURN_IF_ERROR(ApplyMulticastDelta(rows));
+      }
+    }
+    return Status::Ok();
+  }
   // Deletes first so that modify (retract+assert of the same match key)
   // never collides with the still-installed old entry.
   struct PendingInsert {
@@ -194,13 +272,122 @@ Status Controller::ApplyMulticastDelta(const dlog::SetDelta& delta) {
     const auto& [device, group] = key;
     const std::vector<uint64_t>& members = multicast_members_[key];
     bool routed = !device.empty();
-    for (const Device& candidate : devices_) {
-      if (routed && candidate.name != device) continue;
-      NERPA_RETURN_IF_ERROR(
-          candidate.client->SetMulticastGroup(group, members));
-      ++stats_.multicast_updates;
+    if (!suppress_writes_) {
+      for (const Device& candidate : devices_) {
+        if (routed && candidate.name != device) continue;
+        NERPA_RETURN_IF_ERROR(WriteWithRetry(candidate, [&] {
+          return candidate.client->SetMulticastGroup(group, members);
+        }));
+        ++stats_.multicast_updates;
+      }
     }
     if (members.empty()) multicast_members_.erase(key);
+  }
+  return Status::Ok();
+}
+
+Status Controller::ResyncDeviceImpl(Device& device) {
+  ++stats_.resyncs;
+  // Phase 1: desired entries for this device, derived from the output
+  // relations (the engine is the single source of truth — whatever the
+  // management plane implies, post-restart or live, is in there).
+  // Keyed by the entry's canonical P4Runtime identity (match + priority).
+  std::map<std::string, std::map<std::string, p4::TableEntry>> desired;
+  for (const TableBinding& binding : bindings_.tables) {
+    NERPA_ASSIGN_OR_RETURN(std::vector<dlog::Row> rows,
+                           engine_->Dump(binding.relation));
+    const p4::Table* schema = p4_program_->FindTable(binding.p4_table);
+    if (schema == nullptr) {
+      return Internal("bound P4 table '" + binding.p4_table + "' missing");
+    }
+    auto& want = desired[binding.p4_table];
+    for (const dlog::Row& row : rows) {
+      NERPA_ASSIGN_OR_RETURN(auto converted,
+                             DlogRowToEntry(binding, *p4_program_, row));
+      if (!converted.first.empty() && converted.first != device.name) {
+        continue;  // routed to a different device
+      }
+      want[converted.second.KeyString(*schema)] = std::move(converted.second);
+    }
+  }
+  // Phase 2: read the device's actual tables and compute the minimal
+  // delete/modify/insert set.  Deletes go first (freeing match keys),
+  // inserts last.
+  std::vector<p4::TableEntry> to_delete, to_insert, to_modify;
+  for (const TableBinding& binding : bindings_.tables) {
+    ++stats_.resync_reads;
+    NERPA_ASSIGN_OR_RETURN(std::vector<p4::TableEntry> actual,
+                           device.client->ReadTable(binding.p4_table));
+    const p4::Table* schema = p4_program_->FindTable(binding.p4_table);
+    auto& want = desired[binding.p4_table];
+    std::set<std::string> held;
+    for (p4::TableEntry& entry : actual) {
+      std::string key = entry.KeyString(*schema);
+      auto it = want.find(key);
+      if (it == want.end()) {
+        to_delete.push_back(std::move(entry));
+        continue;
+      }
+      held.insert(key);
+      if (it->second.action != entry.action ||
+          it->second.action_args != entry.action_args) {
+        to_modify.push_back(it->second);
+      }
+    }
+    for (auto& [key, entry] : want) {
+      if (held.count(key) == 0) to_insert.push_back(entry);
+    }
+  }
+  auto apply = [&](p4::UpdateType type, const p4::TableEntry& entry) {
+    return WriteWithRetry(device, [&] {
+      return device.client->Write({p4::Update{type, entry}});
+    });
+  };
+  for (const p4::TableEntry& entry : to_delete) {
+    NERPA_RETURN_IF_ERROR(apply(p4::UpdateType::kDelete, entry));
+    ++stats_.resync_deleted;
+  }
+  for (const p4::TableEntry& entry : to_modify) {
+    NERPA_RETURN_IF_ERROR(apply(p4::UpdateType::kModify, entry));
+    ++stats_.resync_modified;
+  }
+  for (const p4::TableEntry& entry : to_insert) {
+    NERPA_RETURN_IF_ERROR(apply(p4::UpdateType::kInsert, entry));
+    ++stats_.resync_inserted;
+  }
+  // Phase 3: multicast groups, same discipline.
+  std::map<uint32_t, std::vector<uint64_t>> want_groups;
+  for (const auto& [key, members] : multicast_members_) {
+    const auto& [dev, group] = key;
+    if (!dev.empty() && dev != device.name) continue;
+    want_groups[group] = members;  // members kept sorted by ApplyMulticastDelta
+  }
+  ++stats_.resync_reads;
+  NERPA_ASSIGN_OR_RETURN(auto group_list, device.client->ReadMulticastGroups());
+  std::map<uint32_t, std::vector<uint64_t>> have_groups;
+  for (auto& [group, ports] : group_list) {
+    std::sort(ports.begin(), ports.end());
+    have_groups[group] = std::move(ports);
+  }
+  auto set_group = [&](uint32_t group, const std::vector<uint64_t>& members) {
+    return WriteWithRetry(device, [&] {
+      return device.client->SetMulticastGroup(group, members);
+    });
+  };
+  for (const auto& [group, ports] : have_groups) {
+    if (want_groups.count(group) != 0) continue;
+    NERPA_RETURN_IF_ERROR(set_group(group, {}));
+    ++stats_.resync_deleted;
+  }
+  for (const auto& [group, members] : want_groups) {
+    auto it = have_groups.find(group);
+    if (it == have_groups.end()) {
+      NERPA_RETURN_IF_ERROR(set_group(group, members));
+      ++stats_.resync_inserted;
+    } else if (it->second != members) {
+      NERPA_RETURN_IF_ERROR(set_group(group, members));
+      ++stats_.resync_modified;
+    }
   }
   return Status::Ok();
 }

@@ -31,12 +31,38 @@ namespace nerpa {
 
 class Controller {
  public:
+  /// Bounded exponential backoff for data-plane writes.  With the default
+  /// max_attempts = 1 a failed write surfaces immediately (the pre-HA
+  /// behaviour); recovery deployments raise it so transient device faults
+  /// (see ha::FaultyRuntimeClient) are retried instead of aborting the
+  /// whole delta.
+  struct RetryPolicy {
+    int max_attempts = 1;                      // total tries per write
+    int64_t initial_backoff_nanos = 1000000;   // 1 ms before 2nd attempt
+    double backoff_multiplier = 2.0;
+    int64_t max_backoff_nanos = 100000000;     // 100 ms cap
+  };
+
   struct Options {
     /// Name of an (extra, hand-declared) output relation whose rows are
     /// multicast group membership instead of table entries.  Shape:
     /// ([device: string,] group: bit<16>, port: bit<16>) — device present
     /// iff the bindings were generated with a device column.
     std::string multicast_relation;
+
+    /// Restart mode: instead of blindly installing every derived entry,
+    /// Start() reads each device's actual tables (RuntimeClient::ReadTable)
+    /// and multicast groups, diffs them against the desired state derived
+    /// from the output relations, and applies only the minimal
+    /// delete/modify/insert set — zero writes when already converged.
+    bool resync_on_start = false;
+
+    /// First digest sequence number to assign, so most-recent-wins
+    /// ordering stays monotone across controller restarts (persisted by
+    /// ha::DurableStore::Checkpoint).
+    int64_t initial_digest_seq = 0;
+
+    RetryPolicy retry;
   };
 
   /// The database and runtime clients must outlive the controller.
@@ -45,7 +71,14 @@ class Controller {
   Controller(ovsdb::Database* db,
              std::shared_ptr<const dlog::Program> program,
              std::shared_ptr<const p4::P4Program> p4_program,
-             Bindings bindings, Options options = {});
+             Bindings bindings, Options options);
+  // Default-options overload (an `Options options = {}` default argument
+  // would need the nested struct's member initializers before Controller
+  // is complete, which [class.mem] disallows).
+  Controller(ovsdb::Database* db,
+             std::shared_ptr<const dlog::Program> program,
+             std::shared_ptr<const p4::P4Program> p4_program,
+             Bindings bindings);
   ~Controller();
 
   Controller(const Controller&) = delete;
@@ -53,7 +86,17 @@ class Controller {
 
   /// Registers a data-plane device.  With device-column bindings the name
   /// routes entries; without, every entry is installed on every device.
+  /// After Start() this is the "device (re)joined" path: the new device is
+  /// immediately resynchronized against the current desired state (a
+  /// rebooted switch arrives empty and receives everything; a switch that
+  /// kept its tables across a controller restart receives only the diff).
   Status AddDevice(std::string name, p4::RuntimeClient* client);
+
+  /// Reconciles one registered device against the desired state derived
+  /// from the output relations: reads its tables and multicast groups,
+  /// then applies the minimal delete/modify/insert set.  No-op writes-wise
+  /// when the device is already converged.
+  Status ResyncDevice(const std::string& name);
 
   /// Type-checks the program against the bindings, applies fact-derived
   /// outputs, and subscribes to the management plane (receiving the current
@@ -73,8 +116,23 @@ class Controller {
     uint64_t multicast_updates = 0;
     uint64_t digests = 0;
     uint64_t errors = 0;
+    // --- HA: resynchronization ---
+    uint64_t resyncs = 0;           // devices reconciled
+    uint64_t resync_reads = 0;      // ReadTable/ReadMulticastGroups calls
+    uint64_t resync_inserted = 0;   // missing entries installed
+    uint64_t resync_deleted = 0;    // stale entries removed
+    uint64_t resync_modified = 0;   // entries with wrong action repaired
+    // --- HA: retry/backoff ---
+    uint64_t retries = 0;           // re-attempted writes
+    uint64_t write_failures = 0;    // writes that exhausted all attempts
+    /// Per-device count of failed write attempts (including retried ones).
+    std::map<std::string, uint64_t> device_failures;
   };
   const Stats& stats() const { return stats_; }
+
+  /// Next digest sequence number to be assigned (checkpoint this through
+  /// ha::DurableStore so a restarted controller keeps the order monotone).
+  int64_t digest_seq() const { return digest_seq_; }
 
   /// First error hit inside a monitor callback (callbacks cannot return
   /// Status); ok() if none.
@@ -95,6 +153,11 @@ class Controller {
   Status ApplyMulticastDelta(const dlog::SetDelta& delta);
   Status WriteEntry(const std::string& device, p4::UpdateType type,
                     const p4::TableEntry& entry);
+  /// One write attempt loop: runs `write` against `device` under the
+  /// retry policy, maintaining retry/failure counters.
+  Status WriteWithRetry(const Device& device,
+                        const std::function<Status()>& write);
+  Status ResyncDeviceImpl(Device& device);
 
   ovsdb::Database* db_;
   std::shared_ptr<const dlog::Program> program_;
@@ -105,6 +168,10 @@ class Controller {
   std::vector<Device> devices_;
   uint64_t monitor_id_ = 0;
   bool started_ = false;
+  // Start()-with-resync runs the initial delta with device writes
+  // suppressed (desired state accumulates in the engine), then reconciles
+  // each device against it.
+  bool suppress_writes_ = false;
   int64_t digest_seq_ = 0;
   // (device, group) -> member ports, for multicast reprogramming.
   std::map<std::pair<std::string, uint32_t>, std::vector<uint64_t>>

@@ -983,14 +983,31 @@ Json PinInsertUuids(const Json& operations, const Json& results) {
 Result<Json> Database::Transact(const Json& operations) {
   Txn txn(this);
   NERPA_ASSIGN_OR_RETURN(Json results, txn.Execute(operations));
-  if (!journal_path_.empty()) {
-    std::ofstream journal(journal_path_, std::ios::app);
-    if (!journal) {
-      return Internal("cannot append to journal '" + journal_path_ + "'");
+  if (!journal_path_.empty() || !commit_hooks_.empty()) {
+    Json pinned = PinInsertUuids(operations, results);
+    if (!journal_path_.empty()) {
+      std::ofstream journal(journal_path_, std::ios::app);
+      if (!journal) {
+        return Internal("cannot append to journal '" + journal_path_ + "'");
+      }
+      journal << pinned.Dump() << "\n";
     }
-    journal << PinInsertUuids(operations, results).Dump() << "\n";
+    for (const auto& [id, hook] : commit_hooks_) hook(pinned);
   }
   return results;
+}
+
+uint64_t Database::AddCommitHook(CommitHook hook) {
+  uint64_t id = next_hook_id_++;
+  commit_hooks_.emplace_back(id, std::move(hook));
+  return id;
+}
+
+void Database::RemoveCommitHook(uint64_t id) {
+  commit_hooks_.erase(
+      std::remove_if(commit_hooks_.begin(), commit_hooks_.end(),
+                     [id](const auto& entry) { return entry.first == id; }),
+      commit_hooks_.end());
 }
 
 Status Database::EnableJournal(const std::string& path) {

@@ -107,6 +107,17 @@ class Database {
   /// Number of committed transactions (monotone; useful for tests).
   uint64_t commit_count() const { return commit_count_; }
 
+  // --- Commit hooks (durability integration, src/ha) ---
+
+  /// Called after every successful commit with the transaction's operations,
+  /// rewritten so each insert pins its generated uuid (replaying the exact
+  /// JSON reproduces row identities).  This is the write-ahead-log hook:
+  /// ha::DurableStore appends each record to its WAL through it.
+  using CommitHook = std::function<void(const Json& pinned_operations)>;
+
+  uint64_t AddCommitHook(CommitHook hook);
+  void RemoveCommitHook(uint64_t id);
+
   // --- Durability (append-only journal, like ovsdb-server's file) ---
 
   /// Starts appending every committed transaction's operations to `path`
@@ -142,7 +153,9 @@ class Database {
   DatabaseSchema schema_;
   std::map<std::string, TableData> tables_;
   std::vector<Monitor> monitors_;
+  std::vector<std::pair<uint64_t, CommitHook>> commit_hooks_;
   uint64_t next_monitor_id_ = 1;
+  uint64_t next_hook_id_ = 1;
   uint64_t commit_count_ = 0;
   std::string journal_path_;  // empty = durability off
 };

@@ -56,6 +56,10 @@ class Switch {
   /// Replaces the port set of a multicast group (empty = delete).
   void SetMulticastGroup(uint32_t group, std::vector<uint64_t> ports);
   const std::vector<uint64_t>* GetMulticastGroup(uint32_t group) const;
+  /// All programmed groups (read-back for controller resynchronization).
+  const std::map<uint32_t, std::vector<uint64_t>>& multicast_groups() const {
+    return multicast_;
+  }
 
   /// Runs one packet through the full pipeline.  Returns the (possibly
   /// replicated, possibly empty) egress packets.

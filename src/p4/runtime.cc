@@ -100,6 +100,7 @@ Status RuntimeClient::Write(const std::vector<Update>& updates) {
         NERPA_RETURN_IF_ERROR(table->Remove(update.entry));
         break;
     }
+    ++write_count_;
   }
   return Status::Ok();
 }
@@ -145,7 +146,17 @@ RuntimeClient::ReadCounters(std::string_view table_name) const {
 Status RuntimeClient::SetMulticastGroup(uint32_t group,
                                         std::vector<uint64_t> ports) {
   switch_->SetMulticastGroup(group, std::move(ports));
+  ++write_count_;
   return Status::Ok();
+}
+
+Result<std::vector<std::pair<uint32_t, std::vector<uint64_t>>>>
+RuntimeClient::ReadMulticastGroups() const {
+  std::vector<std::pair<uint32_t, std::vector<uint64_t>>> out;
+  for (const auto& [group, ports] : switch_->multicast_groups()) {
+    out.emplace_back(group, ports);
+  }
+  return out;
 }
 
 void RuntimeClient::PollDigests() {

@@ -26,9 +26,13 @@ struct Update {
   TableEntry entry;
 };
 
+/// The write/read contract the controller codes against.  Virtual so that
+/// HA decorators (src/ha's FaultyRuntimeClient) can interpose on the write
+/// path; the base class talks straight to an in-process Switch.
 class RuntimeClient {
  public:
   explicit RuntimeClient(Switch* sw) : switch_(sw) {}
+  virtual ~RuntimeClient() = default;
 
   const P4Program& program() const { return switch_->program(); }
 
@@ -36,21 +40,36 @@ class RuntimeClient {
   /// reject the whole batch before anything applies; application errors
   /// (e.g. duplicate insert) stop at the failing update — matching
   /// P4Runtime's sequential-apply semantics.
-  Status Write(const std::vector<Update>& updates);
+  virtual Status Write(const std::vector<Update>& updates);
 
-  /// Convenience single-entry forms.
+  /// Convenience single-entry forms (dispatch through Write()).
   Status Insert(TableEntry entry);
   Status Modify(TableEntry entry);
   Status Delete(TableEntry entry);
 
-  /// All entries of `table`.
-  Result<std::vector<TableEntry>> ReadTable(std::string_view table) const;
-
-  /// Direct counters: (entry, packets that hit it) for every entry.
-  Result<std::vector<std::pair<TableEntry, uint64_t>>> ReadCounters(
+  /// All entries of `table`.  This is the read-back contract crash
+  /// recovery depends on (src/ha): the returned entries carry everything
+  /// needed to recompute their canonical identity (match, priority) plus
+  /// the installed action, so a restarted controller can diff desired
+  /// state against the device without any other metadata.
+  virtual Result<std::vector<TableEntry>> ReadTable(
       std::string_view table) const;
 
-  Status SetMulticastGroup(uint32_t group, std::vector<uint64_t> ports);
+  /// Direct counters: (entry, packets that hit it) for every entry.
+  virtual Result<std::vector<std::pair<TableEntry, uint64_t>>> ReadCounters(
+      std::string_view table) const;
+
+  virtual Status SetMulticastGroup(uint32_t group,
+                                   std::vector<uint64_t> ports);
+
+  /// All multicast groups and their (sorted) member ports; the multicast
+  /// half of the read-back contract.
+  virtual Result<std::vector<std::pair<uint32_t, std::vector<uint64_t>>>>
+  ReadMulticastGroups() const;
+
+  /// Updates applied so far through Write()/SetMulticastGroup() — lets
+  /// resynchronization tests assert "zero writes when converged".
+  uint64_t write_count() const { return write_count_; }
 
   using DigestHandler = std::function<void(const DigestMessage&)>;
 
@@ -63,15 +82,19 @@ class RuntimeClient {
   /// Drains the switch's queued digests into the handler.  In a real
   /// deployment this is push; tests and the controller call it after
   /// injecting packets.
-  void PollDigests();
+  virtual void PollDigests();
 
   /// Validates a fully-formed entry against the program (exposed for the
   /// cross-plane type checker in src/nerpa).
   Status ValidateEntry(const TableEntry& entry, UpdateType type) const;
 
+ protected:
+  Switch* target() const { return switch_; }
+
  private:
   Switch* switch_;
   DigestHandler digest_handler_;
+  uint64_t write_count_ = 0;
 };
 
 }  // namespace nerpa::p4

@@ -272,7 +272,19 @@ Result<std::unique_ptr<SnvsStack>> BuildSnvsStack(const SnvsOptions& options) {
     return InvalidArgument("need at least one device");
   }
   auto stack = std::unique_ptr<SnvsStack>(new SnvsStack());
-  stack->db_ = std::make_unique<ovsdb::Database>(SnvsSchema());
+  bool recovered = false;
+  int64_t digest_seq = 0;
+  if (!options.ha_dir.empty()) {
+    NERPA_ASSIGN_OR_RETURN(stack->store_,
+                           ha::DurableStore::Open(SnvsSchema(),
+                                                  options.ha_dir));
+    stack->db_raw_ = &stack->store_->db();
+    recovered = stack->store_->recovered();
+    digest_seq = stack->store_->recovered_digest_seq();
+  } else {
+    stack->db_ = std::make_unique<ovsdb::Database>(SnvsSchema());
+    stack->db_raw_ = stack->db_.get();
+  }
   stack->p4_ = SnvsP4Program();
 
   BindingOptions binding_options;
@@ -280,36 +292,66 @@ Result<std::unique_ptr<SnvsStack>> BuildSnvsStack(const SnvsOptions& options) {
   binding_options.with_digest_seq = true;
   NERPA_ASSIGN_OR_RETURN(
       stack->bindings_,
-      GenerateBindings(stack->db_->schema(), *stack->p4_, binding_options));
+      GenerateBindings(stack->db_raw_->schema(), *stack->p4_,
+                       binding_options));
 
   stack->program_text_ = stack->bindings_.DeclsText() + SnvsRules();
   NERPA_ASSIGN_OR_RETURN(stack->program_,
                          dlog::Program::Parse(stack->program_text_));
 
-  for (int i = 0; i < options.devices; ++i) {
-    stack->switches_.push_back(std::make_unique<p4::Switch>(stack->p4_));
-    stack->clients_.push_back(
-        std::make_unique<p4::RuntimeClient>(stack->switches_.back().get()));
+  bool inject_faults = options.fault.write_fail_probability > 0 ||
+                       options.fault.write_delay_nanos > 0;
+  if (options.external_clients.empty()) {
+    for (int i = 0; i < options.devices; ++i) {
+      stack->switches_.push_back(std::make_unique<p4::Switch>(stack->p4_));
+      if (inject_faults) {
+        ha::FaultPolicy policy = options.fault;
+        policy.seed += static_cast<uint64_t>(i);  // decorrelate devices
+        stack->clients_.push_back(std::make_unique<ha::FaultyRuntimeClient>(
+            stack->switches_.back().get(), policy));
+      } else {
+        stack->clients_.push_back(std::make_unique<p4::RuntimeClient>(
+            stack->switches_.back().get()));
+      }
+      stack->client_ptrs_.push_back(stack->clients_.back().get());
+    }
+  } else {
+    stack->client_ptrs_ = options.external_clients;
   }
 
   Controller::Options controller_options;
   controller_options.multicast_relation = "MulticastGroup";
+  controller_options.resync_on_start = recovered || options.resync;
+  controller_options.initial_digest_seq = digest_seq;
+  controller_options.retry = options.retry;
   stack->controller_ = std::make_unique<Controller>(
-      stack->db_.get(), stack->program_, stack->p4_, stack->bindings_,
+      stack->db_raw_, stack->program_, stack->p4_, stack->bindings_,
       controller_options);
-  for (int i = 0; i < options.devices; ++i) {
+  for (size_t i = 0; i < stack->client_ptrs_.size(); ++i) {
     NERPA_RETURN_IF_ERROR(stack->controller_->AddDevice(
-        StrFormat("sw%d", i), stack->clients_[static_cast<size_t>(i)].get()));
+        StrFormat("sw%zu", i), stack->client_ptrs_[i]));
   }
   NERPA_RETURN_IF_ERROR(stack->controller_->Start());
   return stack;
+}
+
+ha::FaultyRuntimeClient* SnvsStack::faulty(size_t index) {
+  if (index >= clients_.size()) return nullptr;
+  return dynamic_cast<ha::FaultyRuntimeClient*>(clients_[index].get());
+}
+
+Status SnvsStack::Checkpoint() {
+  if (store_ == nullptr) {
+    return FailedPrecondition("stack was built without ha_dir");
+  }
+  return store_->Checkpoint(controller_->digest_seq());
 }
 
 Result<ovsdb::Uuid> SnvsStack::AddPort(const std::string& name, int64_t port,
                                        const std::string& vlan_mode,
                                        int64_t tag,
                                        const std::vector<int64_t>& trunks) {
-  ovsdb::TxnBuilder txn(db_.get());
+  ovsdb::TxnBuilder txn(db_raw_);
   std::vector<ovsdb::Atom> trunk_atoms;
   for (int64_t vlan : trunks) trunk_atoms.emplace_back(vlan);
   txn.Insert("Port", {
@@ -325,7 +367,7 @@ Result<ovsdb::Uuid> SnvsStack::AddPort(const std::string& name, int64_t port,
 }
 
 Status SnvsStack::DeletePort(const std::string& name) {
-  ovsdb::TxnBuilder txn(db_.get());
+  ovsdb::TxnBuilder txn(db_raw_);
   txn.Delete("Port", {{"name", "==", ovsdb::Datum::String(name)}});
   NERPA_RETURN_IF_ERROR(txn.Commit().status());
   return controller_->last_error();
@@ -333,7 +375,7 @@ Status SnvsStack::DeletePort(const std::string& name) {
 
 Result<ovsdb::Uuid> SnvsStack::AddMirror(const std::string& name,
                                          int64_t src_port, int64_t out_port) {
-  ovsdb::TxnBuilder txn(db_.get());
+  ovsdb::TxnBuilder txn(db_raw_);
   txn.Insert("Mirror", {
                            {"name", ovsdb::Datum::String(name)},
                            {"src_port", ovsdb::Datum::Integer(src_port)},
@@ -346,7 +388,7 @@ Result<ovsdb::Uuid> SnvsStack::AddMirror(const std::string& name,
 
 Result<ovsdb::Uuid> SnvsStack::AddAclRule(int64_t mac, int64_t vlan,
                                           bool allow) {
-  ovsdb::TxnBuilder txn(db_.get());
+  ovsdb::TxnBuilder txn(db_raw_);
   txn.Insert("AclRule", {
                             {"mac", ovsdb::Datum::Integer(mac)},
                             {"vlan", ovsdb::Datum::Integer(vlan)},
@@ -359,6 +401,11 @@ Result<ovsdb::Uuid> SnvsStack::AddAclRule(int64_t mac, int64_t vlan,
 
 Result<std::vector<p4::PacketOut>> SnvsStack::InjectPacket(
     size_t device, uint64_t port, const net::Packet& packet) {
+  if (device >= switches_.size()) {
+    return InvalidArgument(
+        "InjectPacket targets an internally created device; drive external "
+        "switches directly and call SyncDataPlaneNotifications()");
+  }
   NERPA_ASSIGN_OR_RETURN(
       std::vector<p4::PacketOut> out,
       switches_[device]->ProcessPacket(p4::PacketIn{port, packet}));

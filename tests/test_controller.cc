@@ -143,9 +143,16 @@ TEST(Controller, LifecycleGuards) {
   // Duplicate device name.
   EXPECT_FALSE(rig.controller->AddDevice("sw0", rig.client1.get()).ok());
   ASSERT_TRUE(rig.controller->Start().ok());
-  // No devices after start; no double start.
+  // Registering after Start() is the device-rejoin path: it succeeds and
+  // immediately resynchronizes the newcomer.
+  EXPECT_TRUE(rig.controller->AddDevice("sw1", rig.client1.get()).ok());
+  EXPECT_EQ(rig.controller->stats().resyncs, 1u);
+  // Still no duplicate names, and no double start.
   EXPECT_FALSE(rig.controller->AddDevice("sw1", rig.client1.get()).ok());
   EXPECT_FALSE(rig.controller->Start().ok());
+  // Resync requires a started controller and a known device.
+  EXPECT_FALSE(rig.controller->ResyncDevice("ghost").ok());
+  EXPECT_TRUE(rig.controller->ResyncDevice("sw0").ok());
   // Digest sync on a digest-less program is a no-op.
   EXPECT_TRUE(rig.controller->SyncDataPlaneNotifications().ok());
 }

@@ -1,0 +1,311 @@
+// End-to-end crash/recovery tests: kill a full snvs stack, rebuild it from
+// the durable state directory, and verify that (a) the management plane
+// comes back bit-identical, (b) resynchronization issues zero data-plane
+// writes when the devices still hold the right entries and exactly the
+// diff when they do not, and (c) the controller converges through injected
+// write faults via retry/backoff.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ha/durable.h"
+#include "net/packet.h"
+#include "snvs/snvs.h"
+
+namespace nerpa::snvs {
+namespace {
+
+using net::Mac;
+
+constexpr const char* kTables[] = {"InVlanUntagged", "InVlanTagged",
+                                   "PortMirror",     "Acl",
+                                   "SMac",           "Dmac",
+                                   "FloodVlan",      "OutVlan"};
+
+std::string FreshDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "/nerpa_ha_restart_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+/// Canonical dump of one device's entire data-plane state (all tables plus
+/// multicast groups) for cross-run equality checks.
+std::string DeviceState(const p4::Switch& sw) {
+  std::string out;
+  for (const char* table : kTables) {
+    std::vector<std::string> lines;
+    for (const p4::TableEntry* entry : sw.GetTable(table)->Entries()) {
+      lines.push_back(entry->ToString());
+    }
+    std::sort(lines.begin(), lines.end());
+    for (const std::string& line : lines) out += line + "\n";
+  }
+  for (const auto& [group, ports] : sw.multicast_groups()) {
+    out += "group " + std::to_string(group);
+    for (uint64_t port : ports) out += " " + std::to_string(port);
+    out += "\n";
+  }
+  return out;
+}
+
+size_t TotalEntries(const p4::Switch& sw) {
+  size_t n = 0;
+  for (const char* table : kTables) n += sw.GetTable(table)->size();
+  return n;
+}
+
+/// A data plane that outlives the controller stack, simulating switches
+/// that keep their tables across a controller crash.
+struct SurvivingDevice {
+  explicit SurvivingDevice(std::shared_ptr<const p4::P4Program> program)
+      : sw(std::make_unique<p4::Switch>(std::move(program))),
+        client(std::make_unique<p4::RuntimeClient>(sw.get())) {}
+  std::unique_ptr<p4::Switch> sw;
+  std::unique_ptr<p4::RuntimeClient> client;
+};
+
+TEST(HaRestart, KillAndRestoreIsConvergedWithZeroWrites) {
+  std::string dir = FreshDir("converged");
+  SurvivingDevice device(SnvsP4Program());
+
+  Json db_before;
+  {
+    SnvsOptions options;
+    options.ha_dir = dir;
+    options.external_clients = {device.client.get()};
+    auto stack = BuildSnvsStack(options);
+    ASSERT_TRUE(stack.ok()) << stack.status().ToString();
+    EXPECT_FALSE((*stack)->store()->recovered());
+    ASSERT_TRUE((*stack)->AddPort("p1", 1, "access", 10).ok());
+    ASSERT_TRUE((*stack)->AddPort("p2", 2, "access", 10).ok());
+    ASSERT_TRUE((*stack)->AddPort("t1", 3, "trunk", 0, {10, 20}).ok());
+    ASSERT_TRUE((*stack)->AddAclRule(0xAA, 10, false).ok());
+    db_before = ha::DurableStore::SnapshotJson((*stack)->db(), 0);
+    EXPECT_GT(TotalEntries(*device.sw), 0u);
+  }  // crash: stack destroyed, no checkpoint; device keeps its tables
+
+  std::string device_before = DeviceState(*device.sw);
+  uint64_t writes_before = device.client->write_count();
+
+  SnvsOptions options;
+  options.ha_dir = dir;
+  options.external_clients = {device.client.get()};
+  auto stack = BuildSnvsStack(options);
+  ASSERT_TRUE(stack.ok()) << stack.status().ToString();
+  EXPECT_TRUE((*stack)->store()->recovered());
+
+  // Management plane restored bit-identically (same rows, same uuids).
+  EXPECT_EQ(ha::DurableStore::SnapshotJson((*stack)->db(), 0), db_before);
+  // The device already held the desired state: resync read it, diffed, and
+  // wrote nothing.
+  EXPECT_EQ(device.client->write_count(), writes_before);
+  EXPECT_EQ(DeviceState(*device.sw), device_before);
+  const auto& stats = (*stack)->controller().stats();
+  EXPECT_EQ(stats.resyncs, 1u);
+  EXPECT_GT(stats.resync_reads, 0u);
+  EXPECT_EQ(stats.resync_inserted, 0u);
+  EXPECT_EQ(stats.resync_deleted, 0u);
+  EXPECT_EQ(stats.resync_modified, 0u);
+
+  // The restored stack is live: new transactions flow to the device.
+  ASSERT_TRUE((*stack)->AddPort("p4", 4, "access", 20).ok());
+  EXPECT_GT(device.client->write_count(), writes_before);
+}
+
+TEST(HaRestart, ResyncRestoresWipedDeviceAndSparesSurvivor) {
+  std::string dir = FreshDir("wiped");
+  auto program = SnvsP4Program();
+  SurvivingDevice survivor(program);
+  SurvivingDevice wiped(program);
+
+  {
+    SnvsOptions options;
+    options.ha_dir = dir;
+    options.external_clients = {survivor.client.get(), wiped.client.get()};
+    auto stack = BuildSnvsStack(options);
+    ASSERT_TRUE(stack.ok()) << stack.status().ToString();
+    ASSERT_TRUE((*stack)->AddPort("p1", 1, "access", 10).ok());
+    ASSERT_TRUE((*stack)->AddPort("p2", 2, "access", 10).ok());
+    ASSERT_TRUE((*stack)->AddAclRule(0xBB, 10, true).ok());
+  }
+
+  std::string reference = DeviceState(*survivor.sw);
+  size_t reference_entries = TotalEntries(*survivor.sw);
+  size_t reference_groups = survivor.sw->multicast_groups().size();
+  ASSERT_GT(reference_entries, 0u);
+
+  // The second device reboots and comes back empty.
+  wiped = SurvivingDevice(program);
+  uint64_t survivor_writes = survivor.client->write_count();
+
+  SnvsOptions options;
+  options.ha_dir = dir;
+  options.external_clients = {survivor.client.get(), wiped.client.get()};
+  auto stack = BuildSnvsStack(options);
+  ASSERT_TRUE(stack.ok()) << stack.status().ToString();
+
+  // Survivor untouched; the wiped device received exactly the full state.
+  EXPECT_EQ(survivor.client->write_count(), survivor_writes);
+  EXPECT_EQ(DeviceState(*wiped.sw), reference);
+  EXPECT_EQ(wiped.client->write_count(),
+            reference_entries + reference_groups);
+  const auto& stats = (*stack)->controller().stats();
+  EXPECT_EQ(stats.resyncs, 2u);
+  EXPECT_EQ(stats.resync_inserted, reference_entries + reference_groups);
+  EXPECT_EQ(stats.resync_deleted, 0u);
+  EXPECT_EQ(stats.resync_modified, 0u);
+}
+
+TEST(HaRestart, ResyncRepairsStaleExtraAndModifiedEntries) {
+  std::string dir = FreshDir("stale");
+  SurvivingDevice device(SnvsP4Program());
+
+  {
+    SnvsOptions options;
+    options.ha_dir = dir;
+    options.external_clients = {device.client.get()};
+    auto stack = BuildSnvsStack(options);
+    ASSERT_TRUE(stack.ok()) << stack.status().ToString();
+    ASSERT_TRUE((*stack)->AddPort("p1", 1, "access", 10).ok());
+    ASSERT_TRUE((*stack)->AddAclRule(0xCC, 10, true).ok());
+  }
+  std::string reference = DeviceState(*device.sw);
+
+  // While the controller is down the device diverges three ways:
+  // 1. a desired entry disappears (stale device lost it),
+  auto flood = device.client->ReadTable("FloodVlan");
+  ASSERT_TRUE(flood.ok());
+  ASSERT_EQ(flood->size(), 1u);
+  ASSERT_TRUE(device.client->Delete((*flood)[0]).ok());
+  // 2. an extra entry appears that no output relation derives,
+  p4::TableEntry extra;
+  extra.table = "Acl";
+  extra.match = {p4::MatchField::Exact(99), p4::MatchField::Exact(0xDD)};
+  extra.action = "AclDrop";
+  ASSERT_TRUE(device.client->Insert(extra).ok());
+  // 3. a desired entry's action is flipped.
+  auto acl = device.client->ReadTable("Acl");
+  ASSERT_TRUE(acl.ok());
+  for (p4::TableEntry entry : *acl) {
+    if (entry.match[1].value == 0xCC) {
+      entry.action = "AclDrop";
+      entry.action_args.clear();
+      ASSERT_TRUE(device.client->Modify(entry).ok());
+    }
+  }
+
+  SnvsOptions options;
+  options.ha_dir = dir;
+  options.external_clients = {device.client.get()};
+  auto stack = BuildSnvsStack(options);
+  ASSERT_TRUE(stack.ok()) << stack.status().ToString();
+
+  // Exactly the three divergences were repaired, nothing else written.
+  const auto& stats = (*stack)->controller().stats();
+  EXPECT_EQ(stats.resync_inserted, 1u);  // FloodVlan restored
+  EXPECT_EQ(stats.resync_deleted, 1u);   // bogus Acl entry removed
+  EXPECT_EQ(stats.resync_modified, 1u);  // Acl action repaired
+  EXPECT_EQ(DeviceState(*device.sw), reference);
+}
+
+TEST(HaRestart, DeviceRegisteredAfterStartIsResynced) {
+  auto program = SnvsP4Program();
+  auto stack = BuildSnvsStack().value();
+  ASSERT_TRUE(stack->AddPort("p1", 1, "access", 10).ok());
+  ASSERT_TRUE(stack->AddPort("p2", 2, "access", 10).ok());
+  size_t reference_entries = TotalEntries(stack->device());
+  ASSERT_GT(reference_entries, 0u);
+
+  // A second switch joins long after Start(): it is brought up to the full
+  // desired state immediately.
+  SurvivingDevice late(program);
+  ASSERT_TRUE(
+      stack->controller().AddDevice("late", late.client.get()).ok());
+  EXPECT_EQ(DeviceState(*late.sw), DeviceState(stack->device()));
+  EXPECT_EQ(stack->controller().stats().resyncs, 1u);
+
+  // And it tracks subsequent updates like any other device.
+  ASSERT_TRUE(stack->AddPort("p3", 3, "access", 10).ok());
+  EXPECT_EQ(DeviceState(*late.sw), DeviceState(stack->device()));
+}
+
+TEST(HaRestart, DigestSeqStaysMonotoneAcrossRestart) {
+  std::string dir = FreshDir("digest_seq");
+  int64_t seq_at_checkpoint = 0;
+  {
+    SnvsOptions options;
+    options.ha_dir = dir;
+    auto stack = BuildSnvsStack(options);
+    ASSERT_TRUE(stack.ok()) << stack.status().ToString();
+    ASSERT_TRUE((*stack)->AddPort("p1", 1, "access", 10).ok());
+    ASSERT_TRUE((*stack)->AddPort("p2", 2, "access", 10).ok());
+    // Traffic drives MAC-learning digests, which consume sequence numbers.
+    auto out = (*stack)->InjectPacket(
+        0, 1,
+        net::MakeEthernetFrame(Mac(0, 0, 0, 0, 0, 0xBB),
+                               Mac(0, 0, 0, 0, 0, 0xAA), 0x0800, {1, 2, 3}));
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+    seq_at_checkpoint = (*stack)->controller().digest_seq();
+    ASSERT_GT(seq_at_checkpoint, 0);
+    ASSERT_TRUE((*stack)->Checkpoint().ok());
+  }
+
+  SnvsOptions options;
+  options.ha_dir = dir;
+  auto stack = BuildSnvsStack(options);
+  ASSERT_TRUE(stack.ok()) << stack.status().ToString();
+  // The cursor picks up where the checkpoint left it — re-learned MACs get
+  // strictly larger seqs, so most-recent-wins ordering stays correct.
+  EXPECT_EQ((*stack)->controller().digest_seq(), seq_at_checkpoint);
+
+  auto out = (*stack)->InjectPacket(
+      0, 2,
+      net::MakeEthernetFrame(Mac(0, 0, 0, 0, 0, 0xAA),
+                             Mac(0, 0, 0, 0, 0, 0xBB), 0x0800, {1, 2, 3}));
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_GT((*stack)->controller().digest_seq(), seq_at_checkpoint);
+}
+
+TEST(HaRestart, ControllerConvergesThroughInjectedWriteFaults) {
+  // Reference run: no faults.
+  auto reference = BuildSnvsStack().value();
+  // Faulty run: every fifth write (in expectation) fails; the controller
+  // retries with backoff kept tiny so the test is fast.
+  SnvsOptions options;
+  options.fault.write_fail_probability = 0.2;
+  options.fault.seed = 12345;
+  options.retry.max_attempts = 8;
+  options.retry.initial_backoff_nanos = 1000;  // 1 us
+  options.retry.max_backoff_nanos = 10000;
+  auto faulty = BuildSnvsStack(options);
+  ASSERT_TRUE(faulty.ok()) << faulty.status().ToString();
+
+  for (SnvsStack* stack : {reference.get(), faulty->get()}) {
+    ASSERT_TRUE(stack->AddPort("p1", 1, "access", 10).ok());
+    ASSERT_TRUE(stack->AddPort("p2", 2, "access", 10).ok());
+    ASSERT_TRUE(stack->AddPort("t1", 3, "trunk", 0, {10, 20}).ok());
+    ASSERT_TRUE(stack->AddAclRule(0xAA, 10, false).ok());
+    ASSERT_TRUE(stack->AddMirror("m1", 1, 3).ok());
+    ASSERT_TRUE(stack->DeletePort("p2").ok());
+    ASSERT_TRUE(stack->controller().last_error().ok());
+  }
+
+  // Same data-plane state despite the injected failures.
+  EXPECT_EQ(DeviceState((*faulty)->device()), DeviceState(reference->device()));
+
+  // The faults actually fired and the retry machinery is visible in stats.
+  ASSERT_NE((*faulty)->faulty(0), nullptr);
+  EXPECT_GT((*faulty)->faulty(0)->fault_stats().injected_failures, 0u);
+  const auto& stats = (*faulty)->controller().stats();
+  EXPECT_GT(stats.retries, 0u);
+  EXPECT_EQ(stats.write_failures, 0u);  // nothing exhausted its attempts
+  ASSERT_TRUE(stats.device_failures.count("sw0"));
+  EXPECT_EQ(stats.device_failures.at("sw0"),
+            (*faulty)->faulty(0)->fault_stats().injected_failures);
+}
+
+}  // namespace
+}  // namespace nerpa::snvs
