@@ -1,0 +1,295 @@
+// A2 — the dlog hot-path overhaul: interned values, cached row hashes,
+// probe-free joins, and persistent transaction scratch state.
+//
+// Three workloads exercise exactly the costs the overhaul targets:
+//
+//   1. join-heavy commit stream — 32 keys re-pointed per commit against a
+//      fanout-32 arrangement, so every commit probes and re-derives ~2,000
+//      join rows.  Reported: commits/s, delta rows/s, arrangement probes/s
+//      (from Engine::Stats).
+//   2. commit latency vs relation size — the same single-key update
+//      against databases of growing size; incrementality says the curve
+//      should stay near-flat.
+//   3. peak RSS with/without interning — a string-keyed join database
+//      built in a fresh child process per mode (clean RSS), showing what
+//      hash-consing saves when the same keys appear across relations and
+//      derived rows.
+//
+// The "before" numbers are the pre-overhaul engine (seed of this PR)
+// measured on the same machine with the identical workload at --scale=1;
+// they are recorded here so BENCH_dlog_hotpath.json always carries the
+// before/after pair the overhaul is judged by (target: >= 2x join-heavy
+// commit throughput, lower peak RSS).
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "dlog/engine.h"
+
+namespace nerpa {
+namespace {
+
+using bench::Banner;
+using bench::BenchArgs;
+using bench::JsonEmitter;
+using bench::Table;
+using dlog::Engine;
+using dlog::Row;
+using dlog::Value;
+
+constexpr const char* kJoinProgram = R"(
+input relation R(k: string, a: bigint)
+input relation S(k: string, b: bigint)
+output relation J(a: bigint, b: bigint)
+J(a, b) :- R(k, a), S(k, b).
+)";
+
+// Pre-overhaul reference (seed engine, same machine, same workloads,
+// --scale=1, Release -O2).  Meaningful to compare against only at the
+// default scale.
+constexpr double kBeforeJoinCommitsPerSec = 187;
+constexpr double kBeforeJoinDeltaRowsPerSec = 376255;
+constexpr double kBeforeLatencyUs[] = {19.0, 32.7, 70.3, 217.2};
+constexpr int64_t kBeforeRssBytes = 507990016;  // string-join build, no pool
+
+std::string KeyName(int k) { return StrFormat("key-%d", k); }
+
+/// Child process: builds the string-keyed join database with interning on
+/// or off and prints "rss_bytes out_rows".
+int RunRssVariant(bool interning, const BenchArgs& args) {
+  dlog::SetValueInterning(interning);
+  auto program = dlog::Program::Parse(kJoinProgram);
+  if (!program.ok()) return 1;
+  Engine engine(*program);
+  const int keys = args.Scaled(4096);
+  const int fanout = 64;
+  for (int k = 0; k < keys; ++k) {
+    std::string key = StrFormat("lb-vip-key-%08d", k);
+    (void)engine.Insert("R", Row{Value::String(key), Value::Int(k)});
+    for (int f = 0; f < fanout; ++f) {
+      (void)engine.Insert("S",
+                          Row{Value::String(key), Value::Int(k * 1000 + f)});
+    }
+  }
+  if (!engine.Commit().ok()) return 1;
+  std::printf("%lld %zu\n", static_cast<long long>(CurrentRssBytes()),
+              engine.Size("J"));
+  return 0;
+}
+
+bool RunRssChild(const char* self, bool interning, const BenchArgs& args,
+                 int64_t* rss, size_t* rows) {
+  std::string command = std::string(self) +
+                        (interning ? " rss-on" : " rss-off") + args.Forward();
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return false;
+  char line[128] = {0};
+  bool ok = fgets(line, sizeof line, pipe) != nullptr;
+  int status = pclose(pipe);
+  if (!ok || status != 0) return false;
+  long long rss_value = 0;
+  if (std::sscanf(line, "%lld %zu", &rss_value, rows) != 2) return false;
+  *rss = rss_value;
+  return true;
+}
+
+int Run(const char* self, const BenchArgs& args) {
+  Banner("A2", "dlog hot path: interning, probe-free joins, txn reuse");
+
+  JsonEmitter emitter("dlog_hotpath", args);
+
+  // --- workload 1: join-heavy commit stream ---
+  const int kKeys = 1024, kFanout = 32, kBatch = 32;
+  const int kCommits = args.Scaled(500);
+  double commits_per_sec = 0, delta_rows_per_sec = 0, probes_per_sec = 0;
+  {
+    auto program = dlog::Program::Parse(kJoinProgram);
+    if (!program.ok()) return 1;
+    Engine engine(*program);
+    for (int k = 0; k < kKeys; ++k) {
+      std::string key = KeyName(k);
+      (void)engine.Insert("R", Row{Value::String(key), Value::Int(k)});
+      for (int f = 0; f < kFanout; ++f) {
+        (void)engine.Insert(
+            "S", Row{Value::String(key), Value::Int(k * 1000 + f)});
+      }
+    }
+    if (!engine.Commit().ok()) return 1;
+    std::mt19937_64 rng(args.seed);
+    std::vector<int64_t> current(kKeys);
+    for (int k = 0; k < kKeys; ++k) current[static_cast<size_t>(k)] = k;
+    uint64_t delta_rows = 0;
+    Engine::Stats before_stats = engine.GetStats();
+    Stopwatch watch;
+    for (int c = 0; c < kCommits; ++c) {
+      for (int b = 0; b < kBatch; ++b) {
+        int k = static_cast<int>(rng() % kKeys);
+        std::string key = KeyName(k);
+        (void)engine.Delete(
+            "R", Row{Value::String(key), Value::Int(current[k])});
+        current[k] = k + 1000000LL * (c + 1) + b;
+        (void)engine.Insert(
+            "R", Row{Value::String(key), Value::Int(current[k])});
+      }
+      auto delta = engine.Commit();
+      if (!delta.ok()) return 1;
+      for (const auto& [name, d] : delta->outputs) delta_rows += d.size();
+    }
+    double seconds = watch.ElapsedSeconds();
+    Engine::Stats after_stats = engine.GetStats();
+    uint64_t probes = after_stats.probes - before_stats.probes;
+    commits_per_sec = kCommits / seconds;
+    delta_rows_per_sec = static_cast<double>(delta_rows) / seconds;
+    probes_per_sec = static_cast<double>(probes) / seconds;
+
+    Table table({"metric", "before (seed)", "after (this engine)"});
+    table.AddRow({"commits/s", StrFormat("%.0f", kBeforeJoinCommitsPerSec),
+                  StrFormat("%.0f", commits_per_sec)});
+    table.AddRow({"delta rows/s",
+                  StrFormat("%.0f", kBeforeJoinDeltaRowsPerSec),
+                  StrFormat("%.0f", delta_rows_per_sec)});
+    table.AddRow({"probes/s", "-", StrFormat("%.0f", probes_per_sec)});
+    table.AddRow({"speedup", "1.0x",
+                  StrFormat("%.2fx",
+                            commits_per_sec / kBeforeJoinCommitsPerSec)});
+    table.Print();
+    std::printf(
+        "probe detail: %llu probes, %llu hits, %llu scratch-key probes "
+        "(each was a heap-allocated key Row before)\n\n",
+        static_cast<unsigned long long>(probes),
+        static_cast<unsigned long long>(after_stats.probe_hits -
+                                        before_stats.probe_hits),
+        static_cast<unsigned long long>(after_stats.key_allocs_saved -
+                                        before_stats.key_allocs_saved));
+
+    emitter.Metric("join_commits_per_s", commits_per_sec);
+    emitter.Metric("join_delta_rows_per_s", delta_rows_per_sec);
+    emitter.Metric("join_probes_per_s", probes_per_sec);
+    emitter.Metric("join_commits_per_s_before", kBeforeJoinCommitsPerSec);
+    emitter.Metric("join_delta_rows_per_s_before",
+                   kBeforeJoinDeltaRowsPerSec);
+    emitter.Metric("join_commit_speedup_vs_seed",
+                   commits_per_sec / kBeforeJoinCommitsPerSec);
+    Json::Object intern;
+    intern["strings"] =
+        static_cast<int64_t>(after_stats.intern.strings);
+    intern["tuples"] = static_cast<int64_t>(after_stats.intern.tuples);
+    intern["hits"] = static_cast<int64_t>(after_stats.intern.hits);
+    intern["misses"] = static_cast<int64_t>(after_stats.intern.misses);
+    emitter.Metric("intern_pool", Json(std::move(intern)));
+    emitter.Metric("arrangement_bytes",
+                   static_cast<int64_t>(after_stats.arrangement_bytes));
+  }
+
+  // --- workload 2: commit latency vs relation size ---
+  const int kSizes[] = {1024, 4096, 16384, 65536};
+  Json::Array latency_curve;
+  {
+    Table table({"relation size", "before us/commit", "after us/commit"});
+    const int kLatencyCommits = args.Scaled(500);
+    for (size_t s = 0; s < 4; ++s) {
+      int size = kSizes[s];
+      auto program = dlog::Program::Parse(kJoinProgram);
+      Engine engine(*program);
+      int keys = size / kFanout;
+      for (int k = 0; k < keys; ++k) {
+        std::string key = KeyName(k);
+        (void)engine.Insert("R", Row{Value::String(key), Value::Int(k)});
+        for (int f = 0; f < kFanout; ++f) {
+          (void)engine.Insert(
+              "S", Row{Value::String(key), Value::Int(k * 1000 + f)});
+        }
+      }
+      if (!engine.Commit().ok()) return 1;
+      std::mt19937_64 rng(args.seed);
+      std::vector<int64_t> current(static_cast<size_t>(keys));
+      for (int k = 0; k < keys; ++k) current[static_cast<size_t>(k)] = k;
+      Stopwatch watch;
+      for (int c = 0; c < kLatencyCommits; ++c) {
+        int k = static_cast<int>(rng() % static_cast<uint64_t>(keys));
+        std::string key = KeyName(k);
+        (void)engine.Delete(
+            "R", Row{Value::String(key), Value::Int(current[k])});
+        current[k] = k + 1000000LL * (c + 1);
+        (void)engine.Insert(
+            "R", Row{Value::String(key), Value::Int(current[k])});
+        if (!engine.Commit().ok()) return 1;
+      }
+      double us = watch.ElapsedSeconds() / kLatencyCommits * 1e6;
+      table.AddRow({std::to_string(size), StrFormat("%.1f",
+                    kBeforeLatencyUs[s]), StrFormat("%.1f", us)});
+      Json::Object point;
+      point["relation_size"] = size;
+      point["us_per_commit"] = us;
+      point["us_per_commit_before"] = kBeforeLatencyUs[s];
+      latency_curve.push_back(Json(std::move(point)));
+    }
+    table.Print();
+    std::printf("\n");
+  }
+  emitter.Metric("commit_latency_vs_size", Json(std::move(latency_curve)));
+
+  // --- workload 3: peak RSS with/without interning (child processes) ---
+  int64_t rss_interned = 0, rss_plain = 0;
+  size_t rows_interned = 0, rows_plain = 0;
+  if (!RunRssChild(self, true, args, &rss_interned, &rows_interned) ||
+      !RunRssChild(self, false, args, &rss_plain, &rows_plain) ||
+      rows_interned != rows_plain) {
+    std::fprintf(stderr, "rss child variant failed\n");
+    return 1;
+  }
+  {
+    Table table({"variant", "peak RSS", "derived rows"});
+    table.AddRow({"before (seed engine)",
+                  StrFormat("%.1f MiB",
+                            static_cast<double>(kBeforeRssBytes) / 1048576.0),
+                  "-"});
+    table.AddRow({"after, interning off",
+                  StrFormat("%.1f MiB",
+                            static_cast<double>(rss_plain) / 1048576.0),
+                  std::to_string(rows_plain)});
+    table.AddRow({"after, interning on",
+                  StrFormat("%.1f MiB",
+                            static_cast<double>(rss_interned) / 1048576.0),
+                  std::to_string(rows_interned)});
+    table.Print();
+  }
+  emitter.Param("rss_keys", args.Scaled(4096));
+  emitter.Param("rss_fanout", 64);
+  emitter.Metric("rss_bytes_before", kBeforeRssBytes);
+  emitter.Metric("rss_bytes_interning_off", rss_plain);
+  emitter.Metric("rss_bytes_interning_on", rss_interned);
+  emitter.Metric("rss_ratio_vs_seed",
+                 static_cast<double>(rss_interned) /
+                     static_cast<double>(kBeforeRssBytes));
+
+  emitter.Param("join_keys", kKeys);
+  emitter.Param("join_fanout", kFanout);
+  emitter.Param("join_batch", kBatch);
+  emitter.Param("join_commits", kCommits);
+  emitter.Write();
+
+  std::printf(
+      "\ntarget: >= 2x join-heavy commit throughput and lower peak RSS than "
+      "the seed engine.\nmeasured: %.2fx throughput, %.2fx RSS.\n",
+      commits_per_sec / kBeforeJoinCommitsPerSec,
+      static_cast<double>(rss_interned) /
+          static_cast<double>(kBeforeRssBytes));
+  return 0;
+}
+
+}  // namespace
+}  // namespace nerpa
+
+int main(int argc, char** argv) {
+  nerpa::bench::BenchArgs args = nerpa::bench::BenchArgs::Parse(argc, argv);
+  if (argc > 1 && std::strcmp(argv[1], "rss-on") == 0) {
+    return nerpa::RunRssVariant(true, args);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "rss-off") == 0) {
+    return nerpa::RunRssVariant(false, args);
+  }
+  return nerpa::Run(argv[0], args);
+}

@@ -28,12 +28,12 @@ using baseline::ImperativeIncrementalController;
 using baseline::LogicalEntry;
 using baseline::PortConfig;
 using bench::Banner;
+using bench::BenchArgs;
+using bench::JsonEmitter;
 using bench::Table;
 using dlog::Engine;
 using dlog::Row;
 using dlog::Value;
-
-constexpr int kChanges = 200;
 
 /// The same logic as the baselines' port/vlan features, as rules.
 constexpr const char* kProgram = R"(
@@ -69,7 +69,8 @@ RunResult Measure(int n_changes, ApplyChange&& apply) {
   return result;
 }
 
-int Run() {
+int Run(const BenchArgs& args) {
+  const int kChanges = args.Scaled(200);
   Banner("E4 / §2.2",
          "config-change stream: full recompute vs hand-written incremental "
          "vs dlog");
@@ -79,10 +80,15 @@ int Run() {
     return 1;
   }
 
+  JsonEmitter emitter("incremental_vs_full", args);
+  emitter.Param("changes", kChanges);
+  Json::Array sizes;
+
   Table table({"ports", "full/chg", "imperative/chg", "dlog/chg",
                "lat full/dlog", "cpu full/dlog", "cpu full/imp"});
-  for (int ports : {100, 400, 1600, 6400}) {
-    std::mt19937_64 rng(7);
+  for (int base_ports : {100, 400, 1600, 6400}) {
+    const int ports = args.Scaled(base_ports);
+    std::mt19937_64 rng(args.seed);
     auto vlan_of = [&](int port, int generation) {
       return static_cast<int64_t>((port + generation * 7) % 64 + 1);
     };
@@ -100,7 +106,7 @@ int Run() {
     });
 
     // --- hand-written incremental ---
-    rng.seed(7);
+    rng.seed(args.seed);
     ImperativeIncrementalController imperative(sink);
     for (int p = 0; p < ports; ++p) {
       imperative.AddPort({StrFormat("p%d", p), p, false, vlan_of(p, 0), {}});
@@ -112,7 +118,7 @@ int Run() {
     });
 
     // --- dlog engine ---
-    rng.seed(7);
+    rng.seed(args.seed);
     Engine engine(*program);
     std::vector<int64_t> current_vlan(static_cast<size_t>(ports));
     auto port_row = [&](int p, int64_t vlan) {
@@ -146,8 +152,23 @@ int Run() {
                                 std::max(dlog_result.cpu_seconds, 1e-9)),
          StrFormat("%.1fx", full_result.cpu_seconds /
                                 std::max(imp_result.cpu_seconds, 1e-9))});
+
+    Json::Object point;
+    point["ports"] = ports;
+    point["full_mean_latency_s"] = full_result.mean_latency;
+    point["imperative_mean_latency_s"] = imp_result.mean_latency;
+    point["dlog_mean_latency_s"] = dlog_result.mean_latency;
+    point["latency_full_over_dlog"] =
+        full_result.mean_latency / dlog_result.mean_latency;
+    point["cpu_full_over_dlog"] =
+        full_result.cpu_seconds / std::max(dlog_result.cpu_seconds, 1e-9);
+    point["cpu_full_over_imperative"] =
+        full_result.cpu_seconds / std::max(imp_result.cpu_seconds, 1e-9);
+    sizes.push_back(Json(std::move(point)));
   }
   table.Print();
+  emitter.Metric("by_network_size", Json(std::move(sizes)));
+  emitter.Write();
   std::printf(
       "\npaper reference (§2.2, eBay's incremental ovn-controller engine):\n"
       "incremental processing reduced latency 3x and CPU 20x in production.\n"
@@ -160,4 +181,6 @@ int Run() {
 }  // namespace
 }  // namespace nerpa
 
-int main() { return nerpa::Run(); }
+int main(int argc, char** argv) {
+  return nerpa::Run(nerpa::bench::BenchArgs::Parse(argc, argv));
+}

@@ -33,12 +33,16 @@ namespace nerpa {
 namespace {
 
 using bench::Banner;
+using bench::BenchArgs;
+using bench::JsonEmitter;
 using bench::Table;
 using dlog::Engine;
 using dlog::Row;
 using dlog::Value;
 
-constexpr int kLbs = 40;
+// --scale multiplies the LB count (the paper's knob); VIP/backend fan-out
+// per LB is fixed so the per-LB cross product stays comparable.
+constexpr int kBaseLbs = 40;
 constexpr int kVipsPerLb = 20;
 constexpr int kBackendsPerLb = 40;
 
@@ -53,7 +57,7 @@ int64_t Vip(int lb, int v) { return lb * 1000 + v; }
 int64_t Ip(int lb, int b) { return 1000000 + lb * 1000 + b; }
 
 /// Child process: runs one variant, prints "cpu_s rss_bytes cold_s del_s n".
-int RunDlogVariant() {
+int RunDlogVariant(int kLbs) {
   auto program = dlog::Program::Parse(kProgram);
   if (!program.ok()) return 1;
   int64_t cpu0 = ProcessCpuNanos();
@@ -91,7 +95,7 @@ int RunDlogVariant() {
   return 0;
 }
 
-int RunImperativeVariant() {
+int RunImperativeVariant(int kLbs) {
   int64_t cpu0 = ProcessCpuNanos();
   // Exactly the state a hand-written LB controller keeps.
   std::map<int, std::vector<int64_t>> lb_vips, lb_backends;
@@ -139,8 +143,9 @@ struct ChildResult {
   size_t flows = 0;
 };
 
-bool RunChild(const char* self, const char* variant, ChildResult* out) {
-  std::string command = std::string(self) + " " + variant;
+bool RunChild(const char* self, const char* variant, const BenchArgs& args,
+              ChildResult* out) {
+  std::string command = std::string(self) + " " + variant + args.Forward();
   FILE* pipe = popen(command.c_str(), "r");
   if (pipe == nullptr) return false;
   char line[256] = {0};
@@ -151,7 +156,8 @@ bool RunChild(const char* self, const char* variant, ChildResult* out) {
                      &out->cold, &out->del, &out->flows) == 5;
 }
 
-int Run(const char* self) {
+int Run(const char* self, const BenchArgs& args) {
+  const int kLbs = args.Scaled(kBaseLbs);
   Banner("E5 / §2.2",
          "load-balancer cold start + delete-each: the incremental worst "
          "case");
@@ -159,8 +165,8 @@ int Run(const char* self) {
               kLbs, kVipsPerLb, kBackendsPerLb,
               kLbs * kVipsPerLb * kBackendsPerLb);
   ChildResult dlog_result, imp_result;
-  if (!RunChild(self, "dlog", &dlog_result) ||
-      !RunChild(self, "imperative", &imp_result)) {
+  if (!RunChild(self, "dlog", args, &dlog_result) ||
+      !RunChild(self, "imperative", args, &imp_result)) {
     std::fprintf(stderr, "child variant failed\n");
     return 1;
   }
@@ -189,6 +195,27 @@ int Run(const char* self) {
       dlog_result.cpu / imp_result.cpu,
       static_cast<double>(dlog_result.rss) /
           static_cast<double>(imp_result.rss));
+
+  JsonEmitter emitter("lb_coldstart", args);
+  emitter.Param("load_balancers", kLbs);
+  emitter.Param("vips_per_lb", kVipsPerLb);
+  emitter.Param("backends_per_lb", kBackendsPerLb);
+  emitter.Metric("derived_flows", static_cast<int64_t>(dlog_result.flows));
+  emitter.Metric("dlog_cold_start_s", dlog_result.cold);
+  emitter.Metric("dlog_delete_phase_s", dlog_result.del);
+  emitter.Metric("dlog_cpu_s", dlog_result.cpu);
+  emitter.Metric("dlog_rss_bytes", static_cast<int64_t>(dlog_result.rss));
+  emitter.Metric("imperative_cold_start_s", imp_result.cold);
+  emitter.Metric("imperative_delete_phase_s", imp_result.del);
+  emitter.Metric("imperative_cpu_s", imp_result.cpu);
+  emitter.Metric("imperative_rss_bytes",
+                 static_cast<int64_t>(imp_result.rss));
+  emitter.Metric("cpu_dlog_over_imperative",
+                 dlog_result.cpu / imp_result.cpu);
+  emitter.Metric("rss_dlog_over_imperative",
+                 static_cast<double>(dlog_result.rss) /
+                     static_cast<double>(imp_result.rss));
+  emitter.Write();
   return 0;
 }
 
@@ -196,11 +223,12 @@ int Run(const char* self) {
 }  // namespace nerpa
 
 int main(int argc, char** argv) {
+  nerpa::bench::BenchArgs args = nerpa::bench::BenchArgs::Parse(argc, argv);
   if (argc > 1 && std::strcmp(argv[1], "dlog") == 0) {
-    return nerpa::RunDlogVariant();
+    return nerpa::RunDlogVariant(args.Scaled(nerpa::kBaseLbs));
   }
   if (argc > 1 && std::strcmp(argv[1], "imperative") == 0) {
-    return nerpa::RunImperativeVariant();
+    return nerpa::RunImperativeVariant(args.Scaled(nerpa::kBaseLbs));
   }
-  return nerpa::Run(argv[0]);
+  return nerpa::Run(argv[0], args);
 }

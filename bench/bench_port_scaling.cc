@@ -27,11 +27,12 @@ namespace nerpa {
 namespace {
 
 using bench::Banner;
+using bench::BenchArgs;
+using bench::JsonEmitter;
 using bench::Table;
 
-constexpr int kPorts = 2000;
-
-int Run() {
+int Run(const BenchArgs& args) {
+  const int kPorts = args.Scaled(2000);
   Banner("E2 / §4.3", "2,000-port scaling: OVSDB commit -> P4 entry latency");
 
   auto stack_result = snvs::BuildSnvsStack();
@@ -72,19 +73,22 @@ int Run() {
   table.AddRow({"p99", "-", bench::Us(bench::Percentile(latencies, 0.99))});
   table.Print();
 
-  // Shape check: mean of the last 100 vs first 100 additions.
+  // Shape check: mean of the last window vs first window of additions
+  // (100 ports at the default scale).
+  const int window = std::max(1, kPorts / 20);
   double first_mean = 0, last_mean = 0;
-  for (int i = 0; i < 100; ++i) {
-    first_mean += latencies[static_cast<size_t>(i)] / 100;
-    last_mean += latencies[static_cast<size_t>(kPorts - 100 + i)] / 100;
+  for (int i = 0; i < window; ++i) {
+    first_mean += latencies[static_cast<size_t>(i)] / window;
+    last_mean += latencies[static_cast<size_t>(kPorts - window + i)] / window;
   }
   std::printf(
-      "\nshape: mean(first 100) = %s, mean(last 100) = %s, ratio %.2fx "
+      "\nshape: mean(first %d) = %s, mean(last %d) = %s, ratio %.2fx "
       "(incremental => near-flat)\n",
-      bench::Us(first_mean).c_str(), bench::Us(last_mean).c_str(),
-      last_mean / first_mean);
+      window, bench::Us(first_mean).c_str(), window,
+      bench::Us(last_mean).c_str(), last_mean / first_mean);
 
   // Contrast: the conventional recompute-everything controller.
+  double full_ratio = 0;
   {
     size_t ops = 0;
     baseline::FullRecomputeController full(
@@ -96,19 +100,37 @@ int Run() {
       full_latencies.push_back(watch.ElapsedSeconds());
     }
     double f0 = 0, f1 = 0;
-    for (int i = 0; i < 100; ++i) {
-      f0 += full_latencies[static_cast<size_t>(i)] / 100;
-      f1 += full_latencies[static_cast<size_t>(kPorts - 100 + i)] / 100;
+    for (int i = 0; i < window; ++i) {
+      f0 += full_latencies[static_cast<size_t>(i)] / window;
+      f1 += full_latencies[static_cast<size_t>(kPorts - window + i)] / window;
     }
+    full_ratio = f1 / f0;
     std::printf(
-        "contrast (full recompute baseline): mean(first 100) = %s, "
-        "mean(last 100) = %s, ratio %.1fx (grows with network size)\n",
-        bench::Us(f0).c_str(), bench::Us(f1).c_str(), f1 / f0);
+        "contrast (full recompute baseline): mean(first %d) = %s, "
+        "mean(last %d) = %s, ratio %.1fx (grows with network size)\n",
+        window, bench::Us(f0).c_str(), window, bench::Us(f1).c_str(),
+        f1 / f0);
   }
+
+  JsonEmitter emitter("port_scaling", args);
+  emitter.Param("ports", kPorts);
+  emitter.Param("shape_window", window);
+  emitter.Metric("first_port_latency_s", latencies.front());
+  emitter.Metric("last_port_latency_s", latencies.back());
+  emitter.Metric("p50_latency_s", bench::Percentile(latencies, 0.50));
+  emitter.Metric("p99_latency_s", bench::Percentile(latencies, 0.99));
+  emitter.Metric("mean_first_window_s", first_mean);
+  emitter.Metric("mean_last_window_s", last_mean);
+  emitter.Metric("shape_ratio", last_mean / first_mean);
+  emitter.Metric("entries_installed", static_cast<int64_t>(entries));
+  emitter.Metric("full_recompute_shape_ratio", full_ratio);
+  emitter.Write();
   return 0;
 }
 
 }  // namespace
 }  // namespace nerpa
 
-int main() { return nerpa::Run(); }
+int main(int argc, char** argv) {
+  return nerpa::Run(nerpa::bench::BenchArgs::Parse(argc, argv));
+}

@@ -1,19 +1,123 @@
-// Shared helpers for the experiment harnesses: aligned table printing and
-// simple statistics.  Each bench binary reproduces one table/figure of the
-// paper (see DESIGN.md's experiment index) and prints the paper's reference
-// values next to the measured ones.
+// Shared helpers for the experiment harnesses: aligned table printing,
+// simple statistics, common command-line flags, and the canonical
+// machine-readable result emitter.  Each bench binary reproduces one
+// table/figure of the paper (see DESIGN.md's experiment index), prints the
+// paper's reference values next to the measured ones, and writes a
+// BENCH_<name>.json results file for CI and cross-run comparison.
 #ifndef NERPA_BENCH_BENCH_UTIL_H_
 #define NERPA_BENCH_BENCH_UTIL_H_
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/json.h"
 #include "common/strings.h"
 
 namespace nerpa::bench {
+
+/// Flags every bench accepts:
+///   --scale=F   multiply workload sizes by F (0 < F; default 1.0), so CI
+///               smoke runs (--scale=0.1) and stress runs (--scale=10)
+///               share one binary
+///   --seed=N    seed for any randomized workload (default 42)
+///   --out=DIR   directory for the BENCH_<name>.json results file
+///               (default "." — run benches from the repo root)
+/// Unknown arguments are left alone (benches with their own positional
+/// modes, e.g. child-process variants, parse those first).
+struct BenchArgs {
+  double scale = 1.0;
+  uint64_t seed = 42;
+  std::string out_dir = ".";
+
+  static BenchArgs Parse(int argc, char** argv) {
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (std::strncmp(arg, "--scale=", 8) == 0) {
+        double scale = std::atof(arg + 8);
+        if (scale > 0) args.scale = scale;
+      } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+        args.seed = static_cast<uint64_t>(std::strtoull(arg + 7, nullptr, 10));
+      } else if (std::strncmp(arg, "--out=", 6) == 0) {
+        args.out_dir = arg + 6;
+      }
+    }
+    return args;
+  }
+
+  /// `n` scaled by --scale, floored at 1 (workload sizes stay meaningful).
+  int Scaled(int n) const {
+    double scaled = static_cast<double>(n) * scale;
+    return scaled < 1 ? 1 : static_cast<int>(scaled);
+  }
+
+  /// Flags to forward to a child-process variant of the same binary.
+  std::string Forward() const {
+    return StrFormat(" --scale=%g --seed=%llu", scale,
+                     static_cast<unsigned long long>(seed));
+  }
+};
+
+/// Accumulates one bench's results and writes the canonical
+/// BENCH_<name>.json:
+///   {"bench": <name>, "scale": F, "seed": N,
+///    "params": {...workload parameters...},
+///    "metrics": {...measured values...}}
+/// Params record what was run (so a --scale=0.1 smoke file is never
+/// mistaken for a full run); metrics record what was measured.  Values are
+/// plain JSON, so nested objects (per-size curves, before/after pairs) are
+/// fine.
+class JsonEmitter {
+ public:
+  JsonEmitter(std::string name, const BenchArgs& args)
+      : name_(std::move(name)), scale_(args.scale), seed_(args.seed),
+        out_dir_(args.out_dir) {}
+
+  void Param(const std::string& key, Json value) {
+    params_[key] = std::move(value);
+  }
+  void Metric(const std::string& key, Json value) {
+    metrics_[key] = std::move(value);
+  }
+
+  /// Writes BENCH_<name>.json into --out (default cwd).  Returns false and
+  /// warns on I/O failure — a bench's measurements still count without the
+  /// file.
+  bool Write() const {
+    Json::Object root;
+    root["bench"] = name_;
+    root["scale"] = scale_;
+    root["seed"] = static_cast<int64_t>(seed_);
+    root["params"] = Json(params_);
+    root["metrics"] = Json(metrics_);
+    std::string path = out_dir_ + "/BENCH_" + name_ + ".json";
+    std::string text = Json(std::move(root)).Dump(2) + "\n";
+    std::FILE* file = std::fopen(path.c_str(), "w");
+    if (file == nullptr ||
+        std::fwrite(text.data(), 1, text.size(), file) != text.size()) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      if (file != nullptr) std::fclose(file);
+      return false;
+    }
+    std::fclose(file);
+    std::printf("\nresults: %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  std::string name_;
+  double scale_;
+  uint64_t seed_;
+  std::string out_dir_;
+  Json::Object params_;
+  Json::Object metrics_;
+};
 
 /// Prints a header box for an experiment.
 inline void Banner(const std::string& id, const std::string& title) {

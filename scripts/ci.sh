@@ -1,8 +1,11 @@
 #!/bin/sh
-# Tier-1 verification, run twice: a plain build, and a build instrumented
+# Tier-1 verification, run three ways: a plain build, a build instrumented
 # with AddressSanitizer + UndefinedBehaviorSanitizer (the durability layer
 # does enough raw file and lifetime juggling that the sanitizers earn
-# their keep).
+# their keep), and a ThreadSanitizer pass over the concurrent subsystems
+# (device-parallel dispatch, HA recovery).  Then a Release -O2 bench smoke:
+# every JSON-emitting bench must run at a small scale and produce its
+# BENCH_<name>.json.
 #   scripts/ci.sh [jobs]
 set -eu
 JOBS="${1:-$(nproc)}"
@@ -22,4 +25,35 @@ run_suite build-ci-asan \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
 
-echo "CI: both suites passed"
+# TSan is incompatible with ASan, so it gets its own build; restrict the run
+# to the suites that actually exercise threads (controller dispatch pool,
+# OVSDB TCP service thread, HA restart) to keep the wall clock sane.
+echo "=== configure build-ci-tsan ==="
+cmake -B build-ci-tsan -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all"
+echo "=== build build-ci-tsan ==="
+cmake --build build-ci-tsan -j "$JOBS" \
+  --target test_controller test_ha test_ha_restart test_common test_ovsdb_rpc
+echo "=== test build-ci-tsan (concurrency suites) ==="
+ctest --test-dir build-ci-tsan --output-on-failure -j "$JOBS" \
+  -R 'test_controller|test_ha|test_ha_restart|test_common|test_ovsdb_rpc'
+
+# Bench smoke: the perf claims in README/EXPERIMENTS come from Release
+# binaries, so the smoke must prove the Release build runs and emits the
+# canonical JSON — not that the numbers hit their targets (CI machines vary).
+echo "=== bench smoke (Release -O2) ==="
+cmake -B build-ci-bench -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build-ci-bench -j "$JOBS" --target \
+  bench_dlog_hotpath bench_port_scaling bench_incremental_vs_full \
+  bench_lb_coldstart
+mkdir -p build-ci-bench/bench-out
+for b in dlog_hotpath port_scaling incremental_vs_full lb_coldstart; do
+  echo "--- bench_$b --scale=0.05 ---"
+  "build-ci-bench/bench/bench_$b" --scale=0.05 \
+    --out=build-ci-bench/bench-out >/dev/null
+  test -s "build-ci-bench/bench-out/BENCH_$b.json" || {
+    echo "bench_$b produced no BENCH_$b.json" >&2; exit 1; }
+done
+
+echo "CI: all suites passed"

@@ -31,12 +31,7 @@ std::string TxnDelta::ToString() const {
 namespace {
 
 /// Lexicographic row order (used for deterministic output deltas).
-bool RowLess(const Row& a, const Row& b) {
-  return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end(),
-                                      [](const Value& x, const Value& y) {
-                                        return x < y;
-                                      });
-}
+bool RowLess(const Row& a, const Row& b) { return a < b; }
 
 }  // namespace
 
@@ -63,10 +58,29 @@ class Engine::Txn {
   };
   using Overlay = std::unordered_map<int, RelOverlay>;
 
-  Txn(Engine* engine, bool is_init)
-      : e_(*engine), program_(*engine->program_), is_init_(is_init) {}
+  explicit Txn(Engine* engine)
+      : e_(*engine), program_(*engine->program_) {}
 
-  Result<TxnDelta> Run() {
+  Result<TxnDelta> Run(bool is_init) {
+    is_init_ = is_init;
+    overlay_ = nullptr;
+    Status status = Execute();
+    if (!status.ok()) {
+      // Failed Commit() contract: undo every partial effect so the engine
+      // is byte-identical to its pre-transaction state.
+      Rollback();
+      Cleanup();
+      return status;
+    }
+    TxnDelta out = CollectOutputs();
+    ResetLogs();
+    Cleanup();
+    ++e_.transactions_;
+    return out;
+  }
+
+ private:
+  Status Execute() {
     NERPA_RETURN_IF_ERROR(ApplyInputs());
     for (const Stratum& stratum : program_.strata()) {
       if (stratum.recursive) {
@@ -75,59 +89,146 @@ class Engine::Txn {
         NERPA_RETURN_IF_ERROR(ProcessNonRecursive(stratum));
       }
     }
-    TxnDelta out = CollectOutputs();
-    Cleanup();
-    ++e_.transactions_;
-    return out;
+    return Status::Ok();
   }
 
- private:
+  /// Replays the undo logs in reverse through the same fold functions (with
+  /// logging disabled), restoring derivation counts, arrangements, and
+  /// aggregation state exactly.
+  /// Empties the undo logs, returning outsized capacity (the Txn persists
+  /// across transactions, so capacity follows the typical delta size).
+  void ResetLogs() {
+    if (fold_log_.capacity() > 65536) {
+      std::vector<FoldRecord>{}.swap(fold_log_);
+    } else {
+      fold_log_.clear();
+    }
+    if (agg_log_.capacity() > 65536) {
+      std::vector<AggRecord>{}.swap(agg_log_);
+    } else {
+      agg_log_.clear();
+    }
+  }
+
+  void Rollback() {
+    overlay_ = nullptr;
+    rolling_back_ = true;
+    for (auto it = agg_log_.rbegin(); it != agg_log_.rend(); ++it) {
+      AggState& state = e_.agg_states_[static_cast<size_t>(it->state_index)];
+      ZSet& group = state.groups[it->group];
+      int64_t& count = group[it->binding];
+      count -= it->weight;
+      if (count == 0) group.erase(it->binding);
+      if (group.empty()) state.groups.erase(it->group);
+    }
+    agg_log_.clear();
+    for (auto it = fold_log_.rbegin(); it != fold_log_.rend(); ++it) {
+      if (it->set_level) {
+        FoldSetDelta(it->rel,
+                     {{it->row, static_cast<int>(-it->weight)}});
+      } else {
+        ZSet inverse;
+        inverse.emplace(it->row, -it->weight);
+        // LIFO replay walks each count back along the path it came, so
+        // every intermediate value is the (non-negative) original.
+        Status s = FoldCountDelta(it->rel, inverse);
+        assert(s.ok());
+        (void)s;
+      }
+    }
+    fold_log_.clear();
+    rolling_back_ = false;
+  }
+
   // --- Folding deltas into relation state ---
 
-  /// Adds/removes `row` in every arrangement of `rel`, recording presence
-  /// flips and per-key deletions.
-  void UpdateArrangements(int rel, const Row& row, int direction) {
-    if (!e_.options_.use_arrangements) return;
+  /// Marks `rel` as touched this transaction so Cleanup() and rollback
+  /// only visit relations proportional to the change.
+  void MarkDirty(int rel) {
+    RelState& state = e_.relations_[static_cast<size_t>(rel)];
+    if (!state.dirty) {
+      state.dirty = true;
+      dirty_rels_.push_back(rel);
+    }
+  }
+
+  /// Projects `row`'s arrangement key into a reusable scratch buffer;
+  /// returns a borrowed view (no heap allocation).
+  static RowView ProjectInto(const Row& row, const std::vector<int>& positions,
+                             ValueVec& buf) {
+    buf.clear();
+    for (int p : positions) buf.push_back(row[static_cast<size_t>(p)]);
+    return RowView(buf.data(), buf.size());
+  }
+
+  static Row MaterializeKey(RowView key) {
+    return Row(key.data(), key.size());
+  }
+
+  void BumpFlip(Arrangement& arr, RowView key, int direction) {
+    auto it = arr.flips.find(key);
+    if (it == arr.flips.end()) {
+      ++e_.key_rows_materialized_;
+      arr.flips.emplace(MaterializeKey(key), direction);
+      return;
+    }
+    it->second += direction;
+    if (it->second == 0) arr.flips.erase(it);
+  }
+
+  /// One presence transition per entry; rows borrowed from the caller.
+  using ArrDelta = std::vector<std::pair<const Row*, int>>;
+
+  /// Batched index maintenance: applies a whole transition batch to each
+  /// arrangement in turn (one spec/arrangement fetch per batch instead of
+  /// per row), recording presence flips and per-key deletions.  Probe keys
+  /// are assembled in a scratch buffer; a key Row is materialized only
+  /// when a bucket is created (or first recorded in flips/deleted).
+  void ApplyArrangementDelta(int rel, const ArrDelta& delta) {
+    if (!e_.options_.use_arrangements || delta.empty()) return;
     RelState& state = e_.relations_[static_cast<size_t>(rel)];
     const auto& specs = program_.arrangements()[static_cast<size_t>(rel)];
     for (size_t a = 0; a < specs.size(); ++a) {
-      Row key = ProjectRow(row, specs[a].key_positions);
+      const std::vector<int>& positions = specs[a].key_positions;
       Arrangement& arr = state.arrangements[a];
-      if (direction > 0) {
-        RowSet& bucket = arr.index[key];
-        bool was_empty = bucket.empty();
-        bucket.insert(row);
-        if (was_empty) BumpFlip(arr, key, +1);
-      } else {
-        auto it = arr.index.find(key);
-        if (it == arr.index.end()) continue;
-        it->second.erase(row);
-        arr.deleted[key].push_back(row);
-        if (it->second.empty()) {
-          arr.index.erase(it);
-          BumpFlip(arr, key, -1);
+      for (const auto& [row, direction] : delta) {
+        RowView key = ProjectInto(*row, positions, arr_key_buf_);
+        if (direction > 0) {
+          auto it = arr.index.find(key);
+          if (it == arr.index.end()) {
+            ++e_.key_rows_materialized_;
+            it = arr.index.emplace(MaterializeKey(key), RowSet{}).first;
+            BumpFlip(arr, key, +1);
+          }
+          it->second.insert(*row);
+        } else {
+          auto it = arr.index.find(key);
+          if (it == arr.index.end()) continue;
+          it->second.erase(*row);
+          auto del = arr.deleted.find(key);
+          if (del == arr.deleted.end()) {
+            ++e_.key_rows_materialized_;
+            del = arr.deleted.emplace(MaterializeKey(key),
+                                      std::vector<Row>{}).first;
+          }
+          del->second.push_back(*row);
+          if (it->second.empty()) {
+            arr.index.erase(it);
+            BumpFlip(arr, key, -1);
+          }
         }
       }
     }
   }
 
-  static void BumpFlip(Arrangement& arr, const Row& key, int direction) {
-    int& flip = arr.flips[key];
-    flip += direction;
-    if (flip == 0) arr.flips.erase(key);
-  }
-
-  static Row ProjectRow(const Row& row, const std::vector<int>& positions) {
-    Row key;
-    key.reserve(positions.size());
-    for (int p : positions) key.push_back(row[static_cast<size_t>(p)]);
-    return key;
-  }
-
   /// Applies a set-level delta (rows with +-1) to `rel`: counts are forced
   /// to 1/absent.  Used for inputs and recursive-stratum relations.
   void FoldSetDelta(int rel, const std::vector<std::pair<Row, int>>& delta) {
+    if (delta.empty()) return;
+    MarkDirty(rel);
     RelState& state = e_.relations_[static_cast<size_t>(rel)];
+    ArrDelta arr_delta;
+    arr_delta.reserve(delta.size());
     for (const auto& [row, direction] : delta) {
       if (direction > 0) {
         state.counts[row] = 1;
@@ -135,47 +236,59 @@ class Engine::Txn {
         state.counts.erase(row);
         state.txn_deleted.push_back(row);
       }
-      UpdateArrangements(rel, row, direction);
+      arr_delta.emplace_back(&row, direction);
       int64_t& d = state.set_delta[row];
       d += direction;
       if (d == 0) state.set_delta.erase(row);
+      if (!rolling_back_) {
+        fold_log_.push_back(FoldRecord{rel, row, direction, /*set_level=*/true});
+      }
     }
+    ApplyArrangementDelta(rel, arr_delta);
   }
 
   /// Applies a derivation-count delta to `rel`, deriving the set-level
   /// transitions.  Used for non-recursive derived relations.
   Status FoldCountDelta(int rel, const ZSet& count_delta) {
+    if (count_delta.empty()) return Status::Ok();
+    MarkDirty(rel);
     RelState& state = e_.relations_[static_cast<size_t>(rel)];
+    if (!rolling_back_) fold_log_.reserve(fold_log_.size() + count_delta.size());
+    ArrDelta transitions;  // rows borrowed from count_delta (stable)
     for (const auto& [row, weight] : count_delta) {
       if (weight == 0) continue;
-      int64_t old_count = 0;
-      auto it = state.counts.find(row);
-      if (it != state.counts.end()) old_count = it->second;
+      // Single hash lookup per row: insert-or-find, then adjust in place.
+      auto [it, inserted] = state.counts.try_emplace(row, 0);
+      int64_t old_count = inserted ? 0 : it->second;
       int64_t new_count = old_count + weight;
       if (new_count < 0) {
+        if (inserted) state.counts.erase(it);
+        ApplyArrangementDelta(rel, transitions);  // keep state coherent
         return Internal(StrFormat(
             "negative derivation count for %s in relation '%s'",
             RowToString(row).c_str(),
             program_.relation(rel).name.c_str()));
       }
       if (new_count == 0) {
-        if (it != state.counts.end()) state.counts.erase(it);
-      } else if (it != state.counts.end()) {
-        it->second = new_count;
+        state.counts.erase(it);
       } else {
-        state.counts.emplace(row, new_count);
+        it->second = new_count;
+      }
+      if (!rolling_back_) {
+        fold_log_.push_back(FoldRecord{rel, row, weight, /*set_level=*/false});
       }
       if (old_count == 0 && new_count > 0) {
-        UpdateArrangements(rel, row, +1);
+        transitions.emplace_back(&row, +1);
         int64_t& d = state.set_delta[row];
         if (++d == 0) state.set_delta.erase(row);
       } else if (old_count > 0 && new_count == 0) {
-        UpdateArrangements(rel, row, -1);
+        transitions.emplace_back(&row, -1);
         state.txn_deleted.push_back(row);
         int64_t& d = state.set_delta[row];
         if (--d == 0) state.set_delta.erase(row);
       }
     }
+    ApplyArrangementDelta(rel, transitions);
     return Status::Ok();
   }
 
@@ -196,14 +309,22 @@ class Engine::Txn {
   }
 
   /// Invokes `fn(row)` for every row of `rel` matching `key` under the
-  /// given arrangement, mode and the active overlay.  `fn` returns false to
-  /// stop early; ForEachMatch then returns false.
+  /// given arrangement, mode and the active overlay.  `key` is a borrowed
+  /// view (scratch buffer or a Row's span) — probes never materialize a
+  /// key Row.  `fn` returns false to stop early; ForEachMatch then returns
+  /// false.
   template <typename Fn>
-  bool ForEachMatch(int rel, int arrangement, const Row& key, Mode mode,
+  bool ForEachMatch(int rel, int arrangement, RowView key, Mode mode,
                     Fn&& fn) {
     RelState& state = e_.relations_[static_cast<size_t>(rel)];
     const RelOverlay* ov = FindOverlay(rel);
+    // OLD-mode reads must skip rows inserted this transaction; hoist the
+    // (common) no-delta case so clean relations pay no per-row lookup.
+    const ZSet* txn_inserted =
+        mode == Mode::kOld && !state.set_delta.empty() ? &state.set_delta
+                                                       : nullptr;
     if (arrangement >= 0 && !e_.options_.use_arrangements) {
+      ++e_.scans_;
       // Ablation mode: scan and filter by the arrangement's key positions.
       const auto& positions =
           program_.arrangements()[static_cast<size_t>(rel)]
@@ -219,9 +340,9 @@ class Engine::Txn {
       };
       for (const auto& [row, count] : state.counts) {
         if (ov != nullptr && OverlayHides(*ov, row)) continue;
-        if (mode == Mode::kOld) {
-          auto d = state.set_delta.find(row);
-          if (d != state.set_delta.end() && d->second > 0) continue;
+        if (txn_inserted != nullptr) {
+          auto d = txn_inserted->find(row);
+          if (d != txn_inserted->end() && d->second > 0) continue;
         }
         if (matches_key(row) && !fn(row)) return false;
       }
@@ -238,14 +359,17 @@ class Engine::Txn {
       return true;
     }
     if (arrangement >= 0) {
+      ++e_.probes_;
+      ++e_.key_allocs_saved_;
       Arrangement& arr = state.arrangements[static_cast<size_t>(arrangement)];
       auto bucket = arr.index.find(key);
       if (bucket != arr.index.end()) {
+        ++e_.probe_hits_;
         for (const Row& row : bucket->second) {
           if (ov != nullptr && OverlayHides(*ov, row)) continue;
-          if (mode == Mode::kOld) {
-            auto d = state.set_delta.find(row);
-            if (d != state.set_delta.end() && d->second > 0) continue;
+          if (txn_inserted != nullptr) {
+            auto d = txn_inserted->find(row);
+            if (d != txn_inserted->end() && d->second > 0) continue;
           }
           if (!fn(row)) return false;
         }
@@ -271,11 +395,12 @@ class Engine::Txn {
       return true;
     }
     // Full scan.
+    ++e_.scans_;
     for (const auto& [row, count] : state.counts) {
       if (ov != nullptr && OverlayHides(*ov, row)) continue;
-      if (mode == Mode::kOld) {
-        auto d = state.set_delta.find(row);
-        if (d != state.set_delta.end() && d->second > 0) continue;
+      if (txn_inserted != nullptr) {
+        auto d = txn_inserted->find(row);
+        if (d != txn_inserted->end() && d->second > 0) continue;
       }
       if (!fn(row)) return false;
     }
@@ -293,7 +418,7 @@ class Engine::Txn {
   }
 
   /// Presence test for negation: does any row of `rel` match `key`?
-  bool AnyMatch(int rel, int arrangement, const Row& key, Mode mode) {
+  bool AnyMatch(int rel, int arrangement, RowView key, Mode mode) {
     bool found = false;
     ForEachMatch(rel, arrangement, key, mode, [&](const Row&) {
       found = true;
@@ -358,19 +483,25 @@ class Engine::Txn {
     }
   }
 
-  /// Builds the lookup key row for a literal from currently bound slots.
-  Row BuildKey(const StepPlan& step, const std::vector<int>& positions) {
-    Row key;
-    key.reserve(positions.size());
+  /// Assembles the lookup key for a literal from currently bound slots
+  /// into a per-step scratch buffer (reused across probes; keys stay alive
+  /// through deeper recursion because each step depth owns its buffer).
+  RowView BuildKey(const StepPlan& step, const std::vector<int>& positions,
+                   size_t step_index) {
+    if (key_buffers_.size() <= step_index) {
+      key_buffers_.resize(step_index + 1);
+    }
+    ValueVec& buf = key_buffers_[step_index];
+    buf.clear();
     for (int p : positions) {
       const TermPlan& term = step.terms[static_cast<size_t>(p)];
       if (term.kind == TermPlan::Kind::kCheckConst) {
-        key.push_back(term.constant);
+        buf.push_back(term.constant);
       } else {
-        key.push_back(frame_[static_cast<size_t>(term.slot)]);
+        buf.push_back(frame_[static_cast<size_t>(term.slot)]);
       }
     }
-    return key;
+    return RowView(buf.data(), buf.size());
   }
 
   /// Context for one rule-body execution.
@@ -410,7 +541,7 @@ class Engine::Txn {
         const LookupPlan& lookup = (*exec.lookups)[lookup_index];
         assert(lookup.step_index == static_cast<int>(step_index));
         Mode mode = StepMode(exec, static_cast<int>(step_index));
-        Row key = BuildKey(step, lookup.key_positions);
+        RowView key = BuildKey(step, lookup.key_positions, step_index);
         if (step.negated) {
           bool present;
           if (lookup.arrangement >= 0 || !lookup.key_positions.empty()) {
@@ -486,7 +617,7 @@ class Engine::Txn {
     if (mode == Mode::kNew && ov == nullptr) return !state.counts.empty();
     // Rare path: count visible rows until one is found.
     bool found = false;
-    ForEachMatch(rel, -1, Row{}, mode, [&](const Row&) {
+    ForEachMatch(rel, -1, RowView{}, mode, [&](const Row&) {
       found = true;
       return false;
     });
@@ -717,6 +848,8 @@ class Engine::Txn {
       for (const auto& [binding, weight] : delta) {
         int64_t& count = group_state[binding];
         count += weight;
+        agg_log_.push_back(
+            AggRecord{agg.agg_state_index, group, binding, weight});
         if (count < 0) {
           return Internal("negative aggregation support count");
         }
@@ -758,7 +891,10 @@ class Engine::Txn {
   Status ProcessNonRecursive(const Stratum& stratum) {
     // Non-recursive SCCs contain exactly one relation.
     int head_rel = stratum.relations[0];
-    ZSet head_delta;
+    // Scratch z-set reused across strata and transactions: steady-state
+    // commits accumulate head rows with zero hash-table rehashes.
+    ZSet& head_delta = head_scratch_;
+    head_delta.clear();
     for (int rule_index : stratum.rules) {
       const CompiledRule& rule =
           program_.rules()[static_cast<size_t>(rule_index)];
@@ -782,7 +918,9 @@ class Engine::Txn {
             ProcessDeltaPlan(rule, plan, /*stop_at_aggregate=*/false, emit));
       }
     }
-    return FoldCountDelta(head_rel, head_delta);
+    Status folded = FoldCountDelta(head_rel, head_delta);
+    ResetTxnMap(head_delta);
+    return folded;
   }
 
   // --- Recursive strata: semi-naive insertion + DRed deletion ---
@@ -972,8 +1110,14 @@ class Engine::Txn {
       w.inserted.insert(row);
       const auto& specs = program_.arrangements()[static_cast<size_t>(rel)];
       for (size_t a = 0; a < specs.size(); ++a) {
-        w.inserted_index[a][ProjectRow(row, specs[a].key_positions)]
-            .push_back(row);
+        RowView key = ProjectInto(row, specs[a].key_positions, arr_key_buf_);
+        auto& index = w.inserted_index[a];
+        auto it = index.find(key);
+        if (it == index.end()) {
+          ++e_.key_rows_materialized_;
+          it = index.emplace(MaterializeKey(key), std::vector<Row>{}).first;
+        }
+        it->second.push_back(row);
       }
       insert_worklist.emplace_back(rel, row);
     };
@@ -1220,23 +1364,74 @@ class Engine::Txn {
     return out;
   }
 
+  /// clear() on an unordered_map keeps its buckets, and that is the fast
+  /// path: steady-state transactions of similar size reuse the table with
+  /// no rehashing.  But clear() is also O(bucket_count), so after one huge
+  /// transaction the lingering capacity would tax every later small one —
+  /// when the buckets far exceed this transaction's needs, swap in a fresh
+  /// map sized for deltas like the current one.
+  template <typename Map>
+  static void ResetTxnMap(Map& map) {
+    size_t used = map.size();
+    if (map.bucket_count() > 64 + 8 * used) {
+      Map fresh;
+      fresh.reserve(2 * used);
+      fresh.swap(map);
+    } else {
+      map.clear();
+    }
+  }
+
+  /// Visits only relations touched this transaction, so per-commit work is
+  /// proportional to the change, not the number of relations/arrangements.
   void Cleanup() {
-    for (RelState& state : e_.relations_) {
-      state.set_delta.clear();
-      state.txn_deleted.clear();
+    for (int rel : dirty_rels_) {
+      RelState& state = e_.relations_[static_cast<size_t>(rel)];
+      state.dirty = false;
+      ResetTxnMap(state.set_delta);
+      if (state.txn_deleted.capacity() > 1024) {
+        std::vector<Row>{}.swap(state.txn_deleted);
+      } else {
+        state.txn_deleted.clear();
+      }
       for (Arrangement& arr : state.arrangements) {
-        arr.flips.clear();
-        arr.deleted.clear();
+        ResetTxnMap(arr.flips);
+        ResetTxnMap(arr.deleted);
       }
     }
+    dirty_rels_.clear();
   }
 
   Engine& e_;
   const Program& program_;
-  bool is_init_;
+  bool is_init_ = false;
   const Overlay* overlay_ = nullptr;
   std::vector<Value> frame_;
   std::vector<char> bound_;
+
+  /// Undo log: every fold applied this transaction; replayed in reverse
+  /// (with logging off) if the transaction errors.
+  struct FoldRecord {
+    int rel;
+    Row row;
+    int64_t weight;  // set-level: the +-1 direction; count-level: the weight
+    bool set_level;
+  };
+  std::vector<FoldRecord> fold_log_;
+  /// Undo log for persistent aggregation state.
+  struct AggRecord {
+    int state_index;
+    Row group;
+    Row binding;
+    int64_t weight;
+  };
+  std::vector<AggRecord> agg_log_;
+  bool rolling_back_ = false;
+
+  std::vector<int> dirty_rels_;        // relations touched this transaction
+  ValueVec arr_key_buf_;               // scratch for index-maintenance keys
+  std::vector<ValueVec> key_buffers_;  // per-step-depth probe-key buffers
+  ZSet head_scratch_;                  // head-delta accumulator (reused)
 };
 
 // ---------------------------------------------------------------------------
@@ -1264,8 +1459,8 @@ Engine::Engine(std::shared_ptr<const Program> program, EngineOptions options)
     }
   }
   agg_states_.resize(static_cast<size_t>(program_->aggregate_state_count()));
-  Txn init(this, /*is_init=*/true);
-  Result<TxnDelta> result = init.Run();
+  txn_ = std::make_unique<Txn>(this);
+  Result<TxnDelta> result = txn_->Run(/*is_init=*/true);
   if (result.ok()) {
     initial_delta_ = std::move(result).value();
   } else {
@@ -1304,10 +1499,9 @@ Status Engine::Delete(std::string_view relation, Row row) {
   return Status::Ok();
 }
 
-Result<TxnDelta> Engine::Commit() {
-  Txn txn(this, /*is_init=*/false);
-  return txn.Run();
-}
+Engine::~Engine() = default;
+
+Result<TxnDelta> Engine::Commit() { return txn_->Run(/*is_init=*/false); }
 
 TxnDelta Engine::TakeInitialDelta() {
   TxnDelta out = std::move(initial_delta_);
@@ -1343,11 +1537,30 @@ Engine::Stats Engine::GetStats() const {
   Stats stats;
   stats.rule_firings = rule_firings_;
   stats.transactions = transactions_;
+  stats.probes = probes_;
+  stats.probe_hits = probe_hits_;
+  stats.scans = scans_;
+  stats.key_rows_materialized = key_rows_materialized_;
+  stats.key_allocs_saved = key_allocs_saved_;
+  stats.intern = GetInternPoolStats();
+  // Approximate node overhead of one unordered_map/set entry (libstdc++:
+  // next pointer + cached hash, plus allocator slack).
+  constexpr size_t kNodeOverhead = 2 * sizeof(void*);
   for (const RelState& state : relations_) {
     stats.tuples += state.counts.size();
     for (const Arrangement& arr : state.arrangements) {
+      stats.arrangement_bytes += arr.index.bucket_count() * sizeof(void*);
       for (const auto& [key, bucket] : arr.index) {
         stats.arrangement_entries += bucket.size();
+        stats.arrangement_bytes += kNodeOverhead + sizeof(key) +
+                                   key.size() * sizeof(Value) +
+                                   bucket.bucket_count() * sizeof(void*) +
+                                   bucket.size() * (kNodeOverhead + sizeof(Row));
+        // Interned payloads are shared process-wide, so indexed rows cost
+        // only their inline Value words here.
+        for (const Row& row : bucket) {
+          stats.arrangement_bytes += row.size() * sizeof(Value);
+        }
       }
     }
   }

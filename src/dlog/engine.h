@@ -68,6 +68,7 @@ class Engine {
   /// effect on outputs is available via TakeInitialDelta().
   explicit Engine(std::shared_ptr<const Program> program,
                   EngineOptions options = {});
+  ~Engine();
 
   const Program& program() const { return *program_; }
 
@@ -78,8 +79,10 @@ class Engine {
   Status Delete(std::string_view relation, Row row);
 
   /// Applies all queued changes as one transaction; returns the output
-  /// deltas.  On error the queued changes are discarded and state is
-  /// unchanged.
+  /// deltas.  On error (e.g. a division by zero inside a rule) the queued
+  /// changes are discarded and every partial effect — derivation counts,
+  /// arrangements, and aggregation state — is rolled back, so the engine
+  /// is exactly as it was before the failed Commit().
   Result<TxnDelta> Commit();
 
   /// Output rows derived from fact rules at construction time.
@@ -95,13 +98,25 @@ class Engine {
   struct Stats {
     size_t tuples = 0;              // total tuples across relations
     size_t arrangement_entries = 0; // total indexed rows across arrangements
+    size_t arrangement_bytes = 0;   // approx. resident bytes of all indexes
     uint64_t rule_firings = 0;      // cumulative sink invocations
     uint64_t transactions = 0;
+    // --- hot-path counters (cumulative) ---
+    uint64_t probes = 0;            // arrangement lookups issued
+    uint64_t probe_hits = 0;        // lookups that found a non-empty bucket
+    uint64_t scans = 0;             // unindexed (full or filtered) scans
+    uint64_t key_rows_materialized = 0;  // key Rows built (index maintenance)
+    uint64_t key_allocs_saved = 0;  // probes served by a scratch-span key
+                                    // (each was one heap Row pre-interning)
+    /// Process-wide intern pool (shared across engines).
+    InternPoolStats intern;
   };
   Stats GetStats() const;
 
  private:
-  class Txn;  // transaction processor (engine.cc)
+  class Txn;  // transaction processor (engine.cc); persistent so its
+              // scratch buffers and hash-table capacity carry across
+              // commits (no per-transaction rehash ramp-up)
 
   /// One hash index over a relation, per its compile-time ArrangementSpec.
   struct Arrangement {
@@ -118,6 +133,7 @@ class Engine {
     std::vector<Arrangement> arrangements;
     ZSet set_delta;                   // this txn's set-level delta (+1/-1)
     std::vector<Row> txn_deleted;     // rows deleted this txn (for scans)
+    bool dirty = false;               // touched this txn (bounds Cleanup)
   };
 
   /// Persistent aggregation state: group key -> binding row -> count.
@@ -129,12 +145,19 @@ class Engine {
 
   std::shared_ptr<const Program> program_;
   EngineOptions options_;
+  std::unique_ptr<Txn> txn_;
   std::vector<RelState> relations_;
   std::vector<AggState> agg_states_;
   std::vector<std::tuple<int, Row, int>> pending_;  // (relation, row, +-1)
   TxnDelta initial_delta_;
   uint64_t rule_firings_ = 0;
   uint64_t transactions_ = 0;
+  // Hot-path counters (see Stats).
+  uint64_t probes_ = 0;
+  uint64_t probe_hits_ = 0;
+  uint64_t scans_ = 0;
+  uint64_t key_rows_materialized_ = 0;
+  uint64_t key_allocs_saved_ = 0;
 };
 
 }  // namespace nerpa::dlog

@@ -1,15 +1,19 @@
 // Runtime values for the incremental Datalog engine.
 //
 // DDlog's value universe (booleans, integers, bit-vectors, strings, and
-// structured data) is mirrored here.  Values are hashable and totally
-// ordered so rows can live in z-set maps and arrangements.
+// structured data) is mirrored here.  Strings and tuples are hash-consed
+// into a process-wide intern pool, so a Value is a 16-byte tagged word:
+// copies are trivial, equality is (almost always) a pointer compare, and
+// the hash of any payload is computed once at intern time.  Rows memoize
+// their hash so arrangement probes never re-walk payloads.
 #ifndef NERPA_DLOG_VALUE_H_
 #define NERPA_DLOG_VALUE_H_
 
 #include <cstdint>
-#include <memory>
+#include <cstring>
+#include <initializer_list>
+#include <span>
 #include <string>
-#include <variant>
 #include <vector>
 
 #include "common/hash.h"
@@ -18,69 +22,245 @@ namespace nerpa::dlog {
 
 class Value;
 
-/// A tuple/vector payload; shared so copying Values is cheap.
+/// A tuple/vector payload.
 using ValueVec = std::vector<Value>;
 
+namespace internal {
+
+/// A hash-consed string payload: the text plus its content hash, computed
+/// once when the node is interned.
+struct InternedString {
+  std::string text;
+  size_t hash;
+};
+
+/// A hash-consed tuple payload.
+struct InternedTuple {
+  ValueVec elems;
+  size_t hash;
+};
+
+}  // namespace internal
+
+/// Ablation/testing switch: when disabled, String()/Tuple() still allocate
+/// pool-owned nodes with cached hashes but skip deduplication, so every
+/// construction yields a distinct node (the pre-interning allocation
+/// behaviour).  Values built under either mode compare and hash
+/// identically — equality falls back to content comparison when the node
+/// pointers differ.  Thread-safe; affects subsequently created values only.
+void SetValueInterning(bool enabled);
+bool ValueInterningEnabled();
+
+/// Intern pool introspection (sizes feed Engine::Stats and the benches).
+struct InternPoolStats {
+  size_t strings = 0;       // distinct interned strings
+  size_t tuples = 0;        // distinct interned tuples
+  size_t string_bytes = 0;  // sum of interned string payload bytes
+  size_t tuple_bytes = 0;   // sum of interned tuple payload bytes
+  uint64_t hits = 0;        // constructions served by an existing node
+  uint64_t misses = 0;      // constructions that allocated a node
+};
+InternPoolStats GetInternPoolStats();
+
 /// One Datalog runtime value: bool, signed 64-bit int, bit<N> (stored
-/// zero-extended in a u64), string, or a vector/tuple of values.
+/// zero-extended in a u64), string, or a vector/tuple of values.  Trivially
+/// copyable; string/tuple payloads live in the intern pool for the life of
+/// the process (hash-consing never evicts).
 class Value {
  public:
-  Value() : rep_(false) {}
-  static Value Bool(bool v) { return Value(Rep(v)); }
-  static Value Int(int64_t v) { return Value(Rep(v)); }
-  static Value Bit(uint64_t v) { return Value(Rep(v)); }
-  static Value String(std::string v) { return Value(Rep(std::move(v))); }
-  static Value Tuple(ValueVec elems) {
-    return Value(Rep(std::make_shared<const ValueVec>(std::move(elems))));
+  Value() : tag_(Tag::kBool), bits_(0) {}
+  static Value Bool(bool v) { return Value(Tag::kBool, v ? 1 : 0); }
+  static Value Int(int64_t v) {
+    return Value(Tag::kInt, static_cast<uint64_t>(v));
   }
+  static Value Bit(uint64_t v) { return Value(Tag::kBit, v); }
+  static Value String(std::string v);
+  static Value Tuple(ValueVec elems);
 
-  bool is_bool() const { return rep_.index() == 0; }
-  bool is_int() const { return rep_.index() == 1; }
-  bool is_bit() const { return rep_.index() == 2; }
-  bool is_string() const { return rep_.index() == 3; }
-  bool is_tuple() const { return rep_.index() == 4; }
+  bool is_bool() const { return tag_ == Tag::kBool; }
+  bool is_int() const { return tag_ == Tag::kInt; }
+  bool is_bit() const { return tag_ == Tag::kBit; }
+  bool is_string() const { return tag_ == Tag::kString; }
+  bool is_tuple() const { return tag_ == Tag::kTuple; }
 
-  bool as_bool() const { return std::get<0>(rep_); }
-  int64_t as_int() const { return std::get<1>(rep_); }
-  uint64_t as_bit() const { return std::get<2>(rep_); }
-  const std::string& as_string() const { return std::get<3>(rep_); }
-  const ValueVec& as_tuple() const { return *std::get<4>(rep_); }
+  bool as_bool() const { return bits_ != 0; }
+  int64_t as_int() const { return static_cast<int64_t>(bits_); }
+  uint64_t as_bit() const { return bits_; }
+  const std::string& as_string() const { return str_->text; }
+  const ValueVec& as_tuple() const { return tup_->elems; }
 
   /// Numeric view: int value or bit value as signed (for mixed arithmetic
   /// the type checker has already unified the operand types).
   int64_t NumericAsInt() const {
-    return is_int() ? as_int() : static_cast<int64_t>(as_bit());
+    return is_int() ? as_int() : static_cast<int64_t>(bits_);
   }
 
+  /// O(1): scalars mix tag and payload; strings/tuples return the hash
+  /// cached in their interned node.
   size_t Hash() const;
   bool operator==(const Value& o) const;
   bool operator!=(const Value& o) const { return !(*this == o); }
-  bool operator<(const Value& o) const;
+  bool operator<(const Value& o) const { return Compare(o) < 0; }
+  /// Three-way comparison (<0, 0, >0) in the same total order as
+  /// operator<; lets sorts pay one comparison per element instead of two.
+  int Compare(const Value& o) const;
 
   /// Debug form: true, 42, "s", (a, b).
   std::string ToString() const;
 
  private:
-  using Rep = std::variant<bool, int64_t, uint64_t, std::string,
-                           std::shared_ptr<const ValueVec>>;
-  explicit Value(Rep rep) : rep_(std::move(rep)) {}
+  enum class Tag : uint8_t { kBool = 0, kInt, kBit, kString, kTuple };
 
-  Rep rep_;
+  Value(Tag tag, uint64_t bits) : tag_(tag), bits_(bits) {}
+  Value(Tag tag, const internal::InternedString* s) : tag_(tag), str_(s) {}
+  Value(Tag tag, const internal::InternedTuple* t) : tag_(tag), tup_(t) {}
+
+  Tag tag_;
+  union {
+    uint64_t bits_;
+    const internal::InternedString* str_;
+    const internal::InternedTuple* tup_;
+  };
 };
 
-/// A relation row.
-using Row = std::vector<Value>;
+static_assert(sizeof(Value) == 16, "Value must stay a small tagged word");
+static_assert(std::is_trivially_copyable_v<Value>,
+              "Value copies must be memcpy-able");
 
+/// A relation row: a flat run of values with a memoized content hash, so
+/// z-set and arrangement probes hash each row at most once per mutation.
+/// Values are trivially copyable, so Row keeps up to kInline of them in a
+/// small inline buffer: typical rows copy by memcpy with no heap traffic,
+/// and hash-map nodes keyed by Row hold their values in the node itself.
+class Row {
+ public:
+  using const_iterator = const Value*;
+  static constexpr uint32_t kInline = 3;
+
+  Row() = default;
+  Row(std::initializer_list<Value> elems) {
+    Assign(elems.begin(), elems.size());
+  }
+  explicit Row(const ValueVec& elems) { Assign(elems.data(), elems.size()); }
+  Row(const Value* data, size_t n) { Assign(data, n); }
+
+  Row(const Row& o) {
+    Assign(o.data_, o.size_);
+    hash_ = o.hash_;
+  }
+  Row(Row&& o) noexcept { MoveFrom(o); }
+  Row& operator=(const Row& o) {
+    if (this != &o) {
+      Assign(o.data_, o.size_);
+      hash_ = o.hash_;
+    }
+    return *this;
+  }
+  Row& operator=(Row&& o) noexcept {
+    if (this != &o) {
+      ReleaseHeap();
+      MoveFrom(o);
+    }
+    return *this;
+  }
+  ~Row() { ReleaseHeap(); }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const Value& operator[](size_t i) const { return data_[i]; }
+  const Value& back() const { return data_[size_ - 1]; }
+  const_iterator begin() const { return data_; }
+  const_iterator end() const { return data_ + size_; }
+  std::span<const Value> span() const { return {data_, size_}; }
+
+  void reserve(size_t n) {
+    if (n > capacity_) Grow(n);
+  }
+  void push_back(Value v) {
+    if (size_ == capacity_) Grow(size_ + 1);
+    data_[size_++] = v;
+    hash_ = 0;
+  }
+  void clear() {
+    size_ = 0;
+    hash_ = 0;
+  }
+
+  /// Memoized content hash (computed on first use, invalidated by
+  /// mutation).  Equal rows hash equal regardless of interning mode.
+  size_t Hash() const;
+
+  bool operator==(const Row& o) const;
+  bool operator!=(const Row& o) const { return !(*this == o); }
+  bool operator<(const Row& o) const;
+
+ private:
+  void Assign(const Value* src, size_t n) {
+    if (n > capacity_) Grow(n);
+    if (n != 0) std::memcpy(data_, src, n * sizeof(Value));
+    size_ = static_cast<uint32_t>(n);
+    hash_ = 0;
+  }
+  void MoveFrom(Row& o) noexcept {
+    if (o.data_ != o.inline_) {
+      data_ = o.data_;
+      capacity_ = o.capacity_;
+      o.data_ = o.inline_;
+      o.capacity_ = kInline;
+    } else if (o.size_ != 0) {
+      std::memcpy(inline_, o.inline_, o.size_ * sizeof(Value));
+    }
+    size_ = o.size_;
+    hash_ = o.hash_;
+    o.size_ = 0;
+    o.hash_ = 0;
+  }
+  void ReleaseHeap() {
+    if (data_ != inline_) {
+      ::operator delete(data_);
+      data_ = inline_;
+      capacity_ = kInline;
+    }
+  }
+  void Grow(size_t need);
+
+  Value* data_ = inline_;
+  uint32_t size_ = 0;
+  uint32_t capacity_ = kInline;
+  mutable size_t hash_ = 0;  // 0 = not yet computed (never a valid hash)
+  Value inline_[kInline];
+};
+
+/// A borrowed key: a contiguous run of values (e.g. a probe key assembled
+/// in a scratch buffer) hash/equality-compatible with Row.
+using RowView = std::span<const Value>;
+
+/// Content hash over a value range; identical to Row::Hash() for the same
+/// values (the transparent-lookup contract).
+size_t HashValueRange(const Value* data, size_t size);
+
+/// Transparent hash/equality so arrangement maps can be probed with a
+/// RowView without materializing a key Row per lookup.
 struct RowHash {
-  size_t operator()(const Row& row) const {
-    size_t seed = 0x9e3779b97f4a7c15ULL ^ row.size();
-    for (const Value& value : row) HashCombine(seed, value.Hash());
-    return seed;
+  using is_transparent = void;
+  size_t operator()(const Row& row) const { return row.Hash(); }
+  size_t operator()(RowView view) const {
+    return HashValueRange(view.data(), view.size());
   }
 };
 
 struct RowEq {
+  using is_transparent = void;
   bool operator()(const Row& a, const Row& b) const { return a == b; }
+  bool operator()(const Row& a, RowView b) const {
+    return std::equal(a.begin(), a.end(), b.begin(), b.end());
+  }
+  bool operator()(RowView a, const Row& b) const {
+    return std::equal(a.begin(), a.end(), b.begin(), b.end());
+  }
+  bool operator()(RowView a, RowView b) const {
+    return std::equal(a.begin(), a.end(), b.begin(), b.end());
+  }
 };
 
 std::string RowToString(const Row& row);
@@ -91,6 +271,13 @@ template <>
 struct std::hash<nerpa::dlog::Value> {
   size_t operator()(const nerpa::dlog::Value& v) const noexcept {
     return v.Hash();
+  }
+};
+
+template <>
+struct std::hash<nerpa::dlog::Row> {
+  size_t operator()(const nerpa::dlog::Row& r) const noexcept {
+    return r.Hash();
   }
 };
 

@@ -104,11 +104,51 @@ Status Controller::Start() {
       });
   if (options_.resync_on_start) {
     suppress_writes_ = false;
+    NERPA_RETURN_IF_ERROR(ResyncAllDevices());
+  }
+  return last_error_;
+}
+
+size_t Controller::DispatchWorkers(size_t jobs) const {
+  if (jobs <= 1) return 1;
+  size_t cap;
+  if (options_.write_parallelism <= 0) {
+    cap = std::thread::hardware_concurrency();
+    if (cap == 0) cap = 1;
+  } else {
+    cap = static_cast<size_t>(options_.write_parallelism);
+  }
+  return std::min(jobs, cap);
+}
+
+ThreadPool& Controller::Pool(size_t want) {
+  if (pool_ == nullptr || pool_->threads() < want) {
+    pool_ = std::make_unique<ThreadPool>(want);
+  }
+  return *pool_;
+}
+
+Status Controller::ResyncAllDevices() {
+  size_t workers = DispatchWorkers(devices_.size());
+  if (workers <= 1) {
     for (Device& device : devices_) {
       NERPA_RETURN_IF_ERROR(ResyncDeviceImpl(device));
     }
+    return Status::Ok();
   }
-  return last_error_;
+  // Each device resynchronizes against the same (read-only) engine state;
+  // faults on one device do not stop the others.  First error in device
+  // registration order is reported.
+  std::vector<Status> results(devices_.size());
+  ThreadPool& pool = Pool(workers);
+  for (size_t i = 0; i < devices_.size(); ++i) {
+    Device* device = &devices_[i];
+    Status* slot = &results[i];
+    pool.Submit([this, device, slot] { *slot = ResyncDeviceImpl(*device); });
+  }
+  pool.WaitIdle();
+  for (const Status& status : results) NERPA_RETURN_IF_ERROR(status);
+  return Status::Ok();
 }
 
 void Controller::OnOvsdbUpdate(const ovsdb::TableUpdates& updates) {
@@ -155,7 +195,10 @@ Status Controller::WriteWithRetry(const Device& device,
   Status status;
   for (int attempt = 0; attempt < attempts; ++attempt) {
     if (attempt > 0) {
-      ++stats_.retries;
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.retries;
+      }
       std::this_thread::sleep_for(std::chrono::nanoseconds(backoff));
       backoff = std::min<int64_t>(
           retry.max_backoff_nanos,
@@ -164,36 +207,90 @@ Status Controller::WriteWithRetry(const Device& device,
     }
     status = write();
     if (status.ok()) return status;
-    ++stats_.device_failures[device.name];
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.device_failures[device.name];
+    }
     // Only transient device errors (kInternal — what a flaky transport
     // raises) are worth re-attempting; validation and application errors
     // are deterministic and would just replay the failure.
     if (status.code() != StatusCode::kInternal) break;
   }
+  std::lock_guard<std::mutex> lock(stats_mu_);
   ++stats_.write_failures;
   return status;
 }
 
-Status Controller::WriteEntry(const std::string& device, p4::UpdateType type,
-                              const p4::TableEntry& entry) {
-  if (suppress_writes_) return Status::Ok();
+Status Controller::AppendEntryOps(std::vector<DeviceBatch>& batches,
+                                  const std::string& device,
+                                  p4::UpdateType type,
+                                  const p4::TableEntry& entry) {
   bool routed = !device.empty();
   bool any = false;
-  for (const Device& candidate : devices_) {
-    if (routed && candidate.name != device) continue;
+  for (DeviceBatch& batch : batches) {
+    if (routed && batch.device->name != device) continue;
     any = true;
-    NERPA_RETURN_IF_ERROR(WriteWithRetry(candidate, [&] {
-      return candidate.client->Write({p4::Update{type, entry}});
-    }));
-    if (type == p4::UpdateType::kInsert) {
-      ++stats_.entries_inserted;
-    } else if (type == p4::UpdateType::kDelete) {
-      ++stats_.entries_deleted;
-    }
+    DeviceOp op;
+    op.type = type;
+    op.entry = entry;
+    batch.ops.push_back(std::move(op));
   }
   if (routed && !any) {
     return NotFound("output row targets unknown device '" + device + "'");
   }
+  return Status::Ok();
+}
+
+Status Controller::ExecuteBatch(DeviceBatch& batch) {
+  // Worker-thread body: only this thread touches the batch's device, so
+  // the device sees exactly the serial write order.  Stops at the device's
+  // first error; other devices' batches are unaffected.
+  for (DeviceOp& op : batch.ops) {
+    Status status = WriteWithRetry(*batch.device, [&] {
+      if (op.multicast) {
+        return batch.device->client->SetMulticastGroup(op.group, op.members);
+      }
+      return batch.device->client->Write({p4::Update{op.type, op.entry}});
+    });
+    if (!status.ok()) return status;
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    if (op.multicast) {
+      ++stats_.multicast_updates;
+    } else if (op.type == p4::UpdateType::kInsert) {
+      ++stats_.entries_inserted;
+    } else if (op.type == p4::UpdateType::kDelete) {
+      ++stats_.entries_deleted;
+    }
+  }
+  return Status::Ok();
+}
+
+Status Controller::RunBatches(std::vector<DeviceBatch>& batches) {
+  size_t busy = 0;
+  for (const DeviceBatch& batch : batches) {
+    if (!batch.ops.empty()) ++busy;
+  }
+  if (busy == 0) return Status::Ok();
+  size_t workers = DispatchWorkers(busy);
+  if (workers <= 1) {
+    Status first;
+    for (DeviceBatch& batch : batches) {
+      if (batch.ops.empty()) continue;
+      Status status = ExecuteBatch(batch);
+      if (!status.ok() && first.ok()) first = status;
+    }
+    return first;
+  }
+  std::vector<Status> results(batches.size());
+  ThreadPool& pool = Pool(workers);
+  for (size_t i = 0; i < batches.size(); ++i) {
+    if (batches[i].ops.empty()) continue;
+    DeviceBatch* batch = &batches[i];
+    Status* slot = &results[i];
+    pool.Submit([this, batch, slot] { *slot = ExecuteBatch(*batch); });
+  }
+  pool.WaitIdle();
+  for (const Status& status : results) NERPA_RETURN_IF_ERROR(status);
   return Status::Ok();
 }
 
@@ -202,15 +299,24 @@ Status Controller::ApplyOutputDelta(const dlog::TxnDelta& delta) {
     // Startup resync: the engine itself accumulates the desired table
     // state, so entry conversion is deferred to ResyncDeviceImpl; only the
     // multicast membership bookkeeping must be kept current.
+    std::vector<DeviceBatch> none;
     for (const auto& [relation, rows] : delta.outputs) {
       if (relation == options_.multicast_relation) {
-        NERPA_RETURN_IF_ERROR(ApplyMulticastDelta(rows));
+        NERPA_RETURN_IF_ERROR(ApplyMulticastDelta(rows, none));
       }
     }
     return Status::Ok();
   }
-  // Deletes first so that modify (retract+assert of the same match key)
-  // never collides with the still-installed old entry.
+  // The whole delta is first staged as one ordered batch per device —
+  // deletes first so that modify (retract+assert of the same match key)
+  // never collides with the still-installed old entry, multicast
+  // reprograms as the delta is walked, inserts last — then the batches
+  // run, concurrently across devices.  Conversion and routing errors thus
+  // surface before anything is written.
+  std::vector<DeviceBatch> batches(devices_.size());
+  for (size_t i = 0; i < devices_.size(); ++i) {
+    batches[i].device = &devices_[i];
+  }
   struct PendingInsert {
     std::string device;
     p4::TableEntry entry;
@@ -218,7 +324,7 @@ Status Controller::ApplyOutputDelta(const dlog::TxnDelta& delta) {
   std::vector<PendingInsert> inserts;
   for (const auto& [relation, rows] : delta.outputs) {
     if (relation == options_.multicast_relation) {
-      NERPA_RETURN_IF_ERROR(ApplyMulticastDelta(rows));
+      NERPA_RETURN_IF_ERROR(ApplyMulticastDelta(rows, batches));
       continue;
     }
     const TableBinding* binding = bindings_.FindTable(relation);
@@ -231,9 +337,9 @@ Status Controller::ApplyOutputDelta(const dlog::TxnDelta& delta) {
       NERPA_ASSIGN_OR_RETURN(auto converted,
                              DlogRowToEntry(*binding, *p4_program_, row));
       if (direction < 0) {
-        NERPA_RETURN_IF_ERROR(WriteEntry(converted.first,
-                                         p4::UpdateType::kDelete,
-                                         converted.second));
+        NERPA_RETURN_IF_ERROR(AppendEntryOps(batches, converted.first,
+                                             p4::UpdateType::kDelete,
+                                             converted.second));
       } else {
         inserts.push_back(PendingInsert{std::move(converted.first),
                                         std::move(converted.second)});
@@ -241,13 +347,15 @@ Status Controller::ApplyOutputDelta(const dlog::TxnDelta& delta) {
     }
   }
   for (const PendingInsert& pending : inserts) {
-    NERPA_RETURN_IF_ERROR(
-        WriteEntry(pending.device, p4::UpdateType::kInsert, pending.entry));
+    NERPA_RETURN_IF_ERROR(AppendEntryOps(batches, pending.device,
+                                         p4::UpdateType::kInsert,
+                                         pending.entry));
   }
-  return Status::Ok();
+  return RunBatches(batches);
 }
 
-Status Controller::ApplyMulticastDelta(const dlog::SetDelta& delta) {
+Status Controller::ApplyMulticastDelta(const dlog::SetDelta& delta,
+                                       std::vector<DeviceBatch>& batches) {
   bool with_device = bindings_.options.with_device_column;
   std::set<std::pair<std::string, uint32_t>> dirty;
   for (const auto& [row, direction] : delta) {
@@ -273,12 +381,15 @@ Status Controller::ApplyMulticastDelta(const dlog::SetDelta& delta) {
     const std::vector<uint64_t>& members = multicast_members_[key];
     bool routed = !device.empty();
     if (!suppress_writes_) {
-      for (const Device& candidate : devices_) {
-        if (routed && candidate.name != device) continue;
-        NERPA_RETURN_IF_ERROR(WriteWithRetry(candidate, [&] {
-          return candidate.client->SetMulticastGroup(group, members);
-        }));
-        ++stats_.multicast_updates;
+      // The final membership for this delta is snapshotted into the op;
+      // the write itself happens when the device's batch runs.
+      for (DeviceBatch& batch : batches) {
+        if (routed && batch.device->name != device) continue;
+        DeviceOp op;
+        op.multicast = true;
+        op.group = group;
+        op.members = members;
+        batch.ops.push_back(std::move(op));
       }
     }
     if (members.empty()) multicast_members_.erase(key);
@@ -287,7 +398,13 @@ Status Controller::ApplyMulticastDelta(const dlog::SetDelta& delta) {
 }
 
 Status Controller::ResyncDeviceImpl(Device& device) {
-  ++stats_.resyncs;
+  // May run on a pool worker (parallel startup resync), so every stats
+  // update goes through the mutex; engine/bindings access is read-only.
+  auto bump = [this](uint64_t& counter) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++counter;
+  };
+  bump(stats_.resyncs);
   // Phase 1: desired entries for this device, derived from the output
   // relations (the engine is the single source of truth — whatever the
   // management plane implies, post-restart or live, is in there).
@@ -315,7 +432,7 @@ Status Controller::ResyncDeviceImpl(Device& device) {
   // inserts last.
   std::vector<p4::TableEntry> to_delete, to_insert, to_modify;
   for (const TableBinding& binding : bindings_.tables) {
-    ++stats_.resync_reads;
+    bump(stats_.resync_reads);
     NERPA_ASSIGN_OR_RETURN(std::vector<p4::TableEntry> actual,
                            device.client->ReadTable(binding.p4_table));
     const p4::Table* schema = p4_program_->FindTable(binding.p4_table);
@@ -345,15 +462,15 @@ Status Controller::ResyncDeviceImpl(Device& device) {
   };
   for (const p4::TableEntry& entry : to_delete) {
     NERPA_RETURN_IF_ERROR(apply(p4::UpdateType::kDelete, entry));
-    ++stats_.resync_deleted;
+    bump(stats_.resync_deleted);
   }
   for (const p4::TableEntry& entry : to_modify) {
     NERPA_RETURN_IF_ERROR(apply(p4::UpdateType::kModify, entry));
-    ++stats_.resync_modified;
+    bump(stats_.resync_modified);
   }
   for (const p4::TableEntry& entry : to_insert) {
     NERPA_RETURN_IF_ERROR(apply(p4::UpdateType::kInsert, entry));
-    ++stats_.resync_inserted;
+    bump(stats_.resync_inserted);
   }
   // Phase 3: multicast groups, same discipline.
   std::map<uint32_t, std::vector<uint64_t>> want_groups;
@@ -362,7 +479,7 @@ Status Controller::ResyncDeviceImpl(Device& device) {
     if (!dev.empty() && dev != device.name) continue;
     want_groups[group] = members;  // members kept sorted by ApplyMulticastDelta
   }
-  ++stats_.resync_reads;
+  bump(stats_.resync_reads);
   NERPA_ASSIGN_OR_RETURN(auto group_list, device.client->ReadMulticastGroups());
   std::map<uint32_t, std::vector<uint64_t>> have_groups;
   for (auto& [group, ports] : group_list) {
@@ -377,16 +494,16 @@ Status Controller::ResyncDeviceImpl(Device& device) {
   for (const auto& [group, ports] : have_groups) {
     if (want_groups.count(group) != 0) continue;
     NERPA_RETURN_IF_ERROR(set_group(group, {}));
-    ++stats_.resync_deleted;
+    bump(stats_.resync_deleted);
   }
   for (const auto& [group, members] : want_groups) {
     auto it = have_groups.find(group);
     if (it == have_groups.end()) {
       NERPA_RETURN_IF_ERROR(set_group(group, members));
-      ++stats_.resync_inserted;
+      bump(stats_.resync_inserted);
     } else if (it->second != members) {
       NERPA_RETURN_IF_ERROR(set_group(group, members));
-      ++stats_.resync_modified;
+      bump(stats_.resync_modified);
     }
   }
   return Status::Ok();

@@ -18,10 +18,12 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "dlog/engine.h"
 #include "nerpa/bindings.h"
 #include "ovsdb/database.h"
@@ -61,6 +63,16 @@ class Controller {
     /// ordering stays monotone across controller restarts (persisted by
     /// ha::DurableStore::Checkpoint).
     int64_t initial_digest_seq = 0;
+
+    /// Worker threads for data-plane dispatch.  Writes to distinct devices
+    /// are independent, so each output delta is split into one ordered
+    /// batch per device and the batches run concurrently on a pool —
+    /// per-device write order is exactly the serial order, and a slow or
+    /// retrying device no longer stalls the others.  0 = auto (one worker
+    /// per registered device, capped at hardware concurrency); 1 = fully
+    /// serial dispatch.  Requires each device to have its own
+    /// RuntimeClient/Switch (the repo-wide convention).
+    int write_parallelism = 0;
 
     RetryPolicy retry;
   };
@@ -147,17 +159,50 @@ class Controller {
     p4::RuntimeClient* client;
   };
 
+  /// One ordered unit of data-plane work for a single device: a table
+  /// write, or (when `multicast` is set) a multicast group reprogram.
+  struct DeviceOp {
+    p4::UpdateType type = p4::UpdateType::kInsert;
+    p4::TableEntry entry;
+    bool multicast = false;
+    uint32_t group = 0;
+    std::vector<uint64_t> members;
+  };
+  /// A delta's writes for one device, in serial-equivalent order.
+  struct DeviceBatch {
+    Device* device = nullptr;
+    std::vector<DeviceOp> ops;
+  };
+
   void OnOvsdbUpdate(const ovsdb::TableUpdates& updates);
   Status ProcessOvsdbUpdates(const ovsdb::TableUpdates& updates);
   Status ApplyOutputDelta(const dlog::TxnDelta& delta);
-  Status ApplyMulticastDelta(const dlog::SetDelta& delta);
-  Status WriteEntry(const std::string& device, p4::UpdateType type,
-                    const p4::TableEntry& entry);
+  /// Updates multicast membership bookkeeping and appends the resulting
+  /// group reprograms to the per-device batches.
+  Status ApplyMulticastDelta(const dlog::SetDelta& delta,
+                             std::vector<DeviceBatch>& batches);
+  /// Appends a table write to the batches of every targeted device.
+  Status AppendEntryOps(std::vector<DeviceBatch>& batches,
+                        const std::string& device, p4::UpdateType type,
+                        const p4::TableEntry& entry);
+  /// Runs each non-empty batch (per-device order preserved; distinct
+  /// devices concurrent when write_parallelism allows).  Every batch runs
+  /// to its own first error; returns the first error in device
+  /// registration order.
+  Status RunBatches(std::vector<DeviceBatch>& batches);
+  /// Executes one device's ops in order (worker-thread body).
+  Status ExecuteBatch(DeviceBatch& batch);
   /// One write attempt loop: runs `write` against `device` under the
-  /// retry policy, maintaining retry/failure counters.
+  /// retry policy, maintaining retry/failure counters (thread-safe).
   Status WriteWithRetry(const Device& device,
                         const std::function<Status()>& write);
   Status ResyncDeviceImpl(Device& device);
+  /// Reconciles every registered device, concurrently when allowed.
+  Status ResyncAllDevices();
+  /// Worker count for `jobs` parallel device tasks under Options.
+  size_t DispatchWorkers(size_t jobs) const;
+  /// The dispatch pool, (re)sized to at least `want` workers.
+  ThreadPool& Pool(size_t want);
 
   ovsdb::Database* db_;
   std::shared_ptr<const dlog::Program> program_;
@@ -176,6 +221,8 @@ class Controller {
   // (device, group) -> member ports, for multicast reprogramming.
   std::map<std::pair<std::string, uint32_t>, std::vector<uint64_t>>
       multicast_members_;
+  std::unique_ptr<ThreadPool> pool_;  // lazily sized to the device count
+  std::mutex stats_mu_;  // guards stats_ during concurrent dispatch
   Stats stats_;
   Status last_error_;
 };
