@@ -39,6 +39,14 @@ echo "=== test build-ci-tsan (concurrency suites) ==="
 ctest --test-dir build-ci-tsan --output-on-failure -j "$JOBS" \
   -R 'test_controller|test_ha|test_ha_restart|test_common|test_ovsdb_rpc'
 
+# Chaos soak: the pinned seeds in tests/test_chaos.cc each drive 50+
+# faults across all three planes (device write failures, transport drops,
+# torn/corrupted durability files) and must converge byte-identically.
+# Run explicitly under the ASan/UBSan build so any latent lifetime bug in
+# the recovery paths fails the job, not just a divergence.
+echo "=== chaos soak (ASan/UBSan, pinned seeds) ==="
+./build-ci-asan/tests/test_chaos --gtest_filter='ChaosSoak.*'
+
 # Bench smoke: the perf claims in README/EXPERIMENTS come from Release
 # binaries, so the smoke must prove the Release build runs and emits the
 # canonical JSON — not that the numbers hit their targets (CI machines vary).

@@ -1,0 +1,108 @@
+#include "chaos/chaos.h"
+
+#include <utility>
+
+namespace nerpa::chaos {
+
+namespace {
+
+/// Flips one byte of `text` (position and mask drawn from the schedule).
+void CorruptOneByte(ChaosSchedule& schedule, std::string& text) {
+  if (text.empty()) return;
+  size_t index = static_cast<size_t>(schedule.Pick(text.size()));
+  // 1 + Pick(255) is never 0, so the byte always changes.
+  text[index] = static_cast<char>(
+      static_cast<unsigned char>(text[index]) ^
+      static_cast<unsigned char>(1 + schedule.Pick(255)));
+}
+
+}  // namespace
+
+/// Wraps an inner appender; may tear one append (persist a prefix, then
+/// refuse all further writes, as a crash mid-append would) or fail
+/// transiently without persisting anything.
+class ChaosAppender : public ha::Appender {
+ public:
+  ChaosAppender(ChaosIo* io, std::unique_ptr<ha::Appender> inner)
+      : io_(io), inner_(std::move(inner)) {}
+
+  Status Append(std::string_view data) override {
+    if (dead_) {
+      return Internal("chaos: append stream died earlier (torn append)");
+    }
+    if (io_->schedule_->Flip(io_->policy_.torn_append_probability)) {
+      ++io_->stats_.torn_appends;
+      dead_ = true;
+      size_t keep = static_cast<size_t>(io_->schedule_->Pick(data.size()));
+      if (keep > 0) {
+        // Best effort, as a crash would leave it; the torn prefix is the
+        // fault being injected, so its own status is irrelevant.
+        (void)inner_->Append(data.substr(0, keep));
+      }
+      return Internal("chaos: torn append");
+    }
+    if (io_->schedule_->Flip(io_->policy_.append_fail_probability)) {
+      ++io_->stats_.failed_appends;
+      return Internal("chaos: append failed");
+    }
+    return inner_->Append(data);
+  }
+
+ private:
+  ChaosIo* io_;
+  std::unique_ptr<ha::Appender> inner_;
+  bool dead_ = false;
+};
+
+ChaosIo::ChaosIo(ChaosSchedule* schedule, const ChaosIoPolicy& policy,
+                 ha::Io* inner)
+    : schedule_(schedule),
+      policy_(policy),
+      inner_(inner != nullptr ? inner : &ha::DefaultIo()) {}
+
+Result<std::string> ChaosIo::ReadFile(const std::string& path) {
+  NERPA_ASSIGN_OR_RETURN(std::string contents, inner_->ReadFile(path));
+  if (!contents.empty() && schedule_->Flip(policy_.read_corrupt_probability)) {
+    ++stats_.corrupted_reads;
+    CorruptOneByte(*schedule_, contents);
+  }
+  return contents;
+}
+
+Status ChaosIo::WriteFileAtomic(const std::string& path,
+                                std::string_view contents) {
+  if (!contents.empty() &&
+      schedule_->Flip(policy_.write_corrupt_probability)) {
+    ++stats_.corrupted_writes;
+    std::string corrupted(contents);
+    CorruptOneByte(*schedule_, corrupted);
+    return inner_->WriteFileAtomic(path, corrupted);
+  }
+  return inner_->WriteFileAtomic(path, contents);
+}
+
+Result<std::unique_ptr<ha::Appender>> ChaosIo::OpenAppend(
+    const std::string& path) {
+  NERPA_ASSIGN_OR_RETURN(std::unique_ptr<ha::Appender> inner,
+                         inner_->OpenAppend(path));
+  return std::unique_ptr<ha::Appender>(
+      new ChaosAppender(this, std::move(inner)));
+}
+
+Status ChaosIo::Truncate(const std::string& path) {
+  return inner_->Truncate(path);
+}
+
+Status ChaosIo::TruncateTo(const std::string& path, uint64_t size) {
+  return inner_->TruncateTo(path, size);
+}
+
+Status ChaosIo::Rename(const std::string& from, const std::string& to) {
+  return inner_->Rename(from, to);
+}
+
+bool ChaosIo::Exists(const std::string& path) { return inner_->Exists(path); }
+
+Status ChaosIo::Remove(const std::string& path) { return inner_->Remove(path); }
+
+}  // namespace nerpa::chaos

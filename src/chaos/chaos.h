@@ -1,0 +1,115 @@
+// Deterministic chaos harness: seeded fault schedules spanning the three
+// seams the stack's robustness story rests on.
+//
+//   * Data plane   — device write failures and stalls, injected through
+//                    ha::FaultyRuntimeClient (quarantined by the
+//                    controller's per-device circuit breakers).
+//   * Management   — transport drops under the OVSDB JSON-RPC session,
+//     plane          injected through OvsdbClient::InjectTransportFault()
+//                    (healed by monitor_since session resumption).
+//   * Durability   — torn appends, lost flushes, and flipped bytes in the
+//                    snapshot/WAL files, injected through ChaosIo
+//                    (tolerated by CRC framing + snapshot fallback).
+//
+// Everything is driven by a ChaosSchedule: one seeded PRNG whose decision
+// stream is a pure function of the seed, so any failing soak run replays
+// exactly from its seed.  The harness never reaches into the recovery
+// logic — every fault enters through a production interface.
+#ifndef NERPA_CHAOS_CHAOS_H_
+#define NERPA_CHAOS_CHAOS_H_
+
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "ha/io.h"
+
+namespace nerpa::chaos {
+
+/// The seeded decision stream.  All probability draws for one soak run
+/// flow through a single schedule so the run is reproducible from the
+/// seed alone.
+class ChaosSchedule {
+ public:
+  explicit ChaosSchedule(uint64_t seed) : rng_(seed), seed_(seed) {}
+
+  uint64_t seed() const { return seed_; }
+
+  /// True with probability `p` (deterministic given the draw sequence).
+  bool Flip(double p) {
+    if (p <= 0) return false;
+    return std::uniform_real_distribution<double>(0.0, 1.0)(rng_) < p;
+  }
+
+  /// Uniform integer in [0, bound) — e.g. which byte of a file to flip.
+  uint64_t Pick(uint64_t bound) {
+    if (bound == 0) return 0;
+    return std::uniform_int_distribution<uint64_t>(0, bound - 1)(rng_);
+  }
+
+  /// Derives a decorrelated seed for a subordinate fault source (e.g. a
+  /// per-device FaultyRuntimeClient).
+  uint64_t Fork() { return rng_(); }
+
+ private:
+  std::mt19937_64 rng_;
+  uint64_t seed_;
+};
+
+/// Fault probabilities for the filesystem seam.
+struct ChaosIoPolicy {
+  double read_corrupt_probability = 0.0;   // flip one byte of a ReadFile
+  double write_corrupt_probability = 0.0;  // flip one byte being written
+  double torn_append_probability = 0.0;    // persist only a prefix + die
+  double append_fail_probability = 0.0;    // appender reports an error
+};
+
+/// An ha::Io decorator that injects policy-driven corruption while
+/// delegating real persistence to an inner Io.  Faults draw from the
+/// shared ChaosSchedule, which must outlive the ChaosIo; the durability
+/// layer under test sees exactly the disk states its corruption policy
+/// claims to survive.
+class ChaosIo : public ha::Io {
+ public:
+  /// Neither pointer is owned.  `inner` nullptr = ha::DefaultIo().
+  ChaosIo(ChaosSchedule* schedule, const ChaosIoPolicy& policy,
+          ha::Io* inner = nullptr);
+
+  Result<std::string> ReadFile(const std::string& path) override;
+  Status WriteFileAtomic(const std::string& path,
+                         std::string_view contents) override;
+  Result<std::unique_ptr<ha::Appender>> OpenAppend(
+      const std::string& path) override;
+  Status Truncate(const std::string& path) override;
+  Status TruncateTo(const std::string& path, uint64_t size) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  bool Exists(const std::string& path) override;
+  Status Remove(const std::string& path) override;
+
+  struct Stats {
+    uint64_t corrupted_reads = 0;
+    uint64_t corrupted_writes = 0;
+    uint64_t torn_appends = 0;
+    uint64_t failed_appends = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  uint64_t injected_faults() const {
+    return stats_.corrupted_reads + stats_.corrupted_writes +
+           stats_.torn_appends + stats_.failed_appends;
+  }
+
+ private:
+  friend class ChaosAppender;
+
+  ChaosSchedule* schedule_;
+  ChaosIoPolicy policy_;
+  ha::Io* inner_;
+  Stats stats_;
+};
+
+}  // namespace nerpa::chaos
+
+#endif  // NERPA_CHAOS_CHAOS_H_

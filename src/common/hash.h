@@ -1,7 +1,8 @@
-// Hashing helpers: FNV-1a and boost-style hash combination.
+// Hashing helpers: FNV-1a, CRC32, and boost-style hash combination.
 #ifndef NERPA_COMMON_HASH_H_
 #define NERPA_COMMON_HASH_H_
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -22,6 +23,38 @@ inline uint64_t Fnv1a(const void* data, size_t size,
 }
 
 inline uint64_t Fnv1a(std::string_view s) { return Fnv1a(s.data(), s.size()); }
+
+namespace hash_internal {
+inline const std::array<uint32_t, 256>& Crc32Table() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+}  // namespace hash_internal
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) over raw bytes.  Used to
+/// frame durable records (src/ha WAL lines, snapshot trailers) so that a
+/// bit flip — even one producing valid JSON — is detected on recovery.
+inline uint32_t Crc32(const void* data, size_t size) {
+  const auto& table = hash_internal::Crc32Table();
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+inline uint32_t Crc32(std::string_view s) { return Crc32(s.data(), s.size()); }
 
 /// Mixes `value`'s hash into `seed` (boost::hash_combine recipe, 64-bit).
 template <typename T>

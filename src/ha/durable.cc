@@ -2,9 +2,8 @@
 
 #include <algorithm>
 #include <filesystem>
-#include <fstream>
-#include <sstream>
 
+#include "common/hash.h"
 #include "common/log.h"
 #include "common/strings.h"
 
@@ -13,19 +12,12 @@ namespace nerpa::ha {
 namespace {
 
 constexpr const char* kSnapshotFormat = "nerpa-ha-snapshot-v1";
+constexpr const char* kTrailerPrefix = "#crc32 ";
 
 std::string SnapshotPath(const std::string& dir) {
   return dir + "/snapshot.json";
 }
 std::string WalPath(const std::string& dir) { return dir + "/wal.jsonl"; }
-
-Result<std::string> ReadFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return NotFound("cannot read '" + path + "'");
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return std::move(buffer).str();
-}
 
 }  // namespace
 
@@ -58,6 +50,50 @@ Json DurableStore::SnapshotJson(const ovsdb::Database& db,
   doc["digest_seq"] = Json(digest_seq);
   doc["tables"] = Json(std::move(tables));
   return Json(std::move(doc));
+}
+
+std::string DurableStore::EncodeSnapshot(const Json& snapshot) {
+  std::string json = snapshot.Dump();
+  std::string out = json;
+  out += "\n";
+  out += kTrailerPrefix;
+  out += StrFormat("%08x", static_cast<unsigned>(Crc32(json)));
+  out += "\n";
+  return out;
+}
+
+Result<Json> DurableStore::DecodeSnapshot(const std::string& text) {
+  std::string_view body = text;
+  size_t newline = body.find('\n');
+  if (newline != std::string_view::npos) {
+    std::string_view rest = Trim(body.substr(newline + 1));
+    if (StartsWith(rest, kTrailerPrefix)) {
+      std::string_view hex = rest.substr(std::string_view(kTrailerPrefix).size());
+      std::string_view json = body.substr(0, newline);
+      unsigned stored = 0;
+      bool hex_ok = hex.size() == 8;
+      for (char c : hex) {
+        if (c >= '0' && c <= '9') {
+          stored = (stored << 4) | static_cast<unsigned>(c - '0');
+        } else if (c >= 'a' && c <= 'f') {
+          stored = (stored << 4) | (static_cast<unsigned>(c - 'a') + 10);
+        } else {
+          hex_ok = false;
+          break;
+        }
+      }
+      uint32_t computed = Crc32(json);
+      if (!hex_ok || stored != computed) {
+        return Internal(StrFormat(
+            "snapshot crc mismatch (stored %.*s, computed %08x)",
+            static_cast<int>(hex.size()), hex.data(),
+            static_cast<unsigned>(computed)));
+      }
+      return Json::Parse(std::string(json));
+    }
+  }
+  // Legacy snapshot without a trailer: accepted unverified.
+  return Json::Parse(text);
 }
 
 Status DurableStore::ApplySnapshot(ovsdb::Database& db, const Json& snapshot) {
@@ -104,8 +140,9 @@ Status DurableStore::ApplySnapshot(ovsdb::Database& db, const Json& snapshot) {
 }
 
 DurableStore::DurableStore(std::unique_ptr<ovsdb::Database> db,
-                           WriteAheadLog wal, std::string dir)
-    : db_(std::move(db)), wal_(std::move(wal)), dir_(std::move(dir)) {}
+                           WriteAheadLog wal, std::string dir, Io* io)
+    : db_(std::move(db)), wal_(std::move(wal)), dir_(std::move(dir)),
+      io_(io) {}
 
 DurableStore::~DurableStore() {
   if (hook_id_ != 0 && db_ != nullptr) db_->RemoveCommitHook(hook_id_);
@@ -119,8 +156,28 @@ std::unique_ptr<ovsdb::Database> DurableStore::Release() && {
   return std::move(db_);
 }
 
+namespace {
+
+/// Reads, checksum-verifies, parses, and applies one snapshot file.
+/// Returns the recovered digest_seq.
+Result<int64_t> RestoreSnapshotFile(ovsdb::Database& db, Io& io,
+                                    const std::string& path) {
+  NERPA_ASSIGN_OR_RETURN(std::string text, io.ReadFile(path));
+  NERPA_ASSIGN_OR_RETURN(Json snapshot, DurableStore::DecodeSnapshot(text));
+  NERPA_RETURN_IF_ERROR(DurableStore::ApplySnapshot(db, snapshot));
+  int64_t digest_seq = 0;
+  if (const Json* seq = snapshot.Find("digest_seq");
+      seq != nullptr && seq->is_integer()) {
+    digest_seq = seq->as_integer();
+  }
+  return digest_seq;
+}
+
+}  // namespace
+
 Result<std::unique_ptr<DurableStore>> DurableStore::Open(
-    ovsdb::DatabaseSchema schema, const std::string& dir) {
+    ovsdb::DatabaseSchema schema, const std::string& dir, Io* io) {
+  if (io == nullptr) io = &DefaultIo();
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
   if (ec) {
@@ -129,35 +186,75 @@ Result<std::unique_ptr<DurableStore>> DurableStore::Open(
   }
   auto db = std::make_unique<ovsdb::Database>(std::move(schema));
 
+  const std::string snap = SnapshotPath(dir);
+  const std::string snap1 = snap + ".1";
+  const std::string wal1 = WalPath(dir) + ".1";
+
   bool recovered = false;
+  bool fell_back = false;
   int64_t digest_seq = 0;
   uint64_t snapshot_rows = 0;
-  if (std::filesystem::exists(SnapshotPath(dir))) {
-    NERPA_ASSIGN_OR_RETURN(std::string text, ReadFile(SnapshotPath(dir)));
-    NERPA_ASSIGN_OR_RETURN(Json snapshot, Json::Parse(text));
-    NERPA_RETURN_IF_ERROR(ApplySnapshot(*db, snapshot));
-    if (const Json* seq = snapshot.Find("digest_seq");
-        seq != nullptr && seq->is_integer()) {
-      digest_seq = seq->as_integer();
+  uint64_t replayed = 0;
+  uint64_t truncated = 0;
+
+  auto apply_record = [&db](const Json& record) {
+    return db->Transact(record).status();
+  };
+
+  if (io->Exists(snap)) {
+    Result<int64_t> seq = RestoreSnapshotFile(*db, *io, snap);
+    if (seq.ok()) {
+      digest_seq = seq.value();
+      recovered = true;
+    } else {
+      // Corrupt current snapshot: fall back to the previous snapshot plus
+      // the longer WAL replay (wal.jsonl.1 first, then wal.jsonl).
+      LOG_WARNING << "ha: snapshot '" << snap << "' unusable ("
+               << seq.status().ToString()
+               << "); falling back to previous snapshot";
+      fell_back = true;
+      db = std::make_unique<ovsdb::Database>(db->schema());
     }
+  }
+  if (fell_back || (!io->Exists(snap) && io->Exists(snap1))) {
+    // Either the current snapshot was corrupt, or a crash between rotation
+    // and publication left no current snapshot at all.  Both recover from
+    // the previous generation.
+    fell_back = true;
+    if (io->Exists(snap1)) {
+      Result<int64_t> seq = RestoreSnapshotFile(*db, *io, snap1);
+      if (!seq.ok()) {
+        return Internal("both snapshot generations unusable under '" + dir +
+                        "': " + seq.status().ToString());
+      }
+      digest_seq = seq.value();
+      recovered = true;
+    }
+    if (io->Exists(wal1)) {
+      NERPA_RETURN_IF_ERROR(WriteAheadLog::ReplayFile(
+          wal1, *io, apply_record, &replayed, &truncated));
+      recovered = true;
+    }
+  }
+  if (recovered) {
     for (const auto& [table, unused] : db->schema().tables) {
       snapshot_rows += db->RowCount(table);
     }
-    recovered = true;
   }
 
-  NERPA_ASSIGN_OR_RETURN(WriteAheadLog wal, WriteAheadLog::Open(WalPath(dir)));
-  NERPA_RETURN_IF_ERROR(wal.Replay([&](const Json& record) {
-    return db->Transact(record).status();
-  }));
+  NERPA_ASSIGN_OR_RETURN(WriteAheadLog wal,
+                         WriteAheadLog::Open(WalPath(dir), io));
+  NERPA_RETURN_IF_ERROR(wal.Replay(apply_record));
   if (wal.records_replayed() > 0) recovered = true;
 
   auto store = std::unique_ptr<DurableStore>(
-      new DurableStore(std::move(db), std::move(wal), dir));
+      new DurableStore(std::move(db), std::move(wal), dir, io));
   store->recovered_ = recovered;
   store->recovered_digest_seq_ = digest_seq;
   store->recovered_snapshot_rows_ = snapshot_rows;
-  store->recovered_wal_records_ = store->wal_.records_replayed();
+  store->recovered_wal_records_ = replayed + store->wal_.records_replayed();
+  store->recovered_truncated_tail_ = truncated;
+  store->snapshot_fallbacks_ = fell_back ? 1 : 0;
   // Attach the WAL hook only now: recovery replay must not re-append the
   // records it is reading.
   store->hook_id_ = store->db_->AddCommitHook([raw = store.get()](
@@ -173,21 +270,16 @@ Result<std::unique_ptr<DurableStore>> DurableStore::Open(
 
 Status DurableStore::Checkpoint(int64_t digest_seq) {
   Json snapshot = SnapshotJson(*db_, digest_seq);
-  std::string tmp = SnapshotPath(dir_) + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
-    if (!out) return Internal("cannot write snapshot tmp '" + tmp + "'");
-    out << snapshot.Dump() << "\n";
-    out.flush();
-    if (!out) return Internal("short write to snapshot tmp '" + tmp + "'");
+  const std::string snap = SnapshotPath(dir_);
+  // Rotate the previous generation aside first.  Invariant after this
+  // checkpoint: snapshot.json.1 + wal.jsonl.1 reproduce exactly the state
+  // captured in the new snapshot.json, so a corrupt current snapshot can
+  // always be recovered from the previous one plus the longer replay.
+  if (io_->Exists(snap)) {
+    NERPA_RETURN_IF_ERROR(io_->Rename(snap, snap + ".1"));
   }
-  std::error_code ec;
-  std::filesystem::rename(tmp, SnapshotPath(dir_), ec);
-  if (ec) {
-    return Internal("cannot publish snapshot: " + ec.message());
-  }
-  // The snapshot now subsumes every logged transaction: compact.
-  NERPA_RETURN_IF_ERROR(wal_.Reset());
+  NERPA_RETURN_IF_ERROR(wal_.Rotate());
+  NERPA_RETURN_IF_ERROR(io_->WriteFileAtomic(snap, EncodeSnapshot(snapshot)));
   ++checkpoints_;
   snapshot_rows_ = 0;
   for (const auto& [table, unused] : db_->schema().tables) {
@@ -203,19 +295,22 @@ DurableStore::Stats DurableStore::stats() const {
   stats.snapshot_rows = snapshot_rows_;
   stats.recovered_snapshot_rows = recovered_snapshot_rows_;
   stats.recovered_wal_records = recovered_wal_records_;
-  stats.truncated_tail_records = wal_.truncated_tail_records();
+  stats.truncated_tail_records =
+      recovered_truncated_tail_ + wal_.truncated_tail_records();
   stats.wal_records_appended = wal_.records_appended();
+  stats.snapshot_fallbacks = snapshot_fallbacks_;
   return stats;
 }
 
 Result<std::unique_ptr<ovsdb::Database>> RecoverDatabase(
-    ovsdb::DatabaseSchema schema, const std::string& dir) {
-  if (!std::filesystem::exists(SnapshotPath(dir)) &&
-      !std::filesystem::exists(WalPath(dir))) {
+    ovsdb::DatabaseSchema schema, const std::string& dir, Io* io) {
+  Io& fs = io != nullptr ? *io : DefaultIo();
+  if (!fs.Exists(SnapshotPath(dir)) && !fs.Exists(WalPath(dir)) &&
+      !fs.Exists(SnapshotPath(dir) + ".1")) {
     return NotFound("no HA state under '" + dir + "'");
   }
   NERPA_ASSIGN_OR_RETURN(std::unique_ptr<DurableStore> store,
-                         DurableStore::Open(std::move(schema), dir));
+                         DurableStore::Open(std::move(schema), dir, &fs));
   // Detach the store scaffolding; keep only the rebuilt database.
   return std::move(*store).Release();
 }

@@ -4,17 +4,29 @@
 // control planes" open (§5); this is the single-node half of that story.
 // A DurableStore owns an ovsdb::Database plus an on-disk state directory:
 //
-//   <dir>/snapshot.json   full database image + controller checkpoint
-//                         (digest seq), written atomically (tmp + rename)
-//   <dir>/wal.jsonl       every transaction committed since the snapshot,
-//                         appended and flushed before the commit returns
-//                         to the caller (via Database::AddCommitHook)
+//   <dir>/snapshot.json    full database image + controller checkpoint
+//                          (digest seq), written atomically (tmp + rename)
+//                          with a CRC32 trailer line
+//   <dir>/wal.jsonl        every transaction committed since the snapshot,
+//                          CRC32-framed, appended and flushed before the
+//                          commit returns (via Database::AddCommitHook)
+//   <dir>/snapshot.json.1  the previous snapshot (rotated at checkpoint)
+//   <dir>/wal.jsonl.1      the WAL segment the current snapshot subsumed
 //
 // Open() is also Recover(): if the directory holds state, the database is
 // rebuilt by applying the snapshot as one pinned-uuid transaction and then
 // replaying the WAL record by record; otherwise a fresh database is
-// created.  Checkpoint() writes a new snapshot and truncates the WAL (log
+// created.  Checkpoint() rotates the previous snapshot and WAL segment
+// aside, writes a new checksummed snapshot, and starts a fresh WAL (log
 // compaction), bounding both recovery time and disk growth.
+//
+// Corruption policy (every byte read back is checksum-verified):
+//   - WAL torn tail: truncated silently (interrupted append, see wal.h).
+//   - WAL interior corruption: recovery fails fast with the record index.
+//   - Corrupt current snapshot: recovery falls back to the previous
+//     snapshot plus the longer replay wal.jsonl.1 + wal.jsonl, which
+//     reconstructs the same state (invariant: snapshot.json.1 + wal.jsonl.1
+//     == snapshot.json).  Counted in Stats::snapshot_fallbacks.
 //
 // The control plane needs no separate durability: it is a pure function of
 // the management plane plus the digest stream, and is re-derived on
@@ -31,6 +43,7 @@
 #include <string>
 
 #include "common/status.h"
+#include "ha/io.h"
 #include "ha/wal.h"
 #include "ovsdb/database.h"
 
@@ -40,8 +53,11 @@ class DurableStore {
  public:
   /// Opens (recovering if state exists, creating otherwise) a durable
   /// database for `schema` rooted at directory `dir` (created if missing).
+  /// All disk access goes through `io` (defaults to the real filesystem);
+  /// the chaos harness injects a faulty Io here.
   static Result<std::unique_ptr<DurableStore>> Open(
-      ovsdb::DatabaseSchema schema, const std::string& dir);
+      ovsdb::DatabaseSchema schema, const std::string& dir,
+      Io* io = nullptr);
 
   ~DurableStore();
   DurableStore(const DurableStore&) = delete;
@@ -68,6 +84,7 @@ class DurableStore {
     uint64_t recovered_wal_records = 0;
     uint64_t truncated_tail_records = 0; // dropped interrupted appends
     uint64_t wal_records_appended = 0;   // since last checkpoint
+    uint64_t snapshot_fallbacks = 0;     // recoveries off snapshot.json.1
   };
   Stats stats() const;
 
@@ -75,20 +92,29 @@ class DurableStore {
   /// tests and benches that need to measure snapshot size directly).
   static Json SnapshotJson(const ovsdb::Database& db, int64_t digest_seq);
 
+  /// Renders a snapshot document into its on-disk form: the JSON text
+  /// followed by a CRC32 trailer line.
+  static std::string EncodeSnapshot(const Json& snapshot);
+
+  /// Verifies the trailer checksum and parses the document.  Legacy files
+  /// without a trailer are accepted unverified.
+  static Result<Json> DecodeSnapshot(const std::string& text);
+
+  /// Applies a parsed snapshot document to an empty database.
+  static Status ApplySnapshot(ovsdb::Database& db, const Json& snapshot);
+
   /// Detaches and returns the database, ending durability (no further WAL
   /// appends).  The store is unusable afterwards.
   std::unique_ptr<ovsdb::Database> Release() &&;
 
  private:
   DurableStore(std::unique_ptr<ovsdb::Database> db, WriteAheadLog wal,
-               std::string dir);
-
-  /// Applies a parsed snapshot document to an empty database.
-  static Status ApplySnapshot(ovsdb::Database& db, const Json& snapshot);
+               std::string dir, Io* io);
 
   std::unique_ptr<ovsdb::Database> db_;
   WriteAheadLog wal_;
   std::string dir_;
+  Io* io_ = nullptr;
   uint64_t hook_id_ = 0;
   bool recovered_ = false;
   int64_t recovered_digest_seq_ = 0;
@@ -96,12 +122,14 @@ class DurableStore {
   uint64_t snapshot_rows_ = 0;
   uint64_t recovered_snapshot_rows_ = 0;
   uint64_t recovered_wal_records_ = 0;
+  uint64_t recovered_truncated_tail_ = 0;
+  uint64_t snapshot_fallbacks_ = 0;
 };
 
 /// Convenience: recover just the database (no live store) from `dir`.
 /// NotFound when the directory holds no state.
 Result<std::unique_ptr<ovsdb::Database>> RecoverDatabase(
-    ovsdb::DatabaseSchema schema, const std::string& dir);
+    ovsdb::DatabaseSchema schema, const std::string& dir, Io* io = nullptr);
 
 }  // namespace nerpa::ha
 

@@ -15,6 +15,15 @@ Status FaultyRuntimeClient::MaybeFail(const char* what) {
   }
   std::uniform_real_distribution<double> coin(0.0, 1.0);
   if (coin(rng_) >= policy_.write_fail_probability) return Status::Ok();
+  if (policy_.stall_nanos > 0) {
+    // Stall mode: the device is slow, not broken — burn the budget, then
+    // let the write through.
+    ++stats_.injected_stalls;
+    int64_t deadline = MonotonicNanos() + policy_.stall_nanos;
+    while (MonotonicNanos() < deadline) {
+    }
+    return Status::Ok();
+  }
   ++stats_.injected_failures;
   return Internal(StrFormat("injected fault: %s failed (failure #%llu)", what,
                             static_cast<unsigned long long>(

@@ -22,8 +22,8 @@
 namespace nerpa::ha {
 
 struct FaultPolicy {
-  /// Probability in [0, 1] that a write call fails with kUnavailable-style
-  /// Internal error before anything applies.
+  /// Probability in [0, 1] that a write call faults before anything
+  /// applies.  What "fault" means depends on stall_nanos below.
   double write_fail_probability = 0;
   /// RNG seed; same seed → same fault sequence.
   uint64_t seed = 1;
@@ -33,6 +33,11 @@ struct FaultPolicy {
   /// Busy-delay applied to every forwarded write, in nanoseconds (models
   /// a slow device; keep small in tests).
   int64_t write_delay_nanos = 0;
+  /// Stall mode: when > 0, an injected fault busy-waits this long and then
+  /// *succeeds* instead of erroring — a slow device rather than a broken
+  /// one.  Lets breaker tests distinguish a timeout strike from an error
+  /// strike.
+  int64_t stall_nanos = 0;
 };
 
 class FaultyRuntimeClient : public p4::RuntimeClient {
@@ -47,9 +52,15 @@ class FaultyRuntimeClient : public p4::RuntimeClient {
   struct Stats {
     uint64_t write_calls = 0;      // faultable calls seen
     uint64_t injected_failures = 0;
+    uint64_t injected_stalls = 0;  // stall-mode faults (succeeded slowly)
     uint64_t delayed_calls = 0;
   };
   const Stats& fault_stats() const { return stats_; }
+
+  /// Replaces the policy mid-run (the RNG stream continues).  The chaos
+  /// harness uses this to flip a device dead / slow / healthy on schedule.
+  void set_policy(const FaultPolicy& policy) { policy_ = policy; }
+  const FaultPolicy& policy() const { return policy_; }
 
  private:
   /// Returns the injected error for this call, or Ok to forward it.

@@ -1,0 +1,104 @@
+#include "ha/io.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace nerpa::ha {
+
+namespace {
+
+class FileAppender : public Appender {
+ public:
+  explicit FileAppender(const std::string& path) : path_(path) {
+    out_.open(path, std::ios::app | std::ios::binary);
+  }
+
+  bool ok() const { return static_cast<bool>(out_); }
+
+  Status Append(std::string_view data) override {
+    out_.write(data.data(), static_cast<std::streamsize>(data.size()));
+    out_.flush();
+    if (!out_) return Internal("cannot append to '" + path_ + "'");
+    return Status::Ok();
+  }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+};
+
+}  // namespace
+
+Result<std::string> Io::ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return NotFound("cannot read '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return std::move(buffer).str();
+}
+
+Status Io::WriteFileAtomic(const std::string& path,
+                           std::string_view contents) {
+  std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
+    if (!out) return Internal("cannot write tmp '" + tmp + "'");
+    out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+    out.flush();
+    if (!out) return Internal("short write to tmp '" + tmp + "'");
+  }
+  return Rename(tmp, path);
+}
+
+Result<std::unique_ptr<Appender>> Io::OpenAppend(const std::string& path) {
+  auto appender = std::make_unique<FileAppender>(path);
+  if (!appender->ok()) return Internal("cannot open '" + path + "' to append");
+  return std::unique_ptr<Appender>(std::move(appender));
+}
+
+Status Io::Truncate(const std::string& path) {
+  std::ofstream out(path, std::ios::trunc | std::ios::binary);
+  if (!out) return Internal("cannot truncate '" + path + "'");
+  return Status::Ok();
+}
+
+Status Io::TruncateTo(const std::string& path, uint64_t size) {
+  std::error_code ec;
+  std::filesystem::resize_file(path, size, ec);
+  if (ec) {
+    return Internal("cannot truncate '" + path + "' to " +
+                    std::to_string(size) + " bytes: " + ec.message());
+  }
+  return Status::Ok();
+}
+
+Status Io::Rename(const std::string& from, const std::string& to) {
+  std::error_code ec;
+  std::filesystem::rename(from, to, ec);
+  if (ec) {
+    return Internal("cannot rename '" + from + "' to '" + to +
+                    "': " + ec.message());
+  }
+  return Status::Ok();
+}
+
+bool Io::Exists(const std::string& path) {
+  return std::filesystem::exists(path);
+}
+
+Status Io::Remove(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+  if (ec) {
+    return Internal("cannot remove '" + path + "': " + ec.message());
+  }
+  return Status::Ok();
+}
+
+Io& DefaultIo() {
+  static Io io;
+  return io;
+}
+
+}  // namespace nerpa::ha

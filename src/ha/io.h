@@ -1,0 +1,70 @@
+// Injectable filesystem layer for the durability subsystem.
+//
+// WriteAheadLog and DurableStore perform all disk access through an
+// ha::Io, so tests (notably the src/chaos harness) can interpose a
+// faulty implementation that tears appends, flips bytes in reads and
+// writes, or loses files — deterministically, under a seeded schedule —
+// without touching the real recovery logic.  Production code uses
+// DefaultIo(), a thin veneer over <fstream> / <filesystem>.
+//
+// The seam is deliberately coarse (whole-file reads, atomic whole-file
+// writes, append streams): it matches exactly the operations the
+// recovery policy reasons about, so every injected fault maps onto a
+// failure mode the policy claims to tolerate.
+#ifndef NERPA_HA_IO_H_
+#define NERPA_HA_IO_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace nerpa::ha {
+
+/// An open append stream.  Append() must flush to the OS before
+/// returning Ok: the WAL's durability contract is "flushed before the
+/// commit returns".
+class Appender {
+ public:
+  virtual ~Appender() = default;
+  virtual Status Append(std::string_view data) = 0;
+};
+
+class Io {
+ public:
+  virtual ~Io() = default;
+
+  /// Reads the whole file.  NotFound when it does not exist.
+  virtual Result<std::string> ReadFile(const std::string& path);
+
+  /// Writes `contents` to `path` atomically (tmp file + rename): readers
+  /// observe either the old file or the new one, never a prefix.
+  virtual Status WriteFileAtomic(const std::string& path,
+                                 std::string_view contents);
+
+  /// Opens `path` (creating if missing) for appending.
+  virtual Result<std::unique_ptr<Appender>> OpenAppend(
+      const std::string& path);
+
+  /// Truncates `path` to empty, creating it if missing.
+  virtual Status Truncate(const std::string& path);
+
+  /// Truncates `path` to its first `size` bytes (torn-tail repair).
+  virtual Status TruncateTo(const std::string& path, uint64_t size);
+
+  /// Renames `from` to `to`, replacing `to` if it exists.
+  virtual Status Rename(const std::string& from, const std::string& to);
+
+  virtual bool Exists(const std::string& path);
+
+  /// Removes `path`; Ok if it did not exist.
+  virtual Status Remove(const std::string& path);
+};
+
+/// The process-wide passthrough implementation.
+Io& DefaultIo();
+
+}  // namespace nerpa::ha
+
+#endif  // NERPA_HA_IO_H_

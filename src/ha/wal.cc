@@ -2,64 +2,174 @@
 
 #include <vector>
 
+#include "common/hash.h"
 #include "common/strings.h"
 
 namespace nerpa::ha {
 
-Result<WriteAheadLog> WriteAheadLog::Open(const std::string& path) {
-  WriteAheadLog wal(path);
-  wal.out_.open(path, std::ios::app);
-  if (!wal.out_) return Internal("cannot open WAL '" + path + "'");
+namespace {
+
+constexpr size_t kCrcHexLen = 8;
+
+std::string CrcHex(uint32_t crc) {
+  return StrFormat("%08x", static_cast<unsigned>(crc));
+}
+
+/// Splits one WAL line into (payload, checksum-ok).  Unframed legacy
+/// lines (raw JSON) pass through unverified.
+struct ParsedLine {
+  std::string_view payload;
+  bool framed = false;
+  bool crc_ok = true;
+  uint32_t stored_crc = 0;
+  uint32_t computed_crc = 0;
+};
+
+ParsedLine ParseLine(std::string_view line) {
+  ParsedLine parsed;
+  if (!line.empty() && (line[0] == '[' || line[0] == '{')) {
+    parsed.payload = line;
+    return parsed;
+  }
+  parsed.framed = true;
+  if (line.size() < kCrcHexLen + 2 || line[kCrcHexLen] != ' ') {
+    parsed.crc_ok = false;
+    return parsed;
+  }
+  unsigned stored = 0;
+  for (size_t i = 0; i < kCrcHexLen; ++i) {
+    char c = line[i];
+    unsigned nibble;
+    if (c >= '0' && c <= '9') {
+      nibble = static_cast<unsigned>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      nibble = static_cast<unsigned>(c - 'a') + 10;
+    } else {
+      parsed.crc_ok = false;
+      return parsed;
+    }
+    stored = (stored << 4) | nibble;
+  }
+  parsed.payload = line.substr(kCrcHexLen + 1);
+  parsed.stored_crc = stored;
+  parsed.computed_crc = Crc32(parsed.payload);
+  parsed.crc_ok = parsed.stored_crc == parsed.computed_crc;
+  return parsed;
+}
+
+}  // namespace
+
+std::string WriteAheadLog::FrameRecord(const Json& record) {
+  std::string json = record.Dump();
+  return CrcHex(Crc32(json)) + " " + json + "\n";
+}
+
+Result<WriteAheadLog> WriteAheadLog::Open(const std::string& path, Io* io) {
+  if (io == nullptr) io = &DefaultIo();
+  WriteAheadLog wal(path, io);
+  NERPA_ASSIGN_OR_RETURN(wal.out_, io->OpenAppend(path));
   return wal;
 }
 
 Status WriteAheadLog::Append(const Json& record) {
-  out_ << record.Dump() << "\n";
-  out_.flush();
-  if (!out_) return Internal("cannot append to WAL '" + path_ + "'");
+  Status appended = out_->Append(FrameRecord(record));
+  if (!appended.ok()) {
+    return Internal("cannot append to WAL '" + path_ +
+                    "': " + appended.ToString());
+  }
   ++records_appended_;
   return Status::Ok();
 }
 
-Status WriteAheadLog::Replay(const std::function<Status(const Json&)>& apply) {
-  std::ifstream in(path_);
-  if (!in) return NotFound("no WAL at '" + path_ + "'");
-  std::vector<std::string> lines;
-  std::string line;
-  while (std::getline(in, line)) {
-    if (!Trim(line).empty()) lines.push_back(line);
+Status WriteAheadLog::ReplayFile(
+    const std::string& path, Io& io,
+    const std::function<Status(const Json&)>& apply, uint64_t* replayed,
+    uint64_t* truncated, uint64_t* valid_prefix_bytes) {
+  NERPA_ASSIGN_OR_RETURN(std::string text, io.ReadFile(path));
+  // Line + the offset one past its terminator, so a torn tail can report
+  // the exact byte where the valid prefix ends.
+  std::vector<std::pair<std::string_view, uint64_t>> lines;
+  for (size_t pos = 0; pos < text.size();) {
+    size_t newline = text.find('\n', pos);
+    size_t end = newline == std::string::npos ? text.size() : newline + 1;
+    std::string_view line(text.data() + pos,
+                          (newline == std::string::npos ? text.size()
+                                                        : newline) -
+                              pos);
+    if (!Trim(line).empty()) lines.emplace_back(line, end);
+    pos = end;
   }
+  uint64_t valid_end = 0;
+  if (valid_prefix_bytes != nullptr) *valid_prefix_bytes = 0;
   for (size_t i = 0; i < lines.size(); ++i) {
-    Result<Json> record = Json::Parse(lines[i]);
-    if (!record.ok()) {
-      if (i + 1 == lines.size()) {
+    const bool is_tail = i + 1 == lines.size();
+    ParsedLine parsed = ParseLine(lines[i].first);
+    if (!parsed.crc_ok) {
+      if (is_tail) {
         // Interrupted append: the commit was never made durable, so the
         // record is simply not part of history.
-        ++truncated_tail_records_;
+        if (truncated != nullptr) ++*truncated;
+        break;
+      }
+      return Internal(StrFormat(
+          "WAL '%s' corrupt at record %zu: crc mismatch (stored %08x, "
+          "computed %08x)",
+          path.c_str(), i + 1, static_cast<unsigned>(parsed.stored_crc),
+          static_cast<unsigned>(parsed.computed_crc)));
+    }
+    Result<Json> record = Json::Parse(std::string(parsed.payload));
+    if (!record.ok()) {
+      if (is_tail) {
+        if (truncated != nullptr) ++*truncated;
         break;
       }
       return Internal(StrFormat("WAL '%s' corrupt at record %zu: %s",
-                                path_.c_str(), i + 1,
+                                path.c_str(), i + 1,
                                 record.status().ToString().c_str()));
     }
     Status applied = apply(record.value());
     if (!applied.ok()) {
       return Internal(StrFormat("WAL '%s' replay failed at record %zu: %s",
-                                path_.c_str(), i + 1,
+                                path.c_str(), i + 1,
                                 applied.ToString().c_str()));
     }
-    ++records_replayed_;
+    if (replayed != nullptr) ++*replayed;
+    valid_end = lines[i].second;
+    if (valid_prefix_bytes != nullptr) *valid_prefix_bytes = valid_end;
+  }
+  return Status::Ok();
+}
+
+Status WriteAheadLog::Replay(const std::function<Status(const Json&)>& apply) {
+  uint64_t truncated_before = truncated_tail_records_;
+  uint64_t valid_prefix_bytes = 0;
+  NERPA_RETURN_IF_ERROR(ReplayFile(path_, *io_, apply, &records_replayed_,
+                                   &truncated_tail_records_,
+                                   &valid_prefix_bytes));
+  if (truncated_tail_records_ > truncated_before) {
+    // Physically drop the torn tail: the open appender would otherwise
+    // write the next record onto the partial line, turning an innocuous
+    // interrupted append into interior corruption at the next recovery.
+    out_.reset();
+    NERPA_RETURN_IF_ERROR(io_->TruncateTo(path_, valid_prefix_bytes));
+    NERPA_ASSIGN_OR_RETURN(out_, io_->OpenAppend(path_));
   }
   return Status::Ok();
 }
 
 Status WriteAheadLog::Reset() {
-  out_.close();
-  out_.open(path_, std::ios::trunc);
-  if (!out_) return Internal("cannot truncate WAL '" + path_ + "'");
-  out_.close();
-  out_.open(path_, std::ios::app);
-  if (!out_) return Internal("cannot reopen WAL '" + path_ + "'");
+  out_.reset();
+  NERPA_RETURN_IF_ERROR(io_->Truncate(path_));
+  NERPA_ASSIGN_OR_RETURN(out_, io_->OpenAppend(path_));
+  records_appended_ = 0;
+  return Status::Ok();
+}
+
+Status WriteAheadLog::Rotate() {
+  out_.reset();
+  NERPA_RETURN_IF_ERROR(io_->Rename(path_, path_ + ".1"));
+  NERPA_RETURN_IF_ERROR(io_->Truncate(path_));
+  NERPA_ASSIGN_OR_RETURN(out_, io_->OpenAppend(path_));
   records_appended_ = 0;
   return Status::Ok();
 }

@@ -1,59 +1,100 @@
 // Write-ahead log for the management plane.
 //
-// One JSON record per line, appended and flushed after every committed
-// OVSDB transaction (via Database::AddCommitHook).  Records are the
-// uuid-pinned "transact" operation arrays, so replaying them through
+// One record per line, appended and flushed after every committed OVSDB
+// transaction (via Database::AddCommitHook).  Records are the uuid-pinned
+// "transact" operation arrays, so replaying them through
 // Database::Transact reproduces the exact row identities and contents.
 //
-// Crash tolerance: a process death mid-append leaves at most one
-// truncated final line; Replay() detects and drops it (the transaction it
-// belonged to was never acknowledged as durable).  A malformed record
-// *before* the tail is corruption and fails the replay.
+// Framing: each line is `crc32(json-hex8) <space> json`.  The checksum
+// covers the JSON text, so corruption is detected even when a flipped
+// byte still parses as valid JSON.  Legacy unframed lines (starting with
+// '[' or '{', written before checksumming existed) are still replayed,
+// without verification.
+//
+// Recovery policy:
+//   - torn *final* line (unparseable or failing its checksum): an
+//     interrupted append whose transaction was never acknowledged as
+//     durable — dropped, counted in truncated_tail_records(), and
+//     physically truncated from the file so subsequent appends start on
+//     a clean line boundary instead of concatenating onto the partial
+//     record (which would read as interior corruption next recovery).
+//   - corrupt *interior* record: real corruption; Replay() fails fast
+//     with the record index so the operator knows exactly where history
+//     diverged.
 #ifndef NERPA_HA_WAL_H_
 #define NERPA_HA_WAL_H_
 
 #include <cstdint>
-#include <fstream>
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "common/json.h"
 #include "common/status.h"
+#include "ha/io.h"
 
 namespace nerpa::ha {
 
 class WriteAheadLog {
  public:
-  /// Opens (creating if missing) the log at `path` for appending.
-  static Result<WriteAheadLog> Open(const std::string& path);
+  /// Opens (creating if missing) the log at `path` for appending.  All
+  /// disk access goes through `io` (defaults to the real filesystem).
+  static Result<WriteAheadLog> Open(const std::string& path,
+                                    Io* io = nullptr);
 
+  // Movable: the append stream lives behind a unique_ptr, so the stream
+  // state survives Open() returning by value (regression-tested by
+  // test_ha's Append-after-move case).
   WriteAheadLog(WriteAheadLog&&) = default;
   WriteAheadLog& operator=(WriteAheadLog&&) = default;
 
   const std::string& path() const { return path_; }
 
-  /// Appends one record and flushes it to the OS.
+  /// Appends one checksummed record and flushes it to the OS.
   Status Append(const Json& record);
 
   /// Invokes `apply` on every well-formed record in file order.  Stops
-  /// with the error if `apply` fails.  A truncated or unparseable *final*
-  /// record is dropped (interrupted append), counted in
-  /// truncated_tail_records().
+  /// with the error if `apply` fails.  See the recovery policy above for
+  /// how torn tails and interior corruption differ.
   Status Replay(const std::function<Status(const Json&)>& apply);
 
   /// Truncates the log to empty — called after a snapshot subsumes the
   /// logged transactions (log compaction).
   Status Reset();
 
+  /// Rotates the log aside to `<path>.1` (replacing any previous
+  /// rotation) and reopens a fresh empty log.  The rotated file pairs
+  /// with the snapshot that subsumed it, enabling previous-snapshot
+  /// fallback recovery (see DurableStore).
+  Status Rotate();
+
   uint64_t records_appended() const { return records_appended_; }
   uint64_t records_replayed() const { return records_replayed_; }
   uint64_t truncated_tail_records() const { return truncated_tail_records_; }
 
+  /// Replays a rotated/archived WAL file at `path` without constructing a
+  /// log object.  Same recovery policy as Replay().  `replayed` /
+  /// `truncated` accumulate counts when non-null.
+  /// `valid_prefix_bytes`, when non-null, receives the byte length of the
+  /// file prefix covering every successfully replayed record — the safe
+  /// truncation point when the tail is torn.
+  static Status ReplayFile(const std::string& path, Io& io,
+                           const std::function<Status(const Json&)>& apply,
+                           uint64_t* replayed = nullptr,
+                           uint64_t* truncated = nullptr,
+                           uint64_t* valid_prefix_bytes = nullptr);
+
+  /// Formats one framed WAL line (exposed for tests and benches that
+  /// construct log files directly).
+  static std::string FrameRecord(const Json& record);
+
  private:
-  explicit WriteAheadLog(std::string path) : path_(std::move(path)) {}
+  WriteAheadLog(std::string path, Io* io)
+      : path_(std::move(path)), io_(io) {}
 
   std::string path_;
-  std::ofstream out_;
+  Io* io_ = nullptr;
+  std::unique_ptr<Appender> out_;
   uint64_t records_appended_ = 0;
   uint64_t records_replayed_ = 0;
   uint64_t truncated_tail_records_ = 0;

@@ -5,6 +5,7 @@
 #include <set>
 #include <thread>
 
+#include "common/clock.h"
 #include "common/log.h"
 #include "common/strings.h"
 
@@ -30,21 +31,45 @@ Controller::Controller(ovsdb::Database* db,
                  std::move(bindings), Options()) {}
 
 Controller::~Controller() {
+  if (anti_entropy_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(anti_entropy_mu_);
+      stopping_ = true;
+    }
+    anti_entropy_cv_.notify_all();
+    anti_entropy_thread_.join();
+  }
   if (monitor_id_ != 0) db_->RemoveMonitor(monitor_id_);
 }
 
 Status Controller::AddDevice(std::string name, p4::RuntimeClient* client) {
+  std::lock_guard<std::mutex> plane(sync_mu_);
   for (const Device& device : devices_) {
     if (device.name == name) {
       return AlreadyExists("device '" + name + "' already registered");
     }
   }
-  devices_.push_back(Device{std::move(name), client});
+  devices_.push_back(Device{});
+  devices_.back().name = std::move(name);
+  devices_.back().client = client;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.breaker_states[devices_.back().name] = "closed";
+    stats_.outbox_sizes[devices_.back().name] = 0;
+  }
   if (!started_) return Status::Ok();
   // Late registration = a device (re)joining a live controller: bring it
   // to the desired state with the minimal write set.
   Status synced = ResyncDeviceImpl(devices_.back());
   if (!synced.ok()) {
+    if (options_.breaker.enabled &&
+        synced.code() == StatusCode::kInternal) {
+      // The rejoining device is still sick: quarantine it and let the
+      // anti-entropy loop converge it later instead of failing the join.
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      QuarantineLocked(devices_.back());
+      return Status::Ok();
+    }
     ++stats_.errors;
     if (last_error_.ok()) last_error_ = synced;
   }
@@ -53,6 +78,7 @@ Status Controller::AddDevice(std::string name, p4::RuntimeClient* client) {
 
 Status Controller::ResyncDevice(const std::string& name) {
   if (!started_) return FailedPrecondition("controller not started");
+  std::lock_guard<std::mutex> plane(sync_mu_);
   for (Device& device : devices_) {
     if (device.name == name) return ResyncDeviceImpl(device);
   }
@@ -106,6 +132,24 @@ Status Controller::Start() {
     suppress_writes_ = false;
     NERPA_RETURN_IF_ERROR(ResyncAllDevices());
   }
+  if (options_.anti_entropy_interval_nanos > 0) {
+    anti_entropy_thread_ = std::thread([this] {
+      std::unique_lock<std::mutex> lock(anti_entropy_mu_);
+      while (!stopping_) {
+        anti_entropy_cv_.wait_for(
+            lock,
+            std::chrono::nanoseconds(options_.anti_entropy_interval_nanos));
+        if (stopping_) break;
+        lock.unlock();
+        Status probed = RunAntiEntropy();
+        if (!probed.ok()) {
+          LOG_WARNING << "controller: anti-entropy round failed: "
+                      << probed.ToString();
+        }
+        lock.lock();
+      }
+    });
+  }
   return last_error_;
 }
 
@@ -129,10 +173,23 @@ ThreadPool& Controller::Pool(size_t want) {
 }
 
 Status Controller::ResyncAllDevices() {
+  // With breakers enabled a device that cannot resynchronize is
+  // quarantined (anti-entropy will converge it later) instead of failing
+  // the whole round.
+  auto resync_one = [this](Device& device) -> Status {
+    Status synced = ResyncDeviceImpl(device);
+    if (!synced.ok() && options_.breaker.enabled &&
+        synced.code() == StatusCode::kInternal) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      QuarantineLocked(device);
+      return Status::Ok();
+    }
+    return synced;
+  };
   size_t workers = DispatchWorkers(devices_.size());
   if (workers <= 1) {
     for (Device& device : devices_) {
-      NERPA_RETURN_IF_ERROR(ResyncDeviceImpl(device));
+      NERPA_RETURN_IF_ERROR(resync_one(device));
     }
     return Status::Ok();
   }
@@ -144,7 +201,7 @@ Status Controller::ResyncAllDevices() {
   for (size_t i = 0; i < devices_.size(); ++i) {
     Device* device = &devices_[i];
     Status* slot = &results[i];
-    pool.Submit([this, device, slot] { *slot = ResyncDeviceImpl(*device); });
+    pool.Submit([&resync_one, device, slot] { *slot = resync_one(*device); });
   }
   pool.WaitIdle();
   for (const Status& status : results) NERPA_RETURN_IF_ERROR(status);
@@ -152,6 +209,9 @@ Status Controller::ResyncAllDevices() {
 }
 
 void Controller::OnOvsdbUpdate(const ovsdb::TableUpdates& updates) {
+  // Plane lock: the monitor callback races the anti-entropy thread for
+  // the engine and the multicast bookkeeping.
+  std::lock_guard<std::mutex> plane(sync_mu_);
   Status status = ProcessOvsdbUpdates(updates);
   if (!status.ok()) {
     ++stats_.errors;
@@ -187,9 +247,10 @@ Status Controller::ProcessOvsdbUpdates(const ovsdb::TableUpdates& updates) {
   return ApplyOutputDelta(delta);
 }
 
-Status Controller::WriteWithRetry(const Device& device,
+Status Controller::WriteWithRetry(Device& device,
                                   const std::function<Status()>& write) {
   const RetryPolicy& retry = options_.retry;
+  const int64_t timeout = options_.breaker.write_timeout_nanos;
   int attempts = std::max(1, retry.max_attempts);
   int64_t backoff = retry.initial_backoff_nanos;
   Status status;
@@ -205,8 +266,21 @@ Status Controller::WriteWithRetry(const Device& device,
           static_cast<int64_t>(static_cast<double>(backoff) *
                                retry.backoff_multiplier));
     }
+    int64_t started = timeout > 0 ? MonotonicNanos() : 0;
     status = write();
-    if (status.ok()) return status;
+    if (status.ok()) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      if (timeout > 0 && MonotonicNanos() - started > timeout) {
+        // The device answered, but too slowly to count as healthy: a
+        // timeout strike, kept distinct from error strikes in the stats.
+        ++stats_.slow_writes;
+        StrikeLocked(device);
+      } else if (options_.breaker.enabled &&
+                 device.breaker == BreakerState::kClosed) {
+        device.strikes = 0;  // a healthy write clears accumulated strikes
+      }
+      return status;
+    }
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.device_failures[device.name];
@@ -218,7 +292,60 @@ Status Controller::WriteWithRetry(const Device& device,
   }
   std::lock_guard<std::mutex> lock(stats_mu_);
   ++stats_.write_failures;
+  if (status.code() == StatusCode::kInternal) StrikeLocked(device);
   return status;
+}
+
+void Controller::StrikeLocked(Device& device) {
+  if (!options_.breaker.enabled) return;
+  ++device.strikes;
+  if (device.breaker == BreakerState::kClosed &&
+      device.strikes >= options_.breaker.strike_threshold) {
+    QuarantineLocked(device);
+  }
+}
+
+void Controller::QuarantineLocked(Device& device) {
+  device.breaker = BreakerState::kOpen;
+  ++stats_.breaker_trips;
+  stats_.breaker_states[device.name] = "open";
+  if (device.next_cooldown_nanos == 0) {
+    device.next_cooldown_nanos = options_.breaker.cooldown_nanos;
+  }
+  EscalateCooldownLocked(device);
+}
+
+void Controller::EscalateCooldownLocked(Device& device) {
+  const BreakerPolicy& breaker = options_.breaker;
+  int64_t cooldown = device.next_cooldown_nanos;
+  device.cooldown_until_nanos = MonotonicNanos() + cooldown;
+  if (cooldown > 0) {
+    device.next_cooldown_nanos = std::min<int64_t>(
+        breaker.max_cooldown_nanos,
+        static_cast<int64_t>(static_cast<double>(cooldown) *
+                             breaker.cooldown_multiplier));
+  }
+}
+
+std::string Controller::OutboxKey(const DeviceOp& op) const {
+  if (op.multicast) return StrFormat("m:%u", op.group);
+  const p4::Table* schema = p4_program_->FindTable(op.entry.table);
+  std::string identity = schema != nullptr ? op.entry.KeyString(*schema)
+                                           : op.entry.ToString();
+  return "t:" + op.entry.table + "|" + identity;
+}
+
+bool Controller::QuarantineOps(Device& device, std::vector<DeviceOp> ops) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  for (DeviceOp& op : ops) {
+    // Last-wins coalescing per entry identity / multicast group: however
+    // long the quarantine, the outbox never outgrows the device's table
+    // footprint.
+    device.outbox[OutboxKey(op)] = std::move(op);
+    ++stats_.outbox_coalesced;
+  }
+  stats_.outbox_sizes[device.name] = device.outbox.size();
+  return true;
 }
 
 Status Controller::AppendEntryOps(std::vector<DeviceBatch>& batches,
@@ -245,14 +372,49 @@ Status Controller::ExecuteBatch(DeviceBatch& batch) {
   // Worker-thread body: only this thread touches the batch's device, so
   // the device sees exactly the serial write order.  Stops at the device's
   // first error; other devices' batches are unaffected.
-  for (DeviceOp& op : batch.ops) {
-    Status status = WriteWithRetry(*batch.device, [&] {
-      if (op.multicast) {
-        return batch.device->client->SetMulticastGroup(op.group, op.members);
+  Device& device = *batch.device;
+  for (size_t i = 0; i < batch.ops.size(); ++i) {
+    if (options_.breaker.enabled) {
+      bool quarantined;
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        quarantined = device.breaker != BreakerState::kClosed;
       }
-      return batch.device->client->Write({p4::Update{op.type, op.entry}});
+      if (quarantined) {
+        // Quarantined device: absorb the rest of the batch into the
+        // outbox without touching the (dead) device, and report success —
+        // the delta must not fail because one switch is down.
+        QuarantineOps(device, {batch.ops.begin() +
+                                   static_cast<std::ptrdiff_t>(i),
+                               batch.ops.end()});
+        return Status::Ok();
+      }
+    }
+    DeviceOp& op = batch.ops[i];
+    Status status = WriteWithRetry(device, [&] {
+      if (op.multicast) {
+        return device.client->SetMulticastGroup(op.group, op.members);
+      }
+      return device.client->Write({p4::Update{op.type, op.entry}});
     });
-    if (!status.ok()) return status;
+    if (!status.ok()) {
+      if (options_.breaker.enabled) {
+        bool tripped;
+        {
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          tripped = device.breaker != BreakerState::kClosed;
+        }
+        if (tripped) {
+          // The failed op and everything after it becomes outbox state;
+          // the half-open probe's resync diff will replay it on rejoin.
+          QuarantineOps(device, {batch.ops.begin() +
+                                     static_cast<std::ptrdiff_t>(i),
+                                 batch.ops.end()});
+          return Status::Ok();
+        }
+      }
+      return status;
+    }
     std::lock_guard<std::mutex> lock(stats_mu_);
     if (op.multicast) {
       ++stats_.multicast_updates;
@@ -509,8 +671,57 @@ Status Controller::ResyncDeviceImpl(Device& device) {
   return Status::Ok();
 }
 
+Status Controller::RunAntiEntropy() {
+  if (!started_) return FailedPrecondition("controller not started");
+  std::lock_guard<std::mutex> plane(sync_mu_);
+  int64_t now = MonotonicNanos();
+  for (Device& device : devices_) {
+    bool probe = false;
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      if (device.breaker == BreakerState::kOpen &&
+          now >= device.cooldown_until_nanos) {
+        device.breaker = BreakerState::kHalfOpen;
+        stats_.breaker_states[device.name] = "half-open";
+        ++stats_.breaker_probes;
+        probe = true;
+      }
+    }
+    if (probe) ProbeDevice(device);
+  }
+  return Status::Ok();
+}
+
+void Controller::ProbeDevice(Device& device) {
+  // Half-open trial: one full reconciliation.  Success proves the device
+  // is answering *and* leaves it byte-identical to the desired state —
+  // the minimal resync diff subsumes whatever accumulated in the outbox
+  // (and whatever was half-written before the trip).
+  Status synced = ResyncDeviceImpl(device);
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  if (synced.ok()) {
+    device.breaker = BreakerState::kClosed;
+    device.strikes = 0;
+    device.next_cooldown_nanos = options_.breaker.cooldown_nanos;
+    device.outbox.clear();
+    stats_.breaker_states[device.name] = "closed";
+    stats_.outbox_sizes[device.name] = 0;
+    ++stats_.breaker_rejoins;
+  } else {
+    device.breaker = BreakerState::kOpen;
+    stats_.breaker_states[device.name] = "open";
+    EscalateCooldownLocked(device);
+  }
+}
+
+Controller::Stats Controller::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
 Status Controller::SyncDataPlaneNotifications() {
   if (!started_) return FailedPrecondition("controller not started");
+  std::lock_guard<std::mutex> plane(sync_mu_);
   bool any = false;
   Status first_error;
   for (Device& device : devices_) {

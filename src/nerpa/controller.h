@@ -16,10 +16,12 @@
 #ifndef NERPA_NERPA_CONTROLLER_H_
 #define NERPA_NERPA_CONTROLLER_H_
 
+#include <condition_variable>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/status.h"
@@ -43,6 +45,31 @@ class Controller {
     int64_t initial_backoff_nanos = 1000000;   // 1 ms before 2nd attempt
     double backoff_multiplier = 2.0;
     int64_t max_backoff_nanos = 100000000;     // 100 ms cap
+  };
+
+  /// Per-device circuit breaker (closed → open → half-open).  Retry
+  /// handles the transient blip; the breaker handles the device that
+  /// stays dead past the retry budget.  A write that exhausts RetryPolicy
+  /// — or succeeds slower than write_timeout_nanos — is a *strike*; at
+  /// strike_threshold the breaker opens and the device is quarantined:
+  /// its pending deltas coalesce into a per-device outbox (bounded: one
+  /// op per entry identity / multicast group) instead of failing the
+  /// delta, so one dead switch never stalls or aborts the others.
+  /// RunAntiEntropy() probes quarantined devices once their cooldown
+  /// elapses (half-open) and replays the minimal resync diff on rejoin.
+  struct BreakerPolicy {
+    bool enabled = false;
+    /// Consecutive strikes before the breaker opens.
+    int strike_threshold = 1;
+    /// Quiet period before an open breaker admits an anti-entropy probe;
+    /// doubles (by cooldown_multiplier) after each failed probe.
+    int64_t cooldown_nanos = 0;
+    double cooldown_multiplier = 2.0;
+    int64_t max_cooldown_nanos = 1000000000;   // 1 s cap
+    /// A *successful* write slower than this counts as a strike (slow
+    /// device ≠ healthy device); 0 disables timeout strikes.  Distinct
+    /// from write failures in Stats (slow_writes vs write_failures).
+    int64_t write_timeout_nanos = 0;
   };
 
   struct Options {
@@ -75,6 +102,15 @@ class Controller {
     int write_parallelism = 0;
 
     RetryPolicy retry;
+
+    BreakerPolicy breaker;
+
+    /// When > 0, Start() spawns a background anti-entropy thread that
+    /// calls RunAntiEntropy() at this interval (serialized against the
+    /// update paths by the plane lock).  0 = pump RunAntiEntropy()
+    /// explicitly — the default, matching the repo's no-hidden-threads
+    /// convention.
+    int64_t anti_entropy_interval_nanos = 0;
   };
 
   /// The database and runtime clients must outlive the controller.
@@ -120,6 +156,14 @@ class Controller {
   /// digest stream.)
   Status SyncDataPlaneNotifications();
 
+  /// One anti-entropy round: every quarantined device whose cooldown has
+  /// elapsed goes half-open and is probed with a full resynchronization
+  /// (the minimal read/diff/write set, which subsumes its outbox).  A
+  /// device that answers rejoins (breaker closes, outbox cleared); one
+  /// that doesn't returns to open with an escalated cooldown.  Never
+  /// fails because of a still-dead device.
+  Status RunAntiEntropy();
+
   struct Stats {
     uint64_t ovsdb_updates = 0;
     uint64_t dlog_txns = 0;
@@ -139,8 +183,20 @@ class Controller {
     uint64_t write_failures = 0;    // writes that exhausted all attempts
     /// Per-device count of failed write attempts (including retried ones).
     std::map<std::string, uint64_t> device_failures;
+    // --- robustness: circuit breakers ---
+    uint64_t slow_writes = 0;       // successful writes over the timeout
+    uint64_t breaker_trips = 0;     // closed → open transitions
+    uint64_t breaker_probes = 0;    // half-open resync attempts
+    uint64_t breaker_rejoins = 0;   // probes that closed the breaker
+    uint64_t outbox_coalesced = 0;  // ops absorbed while quarantined
+    /// Device → "closed" | "open" | "half-open".
+    std::map<std::string, std::string> breaker_states;
+    /// Device → coalesced ops currently pending in its outbox.
+    std::map<std::string, uint64_t> outbox_sizes;
   };
-  const Stats& stats() const { return stats_; }
+  /// Snapshot of the counters (thread-safe against concurrent dispatch
+  /// and the anti-entropy thread).
+  Stats stats() const;
 
   /// Next digest sequence number to be assigned (checkpoint this through
   /// ha::DurableStore so a restarted controller keeps the order monotone).
@@ -154,10 +210,7 @@ class Controller {
   dlog::Engine& engine() { return *engine_; }
 
  private:
-  struct Device {
-    std::string name;
-    p4::RuntimeClient* client;
-  };
+  enum class BreakerState { kClosed, kOpen, kHalfOpen };
 
   /// One ordered unit of data-plane work for a single device: a table
   /// write, or (when `multicast` is set) a multicast group reprogram.
@@ -168,6 +221,21 @@ class Controller {
     uint32_t group = 0;
     std::vector<uint64_t> members;
   };
+
+  struct Device {
+    std::string name;
+    p4::RuntimeClient* client;
+    // --- circuit breaker (guarded by stats_mu_) ---
+    BreakerState breaker = BreakerState::kClosed;
+    int strikes = 0;
+    int64_t cooldown_until_nanos = 0;
+    int64_t next_cooldown_nanos = 0;
+    /// Deltas coalesced while quarantined, keyed by entry identity
+    /// (table + match + priority) or multicast group — bounded by the
+    /// device's table footprint no matter how long the outage lasts.
+    std::map<std::string, DeviceOp> outbox;
+  };
+
   /// A delta's writes for one device, in serial-equivalent order.
   struct DeviceBatch {
     Device* device = nullptr;
@@ -193,9 +261,27 @@ class Controller {
   /// Executes one device's ops in order (worker-thread body).
   Status ExecuteBatch(DeviceBatch& batch);
   /// One write attempt loop: runs `write` against `device` under the
-  /// retry policy, maintaining retry/failure counters (thread-safe).
-  Status WriteWithRetry(const Device& device,
+  /// retry policy, maintaining retry/failure counters and breaker strikes
+  /// (thread-safe).
+  Status WriteWithRetry(Device& device,
                         const std::function<Status()>& write);
+  /// Records one breaker strike; opens the breaker at the threshold.
+  /// Caller holds stats_mu_.
+  void StrikeLocked(Device& device);
+  /// Moves the open breaker's cooldown forward (called after a trip or a
+  /// failed probe).  Caller holds stats_mu_.
+  void EscalateCooldownLocked(Device& device);
+  /// Forces the breaker open (used when a rejoin resync fails).  Caller
+  /// holds stats_mu_.
+  void QuarantineLocked(Device& device);
+  /// True (and ops absorbed into the outbox) when `device` is
+  /// quarantined; ExecuteBatch then skips the device entirely.
+  bool QuarantineOps(Device& device, std::vector<DeviceOp> ops);
+  /// Outbox coalescing key for one op.
+  std::string OutboxKey(const DeviceOp& op) const;
+  /// Half-open probe of one quarantined device (resync; close on
+  /// success, reopen with escalated cooldown on failure).
+  void ProbeDevice(Device& device);
   Status ResyncDeviceImpl(Device& device);
   /// Reconciles every registered device, concurrently when allowed.
   Status ResyncAllDevices();
@@ -222,9 +308,18 @@ class Controller {
   std::map<std::pair<std::string, uint32_t>, std::vector<uint64_t>>
       multicast_members_;
   std::unique_ptr<ThreadPool> pool_;  // lazily sized to the device count
-  std::mutex stats_mu_;  // guards stats_ during concurrent dispatch
+  /// Plane lock: serializes engine/bookkeeping access between the update
+  /// paths (monitor callback, digest drain) and anti-entropy (explicit or
+  /// background-thread).  Per-device dispatch below it stays concurrent.
+  std::mutex sync_mu_;
+  mutable std::mutex stats_mu_;  // guards stats_ + breaker state
   Stats stats_;
   Status last_error_;
+  // Background anti-entropy loop (Options.anti_entropy_interval_nanos).
+  std::thread anti_entropy_thread_;
+  std::mutex anti_entropy_mu_;
+  std::condition_variable anti_entropy_cv_;
+  bool stopping_ = false;
 };
 
 }  // namespace nerpa

@@ -1,6 +1,9 @@
 #include "ovsdb/client.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -15,35 +18,120 @@ namespace nerpa::ovsdb {
 
 OvsdbClient::~OvsdbClient() { Disconnect(); }
 
-Status OvsdbClient::Connect(const std::string& host, uint16_t port) {
-  Disconnect();
+Status OvsdbClient::Dial() {
+  CloseSocket();
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) return Internal("socket() failed");
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    return InvalidArgument("bad host '" + host + "' (use a dotted quad)");
+  addr.sin_port = htons(port_);
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    return InvalidArgument("bad host '" + host_ + "' (use a dotted quad)");
   }
   if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
     ::close(fd_);
     fd_ = -1;
-    return Internal(StrFormat("connect(%s:%u) failed: %s", host.c_str(), port,
-                              std::strerror(errno)));
+    return Internal(StrFormat("connect(%s:%u) failed: %s", host_.c_str(),
+                              port_, std::strerror(errno)));
   }
   int one = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
   return Status::Ok();
 }
 
-void OvsdbClient::Disconnect() {
+Status OvsdbClient::Connect(const std::string& host, uint16_t port) {
+  Disconnect();
+  host_ = host;
+  port_ = port;
+  return Dial();
+}
+
+void OvsdbClient::CloseSocket() {
   if (fd_ >= 0) ::close(fd_);
   fd_ = -1;
   inbox_.clear();
-  handlers_.clear();
+  splitter_ = JsonStreamSplitter{};
+}
+
+void OvsdbClient::Disconnect() {
+  CloseSocket();
+  registrations_.clear();
+}
+
+void OvsdbClient::InjectTransportFault() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+Status OvsdbClient::Heal() {
+  if (!heal_.enabled) return FailedPrecondition("healing disabled");
+  if (healing_) return Internal("transport died during a heal");
+  healing_ = true;
+  heal_delivered_ = 0;
+  Status status = Internal("no reconnect attempts allowed");
+  int backoff_ms = heal_.backoff_ms;
+  for (int attempt = 0; attempt < heal_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms = std::min(backoff_ms * 2, heal_.max_backoff_ms);
+    }
+    status = Dial();
+    if (status.ok()) break;
+  }
+  if (!status.ok()) {
+    ++stats_.failed_heals;
+    healing_ = false;
+    return status;
+  }
+  ++stats_.reconnects;
+  // Resume every monitor from its last seen txn-id; the server replays
+  // exactly the missed deltas (or a full dump if the gap aged out).
+  for (auto& [key, reg] : registrations_) {
+    Json::Array params;
+    params.push_back(Json("db"));
+    params.push_back(reg.id);
+    Json::Object requests;
+    for (const std::string& table : reg.tables) {
+      requests[table] = Json(Json::Object{});
+    }
+    params.push_back(Json(std::move(requests)));
+    params.push_back(Json(reg.last_txn_id));
+    Result<JsonRpcMessage> response =
+        CallRaw("monitor_since", Json(std::move(params)));
+    if (!response.ok()) {
+      healing_ = false;
+      ++stats_.failed_heals;
+      return response.status();
+    }
+    if (!response->error.is_null()) {
+      healing_ = false;
+      ++stats_.failed_heals;
+      return Internal("monitor_since error: " + response->error.Dump());
+    }
+    const Json& reply = response->result;
+    if (!reply.is_array() || reply.as_array().size() < 3 ||
+        !reply.as_array()[2].is_array()) {
+      healing_ = false;
+      ++stats_.failed_heals;
+      return Internal("malformed monitor_since reply: " + reply.Dump());
+    }
+    bool found =
+        reply.as_array()[0].is_bool() && reply.as_array()[0].as_bool();
+    if (!found) ++stats_.full_redumps;
+    for (const Json& payload : reply.as_array()[2].as_array()) {
+      reg.handler(reg.id, payload);
+      ++stats_.replayed_updates;
+      ++heal_delivered_;
+    }
+    if (reply.as_array()[1].is_integer()) {
+      reg.last_txn_id = reply.as_array()[1].as_integer();
+    }
+  }
+  healing_ = false;
+  return Status::Ok();
 }
 
 Status OvsdbClient::ReadMore(int timeout_ms) {
+  if (fd_ < 0) return FailedPrecondition("not connected");
   pollfd pfd{fd_, POLLIN, 0};
   int ready = ::poll(&pfd, 1, timeout_ms);
   if (ready < 0) return Internal("poll() failed");
@@ -66,13 +154,20 @@ Status OvsdbClient::ReadMore(int timeout_ms) {
 int OvsdbClient::DeliverQueued() {
   int delivered = 0;
   for (auto it = inbox_.begin(); it != inbox_.end();) {
-    if (it->kind == JsonRpcMessage::Kind::kNotification &&
-        it->method == "update" && it->params.is_array() &&
-        it->params.as_array().size() == 2) {
-      std::string key = it->params.as_array()[0].Dump();
-      auto handler = handlers_.find(key);
-      if (handler != handlers_.end()) {
-        handler->second(it->params.as_array()[0], it->params.as_array()[1]);
+    // Plain "update" params are [id, updates]; monitor_since sessions get
+    // [id, updates, txn-id] so the client can resume after a drop.
+    bool is_update = it->kind == JsonRpcMessage::Kind::kNotification &&
+                     it->method == "update" && it->params.is_array() &&
+                     (it->params.as_array().size() == 2 ||
+                      it->params.as_array().size() == 3);
+    if (is_update) {
+      const Json::Array& params = it->params.as_array();
+      auto reg = registrations_.find(params[0].Dump());
+      if (reg != registrations_.end()) {
+        reg->second.handler(params[0], params[1]);
+        if (params.size() == 3 && params[2].is_integer()) {
+          reg->second.last_txn_id = params[2].as_integer();
+        }
         ++delivered;
       }
       it = inbox_.erase(it);
@@ -83,8 +178,8 @@ int OvsdbClient::DeliverQueued() {
   return delivered;
 }
 
-Result<JsonRpcMessage> OvsdbClient::Call(const std::string& method,
-                                         Json params) {
+Result<JsonRpcMessage> OvsdbClient::CallRaw(const std::string& method,
+                                            Json params) {
   if (fd_ < 0) return FailedPrecondition("not connected");
   Json id(next_id_++);
   JsonRpcMessage request =
@@ -109,6 +204,17 @@ Result<JsonRpcMessage> OvsdbClient::Call(const std::string& method,
     NERPA_RETURN_IF_ERROR(ReadMore(/*timeout_ms=*/1000));
   }
   return Internal("no response to '" + method + "'");
+}
+
+Result<JsonRpcMessage> OvsdbClient::Call(const std::string& method,
+                                         Json params) {
+  // Keep a copy for the single heal-and-retry; skipped when healing is off
+  // (or when already inside a heal, where CallRaw is used directly).
+  Json retry_params = heal_.enabled ? params : Json();
+  Result<JsonRpcMessage> result = CallRaw(method, std::move(params));
+  if (result.ok() || !heal_.enabled || healing_) return result;
+  NERPA_RETURN_IF_ERROR(Heal());
+  return CallRaw(method, std::move(retry_params));
 }
 
 Status OvsdbClient::Echo() {
@@ -148,6 +254,10 @@ Result<Json> OvsdbClient::Transact(Json operations) {
 Result<Json> OvsdbClient::Monitor(Json monitor_id,
                                   const std::vector<std::string>& tables,
                                   UpdateHandler handler) {
+  std::string key = monitor_id.Dump();
+  if (registrations_.count(key) != 0) {
+    return AlreadyExists("monitor id " + key + " already registered");
+  }
   Json::Array params;
   params.push_back(Json("db"));
   params.push_back(monitor_id);
@@ -156,30 +266,66 @@ Result<Json> OvsdbClient::Monitor(Json monitor_id,
     requests[table] = Json(Json::Object{});
   }
   params.push_back(Json(std::move(requests)));
+  params.push_back(Json(static_cast<int64_t>(-1)));  // no prior session
   NERPA_ASSIGN_OR_RETURN(JsonRpcMessage response,
-                         Call("monitor", Json(std::move(params))));
+                         Call("monitor_since", Json(std::move(params))));
   if (!response.error.is_null()) {
     return FailedPrecondition("monitor error: " + response.error.Dump());
   }
-  handlers_[monitor_id.Dump()] = std::move(handler);
-  return response.result;
+  const Json& reply = response.result;
+  if (!reply.is_array() || reply.as_array().size() < 3 ||
+      !reply.as_array()[2].is_array()) {
+    return Internal("malformed monitor_since reply: " + reply.Dump());
+  }
+  MonitorReg reg;
+  reg.id = monitor_id;
+  reg.tables = tables;
+  reg.handler = std::move(handler);
+  if (reply.as_array()[1].is_integer()) {
+    reg.last_txn_id = reply.as_array()[1].as_integer();
+  }
+  // With last=-1 the server always answers found=false: one full dump,
+  // which is exactly the initial contents.
+  Json initial = reply.as_array()[2].as_array().empty()
+                     ? Json(Json::Object{})
+                     : reply.as_array()[2].as_array()[0];
+  registrations_[key] = std::move(reg);
+  return initial;
 }
 
 Status OvsdbClient::MonitorCancel(const Json& monitor_id) {
-  NERPA_ASSIGN_OR_RETURN(
-      JsonRpcMessage response,
-      Call("monitor_cancel", Json(Json::Array{monitor_id})));
-  if (!response.error.is_null()) {
-    return FailedPrecondition("monitor_cancel error: " +
-                              response.error.Dump());
+  std::string key = monitor_id.Dump();
+  bool known = registrations_.erase(key) > 0;
+  Result<JsonRpcMessage> response =
+      Call("monitor_cancel", Json(Json::Array{monitor_id}));
+  if (!response.ok()) {
+    // Dead transport with healing off or exhausted: a dead session's
+    // server half died with the socket, so cancelling a monitor we held
+    // is a no-op success.  An id we never knew is still an error.
+    return known ? Status::Ok() : response.status();
   }
-  handlers_.erase(monitor_id.Dump());
+  if (!response->error.is_null()) {
+    // A heal mid-cancel re-registers only the surviving monitors, so the
+    // retried cancel finds nothing server-side; that is success too.
+    std::string error = response->error.Dump();
+    if (known && error.find("no monitor") != std::string::npos) {
+      return Status::Ok();
+    }
+    return FailedPrecondition("monitor_cancel error: " + error);
+  }
   return Status::Ok();
 }
 
 Result<int> OvsdbClient::Poll() {
-  NERPA_RETURN_IF_ERROR(ReadMore(/*timeout_ms=*/0));
-  return DeliverQueued();
+  Status status =
+      fd_ < 0 ? FailedPrecondition("not connected") : ReadMore(/*timeout_ms=*/0);
+  int healed = 0;
+  if (!status.ok()) {
+    if (!heal_.enabled) return status;
+    NERPA_RETURN_IF_ERROR(Heal());
+    healed = heal_delivered_;
+  }
+  return DeliverQueued() + healed;
 }
 
 Result<int> OvsdbClient::WaitForUpdate(int timeout_ms) {
@@ -188,7 +334,13 @@ Result<int> OvsdbClient::WaitForUpdate(int timeout_ms) {
     int delivered = DeliverQueued();
     if (delivered > 0) return delivered;
     if (waited >= timeout_ms) return 0;
-    NERPA_RETURN_IF_ERROR(ReadMore(/*timeout_ms=*/50));
+    Status status =
+        fd_ < 0 ? FailedPrecondition("not connected") : ReadMore(50);
+    if (!status.ok()) {
+      if (!heal_.enabled) return status;
+      NERPA_RETURN_IF_ERROR(Heal());
+      if (heal_delivered_ > 0) return heal_delivered_;
+    }
     waited += 50;
   }
 }

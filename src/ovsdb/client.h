@@ -1,13 +1,25 @@
 // A TCP OVSDB client for OvsdbServer: synchronous request/response plus an
 // explicitly pumped update stream (no hidden threads — tests and the
 // networked controller call Poll()/WaitForUpdate() deterministically).
+//
+// Self-healing sessions: when a HealPolicy is enabled and the transport
+// drops mid-call or mid-poll, the client reconnects with bounded
+// exponential backoff and re-establishes every registered monitor with a
+// "monitor_since" request carrying the last txn-id it saw.  The server
+// replays exactly the deltas committed during the outage (or answers
+// found=false with a full dump when the gap has aged out of its history
+// window), so each handler's update stream stays gap-free across
+// reconnects.  Replayed deltas count as delivered updates in Poll() /
+// WaitForUpdate() return values.
 #ifndef NERPA_OVSDB_CLIENT_H_
 #define NERPA_OVSDB_CLIENT_H_
 
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "ovsdb/jsonrpc.h"
@@ -27,6 +39,30 @@ class OvsdbClient {
   void Disconnect();
   bool connected() const { return fd_ >= 0; }
 
+  /// Session self-healing knobs.  Disabled by default: a dropped transport
+  /// surfaces as an error, exactly as before.
+  struct HealPolicy {
+    bool enabled = false;
+    int max_attempts = 5;    // reconnect attempts per heal
+    int backoff_ms = 10;     // first retry delay, doubled per attempt
+    int max_backoff_ms = 500;
+  };
+  void set_heal_policy(const HealPolicy& policy) { heal_ = policy; }
+  const HealPolicy& heal_policy() const { return heal_; }
+
+  struct SessionStats {
+    uint64_t reconnects = 0;        // successful transport re-establishments
+    uint64_t replayed_updates = 0;  // monitor deltas delivered during heals
+    uint64_t full_redumps = 0;      // heals that fell back to a full dump
+    uint64_t failed_heals = 0;      // heals that exhausted max_attempts
+  };
+  const SessionStats& session_stats() const { return stats_; }
+
+  /// Chaos hook: kills the transport under the session (the next read or
+  /// write fails) without telling the client, as a mid-flight network
+  /// fault would.  Healing, if enabled, kicks in lazily.
+  void InjectTransportFault();
+
   /// Round-trip "echo" (liveness probe).
   Status Echo();
 
@@ -42,9 +78,12 @@ class OvsdbClient {
 
   /// Registers a monitor on `tables` (empty = all); returns the initial
   /// contents.  Subsequent updates are queued and delivered to `handler`
-  /// from Poll().
+  /// from Poll().  The registration survives transport heals.
   Result<Json> Monitor(Json monitor_id, const std::vector<std::string>& tables,
                        UpdateHandler handler);
+  /// Cancels a monitor.  Cancelling over a dead session (heal disabled or
+  /// exhausted) is a local no-op success — the server side died with the
+  /// socket.
   Status MonitorCancel(const Json& monitor_id);
 
   /// Drains any queued update notifications into their handlers without
@@ -55,17 +94,39 @@ class OvsdbClient {
   Result<int> WaitForUpdate(int timeout_ms);
 
  private:
+  struct MonitorReg {
+    Json id;
+    std::vector<std::string> tables;
+    UpdateHandler handler;
+    int64_t last_txn_id = -1;  // newest txn-id seen on this monitor
+  };
+
+  /// Raw connect to host_/port_, resetting transport state but keeping
+  /// monitor registrations.
+  Status Dial();
+  void CloseSocket();
+  /// Reconnects (bounded backoff) and replays each registration through
+  /// "monitor_since"; delivered deltas are counted in heal_delivered_.
+  Status Heal();
   /// Sends a request and blocks for its response, queueing any
-  /// notifications that arrive in between.
+  /// notifications that arrive in between.  No healing.
+  Result<JsonRpcMessage> CallRaw(const std::string& method, Json params);
+  /// CallRaw, plus one heal-and-retry on transport failure when enabled.
   Result<JsonRpcMessage> Call(const std::string& method, Json params);
   Status ReadMore(int timeout_ms);  // feeds the splitter from the socket
   int DeliverQueued();
 
   int fd_ = -1;
+  std::string host_;
+  uint16_t port_ = 0;
   int64_t next_id_ = 1;
   JsonStreamSplitter splitter_;
-  std::deque<JsonRpcMessage> inbox_;        // parsed, undelivered messages
-  std::map<std::string, UpdateHandler> handlers_;  // monitor id dump -> cb
+  std::deque<JsonRpcMessage> inbox_;  // parsed, undelivered messages
+  std::map<std::string, MonitorReg> registrations_;  // monitor id dump -> reg
+  HealPolicy heal_;
+  SessionStats stats_;
+  int heal_delivered_ = 0;  // updates handed to handlers by the last Heal()
+  bool healing_ = false;    // re-entrancy guard
 };
 
 }  // namespace nerpa::ovsdb

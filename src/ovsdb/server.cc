@@ -73,6 +73,24 @@ Status OvsdbServer::Start(uint16_t port) {
     return Internal("listen() failed");
   }
   if (::pipe(wake_pipe_) != 0) return Internal("pipe() failed");
+  // The history monitor feeds the monitor_since replay window.  It is the
+  // FIRST monitor registered, so on every commit the txn counter advances
+  // before any per-client notification lambda reads it.  Registered here
+  // (before the service thread exists) because AddMonitor delivers the
+  // current contents synchronously — which we skip: history records
+  // deltas, not the initial state.
+  {
+    auto first = std::make_shared<bool>(true);
+    history_monitor_id_ =
+        db_->AddMonitor({}, [this, first](const TableUpdates& updates) {
+          if (*first) return;
+          ++txn_counter_;
+          history_.emplace_back(txn_counter_,
+                                TableUpdatesToJson(db_->schema(), updates));
+          while (history_.size() > history_limit_) history_.pop_front();
+        });
+    *first = false;
+  }
   running_.store(true, std::memory_order_release);
   thread_ = std::thread([this] { ServiceLoop(); });
   return Status::Ok();
@@ -86,6 +104,10 @@ void OvsdbServer::Stop() {
   char byte = 'x';
   (void)!::write(wake_pipe_[1], &byte, 1);
   if (thread_.joinable()) thread_.join();
+  if (history_monitor_id_ != 0) {
+    db_->RemoveMonitor(history_monitor_id_);
+    history_monitor_id_ = 0;
+  }
   for (auto& client : clients_) {
     if (client->fd >= 0) ::close(client->fd);
   }
@@ -182,8 +204,8 @@ void OvsdbServer::ServiceLoop() {
 
 void OvsdbServer::DropClient(size_t index) {
   Client& client = *clients_[index];
-  for (const auto& [name, monitor_id] : client.monitors) {
-    db_->RemoveMonitor(monitor_id);
+  for (const auto& [name, sub] : client.monitors) {
+    db_->RemoveMonitor(sub.db_id);
   }
   ::close(client.fd);
   clients_.erase(clients_.begin() + static_cast<long>(index));
@@ -248,6 +270,11 @@ JsonRpcMessage OvsdbServer::HandleRequest(Client& client,
     if (!result.ok()) return fail(result.status().ToString());
     return ok(std::move(result).value());
   }
+  if (request.method == "monitor_since") {
+    Result<Json> result = DoMonitorSince(client, request.params);
+    if (!result.ok()) return fail(result.status().ToString());
+    return ok(std::move(result).value());
+  }
   if (request.method == "monitor_cancel") {
     Result<Json> result = DoMonitorCancel(client, request.params);
     if (!result.ok()) return fail(result.status().ToString());
@@ -256,11 +283,8 @@ JsonRpcMessage OvsdbServer::HandleRequest(Client& client,
   return fail("unknown method '" + request.method + "'");
 }
 
-Result<Json> OvsdbServer::DoMonitor(Client& client, const Json& params) {
-  // params: [db-name, monitor-id(any json), {table: ...} or null = all]
-  if (!params.is_array() || params.as_array().size() < 2) {
-    return InvalidArgument("monitor needs [db, id, requests?]");
-  }
+Result<Json> OvsdbServer::RegisterMonitor(Client& client, const Json& params,
+                                          bool with_txn) {
   Json monitor_id = params.as_array()[1];
   std::string key = monitor_id.Dump();
   if (client.monitors.count(key) != 0) {
@@ -283,7 +307,7 @@ Result<Json> OvsdbServer::DoMonitor(Client& client, const Json& params) {
   auto initial = std::make_shared<Json>(Json::Object{});
   Client* client_ptr = &client;
   uint64_t id = db_->AddMonitor(
-      tables, [this, client_ptr, monitor_id, initial, first](
+      tables, [this, client_ptr, monitor_id, initial, first, with_txn](
                   const TableUpdates& updates) {
         Json payload = TableUpdatesToJson(db_->schema(), updates);
         if (*first) {
@@ -291,13 +315,86 @@ Result<Json> OvsdbServer::DoMonitor(Client& client, const Json& params) {
           return;
         }
         // Runs on the service thread during Transact; push a notification.
+        // The history monitor fired first, so txn_counter_ already names
+        // this commit.
+        Json::Array note{monitor_id, payload};
+        if (with_txn) note.push_back(Json(txn_counter_));
         SendTo(*client_ptr,
-               JsonRpcMessage::Notification(
-                   "update", Json(Json::Array{monitor_id, payload})));
+               JsonRpcMessage::Notification("update", Json(std::move(note))));
       });
   *first = false;
-  client.monitors[key] = id;
+  client.monitors[key] = MonitorSub{id, with_txn};
   return *initial;
+}
+
+Result<Json> OvsdbServer::DoMonitor(Client& client, const Json& params) {
+  // params: [db-name, monitor-id(any json), {table: ...} or null = all]
+  if (!params.is_array() || params.as_array().size() < 2) {
+    return InvalidArgument("monitor needs [db, id, requests?]");
+  }
+  return RegisterMonitor(client, params, /*with_txn=*/false);
+}
+
+namespace {
+
+/// Projects an update payload onto the monitored table set (empty = all).
+Json FilterUpdateTables(const Json& payload,
+                        const std::vector<std::string>& tables) {
+  if (tables.empty() || !payload.is_object()) return payload;
+  Json::Object filtered;
+  for (const std::string& table : tables) {
+    if (const Json* entry = payload.Find(table); entry != nullptr) {
+      filtered[table] = *entry;
+    }
+  }
+  return Json(std::move(filtered));
+}
+
+}  // namespace
+
+Result<Json> OvsdbServer::DoMonitorSince(Client& client, const Json& params) {
+  // params: [db, id, {table: ...} or null = all, last-txn-id]
+  // reply:  [found, latest-txn-id, [updates...]] — when found, the array
+  // holds exactly the deltas after last-txn-id in commit order; when the
+  // gap has aged out of the history window, found=false and the array
+  // holds one full dump.
+  if (!params.is_array() || params.as_array().size() < 4) {
+    return InvalidArgument("monitor_since needs [db, id, requests, last-txn-id]");
+  }
+  const Json& last_json = params.as_array()[3];
+  int64_t last = last_json.is_integer() ? last_json.as_integer() : -1;
+  std::vector<std::string> tables;
+  if (params.as_array()[2].is_object()) {
+    for (const auto& [table, spec] : params.as_array()[2].as_object()) {
+      tables.push_back(table);
+    }
+  }
+  bool found = false;
+  Json::Array missed;
+  if (last >= 0 && last <= txn_counter_) {
+    if (last == txn_counter_) {
+      found = true;  // nothing missed
+    } else if (!history_.empty() && history_.front().first <= last + 1) {
+      found = true;
+      for (const auto& [txn, payload] : history_) {
+        if (txn <= last) continue;
+        Json projected = FilterUpdateTables(payload, tables);
+        if (projected.is_object() && !projected.as_object().empty()) {
+          missed.push_back(std::move(projected));
+        }
+      }
+    }
+  }
+  // Register the live monitor either way; its initial snapshot doubles as
+  // the full dump when replay wasn't possible.
+  NERPA_ASSIGN_OR_RETURN(Json initial,
+                         RegisterMonitor(client, params, /*with_txn=*/true));
+  if (!found) {
+    missed.clear();
+    missed.push_back(std::move(initial));
+  }
+  return Json(Json::Array{Json(found), Json(txn_counter_),
+                          Json(std::move(missed))});
 }
 
 Result<Json> OvsdbServer::DoMonitorCancel(Client& client, const Json& params) {
@@ -309,7 +406,7 @@ Result<Json> OvsdbServer::DoMonitorCancel(Client& client, const Json& params) {
   if (it == client.monitors.end()) {
     return NotFound("no monitor " + key);
   }
-  db_->RemoveMonitor(it->second);
+  db_->RemoveMonitor(it->second.db_id);
   client.monitors.erase(it);
   return Json(Json::Object{});
 }

@@ -4,6 +4,15 @@
 // "list_dbs").  Monitor updates are pushed to subscribers as "update"
 // notifications.
 //
+// Session resumption ("monitor_since", modeled on OVSDB's
+// monitor_cond_since): every committed transaction gets a monotonically
+// increasing txn-id, and the last kHistoryLimit deltas are kept in a
+// bounded history.  A client reconnecting after a dropped transport sends
+// its last seen txn-id; if the gap is still in the history window the
+// server replays exactly the missed deltas (tagged with their txn-ids),
+// otherwise it answers found=false with a full dump — either way the
+// client's update stream is gap-free.
+//
 // Threading model: the server owns a single service thread which is the
 // ONLY accessor of the Database after Start() — clients (including the
 // in-process OvsdbClient) interact exclusively through the socket.
@@ -11,10 +20,13 @@
 #define NERPA_OVSDB_SERVER_H_
 
 #include <atomic>
+#include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -44,20 +56,36 @@ class OvsdbServer {
     return requests_served_.load(std::memory_order_relaxed);
   }
 
+  /// Shrinks the replay history window (call before Start()).  Tests use
+  /// a tiny window to force the found=false full-dump path.
+  void set_history_limit(size_t limit) { history_limit_ = limit; }
+
+  /// Default bound on the monitor_since replay history.
+  static constexpr size_t kHistoryLimit = 256;
+
  private:
+  struct MonitorSub {
+    uint64_t db_id = 0;    // database monitor id
+    bool with_txn = false; // append the txn-id to update notifications
+  };
   struct Client {
     int fd = -1;
     JsonStreamSplitter splitter;
     std::string outbox;
-    // monitor name (client-chosen id, dumped json) -> database monitor id
-    std::map<std::string, uint64_t> monitors;
+    // monitor name (client-chosen id, dumped json) -> subscription
+    std::map<std::string, MonitorSub> monitors;
   };
 
   void ServiceLoop();
   void HandleDocument(Client& client, std::string_view text);
   JsonRpcMessage HandleRequest(Client& client, const JsonRpcMessage& request);
   Result<Json> DoMonitor(Client& client, const Json& params);
+  Result<Json> DoMonitorSince(Client& client, const Json& params);
   Result<Json> DoMonitorCancel(Client& client, const Json& params);
+  /// Shared monitor registration: validates the id and table list, hooks
+  /// the database, and returns the initial snapshot.
+  Result<Json> RegisterMonitor(Client& client, const Json& params,
+                               bool with_txn);
   void SendTo(Client& client, const JsonRpcMessage& message);
   void FlushOutbox(Client& client);
   void DropClient(size_t index);
@@ -70,6 +98,11 @@ class OvsdbServer {
   std::atomic<bool> running_{false};
   std::atomic<uint64_t> requests_served_{0};
   std::vector<std::unique_ptr<Client>> clients_;
+  // --- monitor_since session resumption (service-thread only) ---
+  size_t history_limit_ = kHistoryLimit;
+  int64_t txn_counter_ = 0;
+  std::deque<std::pair<int64_t, Json>> history_;  // (txn-id, updates)
+  uint64_t history_monitor_id_ = 0;
 };
 
 /// Serializes a table-updates delta in the wire form used by "update"

@@ -277,7 +277,8 @@ Result<std::unique_ptr<SnvsStack>> BuildSnvsStack(const SnvsOptions& options) {
   if (!options.ha_dir.empty()) {
     NERPA_ASSIGN_OR_RETURN(stack->store_,
                            ha::DurableStore::Open(SnvsSchema(),
-                                                  options.ha_dir));
+                                                  options.ha_dir,
+                                                  options.io));
     stack->db_raw_ = &stack->store_->db();
     recovered = stack->store_->recovered();
     digest_seq = stack->store_->recovered_digest_seq();
@@ -324,6 +325,9 @@ Result<std::unique_ptr<SnvsStack>> BuildSnvsStack(const SnvsOptions& options) {
   controller_options.resync_on_start = recovered || options.resync;
   controller_options.initial_digest_seq = digest_seq;
   controller_options.retry = options.retry;
+  controller_options.breaker = options.breaker;
+  controller_options.anti_entropy_interval_nanos =
+      options.anti_entropy_interval_nanos;
   stack->controller_ = std::make_unique<Controller>(
       stack->db_raw_, stack->program_, stack->p4_, stack->bindings_,
       controller_options);

@@ -1,0 +1,361 @@
+// Chaos soak: seeded fault schedules hammer all three planes at once —
+// device write failures (quarantined by circuit breakers), OVSDB transport
+// drops (healed by monitor_since session resumption), and filesystem
+// corruption (tolerated by CRC framing + snapshot fallback) — and after
+// quiescence the surviving state must byte-match a from-scratch
+// recomputation.  Every decision draws from one seeded schedule, so a
+// failing run replays exactly from its seed.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chaos/chaos.h"
+#include "common/strings.h"
+#include "ha/durable.h"
+#include "ovsdb/client.h"
+#include "ovsdb/server.h"
+#include "snvs/snvs.h"
+
+namespace nerpa {
+namespace {
+
+struct FaultTally {
+  uint64_t fs = 0;         // durability seam (ChaosIo)
+  uint64_t device = 0;     // data-plane seam (FaultyRuntimeClient)
+  uint64_t transport = 0;  // management-plane seam (socket kills)
+  uint64_t total() const { return fs + device + transport; }
+};
+
+std::string FreshDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "/nerpa_chaos_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+constexpr const char* kTables[] = {"InVlanUntagged", "InVlanTagged",
+                                   "PortMirror",     "Acl",
+                                   "SMac",           "Dmac",
+                                   "FloodVlan",      "OutVlan"};
+
+/// Canonical dump of one device's entire data-plane state for byte-exact
+/// convergence checks (same shape as the test_ha_restart helper).
+std::string DeviceState(const p4::Switch& sw) {
+  std::string out;
+  for (const char* table : kTables) {
+    std::vector<std::string> lines;
+    for (const p4::TableEntry* entry : sw.GetTable(table)->Entries()) {
+      lines.push_back(entry->ToString());
+    }
+    std::sort(lines.begin(), lines.end());
+    for (const std::string& line : lines) out += line + "\n";
+  }
+  for (const auto& [group, ports] : sw.multicast_groups()) {
+    out += "group " + std::to_string(group);
+    for (uint64_t port : ports) out += " " + std::to_string(port);
+    out += "\n";
+  }
+  return out;
+}
+
+// --- snvs half: device faults + filesystem corruption + crashes --------
+
+/// Drives a durable snvs stack through a seeded storm of device write
+/// failures, torn/failed WAL appends, corrupted snapshot writes, and
+/// process crashes; converges it; and checks the survivors byte-match a
+/// from-scratch rebuild off the same durable directory.
+void SnvsSoak(uint64_t seed, FaultTally& tally) {
+  chaos::ChaosSchedule schedule(seed);
+  std::string dir = FreshDir("snvs_" + std::to_string(seed));
+
+  chaos::ChaosIoPolicy io_policy;
+  io_policy.write_corrupt_probability = 0.08;  // snapshot bit rot
+  io_policy.torn_append_probability = 0.02;    // crash mid-append
+  io_policy.append_fail_probability = 0.03;    // transient append error
+  chaos::ChaosIo io(&schedule, io_policy);
+
+  snvs::SnvsOptions options;
+  options.ha_dir = dir;
+  options.io = &io;
+  options.devices = 2;
+  options.fault.write_fail_probability = 0.15;
+  options.retry.max_attempts = 2;
+  options.retry.initial_backoff_nanos = 1000;
+  options.retry.max_backoff_nanos = 4000;
+  options.breaker.enabled = true;
+  options.breaker.strike_threshold = 2;
+  options.breaker.cooldown_nanos = 0;  // probe on the next anti-entropy run
+
+  // Device fault counters die with each stack generation; collect them
+  // before every teardown.
+  auto harvest = [&](snvs::SnvsStack& stack) {
+    for (size_t i = 0; i < stack.device_count(); ++i) {
+      if (ha::FaultyRuntimeClient* faulty = stack.faulty(i)) {
+        tally.device += faulty->fault_stats().injected_failures +
+                        faulty->fault_stats().injected_stalls;
+      }
+    }
+  };
+  auto rebuild = [&]() -> std::unique_ptr<snvs::SnvsStack> {
+    options.fault.seed = schedule.Fork();  // decorrelate each generation
+    auto stack = snvs::BuildSnvsStack(options);
+    EXPECT_TRUE(stack.ok()) << "seed " << seed << ": "
+                            << stack.status().ToString();
+    return stack.ok() ? std::move(stack).value() : nullptr;
+  };
+
+  auto stack = rebuild();
+  ASSERT_NE(stack, nullptr);
+
+  // The management-plane workload.  Names and port numbers are never
+  // reused, so an operation lost to a crash never causes a later
+  // constraint collision; Mirror src_port collisions are legal constraint
+  // rejections and simply skipped.
+  std::vector<std::string> ports;
+  int next_port = 1, next_acl = 0, next_mirror = 0;
+  constexpr int kOps = 140;
+  for (int op = 0; op < kOps; ++op) {
+    ASSERT_NE(stack, nullptr);
+    uint64_t fs_before = io.injected_faults();
+    uint64_t roll = schedule.Pick(100);
+    if (roll < 55 || ports.empty()) {
+      std::string name = StrFormat("p%d", next_port);
+      if (schedule.Flip(0.25)) {
+        (void)stack->AddPort(name, next_port, "trunk", 0, {10, 20});
+      } else {
+        int64_t vlan = 10 + 10 * static_cast<int64_t>(schedule.Pick(4));
+        (void)stack->AddPort(name, next_port, "access", vlan);
+      }
+      ports.push_back(name);
+      ++next_port;
+    } else if (roll < 75) {
+      size_t victim = schedule.Pick(ports.size());
+      (void)stack->DeletePort(ports[victim]);
+      ports.erase(ports.begin() + static_cast<ptrdiff_t>(victim));
+    } else if (roll < 90) {
+      (void)stack->AddAclRule(0x1000 + next_acl++,
+                              10 + 10 * static_cast<int64_t>(schedule.Pick(4)),
+                              schedule.Flip(0.5));
+    } else {
+      (void)stack->AddMirror(StrFormat("m%d", next_mirror++),
+                             1 + static_cast<int64_t>(schedule.Pick(16)),
+                             1 + static_cast<int64_t>(schedule.Pick(16)));
+    }
+    if (io.injected_faults() == fs_before && schedule.Flip(0.12)) {
+      (void)stack->Checkpoint();  // may draw a corrupted snapshot write
+    }
+    // A WAL/snapshot fault means the live database may be ahead of the
+    // durable state: treat it as a crash immediately, so recovery (torn
+    // tail truncation / snapshot fallback) is exercised while disk and
+    // bookkeeping stay consistent.  Occasionally crash for no reason at
+    // all.
+    if (io.injected_faults() != fs_before || schedule.Flip(0.06)) {
+      harvest(*stack);
+      stack.reset();
+      stack = rebuild();
+      ASSERT_NE(stack, nullptr);
+    }
+  }
+
+  // Quiescence: heal every device, then one anti-entropy round must
+  // rejoin whatever is quarantined.
+  for (size_t i = 0; i < stack->device_count(); ++i) {
+    if (ha::FaultyRuntimeClient* faulty = stack->faulty(i)) {
+      ha::FaultPolicy healthy = faulty->policy();
+      healthy.write_fail_probability = 0;
+      faulty->set_policy(healthy);
+    }
+  }
+  ASSERT_TRUE(stack->controller().RunAntiEntropy().ok());
+  Controller::Stats stats = stack->controller().stats();
+  for (const auto& [device, state] : stats.breaker_states) {
+    EXPECT_EQ(state, "closed")
+        << "seed " << seed << ": " << device
+        << " failed to rejoin within one anti-entropy round";
+    EXPECT_EQ(stats.outbox_sizes.at(device), 0u);
+  }
+
+  // Capture the survivors, tear the stack down cleanly, and recompute the
+  // whole system from scratch off the same durable directory with no
+  // chaos anywhere.  Management plane and every interpreted P4 table must
+  // come back byte-identical.
+  Json db_state = ha::DurableStore::SnapshotJson(stack->db(), 0);
+  std::vector<std::string> device_states;
+  for (size_t i = 0; i < stack->device_count(); ++i) {
+    device_states.push_back(DeviceState(stack->device(i)));
+  }
+  harvest(*stack);
+  tally.fs += io.injected_faults();
+  stack.reset();
+
+  snvs::SnvsOptions clean;
+  clean.ha_dir = dir;
+  clean.devices = 2;
+  auto reference = snvs::BuildSnvsStack(clean);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  EXPECT_TRUE((*reference)->store()->recovered());
+  EXPECT_EQ(ha::DurableStore::SnapshotJson((*reference)->db(), 0), db_state)
+      << "seed " << seed << ": management plane diverged";
+  for (size_t i = 0; i < device_states.size(); ++i) {
+    EXPECT_EQ(DeviceState((*reference)->device(i)), device_states[i])
+        << "seed " << seed << ": device " << i << " diverged";
+  }
+}
+
+// --- transport half: session kills under a live update stream ----------
+
+/// A row-level replica maintained purely from one monitor's update
+/// stream.  Gap-free delivery across heals ⇒ the replica equals the
+/// authoritative database at quiescence.
+using Replica = std::map<std::string, std::map<std::string, Json>>;
+
+void ApplyUpdates(Replica& replica, const Json& updates) {
+  if (!updates.is_object()) return;
+  for (const auto& [table, rows] : updates.as_object()) {
+    for (const auto& [uuid, delta] : rows.as_object()) {
+      const Json* new_row = delta.Find("new");
+      if (new_row != nullptr) {
+        replica[table][uuid] = *new_row;
+      } else {
+        replica[table].erase(uuid);
+      }
+    }
+  }
+}
+
+std::string ReplicaDump(const Replica& replica) {
+  std::string out;
+  for (const auto& [table, rows] : replica) {
+    if (rows.empty()) continue;
+    for (const auto& [uuid, row] : rows) {
+      out += table + "/" + uuid + "=" + row.Dump() + "\n";
+    }
+  }
+  return out;
+}
+
+void TransportSoak(uint64_t seed, FaultTally& tally) {
+  // Decorrelated from the snvs half but still a pure function of `seed`.
+  chaos::ChaosSchedule schedule(seed ^ 0x9e3779b97f4a7c15ull);
+  auto server = std::make_unique<ovsdb::OvsdbServer>(
+      std::make_unique<ovsdb::Database>(snvs::SnvsSchema()));
+  ASSERT_TRUE(server->Start().ok());
+
+  ovsdb::OvsdbClient watcher;
+  ovsdb::OvsdbClient::HealPolicy heal;
+  heal.enabled = true;
+  heal.backoff_ms = 1;
+  watcher.set_heal_policy(heal);
+  ASSERT_TRUE(watcher.Connect("127.0.0.1", server->port()).ok());
+  Replica replica;
+  ASSERT_TRUE(watcher
+                  .Monitor(Json("replica"), {},
+                           [&](const Json&, const Json& updates) {
+                             ApplyUpdates(replica, updates);
+                           })
+                  .ok());
+
+  ovsdb::OvsdbClient writer;  // its own (never-faulted) session
+  ASSERT_TRUE(writer.Connect("127.0.0.1", server->port()).ok());
+  std::vector<std::string> ports;
+  int next_port = 1000;  // disjoint from anything else
+  constexpr int kTxns = 60;
+  for (int t = 0; t < kTxns; ++t) {
+    if (schedule.Pick(100) < 70 || ports.empty()) {
+      std::string name = StrFormat("w%d", next_port);
+      auto result = writer.Transact(
+          Json::Parse(StrFormat(
+                          R"([{"op": "insert", "table": "Port",
+                               "row": {"name": "%s", "port": %d,
+                                       "vlan_mode": "access", "tag": 10}}])",
+                          name.c_str(), next_port))
+              .value());
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      ports.push_back(name);
+      ++next_port;
+    } else {
+      size_t victim = schedule.Pick(ports.size());
+      auto result = writer.Transact(
+          Json::Parse(StrFormat(
+                          R"([{"op": "delete", "table": "Port",
+                               "where": [["name", "==", "%s"]]}])",
+                          ports[victim].c_str()))
+              .value());
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      ports.erase(ports.begin() + static_cast<ptrdiff_t>(victim));
+    }
+    // Kill the watcher's transport mid-stream; sometimes pump it (healing
+    // lazily), sometimes let drops pile up across several transactions.
+    if (schedule.Flip(0.35)) {
+      watcher.InjectTransportFault();
+      ++tally.transport;
+    }
+    if (schedule.Flip(0.5)) {
+      auto polled = watcher.Poll();
+      ASSERT_TRUE(polled.ok()) << polled.status().ToString();
+    }
+  }
+
+  // Quiescence: drain everything (healing one last time if the final kill
+  // landed after the final poll).
+  for (int quiet = 0; quiet < 2;) {
+    auto polled = watcher.Poll();
+    ASSERT_TRUE(polled.ok()) << polled.status().ToString();
+    quiet = *polled == 0 ? quiet + 1 : 0;
+  }
+  EXPECT_GT(watcher.session_stats().reconnects, 0u);
+  EXPECT_EQ(watcher.session_stats().full_redumps, 0u)
+      << "gap outgrew the server history; raise kHistoryLimit in the test";
+
+  // Authoritative contents via a fresh session's initial dump.
+  ovsdb::OvsdbClient auditor;
+  ASSERT_TRUE(auditor.Connect("127.0.0.1", server->port()).ok());
+  auto dump = auditor.Monitor(Json("audit"), {},
+                              [](const Json&, const Json&) {});
+  ASSERT_TRUE(dump.ok()) << dump.status().ToString();
+  Replica authoritative;
+  ApplyUpdates(authoritative, *dump);
+  EXPECT_EQ(ReplicaDump(replica), ReplicaDump(authoritative))
+      << "seed " << seed << ": replica diverged from the database";
+
+  watcher.Disconnect();
+  writer.Disconnect();
+  auditor.Disconnect();
+  server->Stop();
+}
+
+// The three fixed seeds the CI chaos-soak job pins (scripts/ci.sh).  Each
+// seed must inject at least 50 faults spanning all three seams and still
+// converge byte-identically.
+constexpr uint64_t kSoakSeeds[] = {11, 23, 42};
+
+TEST(ChaosSoak, SeededFaultStormsConvergeAcrossAllThreePlanes) {
+  for (uint64_t seed : kSoakSeeds) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    FaultTally tally;
+    SnvsSoak(seed, tally);
+    TransportSoak(seed, tally);
+    EXPECT_GT(tally.fs, 0u) << "no filesystem faults fired";
+    EXPECT_GT(tally.device, 0u) << "no device faults fired";
+    EXPECT_GT(tally.transport, 0u) << "no transport faults fired";
+    EXPECT_GE(tally.total(), 50u) << "fault storm too weak to mean anything";
+  }
+}
+
+// Determinism of the harness itself: the same seed must produce the same
+// fault counts (and therefore the same storm) run to run.
+TEST(ChaosSoak, ScheduleIsDeterministic) {
+  chaos::ChaosSchedule a(7), b(7);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.Flip(0.3), b.Flip(0.3));
+    ASSERT_EQ(a.Pick(97), b.Pick(97));
+  }
+  ASSERT_EQ(a.Fork(), b.Fork());
+}
+
+}  // namespace
+}  // namespace nerpa

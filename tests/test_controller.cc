@@ -7,6 +7,7 @@
 #include <chrono>
 #include <thread>
 
+#include "ha/fault.h"
 #include "nerpa/controller.h"
 #include "ovsdb/database.h"
 #include "p4/text.h"
@@ -326,6 +327,148 @@ TEST(ControllerParallel, ParallelResyncOnStartConverges) {
     ASSERT_TRUE(rig.controller->ResyncDevice(DeviceName(d)).ok());
     EXPECT_EQ(rig.clients[d]->write_count(), writes);
   }
+}
+
+/// A device that is down hard: every write errors until `revived`.
+class DeadClient : public p4::RuntimeClient {
+ public:
+  using p4::RuntimeClient::RuntimeClient;
+  Status Write(const std::vector<p4::Update>& updates) override {
+    if (!revived) return Internal("device unreachable");
+    return p4::RuntimeClient::Write(updates);
+  }
+  Status SetMulticastGroup(uint32_t group,
+                           std::vector<uint64_t> ports) override {
+    if (!revived) return Internal("device unreachable");
+    return p4::RuntimeClient::SetMulticastGroup(group, std::move(ports));
+  }
+  bool revived = false;
+};
+
+TEST(ControllerParallel, DeadDeviceIsQuarantinedWhileOthersCommitFully) {
+  Controller::Options options;
+  options.write_parallelism = 3;
+  options.retry.max_attempts = 2;
+  options.retry.initial_backoff_nanos = 1000;
+  options.retry.max_backoff_nanos = 2000;
+  options.breaker.enabled = true;
+  options.breaker.strike_threshold = 1;
+  options.breaker.cooldown_nanos = 0;  // probe on the next anti-entropy run
+  ParRig rig = MakeParRig(3, options);
+  auto dead_sw = std::make_unique<p4::Switch>(rig.pipeline);
+  DeadClient dead(dead_sw.get());
+
+  ASSERT_TRUE(rig.controller->AddDevice("sw0", &dead).ok());
+  for (int i = 1; i < 3; ++i) {
+    ASSERT_TRUE(rig.controller
+                    ->AddDevice(DeviceName(i), rig.clients[i].get())
+                    .ok());
+  }
+  ASSERT_TRUE(rig.controller->Start().ok());
+
+  constexpr int kTxns = 10;
+  for (int t = 0; t < kTxns; ++t) {
+    ovsdb::TxnBuilder txn(rig.db.get());
+    for (int d = 0; d < 3; ++d) {
+      txn.Insert("Assignment",
+                 {{"device", ovsdb::Datum::String(DeviceName(d))},
+                  {"port", ovsdb::Datum::Integer(t + 1)},
+                  {"vlan", ovsdb::Datum::Integer(100 + t)}});
+    }
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  // The dead device never aborted a sync: the breaker absorbed it.
+  ASSERT_TRUE(rig.controller->last_error().ok());
+  Controller::Stats stats = rig.controller->stats();
+  EXPECT_EQ(stats.breaker_states.at("sw0"), "open");
+  EXPECT_GE(stats.breaker_trips, 1u);
+  EXPECT_GE(stats.write_failures, 1u);
+  // The quarantined deltas coalesced into the outbox instead of erroring.
+  EXPECT_GT(stats.outbox_sizes.at("sw0"), 0u);
+  // The healthy devices committed every transaction at full rate.
+  for (int d = 1; d < 3; ++d) {
+    EXPECT_EQ(rig.switches[d]->GetTable("VlanMap")->size(),
+              static_cast<size_t>(kTxns));
+    EXPECT_EQ(rig.clients[d]->ops, std::vector<char>(kTxns, 'I'))
+        << "device " << d << " was stalled by the dead one";
+  }
+  EXPECT_EQ(dead_sw->GetTable("VlanMap")->size(), 0u);
+
+  // While quarantined, batches are not even attempted against the device.
+  uint64_t failures_at_trip = rig.controller->stats().write_failures;
+  {
+    ovsdb::TxnBuilder txn(rig.db.get());
+    txn.Insert("Assignment", {{"device", ovsdb::Datum::String("sw0")},
+                              {"port", ovsdb::Datum::Integer(77)},
+                              {"vlan", ovsdb::Datum::Integer(7)}});
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  EXPECT_EQ(rig.controller->stats().write_failures, failures_at_trip);
+
+  // An anti-entropy round against the still-dead device: probe fails, the
+  // breaker re-opens, nothing crashes.
+  ASSERT_TRUE(rig.controller->RunAntiEntropy().ok());
+  stats = rig.controller->stats();
+  EXPECT_GE(stats.breaker_probes, 1u);
+  EXPECT_EQ(stats.breaker_rejoins, 0u);
+  EXPECT_EQ(stats.breaker_states.at("sw0"), "open");
+
+  // The device comes back; one anti-entropy round fully converges it.
+  dead.revived = true;
+  ASSERT_TRUE(rig.controller->RunAntiEntropy().ok());
+  stats = rig.controller->stats();
+  EXPECT_EQ(stats.breaker_states.at("sw0"), "closed");
+  EXPECT_EQ(stats.breaker_rejoins, 1u);
+  EXPECT_EQ(stats.outbox_sizes.at("sw0"), 0u);
+  EXPECT_EQ(dead_sw->GetTable("VlanMap")->size(),
+            static_cast<size_t>(kTxns + 1));  // backlog + the 77 row
+
+  // And it tracks live updates again.
+  {
+    ovsdb::TxnBuilder txn(rig.db.get());
+    txn.Insert("Assignment", {{"device", ovsdb::Datum::String("sw0")},
+                              {"port", ovsdb::Datum::Integer(88)},
+                              {"vlan", ovsdb::Datum::Integer(8)}});
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  EXPECT_EQ(dead_sw->GetTable("VlanMap")->size(),
+            static_cast<size_t>(kTxns + 2));
+}
+
+TEST(Controller, SlowDeviceTripsBreakerViaTimeoutStrikes) {
+  Controller::Options options;
+  options.retry.max_attempts = 1;
+  options.breaker.enabled = true;
+  options.breaker.strike_threshold = 2;
+  options.breaker.cooldown_nanos = 0;
+  options.breaker.write_timeout_nanos = 100'000;  // 0.1 ms budget
+  ParRig rig = MakeParRig(1, options);
+  auto slow_sw = std::make_unique<p4::Switch>(rig.pipeline);
+  ha::FaultPolicy policy;
+  policy.write_fail_probability = 1.0;  // every write draws a fault...
+  policy.stall_nanos = 2'000'000;       // ...stalling 2 ms, then succeeding
+  ha::FaultyRuntimeClient slow(slow_sw.get(), policy);
+  ASSERT_TRUE(rig.controller->AddDevice("sw0", &slow).ok());
+  ASSERT_TRUE(rig.controller->Start().ok());
+
+  // Two slow-but-successful writes = two timeout strikes = quarantine.
+  ASSERT_TRUE(AddAssignment(*rig.db, "sw0", 1, 10).ok());
+  ASSERT_TRUE(AddAssignment(*rig.db, "sw0", 2, 20).ok());
+  ASSERT_TRUE(rig.controller->last_error().ok());
+  Controller::Stats stats = rig.controller->stats();
+  EXPECT_GE(stats.slow_writes, 2u);
+  EXPECT_EQ(stats.write_failures, 0u);  // the writes succeeded, slowly
+  EXPECT_GE(stats.breaker_trips, 1u);
+  EXPECT_EQ(stats.breaker_states.at("sw0"), "open");
+  // The slow writes did land on the device even though they struck.
+  EXPECT_EQ(slow_sw->GetTable("VlanMap")->size(), 2u);
+
+  // Back to full speed: the probe resyncs and the breaker closes.
+  policy.stall_nanos = 0;
+  policy.write_fail_probability = 0;
+  slow.set_policy(policy);
+  ASSERT_TRUE(rig.controller->RunAntiEntropy().ok());
+  EXPECT_EQ(rig.controller->stats().breaker_states.at("sw0"), "closed");
 }
 
 TEST(Controller, MulticastGroupLifecycle) {

@@ -91,6 +91,68 @@ TEST(WriteAheadLog, CorruptionBeforeTailFailsReplay) {
   EXPECT_FALSE(wal->Replay([](const Json&) { return Status::Ok(); }).ok());
 }
 
+TEST(WriteAheadLog, AppendAfterMoveWrites) {
+  std::string dir = FreshDir("wal_move");
+  std::string path = dir + "/wal.jsonl";
+  auto opened = WriteAheadLog::Open(path);
+  ASSERT_TRUE(opened.ok());
+  ASSERT_TRUE(opened->Append(Record(1)).ok());
+
+  // Move-construct, then move-assign; the append stream must follow the
+  // moves (regression: a moved-from raw ofstream member used to leave the
+  // destination writing nowhere).
+  WriteAheadLog moved(std::move(opened).value());
+  ASSERT_TRUE(moved.Append(Record(2)).ok());
+  WriteAheadLog assigned = WriteAheadLog::Open(dir + "/other.jsonl").value();
+  assigned = std::move(moved);
+  ASSERT_TRUE(assigned.Append(Record(3)).ok());
+  EXPECT_EQ(assigned.records_appended(), 3u);
+
+  std::vector<Json> replayed;
+  auto reader = WriteAheadLog::Open(path);
+  ASSERT_TRUE(reader.ok());
+  ASSERT_TRUE(reader->Replay([&](const Json& record) {
+                   replayed.push_back(record);
+                   return Status::Ok();
+                 }).ok());
+  ASSERT_EQ(replayed.size(), 3u);
+  for (int64_t n = 1; n <= 3; ++n) EXPECT_EQ(replayed[n - 1], Record(n));
+}
+
+TEST(WriteAheadLog, InteriorValidJsonByteFlipCaughtByCrc) {
+  std::string dir = FreshDir("wal_byteflip");
+  std::string path = dir + "/wal.jsonl";
+  {
+    auto wal = WriteAheadLog::Open(path);
+    ASSERT_TRUE(wal.ok());
+    for (int64_t n = 1; n <= 3; ++n) ASSERT_TRUE(wal->Append(Record(n)).ok());
+  }
+  // Flip one digit inside record 2's JSON.  The line still parses as
+  // valid JSON — only the checksum can tell it was altered.
+  std::string text;
+  {
+    std::ifstream in(path);
+    text.assign(std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>());
+  }
+  size_t line2 = text.find('\n') + 1;
+  size_t digit = text.find("\"n\":2", line2);
+  ASSERT_NE(digit, std::string::npos);
+  text[digit + 4] = '7';
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << text;
+  }
+  auto wal = WriteAheadLog::Open(path);
+  ASSERT_TRUE(wal.ok());
+  Status replay = wal->Replay([](const Json&) { return Status::Ok(); });
+  ASSERT_FALSE(replay.ok());
+  // Fails fast naming the corrupt record, not silently dropping it.
+  EXPECT_NE(replay.ToString().find("record 2"), std::string::npos)
+      << replay.ToString();
+  EXPECT_NE(replay.ToString().find("crc mismatch"), std::string::npos);
+}
+
 TEST(WriteAheadLog, ResetCompactsToEmpty) {
   std::string dir = FreshDir("wal_reset");
   std::string path = dir + "/wal.jsonl";
@@ -259,6 +321,25 @@ TEST(FaultyRuntimeClient, MaxFailuresHeals) {
   EXPECT_TRUE(client.Write({{p4::UpdateType::kInsert, AclEntry(1, 1)}}).ok());
   EXPECT_EQ(client.fault_stats().injected_failures, 2u);
   EXPECT_EQ(sw.GetTable("Acl")->size(), 1u);
+}
+
+TEST(FaultyRuntimeClient, StallModeSucceedsSlowly) {
+  auto program = snvs::SnvsP4Program();
+  p4::Switch sw(program);
+  FaultPolicy policy;
+  policy.write_fail_probability = 1.0;  // every write draws a fault...
+  policy.stall_nanos = 200'000;         // ...but stalls instead of failing
+  FaultyRuntimeClient client(&sw, policy);
+  EXPECT_TRUE(client.Write({{p4::UpdateType::kInsert, AclEntry(1, 1)}}).ok());
+  EXPECT_EQ(client.fault_stats().injected_stalls, 1u);
+  EXPECT_EQ(client.fault_stats().injected_failures, 0u);
+  EXPECT_EQ(sw.GetTable("Acl")->size(), 1u);  // slow, not broken
+
+  // Flipping the policy back to error mode makes the same client break.
+  policy.stall_nanos = 0;
+  client.set_policy(policy);
+  EXPECT_FALSE(client.Write({{p4::UpdateType::kInsert, AclEntry(2, 1)}}).ok());
+  EXPECT_EQ(client.fault_stats().injected_failures, 1u);
 }
 
 TEST(FaultyRuntimeClient, ReadsAreNeverFaulted) {

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -267,6 +268,75 @@ TEST(HaRestart, DigestSeqStaysMonotoneAcrossRestart) {
                              Mac(0, 0, 0, 0, 0, 0xBB), 0x0800, {1, 2, 3}));
   ASSERT_TRUE(out.ok()) << out.status().ToString();
   EXPECT_GT((*stack)->controller().digest_seq(), seq_at_checkpoint);
+}
+
+TEST(HaRestart, CorruptSnapshotFallsBackToPreviousGeneration) {
+  std::string dir = FreshDir("snap_fallback");
+  Json db_before;
+  {
+    SnvsOptions options;
+    options.ha_dir = dir;
+    auto stack = BuildSnvsStack(options);
+    ASSERT_TRUE(stack.ok()) << stack.status().ToString();
+    ASSERT_TRUE((*stack)->AddPort("p1", 1, "access", 10).ok());
+    ASSERT_TRUE((*stack)->Checkpoint().ok());
+    ASSERT_TRUE((*stack)->AddPort("p2", 2, "access", 10).ok());
+    ASSERT_TRUE((*stack)->Checkpoint().ok());
+    // Live WAL records on top of the (about to be corrupted) snapshot.
+    ASSERT_TRUE((*stack)->AddPort("p3", 3, "access", 20).ok());
+    db_before = ha::DurableStore::SnapshotJson((*stack)->db(), 0);
+  }
+
+  // Bit rot inside the current snapshot: still valid JSON, wrong CRC.
+  {
+    std::string path = dir + "/snapshot.json";
+    std::ifstream in(path);
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    size_t pos = text.find("access");
+    ASSERT_NE(pos, std::string::npos);
+    text[pos] = 'b';
+    std::ofstream out(path, std::ios::trunc);
+    out << text;
+  }
+
+  // Recovery detects the mismatch and rebuilds from the previous
+  // generation: snapshot.json.1 + wal.jsonl.1 + wal.jsonl reconstruct the
+  // exact same management plane, p3 included.
+  SnvsOptions options;
+  options.ha_dir = dir;
+  auto stack = BuildSnvsStack(options);
+  ASSERT_TRUE(stack.ok()) << stack.status().ToString();
+  EXPECT_TRUE((*stack)->store()->recovered());
+  EXPECT_EQ((*stack)->store()->stats().snapshot_fallbacks, 1u);
+  EXPECT_EQ(ha::DurableStore::SnapshotJson((*stack)->db(), 0), db_before);
+}
+
+TEST(HaRestart, TornFramedWalTailIsDroppedOnRestart) {
+  std::string dir = FreshDir("torn_framed");
+  Json db_before;
+  {
+    SnvsOptions options;
+    options.ha_dir = dir;
+    auto stack = BuildSnvsStack(options);
+    ASSERT_TRUE(stack.ok()) << stack.status().ToString();
+    ASSERT_TRUE((*stack)->AddPort("p1", 1, "access", 10).ok());
+    db_before = ha::DurableStore::SnapshotJson((*stack)->db(), 0);
+  }
+  // Crash mid-append: a framed record whose tail never hit the disk.  The
+  // stored CRC covers the full record, so the prefix cannot pass.
+  {
+    std::string full = ha::WriteAheadLog::FrameRecord(
+        Json(Json::Object{{"never", Json(true)}}));
+    std::ofstream out(dir + "/wal.jsonl", std::ios::app);
+    out << full.substr(0, full.size() / 2);
+  }
+  SnvsOptions options;
+  options.ha_dir = dir;
+  auto stack = BuildSnvsStack(options);
+  ASSERT_TRUE(stack.ok()) << stack.status().ToString();
+  EXPECT_EQ((*stack)->store()->stats().truncated_tail_records, 1u);
+  EXPECT_EQ(ha::DurableStore::SnapshotJson((*stack)->db(), 0), db_before);
 }
 
 TEST(HaRestart, ControllerConvergesThroughInjectedWriteFaults) {

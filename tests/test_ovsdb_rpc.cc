@@ -2,6 +2,7 @@
 // and a live TCP server/client exchange with monitors.
 #include <gtest/gtest.h>
 
+#include "common/strings.h"
 #include "ovsdb/client.h"
 #include "ovsdb/server.h"
 #include "snvs/snvs.h"
@@ -150,6 +151,153 @@ TEST_F(RpcTest, MonitorStreamsUpdates) {
   delivered = client_.WaitForUpdate(300);
   ASSERT_TRUE(delivered.ok());
   EXPECT_EQ(*delivered, 0);
+}
+
+// --- Self-healing session semantics -----------------------------------
+
+Status InsertPort(OvsdbClient& client, const std::string& name, int64_t port) {
+  return client
+      .Transact(Json::Parse(StrFormat(
+                                R"([{"op": "insert", "table": "Port",
+                                     "row": {"name": "%s", "port": %lld,
+                                             "vlan_mode": "access",
+                                             "tag": 10}}])",
+                                name.c_str(), static_cast<long long>(port)))
+                    .value())
+      .status();
+}
+
+TEST_F(RpcTest, HealReplaysExactlyTheMissedDeltas) {
+  OvsdbClient::HealPolicy heal;
+  heal.enabled = true;
+  client_.set_heal_policy(heal);
+
+  // Count every distinct insert delivered, keyed by port name, to pin
+  // down exactly-once delivery across the reconnect.
+  std::map<std::string, int> seen;
+  auto initial = client_.Monitor(
+      Json("m1"), {"Port"}, [&](const Json&, const Json& updates) {
+        const Json* ports = updates.Find("Port");
+        if (ports == nullptr) return;
+        for (const auto& [uuid, delta] : ports->as_object()) {
+          const Json* row = delta.Find("new");
+          if (row != nullptr) ++seen[row->Find("name")->as_string()];
+        }
+      });
+  ASSERT_TRUE(initial.ok()) << initial.status().ToString();
+
+  OvsdbClient writer;
+  ASSERT_TRUE(writer.Connect("127.0.0.1", server_->port()).ok());
+  ASSERT_TRUE(InsertPort(writer, "p1", 1).ok());
+  auto delivered = client_.WaitForUpdate(2000);
+  ASSERT_TRUE(delivered.ok());
+  ASSERT_EQ(*delivered, 1);
+
+  // Kill the transport, then commit twice while the session is down.
+  client_.InjectTransportFault();
+  ASSERT_TRUE(InsertPort(writer, "p2", 2).ok());
+  ASSERT_TRUE(InsertPort(writer, "p3", 3).ok());
+
+  // The next pump notices the dead transport, reconnects, and replays
+  // exactly the two missed deltas — p1 is not delivered again.
+  delivered = client_.Poll();
+  ASSERT_TRUE(delivered.ok()) << delivered.status().ToString();
+  EXPECT_EQ(*delivered, 2);
+  EXPECT_EQ(client_.session_stats().reconnects, 1u);
+  EXPECT_EQ(client_.session_stats().replayed_updates, 2u);
+  EXPECT_EQ(client_.session_stats().full_redumps, 0u);
+  EXPECT_EQ(seen["p1"], 1);
+  EXPECT_EQ(seen["p2"], 1);
+  EXPECT_EQ(seen["p3"], 1);
+
+  // The healed session streams live again.
+  ASSERT_TRUE(InsertPort(writer, "p4", 4).ok());
+  delivered = client_.WaitForUpdate(2000);
+  ASSERT_TRUE(delivered.ok());
+  EXPECT_EQ(*delivered, 1);
+  EXPECT_EQ(seen["p4"], 1);
+}
+
+TEST(RpcHeal, FullRedumpWhenGapAgedOutOfHistory) {
+  auto server = std::make_unique<OvsdbServer>(
+      std::make_unique<Database>(snvs::SnvsSchema()));
+  server->set_history_limit(1);
+  ASSERT_TRUE(server->Start().ok());
+
+  OvsdbClient client;
+  OvsdbClient::HealPolicy heal;
+  heal.enabled = true;
+  client.set_heal_policy(heal);
+  ASSERT_TRUE(client.Connect("127.0.0.1", server->port()).ok());
+  int full_dump_rows = 0;
+  ASSERT_TRUE(client
+                  .Monitor(Json("m"), {"Port"},
+                           [&](const Json&, const Json& updates) {
+                             const Json* ports = updates.Find("Port");
+                             if (ports == nullptr) return;
+                             full_dump_rows =
+                                 static_cast<int>(ports->as_object().size());
+                           })
+                  .ok());
+
+  OvsdbClient writer;
+  ASSERT_TRUE(writer.Connect("127.0.0.1", server->port()).ok());
+  client.InjectTransportFault();
+  ASSERT_TRUE(InsertPort(writer, "p1", 1).ok());
+  ASSERT_TRUE(InsertPort(writer, "p2", 2).ok());
+  ASSERT_TRUE(InsertPort(writer, "p3", 3).ok());
+
+  // Three commits but a one-entry history: the gap aged out, so the heal
+  // falls back to a full dump carrying the complete current contents.
+  auto delivered = client.Poll();
+  ASSERT_TRUE(delivered.ok()) << delivered.status().ToString();
+  EXPECT_GE(*delivered, 1);
+  EXPECT_EQ(client.session_stats().full_redumps, 1u);
+  EXPECT_EQ(full_dump_rows, 3);
+
+  client.Disconnect();
+  server->Stop();
+}
+
+TEST_F(RpcTest, MonitorCancelOfDeadSessionIsNoOp) {
+  ASSERT_TRUE(client_
+                  .Monitor(Json("m1"), {"Port"},
+                           [](const Json&, const Json&) {})
+                  .ok());
+  client_.InjectTransportFault();
+  // Healing is off: the session is simply dead.  Cancelling a monitor we
+  // held is a local no-op success; the server half died with the socket.
+  EXPECT_TRUE(client_.MonitorCancel(Json("m1")).ok());
+  // An id that was never registered still surfaces the transport error.
+  EXPECT_FALSE(client_.MonitorCancel(Json("never-registered")).ok());
+}
+
+TEST_F(RpcTest, OverlappingMonitorIdsRejected) {
+  ASSERT_TRUE(client_
+                  .Monitor(Json("dup"), {"Port"},
+                           [](const Json&, const Json&) {})
+                  .ok());
+  auto second = client_.Monitor(Json("dup"), {"Mirror"},
+                                [](const Json&, const Json&) {});
+  EXPECT_FALSE(second.ok());
+  // Distinct sessions may reuse the id: it is per-session, not global.
+  OvsdbClient other;
+  ASSERT_TRUE(other.Connect("127.0.0.1", server_->port()).ok());
+  EXPECT_TRUE(other
+                  .Monitor(Json("dup"), {"Port"},
+                           [](const Json&, const Json&) {})
+                  .ok());
+}
+
+TEST_F(RpcTest, TransactHealsAcrossTransportFault) {
+  OvsdbClient::HealPolicy heal;
+  heal.enabled = true;
+  client_.set_heal_policy(heal);
+  client_.InjectTransportFault();
+  // The first send fails on the dead socket; the client reconnects and
+  // retries the call once.
+  EXPECT_TRUE(InsertPort(client_, "p1", 1).ok());
+  EXPECT_EQ(client_.session_stats().reconnects, 1u);
 }
 
 TEST_F(RpcTest, TwoClientsSeeEachOthersCommits) {
