@@ -271,10 +271,25 @@ Result<std::unique_ptr<DurableStore>> DurableStore::Open(
 Status DurableStore::Checkpoint(int64_t digest_seq) {
   Json snapshot = SnapshotJson(*db_, digest_seq);
   const std::string snap = SnapshotPath(dir_);
-  // Rotate the previous generation aside first.  Invariant after this
-  // checkpoint: snapshot.json.1 + wal.jsonl.1 reproduce exactly the state
-  // captured in the new snapshot.json, so a corrupt current snapshot can
-  // always be recovered from the previous one plus the longer replay.
+  // Crash-safe rotation: after every individual step below, the on-disk
+  // state still recovers to the current database under Open()'s rules
+  // (snapshot.json + wal.jsonl, else snapshot.json.1 [+ wal.jsonl.1]
+  // + wal.jsonl).
+  //
+  //   1. Drop the stale wal.jsonl.1 — it is subsumed by the current
+  //      snapshot.  Were it left in place, a crash after step 2 would
+  //      make recovery replay it on top of the NEWER snapshot.json.1,
+  //      double-applying uuid-pinned transactions.
+  //   2. Rotate snapshot.json -> snapshot.json.1.  A crash here leaves
+  //      snapshot.json.1 + wal.jsonl, which Open() recovers (a missing
+  //      wal.jsonl.1 is tolerated).
+  //   3. Rotate wal.jsonl -> wal.jsonl.1 and start a fresh segment.  A
+  //      crash here leaves snapshot.json.1 + wal.jsonl.1 + empty WAL.
+  //   4. Publish the new snapshot atomically, restoring the invariant:
+  //      snapshot.json.1 + wal.jsonl.1 reproduce exactly snapshot.json,
+  //      so a corrupt current snapshot can always be recovered from the
+  //      previous generation plus the longer replay.
+  NERPA_RETURN_IF_ERROR(io_->Remove(WalPath(dir_) + ".1"));
   if (io_->Exists(snap)) {
     NERPA_RETURN_IF_ERROR(io_->Rename(snap, snap + ".1"));
   }

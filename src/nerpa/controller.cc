@@ -70,6 +70,7 @@ Status Controller::AddDevice(std::string name, p4::RuntimeClient* client) {
       QuarantineLocked(devices_.back());
       return Status::Ok();
     }
+    std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.errors;
     if (last_error_.ok()) last_error_ = synced;
   }
@@ -150,7 +151,7 @@ Status Controller::Start() {
       }
     });
   }
-  return last_error_;
+  return last_error();
 }
 
 size_t Controller::DispatchWorkers(size_t jobs) const {
@@ -214,15 +215,21 @@ void Controller::OnOvsdbUpdate(const ovsdb::TableUpdates& updates) {
   std::lock_guard<std::mutex> plane(sync_mu_);
   Status status = ProcessOvsdbUpdates(updates);
   if (!status.ok()) {
-    ++stats_.errors;
-    if (last_error_.ok()) last_error_ = status;
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.errors;
+      if (last_error_.ok()) last_error_ = status;
+    }
     LOG_ERROR << "controller: failed to process management update: "
               << status.ToString();
   }
 }
 
 Status Controller::ProcessOvsdbUpdates(const ovsdb::TableUpdates& updates) {
-  ++stats_.ovsdb_updates;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.ovsdb_updates;
+  }
   for (const auto& [table_name, rows] : updates) {
     const OvsdbBinding* binding = bindings_.FindOvsdbTable(table_name);
     if (binding == nullptr) continue;  // not bound; ignore
@@ -243,7 +250,10 @@ Status Controller::ProcessOvsdbUpdates(const ovsdb::TableUpdates& updates) {
     }
   }
   NERPA_ASSIGN_OR_RETURN(dlog::TxnDelta delta, engine_->Commit());
-  ++stats_.dlog_txns;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.dlog_txns;
+  }
   return ApplyOutputDelta(delta);
 }
 
@@ -732,7 +742,10 @@ Status Controller::SyncDataPlaneNotifications() {
           DigestToDlog(*binding, message, device.name, digest_seq_++);
       Status status = engine_->Insert(binding->relation, std::move(row));
       if (!status.ok() && first_error.ok()) first_error = status;
-      ++stats_.digests;
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.digests;
+      }
       any = true;
     });
     device.client->PollDigests();
@@ -740,7 +753,10 @@ Status Controller::SyncDataPlaneNotifications() {
   NERPA_RETURN_IF_ERROR(first_error);
   if (!any) return Status::Ok();
   NERPA_ASSIGN_OR_RETURN(dlog::TxnDelta delta, engine_->Commit());
-  ++stats_.dlog_txns;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.dlog_txns;
+  }
   return ApplyOutputDelta(delta);
 }
 

@@ -203,8 +203,12 @@ class Controller {
   int64_t digest_seq() const { return digest_seq_; }
 
   /// First error hit inside a monitor callback (callbacks cannot return
-  /// Status); ok() if none.
-  const Status& last_error() const { return last_error_; }
+  /// Status); ok() if none.  Snapshot under the stats lock: callbacks may
+  /// set it from the service or anti-entropy thread.
+  Status last_error() const {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    return last_error_;
+  }
 
   /// The underlying engine (introspection in tests/benches).
   dlog::Engine& engine() { return *engine_; }
@@ -312,7 +316,7 @@ class Controller {
   /// paths (monitor callback, digest drain) and anti-entropy (explicit or
   /// background-thread).  Per-device dispatch below it stays concurrent.
   std::mutex sync_mu_;
-  mutable std::mutex stats_mu_;  // guards stats_ + breaker state
+  mutable std::mutex stats_mu_;  // guards stats_ + breaker state + last_error_
   Stats stats_;
   Status last_error_;
   // Background anti-entropy loop (Options.anti_entropy_interval_nanos).

@@ -12,9 +12,18 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "common/clock.h"
 #include "common/strings.h"
+#include "ovsdb/uuid.h"
 
 namespace nerpa::ovsdb {
+
+OvsdbClient::OvsdbClient()
+    // The uuid stream is deterministic per process; folding in the clock
+    // keeps tokens from colliding across processes talking to one server.
+    : session_token_(StrFormat("%s/%llx", Uuid::Generate().ToString().c_str(),
+                               static_cast<unsigned long long>(
+                                   MonotonicNanos()))) {}
 
 OvsdbClient::~OvsdbClient() { Disconnect(); }
 
@@ -62,6 +71,10 @@ void OvsdbClient::InjectTransportFault() {
   if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
 }
 
+void OvsdbClient::InjectReceiveFault() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RD);
+}
+
 Status OvsdbClient::Heal() {
   if (!heal_.enabled) return FailedPrecondition("healing disabled");
   if (healing_) return Internal("transport died during a heal");
@@ -95,8 +108,12 @@ Status OvsdbClient::Heal() {
     }
     params.push_back(Json(std::move(requests)));
     params.push_back(Json(reg.last_txn_id));
+    // The epoch names the server incarnation the txn-id came from; a
+    // restarted server answers found=false (full dump) instead of
+    // replaying deltas from an unrelated history.
+    params.push_back(Json(server_epoch_));
     Result<JsonRpcMessage> response =
-        CallRaw("monitor_since", Json(std::move(params)));
+        CallRaw("monitor_since", Json(std::move(params)), NextId());
     if (!response.ok()) {
       healing_ = false;
       ++stats_.failed_heals;
@@ -124,6 +141,9 @@ Status OvsdbClient::Heal() {
     }
     if (reply.as_array()[1].is_integer()) {
       reg.last_txn_id = reply.as_array()[1].as_integer();
+    }
+    if (reply.as_array().size() >= 4 && reply.as_array()[3].is_string()) {
+      server_epoch_ = reply.as_array()[3].as_string();
     }
   }
   healing_ = false;
@@ -178,10 +198,14 @@ int OvsdbClient::DeliverQueued() {
   return delivered;
 }
 
+Json OvsdbClient::NextId() {
+  return Json(StrFormat("%s#%lld", session_token_.c_str(),
+                        static_cast<long long>(next_id_++)));
+}
+
 Result<JsonRpcMessage> OvsdbClient::CallRaw(const std::string& method,
-                                            Json params) {
+                                            Json params, const Json& id) {
   if (fd_ < 0) return FailedPrecondition("not connected");
-  Json id(next_id_++);
   JsonRpcMessage request =
       JsonRpcMessage::Request(method, std::move(params), id);
   std::string wire = request.ToJson().Dump();
@@ -211,10 +235,14 @@ Result<JsonRpcMessage> OvsdbClient::Call(const std::string& method,
   // Keep a copy for the single heal-and-retry; skipped when healing is off
   // (or when already inside a heal, where CallRaw is used directly).
   Json retry_params = heal_.enabled ? params : Json();
-  Result<JsonRpcMessage> result = CallRaw(method, std::move(params));
+  Json id = NextId();
+  Result<JsonRpcMessage> result = CallRaw(method, std::move(params), id);
   if (result.ok() || !heal_.enabled || healing_) return result;
   NERPA_RETURN_IF_ERROR(Heal());
-  return CallRaw(method, std::move(retry_params));
+  // Same id on the retry: if the server applied the request but the
+  // response was lost in the fault, it answers from its transact cache
+  // instead of applying the transaction a second time.
+  return CallRaw(method, std::move(retry_params), id);
 }
 
 Status OvsdbClient::Echo() {
@@ -283,6 +311,9 @@ Result<Json> OvsdbClient::Monitor(Json monitor_id,
   reg.handler = std::move(handler);
   if (reply.as_array()[1].is_integer()) {
     reg.last_txn_id = reply.as_array()[1].as_integer();
+  }
+  if (reply.as_array().size() >= 4 && reply.as_array()[3].is_string()) {
+    server_epoch_ = reply.as_array()[3].as_string();
   }
   // With last=-1 the server always answers found=false: one full dump,
   // which is exactly the initial contents.

@@ -8,9 +8,15 @@
 // "monitor_since" request carrying the last txn-id it saw.  The server
 // replays exactly the deltas committed during the outage (or answers
 // found=false with a full dump when the gap has aged out of its history
-// window), so each handler's update stream stays gap-free across
-// reconnects.  Replayed deltas count as delivered updates in Poll() /
-// WaitForUpdate() return values.
+// window, or when the server's instance epoch changed — a restarted
+// server must not replay deltas from an unrelated history), so each
+// handler's update stream stays gap-free across reconnects.  Replayed
+// deltas count as delivered updates in Poll() / WaitForUpdate() return
+// values.
+//
+// Heal-and-retried requests re-send the same session-scoped request id;
+// the server dedupes "transact" on it, so a transaction it applied just
+// before the transport died is not applied again (exactly-once).
 #ifndef NERPA_OVSDB_CLIENT_H_
 #define NERPA_OVSDB_CLIENT_H_
 
@@ -29,7 +35,7 @@ namespace nerpa::ovsdb {
 
 class OvsdbClient {
  public:
-  OvsdbClient() = default;
+  OvsdbClient();
   ~OvsdbClient();
 
   OvsdbClient(const OvsdbClient&) = delete;
@@ -62,6 +68,12 @@ class OvsdbClient {
   /// write fails) without telling the client, as a mid-flight network
   /// fault would.  Healing, if enabled, kicks in lazily.
   void InjectTransportFault();
+
+  /// Chaos hook: kills only the receive half — requests still reach the
+  /// server but responses are lost, the worst case for a non-idempotent
+  /// call (the server applies it, the client cannot tell).  Exercises the
+  /// request-id dedup that keeps a healed "transact" exactly-once.
+  void InjectReceiveFault();
 
   /// Round-trip "echo" (liveness probe).
   Status Echo();
@@ -108,10 +120,19 @@ class OvsdbClient {
   /// Reconnects (bounded backoff) and replays each registration through
   /// "monitor_since"; delivered deltas are counted in heal_delivered_.
   Status Heal();
+  /// Next request id: a string namespaced by the per-client session token
+  /// (unique across reconnects), so the server can deduplicate a
+  /// heal-and-retried request that it already applied.
+  Json NextId();
   /// Sends a request and blocks for its response, queueing any
   /// notifications that arrive in between.  No healing.
-  Result<JsonRpcMessage> CallRaw(const std::string& method, Json params);
+  Result<JsonRpcMessage> CallRaw(const std::string& method, Json params,
+                                 const Json& id);
   /// CallRaw, plus one heal-and-retry on transport failure when enabled.
+  /// The retry re-sends the SAME request id: a "transact" the server
+  /// applied before the transport died is answered from its response
+  /// cache instead of being applied twice (exactly-once, not
+  /// at-least-once).
   Result<JsonRpcMessage> Call(const std::string& method, Json params);
   Status ReadMore(int timeout_ms);  // feeds the splitter from the socket
   int DeliverQueued();
@@ -119,10 +140,12 @@ class OvsdbClient {
   int fd_ = -1;
   std::string host_;
   uint16_t port_ = 0;
+  std::string session_token_;  // request-id namespace, fixed per client
   int64_t next_id_ = 1;
   JsonStreamSplitter splitter_;
   std::deque<JsonRpcMessage> inbox_;  // parsed, undelivered messages
   std::map<std::string, MonitorReg> registrations_;  // monitor id dump -> reg
+  std::string server_epoch_;  // server instance id from monitor_since replies
   HealPolicy heal_;
   SessionStats stats_;
   int heal_delivered_ = 0;  // updates handed to handlers by the last Heal()

@@ -9,8 +9,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "common/clock.h"
 #include "common/log.h"
 #include "common/strings.h"
+#include "ovsdb/uuid.h"
 
 namespace nerpa::ovsdb {
 
@@ -73,6 +75,12 @@ Status OvsdbServer::Start(uint16_t port) {
     return Internal("listen() failed");
   }
   if (::pipe(wake_pipe_) != 0) return Internal("pipe() failed");
+  // Fresh instance epoch: txn-ids handed out by a previous incarnation
+  // (whose counter restarted at 0) must never match this history.  The
+  // uuid stream is deterministic per process; folding in the clock keeps
+  // epochs distinct across server processes too.
+  epoch_ = StrFormat("%s@%llx", Uuid::Generate().ToString().c_str(),
+                     static_cast<unsigned long long>(MonotonicNanos()));
   // The history monitor feeds the monitor_since replay window.  It is the
   // FIRST monitor registered, so on every commit the txn counter advances
   // before any per-client notification lambda reads it.  Registered here
@@ -254,16 +262,36 @@ JsonRpcMessage OvsdbServer::HandleRequest(Client& client,
   }
   if (request.method == "transact") {
     // params: [db-name, op1, op2, ...]
+    // String ids key the response cache: a healed client re-sends the same
+    // id, and a transact that was applied before the transport died must
+    // answer from the cache, NOT apply a second time (exactly-once).
+    const bool dedup = request.id.is_string();
+    const std::string dedup_key = dedup ? request.id.as_string() : "";
+    if (dedup) {
+      auto cached = transact_results_.find(dedup_key);
+      if (cached != transact_results_.end()) {
+        transacts_deduped_.fetch_add(1, std::memory_order_relaxed);
+        return cached->second;
+      }
+    }
     if (!request.params.is_array() || request.params.as_array().empty()) {
       return fail("transact needs [db, ops...]");
     }
     Json::Array ops(request.params.as_array().begin() + 1,
                     request.params.as_array().end());
     Result<Json> result = db_->Transact(Json(std::move(ops)));
-    if (!result.ok()) {
-      return fail(result.status().ToString());
+    JsonRpcMessage response = result.ok()
+                                  ? ok(std::move(result).value())
+                                  : fail(result.status().ToString());
+    if (dedup) {
+      transact_results_[dedup_key] = response;
+      transact_order_.push_back(dedup_key);
+      while (transact_order_.size() > kTransactCacheLimit) {
+        transact_results_.erase(transact_order_.front());
+        transact_order_.pop_front();
+      }
     }
-    return ok(std::move(result).value());
+    return response;
   }
   if (request.method == "monitor") {
     Result<Json> result = DoMonitor(client, request.params);
@@ -353,16 +381,23 @@ Json FilterUpdateTables(const Json& payload,
 }  // namespace
 
 Result<Json> OvsdbServer::DoMonitorSince(Client& client, const Json& params) {
-  // params: [db, id, {table: ...} or null = all, last-txn-id]
-  // reply:  [found, latest-txn-id, [updates...]] — when found, the array
-  // holds exactly the deltas after last-txn-id in commit order; when the
-  // gap has aged out of the history window, found=false and the array
-  // holds one full dump.
+  // params: [db, id, {table: ...} or null = all, last-txn-id, epoch?]
+  // reply:  [found, latest-txn-id, [updates...], epoch] — when found, the
+  // array holds exactly the deltas after last-txn-id in commit order; when
+  // the gap has aged out of the history window, or the txn-id was minted
+  // by a different server incarnation (epoch mismatch — the counter
+  // restarts at 0 per Start(), so a stale id could otherwise look
+  // plausible and silently replay the wrong deltas), found=false and the
+  // array holds one full dump.
   if (!params.is_array() || params.as_array().size() < 4) {
     return InvalidArgument("monitor_since needs [db, id, requests, last-txn-id]");
   }
   const Json& last_json = params.as_array()[3];
   int64_t last = last_json.is_integer() ? last_json.as_integer() : -1;
+  std::string client_epoch;
+  if (params.as_array().size() >= 5 && params.as_array()[4].is_string()) {
+    client_epoch = params.as_array()[4].as_string();
+  }
   std::vector<std::string> tables;
   if (params.as_array()[2].is_object()) {
     for (const auto& [table, spec] : params.as_array()[2].as_object()) {
@@ -371,7 +406,7 @@ Result<Json> OvsdbServer::DoMonitorSince(Client& client, const Json& params) {
   }
   bool found = false;
   Json::Array missed;
-  if (last >= 0 && last <= txn_counter_) {
+  if (client_epoch == epoch_ && last >= 0 && last <= txn_counter_) {
     if (last == txn_counter_) {
       found = true;  // nothing missed
     } else if (!history_.empty() && history_.front().first <= last + 1) {
@@ -394,7 +429,7 @@ Result<Json> OvsdbServer::DoMonitorSince(Client& client, const Json& params) {
     missed.push_back(std::move(initial));
   }
   return Json(Json::Array{Json(found), Json(txn_counter_),
-                          Json(std::move(missed))});
+                          Json(std::move(missed)), Json(epoch_)});
 }
 
 Result<Json> OvsdbServer::DoMonitorCancel(Client& client, const Json& params) {

@@ -8,10 +8,17 @@
 // monitor_cond_since): every committed transaction gets a monotonically
 // increasing txn-id, and the last kHistoryLimit deltas are kept in a
 // bounded history.  A client reconnecting after a dropped transport sends
-// its last seen txn-id; if the gap is still in the history window the
-// server replays exactly the missed deltas (tagged with their txn-ids),
-// otherwise it answers found=false with a full dump — either way the
+// its last seen txn-id plus the server's instance epoch (an id minted per
+// Start(), as real OVSDB uses an instance UUID); if the epoch matches and
+// the gap is still in the history window the server replays exactly the
+// missed deltas (tagged with their txn-ids), otherwise — gap aged out, or
+// the txn-id came from a different server incarnation whose counter is
+// unrelated — it answers found=false with a full dump.  Either way the
 // client's update stream is gap-free.
+//
+// Exactly-once "transact": responses are cached (bounded) under the
+// request's string id, so a healed client re-sending a transact whose
+// response was lost gets the original answer instead of a second apply.
 //
 // Threading model: the server owns a single service thread which is the
 // ONLY accessor of the Database after Start() — clients (including the
@@ -56,12 +63,22 @@ class OvsdbServer {
     return requests_served_.load(std::memory_order_relaxed);
   }
 
+  /// Retried transacts answered from the response cache without being
+  /// re-applied (for tests).
+  uint64_t transacts_deduped() const {
+    return transacts_deduped_.load(std::memory_order_relaxed);
+  }
+
   /// Shrinks the replay history window (call before Start()).  Tests use
   /// a tiny window to force the found=false full-dump path.
   void set_history_limit(size_t limit) { history_limit_ = limit; }
 
   /// Default bound on the monitor_since replay history.
   static constexpr size_t kHistoryLimit = 256;
+
+  /// Bound on the transact response cache (request-id dedup).  Retries
+  /// arrive immediately after a heal, so a small window suffices.
+  static constexpr size_t kTransactCacheLimit = 128;
 
  private:
   struct MonitorSub {
@@ -103,6 +120,15 @@ class OvsdbServer {
   int64_t txn_counter_ = 0;
   std::deque<std::pair<int64_t, Json>> history_;  // (txn-id, updates)
   uint64_t history_monitor_id_ = 0;
+  /// Instance id minted per Start().  txn-ids are only comparable within
+  /// one epoch: the counter restarts at 0 with every incarnation, so a
+  /// resuming client's txn-id from a previous epoch must never be matched
+  /// against this history.
+  std::string epoch_;
+  // --- transact dedup (service-thread only) ---
+  std::map<std::string, JsonRpcMessage> transact_results_;  // id -> response
+  std::deque<std::string> transact_order_;  // FIFO eviction of the above
+  std::atomic<uint64_t> transacts_deduped_{0};
 };
 
 /// Serializes a table-updates delta in the wire form used by "update"

@@ -236,6 +236,53 @@ TEST(DurableStore, CheckpointCompactsWalAndPersistsDigestSeq) {
   EXPECT_EQ(DurableStore::SnapshotJson((*store)->db(), 0), before);
 }
 
+/// Forwards to the real filesystem but fails the n-th Rename of one
+/// source path — simulating a crash part-way through Checkpoint()'s
+/// rotation sequence.
+class RenameCrashIo : public Io {
+ public:
+  RenameCrashIo(std::string path, int fail_on)
+      : path_(std::move(path)), fail_on_(fail_on) {}
+  Status Rename(const std::string& from, const std::string& to) override {
+    if (from == path_ && ++seen_ == fail_on_) {
+      return Internal("injected crash");
+    }
+    return DefaultIo().Rename(from, to);
+  }
+
+ private:
+  std::string path_;
+  int fail_on_;
+  int seen_ = 0;
+};
+
+TEST(DurableStore, CrashBetweenSnapshotAndWalRotationStillRecovers) {
+  std::string dir = FreshDir("checkpoint_crash");
+  Json before;
+  {
+    // Fail the second rename of wal.jsonl: checkpoint #2 dies after
+    // rotating snapshot.json aside but before rotating the WAL — the
+    // window where a stale wal.jsonl.1, were it not removed first, would
+    // be replayed on top of the NEWER snapshot.json.1, double-applying
+    // its uuid-pinned transactions.
+    RenameCrashIo io(dir + "/wal.jsonl", 2);
+    auto store = DurableStore::Open(snvs::SnvsSchema(), dir, &io);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    ASSERT_TRUE(AddPortRow((*store)->db(), "p1", 1, 10).ok());
+    ASSERT_TRUE((*store)->Checkpoint(/*digest_seq=*/1).ok());
+    ASSERT_TRUE(AddPortRow((*store)->db(), "p2", 2, 20).ok());
+    before = DurableStore::SnapshotJson((*store)->db(), 0);
+    EXPECT_FALSE((*store)->Checkpoint(/*digest_seq=*/2).ok());
+  }  // crash mid-checkpoint: no snapshot.json, snapshot.json.1 is newest
+  auto store = DurableStore::Open(snvs::SnvsSchema(), dir);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  EXPECT_TRUE((*store)->recovered());
+  // snapshot.json.1 ({p1}, digest seq 1) + the live WAL ({p2}) reproduce
+  // the exact pre-crash state.
+  EXPECT_EQ((*store)->recovered_digest_seq(), 1);
+  EXPECT_EQ(DurableStore::SnapshotJson((*store)->db(), 0), before);
+}
+
 TEST(DurableStore, RecoverSurvivesTruncatedWalTail) {
   std::string dir = FreshDir("durable_tail");
   {

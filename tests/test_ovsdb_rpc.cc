@@ -300,6 +300,96 @@ TEST_F(RpcTest, TransactHealsAcrossTransportFault) {
   EXPECT_EQ(client_.session_stats().reconnects, 1u);
 }
 
+TEST_F(RpcTest, TransactRetryAfterLostResponseAppliesExactlyOnce) {
+  OvsdbClient::HealPolicy heal;
+  heal.enabled = true;
+  client_.set_heal_policy(heal);
+  // Kill only the receive half: the transact still reaches the server and
+  // is applied, but the response is lost — the worst case for a retried
+  // non-idempotent call.
+  client_.InjectReceiveFault();
+  ASSERT_TRUE(InsertPort(client_, "p1", 1).ok());
+  EXPECT_EQ(client_.session_stats().reconnects, 1u);
+  // The healed retry re-sent the same request id, and the server answered
+  // it from its response cache instead of applying a second time.
+  EXPECT_EQ(server_->transacts_deduped(), 1u);
+  // Ground truth: a fresh client's initial monitor dump holds exactly one
+  // Port row, not two.
+  OvsdbClient observer;
+  ASSERT_TRUE(observer.Connect("127.0.0.1", server_->port()).ok());
+  auto initial = observer.Monitor(Json("obs"), {"Port"},
+                                  [](const Json&, const Json&) {});
+  ASSERT_TRUE(initial.ok()) << initial.status().ToString();
+  const Json* ports = initial->Find("Port");
+  ASSERT_NE(ports, nullptr);
+  EXPECT_EQ(ports->as_object().size(), 1u);
+}
+
+TEST(RpcHeal, ServerRestartForcesFullDumpNotBogusDeltaReplay) {
+  auto server = std::make_unique<OvsdbServer>(
+      std::make_unique<Database>(snvs::SnvsSchema()));
+  ASSERT_TRUE(server->Start().ok());
+  uint16_t port = server->port();
+
+  OvsdbClient client;
+  OvsdbClient::HealPolicy heal;
+  heal.enabled = true;
+  client.set_heal_policy(heal);
+  ASSERT_TRUE(client.Connect("127.0.0.1", port).ok());
+  std::map<std::string, int> seen;
+  ASSERT_TRUE(client
+                  .Monitor(Json("m"), {"Port"},
+                           [&](const Json&, const Json& updates) {
+                             const Json* ports = updates.Find("Port");
+                             if (ports == nullptr) return;
+                             for (const auto& [uuid, delta] :
+                                  ports->as_object()) {
+                               const Json* row = delta.Find("new");
+                               if (row != nullptr) {
+                                 ++seen[row->Find("name")->as_string()];
+                               }
+                             }
+                           })
+                  .ok());
+  {
+    OvsdbClient writer;
+    ASSERT_TRUE(writer.Connect("127.0.0.1", port).ok());
+    ASSERT_TRUE(InsertPort(writer, "old1", 1).ok());
+    ASSERT_TRUE(InsertPort(writer, "old2", 2).ok());
+  }
+  // Drain both live updates so the client's last-txn-id advances to 2.
+  for (int waited = 0; seen["old2"] == 0 && waited < 40; ++waited) {
+    ASSERT_TRUE(client.WaitForUpdate(100).ok());
+  }
+  ASSERT_EQ(seen["old2"], 1);
+
+  // Replace the server: same port, fresh database, txn counter back at 0.
+  server->Stop();
+  server = std::make_unique<OvsdbServer>(
+      std::make_unique<Database>(snvs::SnvsSchema()));
+  ASSERT_TRUE(server->Start(port).ok()) << "port rebind failed";
+  OvsdbClient writer;
+  ASSERT_TRUE(writer.Connect("127.0.0.1", port).ok());
+  ASSERT_TRUE(InsertPort(writer, "new1", 1).ok());
+  ASSERT_TRUE(InsertPort(writer, "new2", 2).ok());
+  ASSERT_TRUE(InsertPort(writer, "new3", 3).ok());
+
+  // The client resumes holding last-txn-id 2 — numerically plausible
+  // against the new incarnation's history (it holds txns 1..3), but from
+  // an unrelated counter.  The epoch mismatch forces found=false: one
+  // full dump of the new contents, not a delta replay that would
+  // silently miss new1 and new2.
+  auto healed = client.Poll();
+  ASSERT_TRUE(healed.ok()) << healed.status().ToString();
+  EXPECT_EQ(client.session_stats().full_redumps, 1u);
+  EXPECT_EQ(seen["new1"], 1);
+  EXPECT_EQ(seen["new2"], 1);
+  EXPECT_EQ(seen["new3"], 1);
+
+  client.Disconnect();
+  server->Stop();
+}
+
 TEST_F(RpcTest, TwoClientsSeeEachOthersCommits) {
   OvsdbClient other;
   ASSERT_TRUE(other.Connect("127.0.0.1", server_->port()).ok());
