@@ -16,117 +16,19 @@
 // routes retract and recompute incrementally.
 //
 //   $ ./build/examples/ip_fabric
+// The stack itself (schema, pipeline, rules) lives in stacks.cc so
+// `nerpa_check --builtin ip_fabric` and the golden tests analyze exactly
+// what this demo runs.
 #include <cstdio>
 
 #include "nerpa/controller.h"
 #include "net/packet.h"
 #include "p4/text.h"
+#include "stacks.h"
 
 using namespace nerpa;
 
 namespace {
-
-constexpr const char* kRouterP4 = R"p4(
-program router;
-header ethernet {
-  bit<48> dstAddr;
-  bit<48> srcAddr;
-  bit<16> etherType;
-}
-header ipv4 {
-  bit<8> ttl;
-  bit<32> src;
-  bit<32> dst;
-}
-parser {
-  state start {
-    extract(ethernet);
-    select (ethernet.etherType) {
-      0x0800: parse_ipv4;
-      default: accept;
-    }
-  }
-  state parse_ipv4 {
-    extract(ipv4);
-    goto accept;
-  }
-}
-action Discard() { drop(); }
-action Route(bit<16> port) { output(port); }
-table IpRoute {
-  key = { ipv4.dst: lpm; }
-  actions = { Route; }
-  default_action = Discard;
-  size = 4096;
-}
-ingress {
-  if (valid(ipv4)) {
-    apply(IpRoute);
-  }
-}
-egress { }
-deparser {
-  emit(ethernet);
-  emit(ipv4);
-}
-)p4";
-
-// Hand-written control plane: hop-counted recursive reachability
-// (shortest path within a 6-hop diameter) + deterministic tie-breaking.
-constexpr const char* kRules = R"(
-// Cast management-plane integers once, below the recursive stratum
-// (recursive rule heads must stay plain variables or var+const for DRed).
-relation SubnetB(router: string, prefix: bit<32>, plen: bigint, port: bigint)
-SubnetB(r, pfx as bit<32>, plen, p) :- Subnet(_, r, pfx, plen, p).
-
-// A router reaches a subnet directly (0 hops), or through any link to a
-// router that reaches it (one more hop; diameter-bounded so route loops
-// cannot count to infinity).
-relation Reach(router: string, prefix: bit<32>, plen: bigint,
-               port: bigint, hops: bigint)
-Reach(r, pfx, plen, p, 0) :- SubnetB(r, pfx, plen, p).
-Reach(src, pfx, plen, p, h + 1) :-
-    Link(_, src, dst, p), Reach(dst, pfx, plen, _, h), h < 6.
-
-// Shortest path wins; among equal-length paths the lowest egress port.
-relation BestHops(router: string, prefix: bit<32>, plen: bigint, h: bigint)
-BestHops(r, pfx, plen, h) :-
-    Reach(r, pfx, plen, _, h0), var h = min(h0) group_by (r, pfx, plen).
-relation BestPort(router: string, prefix: bit<32>, plen: bigint, m: bigint)
-BestPort(r, pfx, plen, m) :-
-    BestHops(r, pfx, plen, h), Reach(r, pfx, plen, p, h),
-    var m = min(p) group_by (r, pfx, plen).
-
-IpRoute(r, pfx, plen, "Route", m as bit<16>) :- BestPort(r, pfx, plen, m).
-)";
-
-ovsdb::DatabaseSchema FabricSchema() {
-  using ovsdb::BaseType;
-  using ovsdb::ColumnType;
-  ovsdb::DatabaseSchema schema;
-  schema.name = "fabric";
-  ovsdb::TableSchema link;
-  link.name = "Link";
-  link.columns = {
-      {"src", ColumnType::Scalar(BaseType::String()), false, true},
-      {"dst", ColumnType::Scalar(BaseType::String()), false, true},
-      {"out_port", ColumnType::Scalar(BaseType::Integer(0, 65535)), false,
-       true},
-  };
-  schema.tables.emplace("Link", std::move(link));
-  ovsdb::TableSchema subnet;
-  subnet.name = "Subnet";
-  subnet.columns = {
-      {"router", ColumnType::Scalar(BaseType::String()), false, true},
-      {"prefix", ColumnType::Scalar(BaseType::Integer(0, 4294967295LL)),
-       false, true},
-      {"plen", ColumnType::Scalar(BaseType::Integer(0, 32)), false, true},
-      {"out_port", ColumnType::Scalar(BaseType::Integer(0, 65535)), false,
-       true},
-  };
-  schema.tables.emplace("Subnet", std::move(subnet));
-  return schema;
-}
 
 uint32_t Ip(int a, int b, int c, int d) {
   return (static_cast<uint32_t>(a) << 24) | (static_cast<uint32_t>(b) << 16) |
@@ -163,18 +65,18 @@ void Probe(p4::Switch& router, const char* name, uint32_t dst) {
 }  // namespace
 
 int main() {
-  auto pipeline = p4::ParseP4Text(kRouterP4);
+  auto pipeline = p4::ParseP4Text(examples::FabricP4Source());
   if (!pipeline.ok()) {
     std::fprintf(stderr, "router.p4: %s\n",
                  pipeline.status().ToString().c_str());
     return 1;
   }
-  ovsdb::Database db(FabricSchema());
+  ovsdb::Database db(examples::FabricSchema());
   BindingOptions options;
   options.with_device_column = true;
   auto bindings = GenerateBindings(db.schema(), **pipeline, options);
   if (!bindings.ok()) return 1;
-  std::string source = bindings->DeclsText() + kRules;
+  std::string source = bindings->DeclsText() + examples::FabricRules();
   auto program = dlog::Program::Parse(source);
   if (!program.ok()) {
     std::fprintf(stderr, "rules: %s\n", program.status().ToString().c_str());

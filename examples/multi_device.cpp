@@ -7,73 +7,19 @@
 // writes for their own network program.
 //
 //   $ ./build/examples/multi_device
+// The schema, pipeline, and rules live in stacks.cc so
+// `nerpa_check --builtin multi_device` and the golden tests analyze exactly
+// what this demo runs.
 #include <cstdio>
 
 #include "nerpa/controller.h"
-#include "snvs/snvs.h"
+#include "stacks.h"
 
 using namespace nerpa;
 
-namespace {
-
-/// Management plane: which switch/port belongs to which vlan.
-ovsdb::DatabaseSchema MakeSchema() {
-  ovsdb::DatabaseSchema schema;
-  schema.name = "fabric";
-  ovsdb::TableSchema assignment;
-  assignment.name = "Assignment";
-  assignment.columns = {
-      {"device", ovsdb::ColumnType::Scalar(ovsdb::BaseType::String()), false,
-       true},
-      {"port",
-       ovsdb::ColumnType::Scalar(ovsdb::BaseType::Integer(0, 65535)), false,
-       true},
-      {"vlan", ovsdb::ColumnType::Scalar(ovsdb::BaseType::Integer(0, 4095)),
-       false, true},
-  };
-  schema.tables.emplace("Assignment", std::move(assignment));
-  return schema;
-}
-
-/// Data plane: one admission table; every switch runs this program.
-std::shared_ptr<const p4::P4Program> MakePipeline() {
-  auto program = std::make_shared<p4::P4Program>();
-  program->name = "fabric";
-  program->headers = {
-      {"ethernet", {{"dstAddr", 48}, {"srcAddr", 48}, {"etherType", 16}}}};
-  program->metadata = {{"vlan", 12}};
-  p4::ParserState start;
-  start.name = "start";
-  start.extracts = "ethernet";
-  start.transitions = {{std::nullopt, "accept"}};
-  program->parser = {start};
-  program->actions = {
-      {"Assign", {{"vid", 12}}, {p4::ActionOp::SetFieldFromParam(
-                                    "meta.vlan", "vid")}},
-      {"Discard", {}, {p4::ActionOp::Drop()}},
-  };
-  p4::Table table;
-  table.name = "VlanMap";
-  table.keys = {{"standard.ingress_port", p4::MatchKind::kExact, 0}};
-  table.actions = {"Assign"};
-  table.default_action = "Discard";
-  program->tables = {table};
-  program->ingress = {p4::ControlNode::Apply("VlanMap")};
-  program->deparser = {"ethernet"};
-  Status validated = program->Validate();
-  if (!validated.ok()) std::abort();
-  return program;
-}
-
-constexpr const char* kRules = R"(
-VlanMap(d, p as bit<16>, "Assign", v as bit<12>) :- Assignment(_, d, p, v).
-)";
-
-}  // namespace
-
 int main() {
-  ovsdb::Database db(MakeSchema());
-  auto pipeline = MakePipeline();
+  ovsdb::Database db(examples::MultiDeviceSchema());
+  auto pipeline = examples::MultiDevicePipeline();
 
   // Device-aware bindings: digest inputs and table outputs get a leading
   // `device: string` column the controller routes on.
@@ -84,7 +30,7 @@ int main() {
     std::fprintf(stderr, "%s\n", bindings.status().ToString().c_str());
     return 1;
   }
-  std::string source = bindings->DeclsText() + kRules;
+  std::string source = bindings->DeclsText() + examples::MultiDeviceRules();
   std::printf("control plane program:\n%s\n", source.c_str());
   auto program = dlog::Program::Parse(source);
   if (!program.ok()) {

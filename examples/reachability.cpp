@@ -7,6 +7,7 @@
 
 #include "dlog/engine.h"
 #include "dlog/program.h"
+#include "stacks.h"
 
 using namespace nerpa::dlog;
 
@@ -30,14 +31,9 @@ void Show(const char* what, const nerpa::Result<TxnDelta>& delta) {
 }  // namespace
 
 int main() {
-  // Verbatim from §1 of the paper (modulo surface syntax):
-  auto program = Program::Parse(R"(
-      input relation GivenLabel(n1: bigint, label: string)
-      input relation Edge(n1: bigint, n2: bigint)
-      output relation Label(n: bigint, label: string)
-      Label(n1, label) :- GivenLabel(n1, label).
-      Label(n2, label) :- Label(n1, label), Edge(n1, n2).
-  )");
+  // Verbatim from §1 of the paper (modulo surface syntax); the program text
+  // lives in stacks.cc, shared with `nerpa_check --builtin reachability`.
+  auto program = Program::Parse(nerpa::examples::ReachabilityRules());
   if (!program.ok()) {
     std::fprintf(stderr, "%s\n", program.status().ToString().c_str());
     return 1;

@@ -21,23 +21,39 @@ run_suite() {
 }
 
 run_suite build-ci
+
+# Static analysis gates, both layers:
+#   * nerpa_check: the full-stack analyzer must pass clean over every stack
+#     the repository ships (snvs + all example programs).
+#   * clang-tidy over src/tools/bench (skips with a notice when the binary
+#     is absent; the GitHub runner installs it).
+echo "=== nerpa_check (all shipped stacks) ==="
+for stack in $(./build-ci/tools/nerpa_check --list-builtins); do
+  echo "--- nerpa_check --builtin $stack --werror ---"
+  ./build-ci/tools/nerpa_check --builtin "$stack" --werror
+done
+echo "=== clang-tidy ==="
+./scripts/lint.sh "$JOBS"
+
 run_suite build-ci-asan \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
 
 # TSan is incompatible with ASan, so it gets its own build; restrict the run
 # to the suites that actually exercise threads (controller dispatch pool,
-# OVSDB TCP service thread, HA restart) to keep the wall clock sane.
+# OVSDB TCP service thread, HA restart, chaos fault storms, snvs
+# integration end to end) to keep the wall clock sane.
 echo "=== configure build-ci-tsan ==="
 cmake -B build-ci-tsan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all"
 echo "=== build build-ci-tsan ==="
 cmake --build build-ci-tsan -j "$JOBS" \
-  --target test_controller test_ha test_ha_restart test_common test_ovsdb_rpc
+  --target test_controller test_ha test_ha_restart test_common \
+  test_ovsdb_rpc test_chaos test_snvs_integration
 echo "=== test build-ci-tsan (concurrency suites) ==="
 ctest --test-dir build-ci-tsan --output-on-failure -j "$JOBS" \
-  -R 'test_controller|test_ha|test_ha_restart|test_common|test_ovsdb_rpc'
+  -R 'test_controller|test_ha|test_ha_restart|test_common|test_ovsdb_rpc|test_chaos|test_snvs_integration'
 
 # Chaos soak: the pinned seeds in tests/test_chaos.cc each drive 50+
 # faults across all three planes (device write failures, transport drops,

@@ -1,0 +1,164 @@
+#include "analyze/analyze.h"
+
+#include <cstdio>
+#include <memory>
+#include <utility>
+
+#include "analyze/passes.h"
+#include "common/strings.h"
+#include "dlog/parser.h"
+#include "dlog/program.h"
+
+namespace nerpa::analyze {
+
+void Emit(PassContext& context, const char* code, Severity severity,
+          const char* plane, std::string message, const char* unit, int line,
+          int col) {
+  Diagnostic diagnostic;
+  diagnostic.code = code;
+  diagnostic.severity = severity;
+  diagnostic.plane = plane;
+  diagnostic.message = std::move(message);
+  diagnostic.unit = unit;
+  diagnostic.line = line;
+  diagnostic.col = col;
+  context.diagnostics->push_back(std::move(diagnostic));
+}
+
+int Analysis::errors() const {
+  int n = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == Severity::kError) ++n;
+  }
+  return n;
+}
+
+int Analysis::warnings() const {
+  return static_cast<int>(diagnostics.size()) - errors();
+}
+
+Json Analysis::ToJson() const {
+  Json::Array array;
+  for (const Diagnostic& d : diagnostics) array.push_back(d.ToJson());
+  Json::Object object;
+  object["errors"] = static_cast<int64_t>(errors());
+  object["warnings"] = static_cast<int64_t>(warnings());
+  object["diagnostics"] = Json(std::move(array));
+  return Json(std::move(object));
+}
+
+namespace {
+
+/// Frontend errors already carry "line L:C:" prefixes (lexer, parser, and
+/// compiler all format spans that way); lift the span into the diagnostic so
+/// NW001/NW002 render with carets like every other finding.
+void ExtractSpan(const std::string& message, int* line, int* col) {
+  *line = 0;
+  *col = 0;
+  int l = 0, c = 0;
+  if (std::sscanf(message.c_str(), "line %d:%d:", &l, &c) == 2 && l > 0 &&
+      c > 0) {
+    *line = l;
+    *col = c;
+  }
+}
+
+void EmitFrontend(PassContext& context, const char* code,
+                  const std::string& message) {
+  int line = 0, col = 0;
+  ExtractSpan(message, &line, &col);
+  Emit(context, code, Severity::kError, "dlog", message, "dlog", line, col);
+}
+
+/// The shared pipeline once `source` (a complete program) is fixed:
+/// parse -> NW1xx lints -> compile -> cross-plane -> P4 checks.
+void Analyze(PassContext& context, const std::string& source) {
+  Result<dlog::ProgramAst> parsed = dlog::ParseProgram(source);
+  if (!parsed.ok()) {
+    EmitFrontend(context, "NW001", parsed.status().message());
+    if (context.p4 != nullptr) RunP4Checks(context);
+    SortDiagnostics(*context.diagnostics);
+    return;
+  }
+  dlog::ProgramAst ast = std::move(parsed).value();
+  context.ast = &ast;
+
+  RunDlogLints(context);
+
+  // Compile a copy: ExprPtr nodes are shared, so the resolved types the
+  // checker stamps are visible through `ast` too (the range analysis needs
+  // them).
+  Result<std::shared_ptr<const dlog::Program>> compiled =
+      dlog::Program::Compile(ast);
+  if (compiled.ok()) {
+    context.program = std::move(compiled).value();
+  } else {
+    // Skip the passthrough when the lints already explain the failure
+    // (e.g. NW101/NW104 and the compiler report the same defect).
+    bool have_error = false;
+    for (const Diagnostic& d : *context.diagnostics) {
+      if (d.severity == Severity::kError) have_error = true;
+    }
+    if (!have_error) {
+      EmitFrontend(context, "NW002", compiled.status().message());
+    }
+  }
+
+  if (context.bindings != nullptr || context.program != nullptr) {
+    RunCrossPlaneChecks(context);
+  }
+  if (context.p4 != nullptr) RunP4Checks(context);
+
+  SortDiagnostics(*context.diagnostics);
+  context.ast = nullptr;  // `ast` dies with this frame
+}
+
+}  // namespace
+
+Result<Analysis> AnalyzeStack(const StackInput& input,
+                              const AnalyzeOptions& options) {
+  Analysis analysis;
+  PassContext context;
+  context.p4 = input.p4;
+  context.schema = input.schema;
+  context.options = &options;
+  context.diagnostics = &analysis.diagnostics;
+
+  Bindings bindings;
+  if (input.schema != nullptr && input.p4 != nullptr) {
+    Result<Bindings> generated =
+        GenerateBindings(*input.schema, *input.p4, input.binding_options);
+    if (!generated.ok()) {
+      return InvalidArgument(StrFormat(
+          "binding generation failed: %s",
+          generated.status().message().c_str()));
+    }
+    bindings = std::move(generated).value();
+    context.bindings = &bindings;
+  } else if (input.schema != nullptr || input.p4 != nullptr) {
+    // A schema alone generates no outputs and a P4 program alone no OVSDB
+    // inputs; partial bindings would make NW201/NW204 fire spuriously, so
+    // bindings require both planes.  P4-only stacks still get NW3xx.
+    context.bindings = nullptr;
+  }
+
+  analysis.dlog_source =
+      (options.rules_include_decls || context.bindings == nullptr)
+          ? input.rules
+          : bindings.DeclsText() + input.rules;
+
+  Analyze(context, analysis.dlog_source);
+  return analysis;
+}
+
+Analysis AnalyzeDlog(std::string_view source, const AnalyzeOptions& options) {
+  Analysis analysis;
+  analysis.dlog_source = std::string(source);
+  PassContext context;
+  context.options = &options;
+  context.diagnostics = &analysis.diagnostics;
+  Analyze(context, analysis.dlog_source);
+  return analysis;
+}
+
+}  // namespace nerpa::analyze

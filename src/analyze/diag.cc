@@ -1,0 +1,80 @@
+#include "analyze/diag.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/strings.h"
+
+namespace nerpa::analyze {
+
+const char* SeverityName(Severity severity) {
+  return severity == Severity::kError ? "error" : "warning";
+}
+
+Json Diagnostic::ToJson() const {
+  Json::Object object;
+  object["code"] = code;
+  object["severity"] = SeverityName(severity);
+  object["plane"] = plane;
+  object["message"] = message;
+  object["unit"] = unit;
+  object["line"] = static_cast<int64_t>(line);
+  object["col"] = static_cast<int64_t>(col);
+  return Json(std::move(object));
+}
+
+void SortDiagnostics(std::vector<Diagnostic>& diagnostics) {
+  std::stable_sort(diagnostics.begin(), diagnostics.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     return std::tie(a.unit, a.line, a.col, a.code) <
+                            std::tie(b.unit, b.line, b.col, b.code);
+                   });
+}
+
+std::string CaretSnippet(std::string_view source, int line, int col) {
+  if (source.empty() || line < 1 || col < 1) return "";
+  size_t start = 0;
+  for (int current = 1; current < line; ++current) {
+    size_t next = source.find('\n', start);
+    if (next == std::string_view::npos) return "";
+    start = next + 1;
+  }
+  size_t end = source.find('\n', start);
+  std::string_view text = source.substr(
+      start, end == std::string_view::npos ? std::string_view::npos
+                                           : end - start);
+  if (static_cast<size_t>(col) > text.size() + 1) return "";
+  std::string gutter = StrFormat("%5d | ", line);
+  std::string snippet = gutter + std::string(text) + "\n";
+  snippet += std::string(gutter.size() - 2, ' ') + "| " +
+             std::string(static_cast<size_t>(col - 1), ' ') + "^\n";
+  return snippet;
+}
+
+std::string RenderDiagnostic(const Diagnostic& diagnostic,
+                             std::string_view dlog_source,
+                             std::string_view p4_source,
+                             std::string_view dlog_name,
+                             std::string_view p4_name) {
+  std::string out;
+  std::string_view source, name;
+  if (diagnostic.unit == "dlog") {
+    source = dlog_source;
+    name = dlog_name;
+  } else if (diagnostic.unit == "p4") {
+    source = p4_source;
+    name = p4_name;
+  }
+  if (!name.empty() && diagnostic.line > 0) {
+    out += StrFormat("%.*s:%d:%d: ", static_cast<int>(name.size()),
+                     name.data(), diagnostic.line, diagnostic.col);
+  } else if (!name.empty()) {
+    out += std::string(name) + ": ";
+  }
+  out += StrFormat("%s: %s %s\n", SeverityName(diagnostic.severity),
+                   diagnostic.code.c_str(), diagnostic.message.c_str());
+  out += CaretSnippet(source, diagnostic.line, diagnostic.col);
+  return out;
+}
+
+}  // namespace nerpa::analyze

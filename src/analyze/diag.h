@@ -1,0 +1,63 @@
+// Diagnostics for the full-stack static analyzer.
+//
+// Every finding carries a stable machine-readable code (NWxxx), a severity,
+// the plane it concerns, and a source span (1-based line:column) into one of
+// the two analyzable source texts: the combined control-plane program
+// ("dlog") or the textual P4 pipeline ("p4").  Spans are 0 when the finding
+// has no source anchor (e.g. a P4 program built directly as IR).
+//
+// Code ranges (the authoritative table lives in DESIGN.md):
+//   NW0xx  frontend passthrough (parse / compile failures)
+//   NW1xx  control-plane (Datalog) lints
+//   NW2xx  cross-plane consistency (management <-> control <-> data)
+//   NW3xx  data-plane (P4 IR) reachability
+#ifndef NERPA_ANALYZE_DIAG_H_
+#define NERPA_ANALYZE_DIAG_H_
+
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace nerpa::analyze {
+
+enum class Severity { kWarning, kError };
+
+const char* SeverityName(Severity severity);
+
+struct Diagnostic {
+  std::string code;      // "NW101"
+  Severity severity = Severity::kError;
+  std::string plane;     // "dlog", "cross-plane", or "p4"
+  std::string message;
+  std::string unit;      // span target: "dlog", "p4", or "" (no span)
+  int line = 0;          // 1-based; 0 = no source location
+  int col = 0;
+
+  Json ToJson() const;
+};
+
+/// Orders by unit, then line:col, then code — stable presentation order.
+void SortDiagnostics(std::vector<Diagnostic>& diagnostics);
+
+/// One human-readable block per diagnostic:
+///
+///   <rules>:12:7: warning: NW102 relation 'Foo' is never read
+///      12 | relation Foo(x: bigint)
+///         |       ^
+///
+/// `dlog_source` / `p4_source` supply the caret snippets (empty = no
+/// snippet); `dlog_name` / `p4_name` are the display file names.
+std::string RenderDiagnostic(const Diagnostic& diagnostic,
+                             std::string_view dlog_source,
+                             std::string_view p4_source,
+                             std::string_view dlog_name,
+                             std::string_view p4_name);
+
+/// The caret snippet alone ("   12 | ...\n      |   ^\n"); empty when the
+/// span does not resolve into `source`.
+std::string CaretSnippet(std::string_view source, int line, int col);
+
+}  // namespace nerpa::analyze
+
+#endif  // NERPA_ANALYZE_DIAG_H_

@@ -1,0 +1,295 @@
+// NW1xx: control-plane lints over the parsed (not necessarily compiled)
+// program.
+//
+//   NW101 error    head variable not bound by the body
+//   NW102 warning  relation is never read by any rule body
+//   NW103 warning  duplicate rule
+//   NW104 error    negation/aggregation inside a recursive cycle
+//                  (stratification violation), reported at the literal
+//   NW105 warning  variable bound once and never used (likely a typo)
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyze/passes.h"
+#include "common/strings.h"
+
+namespace nerpa::analyze {
+
+namespace {
+
+using dlog::BodyElem;
+using dlog::Expr;
+using dlog::ExprPtr;
+using dlog::ProgramAst;
+using dlog::RelationDecl;
+using dlog::Rule;
+
+/// Collects every variable occurrence in an expression tree.
+void CollectVars(const ExprPtr& expr,
+                 std::vector<const Expr*>& occurrences) {
+  if (expr == nullptr) return;
+  if (expr->kind == Expr::Kind::kVar) occurrences.push_back(expr.get());
+  for (const ExprPtr& arg : expr->args) CollectVars(arg, occurrences);
+}
+
+/// A variable's binding site in a rule body, for NW101/NW105.
+struct Binding {
+  int line = 0;
+  int col = 0;
+};
+
+/// Variables bound by the body: positive-literal terms, assignments,
+/// flatmaps, and aggregate results.
+std::map<std::string, Binding> BodyBindings(const Rule& rule) {
+  std::map<std::string, Binding> bound;
+  auto bind = [&](const std::string& name, int line, int col) {
+    bound.emplace(name, Binding{line, col});
+  };
+  for (const BodyElem& elem : rule.body) {
+    switch (elem.kind) {
+      case BodyElem::Kind::kLiteral:
+        if (elem.negated) break;  // negated atoms only test, never bind
+        for (const ExprPtr& term : elem.atom.terms) {
+          if (term->kind == Expr::Kind::kVar) {
+            bind(term->name, term->line, term->col);
+          }
+        }
+        break;
+      case BodyElem::Kind::kAssignment:
+      case BodyElem::Kind::kFlatMap:
+      case BodyElem::Kind::kAggregate:
+        bind(elem.var, elem.line, elem.col);
+        break;
+      case BodyElem::Kind::kCondition:
+        break;
+    }
+  }
+  return bound;
+}
+
+/// Every variable *use* in the rule (head terms, conditions, assignment and
+/// aggregate expressions, negated-atom terms, group_by names), i.e. each
+/// occurrence that consumes a binding.
+std::map<std::string, int> UseCounts(const Rule& rule) {
+  std::map<std::string, int> uses;
+  std::vector<const Expr*> occurrences;
+  for (const ExprPtr& term : rule.head.terms) CollectVars(term, occurrences);
+  for (const BodyElem& elem : rule.body) {
+    switch (elem.kind) {
+      case BodyElem::Kind::kLiteral:
+        // Positive-literal var terms are bindings on first occurrence; the
+        // repeated-variable join case counts as a use below via the map.
+        for (const ExprPtr& term : elem.atom.terms) {
+          if (term->kind != Expr::Kind::kVar) CollectVars(term, occurrences);
+          else if (elem.negated) occurrences.push_back(term.get());
+        }
+        break;
+      case BodyElem::Kind::kCondition:
+        CollectVars(elem.condition, occurrences);
+        break;
+      case BodyElem::Kind::kAssignment:
+      case BodyElem::Kind::kFlatMap:
+        CollectVars(elem.expr, occurrences);
+        break;
+      case BodyElem::Kind::kAggregate:
+        CollectVars(elem.expr, occurrences);
+        for (const std::string& name : elem.group_by) ++uses[name];
+        break;
+    }
+  }
+  for (const Expr* occurrence : occurrences) ++uses[occurrence->name];
+  // A variable appearing in two positive-literal positions is a join: the
+  // second occurrence uses the first.  Count positive occurrences and credit
+  // n-1 uses.
+  std::map<std::string, int> positive;
+  for (const BodyElem& elem : rule.body) {
+    if (elem.kind != BodyElem::Kind::kLiteral || elem.negated) continue;
+    for (const ExprPtr& term : elem.atom.terms) {
+      if (term->kind == Expr::Kind::kVar) ++positive[term->name];
+    }
+  }
+  for (const auto& [name, count] : positive) {
+    if (count > 1) uses[name] += count - 1;
+  }
+  return uses;
+}
+
+void CheckHeadVars(PassContext& context, const Rule& rule) {
+  std::map<std::string, Binding> bound = BodyBindings(rule);
+  std::set<std::string> reported;
+  std::vector<const Expr*> occurrences;
+  for (const ExprPtr& term : rule.head.terms) CollectVars(term, occurrences);
+  for (const Expr* var : occurrences) {
+    if (bound.count(var->name) != 0 || !reported.insert(var->name).second) {
+      continue;
+    }
+    Emit(context, "NW101", Severity::kError, "dlog",
+         StrFormat("head variable '%s' is not bound by the rule body",
+                   var->name.c_str()),
+         "dlog", var->line, var->col);
+  }
+}
+
+void CheckSingletons(PassContext& context, const Rule& rule) {
+  std::map<std::string, Binding> bound = BodyBindings(rule);
+  std::map<std::string, int> uses = UseCounts(rule);
+  for (const auto& [name, binding] : bound) {
+    if (name.empty() || name[0] == '_') continue;  // deliberate don't-care
+    if (uses[name] > 0) continue;
+    Emit(context, "NW105", Severity::kWarning, "dlog",
+         StrFormat("variable '%s' is bound but never used (use '_' for a "
+                   "don't-care)",
+                   name.c_str()),
+         "dlog", binding.line, binding.col);
+  }
+}
+
+void CheckUnusedRelations(PassContext& context) {
+  std::set<std::string> read;
+  for (const Rule& rule : context.ast->rules) {
+    for (const BodyElem& elem : rule.body) {
+      if (elem.kind == BodyElem::Kind::kLiteral) {
+        read.insert(elem.atom.relation);
+      }
+    }
+  }
+  for (const RelationDecl& decl : context.ast->relations) {
+    if (decl.role == dlog::RelationRole::kOutput) continue;
+    if (read.count(decl.name) != 0) continue;
+    // Digest-backed inputs get the more specific NW206.
+    if (context.bindings != nullptr &&
+        context.bindings->FindDigest(decl.name) != nullptr) {
+      continue;
+    }
+    Emit(context, "NW102", Severity::kWarning, "dlog",
+         StrFormat("%s relation '%s' is never read by any rule",
+                   dlog::RelationRoleName(decl.role), decl.name.c_str()),
+         "dlog", decl.line, decl.col);
+  }
+}
+
+void CheckDuplicateRules(PassContext& context) {
+  std::map<std::string, const Rule*> seen;
+  for (const Rule& rule : context.ast->rules) {
+    auto [it, inserted] = seen.emplace(rule.ToString(), &rule);
+    if (inserted) continue;
+    Emit(context, "NW103", Severity::kWarning, "dlog",
+         StrFormat("duplicate rule (first defined at line %d:%d)",
+                   it->second->line, it->second->col),
+         "dlog", rule.line, rule.col);
+  }
+}
+
+/// AST-level stratification: SCCs of the relation dependency graph; a
+/// negated literal or any literal feeding an aggregate rule must not be in
+/// the same SCC as the rule head.  Unlike the compiler's check this reports
+/// at the offending literal and keeps going.
+class Stratifier {
+ public:
+  explicit Stratifier(const ProgramAst& ast) : ast_(ast) {
+    for (size_t i = 0; i < ast.relations.size(); ++i) {
+      index_of_[ast.relations[i].name] = static_cast<int>(i);
+    }
+    edges_.resize(ast.relations.size());
+    for (const Rule& rule : ast.rules) {
+      int head = Find(rule.head.relation);
+      if (head < 0) continue;
+      for (const BodyElem& elem : rule.body) {
+        if (elem.kind != BodyElem::Kind::kLiteral) continue;
+        int body = Find(elem.atom.relation);
+        if (body >= 0) edges_[static_cast<size_t>(body)].push_back(head);
+      }
+    }
+    scc_of_.assign(ast.relations.size(), -1);
+    index_.assign(ast.relations.size(), -1);
+    low_.assign(ast.relations.size(), 0);
+    on_stack_.assign(ast.relations.size(), false);
+    for (size_t v = 0; v < edges_.size(); ++v) {
+      if (index_[v] < 0) Visit(static_cast<int>(v));
+    }
+  }
+
+  int Find(const std::string& name) const {
+    auto it = index_of_.find(name);
+    return it == index_of_.end() ? -1 : it->second;
+  }
+
+  bool SameScc(int a, int b) const {
+    return a >= 0 && b >= 0 &&
+           scc_of_[static_cast<size_t>(a)] == scc_of_[static_cast<size_t>(b)];
+  }
+
+ private:
+  void Visit(int v) {
+    size_t sv = static_cast<size_t>(v);
+    index_[sv] = low_[sv] = counter_++;
+    stack_.push_back(v);
+    on_stack_[sv] = true;
+    for (int w : edges_[sv]) {
+      size_t sw = static_cast<size_t>(w);
+      if (index_[sw] < 0) {
+        Visit(w);
+        low_[sv] = std::min(low_[sv], low_[sw]);
+      } else if (on_stack_[sw]) {
+        low_[sv] = std::min(low_[sv], index_[sw]);
+      }
+    }
+    if (low_[sv] == index_[sv]) {
+      while (true) {
+        int w = stack_.back();
+        stack_.pop_back();
+        on_stack_[static_cast<size_t>(w)] = false;
+        scc_of_[static_cast<size_t>(w)] = scc_count_;
+        if (w == v) break;
+      }
+      ++scc_count_;
+    }
+  }
+
+  const ProgramAst& ast_;
+  std::map<std::string, int> index_of_;
+  std::vector<std::vector<int>> edges_;
+  std::vector<int> scc_of_, index_, low_, stack_;
+  std::vector<bool> on_stack_;
+  int counter_ = 0;
+  int scc_count_ = 0;
+};
+
+void CheckStratification(PassContext& context) {
+  Stratifier stratifier(*context.ast);
+  for (const Rule& rule : context.ast->rules) {
+    int head = stratifier.Find(rule.head.relation);
+    for (const BodyElem& elem : rule.body) {
+      if (elem.kind != BodyElem::Kind::kLiteral) continue;
+      bool strict = elem.negated;
+      for (const BodyElem& other : rule.body) {
+        if (other.kind == BodyElem::Kind::kAggregate) strict = true;
+      }
+      if (!strict) continue;
+      int body = stratifier.Find(elem.atom.relation);
+      if (!stratifier.SameScc(body, head)) continue;
+      Emit(context, "NW104", Severity::kError, "dlog",
+           StrFormat("'%s' is derived from '%s' through %s inside a "
+                     "recursive cycle; the program is not stratifiable",
+                     rule.head.relation.c_str(), elem.atom.relation.c_str(),
+                     elem.negated ? "negation" : "aggregation"),
+           "dlog", elem.line, elem.col);
+    }
+  }
+}
+
+}  // namespace
+
+void RunDlogLints(PassContext& context) {
+  for (const Rule& rule : context.ast->rules) {
+    CheckHeadVars(context, rule);
+    CheckSingletons(context, rule);
+  }
+  CheckUnusedRelations(context);
+  CheckDuplicateRules(context);
+  CheckStratification(context);
+}
+
+}  // namespace nerpa::analyze

@@ -1,0 +1,170 @@
+#include "analyze/interval.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace nerpa::analyze {
+
+namespace {
+
+Int Clamp(Int v) {
+  return std::min(Interval::kMax, std::max(Interval::kMin, v));
+}
+
+/// Saturating multiply: the operands are already clamped to +-2^100, whose
+/// product overflows 128 bits, so detect overflow by magnitude first.
+Int SatMul(Int a, Int b) {
+  if (a == 0 || b == 0) return 0;
+  bool negative = (a < 0) != (b < 0);
+  unsigned __int128 ua = a < 0 ? static_cast<unsigned __int128>(-a)
+                               : static_cast<unsigned __int128>(a);
+  unsigned __int128 ub = b < 0 ? static_cast<unsigned __int128>(-b)
+                               : static_cast<unsigned __int128>(b);
+  unsigned __int128 limit = static_cast<unsigned __int128>(Interval::kMax);
+  if (ua > limit / ub) return negative ? Interval::kMin : Interval::kMax;
+  Int magnitude = static_cast<Int>(ua * ub);
+  return Clamp(negative ? -magnitude : magnitude);
+}
+
+}  // namespace
+
+Interval Interval::Range(Int lo, Int hi) {
+  if (lo > hi) return Bottom();
+  return Interval{Clamp(lo), Clamp(hi)};
+}
+
+Interval Interval::OfType(const dlog::Type& type) {
+  switch (type.kind) {
+    case dlog::Type::Kind::kBit:
+      if (type.width >= 64) {
+        return Range(0, static_cast<Int>(
+                            std::numeric_limits<uint64_t>::max()));
+      }
+      return Range(0, (Int{1} << type.width) - 1);
+    case dlog::Type::Kind::kInt:
+      return Range(std::numeric_limits<int64_t>::min(),
+                   std::numeric_limits<int64_t>::max());
+    case dlog::Type::Kind::kBool:
+      return Range(0, 1);
+    default:
+      return Top();
+  }
+}
+
+bool Interval::ContainedIn(const Interval& other) const {
+  if (is_bottom()) return true;
+  if (other.is_bottom()) return false;
+  return lo >= other.lo && hi <= other.hi;
+}
+
+bool Interval::FitsBits(int width) const {
+  if (is_bottom()) return true;
+  if (width >= 64) {
+    return ContainedIn(
+        Range(0, static_cast<Int>(std::numeric_limits<uint64_t>::max())));
+  }
+  return ContainedIn(Range(0, (Int{1} << width) - 1));
+}
+
+Interval Interval::Join(const Interval& o) const {
+  if (is_bottom()) return o;
+  if (o.is_bottom()) return *this;
+  return Interval{std::min(lo, o.lo), std::max(hi, o.hi)};
+}
+
+Interval Interval::Meet(const Interval& o) const {
+  if (is_bottom() || o.is_bottom()) return Bottom();
+  Int l = std::max(lo, o.lo), h = std::min(hi, o.hi);
+  if (l > h) return Bottom();
+  return Interval{l, h};
+}
+
+Interval Interval::Add(const Interval& o) const {
+  if (is_bottom() || o.is_bottom()) return Bottom();
+  return Interval{Clamp(lo + o.lo), Clamp(hi + o.hi)};
+}
+
+Interval Interval::Sub(const Interval& o) const {
+  if (is_bottom() || o.is_bottom()) return Bottom();
+  return Interval{Clamp(lo - o.hi), Clamp(hi - o.lo)};
+}
+
+Interval Interval::Mul(const Interval& o) const {
+  if (is_bottom() || o.is_bottom()) return Bottom();
+  Int a = SatMul(lo, o.lo), b = SatMul(lo, o.hi);
+  Int c = SatMul(hi, o.lo), d = SatMul(hi, o.hi);
+  return Interval{std::min(std::min(a, b), std::min(c, d)),
+                  std::max(std::max(a, b), std::max(c, d))};
+}
+
+Interval Interval::Div(const Interval& o) const {
+  if (is_bottom() || o.is_bottom()) return Bottom();
+  // A divisor interval containing 0 makes the result hard to bound tightly
+  // (and the program would fail at runtime); stay conservative.
+  if (o.lo <= 0 && o.hi >= 0) return Top();
+  Int a = lo / o.lo, b = lo / o.hi, c = hi / o.lo, d = hi / o.hi;
+  return Interval{Clamp(std::min(std::min(a, b), std::min(c, d))),
+                  Clamp(std::max(std::max(a, b), std::max(c, d)))};
+}
+
+Interval Interval::Mod(const Interval& o) const {
+  if (is_bottom() || o.is_bottom()) return Bottom();
+  if (o.lo <= 0 && o.hi >= 0) return Top();
+  Int bound = std::max(o.hi < 0 ? -o.lo : o.hi,
+                       o.hi < 0 ? -o.hi : o.lo) - 1;
+  if (bound < 0) bound = 0;
+  // C++ % takes the dividend's sign.
+  Int l = lo < 0 ? -bound : 0;
+  Int h = hi > 0 ? bound : 0;
+  return Interval{Clamp(l), Clamp(h)};
+}
+
+Interval Interval::Neg() const {
+  if (is_bottom()) return Bottom();
+  return Interval{Clamp(-hi), Clamp(-lo)};
+}
+
+Interval Interval::Shl(const Interval& o) const {
+  if (is_bottom() || o.is_bottom()) return Bottom();
+  if (lo < 0 || o.lo < 0 || o.hi > 127) return Top();
+  return Interval{Clamp(lo << static_cast<int>(o.lo)),
+                  Clamp(hi << static_cast<int>(std::min<Int>(o.hi, 110)))};
+}
+
+Interval Interval::Shr(const Interval& o) const {
+  if (is_bottom() || o.is_bottom()) return Bottom();
+  if (lo < 0 || o.lo < 0 || o.hi > 127) return Top();
+  return Interval{Clamp(lo >> static_cast<int>(o.hi)),
+                  Clamp(hi >> static_cast<int>(o.lo))};
+}
+
+Interval Interval::BitOp(const Interval& o) const {
+  if (is_bottom() || o.is_bottom()) return Bottom();
+  if (lo < 0 || o.lo < 0) return Top();
+  Int bound = std::max(hi, o.hi);
+  Int ceiling = 1;
+  while (ceiling <= bound && ceiling < kMax) ceiling <<= 1;
+  return Interval{0, Clamp(ceiling - 1)};
+}
+
+std::string Interval::ToString() const {
+  if (is_bottom()) return "bottom";
+  auto render = [](Int v) -> std::string {
+    if (v <= kMin) return "-inf";
+    if (v >= kMax) return "inf";
+    bool negative = v < 0;
+    unsigned __int128 magnitude =
+        negative ? static_cast<unsigned __int128>(-v)
+                 : static_cast<unsigned __int128>(v);
+    std::string digits;
+    do {
+      digits += static_cast<char>('0' + static_cast<int>(magnitude % 10));
+      magnitude /= 10;
+    } while (magnitude != 0);
+    if (negative) digits += '-';
+    return std::string(digits.rbegin(), digits.rend());
+  };
+  return "[" + render(lo) + ", " + render(hi) + "]";
+}
+
+}  // namespace nerpa::analyze

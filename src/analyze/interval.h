@@ -1,0 +1,76 @@
+// Integer intervals for the static range analysis (abstract interpretation
+// over the control-plane rules).
+//
+// The lattice is the usual interval domain over signed 128-bit integers with
+// saturation: every operation clamps into [kMin, kMax], so widening chains
+// terminate even for unbounded recursions.  128 bits comfortably hold any
+// value a dlog program can produce (bigint is int64-backed, bit<N> caps at
+// 64 bits) plus headroom for sums/products before saturation kicks in.
+#ifndef NERPA_ANALYZE_INTERVAL_H_
+#define NERPA_ANALYZE_INTERVAL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "dlog/type.h"
+
+namespace nerpa::analyze {
+
+using Int = __int128;
+
+struct Interval {
+  // Saturation bounds: far beyond anything representable by dlog values but
+  // with room to spare for one more arithmetic op without overflowing the
+  // 128-bit carrier.
+  static constexpr Int kMax = Int{1} << 100;
+  static constexpr Int kMin = -(Int{1} << 100);
+
+  Int lo = 1;   // lo > hi encodes bottom (no value seen yet)
+  Int hi = 0;
+
+  static Interval Bottom() { return Interval{1, 0}; }
+  static Interval Top() { return Interval{kMin, kMax}; }
+  static Interval Point(Int v) { return Interval{v, v}; }
+  static Interval Range(Int lo, Int hi);
+
+  /// The value set of a dlog type: bit<w> -> [0, 2^w-1], bigint -> int64
+  /// range, bool -> [0, 1]; everything else (strings, tuples, vecs) is Top —
+  /// for Vec the caller tracks the *element* hull separately.
+  static Interval OfType(const dlog::Type& type);
+
+  bool is_bottom() const { return lo > hi; }
+  bool is_top() const { return !is_bottom() && lo <= kMin && hi >= kMax; }
+
+  /// True when every value of this interval lies inside `other`.
+  /// Bottom is contained in everything.
+  bool ContainedIn(const Interval& other) const;
+  /// True when every value fits in an unsigned w-bit field.
+  bool FitsBits(int width) const;
+
+  Interval Join(const Interval& o) const;   // union hull
+  Interval Meet(const Interval& o) const;   // intersection
+
+  Interval Add(const Interval& o) const;
+  Interval Sub(const Interval& o) const;
+  Interval Mul(const Interval& o) const;
+  Interval Div(const Interval& o) const;    // conservative around 0 divisors
+  Interval Mod(const Interval& o) const;
+  Interval Neg() const;
+  Interval Shl(const Interval& o) const;
+  Interval Shr(const Interval& o) const;
+  /// Bitwise &, |, ^: conservative hull [0, 2^k-1] for non-negative inputs
+  /// (k = bits of the larger operand), Top otherwise.
+  Interval BitOp(const Interval& o) const;
+
+  bool operator==(const Interval& o) const {
+    return (is_bottom() && o.is_bottom()) || (lo == o.lo && hi == o.hi);
+  }
+  bool operator!=(const Interval& o) const { return !(*this == o); }
+
+  /// "[lo, hi]", "bottom", with saturated endpoints printed as "-inf"/"inf".
+  std::string ToString() const;
+};
+
+}  // namespace nerpa::analyze
+
+#endif  // NERPA_ANALYZE_INTERVAL_H_

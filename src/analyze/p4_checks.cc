@@ -1,0 +1,97 @@
+// NW3xx: data-plane reachability over the P4 IR.
+//
+//   NW301 warning  table never applied by any control block
+//   NW302 warning  action not permitted by any table (nor a default action)
+//   NW303 warning  parser state unreachable from the start state
+//
+// Spans point into the textual P4 source when the program was parsed from
+// text; programs built directly as IR carry 0 spans (the diagnostic still
+// names the construct).
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyze/passes.h"
+#include "common/strings.h"
+#include "p4/ir.h"
+
+namespace nerpa::analyze {
+
+namespace {
+
+void CollectApplied(const std::vector<p4::ControlNode>& nodes,
+                    std::set<std::string>& applied) {
+  for (const p4::ControlNode& node : nodes) {
+    if (node.kind == p4::ControlNode::Kind::kApply) {
+      applied.insert(node.table);
+    } else {
+      CollectApplied(node.then_branch, applied);
+      CollectApplied(node.else_branch, applied);
+    }
+  }
+}
+
+void CheckUnappliedTables(PassContext& context) {
+  std::set<std::string> applied;
+  CollectApplied(context.p4->ingress, applied);
+  CollectApplied(context.p4->egress, applied);
+  for (const p4::Table& table : context.p4->tables) {
+    if (applied.count(table.name) != 0) continue;
+    Emit(context, "NW301", Severity::kWarning, "p4",
+         StrFormat("table '%s' is never applied by the ingress or egress "
+                   "control",
+                   table.name.c_str()),
+         "p4", table.line, table.col);
+  }
+}
+
+void CheckUnusedActions(PassContext& context) {
+  std::set<std::string> permitted;
+  for (const p4::Table& table : context.p4->tables) {
+    for (const std::string& action : table.actions) permitted.insert(action);
+    if (!table.default_action.empty()) permitted.insert(table.default_action);
+  }
+  for (const p4::Action& action : context.p4->actions) {
+    if (permitted.count(action.name) != 0) continue;
+    Emit(context, "NW302", Severity::kWarning, "p4",
+         StrFormat("action '%s' is not permitted by any table",
+                   action.name.c_str()),
+         "p4", action.line, action.col);
+  }
+}
+
+void CheckUnreachableParserStates(PassContext& context) {
+  const std::vector<p4::ParserState>& parser = context.p4->parser;
+  if (parser.empty()) return;
+  std::set<std::string> reachable;
+  std::vector<const p4::ParserState*> worklist = {&parser.front()};
+  reachable.insert(parser.front().name);
+  while (!worklist.empty()) {
+    const p4::ParserState* state = worklist.back();
+    worklist.pop_back();
+    for (const p4::ParserState::Transition& transition : state->transitions) {
+      if (!reachable.insert(transition.next).second) continue;
+      const p4::ParserState* next =
+          context.p4->FindParserState(transition.next);
+      if (next != nullptr) worklist.push_back(next);
+    }
+  }
+  for (const p4::ParserState& state : parser) {
+    if (reachable.count(state.name) != 0) continue;
+    Emit(context, "NW303", Severity::kWarning, "p4",
+         StrFormat("parser state '%s' is unreachable from the start state "
+                   "'%s'",
+                   state.name.c_str(), parser.front().name.c_str()),
+         "p4", state.line, state.col);
+  }
+}
+
+}  // namespace
+
+void RunP4Checks(PassContext& context) {
+  CheckUnappliedTables(context);
+  CheckUnusedActions(context);
+  CheckUnreachableParserStates(context);
+}
+
+}  // namespace nerpa::analyze

@@ -1,0 +1,43 @@
+// Internal pass interface of the analyzer.  Each pass appends to the shared
+// diagnostic list; the orchestrator (analyze.cc) decides which passes run
+// based on which inputs are present and whether earlier stages succeeded.
+#ifndef NERPA_ANALYZE_PASSES_H_
+#define NERPA_ANALYZE_PASSES_H_
+
+#include <memory>
+#include <vector>
+
+#include "analyze/analyze.h"
+#include "dlog/ast.h"
+#include "dlog/program.h"
+
+namespace nerpa::analyze {
+
+struct PassContext {
+  const dlog::ProgramAst* ast = nullptr;             // parsed program
+  std::shared_ptr<const dlog::Program> program;      // null if compile failed
+  const Bindings* bindings = nullptr;                // null in dlog-only mode
+  const p4::P4Program* p4 = nullptr;
+  const ovsdb::DatabaseSchema* schema = nullptr;
+  const AnalyzeOptions* options = nullptr;
+  std::vector<Diagnostic>* diagnostics = nullptr;
+};
+
+/// NW1xx over the AST (no compiled program required).
+void RunDlogLints(PassContext& context);
+
+/// NW2xx; needs bindings and a compiled program (range analysis reads the
+/// resolved types the compiler stamped on expressions).
+void RunCrossPlaneChecks(PassContext& context);
+
+/// NW3xx over the P4 IR.
+void RunP4Checks(PassContext& context);
+
+/// Shared helper: emit a diagnostic.
+void Emit(PassContext& context, const char* code, Severity severity,
+          const char* plane, std::string message, const char* unit = "",
+          int line = 0, int col = 0);
+
+}  // namespace nerpa::analyze
+
+#endif  // NERPA_ANALYZE_PASSES_H_

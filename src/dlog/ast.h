@@ -67,6 +67,12 @@ struct Expr {
   BinOp op2 = BinOp::kAdd;
   std::vector<ExprPtr> args;
 
+  // Source span of the node's first token (0 = unknown, e.g. synthesized
+  // expressions).  Mutable so the parser can stamp nodes after the shared
+  // const pointer is built, like the checker annotations below.
+  mutable int line = 0;
+  mutable int col = 0;
+
   // During type checking, variables get a slot in the rule's frame and all
   // nodes get a resolved type.
   mutable int var_slot = -1;
@@ -90,6 +96,8 @@ struct Expr {
 struct Atom {
   std::string relation;
   std::vector<ExprPtr> terms;
+  int line = 0;  // span of the relation name token
+  int col = 0;
 
   std::string ToString() const;
 };
@@ -127,6 +135,9 @@ struct BodyElem {
   AggFunc agg_func = AggFunc::kCount;
   std::vector<std::string> group_by;
 
+  int line = 0;  // span of the element's first token
+  int col = 0;
+
   std::string ToString() const;
 };
 
@@ -134,7 +145,8 @@ struct BodyElem {
 struct Rule {
   Atom head;
   std::vector<BodyElem> body;
-  int line = 0;  // source line for diagnostics
+  int line = 0;  // source span for diagnostics
+  int col = 0;
 
   bool is_fact() const { return body.empty(); }
   std::string ToString() const;

@@ -10,9 +10,21 @@ Result<std::vector<Token>> Tokenize(std::string_view source) {
   std::vector<Token> tokens;
   size_t i = 0;
   int line = 1;
+  size_t line_start = 0;  // index just past the most recent '\n'
 
+  auto col_at = [&](size_t pos) {
+    return static_cast<int>(pos - line_start) + 1;
+  };
   auto error = [&](const std::string& message) {
-    return ParseError(StrFormat("line %d: %s", line, message.c_str()));
+    return ParseError(StrFormat("line %d:%d: %s", line, col_at(i),
+                                message.c_str()));
+  };
+  auto make = [&](TokKind kind, size_t start) {
+    Token t;
+    t.kind = kind;
+    t.line = line;
+    t.col = col_at(start);
+    return t;
   };
 
   while (i < source.size()) {
@@ -20,6 +32,7 @@ Result<std::vector<Token>> Tokenize(std::string_view source) {
     if (c == '\n') {
       ++line;
       ++i;
+      line_start = i;
       continue;
     }
     if (std::isspace(static_cast<unsigned char>(c))) {
@@ -33,13 +46,22 @@ Result<std::vector<Token>> Tokenize(std::string_view source) {
         continue;
       }
       if (source[i + 1] == '*') {
+        size_t comment_start = i;
+        int comment_line = line;
         i += 2;
         while (i + 1 < source.size() &&
                !(source[i] == '*' && source[i + 1] == '/')) {
-          if (source[i] == '\n') ++line;
+          if (source[i] == '\n') {
+            ++line;
+            line_start = i + 1;
+          }
           ++i;
         }
-        if (i + 1 >= source.size()) return error("unterminated /* comment");
+        if (i + 1 >= source.size()) {
+          return ParseError(StrFormat(
+              "line %d:%d: unterminated /* comment", comment_line,
+              comment_line == line ? col_at(comment_start) : 1));
+        }
         i += 2;
         continue;
       }
@@ -52,10 +74,8 @@ Result<std::vector<Token>> Tokenize(std::string_view source) {
               source[i] == '_')) {
         ++i;
       }
-      Token t;
-      t.kind = TokKind::kIdent;
+      Token t = make(TokKind::kIdent, start);
       t.text = std::string(source.substr(start, i - start));
-      t.line = line;
       tokens.push_back(std::move(t));
       continue;
     }
@@ -84,16 +104,15 @@ Result<std::vector<Token>> Tokenize(std::string_view source) {
         ++i;
       }
       if (base == 16 && !any) return error("malformed hex literal");
-      Token t;
-      t.kind = TokKind::kInt;
+      Token t = make(TokKind::kInt, start);
       t.text = std::string(source.substr(start, i - start));
       t.int_value = static_cast<int64_t>(value);
-      t.line = line;
       tokens.push_back(std::move(t));
       continue;
     }
     // Strings.
     if (c == '"') {
+      size_t start = i;
       ++i;
       std::string text;
       bool closed = false;
@@ -120,10 +139,8 @@ Result<std::vector<Token>> Tokenize(std::string_view source) {
         }
       }
       if (!closed) return error("unterminated string literal");
-      Token t;
-      t.kind = TokKind::kString;
+      Token t = make(TokKind::kString, start);
       t.text = std::move(text);
-      t.line = line;
       tokens.push_back(std::move(t));
       continue;
     }
@@ -134,10 +151,8 @@ Result<std::vector<Token>> Tokenize(std::string_view source) {
     for (const char* op : kMulti) {
       size_t len = 2;
       if (source.substr(i, len) == op) {
-        Token t;
-        t.kind = TokKind::kPunct;
+        Token t = make(TokKind::kPunct, i);
         t.text = op;
-        t.line = line;
         tokens.push_back(std::move(t));
         i += len;
         matched = true;
@@ -147,19 +162,15 @@ Result<std::vector<Token>> Tokenize(std::string_view source) {
     if (matched) continue;
     static const std::string kSingle = "()[]{}<>,.:;=+-*/%&|^~!";
     if (kSingle.find(c) != std::string::npos) {
-      Token t;
-      t.kind = TokKind::kPunct;
+      Token t = make(TokKind::kPunct, i);
       t.text = std::string(1, c);
-      t.line = line;
       tokens.push_back(std::move(t));
       ++i;
       continue;
     }
     return error(StrFormat("unexpected character '%c'", c));
   }
-  Token eof;
-  eof.kind = TokKind::kEof;
-  eof.line = line;
+  Token eof = make(TokKind::kEof, i);
   tokens.push_back(std::move(eof));
   return tokens;
 }

@@ -24,6 +24,7 @@ struct Token {
   std::string text;
   int64_t int_value = 0;
   int line = 0;
+  int col = 0;  // 1-based column of the token's first character
 
   bool Is(TokKind k) const { return kind == k; }
   bool IsPunct(std::string_view p) const {

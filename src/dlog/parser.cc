@@ -55,7 +55,18 @@ class Parser {
   const Token& Next() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
 
   Status Error(const std::string& message) const {
-    return ParseError(StrFormat("line %d: %s", Peek().line, message.c_str()));
+    return ParseError(StrFormat("line %d:%d: %s", Peek().line, Peek().col,
+                                message.c_str()));
+  }
+
+  /// Stamps `expr` with the span of `token` unless a sub-parse already set
+  /// one (spans are mutable annotations, like var_slot).
+  static ExprPtr Spanned(ExprPtr expr, const Token& token) {
+    if (expr->line == 0) {
+      expr->line = token.line;
+      expr->col = token.col;
+    }
+    return expr;
   }
 
   bool ConsumePunct(std::string_view p) {
@@ -136,11 +147,15 @@ class Parser {
       decl.role = RelationRole::kOutput;
     }
     if (!ConsumeIdent("relation")) return Error("expected 'relation'");
+    decl.line = Peek().line;
+    decl.col = Peek().col;
     NERPA_ASSIGN_OR_RETURN(decl.name, ExpectName());
     NERPA_RETURN_IF_ERROR(ExpectPunct("("));
     if (!ConsumePunct(")")) {
       do {
         Column column;
+        column.line = Peek().line;
+        column.col = Peek().col;
         NERPA_ASSIGN_OR_RETURN(column.name, ExpectName());
         NERPA_RETURN_IF_ERROR(ExpectPunct(":"));
         NERPA_ASSIGN_OR_RETURN(column.type, ParseType());
@@ -161,6 +176,7 @@ class Parser {
   Result<Rule> ParseRule() {
     Rule rule;
     rule.line = Peek().line;
+    rule.col = Peek().col;
     NERPA_ASSIGN_OR_RETURN(rule.head, ParseAtom());
     if (ConsumePunct(":-")) {
       do {
@@ -174,6 +190,8 @@ class Parser {
 
   Result<Atom> ParseAtom() {
     Atom atom;
+    atom.line = Peek().line;
+    atom.col = Peek().col;
     NERPA_ASSIGN_OR_RETURN(atom.relation, ExpectName());
     NERPA_RETURN_IF_ERROR(ExpectPunct("("));
     if (!ConsumePunct(")")) {
@@ -188,6 +206,8 @@ class Parser {
 
   Result<BodyElem> ParseBodyElem() {
     BodyElem elem;
+    elem.line = Peek().line;
+    elem.col = Peek().col;
     if (ConsumeIdent("not")) {
       elem.kind = BodyElem::Kind::kLiteral;
       elem.negated = true;
@@ -251,44 +271,50 @@ class Parser {
   Result<ExprPtr> ParseExpr() { return ParseIf(); }
 
   Result<ExprPtr> ParseIf() {
+    const Token& start = Peek();
     if (ConsumeIdent("if")) {
       NERPA_ASSIGN_OR_RETURN(ExprPtr c, ParseExpr());
       if (!ConsumeIdent("then")) return Error("expected 'then'");
       NERPA_ASSIGN_OR_RETURN(ExprPtr t, ParseExpr());
       if (!ConsumeIdent("else")) return Error("expected 'else'");
       NERPA_ASSIGN_OR_RETURN(ExprPtr f, ParseExpr());
-      return Expr::MakeCond(std::move(c), std::move(t), std::move(f));
+      return Spanned(Expr::MakeCond(std::move(c), std::move(t), std::move(f)),
+                     start);
     }
     return ParseOr();
   }
 
   Result<ExprPtr> ParseOr() {
+    const Token& start = Peek();
     NERPA_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
     while (ConsumeIdent("or")) {
       NERPA_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
-      lhs = Expr::MakeBinary(BinOp::kOr, std::move(lhs), std::move(rhs));
+      lhs = Spanned(Expr::MakeBinary(BinOp::kOr, std::move(lhs), std::move(rhs)), start);
     }
     return lhs;
   }
 
   Result<ExprPtr> ParseAnd() {
+    const Token& start = Peek();
     NERPA_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
     while (ConsumeIdent("and")) {
       NERPA_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
-      lhs = Expr::MakeBinary(BinOp::kAnd, std::move(lhs), std::move(rhs));
+      lhs = Spanned(Expr::MakeBinary(BinOp::kAnd, std::move(lhs), std::move(rhs)), start);
     }
     return lhs;
   }
 
   Result<ExprPtr> ParseNot() {
+    const Token& start = Peek();
     if (ConsumeIdent("not")) {
       NERPA_ASSIGN_OR_RETURN(ExprPtr arg, ParseNot());
-      return Expr::MakeUnary(UnOp::kNot, std::move(arg));
+      return Spanned(Expr::MakeUnary(UnOp::kNot, std::move(arg)), start);
     }
     return ParseComparison();
   }
 
   Result<ExprPtr> ParseComparison() {
+    const Token& start = Peek();
     NERPA_ASSIGN_OR_RETURN(ExprPtr lhs, ParseBitOr());
     struct { const char* text; BinOp op; } kOps[] = {
         {"==", BinOp::kEq}, {"!=", BinOp::kNe}, {"<=", BinOp::kLe},
@@ -297,54 +323,65 @@ class Parser {
       if (Peek().IsPunct(candidate.text)) {
         Next();
         NERPA_ASSIGN_OR_RETURN(ExprPtr rhs, ParseBitOr());
-        return Expr::MakeBinary(candidate.op, std::move(lhs), std::move(rhs));
+        return Spanned(
+            Expr::MakeBinary(candidate.op, std::move(lhs), std::move(rhs)),
+            start);
       }
     }
     return lhs;
   }
 
   Result<ExprPtr> ParseBitOr() {
+    const Token& start = Peek();
     NERPA_ASSIGN_OR_RETURN(ExprPtr lhs, ParseBitXor());
     while (Peek().IsPunct("|")) {
       Next();
       NERPA_ASSIGN_OR_RETURN(ExprPtr rhs, ParseBitXor());
-      lhs = Expr::MakeBinary(BinOp::kBitOr, std::move(lhs), std::move(rhs));
+      lhs = Spanned(
+          Expr::MakeBinary(BinOp::kBitOr, std::move(lhs), std::move(rhs)), start);
     }
     return lhs;
   }
 
   Result<ExprPtr> ParseBitXor() {
+    const Token& start = Peek();
     NERPA_ASSIGN_OR_RETURN(ExprPtr lhs, ParseBitAnd());
     while (Peek().IsPunct("^")) {
       Next();
       NERPA_ASSIGN_OR_RETURN(ExprPtr rhs, ParseBitAnd());
-      lhs = Expr::MakeBinary(BinOp::kBitXor, std::move(lhs), std::move(rhs));
+      lhs = Spanned(
+          Expr::MakeBinary(BinOp::kBitXor, std::move(lhs), std::move(rhs)), start);
     }
     return lhs;
   }
 
   Result<ExprPtr> ParseBitAnd() {
+    const Token& start = Peek();
     NERPA_ASSIGN_OR_RETURN(ExprPtr lhs, ParseShift());
     while (Peek().IsPunct("&")) {
       Next();
       NERPA_ASSIGN_OR_RETURN(ExprPtr rhs, ParseShift());
-      lhs = Expr::MakeBinary(BinOp::kBitAnd, std::move(lhs), std::move(rhs));
+      lhs = Spanned(
+          Expr::MakeBinary(BinOp::kBitAnd, std::move(lhs), std::move(rhs)), start);
     }
     return lhs;
   }
 
   Result<ExprPtr> ParseShift() {
+    const Token& start = Peek();
     NERPA_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
     while (Peek().IsPunct("<<") || Peek().IsPunct(">>")) {
       BinOp op = Peek().IsPunct("<<") ? BinOp::kShl : BinOp::kShr;
       Next();
       NERPA_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
-      lhs = Expr::MakeBinary(op, std::move(lhs), std::move(rhs));
+      lhs = Spanned(
+          Expr::MakeBinary(op, std::move(lhs), std::move(rhs)), start);
     }
     return lhs;
   }
 
   Result<ExprPtr> ParseAdditive() {
+    const Token& start = Peek();
     NERPA_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
     while (Peek().IsPunct("+") || Peek().IsPunct("-") ||
            Peek().IsPunct("++")) {
@@ -352,40 +389,45 @@ class Parser {
                  : Peek().IsPunct("-") ? BinOp::kSub : BinOp::kConcat;
       Next();
       NERPA_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
-      lhs = Expr::MakeBinary(op, std::move(lhs), std::move(rhs));
+      lhs = Spanned(
+          Expr::MakeBinary(op, std::move(lhs), std::move(rhs)), start);
     }
     return lhs;
   }
 
   Result<ExprPtr> ParseMultiplicative() {
+    const Token& start = Peek();
     NERPA_ASSIGN_OR_RETURN(ExprPtr lhs, ParseCast());
     while (Peek().IsPunct("*") || Peek().IsPunct("/") || Peek().IsPunct("%")) {
       BinOp op = Peek().IsPunct("*") ? BinOp::kMul
                  : Peek().IsPunct("/") ? BinOp::kDiv : BinOp::kMod;
       Next();
       NERPA_ASSIGN_OR_RETURN(ExprPtr rhs, ParseCast());
-      lhs = Expr::MakeBinary(op, std::move(lhs), std::move(rhs));
+      lhs = Spanned(
+          Expr::MakeBinary(op, std::move(lhs), std::move(rhs)), start);
     }
     return lhs;
   }
 
   Result<ExprPtr> ParseCast() {
+    const Token& start = Peek();
     NERPA_ASSIGN_OR_RETURN(ExprPtr expr, ParseUnary());
     while (ConsumeIdent("as")) {
       NERPA_ASSIGN_OR_RETURN(Type target, ParseType());
-      expr = Expr::MakeCast(std::move(expr), std::move(target));
+      expr = Spanned(Expr::MakeCast(std::move(expr), std::move(target)), start);
     }
     return expr;
   }
 
   Result<ExprPtr> ParseUnary() {
+    const Token& start = Peek();
     if (ConsumePunct("-")) {
       NERPA_ASSIGN_OR_RETURN(ExprPtr arg, ParseUnary());
-      return Expr::MakeUnary(UnOp::kNeg, std::move(arg));
+      return Spanned(Expr::MakeUnary(UnOp::kNeg, std::move(arg)), start);
     }
     if (ConsumePunct("~")) {
       NERPA_ASSIGN_OR_RETURN(ExprPtr arg, ParseUnary());
-      return Expr::MakeUnary(UnOp::kBitNot, std::move(arg));
+      return Spanned(Expr::MakeUnary(UnOp::kBitNot, std::move(arg)), start);
     }
     return ParsePrimary();
   }
@@ -394,28 +436,28 @@ class Parser {
     const Token& token = Peek();
     if (token.Is(TokKind::kInt)) {
       Next();
-      return Expr::MakeLit(Value::Int(token.int_value));
+      return Spanned(Expr::MakeLit(Value::Int(token.int_value)), token);
     }
     if (token.Is(TokKind::kString)) {
       Next();
-      return Expr::MakeLit(Value::String(token.text));
+      return Spanned(Expr::MakeLit(Value::String(token.text)), token);
     }
     if (token.IsIdent("true")) {
       Next();
-      return Expr::MakeLit(Value::Bool(true));
+      return Spanned(Expr::MakeLit(Value::Bool(true)), token);
     }
     if (token.IsIdent("false")) {
       Next();
-      return Expr::MakeLit(Value::Bool(false));
+      return Spanned(Expr::MakeLit(Value::Bool(false)), token);
     }
     if (token.IsPunct("_")) {  // lexer emits "_" as an identifier, see below
       Next();
-      return Expr::MakeWildcard();
+      return Spanned(Expr::MakeWildcard(), token);
     }
     if (token.Is(TokKind::kIdent)) {
       if (token.text == "_") {
         Next();
-        return Expr::MakeWildcard();
+        return Spanned(Expr::MakeWildcard(), token);
       }
       if (IsKeyword(token.text) && token.text != "if") {
         return Error("unexpected keyword '" + token.text + "' in expression");
@@ -431,9 +473,10 @@ class Parser {
           } while (ConsumePunct(","));
           NERPA_RETURN_IF_ERROR(ExpectPunct(")"));
         }
-        return Expr::MakeCall(std::move(name), std::move(args));
+        return Spanned(Expr::MakeCall(std::move(name), std::move(args)),
+                       token);
       }
-      return Expr::MakeVar(std::move(name));
+      return Spanned(Expr::MakeVar(std::move(name)), token);
     }
     if (ConsumePunct("(")) {
       NERPA_ASSIGN_OR_RETURN(ExprPtr first, ParseExpr());
@@ -445,7 +488,7 @@ class Parser {
         elems.push_back(std::move(elem));
       }
       NERPA_RETURN_IF_ERROR(ExpectPunct(")"));
-      return Expr::MakeTuple(std::move(elems));
+      return Spanned(Expr::MakeTuple(std::move(elems)), token);
     }
     return Error("expected an expression, got '" + token.text + "'");
   }

@@ -22,24 +22,35 @@ using Env = std::map<std::string, VarInfo>;
 /// into the (shared, mutable-annotated) Expr nodes.
 class ExprChecker {
  public:
-  ExprChecker(const Env& env, int line) : env_(env), line_(line) {}
+  /// `line`/`col` are the fallback span (the enclosing element) used when the
+  /// expression under scrutiny carries no span of its own.
+  ExprChecker(const Env& env, int line, int col)
+      : env_(env), line_(line), col_(col) {}
 
   Result<Type> Check(const ExprPtr& expr,
                      const std::optional<Type>& expected) {
-    NERPA_ASSIGN_OR_RETURN(Type type, CheckImpl(expr, expected));
-    if (expected && type != *expected) {
-      return Error(StrFormat("expected %s, got %s for '%s'",
-                             expected->ToString().c_str(),
-                             type.ToString().c_str(),
-                             expr->ToString().c_str()));
+    // Errors report at the innermost spanned node, so point `current_` here
+    // for the duration of this subtree.
+    const Expr* previous = current_;
+    if (expr->line > 0) current_ = expr.get();
+    Result<Type> result = CheckImpl(expr, expected);
+    if (result.ok() && expected && result.value() != *expected) {
+      result = Error(StrFormat("expected %s, got %s for '%s'",
+                               expected->ToString().c_str(),
+                               result.value().ToString().c_str(),
+                               expr->ToString().c_str()));
     }
-    expr->resolved_type = type;
-    return type;
+    current_ = previous;
+    if (!result.ok()) return result;
+    expr->resolved_type = result.value();
+    return result;
   }
 
  private:
   Status Error(const std::string& message) const {
-    return TypeError(StrFormat("line %d: %s", line_, message.c_str()));
+    int line = current_ != nullptr ? current_->line : line_;
+    int col = current_ != nullptr ? current_->col : col_;
+    return TypeError(StrFormat("line %d:%d: %s", line, col, message.c_str()));
   }
 
   static bool IsBareIntLiteral(const ExprPtr& expr) {
@@ -222,6 +233,8 @@ class ExprChecker {
 
   const Env& env_;
   int line_;
+  int col_;
+  const Expr* current_ = nullptr;  // innermost spanned node being checked
 };
 
 /// Tarjan strongly-connected components over the relation dependency graph.
@@ -328,14 +341,22 @@ class Compiler {
   }
 
   Status RuleError(const Rule& rule, const std::string& message) {
-    return TypeError(StrFormat("line %d: %s (in rule: %s)", rule.line,
-                               message.c_str(), rule.ToString().c_str()));
+    // Expression-level errors already carry a more precise span; keep it
+    // rather than stacking the rule's span in front.
+    if (message.rfind("line ", 0) == 0) {
+      return TypeError(StrFormat("%s (in rule: %s)", message.c_str(),
+                                 rule.ToString().c_str()));
+    }
+    return TypeError(StrFormat("line %d:%d: %s (in rule: %s)", rule.line,
+                               rule.col, message.c_str(),
+                               rule.ToString().c_str()));
   }
 
   Status CompileRule(const Rule& rule) {
     CompiledRule out;
     out.index = static_cast<int>(program_.rules_.size());
     out.line = rule.line;
+    out.col = rule.col;
     out.head_relation = program_.FindRelation(rule.head.relation);
     if (out.head_relation < 0) {
       return RuleError(rule, "unknown relation '" + rule.head.relation + "'");
@@ -414,7 +435,7 @@ class Compiler {
                        (term->kind == Expr::Kind::kUnary &&
                         term->op1 == UnOp::kNeg &&
                         term->args[0]->kind == Expr::Kind::kLit)) {
-              ExprChecker checker(env, rule.line);
+              ExprChecker checker(env, elem.line, elem.col);
               NERPA_RETURN_IF_ERROR(checker.Check(term, col_type).status());
               Result<Value> value = EvalExpr(*term, {});
               if (!value.ok()) return value.status();
@@ -431,7 +452,7 @@ class Compiler {
           break;
         }
         case BodyElem::Kind::kCondition: {
-          ExprChecker checker(env, rule.line);
+          ExprChecker checker(env, elem.line, elem.col);
           NERPA_RETURN_IF_ERROR(
               checker.Check(elem.condition, Type::Bool()).status());
           step.condition = elem.condition;
@@ -442,7 +463,7 @@ class Compiler {
             return RuleError(rule,
                              "variable '" + elem.var + "' is already bound");
           }
-          ExprChecker checker(env, rule.line);
+          ExprChecker checker(env, elem.line, elem.col);
           NERPA_ASSIGN_OR_RETURN(Type t,
                                  checker.Check(elem.expr, std::nullopt));
           step.slot = next_slot++;
@@ -455,7 +476,7 @@ class Compiler {
             return RuleError(rule,
                              "variable '" + elem.var + "' is already bound");
           }
-          ExprChecker checker(env, rule.line);
+          ExprChecker checker(env, elem.line, elem.col);
           NERPA_ASSIGN_OR_RETURN(Type t,
                                  checker.Check(elem.expr, std::nullopt));
           if (t.kind != Type::Kind::kVec) {
@@ -472,7 +493,7 @@ class Compiler {
             return RuleError(rule,
                              "variable '" + elem.var + "' is already bound");
           }
-          ExprChecker checker(env, rule.line);
+          ExprChecker checker(env, elem.line, elem.col);
           NERPA_ASSIGN_OR_RETURN(Type arg_type,
                                  checker.Check(elem.expr, std::nullopt));
           if (elem.agg_func != AggFunc::kCount && !arg_type.is_numeric()) {
@@ -516,7 +537,7 @@ class Compiler {
 
     // Head expressions.
     for (size_t c = 0; c < rule.head.terms.size(); ++c) {
-      ExprChecker checker(env, rule.line);
+      ExprChecker checker(env, rule.head.line, rule.head.col);
       Status s =
           checker.Check(rule.head.terms[c], head_decl.columns[c].type)
               .status();
@@ -587,7 +608,9 @@ class Compiler {
   Status Stratify() {
     size_t n = program_.relations_.size();
     std::vector<std::vector<int>> edges(n);       // body -> head
-    std::set<std::pair<int, int>> strict_edges;   // must cross strata
+    // Edges that must cross strata, with the span of the first offending
+    // rule for diagnostics.
+    std::map<std::pair<int, int>, std::pair<int, int>> strict_edges;
 
     for (const CompiledRule& rule : program_.rules_) {
       for (const StepPlan& step : rule.steps) {
@@ -595,7 +618,9 @@ class Compiler {
         edges[static_cast<size_t>(step.relation)].push_back(
             rule.head_relation);
         if (step.negated || rule.has_aggregate) {
-          strict_edges.insert({step.relation, rule.head_relation});
+          strict_edges.emplace(std::pair<int, int>{step.relation,
+                                                   rule.head_relation},
+                               std::pair<int, int>{rule.line, rule.col});
         }
       }
     }
@@ -610,12 +635,13 @@ class Compiler {
     for (size_t s = 0; s < sccs.size(); ++s) {
       for (int r : sccs[s]) scc_of[static_cast<size_t>(r)] = static_cast<int>(s);
     }
-    for (const auto& [from, to] : strict_edges) {
+    for (const auto& [edge, span] : strict_edges) {
+      const auto& [from, to] = edge;
       if (scc_of[static_cast<size_t>(from)] == scc_of[static_cast<size_t>(to)]) {
         return TypeError(StrFormat(
-            "program is not stratifiable: relation '%s' depends on '%s' "
-            "through negation or aggregation inside a recursive cycle",
-            program_.relation(to).name.c_str(),
+            "line %d:%d: program is not stratifiable: relation '%s' depends "
+            "on '%s' through negation or aggregation inside a recursive cycle",
+            span.first, span.second, program_.relation(to).name.c_str(),
             program_.relation(from).name.c_str()));
       }
     }
@@ -671,14 +697,14 @@ class Compiler {
           const CompiledRule& rule = program_.rules_[static_cast<size_t>(rule_index)];
           if (!rule.head_invertible) {
             return TypeError(StrFormat(
-                "line %d: rules in a recursive cycle must have plain "
+                "line %d:%d: rules in a recursive cycle must have plain "
                 "variables or constants in the head",
-                rule.line));
+                rule.line, rule.col));
           }
           if (rule.has_aggregate) {
             return TypeError(StrFormat(
-                "line %d: aggregates are not allowed in recursive rules",
-                rule.line));
+                "line %d:%d: aggregates are not allowed in recursive rules",
+                rule.line, rule.col));
           }
         }
       }

@@ -106,6 +106,7 @@ struct CompiledRule {
   std::vector<StepPlan> steps;
   int frame_size = 0;
   int line = 0;
+  int col = 0;
 
   bool has_aggregate = false;
   int aggregate_step = -1;

@@ -57,9 +57,11 @@ struct Type {
 struct Column {
   std::string name;
   Type type;
+  int line = 0;  // source span of the column name (0 = generated)
+  int col = 0;
 
   bool operator==(const Column& o) const {
-    return name == o.name && type == o.type;
+    return name == o.name && type == o.type;  // spans are not identity
   }
 };
 
@@ -77,6 +79,8 @@ struct RelationDecl {
   std::string name;
   RelationRole role = RelationRole::kInternal;
   std::vector<Column> columns;
+  int line = 0;  // source span of the relation name (0 = generated)
+  int col = 0;
 
   int FindColumn(std::string_view column_name) const {
     for (size_t i = 0; i < columns.size(); ++i) {

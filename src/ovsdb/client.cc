@@ -40,8 +40,9 @@ Status OvsdbClient::Dial() {
   if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
     ::close(fd_);
     fd_ = -1;
-    return Internal(StrFormat("connect(%s:%u) failed: %s", host_.c_str(),
-                              port_, std::strerror(errno)));
+    return Internal(StrFormat(
+        "connect(%s:%u) failed: %s", host_.c_str(), port_,
+        std::strerror(errno)));  // NOLINT(concurrency-mt-unsafe)
   }
   int one = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);

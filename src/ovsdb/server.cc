@@ -63,8 +63,9 @@ Status OvsdbServer::Start(uint16_t port) {
       0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
-    return Internal(StrFormat("bind(127.0.0.1:%u) failed: %s", port,
-                              std::strerror(errno)));
+    return Internal(StrFormat(
+        "bind(127.0.0.1:%u) failed: %s", port,
+        std::strerror(errno)));  // NOLINT(concurrency-mt-unsafe)
   }
   socklen_t len = sizeof addr;
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);

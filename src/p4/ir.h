@@ -51,6 +51,8 @@ struct FieldRef {
 struct ParserState {
   std::string name;
   std::string extracts;  // header type name to extract; "" = none
+  int line = 0;  // source span of the state name (0 = built in code)
+  int col = 0;
 
   struct Transition {
     std::optional<uint64_t> match;  // nullopt = default
@@ -114,12 +116,16 @@ struct Action {
   std::string name;
   std::vector<ActionParam> params;
   std::vector<ActionOp> ops;
+  int line = 0;  // source span of the action name (0 = built in code)
+  int col = 0;
 
   int FindParam(std::string_view param) const;
 };
 
 struct Table {
   std::string name;
+  int line = 0;  // source span of the table name (0 = built in code)
+  int col = 0;
   std::vector<TableKey> keys;
   std::vector<std::string> actions;  // names of permitted actions
   std::string default_action;        // applied on miss ("" = no-op)
@@ -131,6 +137,8 @@ struct Table {
 struct Digest {
   std::string name;
   std::vector<P4Field> fields;
+  int line = 0;  // source span of the digest name (0 = built in code)
+  int col = 0;
 };
 
 /// Control-flow node of a control block.

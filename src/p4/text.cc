@@ -59,7 +59,7 @@ class Parser {
   }
 
   Status Error(const std::string& message) const {
-    return ParseError(StrFormat("p4 line %d: %s", Peek().line,
+    return ParseError(StrFormat("p4 line %d:%d: %s", Peek().line, Peek().col,
                                 message.c_str()));
   }
 
@@ -148,6 +148,8 @@ class Parser {
 
   Status ParseDigest() {
     Digest digest;
+    digest.line = Peek().line;
+    digest.col = Peek().col;
     NERPA_ASSIGN_OR_RETURN(digest.name, ExpectName());
     NERPA_RETURN_IF_ERROR(ExpectPunct("{"));
     while (!ConsumePunct("}")) {
@@ -166,6 +168,8 @@ class Parser {
     while (!ConsumePunct("}")) {
       if (!ConsumeIdent("state")) return Error("expected 'state'");
       ParserState state;
+      state.line = Peek().line;
+      state.col = Peek().col;
       NERPA_ASSIGN_OR_RETURN(state.name, ExpectName());
       NERPA_RETURN_IF_ERROR(ExpectPunct("{"));
       while (!ConsumePunct("}")) {
@@ -209,6 +213,8 @@ class Parser {
 
   Status ParseAction() {
     Action action;
+    action.line = Peek().line;
+    action.col = Peek().col;
     NERPA_ASSIGN_OR_RETURN(action.name, ExpectName());
     NERPA_RETURN_IF_ERROR(ExpectPunct("("));
     if (!ConsumePunct(")")) {
@@ -335,6 +341,8 @@ class Parser {
 
   Status ParseTable() {
     Table table;
+    table.line = Peek().line;
+    table.col = Peek().col;
     NERPA_ASSIGN_OR_RETURN(table.name, ExpectName());
     NERPA_RETURN_IF_ERROR(ExpectPunct("{"));
     while (!ConsumePunct("}")) {

@@ -6,6 +6,7 @@
 
 #include <random>
 
+#include "analyze/analyze.h"
 #include "common/json.h"
 #include "dlog/program.h"
 #include "ovsdb/jsonrpc.h"
@@ -60,6 +61,19 @@ TEST(Fuzz, DlogFrontend) {
                               trunks: Vec<bigint>)
         )",
         [](const std::string& text) { (void)dlog::Program::Parse(text); }, 2);
+}
+
+TEST(Fuzz, StaticAnalyzer) {
+  // The analyzer must survive (and keep producing a diagnostic list for)
+  // arbitrarily mangled programs — it runs lints over whatever parses, so
+  // it exercises strictly more code than the frontend alone.
+  Drill("input relation E(a: bigint, b: Vec<bigint>)\n"
+        "relation Mid(x: bigint)\n"
+        "output relation O(x: bigint, y: bit<16>)\n"
+        "Mid(x) :- E(x, v), var t in v, t < 9, not O(t, _).\n"
+        "O(n, n as bit<16>) :- Mid(m), var n = m + 1.\n"
+        "O(c, 0) :- E(_, v), var c = count(v) group_by (v).\n",
+        [](const std::string& text) { (void)analyze::AnalyzeDlog(text); }, 7);
 }
 
 TEST(Fuzz, P4TextFrontend) {

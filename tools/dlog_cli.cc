@@ -19,6 +19,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "analyze/diag.h"
 #include "common/strings.h"
 #include "dlog/engine.h"
 #include "dlog/lexer.h"
@@ -129,10 +130,24 @@ Result<std::pair<std::string, Row>> ParseAtomCommand(
   return std::make_pair(std::move(relation), std::move(row));
 }
 
-int Repl(const std::string& source) {
+int Repl(const std::string& path, const std::string& source) {
   auto program = Program::Parse(source);
   if (!program.ok()) {
-    std::fprintf(stderr, "error: %s\n", program.status().ToString().c_str());
+    // Frontend errors carry "line L:C:" spans — render them with a caret
+    // snippet like nerpa_check does.
+    const std::string& message = program.status().message();
+    int line = 0, col = 0, prefix = 0;
+    if (std::sscanf(message.c_str(), "line %d:%d:%n", &line, &col, &prefix) ==
+        2) {
+      // Drop the "line L:C:" prefix — the span is already in the location.
+      std::string detail = message.substr(prefix);
+      while (!detail.empty() && detail.front() == ' ') detail.erase(0, 1);
+      std::fprintf(stderr, "%s:%d:%d: error: %s\n%s", path.c_str(), line,
+                   col, detail.c_str(),
+                   nerpa::analyze::CaretSnippet(source, line, col).c_str());
+    } else {
+      std::fprintf(stderr, "error: %s\n", program.status().ToString().c_str());
+    }
     return 1;
   }
   Engine engine(*program);
@@ -239,5 +254,5 @@ int main(int argc, char** argv) {
   }
   std::ostringstream source;
   source << in.rdbuf();
-  return nerpa::dlog::Repl(source.str());
+  return nerpa::dlog::Repl(argv[1], source.str());
 }
