@@ -1,0 +1,549 @@
+// Experiment: northbound gateway throughput and latency.
+//
+// Drives the HTTP front door (src/gateway) over a live OvsdbServer with
+// the read-mostly mix a northbound API sees in practice — 90% table
+// reads / 9% change-feed polls / 1% transacts — and measures:
+//
+//   * sustained req/s and the read-through cache hit ratio on that mix,
+//   * cached-read p99 vs uncached-read p99 (Cache-Control: no-cache),
+//   * transact p99 when the offered load is 2x the measured transact
+//     capacity, with admission control shedding the excess (bounded
+//     latency for admitted work instead of collapse).
+//
+// Emits BENCH_gateway.json.  With --baseline=FILE the bench compares its
+// sustained req/s against the checked-in baseline and exits nonzero on a
+// regression beyond --regress-frac (default 0.30) — the CI smoke gate.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "gateway/gateway.h"
+#include "ovsdb/database.h"
+#include "ovsdb/server.h"
+#include "snvs/snvs.h"
+
+namespace nerpa::bench {
+namespace {
+
+/// A minimal blocking HTTP/1.1 client on one keep-alive connection.
+class BenchConn {
+ public:
+  explicit BenchConn(uint16_t port) {
+    fd_ = socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      close(fd_);
+      fd_ = -1;
+    }
+    int one = 1;
+    if (fd_ >= 0) setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  ~BenchConn() {
+    if (fd_ >= 0) close(fd_);
+  }
+  bool ok() const { return fd_ >= 0; }
+
+  struct Reply {
+    int status = 0;
+    bool cache_hit = false;
+    std::string body;
+  };
+
+  /// Sends one request and blocks for its response.
+  bool RoundTrip(const std::string& method, const std::string& target,
+                 const std::string& body, bool no_cache, Reply* reply) {
+    std::string out = method + " " + target + " HTTP/1.1\r\nHost: b\r\n";
+    if (no_cache) out += "Cache-Control: no-cache\r\n";
+    if (!body.empty() || method == "POST") {
+      out += StrFormat("Content-Length: %zu\r\n", body.size());
+    }
+    out += "\r\n" + body;
+    size_t off = 0;
+    while (off < out.size()) {
+      ssize_t sent = send(fd_, out.data() + off, out.size() - off,
+                          MSG_NOSIGNAL);
+      if (sent <= 0) return false;
+      off += static_cast<size_t>(sent);
+    }
+    return ReadReply(reply);
+  }
+
+ private:
+  bool Fill() {
+    char chunk[16 * 1024];
+    ssize_t got = recv(fd_, chunk, sizeof(chunk), 0);
+    if (got <= 0) return false;
+    buffer_.append(chunk, static_cast<size_t>(got));
+    return true;
+  }
+
+  bool ReadReply(Reply* reply) {
+    *reply = Reply{};
+    size_t head_end;
+    while ((head_end = buffer_.find("\r\n\r\n")) == std::string::npos) {
+      if (!Fill()) return false;
+    }
+    std::string head = buffer_.substr(0, head_end);
+    buffer_.erase(0, head_end + 4);
+    reply->status = std::atoi(head.c_str() + std::strlen("HTTP/1.1 "));
+    reply->cache_hit = head.find("X-Cache: hit") != std::string::npos;
+    size_t length = 0;
+    size_t at = head.find("Content-Length: ");
+    if (at != std::string::npos) {
+      length = static_cast<size_t>(
+          std::atol(head.c_str() + at + std::strlen("Content-Length: ")));
+    }
+    while (buffer_.size() < length) {
+      if (!Fill()) return false;
+    }
+    reply->body = buffer_.substr(0, length);
+    buffer_.erase(0, length);
+    return true;
+  }
+
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+constexpr int kThreads = 4;
+constexpr int kOverloadConns = 16;  // enough parallelism to offer 2x load
+constexpr int kReadKeys = 8;        // distinct cacheable read targets
+
+struct MixResult {
+  std::vector<double> cached_read_s;
+  std::vector<double> uncached_read_s;
+  std::vector<double> monitor_s;
+  std::vector<double> transact_s;
+  uint64_t requests = 0;
+  uint64_t errors = 0;
+  double wall_s = 0;
+};
+
+/// The 90/9/1 read/monitor/transact mix, closed-loop across kThreads
+/// keep-alive connections.
+MixResult RunMix(uint16_t port, int per_thread, uint64_t seed) {
+  MixResult total;
+  std::vector<MixResult> parts(kThreads);
+  std::vector<std::thread> threads;
+  Stopwatch wall;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      MixResult& mine = parts[t];
+      BenchConn conn(port);
+      if (!conn.ok()) return;
+      std::mt19937_64 rng(seed + static_cast<uint64_t>(t));
+      for (int i = 0; i < per_thread; ++i) {
+        uint64_t draw = rng() % 100;
+        BenchConn::Reply reply;
+        Stopwatch timer;
+        bool ok;
+        if (draw < 90) {
+          ok = conn.RoundTrip(
+              "GET",
+              StrFormat("/v1/table/Port?name=bp%llu",
+                        static_cast<unsigned long long>(rng() % kReadKeys)),
+              "", false, &reply);
+          double s = static_cast<double>(timer.ElapsedNanos()) * 1e-9;
+          if (ok && reply.cache_hit) {
+            mine.cached_read_s.push_back(s);
+          } else if (ok) {
+            mine.uncached_read_s.push_back(s);
+          }
+        } else if (draw < 99) {
+          ok = conn.RoundTrip("GET", "/v1/changes?since=0", "", false, &reply);
+          mine.monitor_s.push_back(static_cast<double>(timer.ElapsedNanos()) *
+                                   1e-9);
+        } else {
+          ok = conn.RoundTrip(
+              "POST", "/v1/transact",
+              StrFormat(R"([{"op":"mutate","table":"AclRule",)"
+                        R"("where":[["vlan","==",%llu]],)"
+                        R"("mutations":[["mac","+=",1]]}])",
+                        static_cast<unsigned long long>(rng() % 16)),
+              false, &reply);
+          mine.transact_s.push_back(static_cast<double>(timer.ElapsedNanos()) *
+                                    1e-9);
+        }
+        ++mine.requests;
+        if (!ok || reply.status >= 400) ++mine.errors;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  total.wall_s = static_cast<double>(wall.ElapsedNanos()) * 1e-9;
+  for (MixResult& part : parts) {
+    auto append = [](std::vector<double>& into, std::vector<double>& from) {
+      into.insert(into.end(), from.begin(), from.end());
+    };
+    append(total.cached_read_s, part.cached_read_s);
+    append(total.uncached_read_s, part.uncached_read_s);
+    append(total.monitor_s, part.monitor_s);
+    append(total.transact_s, part.transact_s);
+    total.requests += part.requests;
+    total.errors += part.errors;
+  }
+  return total;
+}
+
+/// Pure read load: `threads` connections each issuing `per_thread` GETs
+/// over the kReadKeys targets.  Returns every latency.  With `no_cache`
+/// each read round-trips to the backend; without, reads are answered from
+/// the event loop's cache after the first touch — the same contention
+/// either way, so the two p99s are comparable.
+std::vector<double> RunReads(uint16_t port, int threads, int per_thread,
+                             bool no_cache, uint64_t seed) {
+  std::vector<std::vector<double>> parts(threads);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      BenchConn conn(port);
+      if (!conn.ok()) return;
+      std::mt19937_64 rng(seed + 200 + static_cast<uint64_t>(t));
+      for (int i = 0; i < per_thread; ++i) {
+        BenchConn::Reply reply;
+        Stopwatch timer;
+        if (!conn.RoundTrip(
+                "GET",
+                StrFormat("/v1/table/Port?name=bp%llu",
+                          static_cast<unsigned long long>(rng() % kReadKeys)),
+                "", no_cache, &reply)) {
+          break;
+        }
+        parts[t].push_back(static_cast<double>(timer.ElapsedNanos()) * 1e-9);
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  std::vector<double> all;
+  for (auto& part : parts) all.insert(all.end(), part.begin(), part.end());
+  return all;
+}
+
+/// Transacts paced open-loop at `offered_per_sec` across kOverloadConns
+/// for `duration_s`; the gateway's admission control sheds the excess.
+struct OverloadResult {
+  std::vector<double> admitted_s;
+  uint64_t admitted = 0;
+  uint64_t shed = 0;
+  uint64_t errors = 0;
+  double wall_s = 0;
+};
+
+OverloadResult RunOverload(uint16_t port, double offered_per_sec,
+                           double duration_s, uint64_t seed) {
+  OverloadResult total;
+  std::vector<OverloadResult> parts(kOverloadConns);
+  std::vector<std::thread> threads;
+  double interval_ns = 1e9 * kOverloadConns / offered_per_sec;
+  Stopwatch wall;
+  for (int t = 0; t < kOverloadConns; ++t) {
+    threads.emplace_back([&, t] {
+      OverloadResult& mine = parts[t];
+      BenchConn conn(port);
+      if (!conn.ok()) return;
+      std::mt19937_64 rng(seed + 100 + static_cast<uint64_t>(t));
+      int64_t start = MonotonicNanos();
+      int64_t deadline = start + static_cast<int64_t>(duration_s * 1e9);
+      double next = static_cast<double>(start);
+      while (MonotonicNanos() < deadline) {
+        next += interval_ns;
+        int64_t now = MonotonicNanos();
+        if (static_cast<double>(now) < next) {
+          std::this_thread::sleep_for(std::chrono::nanoseconds(
+              static_cast<int64_t>(next - static_cast<double>(now))));
+        }
+        BenchConn::Reply reply;
+        Stopwatch timer;
+        bool ok = conn.RoundTrip(
+            "POST", "/v1/transact",
+            StrFormat(R"([{"op":"mutate","table":"AclRule",)"
+                      R"("where":[["vlan","==",%llu]],)"
+                      R"("mutations":[["mac","+=",1]]}])",
+                      static_cast<unsigned long long>(rng() % 16)),
+            false, &reply);
+        double s = static_cast<double>(timer.ElapsedNanos()) * 1e-9;
+        if (!ok) {
+          ++mine.errors;
+          break;  // connection gone; stay honest rather than reconnect
+        }
+        if (reply.status == 200) {
+          ++mine.admitted;
+          mine.admitted_s.push_back(s);
+        } else if (reply.status == 503) {
+          ++mine.shed;
+        } else {
+          ++mine.errors;
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  total.wall_s = static_cast<double>(wall.ElapsedNanos()) * 1e-9;
+  for (OverloadResult& part : parts) {
+    total.admitted_s.insert(total.admitted_s.end(), part.admitted_s.begin(),
+                            part.admitted_s.end());
+    total.admitted += part.admitted;
+    total.shed += part.shed;
+    total.errors += part.errors;
+  }
+  return total;
+}
+
+/// Seeds the database through the gateway: kReadKeys Port rows to read
+/// and 16 AclRule rows for the transact mix to mutate.
+bool SeedRows(uint16_t port) {
+  BenchConn conn(port);
+  if (!conn.ok()) return false;
+  for (int i = 0; i < kReadKeys; ++i) {
+    BenchConn::Reply reply;
+    if (!conn.RoundTrip(
+            "POST", "/v1/transact",
+            StrFormat(R"([{"op":"insert","table":"Port","row":)"
+                      R"({"name":"bp%d","port":%d,"vlan_mode":"access",)"
+                      R"("tag":%d}}])",
+                      i, i + 1, i),
+            false, &reply) ||
+        reply.status != 200) {
+      return false;
+    }
+  }
+  for (int v = 0; v < 16; ++v) {
+    BenchConn::Reply reply;
+    if (!conn.RoundTrip(
+            "POST", "/v1/transact",
+            StrFormat(R"([{"op":"insert","table":"AclRule","row":)"
+                      R"({"mac":%d,"vlan":%d,"allow":true}}])",
+                      1000 + v, v),
+            false, &reply) ||
+        reply.status != 200) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int Run(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+  std::string baseline_path;
+  double regress_frac = 0.30;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--baseline=", 11) == 0) {
+      baseline_path = argv[i] + 11;
+    } else if (std::strncmp(argv[i], "--regress-frac=", 15) == 0) {
+      double frac = std::atof(argv[i] + 15);
+      if (frac > 0) regress_frac = frac;
+    }
+  }
+
+  Banner("gateway", "northbound HTTP gateway: caching + admission control");
+
+  ovsdb::OvsdbServer server(
+      std::make_unique<ovsdb::Database>(snvs::SnvsSchema()));
+  if (!server.Start(0).ok()) {
+    std::fprintf(stderr, "bench: backend start failed\n");
+    return 1;
+  }
+
+  // --- Phase 1+2: warm mixed load, then forced-uncached reads, against a
+  // gateway with admission wide open (measures raw capacity).
+  gateway::Gateway::Options open_options;
+  open_options.backend_port = server.port();
+  open_options.workers = kThreads;
+  gateway::Gateway open_gateway(open_options);
+  if (!open_gateway.Start().ok() || !SeedRows(open_gateway.http_port())) {
+    std::fprintf(stderr, "bench: gateway start/seed failed\n");
+    return 1;
+  }
+
+  int per_thread = args.Scaled(2500);
+  std::printf("mixed phase: %d threads x %d requests (90/9/1)\n", kThreads,
+              per_thread);
+  MixResult mix = RunMix(open_gateway.http_port(), per_thread, args.seed);
+  double sustained = static_cast<double>(mix.requests) / mix.wall_s;
+  uint64_t reads =
+      mix.cached_read_s.size() + mix.uncached_read_s.size();
+  double hit_ratio =
+      reads == 0 ? 0
+                 : static_cast<double>(mix.cached_read_s.size()) /
+                       static_cast<double>(reads);
+
+  // Like-for-like read latency: the same thread count and key mix, with
+  // only the Cache-Control header differing, so the cached/uncached p99
+  // comparison isolates the cache and not the surrounding contention.
+  int cached_iters = args.Scaled(2000);
+  int uncached_iters = args.Scaled(800);
+  std::printf("cached phase: %d threads x %d reads\n", kThreads,
+              cached_iters);
+  std::vector<double> cached_s =
+      RunReads(open_gateway.http_port(), kThreads, cached_iters,
+               /*no_cache=*/false, args.seed);
+  std::printf("uncached phase: %d threads x %d no-cache reads\n", kThreads,
+              uncached_iters);
+  std::vector<double> uncached_s =
+      RunReads(open_gateway.http_port(), kThreads, uncached_iters,
+               /*no_cache=*/true, args.seed + 1);
+
+  // Transact capacity: closed-loop transacts for a short burst.
+  double transact_capacity;
+  {
+    MixResult probe;
+    Stopwatch timer;
+    int probe_iters = args.Scaled(400);
+    std::vector<std::thread> threads;
+    std::atomic<uint64_t> done{0};
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        BenchConn conn(open_gateway.http_port());
+        std::mt19937_64 rng(args.seed + 50 + static_cast<uint64_t>(t));
+        for (int i = 0; i < probe_iters && conn.ok(); ++i) {
+          BenchConn::Reply reply;
+          if (!conn.RoundTrip(
+                  "POST", "/v1/transact",
+                  StrFormat(R"([{"op":"mutate","table":"AclRule",)"
+                            R"("where":[["vlan","==",%llu]],)"
+                            R"("mutations":[["mac","+=",1]]}])",
+                            static_cast<unsigned long long>(rng() % 16)),
+                  false, &reply)) {
+            break;
+          }
+          done.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+    transact_capacity = static_cast<double>(done.load()) /
+                        (static_cast<double>(timer.ElapsedNanos()) * 1e-9);
+  }
+  open_gateway.Stop();
+
+  // --- Phase 3: 2x offered transact load against a gateway whose token
+  // bucket admits about the measured capacity; excess sheds as 503.
+  gateway::Gateway::Options limited_options;
+  limited_options.backend_port = server.port();
+  limited_options.workers = kThreads;
+  limited_options.admit_rate_per_sec = transact_capacity;
+  limited_options.admit_burst = transact_capacity / 10 + 1;
+  limited_options.max_inflight = static_cast<size_t>(2 * kThreads);
+  gateway::Gateway limited_gateway(limited_options);
+  if (!limited_gateway.Start().ok()) {
+    std::fprintf(stderr, "bench: limited gateway start failed\n");
+    return 1;
+  }
+  double offered = 2.0 * transact_capacity;
+  double overload_secs = args.scale < 1 ? 1.0 : 2.0;
+  std::printf(
+      "overload phase: offering %.0f transact/s (2x capacity %.0f) for "
+      "%.0fs\n",
+      offered, transact_capacity, overload_secs);
+  OverloadResult overload = RunOverload(limited_gateway.http_port(), offered,
+                                        overload_secs, args.seed);
+  limited_gateway.Stop();
+  server.Stop();
+
+  double cached_p99 = Percentile(cached_s, 0.99);
+  double uncached_p99 = Percentile(uncached_s, 0.99);
+  double monitor_p99 = Percentile(mix.monitor_s, 0.99);
+  double transact_p99 = Percentile(mix.transact_s, 0.99);
+  double overload_p99 = Percentile(overload.admitted_s, 0.99);
+  double shed_fraction =
+      overload.admitted + overload.shed == 0
+          ? 0
+          : static_cast<double>(overload.shed) /
+                static_cast<double>(overload.admitted + overload.shed);
+
+  Table table({"metric", "value"});
+  table.AddRow({"sustained req/s (mixed)", StrFormat("%.0f", sustained)});
+  table.AddRow({"cache hit ratio", StrFormat("%.3f", hit_ratio)});
+  table.AddRow({"cached read p99", Us(cached_p99)});
+  table.AddRow({"uncached read p99", Us(uncached_p99)});
+  table.AddRow({"uncached/cached p99", StrFormat("%.1fx", cached_p99 > 0
+                                                    ? uncached_p99 / cached_p99
+                                                    : 0)});
+  table.AddRow({"changes poll p99", Us(monitor_p99)});
+  table.AddRow({"transact p99 (mixed)", Us(transact_p99)});
+  table.AddRow({"transact p99 @2x load", Us(overload_p99)});
+  table.AddRow({"overload shed fraction", StrFormat("%.2f", shed_fraction)});
+  table.Print();
+  if (mix.errors > 0 || overload.errors > 0) {
+    std::printf("  (errors: mixed %llu, overload %llu)\n",
+                static_cast<unsigned long long>(mix.errors),
+                static_cast<unsigned long long>(overload.errors));
+  }
+
+  JsonEmitter emitter("gateway", args);
+  emitter.Param("threads", Json(kThreads));
+  emitter.Param("overload_conns", Json(kOverloadConns));
+  emitter.Param("mixed_requests_per_thread", Json(per_thread));
+  emitter.Param("cached_requests_per_thread", Json(cached_iters));
+  emitter.Param("uncached_requests_per_thread", Json(uncached_iters));
+  emitter.Param("read_keys", Json(kReadKeys));
+  emitter.Param("overload_seconds", Json(overload_secs));
+  emitter.Metric("sustained_req_per_sec", Json(sustained));
+  emitter.Metric("cache_hit_ratio", Json(hit_ratio));
+  emitter.Metric("cached_read_p99_us", Json(cached_p99 * 1e6));
+  emitter.Metric("uncached_read_p99_us", Json(uncached_p99 * 1e6));
+  emitter.Metric("monitor_poll_p99_us", Json(monitor_p99 * 1e6));
+  emitter.Metric("transact_p99_us", Json(transact_p99 * 1e6));
+  emitter.Metric("transact_capacity_per_sec", Json(transact_capacity));
+  emitter.Metric("overload_offered_per_sec", Json(offered));
+  emitter.Metric("overload_transact_p99_us", Json(overload_p99 * 1e6));
+  emitter.Metric("overload_shed_fraction", Json(shed_fraction));
+  emitter.Metric("mixed_errors", Json(static_cast<int64_t>(mix.errors)));
+  emitter.Write();
+
+  // --- CI gate: sustained req/s against the checked-in baseline.
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path);
+    if (!in) {
+      std::fprintf(stderr, "bench: cannot open baseline %s\n",
+                   baseline_path.c_str());
+      return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    auto parsed = Json::Parse(text.str());
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "bench: baseline parse: %s\n",
+                   parsed.status().ToString().c_str());
+      return 1;
+    }
+    const Json* metrics = parsed.value().Find("metrics");
+    const Json* reference =
+        metrics == nullptr ? nullptr : metrics->Find("sustained_req_per_sec");
+    if (reference == nullptr || !reference->is_number()) {
+      std::fprintf(stderr, "bench: baseline lacks sustained_req_per_sec\n");
+      return 1;
+    }
+    double floor = reference->as_double() * (1.0 - regress_frac);
+    std::printf("baseline gate: %.0f req/s measured vs %.0f floor "
+                "(baseline %.0f, regress-frac %.2f)\n",
+                sustained, floor, reference->as_double(), regress_frac);
+    if (sustained < floor) {
+      std::fprintf(stderr, "bench: REGRESSION: %.0f < %.0f req/s\n",
+                   sustained, floor);
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace nerpa::bench
+
+int main(int argc, char** argv) { return nerpa::bench::Run(argc, argv); }

@@ -41,8 +41,9 @@ run_suite build-ci-asan \
 
 # TSan is incompatible with ASan, so it gets its own build; restrict the run
 # to the suites that actually exercise threads (controller dispatch pool,
-# OVSDB TCP service thread, HA restart, chaos fault storms, snvs
-# integration end to end) to keep the wall clock sane.
+# OVSDB TCP service thread, HTTP gateway event loop + workers, HA restart,
+# chaos fault storms, snvs integration end to end) to keep the wall clock
+# sane.
 echo "=== configure build-ci-tsan ==="
 cmake -B build-ci-tsan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -50,10 +51,10 @@ cmake -B build-ci-tsan -S . \
 echo "=== build build-ci-tsan ==="
 cmake --build build-ci-tsan -j "$JOBS" \
   --target test_controller test_ha test_ha_restart test_common \
-  test_ovsdb_rpc test_chaos test_snvs_integration
+  test_ovsdb_rpc test_gateway test_chaos test_snvs_integration
 echo "=== test build-ci-tsan (concurrency suites) ==="
 ctest --test-dir build-ci-tsan --output-on-failure -j "$JOBS" \
-  -R 'test_controller|test_ha|test_ha_restart|test_common|test_ovsdb_rpc|test_chaos|test_snvs_integration'
+  -R 'test_controller|test_ha|test_ha_restart|test_common|test_ovsdb_rpc|test_gateway|test_chaos|test_snvs_integration'
 
 # Chaos soak: the pinned seeds in tests/test_chaos.cc each drive 50+
 # faults across all three planes (device write failures, transport drops,
@@ -79,5 +80,15 @@ for b in dlog_hotpath port_scaling incremental_vs_full lb_coldstart; do
   test -s "build-ci-bench/bench-out/BENCH_$b.json" || {
     echo "bench_$b produced no BENCH_$b.json" >&2; exit 1; }
 done
+
+# Gateway bench is also a perf gate: it compares sustained req/s against
+# the checked-in baseline floor and exits nonzero on a >30% regression.
+echo "--- bench_gateway --scale=0.1 (regression gate) ---"
+cmake --build build-ci-bench -j "$JOBS" --target bench_gateway
+build-ci-bench/bench/bench_gateway --scale=0.1 \
+  --baseline=bench/baselines/BENCH_gateway_baseline.json \
+  --out=build-ci-bench/bench-out >/dev/null
+test -s build-ci-bench/bench-out/BENCH_gateway.json || {
+  echo "bench_gateway produced no BENCH_gateway.json" >&2; exit 1; }
 
 echo "CI: all suites passed"

@@ -20,6 +20,7 @@
 #ifndef NERPA_ANALYZE_ANALYZE_H_
 #define NERPA_ANALYZE_ANALYZE_H_
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -39,6 +40,16 @@ struct AnalyzeOptions {
   /// file a user maintains; the generated declarations are checked against
   /// it (NW204) instead of being prepended.
   bool rules_include_decls = false;
+  /// Monitor coverage audit (NW208).  Describes the deployment's monitor
+  /// configuration: `monitored_columns[table]` lists the columns the
+  /// controller's OVSDB monitor streams (an empty vector means every
+  /// column), and `on_demand_columns[table]` the columns it fetches lazily.
+  /// When either map is non-empty, every column a dlog input relation pulls
+  /// from its OVSDB table must be covered by one of the two, or NW208
+  /// fires — data the controller would silently never see.  With both maps
+  /// empty the audit is off (the default monitor subscribes to everything).
+  std::map<std::string, std::vector<std::string>> monitored_columns;
+  std::map<std::string, std::vector<std::string>> on_demand_columns;
 };
 
 struct StackInput {

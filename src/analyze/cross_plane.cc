@@ -10,6 +10,8 @@
 //   NW205 error    action name no P4 table permits
 //   NW206 warning  digest input relation never read by any rule
 //   NW207 error    ternary/range priority not provably within [0, 2^31-1]
+//   NW208 warning  input relation column neither monitored nor
+//                  on-demand-fetchable under the given monitor spec
 //
 // The range analysis is a fixpoint over per-relation column intervals:
 // input relations seed from OVSDB constraints (integer min/max), digest
@@ -526,6 +528,50 @@ void CheckUnreadDigests(PassContext& context) {
   }
 }
 
+/// NW208: a dlog input relation mirrors an OVSDB table, but the
+/// deployment's monitor configuration neither streams one of its columns
+/// nor marks it fetchable on demand — the rows arrive with that field
+/// forever absent, and the rules reading it silently see nothing.  Only
+/// runs when a monitor spec is supplied; the default monitor subscribes to
+/// every column, so there is nothing to audit.
+void CheckMonitorCoverage(PassContext& context) {
+  const AnalyzeOptions& options = *context.options;
+  if (options.monitored_columns.empty() && options.on_demand_columns.empty()) {
+    return;
+  }
+  if (context.bindings == nullptr || context.schema == nullptr) return;
+  // An entry with an empty column list covers the whole table.
+  auto covers = [](const std::map<std::string, std::vector<std::string>>& spec,
+                   const std::string& table, const std::string& column) {
+    auto it = spec.find(table);
+    if (it == spec.end()) return false;
+    if (it->second.empty()) return true;
+    for (const std::string& name : it->second) {
+      if (name == column) return true;
+    }
+    return false;
+  };
+  for (const RelationDecl& decl : context.ast->relations) {
+    if (decl.role != dlog::RelationRole::kInput) continue;
+    if (context.bindings->FindOvsdbTable(decl.name) == nullptr) continue;
+    const ovsdb::TableSchema* table = context.schema->FindTable(decl.name);
+    if (table == nullptr) continue;
+    for (const dlog::Column& column : decl.columns) {
+      if (column.name == "_uuid") continue;
+      if (table->FindColumn(column.name) == nullptr) continue;
+      if (covers(options.monitored_columns, decl.name, column.name)) continue;
+      if (covers(options.on_demand_columns, decl.name, column.name)) continue;
+      Emit(context, "NW208", Severity::kWarning, "cross-plane",
+           StrFormat("input relation '%s' is bound to OVSDB column '%s.%s', "
+                     "which the monitor spec neither streams nor fetches on "
+                     "demand; the controller will never see it",
+                     decl.name.c_str(), decl.name.c_str(),
+                     column.name.c_str()),
+           "dlog", decl.line, decl.col);
+    }
+  }
+}
+
 /// NW204: user-maintained declarations must match the generated shapes
 /// (only meaningful when the rules carry their own declarations).
 void CheckDeclShapes(PassContext& context) {
@@ -586,6 +632,7 @@ void RunCrossPlaneChecks(PassContext& context) {
   CheckDeclShapes(context);
   CheckUnboundOutputs(context);
   CheckUnreadDigests(context);
+  CheckMonitorCoverage(context);
   CheckActionNames(context);
   if (context.program != nullptr) {
     RangeAnalysis analysis(context);

@@ -1,0 +1,59 @@
+#include "gateway/admission.h"
+
+#include <algorithm>
+
+namespace nerpa::gateway {
+
+AdmissionController::AdmissionController(double rate_per_sec, double burst,
+                                         size_t max_inflight)
+    : rate_per_sec_(rate_per_sec),
+      burst_(burst),
+      max_inflight_(max_inflight),
+      tokens_(burst) {}
+
+bool AdmissionController::TryAdmit(int64_t now_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (max_inflight_ > 0 && inflight_ >= max_inflight_) {
+    ++shed_;
+    return false;
+  }
+  if (rate_per_sec_ > 0) {
+    if (last_refill_ns_ == 0) last_refill_ns_ = now_ns;
+    if (now_ns > last_refill_ns_) {
+      double elapsed_sec =
+          static_cast<double>(now_ns - last_refill_ns_) * 1e-9;
+      tokens_ = std::min(burst_, tokens_ + elapsed_sec * rate_per_sec_);
+      last_refill_ns_ = now_ns;
+    }
+    if (tokens_ < 1.0) {
+      ++shed_;
+      return false;
+    }
+    tokens_ -= 1.0;
+  }
+  ++inflight_;
+  ++admitted_;
+  return true;
+}
+
+void AdmissionController::Release() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (inflight_ > 0) --inflight_;
+}
+
+uint64_t AdmissionController::admitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return admitted_;
+}
+
+uint64_t AdmissionController::shed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shed_;
+}
+
+size_t AdmissionController::inflight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_;
+}
+
+}  // namespace nerpa::gateway

@@ -1,0 +1,48 @@
+// Admission control for the northbound gateway: a token bucket caps the
+// sustained request rate (with a burst allowance) and an inflight cap
+// bounds concurrent backend work.  A request that fails either check is
+// shed immediately with 503 + Retry-After instead of queueing without
+// bound — bounded latency for admitted work beats best-effort latency
+// for everything, especially at 2x offered load (see bench_gateway).
+#ifndef NERPA_GATEWAY_ADMISSION_H_
+#define NERPA_GATEWAY_ADMISSION_H_
+
+#include <cstdint>
+#include <mutex>
+
+namespace nerpa::gateway {
+
+class AdmissionController {
+ public:
+  /// `rate_per_sec` tokens accrue per second up to `burst`; at most
+  /// `max_inflight` admitted requests may be outstanding at once.
+  /// A rate of 0 disables the token bucket (inflight cap still applies);
+  /// an inflight cap of 0 disables that check too.
+  AdmissionController(double rate_per_sec, double burst, size_t max_inflight);
+
+  /// Attempts to admit one request at time `now_ns` (MonotonicNanos).
+  /// On success the caller owes a matching Release().
+  bool TryAdmit(int64_t now_ns);
+
+  /// Marks one admitted request finished.
+  void Release();
+
+  uint64_t admitted() const;
+  uint64_t shed() const;
+  size_t inflight() const;
+
+ private:
+  mutable std::mutex mu_;
+  const double rate_per_sec_;
+  const double burst_;
+  const size_t max_inflight_;
+  double tokens_;
+  int64_t last_refill_ns_ = 0;
+  size_t inflight_ = 0;
+  uint64_t admitted_ = 0;
+  uint64_t shed_ = 0;
+};
+
+}  // namespace nerpa::gateway
+
+#endif  // NERPA_GATEWAY_ADMISSION_H_

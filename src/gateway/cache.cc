@@ -1,0 +1,86 @@
+#include "gateway/cache.h"
+
+namespace nerpa::gateway {
+
+uint64_t ReadCache::Generation(const std::string& table) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = generations_.find(table);
+  return it == generations_.end() ? 0 : it->second;
+}
+
+void ReadCache::Bump(const std::string& table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++generations_[table];
+}
+
+void ReadCache::Touch(Entry& entry, const std::string& key) {
+  lru_.erase(entry.lru_it);
+  lru_.push_front(key);
+  entry.lru_it = lru_.begin();
+}
+
+std::optional<std::string> ReadCache::Lookup(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    auto gen_it = generations_.find(it->second.table);
+    uint64_t current = gen_it == generations_.end() ? 0 : gen_it->second;
+    if (it->second.generation == current) {
+      ++hits_;
+      Touch(it->second, key);
+      return it->second.body;
+    }
+    // Stale: drop it now so the table never fills with dead entries.
+    lru_.erase(it->second.lru_it);
+    entries_.erase(it);
+  }
+  ++misses_;
+  return std::nullopt;
+}
+
+void ReadCache::Insert(const std::string& key, const std::string& table,
+                       uint64_t generation, std::string body) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.table = table;
+    it->second.generation = generation;
+    it->second.body = std::move(body);
+    Touch(it->second, key);
+    return;
+  }
+  while (entries_.size() >= max_entries_ && !lru_.empty()) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+    ++evictions_;
+  }
+  lru_.push_front(key);
+  Entry entry;
+  entry.table = table;
+  entry.generation = generation;
+  entry.body = std::move(body);
+  entry.lru_it = lru_.begin();
+  entries_.emplace(key, std::move(entry));
+}
+
+uint64_t ReadCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+uint64_t ReadCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+uint64_t ReadCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+size_t ReadCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace nerpa::gateway

@@ -1,0 +1,77 @@
+// Read-through response cache for the northbound gateway.
+//
+// Cached GET responses are keyed by the raw request target and validated
+// by per-table generation counters: the gateway's monitor pump calls
+// Bump(table) whenever the OVSDB update stream reports a change, so the
+// next Lookup for any entry reading that table misses and re-fetches.
+// This keeps coherence cheap — no per-row tracking, no TTLs — at the cost
+// of over-invalidation under writes, which is exactly the trade the paper's
+// read-mostly northbound workload wants.
+//
+// Thread-safety: every method takes the internal mutex; the monitor pump
+// thread bumps generations while event-loop workers look up and insert.
+#ifndef NERPA_GATEWAY_CACHE_H_
+#define NERPA_GATEWAY_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+namespace nerpa::gateway {
+
+class ReadCache {
+ public:
+  /// Default bound on resident entries (LRU-evicted beyond this).
+  static constexpr size_t kDefaultMaxEntries = 4096;
+
+  explicit ReadCache(size_t max_entries = kDefaultMaxEntries)
+      : max_entries_(max_entries) {}
+
+  /// Current generation for `table` (starts at 0, monotonically increases).
+  uint64_t Generation(const std::string& table) const;
+
+  /// Invalidates every cached response that reads `table`.
+  void Bump(const std::string& table);
+
+  /// Returns the cached body for `key` if present and still valid (its
+  /// captured generation matches the table's current one).  Counts a hit
+  /// or a miss either way.
+  std::optional<std::string> Lookup(const std::string& key);
+
+  /// Caches `body` for `key`.  `generation` must be the value of
+  /// Generation(table) captured BEFORE the backend read, so an update that
+  /// races the fetch invalidates the entry rather than being masked.
+  void Insert(const std::string& key, const std::string& table,
+              uint64_t generation, std::string body);
+
+  uint64_t hits() const;
+  uint64_t misses() const;
+  uint64_t evictions() const;
+  size_t size() const;
+
+ private:
+  struct Entry {
+    std::string table;
+    uint64_t generation = 0;
+    std::string body;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  void Touch(Entry& entry, const std::string& key);
+
+  mutable std::mutex mu_;
+  size_t max_entries_;
+  std::map<std::string, uint64_t> generations_;
+  std::map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  // front = most recently used
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace nerpa::gateway
+
+#endif  // NERPA_GATEWAY_CACHE_H_

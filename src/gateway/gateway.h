@@ -1,0 +1,208 @@
+// The northbound gateway: an async HTTP/1.1 + JSON-RPC front door that
+// translates REST-ish routes into OVSDB operations against an OvsdbServer.
+//
+// Architecture (one epoll event loop + a worker pool + a monitor pump):
+//
+//   clients ──HTTP──> event loop ──(admitted work)──> ThreadPool workers
+//                        │  ▲                              │
+//                        │  └──── completion queue ◄───────┘
+//                        │            (wake pipe)     pooled OvsdbClients
+//                        ▼
+//                    ReadCache ◄──Bump(table)── monitor pump thread
+//                                               (OVSDB update stream)
+//
+//  - The event loop owns every connection: it parses requests, serves
+//    local routes (healthz, stats, changes, cache hits) inline, and hands
+//    backend-bound work to the pool.  Responses come back through a
+//    completion queue so only the event loop ever touches sockets.
+//  - Each pool worker borrows a dedicated backend OvsdbClient (one per
+//    worker, so a free client always exists) with self-healing enabled.
+//  - The pump thread holds a monitor over every table; each update bumps
+//    the per-table cache generation (read-through invalidation) and feeds
+//    the bounded /v1/changes ring.
+//  - Admission control (token bucket + inflight cap) guards backend-bound
+//    requests; shed requests get 503 + Retry-After.  Cache hits bypass
+//    admission — they cost the backend nothing.
+//  - Per-connection backpressure: requests queue per connection (served in
+//    order, one backend op in flight per connection); when the queue is
+//    full the gateway stops reading that socket, pushing back through TCP.
+//    A connection whose outbox exceeds the cap (peer stopped reading) is
+//    dropped.
+#ifndef NERPA_GATEWAY_GATEWAY_H_
+#define NERPA_GATEWAY_GATEWAY_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "gateway/admission.h"
+#include "gateway/cache.h"
+#include "gateway/http.h"
+#include "ovsdb/client.h"
+#include "ovsdb/schema.h"
+
+namespace nerpa::gateway {
+
+class Gateway {
+ public:
+  struct Options {
+    std::string backend_host = "127.0.0.1";
+    uint16_t backend_port = 0;       // OvsdbServer port (required)
+    uint16_t http_port = 0;          // 0 = ephemeral
+    int workers = 4;                 // worker threads == backend clients
+    size_t cache_entries = ReadCache::kDefaultMaxEntries;
+    double admit_rate_per_sec = 0;   // 0 = no rate limit
+    double admit_burst = 256;
+    size_t max_inflight = 64;        // concurrent backend ops (0 = unlimited)
+    size_t max_pending_per_conn = 16;
+    size_t max_outbox_bytes = 4u << 20;
+    size_t changes_ring_capacity = 1024;
+  };
+
+  explicit Gateway(Options options);
+  ~Gateway();
+
+  Gateway(const Gateway&) = delete;
+  Gateway& operator=(const Gateway&) = delete;
+
+  /// Connects the backend clients, fetches the schema, registers the
+  /// monitor pump, binds the HTTP port, and starts the event loop.
+  Status Start();
+
+  /// Graceful shutdown: stop accepting, let in-flight requests finish and
+  /// outboxes flush (bounded by kDrainDeadlineMs), then tear down threads.
+  /// Idempotent.
+  void Stop();
+
+  /// The bound HTTP port (valid after Start()).
+  uint16_t http_port() const { return http_port_; }
+
+  // Introspection for tests and /v1/stats.
+  uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+  uint64_t slow_client_drops() const {
+    return slow_client_drops_.load(std::memory_order_relaxed);
+  }
+  const ReadCache& cache() const { return cache_; }
+  const AdmissionController& admission() const { return admission_; }
+
+  /// Bound on the final in-flight + outbox drain during Stop() (ms).
+  static constexpr int kDrainDeadlineMs = 2000;
+
+ private:
+  struct Conn {
+    int fd = -1;
+    HttpParser parser;
+    std::deque<HttpRequest> pending;  // parsed, unanswered (in order)
+    bool inflight = false;            // a backend op is out for this conn
+    std::string outbox;
+    bool close_after_flush = false;
+    bool reading_paused = false;      // pending full -> TCP backpressure
+    bool want_write = false;          // EPOLLOUT currently registered
+  };
+
+  void EventLoop();
+  void PumpThread();
+
+  void AcceptClients();
+  void ReadConn(uint64_t id);
+  void WriteConn(uint64_t id);
+  void CloseConn(uint64_t id);
+  void UpdateInterest(uint64_t id);
+  /// Serves queued requests for `id` in order until one goes to a worker
+  /// (or the queue empties).
+  void ServeConn(uint64_t id);
+  void QueueResponse(uint64_t id, const HttpResponse& response,
+                     bool keep_alive);
+  void DrainCompletions();
+
+  /// Routes one request.  Local routes return a response immediately;
+  /// backend routes submit a worker job and set `conn.inflight`.
+  void Dispatch(uint64_t id, Conn& conn, HttpRequest request);
+  HttpResponse HandleStats() const;
+  HttpResponse HandleChanges(const HttpRequest& request) const;
+  /// Builds a typed OVSDB where-clause array from query parameters using
+  /// the schema (400 on unknown column / untypeable value).
+  Result<Json> WhereFromQuery(const ovsdb::TableSchema& table,
+                              const std::map<std::string, std::string>& query)
+      const;
+
+  /// Submits a backend job; `work` runs on a pool worker with a borrowed
+  /// client and must return the response to send.
+  void SubmitBackend(
+      uint64_t id, bool keep_alive, bool admitted,
+      std::function<HttpResponse(ovsdb::OvsdbClient&)> work);
+
+  size_t AcquireClient();
+  void ReleaseClient(size_t index);
+
+  // Backend request bodies (run on workers).
+  HttpResponse DoTableRead(ovsdb::OvsdbClient& client, std::string table,
+                           Json where, std::vector<std::string> columns,
+                           std::string cache_key, bool cacheable, bool single,
+                           uint64_t generation);
+  static HttpResponse DoTransact(ovsdb::OvsdbClient& client, std::string body);
+  HttpResponse DoJsonRpc(ovsdb::OvsdbClient& client, std::string body);
+
+  Options options_;
+  uint16_t http_port_ = 0;
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+
+  ovsdb::DatabaseSchema schema_;
+  ReadCache cache_;
+  AdmissionController admission_;
+
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<std::unique_ptr<ovsdb::OvsdbClient>> clients_;
+  std::mutex clients_mu_;
+  std::condition_variable clients_cv_;
+  std::vector<size_t> free_clients_;
+
+  // Completion queue: workers -> event loop.
+  std::mutex completions_mu_;
+  struct Completion {
+    uint64_t conn_id;
+    HttpResponse response;
+    bool keep_alive;
+  };
+  std::deque<Completion> completions_;
+
+  // /v1/changes ring, fed by the pump thread.
+  mutable std::mutex changes_mu_;
+  struct Change {
+    uint64_t seq;
+    std::string table;
+  };
+  std::deque<Change> changes_;
+  uint64_t change_seq_ = 0;
+
+  std::thread event_thread_;
+  std::thread pump_thread_;
+  std::unique_ptr<ovsdb::OvsdbClient> pump_client_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::map<uint64_t, Conn> conns_;  // event-loop only
+  uint64_t next_conn_id_ = 16;      // ids < 16 reserved (listen/wake)
+
+  std::atomic<uint64_t> requests_served_{0};
+  std::atomic<uint64_t> slow_client_drops_{0};
+};
+
+}  // namespace nerpa::gateway
+
+#endif  // NERPA_GATEWAY_GATEWAY_H_

@@ -1,0 +1,241 @@
+#include "gateway/http.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace nerpa::gateway {
+
+namespace {
+
+const std::string kEmpty;
+
+bool IsToken(std::string_view text) {
+  if (text.empty()) return false;
+  for (char c : text) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '-' ||
+          c == '_' || c == '.' || c == '!' || c == '#' || c == '$' ||
+          c == '%' || c == '&' || c == '\'' || c == '*' || c == '+' ||
+          c == '^' || c == '`' || c == '|' || c == '~')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string ToLower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) c = static_cast<char>(std::tolower(
+      static_cast<unsigned char>(c)));
+  return out;
+}
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string UrlDecode(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (c == '+') {
+      out.push_back(' ');
+    } else if (c == '%' && i + 2 < text.size() &&
+               HexValue(text[i + 1]) >= 0 && HexValue(text[i + 2]) >= 0) {
+      out.push_back(static_cast<char>(HexValue(text[i + 1]) * 16 +
+                                      HexValue(text[i + 2])));
+      i += 2;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+const std::string& HttpRequest::Header(const std::string& name) const {
+  auto it = headers.find(name);
+  return it == headers.end() ? kEmpty : it->second;
+}
+
+bool HttpRequest::keep_alive() const {
+  return ToLower(Header("connection")) != "close";
+}
+
+std::string_view StatusReason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    default:  return "Unknown";
+  }
+}
+
+std::string HttpResponse::Serialize(bool keep_alive) const {
+  std::string out = StrFormat("HTTP/1.1 %d %s\r\n", status,
+                              std::string(StatusReason(status)).c_str());
+  out += StrFormat("Content-Type: %s\r\n", content_type.c_str());
+  out += StrFormat("Content-Length: %zu\r\n", body.size());
+  out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  for (const auto& [name, value] : headers) {
+    out += StrFormat("%s: %s\r\n", name.c_str(), value.c_str());
+  }
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+HttpResponse JsonResponse(int status, const Json& body) {
+  HttpResponse response;
+  response.status = status;
+  response.body = body.Dump();
+  response.body += "\n";
+  return response;
+}
+
+HttpResponse ErrorResponse(int status, std::string_view message) {
+  return JsonResponse(
+      status, Json(Json::Object{{"error", Json(std::string(message))}}));
+}
+
+Status HttpParser::ParseHead(std::string_view head, HttpRequest& out) {
+  // Request line: METHOD SP request-target SP HTTP/1.x
+  size_t line_end = head.find("\r\n");
+  if (line_end == std::string_view::npos) line_end = head.size();
+  std::string_view request_line = head.substr(0, line_end);
+  size_t sp1 = request_line.find(' ');
+  if (sp1 == std::string_view::npos) {
+    return ParseError("malformed request line");
+  }
+  size_t sp2 = request_line.rfind(' ');
+  if (sp2 == sp1) return ParseError("malformed request line");
+  out.method = std::string(request_line.substr(0, sp1));
+  out.target = std::string(request_line.substr(sp1 + 1, sp2 - sp1 - 1));
+  std::string_view version = request_line.substr(sp2 + 1);
+  if (!IsToken(out.method)) return ParseError("bad method");
+  if (out.target.empty() || out.target[0] != '/') {
+    return ParseError("bad request target");
+  }
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+    return ParseError("unsupported HTTP version");
+  }
+
+  // Split target into path + query.
+  size_t question = out.target.find('?');
+  out.path = UrlDecode(out.target.substr(0, question));
+  if (question != std::string::npos) {
+    for (std::string_view pair :
+         Split(std::string_view(out.target).substr(question + 1), '&')) {
+      if (pair.empty()) continue;
+      size_t eq = pair.find('=');
+      std::string key = UrlDecode(pair.substr(0, eq));
+      std::string value =
+          eq == std::string_view::npos ? "" : UrlDecode(pair.substr(eq + 1));
+      out.query[key] = std::move(value);
+    }
+  }
+
+  // Header fields.
+  size_t cursor = line_end + 2;
+  while (cursor < head.size()) {
+    size_t end = head.find("\r\n", cursor);
+    if (end == std::string_view::npos) end = head.size();
+    std::string_view line = head.substr(cursor, end - cursor);
+    cursor = end + 2;
+    if (line.empty()) continue;
+    size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return ParseError("malformed header field");
+    }
+    std::string name = ToLower(Trim(line.substr(0, colon)));
+    if (!IsToken(name)) return ParseError("bad header name");
+    out.headers[name] = std::string(Trim(line.substr(colon + 1)));
+  }
+  return Status::Ok();
+}
+
+Status HttpParser::Advance() {
+  while (true) {
+    if (in_body_) {
+      size_t take = std::min(body_remaining_, buffer_.size());
+      pending_.body.append(buffer_, 0, take);
+      buffer_.erase(0, take);
+      body_remaining_ -= take;
+      if (body_remaining_ > 0) return Status::Ok();  // need more bytes
+      in_body_ = false;
+      complete_.push_back(std::move(pending_));
+      pending_ = HttpRequest{};
+      continue;
+    }
+    size_t head_end = buffer_.find("\r\n\r\n");
+    if (head_end == std::string::npos) {
+      if (buffer_.size() > kMaxHeadBytes) {
+        return ParseError("request head exceeds limit");
+      }
+      return Status::Ok();  // incomplete head
+    }
+    if (head_end > kMaxHeadBytes) {
+      return ParseError("request head exceeds limit");
+    }
+    HttpRequest request;
+    NERPA_RETURN_IF_ERROR(
+        ParseHead(std::string_view(buffer_).substr(0, head_end), request));
+    buffer_.erase(0, head_end + 4);
+    if (!request.Header("transfer-encoding").empty()) {
+      return ParseError("transfer-encoding not supported");
+    }
+    const std::string& length_text = request.Header("content-length");
+    size_t length = 0;
+    if (!length_text.empty()) {
+      for (char c : length_text) {
+        if (!std::isdigit(static_cast<unsigned char>(c))) {
+          return ParseError("bad content-length");
+        }
+      }
+      // Parsed manually so "18446744073709551617" can't wrap.
+      for (char c : length_text) {
+        length = length * 10 + static_cast<size_t>(c - '0');
+        if (length > kMaxBodyBytes) {
+          return ParseError("request body exceeds limit");
+        }
+      }
+    }
+    if (length == 0) {
+      complete_.push_back(std::move(request));
+      continue;
+    }
+    pending_ = std::move(request);
+    in_body_ = true;
+    body_remaining_ = length;
+  }
+}
+
+Status HttpParser::Feed(std::string_view data) {
+  if (poisoned_) return FailedPrecondition("parser poisoned by earlier error");
+  buffer_.append(data);
+  Status status = Advance();
+  if (!status.ok()) poisoned_ = true;
+  return status;
+}
+
+HttpRequest HttpParser::PopRequest() {
+  HttpRequest request = std::move(complete_.front());
+  complete_.pop_front();
+  return request;
+}
+
+}  // namespace nerpa::gateway

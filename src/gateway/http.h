@@ -1,0 +1,90 @@
+// Minimal HTTP/1.1 for the northbound gateway: an incremental request
+// parser (bytes in, complete requests out — connections are non-blocking
+// so a request may arrive in arbitrary fragments) and response
+// serialization.  Deliberately small: GET/POST with Content-Length bodies
+// is all the gateway speaks; anything else is a clean parse error the
+// caller turns into a 4xx/5xx, never a crash (tests/test_fuzz.cc drills
+// this surface).
+#ifndef NERPA_GATEWAY_HTTP_H_
+#define NERPA_GATEWAY_HTTP_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/json.h"
+#include "common/status.h"
+
+namespace nerpa::gateway {
+
+struct HttpRequest {
+  std::string method;   // "GET", "POST", ...
+  std::string target;   // raw request-target ("/v1/table/Port?tag=7")
+  std::string path;     // target before '?', percent-decoded
+  std::map<std::string, std::string> query;  // decoded query parameters
+  // Header names are lower-cased on parse; values are trimmed.
+  std::map<std::string, std::string> headers;
+  std::string body;
+
+  /// Header lookup by lower-case name; empty string when absent.
+  const std::string& Header(const std::string& name) const;
+  /// keep-alive unless the client sent "Connection: close".
+  bool keep_alive() const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  // Extra headers beyond the generated Content-Type/Content-Length.
+  std::map<std::string, std::string> headers;
+  std::string body;
+  std::string content_type = "application/json";
+
+  /// Full wire form, including the Connection header for `keep_alive`.
+  std::string Serialize(bool keep_alive) const;
+};
+
+/// Convenience constructors used by every route.
+HttpResponse JsonResponse(int status, const Json& body);
+HttpResponse ErrorResponse(int status, std::string_view message);
+
+/// The canonical reason phrase for a status code ("OK", "Not Found", ...).
+std::string_view StatusReason(int status);
+
+/// Incremental HTTP/1.1 request parser.  Feed() consumes bytes and appends
+/// completed requests to an internal queue; a malformed stream poisons the
+/// parser (every later Feed fails) because framing is unrecoverable.
+class HttpParser {
+ public:
+  /// Hard limits: a head (request line + headers) or body beyond these is
+  /// a parse error, so a hostile client cannot balloon gateway memory.
+  static constexpr size_t kMaxHeadBytes = 16 * 1024;
+  static constexpr size_t kMaxBodyBytes = 1024 * 1024;
+
+  Status Feed(std::string_view data);
+
+  /// True when at least one complete request is queued.
+  bool HasRequest() const { return !complete_.empty(); }
+  /// Pops the oldest completed request (HasRequest() must be true).
+  HttpRequest PopRequest();
+
+ private:
+  Status ParseHead(std::string_view head, HttpRequest& out);
+  Status Advance();  // consume as much of buffer_ as possible
+
+  std::string buffer_;
+  std::deque<HttpRequest> complete_;
+  // Body accumulation state: set once a head has parsed.
+  bool in_body_ = false;
+  size_t body_remaining_ = 0;
+  HttpRequest pending_;
+  bool poisoned_ = false;
+};
+
+/// Percent-decodes `text` ('+' becomes space; bad escapes pass through).
+std::string UrlDecode(std::string_view text);
+
+}  // namespace nerpa::gateway
+
+#endif  // NERPA_GATEWAY_HTTP_H_

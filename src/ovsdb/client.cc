@@ -76,11 +76,30 @@ void OvsdbClient::InjectReceiveFault() {
   if (fd_ >= 0) ::shutdown(fd_, SHUT_RD);
 }
 
+Json OvsdbClient::SpecToRequests(
+    const std::map<std::string, std::vector<std::string>>& spec) {
+  Json::Object requests;
+  for (const auto& [table, columns] : spec) {
+    Json::Object table_spec;
+    if (!columns.empty()) {
+      Json::Array names;
+      for (const std::string& column : columns) names.push_back(Json(column));
+      table_spec["columns"] = Json(std::move(names));
+    }
+    requests[table] = Json(std::move(table_spec));
+  }
+  return Json(std::move(requests));
+}
+
 Status OvsdbClient::Heal() {
   if (!heal_.enabled) return FailedPrecondition("healing disabled");
   if (healing_) return Internal("transport died during a heal");
   healing_ = true;
   heal_delivered_ = 0;
+  auto bump = [this](uint64_t SessionStats::* counter, uint64_t by = 1) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.*counter += by;
+  };
   Status status = Internal("no reconnect attempts allowed");
   int backoff_ms = heal_.backoff_ms;
   for (int attempt = 0; attempt < heal_.max_attempts; ++attempt) {
@@ -92,22 +111,31 @@ Status OvsdbClient::Heal() {
     if (status.ok()) break;
   }
   if (!status.ok()) {
-    ++stats_.failed_heals;
+    bump(&SessionStats::failed_heals);
     healing_ = false;
     return status;
   }
-  ++stats_.reconnects;
+  bump(&SessionStats::reconnects);
+  // Priority is a per-session server-side mark; the fresh transport is a
+  // fresh session, so re-assert it before anything else competes.
+  if (priority_level_ > 0) {
+    Result<JsonRpcMessage> response = CallRaw(
+        "set_priority",
+        Json(Json::Array{Json(static_cast<int64_t>(priority_level_))}),
+        NextId());
+    if (!response.ok()) {
+      bump(&SessionStats::failed_heals);
+      healing_ = false;
+      return response.status();
+    }
+  }
   // Resume every monitor from its last seen txn-id; the server replays
   // exactly the missed deltas (or a full dump if the gap aged out).
   for (auto& [key, reg] : registrations_) {
     Json::Array params;
     params.push_back(Json("db"));
     params.push_back(reg.id);
-    Json::Object requests;
-    for (const std::string& table : reg.tables) {
-      requests[table] = Json(Json::Object{});
-    }
-    params.push_back(Json(std::move(requests)));
+    params.push_back(SpecToRequests(reg.spec));
     params.push_back(Json(reg.last_txn_id));
     // The epoch names the server incarnation the txn-id came from; a
     // restarted server answers found=false (full dump) instead of
@@ -117,27 +145,27 @@ Status OvsdbClient::Heal() {
         CallRaw("monitor_since", Json(std::move(params)), NextId());
     if (!response.ok()) {
       healing_ = false;
-      ++stats_.failed_heals;
+      bump(&SessionStats::failed_heals);
       return response.status();
     }
     if (!response->error.is_null()) {
       healing_ = false;
-      ++stats_.failed_heals;
+      bump(&SessionStats::failed_heals);
       return Internal("monitor_since error: " + response->error.Dump());
     }
     const Json& reply = response->result;
     if (!reply.is_array() || reply.as_array().size() < 3 ||
         !reply.as_array()[2].is_array()) {
       healing_ = false;
-      ++stats_.failed_heals;
+      bump(&SessionStats::failed_heals);
       return Internal("malformed monitor_since reply: " + reply.Dump());
     }
     bool found =
         reply.as_array()[0].is_bool() && reply.as_array()[0].as_bool();
-    if (!found) ++stats_.full_redumps;
+    if (!found) bump(&SessionStats::full_redumps);
     for (const Json& payload : reply.as_array()[2].as_array()) {
       reg.handler(reg.id, payload);
-      ++stats_.replayed_updates;
+      bump(&SessionStats::replayed_updates);
       ++heal_delivered_;
     }
     if (reply.as_array()[1].is_integer()) {
@@ -283,6 +311,22 @@ Result<Json> OvsdbClient::Transact(Json operations) {
 Result<Json> OvsdbClient::Monitor(Json monitor_id,
                                   const std::vector<std::string>& tables,
                                   UpdateHandler handler) {
+  std::map<std::string, std::vector<std::string>> spec;
+  for (const std::string& table : tables) spec[table];  // all columns
+  return RegisterMonitor(std::move(monitor_id), std::move(spec),
+                         std::move(handler));
+}
+
+Result<Json> OvsdbClient::MonitorColumns(
+    Json monitor_id, std::map<std::string, std::vector<std::string>> spec,
+    UpdateHandler handler) {
+  return RegisterMonitor(std::move(monitor_id), std::move(spec),
+                         std::move(handler));
+}
+
+Result<Json> OvsdbClient::RegisterMonitor(
+    Json monitor_id, std::map<std::string, std::vector<std::string>> spec,
+    UpdateHandler handler) {
   std::string key = monitor_id.Dump();
   if (registrations_.count(key) != 0) {
     return AlreadyExists("monitor id " + key + " already registered");
@@ -290,11 +334,7 @@ Result<Json> OvsdbClient::Monitor(Json monitor_id,
   Json::Array params;
   params.push_back(Json("db"));
   params.push_back(monitor_id);
-  Json::Object requests;
-  for (const std::string& table : tables) {
-    requests[table] = Json(Json::Object{});
-  }
-  params.push_back(Json(std::move(requests)));
+  params.push_back(SpecToRequests(spec));
   params.push_back(Json(static_cast<int64_t>(-1)));  // no prior session
   NERPA_ASSIGN_OR_RETURN(JsonRpcMessage response,
                          Call("monitor_since", Json(std::move(params))));
@@ -308,7 +348,7 @@ Result<Json> OvsdbClient::Monitor(Json monitor_id,
   }
   MonitorReg reg;
   reg.id = monitor_id;
-  reg.tables = tables;
+  reg.spec = std::move(spec);
   reg.handler = std::move(handler);
   if (reply.as_array()[1].is_integer()) {
     reg.last_txn_id = reply.as_array()[1].as_integer();
@@ -323,6 +363,35 @@ Result<Json> OvsdbClient::Monitor(Json monitor_id,
                      : reply.as_array()[2].as_array()[0];
   registrations_[key] = std::move(reg);
   return initial;
+}
+
+Result<Json> OvsdbClient::Fetch(const std::string& table, Json where,
+                                std::vector<std::string> columns) {
+  Json::Array columns_json;
+  for (std::string& column : columns) {
+    columns_json.push_back(Json(std::move(column)));
+  }
+  NERPA_ASSIGN_OR_RETURN(
+      JsonRpcMessage response,
+      Call("fetch", Json(Json::Array{Json("db"), Json(table),
+                                     std::move(where),
+                                     Json(std::move(columns_json))})));
+  if (!response.error.is_null()) {
+    return FailedPrecondition("fetch error: " + response.error.Dump());
+  }
+  return response.result;
+}
+
+Status OvsdbClient::SetPriority(int level) {
+  NERPA_ASSIGN_OR_RETURN(
+      JsonRpcMessage response,
+      Call("set_priority",
+           Json(Json::Array{Json(static_cast<int64_t>(level))})));
+  if (!response.error.is_null()) {
+    return FailedPrecondition("set_priority error: " + response.error.Dump());
+  }
+  priority_level_ = level;  // re-asserted by future heals
+  return Status::Ok();
 }
 
 Status OvsdbClient::MonitorCancel(const Json& monitor_id) {

@@ -24,6 +24,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -62,7 +63,14 @@ class OvsdbClient {
     uint64_t full_redumps = 0;      // heals that fell back to a full dump
     uint64_t failed_heals = 0;      // heals that exhausted max_attempts
   };
-  const SessionStats& session_stats() const { return stats_; }
+  /// Snapshot of the session counters.  Returned by value under a lock:
+  /// a supervisor thread may sample stats while the owning thread is
+  /// mid-heal (the one sanctioned cross-thread entry point — everything
+  /// else on this class stays single-threaded).
+  SessionStats session_stats() const {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    return stats_;
+  }
 
   /// Chaos hook: kills the transport under the session (the next read or
   /// write fails) without telling the client, as a mid-flight network
@@ -93,6 +101,25 @@ class OvsdbClient {
   /// from Poll().  The registration survives transport heals.
   Result<Json> Monitor(Json monitor_id, const std::vector<std::string>& tables,
                        UpdateHandler handler);
+
+  /// Column-scoped monitor (table -> columns; empty list = all columns of
+  /// that table): rows arrive projected, and commits touching only
+  /// unselected columns are invisible.  Pair with Fetch() for the columns
+  /// deliberately left unmonitored.  Survives heals like Monitor().
+  Result<Json> MonitorColumns(
+      Json monitor_id, std::map<std::string, std::vector<std::string>> spec,
+      UpdateHandler handler);
+
+  /// On-demand read: rows of `table` matching the `where` clause array,
+  /// projected onto `columns` (empty = all + _uuid).  Returns the "fetch"
+  /// result object ({"rows": [...]}).
+  Result<Json> Fetch(const std::string& table, Json where,
+                     std::vector<std::string> columns);
+
+  /// Marks this session as a priority session (level > 0): the server
+  /// services its input first each cycle and exempts it from the
+  /// slow-consumer outbox cap.  Sticky across heals.
+  Status SetPriority(int level);
   /// Cancels a monitor.  Cancelling over a dead session (heal disabled or
   /// exhausted) is a local no-op success — the server side died with the
   /// socket.
@@ -108,10 +135,20 @@ class OvsdbClient {
  private:
   struct MonitorReg {
     Json id;
-    std::vector<std::string> tables;
+    // table -> monitored columns (empty list = all columns; empty map =
+    // all tables), preserved so heals re-register the same projection.
+    std::map<std::string, std::vector<std::string>> spec;
     UpdateHandler handler;
     int64_t last_txn_id = -1;  // newest txn-id seen on this monitor
   };
+
+  /// Shared body of Monitor / MonitorColumns.
+  Result<Json> RegisterMonitor(
+      Json monitor_id, std::map<std::string, std::vector<std::string>> spec,
+      UpdateHandler handler);
+  /// The "requests" wire object for a spec ({table: {"columns": [...]}}).
+  static Json SpecToRequests(
+      const std::map<std::string, std::vector<std::string>>& spec);
 
   /// Raw connect to host_/port_, resetting transport state but keeping
   /// monitor registrations.
@@ -147,9 +184,13 @@ class OvsdbClient {
   std::map<std::string, MonitorReg> registrations_;  // monitor id dump -> reg
   std::string server_epoch_;  // server instance id from monitor_since replies
   HealPolicy heal_;
+  /// Guards stats_ only: counters are written on the owning thread (during
+  /// heals) and sampled from supervisor threads via session_stats().
+  mutable std::mutex stats_mu_;
   SessionStats stats_;
   int heal_delivered_ = 0;  // updates handed to handlers by the last Heal()
   bool healing_ = false;    // re-entrancy guard
+  int priority_level_ = 0;  // re-asserted on heal when > 0
 };
 
 }  // namespace nerpa::ovsdb

@@ -47,6 +47,18 @@ Datum GetColumn(const TableSchema& schema, const Row& row,
   return cs != nullptr ? Datum::Default(cs->type) : Datum();
 }
 
+/// Shrinks a row to the named columns (for column-scoped monitors).
+Row ProjectRow(const Row& row, const std::vector<std::string>& columns) {
+  Row out;
+  out.uuid = row.uuid;
+  for (const std::string& column : columns) {
+    if (const Datum* datum = row.Find(column)) {
+      out.columns.emplace(column, *datum);
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 Result<bool> EvalClause(const TableSchema& schema, const Row& row,
@@ -145,12 +157,78 @@ size_t Database::RowCount(std::string_view table) const {
   return data == nullptr ? 0 : data->rows.size();
 }
 
+std::optional<std::vector<Uuid>> Database::ProbeIndexes(
+    const TableSchema& schema, const TableData& data,
+    const std::vector<Clause>& where) const {
+  if (where.empty()) return std::nullopt;
+  // Probes only apply to pure-equality queries: "==" can neither error nor
+  // match more rows than the index key, so the verification step below is
+  // exact.
+  for (const Clause& clause : where) {
+    if (clause.function != "==") return std::nullopt;
+  }
+  // Any remaining clauses (beyond the ones the index consumed) still have to
+  // hold on the candidate row.
+  auto verify = [&](const Uuid& uuid) -> std::vector<Uuid> {
+    auto it = data.rows.find(uuid);
+    if (it == data.rows.end()) return {};
+    for (const Clause& clause : where) {
+      Result<bool> match = EvalClause(schema, it->second, clause);
+      if (!match.ok() || !*match) return {};
+    }
+    return {uuid};
+  };
+  // _uuid equality: direct hash lookup.
+  for (const Clause& clause : where) {
+    if (clause.column != "_uuid") continue;
+    if (clause.value.size() != 1 ||
+        clause.value.scalar().type() != AtomicType::kUuid) {
+      return std::nullopt;
+    }
+    ++indexed_selects_;
+    return verify(clause.value.scalar().uuid());
+  }
+  // A (compound) unique index every column of which is pinned by a clause.
+  for (size_t i = 0; i < schema.indexes.size(); ++i) {
+    const std::vector<std::string>& columns = schema.indexes[i];
+    std::vector<Datum> key;
+    key.reserve(columns.size());
+    bool covered = true;
+    for (const std::string& column : columns) {
+      const Clause* pin = nullptr;
+      for (const Clause& clause : where) {
+        if (clause.column == column) {
+          pin = &clause;
+          break;
+        }
+      }
+      if (pin == nullptr) {
+        covered = false;
+        break;
+      }
+      key.push_back(pin->value);
+    }
+    if (!covered) continue;
+    ++indexed_selects_;
+    auto it = data.index_maps[i].find(key);
+    if (it == data.index_maps[i].end()) return std::vector<Uuid>{};
+    return verify(it->second);
+  }
+  return std::nullopt;
+}
+
 Result<std::vector<const Row*>> Database::SelectRows(
     std::string_view table, const std::vector<Clause>& where) const {
   const TableSchema* schema = schema_.FindTable(table);
   const TableData* data = FindTable(table);
   if (schema == nullptr || data == nullptr) {
     return NotFound("no table '" + std::string(table) + "'");
+  }
+  if (auto probed = ProbeIndexes(*schema, *data, where)) {
+    std::vector<const Row*> out;
+    out.reserve(probed->size());
+    for (const Uuid& uuid : *probed) out.push_back(&data->rows.at(uuid));
+    return out;
   }
   std::vector<const Row*> out;
   for (const auto& [uuid, row] : data->rows) {
@@ -169,22 +247,99 @@ Result<std::vector<const Row*>> Database::SelectRows(
 
 uint64_t Database::AddMonitor(std::vector<std::string> tables,
                               MonitorCallback cb) {
-  Monitor monitor{next_monitor_id_++, std::move(tables), std::move(cb)};
-  // Initial state: every current row as an insert.
+  MonitorColumnSpec spec;
+  for (std::string& table : tables) spec[std::move(table)];  // all columns
+  return AddMonitorColumns(std::move(spec), std::move(cb));
+}
+
+uint64_t Database::AddMonitorColumns(MonitorColumnSpec spec,
+                                     MonitorCallback cb) {
+  Monitor monitor{next_monitor_id_++, std::move(spec), std::move(cb)};
+  // Initial state: every current row as an insert, projected to the spec.
   TableUpdates initial;
   for (const auto& [name, data] : tables_) {
-    if (!monitor.tables.empty() &&
-        std::find(monitor.tables.begin(), monitor.tables.end(), name) ==
-            monitor.tables.end()) {
-      continue;
-    }
+    if (!monitor.spec.empty() && monitor.spec.count(name) == 0) continue;
     for (const auto& [uuid, row] : data.rows) {
       initial[name][uuid] = RowUpdate{std::nullopt, row};
     }
   }
+  initial = FilterForMonitor(monitor, initial);
   monitors_.push_back(monitor);
   if (!initial.empty()) monitor.callback(initial);
   return monitor.id;
+}
+
+TableUpdates Database::FilterForMonitor(const Monitor& monitor,
+                                        const TableUpdates& updates) const {
+  if (monitor.spec.empty()) return updates;
+  TableUpdates out;
+  for (const auto& [table, columns] : monitor.spec) {
+    auto it = updates.find(table);
+    if (it == updates.end()) continue;
+    if (columns.empty()) {
+      out.insert(*it);
+      continue;
+    }
+    TableUpdate projected_rows;
+    for (const auto& [uuid, update] : it->second) {
+      RowUpdate projected;
+      if (update.old_row) {
+        projected.old_row = ProjectRow(*update.old_row, columns);
+      }
+      if (update.new_row) {
+        projected.new_row = ProjectRow(*update.new_row, columns);
+      }
+      // A modify that only touched unselected columns is invisible.
+      if (projected.is_modify() && *projected.old_row == *projected.new_row) {
+        continue;
+      }
+      projected_rows.emplace(uuid, std::move(projected));
+    }
+    if (!projected_rows.empty()) {
+      out.emplace(table, std::move(projected_rows));
+    }
+  }
+  return out;
+}
+
+Result<Json> Database::FetchRows(std::string_view table, const Json& where_json,
+                                 const std::vector<std::string>& columns) const {
+  const TableSchema* schema = schema_.FindTable(table);
+  if (schema == nullptr) {
+    return NotFound("no table '" + std::string(table) + "'");
+  }
+  if (!where_json.is_array()) return ParseError("'where' must be an array");
+  std::vector<Clause> where;
+  for (const Json& clause_json : where_json.as_array()) {
+    NERPA_ASSIGN_OR_RETURN(Clause clause, ClauseFromJson(*schema, clause_json));
+    where.push_back(std::move(clause));
+  }
+  std::vector<std::string> projected = columns;
+  if (projected.empty()) {
+    projected.emplace_back("_uuid");
+    for (const ColumnSchema& c : schema->columns) projected.push_back(c.name);
+  } else {
+    for (const std::string& column : projected) {
+      if (column != "_uuid" && schema->FindColumn(column) == nullptr) {
+        return NotFound(StrFormat("unknown column '%s' in table '%s'",
+                                  column.c_str(), schema->name.c_str()));
+      }
+    }
+  }
+  NERPA_ASSIGN_OR_RETURN(std::vector<const Row*> rows,
+                         SelectRows(table, where));
+  // Deterministic row order keeps responses reproducible (and cacheable).
+  std::sort(rows.begin(), rows.end(),
+            [](const Row* a, const Row* b) { return a->uuid < b->uuid; });
+  Json::Array out_rows;
+  for (const Row* row : rows) {
+    Json::Object row_json;
+    for (const std::string& column : projected) {
+      row_json[column] = GetColumn(*schema, *row, column).ToJson();
+    }
+    out_rows.push_back(Json(std::move(row_json)));
+  }
+  return Json(Json::Object{{"rows", Json(std::move(out_rows))}});
 }
 
 void Database::RemoveMonitor(uint64_t id) {
@@ -295,6 +450,11 @@ class Database::Txn {
   Result<std::vector<Uuid>> MatchRows(const TableSchema& schema,
                                       const std::vector<Clause>& where) {
     TableData& data = *db_->FindTable(schema.name);
+    // Index probe: in-txn index maps are kept current by PutRow, so the
+    // same fast path serves transaction `where` matching.
+    if (auto probed = db_->ProbeIndexes(schema, data, where)) {
+      return *probed;  // 0 or 1 rows — trivially sorted
+    }
     std::vector<Uuid> out;
     for (auto& [uuid, row] : data.rows) {
       bool all = true;
@@ -453,6 +613,33 @@ class Database::Txn {
       return ConstraintError("column '" + column_name + "' is immutable");
     }
     Datum current = GetColumn(schema, row, column_name);
+
+    if (mutator == "setkey" || mutator == "delkey") {
+      // Partial map updates (the OVSDB-improvements fast path): ship only
+      // the touched key(s) instead of rewriting the whole map.  setkey
+      // inserts or overwrites; delkey removes (absent keys are a no-op).
+      if (!column->type.is_map()) {
+        return TypeError("'" + mutator + "' requires a map column");
+      }
+      if (mutator == "setkey") {
+        ColumnType loose = column->type;
+        loose.min = 0;
+        loose.max = kUnlimited;
+        NERPA_ASSIGN_OR_RETURN(
+            Datum delta, Datum::FromJson(value_json, loose, &named_uuids_));
+        for (size_t i = 0; i < delta.keys().size(); ++i) {
+          current.EraseKey(delta.keys()[i]);
+          current.InsertPair(delta.keys()[i], delta.values()[i]);
+        }
+      } else {
+        ColumnType keys_only = ColumnType::Set(column->type.key, 0, kUnlimited);
+        NERPA_ASSIGN_OR_RETURN(
+            Datum keys, Datum::FromJson(value_json, keys_only, &named_uuids_));
+        for (const Atom& key : keys.keys()) current.EraseKey(key);
+      }
+      row.columns[column_name] = std::move(current);
+      return Status::Ok();
+    }
 
     if (mutator == "insert" || mutator == "delete") {
       // Value is a set (or map) of elements to add/remove.
@@ -937,15 +1124,7 @@ class Database::Txn {
     // Copy the monitor list: a callback may add/remove monitors.
     std::vector<Monitor> monitors = db_->monitors_;
     for (const Monitor& monitor : monitors) {
-      if (monitor.tables.empty()) {
-        monitor.callback(updates);
-        continue;
-      }
-      TableUpdates filtered;
-      for (const std::string& table : monitor.tables) {
-        auto it = updates.find(table);
-        if (it != updates.end()) filtered.insert(*it);
-      }
+      TableUpdates filtered = db_->FilterForMonitor(monitor, updates);
       if (!filtered.empty()) monitor.callback(filtered);
     }
   }
@@ -1098,6 +1277,21 @@ void TxnBuilder::Mutate(
   op["where"] = WhereToJson(where);
   op["mutations"] = Json(std::move(mutations_json));
   ops_.push_back(Json(std::move(op)));
+}
+
+void TxnBuilder::MutateSetKey(std::string_view table,
+                              std::vector<Clause> where,
+                              std::string_view column, Atom key, Atom value) {
+  Mutate(table, std::move(where),
+         {{std::string(column), "setkey",
+           Datum::Map({{std::move(key), std::move(value)}})}});
+}
+
+void TxnBuilder::MutateDelKey(std::string_view table,
+                              std::vector<Clause> where,
+                              std::string_view column, Atom key) {
+  Mutate(table, std::move(where),
+         {{std::string(column), "delkey", Datum::Set({std::move(key)})}});
 }
 
 void TxnBuilder::Delete(std::string_view table, std::vector<Clause> where) {

@@ -97,12 +97,36 @@ class Database {
 
   using MonitorCallback = std::function<void(const TableUpdates&)>;
 
+  /// Per-table column selection for a monitor: table name -> monitored
+  /// columns.  An empty column list monitors every column of that table; an
+  /// empty map monitors every table.  Columns outside the selection are
+  /// invisible to the monitor — their rows arrive projected, and a commit
+  /// touching only unselected columns does not fire the callback at all
+  /// (the OVSDB-improvements "on-demand fetch" split: monitor the cheap
+  /// columns, Fetch the expensive ones when actually needed).
+  using MonitorColumnSpec = std::map<std::string, std::vector<std::string>>;
+
   /// Registers a monitor on `tables` (empty = all tables).  The current
   /// contents are delivered immediately as an initial batch of inserts;
   /// thereafter the callback fires synchronously after every commit that
   /// touches a monitored table.  Returns a handle for RemoveMonitor.
   uint64_t AddMonitor(std::vector<std::string> tables, MonitorCallback cb);
+  /// Column-scoped monitor registration (empty column list = all columns).
+  /// Unknown tables/columns are ignored here; the server validates specs
+  /// before registering.
+  uint64_t AddMonitorColumns(MonitorColumnSpec spec, MonitorCallback cb);
   void RemoveMonitor(uint64_t id);
+
+  /// On-demand read of specific columns: rows of `table` matching the JSON
+  /// `where` clause array, projected onto `columns` (empty = all + _uuid).
+  /// This is how clients fetch columns they deliberately do not monitor.
+  Result<Json> FetchRows(std::string_view table, const Json& where_json,
+                         const std::vector<std::string>& columns) const;
+
+  /// Selects (reads and transaction `where` matching) answered through a
+  /// unique-index probe or a direct _uuid lookup instead of a full table
+  /// scan (monotone; for tests and benches).
+  uint64_t indexed_selects() const { return indexed_selects_; }
 
   /// Number of committed transactions (monotone; useful for tests).
   uint64_t commit_count() const { return commit_count_; }
@@ -141,14 +165,28 @@ class Database {
 
   struct Monitor {
     uint64_t id;
-    std::vector<std::string> tables;  // empty = all
+    MonitorColumnSpec spec;  // empty = all tables, all columns
     MonitorCallback callback;
   };
+
+  /// Projects `updates` onto one monitor's table/column selection.  Rows
+  /// shrink to the selected columns; modifies that only touch unselected
+  /// columns vanish entirely.
+  TableUpdates FilterForMonitor(const Monitor& monitor,
+                                const TableUpdates& updates) const;
 
   class Txn;  // transaction executor (database.cc)
 
   TableData* FindTable(std::string_view name);
   const TableData* FindTable(std::string_view name) const;
+
+  /// Answers an all-"==" `where` through a direct _uuid lookup or a
+  /// (compound) unique-index probe.  Returns nullopt when no clause set
+  /// covers an index — callers fall back to the full scan.  The returned
+  /// candidates (0 or 1 rows) are already validated against every clause.
+  std::optional<std::vector<Uuid>> ProbeIndexes(
+      const TableSchema& schema, const TableData& data,
+      const std::vector<Clause>& where) const;
 
   DatabaseSchema schema_;
   std::map<std::string, TableData> tables_;
@@ -157,6 +195,7 @@ class Database {
   uint64_t next_monitor_id_ = 1;
   uint64_t next_hook_id_ = 1;
   uint64_t commit_count_ = 0;
+  mutable uint64_t indexed_selects_ = 0;
   std::string journal_path_;  // empty = durability off
 };
 
@@ -185,6 +224,15 @@ class TxnBuilder {
   void Mutate(std::string_view table, std::vector<Clause> where,
               std::vector<std::tuple<std::string, std::string, Datum>> mutations);
   void Delete(std::string_view table, std::vector<Clause> where);
+
+  /// Partial map-column updates (the OVSDB-improvements setkey/delkey
+  /// idiom): ship only the touched key(s) instead of rewriting the whole
+  /// map through "update".  SetKey inserts or overwrites one pair; DelKey
+  /// removes one key (absent keys are a no-op).
+  void MutateSetKey(std::string_view table, std::vector<Clause> where,
+                    std::string_view column, Atom key, Atom value);
+  void MutateDelKey(std::string_view table, std::vector<Clause> where,
+                    std::string_view column, Atom key);
 
   /// A JSON value that references the row inserted earlier in this
   /// transaction under `name`.

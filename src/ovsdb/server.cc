@@ -1,8 +1,11 @@
 #include "ovsdb/server.h"
 
+#include <algorithm>
 #include <cstring>
+#include <numeric>
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -26,13 +29,12 @@ Json TableUpdatesToJson(const DatabaseSchema& schema,
       Json::Object row_json;
       auto row_to_json = [&](const Row& row) {
         Json::Object columns;
+        // Database rows always carry every column (inserts fill defaults),
+        // so an absent column here means a column-scoped monitor projected
+        // it away — omit it rather than leaking a default.
         for (const ColumnSchema& column : table->columns) {
           const Datum* datum = row.Find(column.name);
-          Datum fallback;
-          if (datum == nullptr) {
-            fallback = Datum::Default(column.type);
-            datum = &fallback;
-          }
+          if (datum == nullptr) continue;
           columns[column.name] = datum->ToJson();
         }
         return Json(std::move(columns));
@@ -117,6 +119,10 @@ void OvsdbServer::Stop() {
     db_->RemoveMonitor(history_monitor_id_);
     history_monitor_id_ = 0;
   }
+  // Graceful drain: responses and monitor deltas already queued go out
+  // (bounded) before the sockets close, so a benchmark or CI harness that
+  // stops the server never reads a truncated final message.
+  DrainOutboxes(kDrainDeadlineMs);
   for (auto& client : clients_) {
     if (client->fd >= 0) ::close(client->fd);
   }
@@ -130,8 +136,18 @@ void OvsdbServer::Stop() {
 }
 
 void OvsdbServer::SendTo(Client& client, const JsonRpcMessage& message) {
+  if (client.overflowed) return;  // already condemned; stop queueing
   client.outbox += message.ToJson().Dump();
   FlushOutbox(client);
+  // Backpressure: a peer that stopped reading while monitor fan-out keeps
+  // producing would otherwise grow this buffer without bound and slow
+  // every commit (SendTo runs inside Transact).  Non-priority sessions
+  // are shed; priority sessions opted into keeping their stream.
+  if (client.priority <= 0 && client.outbox.size() > max_outbox_bytes_) {
+    client.overflowed = true;
+    client.outbox.clear();
+    slow_consumer_drops_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 void OvsdbServer::FlushOutbox(Client& client) {
@@ -144,6 +160,23 @@ void OvsdbServer::FlushOutbox(Client& client) {
       return;  // peer gone; DropClient happens on the read side
     }
     client.outbox.erase(0, static_cast<size_t>(n));
+  }
+}
+
+void OvsdbServer::DrainOutboxes(int deadline_ms) {
+  int64_t deadline = MonotonicNanos() + int64_t{deadline_ms} * 1000000;
+  while (MonotonicNanos() < deadline) {
+    std::vector<pollfd> fds;
+    for (const auto& client : clients_) {
+      if (!client->outbox.empty() && client->fd >= 0) {
+        fds.push_back({client->fd, POLLOUT, 0});
+      }
+    }
+    if (fds.empty()) return;  // everything flushed
+    if (::poll(fds.data(), fds.size(), 50) < 0 && errno != EINTR) return;
+    for (auto& client : clients_) {
+      if (!client->outbox.empty() && client->fd >= 0) FlushOutbox(*client);
+    }
   }
 }
 
@@ -170,24 +203,43 @@ void OvsdbServer::ServiceLoop() {
       if (fd >= 0) {
         int one = 1;
         ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+        if (send_buffer_bytes_ > 0) {
+          ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &send_buffer_bytes_,
+                       sizeof send_buffer_bytes_);
+        }
+        // Non-blocking sends: a full kernel buffer backs up into the
+        // outbox (where the cap sheds slow consumers) instead of
+        // blocking the service thread mid-commit.
+        ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
         auto client = std::make_unique<Client>();
         client->fd = fd;
         clients_.push_back(std::move(client));
       }
     }
-    // Service clients (index-based; HandleDocument may not mutate clients_).
-    for (size_t i = 0; i < clients_.size();) {
+    // Service clients, priority sessions first: with both a transact
+    // pipeline and heavy monitor fan-out pending, the priority session's
+    // input is parsed (and its transacts applied) before non-priority
+    // work each cycle.  Index-based over a stable snapshot of the size;
+    // HandleDocument may not mutate clients_, drops happen in the sweep.
+    size_t serviced = std::min(clients_.size(), fds.size() - 2);
+    std::vector<size_t> order(serviced);
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return clients_[a]->priority > clients_[b]->priority;
+    });
+    for (size_t i : order) {
       Client& client = *clients_[i];
       size_t poll_index = 2 + i;
-      bool drop = false;
-      if (poll_index < fds.size() && (fds[poll_index].revents & POLLOUT)) {
+      if (fds[poll_index].revents & POLLOUT) {
         FlushOutbox(client);
       }
-      if (poll_index < fds.size() && (fds[poll_index].revents & POLLIN)) {
+      if (fds[poll_index].revents & POLLIN) {
         char buffer[4096];
         ssize_t n = ::recv(client.fd, buffer, sizeof buffer, 0);
-        if (n <= 0) {
-          drop = true;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+          // spurious wakeup on the non-blocking socket; not a drop
+        } else if (n <= 0) {
+          client.overflowed = true;  // peer gone; sweep below reaps it
         } else {
           Status fed = client.splitter.Feed(
               std::string_view(buffer, static_cast<size_t>(n)),
@@ -195,14 +247,16 @@ void OvsdbServer::ServiceLoop() {
                 HandleDocument(client, text);
                 return Status::Ok();
               });
-          if (!fed.ok()) drop = true;  // protocol violation
+          if (!fed.ok()) client.overflowed = true;  // protocol violation
         }
       }
-      if (poll_index < fds.size() &&
-          (fds[poll_index].revents & (POLLHUP | POLLERR))) {
-        drop = true;
+      if (fds[poll_index].revents & (POLLHUP | POLLERR)) {
+        client.overflowed = true;
       }
-      if (drop) {
+    }
+    // Sweep: reap dead peers and shed slow consumers in one pass.
+    for (size_t i = 0; i < clients_.size();) {
+      if (clients_[i]->overflowed) {
         DropClient(i);
       } else {
         ++i;
@@ -309,7 +363,44 @@ JsonRpcMessage OvsdbServer::HandleRequest(Client& client,
     if (!result.ok()) return fail(result.status().ToString());
     return ok(std::move(result).value());
   }
+  if (request.method == "fetch") {
+    Result<Json> result = DoFetch(request.params);
+    if (!result.ok()) return fail(result.status().ToString());
+    return ok(std::move(result).value());
+  }
+  if (request.method == "set_priority") {
+    // params: [level] — level > 0 marks this session as a priority
+    // session: serviced first each poll cycle and exempt from the
+    // slow-consumer outbox cap.
+    if (!request.params.is_array() || request.params.as_array().empty() ||
+        !request.params.as_array()[0].is_integer()) {
+      return fail("set_priority needs [level]");
+    }
+    client.priority =
+        static_cast<int>(request.params.as_array()[0].as_integer());
+    return ok(Json(Json::Object{}));
+  }
   return fail("unknown method '" + request.method + "'");
+}
+
+Result<Json> OvsdbServer::DoFetch(const Json& params) {
+  // params: [db, table, where, columns?] — the on-demand read of columns a
+  // client deliberately does not monitor.
+  if (!params.is_array() || params.as_array().size() < 3 ||
+      !params.as_array()[1].is_string()) {
+    return InvalidArgument("fetch needs [db, table, where, columns?]");
+  }
+  const std::string& table = params.as_array()[1].as_string();
+  std::vector<std::string> columns;
+  if (params.as_array().size() >= 4 && params.as_array()[3].is_array()) {
+    for (const Json& column : params.as_array()[3].as_array()) {
+      if (!column.is_string()) {
+        return InvalidArgument("fetch columns must be strings");
+      }
+      columns.push_back(column.as_string());
+    }
+  }
+  return db_->FetchRows(table, params.as_array()[2], columns);
 }
 
 Result<Json> OvsdbServer::RegisterMonitor(Client& client, const Json& params,
@@ -319,13 +410,28 @@ Result<Json> OvsdbServer::RegisterMonitor(Client& client, const Json& params,
   if (client.monitors.count(key) != 0) {
     return AlreadyExists("duplicate monitor id " + key);
   }
-  std::vector<std::string> tables;
+  Database::MonitorColumnSpec spec;
   if (params.as_array().size() >= 3 && params.as_array()[2].is_object()) {
-    for (const auto& [table, spec] : params.as_array()[2].as_object()) {
-      if (db_->schema().FindTable(table) == nullptr) {
+    for (const auto& [table, table_spec] : params.as_array()[2].as_object()) {
+      const TableSchema* table_schema = db_->schema().FindTable(table);
+      if (table_schema == nullptr) {
         return NotFound("no table '" + table + "'");
       }
-      tables.push_back(table);
+      // Per-table column selection, RFC 7047 style:
+      //   {table: {"columns": ["a", "b"]}} — monitor only those columns.
+      //   {table: {}} — monitor every column.
+      std::vector<std::string>& columns = spec[table];
+      if (const Json* cols = table_spec.Find("columns");
+          cols != nullptr && cols->is_array()) {
+        for (const Json& column : cols->as_array()) {
+          if (!column.is_string() ||
+              table_schema->FindColumn(column.as_string()) == nullptr) {
+            return NotFound(StrFormat("no column %s in table '%s'",
+                                      column.Dump().c_str(), table.c_str()));
+          }
+          columns.push_back(column.as_string());
+        }
+      }
     }
   }
   // Capture the initial snapshot delivered synchronously by AddMonitor as
@@ -335,9 +441,10 @@ Result<Json> OvsdbServer::RegisterMonitor(Client& client, const Json& params,
   auto first = std::make_shared<bool>(true);
   auto initial = std::make_shared<Json>(Json::Object{});
   Client* client_ptr = &client;
-  uint64_t id = db_->AddMonitor(
-      tables, [this, client_ptr, monitor_id, initial, first, with_txn](
-                  const TableUpdates& updates) {
+  uint64_t id = db_->AddMonitorColumns(
+      std::move(spec),
+      [this, client_ptr, monitor_id, initial, first, with_txn](
+          const TableUpdates& updates) {
         Json payload = TableUpdatesToJson(db_->schema(), updates);
         if (*first) {
           *initial = std::move(payload);
@@ -366,15 +473,47 @@ Result<Json> OvsdbServer::DoMonitor(Client& client, const Json& params) {
 
 namespace {
 
-/// Projects an update payload onto the monitored table set (empty = all).
+/// Projects a history payload ({table: {uuid: {"old": ..., "new": ...}}})
+/// onto a monitor's table/column spec, mirroring what the live monitor
+/// would have delivered: unselected tables vanish, rows shrink to the
+/// selected columns, and modifies touching only unselected columns drop.
 Json FilterUpdateTables(const Json& payload,
-                        const std::vector<std::string>& tables) {
-  if (tables.empty() || !payload.is_object()) return payload;
+                        const Database::MonitorColumnSpec& spec) {
+  if (spec.empty() || !payload.is_object()) return payload;
   Json::Object filtered;
-  for (const std::string& table : tables) {
-    if (const Json* entry = payload.Find(table); entry != nullptr) {
+  for (const auto& [table, columns] : spec) {
+    const Json* entry = payload.Find(table);
+    if (entry == nullptr) continue;
+    if (columns.empty() || !entry->is_object()) {
       filtered[table] = *entry;
+      continue;
     }
+    Json::Object rows;
+    for (const auto& [uuid, row_update] : entry->as_object()) {
+      Json::Object projected;
+      for (const char* side : {"old", "new"}) {
+        const Json* row = row_update.Find(side);
+        if (row == nullptr || !row->is_object()) continue;
+        Json::Object cells;
+        for (const std::string& column : columns) {
+          if (const Json* cell = row->Find(column); cell != nullptr) {
+            cells[column] = *cell;
+          }
+        }
+        projected[side] = Json(std::move(cells));
+      }
+      // A modify invisible through the projection is suppressed.
+      const Json* old_side = projected.count("old") ? &projected.at("old")
+                                                    : nullptr;
+      const Json* new_side = projected.count("new") ? &projected.at("new")
+                                                    : nullptr;
+      if (old_side != nullptr && new_side != nullptr &&
+          *old_side == *new_side) {
+        continue;
+      }
+      rows[uuid] = Json(std::move(projected));
+    }
+    if (!rows.empty()) filtered[table] = Json(std::move(rows));
   }
   return Json(std::move(filtered));
 }
@@ -399,10 +538,16 @@ Result<Json> OvsdbServer::DoMonitorSince(Client& client, const Json& params) {
   if (params.as_array().size() >= 5 && params.as_array()[4].is_string()) {
     client_epoch = params.as_array()[4].as_string();
   }
-  std::vector<std::string> tables;
+  Database::MonitorColumnSpec spec;
   if (params.as_array()[2].is_object()) {
-    for (const auto& [table, spec] : params.as_array()[2].as_object()) {
-      tables.push_back(table);
+    for (const auto& [table, table_spec] : params.as_array()[2].as_object()) {
+      std::vector<std::string>& columns = spec[table];
+      if (const Json* cols = table_spec.Find("columns");
+          cols != nullptr && cols->is_array()) {
+        for (const Json& column : cols->as_array()) {
+          if (column.is_string()) columns.push_back(column.as_string());
+        }
+      }
     }
   }
   bool found = false;
@@ -414,7 +559,7 @@ Result<Json> OvsdbServer::DoMonitorSince(Client& client, const Json& params) {
       found = true;
       for (const auto& [txn, payload] : history_) {
         if (txn <= last) continue;
-        Json projected = FilterUpdateTables(payload, tables);
+        Json projected = FilterUpdateTables(payload, spec);
         if (projected.is_object() && !projected.as_object().empty()) {
           missed.push_back(std::move(projected));
         }

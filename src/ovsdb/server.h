@@ -69,9 +69,26 @@ class OvsdbServer {
     return transacts_deduped_.load(std::memory_order_relaxed);
   }
 
+  /// Non-priority sessions dropped because their outbox exceeded the cap
+  /// (the peer stopped reading while monitor fan-out kept producing).
+  uint64_t slow_consumer_drops() const {
+    return slow_consumer_drops_.load(std::memory_order_relaxed);
+  }
+
   /// Shrinks the replay history window (call before Start()).  Tests use
   /// a tiny window to force the found=false full-dump path.
   void set_history_limit(size_t limit) { history_limit_ = limit; }
+
+  /// Caps the per-client outbox (call before Start()).  A non-priority
+  /// session whose outbox exceeds the cap is dropped rather than allowed
+  /// to hold transaction commit latency hostage; priority sessions are
+  /// exempt.  Tests use a tiny cap to force the shed path.
+  void set_max_outbox_bytes(size_t bytes) { max_outbox_bytes_ = bytes; }
+
+  /// Shrinks SO_SNDBUF on accepted sockets (call before Start()); with a
+  /// tiny kernel buffer a non-reading peer backs writes up into the
+  /// outbox almost immediately, making slow-consumer tests deterministic.
+  void set_send_buffer_bytes(int bytes) { send_buffer_bytes_ = bytes; }
 
   /// Default bound on the monitor_since replay history.
   static constexpr size_t kHistoryLimit = 256;
@@ -79,6 +96,12 @@ class OvsdbServer {
   /// Bound on the transact response cache (request-id dedup).  Retries
   /// arrive immediately after a heal, so a small window suffices.
   static constexpr size_t kTransactCacheLimit = 128;
+
+  /// Default per-client outbox cap (bytes).
+  static constexpr size_t kMaxOutboxBytes = 4u << 20;
+
+  /// Bound on the final outbox drain during Stop() (milliseconds).
+  static constexpr int kDrainDeadlineMs = 2000;
 
  private:
   struct MonitorSub {
@@ -91,6 +114,11 @@ class OvsdbServer {
     std::string outbox;
     // monitor name (client-chosen id, dumped json) -> subscription
     std::map<std::string, MonitorSub> monitors;
+    // Priority sessions ("set_priority") are serviced first each poll
+    // cycle and exempt from the outbox cap, so monitor fan-out to slow
+    // readers cannot starve a transact pipeline that opted in.
+    int priority = 0;
+    bool overflowed = false;  // outbox blew the cap; dropped next sweep
   };
 
   void ServiceLoop();
@@ -99,13 +127,17 @@ class OvsdbServer {
   Result<Json> DoMonitor(Client& client, const Json& params);
   Result<Json> DoMonitorSince(Client& client, const Json& params);
   Result<Json> DoMonitorCancel(Client& client, const Json& params);
-  /// Shared monitor registration: validates the id and table list, hooks
-  /// the database, and returns the initial snapshot.
+  Result<Json> DoFetch(const Json& params);
+  /// Shared monitor registration: validates the id and table/column spec,
+  /// hooks the database, and returns the initial snapshot.
   Result<Json> RegisterMonitor(Client& client, const Json& params,
                                bool with_txn);
   void SendTo(Client& client, const JsonRpcMessage& message);
   void FlushOutbox(Client& client);
   void DropClient(size_t index);
+  /// Bounded final flush of every non-empty outbox (Stop() drain), so
+  /// monitor deltas and responses already queued are not truncated.
+  void DrainOutboxes(int deadline_ms);
 
   std::unique_ptr<Database> db_;
   int listen_fd_ = -1;
@@ -114,6 +146,9 @@ class OvsdbServer {
   std::thread thread_;
   std::atomic<bool> running_{false};
   std::atomic<uint64_t> requests_served_{0};
+  std::atomic<uint64_t> slow_consumer_drops_{0};
+  size_t max_outbox_bytes_ = kMaxOutboxBytes;
+  int send_buffer_bytes_ = 0;  // 0 = leave the kernel default
   std::vector<std::unique_ptr<Client>> clients_;
   // --- monitor_since session resumption (service-thread only) ---
   size_t history_limit_ = kHistoryLimit;

@@ -369,6 +369,84 @@ TEST_F(CrossPlaneTest, Nw207PriorityOutOfRange) {
                       "must lie in [0, 2^31-1]"));
 }
 
+TEST_F(CrossPlaneTest, Nw208UnmonitoredColumn) {
+  std::string rules =
+      "IpRoute(0, 0, \"Route\", p as bit<16>) :- Host(_, _, _, p),"
+      " Learn(_).\n"
+      "Acl(s, s, 1, \"Discard\") :- Learn(s).\n";
+  AnalyzeOptions options;
+  options.monitored_columns["Host"] = {"ip", "plen"};  // port left out
+  Analysis analysis = Analyze(rules, options);
+  // The span lands on the generated `input relation Host(...)` decl.
+  const Diagnostic* found = nullptr;
+  int count = 0;
+  for (const Diagnostic& d : analysis.diagnostics) {
+    if (d.code == "NW208") {
+      found = &d;
+      ++count;
+    }
+  }
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(count, 1);  // only `port` is uncovered
+  EXPECT_NE(found->message.find("'Host.port'"), std::string::npos);
+  EXPECT_GT(found->line, 0);
+}
+
+TEST_F(CrossPlaneTest, Nw208OnDemandColumnIsCovered) {
+  std::string rules =
+      "IpRoute(0, 0, \"Route\", p as bit<16>) :- Host(_, _, _, p),"
+      " Learn(_).\n"
+      "Acl(s, s, 1, \"Discard\") :- Learn(s).\n";
+  AnalyzeOptions options;
+  options.monitored_columns["Host"] = {"ip", "plen"};
+  options.on_demand_columns["Host"] = {"port"};
+  Analysis analysis = Analyze(rules, options);
+  for (const Diagnostic& d : analysis.diagnostics) {
+    EXPECT_NE(d.code, "NW208") << d.message;
+  }
+}
+
+TEST_F(CrossPlaneTest, Nw208EmptyColumnListMonitorsWholeTable) {
+  std::string rules =
+      "IpRoute(0, 0, \"Route\", p as bit<16>) :- Host(_, _, _, p),"
+      " Learn(_).\n"
+      "Acl(s, s, 1, \"Discard\") :- Learn(s).\n";
+  AnalyzeOptions options;
+  options.monitored_columns["Host"] = {};  // all columns
+  Analysis analysis = Analyze(rules, options);
+  for (const Diagnostic& d : analysis.diagnostics) {
+    EXPECT_NE(d.code, "NW208") << d.message;
+  }
+}
+
+TEST_F(CrossPlaneTest, Nw208SilentWithoutMonitorSpec) {
+  std::string rules =
+      "IpRoute(0, 0, \"Route\", p as bit<16>) :- Host(_, _, _, p),"
+      " Learn(_).\n"
+      "Acl(s, s, 1, \"Discard\") :- Learn(s).\n";
+  Analysis analysis = Analyze(rules);  // no spec: the audit is off
+  for (const Diagnostic& d : analysis.diagnostics) {
+    EXPECT_NE(d.code, "NW208") << d.message;
+  }
+}
+
+TEST_F(CrossPlaneTest, Nw208TableAbsentFromSpecWarnsAllColumns) {
+  // A spec that only mentions some other table means Host itself is
+  // unmonitored: every bound column warns.
+  std::string rules =
+      "IpRoute(0, 0, \"Route\", p as bit<16>) :- Host(_, _, _, p),"
+      " Learn(_).\n"
+      "Acl(s, s, 1, \"Discard\") :- Learn(s).\n";
+  AnalyzeOptions options;
+  options.monitored_columns["Elsewhere"] = {};
+  Analysis analysis = Analyze(rules, options);
+  int count = 0;
+  for (const Diagnostic& d : analysis.diagnostics) {
+    if (d.code == "NW208") ++count;
+  }
+  EXPECT_EQ(count, 3);  // ip, plen, port (never _uuid)
+}
+
 // --- NW3xx: P4 IR reachability ---------------------------------------------
 
 class P4ChecksTest : public CrossPlaneTest {};

@@ -447,5 +447,207 @@ TEST_F(DatabaseTest, ForcedUuidInsertRejectsDuplicates) {
   EXPECT_FALSE(db_.TransactText(duplicate).ok());
 }
 
+// --- Scale features: indexed select, partial map mutate, column-scoped
+// monitors, on-demand fetch (the OVSDB-improvements quartet) ---
+
+TEST_F(DatabaseTest, IndexedSelectUsesUniqueIndex) {
+  ASSERT_TRUE(db_.TransactText(R"([
+    {"op": "insert", "table": "Bridge",
+     "row": {"name": "br0", "datapath": "system"}},
+    {"op": "insert", "table": "Bridge",
+     "row": {"name": "br1", "datapath": "netdev"}}
+  ])").ok());
+  uint64_t before = db_.indexed_selects();
+
+  // Equality on the indexed column probes instead of scanning.
+  auto hit = db_.SelectRows("Bridge", {{"name", "==", Datum::String("br1")}});
+  ASSERT_TRUE(hit.ok());
+  ASSERT_EQ(hit->size(), 1u);
+  EXPECT_EQ((*hit)[0]->Find("datapath")->AsString(), "netdev");
+  EXPECT_EQ(db_.indexed_selects(), before + 1);
+
+  // Missing key: indexed miss, not a scan.
+  auto miss = db_.SelectRows("Bridge", {{"name", "==", Datum::String("zz")}});
+  ASSERT_TRUE(miss.ok());
+  EXPECT_TRUE(miss->empty());
+  EXPECT_EQ(db_.indexed_selects(), before + 2);
+
+  // Extra clauses still verify against the probed row.
+  auto narrowed = db_.SelectRows(
+      "Bridge", {{"name", "==", Datum::String("br1")},
+                 {"datapath", "==", Datum::String("system")}});
+  ASSERT_TRUE(narrowed.ok());
+  EXPECT_TRUE(narrowed->empty());
+  EXPECT_EQ(db_.indexed_selects(), before + 3);
+
+  // Non-equality functions and unindexed columns fall back to the scan.
+  (void)db_.SelectRows("Bridge", {{"datapath", "==", Datum::String("netdev")}});
+  (void)db_.SelectRows("Port", {{"tag", ">=", Datum::Integer(0)}});
+  EXPECT_EQ(db_.indexed_selects(), before + 3);
+}
+
+TEST_F(DatabaseTest, IndexedSelectByUuidAndInTransactWhere) {
+  ASSERT_TRUE(db_.TransactText(R"([
+    {"op": "insert", "table": "Bridge",
+     "row": {"name": "br0", "datapath": "system"}}
+  ])").ok());
+  Uuid uuid = db_.SelectRows("Bridge", {})->front()->uuid;
+  uint64_t before = db_.indexed_selects();
+
+  auto by_uuid = db_.SelectRows("Bridge", {{"_uuid", "==",
+                                            Datum::UuidRef(uuid)}});
+  ASSERT_TRUE(by_uuid.ok());
+  EXPECT_EQ(by_uuid->size(), 1u);
+  EXPECT_EQ(db_.indexed_selects(), before + 1);
+
+  // Transaction `where` matching takes the same fast path.
+  ASSERT_TRUE(db_.TransactText(R"([
+    {"op": "update", "table": "Bridge", "where": [["name", "==", "br0"]],
+     "row": {"datapath": "netdev"}}
+  ])").ok());
+  EXPECT_GT(db_.indexed_selects(), before + 1);
+  EXPECT_EQ(db_.SelectRows("Bridge", {})->front()
+                ->Find("datapath")->AsString(), "netdev");
+}
+
+TEST_F(DatabaseTest, MutateSetKeyAndDelKey) {
+  ASSERT_TRUE(db_.TransactText(R"([
+    {"op": "insert", "table": "Port",
+     "row": {"name": "eth0", "stats": ["map", [["rx", 10], ["errs", 1]]]},
+     "uuid-name": "p"},
+    {"op": "insert", "table": "Bridge",
+     "row": {"name": "br0", "ports": ["named-uuid", "p"],
+             "datapath": "system"}}
+  ])").ok());
+
+  // setkey overwrites an existing key and inserts a fresh one.
+  auto result = db_.TransactText(R"([
+    {"op": "mutate", "table": "Port", "where": [["name", "==", "eth0"]],
+     "mutations": [["stats", "setkey", ["map", [["rx", 11]]]],
+                   ["stats", "setkey", ["map", [["tx", 5]]]]]}
+  ])");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const Datum* stats = db_.SelectRows("Port", {})->front()->Find("stats");
+  EXPECT_EQ(stats->MapGet(Atom("rx"))->integer(), 11);
+  EXPECT_EQ(stats->MapGet(Atom("tx"))->integer(), 5);
+
+  // delkey removes present keys; absent keys are a no-op, not an error.
+  result = db_.TransactText(R"([
+    {"op": "mutate", "table": "Port", "where": [["name", "==", "eth0"]],
+     "mutations": [["stats", "delkey", ["set", ["errs", "nope"]]]]}
+  ])");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  stats = db_.SelectRows("Port", {})->front()->Find("stats");
+  EXPECT_FALSE(stats->MapGet(Atom("errs")).has_value());
+  EXPECT_EQ(stats->size(), 2u);  // rx, tx
+
+  // setkey on a non-map column is a type error and rolls back.
+  EXPECT_FALSE(db_.TransactText(R"([
+    {"op": "mutate", "table": "Port", "where": [],
+     "mutations": [["tag", "setkey", ["map", [["x", 1]]]]]}
+  ])").ok());
+}
+
+TEST_F(DatabaseTest, ColumnScopedMonitorProjectsAndSuppresses) {
+  ASSERT_TRUE(db_.TransactText(R"([
+    {"op": "insert", "table": "Port", "row": {"name": "eth0", "tag": 1},
+     "uuid-name": "p"},
+    {"op": "insert", "table": "Bridge",
+     "row": {"name": "br0", "ports": ["named-uuid", "p"],
+             "datapath": "system"}}
+  ])").ok());
+
+  std::vector<TableUpdates> batches;
+  db_.AddMonitorColumns({{"Port", {"name"}}},
+                        [&](const TableUpdates& updates) {
+                          batches.push_back(updates);
+                        });
+  // Initial snapshot arrives projected to the selected columns.
+  ASSERT_EQ(batches.size(), 1u);
+  const Row& initial = *batches[0].at("Port").begin()->second.new_row;
+  EXPECT_NE(initial.Find("name"), nullptr);
+  EXPECT_EQ(initial.Find("tag"), nullptr);
+
+  // A commit touching only unselected columns does not fire the callback.
+  ASSERT_TRUE(db_.TransactText(R"([
+    {"op": "update", "table": "Port", "where": [["name", "==", "eth0"]],
+     "row": {"tag": 9}}
+  ])").ok());
+  EXPECT_EQ(batches.size(), 1u);
+
+  // Changes to selected columns still arrive (projected).
+  ASSERT_TRUE(db_.TransactText(R"([
+    {"op": "update", "table": "Port", "where": [["name", "==", "eth0"]],
+     "row": {"name": "eth1"}}
+  ])").ok());
+  ASSERT_EQ(batches.size(), 2u);
+  const RowUpdate& modify = batches[1].at("Port").begin()->second;
+  EXPECT_TRUE(modify.is_modify());
+  EXPECT_EQ(modify.new_row->Find("name")->AsString(), "eth1");
+  EXPECT_EQ(modify.new_row->Find("tag"), nullptr);
+
+  // Unmonitored tables stay invisible.
+  ASSERT_TRUE(db_.TransactText(R"([
+    {"op": "update", "table": "Bridge", "where": [["name", "==", "br0"]],
+     "row": {"datapath": "netdev"}}
+  ])").ok());
+  EXPECT_EQ(batches.size(), 2u);
+}
+
+TEST_F(DatabaseTest, FetchRowsProjectsOnDemand) {
+  ASSERT_TRUE(db_.TransactText(R"([
+    {"op": "insert", "table": "Port",
+     "row": {"name": "eth0", "tag": 3, "stats": ["map", [["rx", 10]]]},
+     "uuid-name": "p"},
+    {"op": "insert", "table": "Bridge",
+     "row": {"name": "br0", "ports": ["named-uuid", "p"],
+             "datapath": "system"}}
+  ])").ok());
+
+  auto where = Json::Parse(R"([["name", "==", "eth0"]])");
+  ASSERT_TRUE(where.ok());
+  auto fetched = db_.FetchRows("Port", *where, {"_uuid", "stats"});
+  ASSERT_TRUE(fetched.ok()) << fetched.status().ToString();
+  const Json::Array& rows = fetched->Find("rows")->as_array();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_NE(rows[0].Find("stats"), nullptr);
+  EXPECT_NE(rows[0].Find("_uuid"), nullptr);
+  EXPECT_EQ(rows[0].Find("name"), nullptr);  // not requested
+
+  // Empty column list = everything.
+  auto all = db_.FetchRows("Port", *where, {});
+  ASSERT_TRUE(all.ok());
+  EXPECT_NE(all->Find("rows")->as_array()[0].Find("name"), nullptr);
+
+  // Errors: unknown table, unknown column, malformed where.
+  EXPECT_FALSE(db_.FetchRows("Nope", *where, {}).ok());
+  EXPECT_FALSE(db_.FetchRows("Port", *where, {"bogus"}).ok());
+  EXPECT_FALSE(db_.FetchRows("Port", Json(42), {}).ok());
+}
+
+TEST_F(DatabaseTest, TxnBuilderSetKeyDelKey) {
+  ASSERT_TRUE(db_.TransactText(R"([
+    {"op": "insert", "table": "Port", "row": {"name": "eth0"},
+     "uuid-name": "p"},
+    {"op": "insert", "table": "Bridge",
+     "row": {"name": "br0", "ports": ["named-uuid", "p"],
+             "datapath": "system"}}
+  ])").ok());
+
+  TxnBuilder txn(&db_);
+  txn.MutateSetKey("Port", {{"name", "==", Datum::String("eth0")}},
+                   "stats", Atom("rx"), Atom(int64_t{7}));
+  ASSERT_TRUE(txn.Commit().ok());
+  txn.MutateSetKey("Port", {{"name", "==", Datum::String("eth0")}},
+                   "stats", Atom("rx"), Atom(int64_t{8}));
+  txn.MutateDelKey("Port", {{"name", "==", Datum::String("eth0")}},
+                   "stats", Atom("absent"));
+  ASSERT_TRUE(txn.Commit().ok());
+
+  const Datum* stats = db_.SelectRows("Port", {})->front()->Find("stats");
+  EXPECT_EQ(stats->MapGet(Atom("rx"))->integer(), 8);
+  EXPECT_EQ(stats->size(), 1u);
+}
+
 }  // namespace
 }  // namespace nerpa::ovsdb

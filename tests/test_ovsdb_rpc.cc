@@ -408,5 +408,155 @@ TEST_F(RpcTest, TwoClientsSeeEachOthersCommits) {
   EXPECT_EQ(updates, 1);
 }
 
+// --- Scale features over the wire: fetch, column-scoped monitors,
+// priority sessions + slow-consumer shedding, stats thread-safety ---
+
+TEST_F(RpcTest, FetchOnDemandOverTheWire) {
+  ASSERT_TRUE(client_.Transact(Json::Parse(R"([
+    {"op": "insert", "table": "Port",
+     "row": {"name": "p1", "port": 1, "vlan_mode": "access", "tag": 10}},
+    {"op": "insert", "table": "Port",
+     "row": {"name": "p2", "port": 2, "vlan_mode": "trunk", "tag": 20}}
+  ])").value()).ok());
+
+  auto fetched = client_.Fetch("Port", Json::Parse(R"([["name","==","p2"]])")
+                                           .value(), {"tag", "vlan_mode"});
+  ASSERT_TRUE(fetched.ok()) << fetched.status().ToString();
+  const Json::Array& rows = fetched->Find("rows")->as_array();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].Find("tag")->as_integer(), 20);
+  EXPECT_EQ(rows[0].Find("vlan_mode")->as_string(), "trunk");
+  EXPECT_EQ(rows[0].Find("name"), nullptr);  // not requested
+
+  // Unknown table and unknown column surface as errors, not crashes.
+  EXPECT_FALSE(client_.Fetch("Nope", Json(Json::Array{}), {}).ok());
+  EXPECT_FALSE(client_.Fetch("Port", Json(Json::Array{}), {"bogus"}).ok());
+}
+
+TEST_F(RpcTest, ColumnScopedMonitorOverTheWire) {
+  int updates_seen = 0;
+  Json last_update;
+  auto initial = client_.MonitorColumns(
+      Json("cols"), {{"Port", {"name"}}},
+      [&](const Json&, const Json& updates) {
+        ++updates_seen;
+        last_update = updates;
+      });
+  ASSERT_TRUE(initial.ok()) << initial.status().ToString();
+
+  ASSERT_TRUE(client_.Transact(Json::Parse(R"([
+    {"op": "insert", "table": "Port",
+     "row": {"name": "p1", "port": 1, "vlan_mode": "access", "tag": 10}}
+  ])").value()).ok());
+  ASSERT_GE(client_.WaitForUpdate(2000).value(), 1);
+  ASSERT_EQ(updates_seen, 1);
+  // The insert arrives projected: name only.
+  const Json::Object& rows = last_update.Find("Port")->as_object();
+  ASSERT_EQ(rows.size(), 1u);
+  const Json& new_row = *rows.begin()->second.Find("new");
+  EXPECT_NE(new_row.Find("name"), nullptr);
+  EXPECT_EQ(new_row.Find("tag"), nullptr);
+
+  // A commit touching only unselected columns produces no notification.
+  ASSERT_TRUE(client_.Transact(Json::Parse(R"([
+    {"op": "update", "table": "Port", "where": [["name", "==", "p1"]],
+     "row": {"tag": 99}}
+  ])").value()).ok());
+  // A selected-column change right after must be the NEXT thing seen.
+  ASSERT_TRUE(client_.Transact(Json::Parse(R"([
+    {"op": "update", "table": "Port", "where": [["name", "==", "p1"]],
+     "row": {"name": "p1b"}}
+  ])").value()).ok());
+  ASSERT_GE(client_.WaitForUpdate(2000).value(), 1);
+  EXPECT_EQ(updates_seen, 2);  // tag-only commit was invisible
+  EXPECT_EQ(last_update.Find("Port")->as_object().begin()
+                ->second.Find("new")->Find("name")->as_string(), "p1b");
+}
+
+TEST(RpcPriority, PrioritySessionSurvivesSlowConsumerShed) {
+  OvsdbServer server(std::make_unique<Database>(snvs::SnvsSchema()));
+  server.set_max_outbox_bytes(8 * 1024);  // tiny cap: shed fast
+  server.set_send_buffer_bytes(4 * 1024); // tiny SO_SNDBUF: back up fast
+  ASSERT_TRUE(server.Start().ok());
+
+  // Two monitor subscribers that stop reading, one of them priority, and
+  // one writer blasting fat rows through.
+  OvsdbClient slow, priority, writer;
+  ASSERT_TRUE(slow.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE(priority.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE(writer.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE(priority.SetPriority(1).ok());
+  int slow_updates = 0, priority_updates = 0;
+  ASSERT_TRUE(slow.Monitor(Json("s"), {"Port"},
+                           [&](const Json&, const Json&) { ++slow_updates; })
+                  .ok());
+  ASSERT_TRUE(priority.Monitor(Json("p"), {"Port"},
+                               [&](const Json&, const Json&) {
+                                 ++priority_updates;
+                               })
+                  .ok());
+
+  // ~4KB per row; neither subscriber polls, so the kernel buffers fill and
+  // outboxes grow until the cap sheds the non-priority session.
+  std::string fat(4000, 'x');
+  for (int i = 0; i < 100 && server.slow_consumer_drops() == 0; ++i) {
+    std::string op = StrFormat(
+        R"([{"op": "insert", "table": "Port",
+             "row": {"name": "%s-%d", "port": %d,
+                     "vlan_mode": "access", "tag": 1}}])",
+        fat.c_str(), i, i % 60000);
+    ASSERT_TRUE(writer.Transact(Json::Parse(op).value()).ok());
+  }
+  EXPECT_GE(server.slow_consumer_drops(), 1u);
+
+  // The priority session was exempt: it can still drain its stream.
+  auto drained = priority.WaitForUpdate(2000);
+  ASSERT_TRUE(drained.ok()) << drained.status().ToString();
+  EXPECT_GE(priority_updates, 1);
+
+  // The shed session is really gone: its next read hits a closed socket.
+  bool slow_dead = false;
+  for (int i = 0; i < 100 && !slow_dead; ++i) {
+    auto poll = slow.Poll();
+    if (!poll.ok()) slow_dead = true;
+  }
+  EXPECT_TRUE(slow_dead);
+  server.Stop();
+}
+
+TEST_F(RpcTest, SessionStatsReadableWhileHealing) {
+  // TSan regression (the PR-3 stats_mu_ fix, client edition): a
+  // supervisor thread sampling session_stats() must not race the owning
+  // thread bumping counters mid-heal.
+  OvsdbClient::HealPolicy policy;
+  policy.enabled = true;
+  client_.set_heal_policy(policy);
+  ASSERT_TRUE(client_.Monitor(Json("m"), {"Port"},
+                              [](const Json&, const Json&) {})
+                  .ok());
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> sampled{0};
+  std::thread sampler([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      OvsdbClient::SessionStats stats = client_.session_stats();
+      sampled.fetch_add(stats.reconnects + 1, std::memory_order_relaxed);
+      (void)server_->requests_served();
+      (void)server_->slow_consumer_drops();
+    }
+  });
+  for (int i = 0; i < 20; ++i) {
+    client_.InjectTransportFault();
+    std::string op = StrFormat(
+        R"([{"op": "insert", "table": "Port",
+             "row": {"name": "p%d", "port": %d,
+                     "vlan_mode": "access", "tag": 1}}])", i, i + 1);
+    ASSERT_TRUE(client_.Transact(Json::Parse(op).value()).ok());
+  }
+  stop.store(true, std::memory_order_release);
+  sampler.join();
+  EXPECT_GE(client_.session_stats().reconnects, 20u);
+  EXPECT_GT(sampled.load(), 0u);
+}
+
 }  // namespace
 }  // namespace nerpa::ovsdb

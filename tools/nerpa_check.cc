@@ -8,6 +8,13 @@
 //   --json            machine-readable output (stable NWxxx codes + spans)
 //   --werror          exit nonzero on warnings, not just errors
 //   --list-builtins   print the packaged stack names and exit
+//   --monitored Table[:col1,col2]
+//                     declare the monitor spec for NW208: the controller's
+//                     OVSDB monitor streams these columns of Table (no
+//                     colon = every column); repeatable
+//   --on-demand Table:col1[,col2]
+//                     columns of Table the controller fetches on demand
+//                     instead of monitoring (NW208); repeatable
 //
 // File mode inputs:
 //   --schema  an OVSDB schema in the JSON wire format ("tables": {...})
@@ -22,12 +29,14 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "analyze/analyze.h"
+#include "common/strings.h"
 #include "ovsdb/schema.h"
 #include "p4/text.h"
 #include "stacks.h"
@@ -42,6 +51,7 @@ int Usage(const char* argv0) {
       "usage: %s --builtin <name> [--json] [--werror]\n"
       "       %s --dlog <rules> [--schema <ovsschema>] [--p4 <p4>]\n"
       "          [--decls-included] [--json] [--werror]\n"
+      "          [--monitored Table[:cols]]... [--on-demand Table:cols]...\n"
       "       %s --list-builtins\n",
       argv0, argv0, argv0);
   return 2;
@@ -64,7 +74,28 @@ struct Args {
   bool json = false;
   bool werror = false;
   bool list_builtins = false;
+  std::map<std::string, std::vector<std::string>> monitored;
+  std::map<std::string, std::vector<std::string>> on_demand;
 };
+
+/// "Table" or "Table:col1,col2" → an entry in a monitor-spec map.  A bare
+/// table name covers every column.
+bool ParseMonitorSpec(const char* text,
+                      std::map<std::string, std::vector<std::string>>& spec) {
+  std::string_view view = text;
+  std::string table(view.substr(0, view.find(':')));
+  if (table.empty()) return false;
+  std::vector<std::string>& columns = spec[table];
+  if (view.find(':') == std::string_view::npos) {
+    columns.clear();  // bare name = all columns, even if listed before
+    return true;
+  }
+  for (std::string_view column : Split(view.substr(table.size() + 1), ',')) {
+    if (column.empty()) return false;
+    columns.emplace_back(column);
+  }
+  return true;
+}
 
 bool ParseArgs(int argc, char** argv, Args& args) {
   for (int i = 1; i < argc; ++i) {
@@ -88,6 +119,18 @@ bool ParseArgs(int argc, char** argv, Args& args) {
       const char* v = value();
       if (v == nullptr) return false;
       args.dlog_path = v;
+    } else if (arg == "--monitored") {
+      const char* v = value();
+      if (v == nullptr || !ParseMonitorSpec(v, args.monitored)) {
+        std::fprintf(stderr, "--monitored wants Table[:col1,col2]\n");
+        return false;
+      }
+    } else if (arg == "--on-demand") {
+      const char* v = value();
+      if (v == nullptr || !ParseMonitorSpec(v, args.on_demand)) {
+        std::fprintf(stderr, "--on-demand wants Table:col1[,col2]\n");
+        return false;
+      }
     } else if (arg == "--decls-included") {
       args.decls_included = true;
     } else if (arg == "--json") {
@@ -212,6 +255,9 @@ int main(int argc, char** argv) {
     options.rules_include_decls =
         args.decls_included || input.schema == nullptr || input.p4 == nullptr;
   }
+
+  options.monitored_columns = args.monitored;
+  options.on_demand_columns = args.on_demand;
 
   auto analysis = analyze::AnalyzeStack(input, options);
   if (!analysis.ok()) {

@@ -2,16 +2,28 @@
 // plane as its own process, like the prototype's ovsdb-server.
 //
 //   $ ./build/tools/ovsdb_server schema.json 6640
-//   $ ./build/tools/ovsdb_server --snvs 6640        # built-in snvs schema
+//   $ ./build/tools/ovsdb_server --snvs 6640          # built-in snvs schema
+//   $ ./build/tools/ovsdb_server --snvs 6640 --http-port 8080
 //
 // Clients speak the JSON-RPC methods in src/ovsdb/server.h (get_schema,
-// transact, monitor, monitor_cancel, echo, list_dbs).
+// transact, monitor, monitor_cancel, fetch, echo, list_dbs).  With
+// --http-port the northbound gateway (src/gateway) fronts the same
+// database over HTTP/JSON-RPC: GET /v1/table/<T>, POST /v1/transact,
+// POST /jsonrpc, GET /v1/changes, with read-through caching and admission
+// control.
+//
+// SIGINT/SIGTERM shut down gracefully: the gateway stops accepting and
+// drains in-flight requests, the OVSDB server flushes queued monitor
+// deltas, and the process exits 0.
 #include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
+#include <string>
 
+#include "gateway/gateway.h"
 #include "ovsdb/server.h"
 #include "snvs/snvs.h"
 
@@ -20,21 +32,68 @@
 namespace {
 volatile std::sig_atomic_t g_stop = 0;
 void HandleSignal(int) { g_stop = 1; }
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s (schema.json | --snvs) [port]\n"
+               "          [--http-port N] [--http-workers N]\n",
+               argv0);
+}
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2 || argc > 3) {
-    std::fprintf(stderr,
-                 "usage: %s (schema.json | --snvs) [port]\n", argv[0]);
+  std::string schema_arg;
+  uint16_t port = 0;
+  bool have_port = false;
+  int http_port = -1;  // -1 = no gateway
+  int http_workers = 4;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--http-port") {
+      http_port = std::atoi(value());
+      if (http_port < 0 || http_port > 65535) {
+        std::fprintf(stderr, "bad --http-port\n");
+        return 2;
+      }
+    } else if (arg == "--http-workers") {
+      http_workers = std::atoi(value());
+      if (http_workers < 1) {
+        std::fprintf(stderr, "bad --http-workers\n");
+        return 2;
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      return 0;
+    } else if (schema_arg.empty()) {
+      schema_arg = arg;
+    } else if (!have_port) {
+      port = static_cast<uint16_t>(std::atoi(arg.c_str()));
+      have_port = true;
+    } else {
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+  if (schema_arg.empty()) {
+    Usage(argv[0]);
     return 2;
   }
+
   nerpa::ovsdb::DatabaseSchema schema;
-  if (std::strcmp(argv[1], "--snvs") == 0) {
+  if (schema_arg == "--snvs") {
     schema = nerpa::snvs::SnvsSchema();
   } else {
-    std::ifstream in(argv[1]);
+    std::ifstream in(schema_arg);
     if (!in) {
-      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      std::fprintf(stderr, "cannot open %s\n", schema_arg.c_str());
       return 2;
     }
     std::ostringstream text;
@@ -46,7 +105,6 @@ int main(int argc, char** argv) {
     }
     schema = std::move(parsed).value();
   }
-  uint16_t port = argc == 3 ? static_cast<uint16_t>(std::atoi(argv[2])) : 0;
 
   nerpa::ovsdb::OvsdbServer server(
       std::make_unique<nerpa::ovsdb::Database>(std::move(schema)));
@@ -56,11 +114,39 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("ovsdb server: db '%s' listening on 127.0.0.1:%u\n",
-              argv[1], server.port());
+              schema_arg.c_str(), server.port());
+
+  std::unique_ptr<nerpa::gateway::Gateway> gateway;
+  if (http_port >= 0) {
+    nerpa::gateway::Gateway::Options options;
+    options.backend_port = server.port();
+    options.http_port = static_cast<uint16_t>(http_port);
+    options.workers = http_workers;
+    gateway = std::make_unique<nerpa::gateway::Gateway>(options);
+    nerpa::Status up = gateway->Start();
+    if (!up.ok()) {
+      std::fprintf(stderr, "gateway: %s\n", up.ToString().c_str());
+      server.Stop();
+      return 1;
+    }
+    std::printf("gateway: http on 127.0.0.1:%u (%d workers)\n",
+                gateway->http_port(), http_workers);
+  }
   std::fflush(stdout);
+
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
   while (!g_stop) pause();
+
+  // Orderly drain: the gateway first (stops accepting, finishes in-flight
+  // backend work, flushes its sockets), then the OVSDB server (flushes
+  // queued monitor deltas before closing) — so nothing a client was
+  // promised is truncated.
+  if (gateway) {
+    gateway->Stop();
+    std::printf("gateway: drained (%llu requests served)\n",
+                static_cast<unsigned long long>(gateway->requests_served()));
+  }
   std::printf("shutting down (%llu requests served)\n",
               static_cast<unsigned long long>(server.requests_served()));
   server.Stop();
