@@ -11,16 +11,26 @@
 // engine still builds its arrangements/indexes).  Phase 2 deletes the load
 // balancers one by one.
 //
-// Two variants run in SEPARATE child processes (so RSS is clean):
+// Three variants run in SEPARATE child processes (so RSS is clean):
 //   * dlog       — the automatically incremental engine (join rule)
+//   * restore    — the same engine warm-started from a SerializeState()
+//                  checkpoint instead of recomputing the join
 //   * imperative — a hand-written C++ controller with exactly the maps it
 //                  needs and nothing more
 //
 // Expected shape: the dlog variant uses MORE cpu and MORE memory — this is
-// the cost of generality the paper reports (2x CPU / 5x RAM).
+// the cost of generality the paper reports (2x CPU / 5x RAM).  The restore
+// variant shows what arrangement checkpointing buys back: loading derived
+// state is a linear scan, so it beats recomputation outright.
+//
+// With --baseline=FILE the bench compares the machine-independent ratios
+// (dlog/imperative CPU, restore speedup) against the checked-in baseline
+// and exits nonzero on a >30% regression (tune with --regress-frac=F).
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <set>
+#include <sstream>
 #include <string>
 
 #include "bench/bench_util.h"
@@ -73,6 +83,55 @@ int RunDlogVariant(int kLbs) {
     }
   }
   if (!engine.Commit().ok()) return 1;
+  double cold_seconds = cold.ElapsedSeconds();
+  size_t flows = engine.Size("LbFlow");
+
+  Stopwatch del;
+  for (int lb = 0; lb < kLbs; ++lb) {
+    for (int v = 0; v < kVipsPerLb; ++v) {
+      (void)engine.Delete("Lb", Row{Value::Int(lb), Value::Int(Vip(lb, v))});
+    }
+    for (int b = 0; b < kBackendsPerLb; ++b) {
+      (void)engine.Delete("Backend",
+                          Row{Value::Int(lb), Value::Int(Ip(lb, b))});
+    }
+    if (!engine.Commit().ok()) return 1;
+  }
+  double del_seconds = del.ElapsedSeconds();
+  double cpu = static_cast<double>(ProcessCpuNanos() - cpu0) * 1e-9;
+  std::printf("%f %lld %f %f %zu\n", cpu,
+              static_cast<long long>(CurrentRssBytes()), cold_seconds,
+              del_seconds, flows);
+  return 0;
+}
+
+/// Child process: cold start from a checkpoint blob instead of recomputing.
+/// The build+serialize prep runs untimed; measurement starts at Restore(),
+/// which is what a controller restart actually pays.
+int RunRestoreVariant(int kLbs) {
+  auto program = dlog::Program::Parse(kProgram);
+  if (!program.ok()) return 1;
+  std::string blob;
+  {
+    Engine builder(*program);
+    for (int lb = 0; lb < kLbs; ++lb) {
+      for (int v = 0; v < kVipsPerLb; ++v) {
+        (void)builder.Insert("Lb",
+                             Row{Value::Int(lb), Value::Int(Vip(lb, v))});
+      }
+      for (int b = 0; b < kBackendsPerLb; ++b) {
+        (void)builder.Insert("Backend",
+                             Row{Value::Int(lb), Value::Int(Ip(lb, b))});
+      }
+    }
+    if (!builder.Commit().ok()) return 1;
+    blob = builder.SerializeState();
+  }  // the "crashed" engine is gone; restart starts here
+  int64_t cpu0 = ProcessCpuNanos();
+  Stopwatch cold;
+  auto restored = Engine::Restore(*program, blob);
+  if (!restored.ok()) return 1;
+  Engine& engine = **restored;
   double cold_seconds = cold.ElapsedSeconds();
   size_t flows = engine.Size("LbFlow");
 
@@ -156,7 +215,16 @@ bool RunChild(const char* self, const char* variant, const BenchArgs& args,
                      &out->cold, &out->del, &out->flows) == 5;
 }
 
-int Run(const char* self, const BenchArgs& args) {
+int Run(const char* self, int argc, char** argv, const BenchArgs& args) {
+  std::string baseline_path;
+  double regress_frac = 0.30;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--baseline=", 11) == 0) {
+      baseline_path = argv[i] + 11;
+    } else if (std::strncmp(argv[i], "--regress-frac=", 15) == 0) {
+      regress_frac = std::atof(argv[i] + 15);
+    }
+  }
   const int kLbs = args.Scaled(kBaseLbs);
   Banner("E5 / §2.2",
          "load-balancer cold start + delete-each: the incremental worst "
@@ -164,15 +232,17 @@ int Run(const char* self, const BenchArgs& args) {
   std::printf("workload: %d LBs x %d VIPs x %d backends = %d derived flows\n\n",
               kLbs, kVipsPerLb, kBackendsPerLb,
               kLbs * kVipsPerLb * kBackendsPerLb);
-  ChildResult dlog_result, imp_result;
+  ChildResult dlog_result, restore_result, imp_result;
   if (!RunChild(self, "dlog", args, &dlog_result) ||
+      !RunChild(self, "restore", args, &restore_result) ||
       !RunChild(self, "imperative", args, &imp_result)) {
     std::fprintf(stderr, "child variant failed\n");
     return 1;
   }
-  if (dlog_result.flows != imp_result.flows) {
-    std::fprintf(stderr, "variants disagree on flow count: %zu vs %zu\n",
-                 dlog_result.flows, imp_result.flows);
+  if (dlog_result.flows != imp_result.flows ||
+      dlog_result.flows != restore_result.flows) {
+    std::fprintf(stderr, "variants disagree on flow count: %zu vs %zu vs %zu\n",
+                 dlog_result.flows, restore_result.flows, imp_result.flows);
     return 1;
   }
   Table table({"variant", "cold start", "delete phase", "CPU total",
@@ -181,20 +251,32 @@ int Run(const char* self, const BenchArgs& args) {
                 bench::Ms(dlog_result.del), bench::Ms(dlog_result.cpu),
                 StrFormat("%.1f MiB",
                           static_cast<double>(dlog_result.rss) / 1048576.0)});
+  table.AddRow({"dlog (checkpoint restore)", bench::Ms(restore_result.cold),
+                bench::Ms(restore_result.del), bench::Ms(restore_result.cpu),
+                StrFormat("%.1f MiB",
+                          static_cast<double>(restore_result.rss) /
+                              1048576.0)});
   table.AddRow({"imperative (hand-written)", bench::Ms(imp_result.cold),
                 bench::Ms(imp_result.del), bench::Ms(imp_result.cpu),
                 StrFormat("%.1f MiB",
                           static_cast<double>(imp_result.rss) / 1048576.0)});
   table.Print();
+  double cpu_ratio = dlog_result.cpu / imp_result.cpu;
+  double restore_speedup = restore_result.cold > 0
+                               ? dlog_result.cold / restore_result.cold
+                               : 0;
   std::printf(
       "\nratios (dlog / imperative): CPU %.1fx, RSS %.1fx\n"
+      "checkpoint restore: %.1fx faster than recomputing the cold start\n"
       "paper reference: DDlog took 2x the CPU and 5x the RAM of the C\n"
       "implementation on this benchmark (§2.2).  Expected shape: the\n"
       "automatically incremental engine LOSES here — indexing for\n"
-      "incrementality is pure overhead on a build-then-tear-down workload.\n",
-      dlog_result.cpu / imp_result.cpu,
+      "incrementality is pure overhead on a build-then-tear-down workload;\n"
+      "checkpointing sidesteps the recomputation entirely.\n",
+      cpu_ratio,
       static_cast<double>(dlog_result.rss) /
-          static_cast<double>(imp_result.rss));
+          static_cast<double>(imp_result.rss),
+      restore_speedup);
 
   JsonEmitter emitter("lb_coldstart", args);
   emitter.Param("load_balancers", kLbs);
@@ -210,12 +292,65 @@ int Run(const char* self, const BenchArgs& args) {
   emitter.Metric("imperative_cpu_s", imp_result.cpu);
   emitter.Metric("imperative_rss_bytes",
                  static_cast<int64_t>(imp_result.rss));
-  emitter.Metric("cpu_dlog_over_imperative",
-                 dlog_result.cpu / imp_result.cpu);
+  emitter.Metric("restore_cold_start_s", restore_result.cold);
+  emitter.Metric("restore_delete_phase_s", restore_result.del);
+  emitter.Metric("restore_cpu_s", restore_result.cpu);
+  emitter.Metric("restore_rss_bytes",
+                 static_cast<int64_t>(restore_result.rss));
+  emitter.Metric("cpu_dlog_over_imperative", cpu_ratio);
   emitter.Metric("rss_dlog_over_imperative",
                  static_cast<double>(dlog_result.rss) /
                      static_cast<double>(imp_result.rss));
+  emitter.Metric("restore_speedup_vs_cold", restore_speedup);
   emitter.Write();
+
+  // --- CI gate: the machine-independent ratios against the checked-in
+  // baseline.  cpu_dlog_over_imperative is a ceiling (regressions push it
+  // up); restore_speedup_vs_cold is a floor (regressions pull it down).
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path);
+    if (!in) {
+      std::fprintf(stderr, "bench: cannot open baseline %s\n",
+                   baseline_path.c_str());
+      return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    auto parsed = Json::Parse(text.str());
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "bench: baseline parse: %s\n",
+                   parsed.status().ToString().c_str());
+      return 1;
+    }
+    const Json* metrics = parsed.value().Find("metrics");
+    const Json* cpu_ref =
+        metrics == nullptr ? nullptr : metrics->Find("cpu_dlog_over_imperative");
+    const Json* speedup_ref =
+        metrics == nullptr ? nullptr : metrics->Find("restore_speedup_vs_cold");
+    if (cpu_ref == nullptr || !cpu_ref->is_number() ||
+        speedup_ref == nullptr || !speedup_ref->is_number()) {
+      std::fprintf(stderr,
+                   "bench: baseline lacks cpu_dlog_over_imperative / "
+                   "restore_speedup_vs_cold\n");
+      return 1;
+    }
+    double cpu_ceiling = cpu_ref->as_double() * (1.0 + regress_frac);
+    double speedup_floor = speedup_ref->as_double() * (1.0 - regress_frac);
+    std::printf("baseline gate: cpu ratio %.2fx vs %.2fx ceiling, restore "
+                "speedup %.2fx vs %.2fx floor (regress-frac %.2f)\n",
+                cpu_ratio, cpu_ceiling, restore_speedup, speedup_floor,
+                regress_frac);
+    if (cpu_ratio > cpu_ceiling) {
+      std::fprintf(stderr, "bench: REGRESSION: cpu ratio %.2fx > %.2fx\n",
+                   cpu_ratio, cpu_ceiling);
+      return 1;
+    }
+    if (restore_speedup < speedup_floor) {
+      std::fprintf(stderr, "bench: REGRESSION: restore speedup %.2fx < %.2fx\n",
+                   restore_speedup, speedup_floor);
+      return 1;
+    }
+  }
   return 0;
 }
 
@@ -227,8 +362,11 @@ int main(int argc, char** argv) {
   if (argc > 1 && std::strcmp(argv[1], "dlog") == 0) {
     return nerpa::RunDlogVariant(args.Scaled(nerpa::kBaseLbs));
   }
+  if (argc > 1 && std::strcmp(argv[1], "restore") == 0) {
+    return nerpa::RunRestoreVariant(args.Scaled(nerpa::kBaseLbs));
+  }
   if (argc > 1 && std::strcmp(argv[1], "imperative") == 0) {
     return nerpa::RunImperativeVariant(args.Scaled(nerpa::kBaseLbs));
   }
-  return nerpa::Run(argv[0], args);
+  return nerpa::Run(argv[0], argc, argv, args);
 }

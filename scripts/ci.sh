@@ -42,7 +42,9 @@ run_suite build-ci-asan \
 # TSan is incompatible with ASan, so it gets its own build; restrict the run
 # to the suites that actually exercise threads (controller dispatch pool,
 # OVSDB TCP service thread, HTTP gateway event loop + workers, HA restart,
-# chaos fault storms, snvs integration end to end) to keep the wall clock
+# chaos fault storms, snvs integration end to end, and the dlog
+# differential suite whose parallel-bootstrap case forces a 4-thread
+# semi-naive fan-out regardless of core count) to keep the wall clock
 # sane.
 echo "=== configure build-ci-tsan ==="
 cmake -B build-ci-tsan -S . \
@@ -51,10 +53,11 @@ cmake -B build-ci-tsan -S . \
 echo "=== build build-ci-tsan ==="
 cmake --build build-ci-tsan -j "$JOBS" \
   --target test_controller test_ha test_ha_restart test_common \
-  test_ovsdb_rpc test_gateway test_chaos test_snvs_integration
+  test_ovsdb_rpc test_gateway test_chaos test_snvs_integration \
+  test_dlog_differential
 echo "=== test build-ci-tsan (concurrency suites) ==="
 ctest --test-dir build-ci-tsan --output-on-failure -j "$JOBS" \
-  -R 'test_controller|test_ha|test_ha_restart|test_common|test_ovsdb_rpc|test_gateway|test_chaos|test_snvs_integration'
+  -R 'test_controller|test_ha|test_ha_restart|test_common|test_ovsdb_rpc|test_gateway|test_chaos|test_snvs_integration|test_dlog_differential'
 
 # Chaos soak: the pinned seeds in tests/test_chaos.cc each drive 50+
 # faults across all three planes (device write failures, transport drops,
@@ -90,5 +93,15 @@ build-ci-bench/bench/bench_gateway --scale=0.1 \
   --out=build-ci-bench/bench-out >/dev/null
 test -s build-ci-bench/bench-out/BENCH_gateway.json || {
   echo "bench_gateway produced no BENCH_gateway.json" >&2; exit 1; }
+
+# Cold-start bench is a perf gate too, on machine-independent ratios: the
+# dlog/imperative CPU ratio must not blow past the checked-in ceiling
+# (bootstrap fast path regressed) and checkpoint restore must stay
+# decisively faster than recomputation.  Full scale — the ratios are
+# noisy below ~40 LBs.
+echo "--- bench_lb_coldstart --scale=1 (regression gate) ---"
+build-ci-bench/bench/bench_lb_coldstart --scale=1 \
+  --baseline=bench/baselines/BENCH_lb_coldstart_baseline.json \
+  --out=build-ci-bench/bench-out >/dev/null
 
 echo "CI: all suites passed"

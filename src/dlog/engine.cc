@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 #include <functional>
+#include <thread>
 
+#include "common/hash.h"
 #include "common/log.h"
 #include "common/strings.h"
 #include "dlog/eval.h"
@@ -59,24 +62,75 @@ class Engine::Txn {
   using Overlay = std::unordered_map<int, RelOverlay>;
 
   explicit Txn(Engine* engine)
-      : e_(*engine), program_(*engine->program_) {}
+      : e_(*engine), program_(*engine->program_) {
+    // Pre-size the per-step-depth scratch buffers to the deepest rule body,
+    // so recursive ExecSteps frames can hold references into them without
+    // any resize invalidating an outer frame's buffer.
+    size_t max_steps = 1;
+    for (const CompiledRule& rule : program_.rules()) {
+      max_steps = std::max(max_steps, rule.steps.size());
+    }
+    key_buffers_.resize(max_steps);
+    trail_buffers_.resize(max_steps);
+  }
 
   Result<TxnDelta> Run(bool is_init) {
     is_init_ = is_init;
     overlay_ = nullptr;
+    if (e_.options_.enable_bootstrap && EngineIsEmpty()) {
+      return RunBootstrap();
+    }
     Status status = Execute();
     if (!status.ok()) {
       // Failed Commit() contract: undo every partial effect so the engine
       // is byte-identical to its pre-transaction state.
       Rollback();
       Cleanup();
+      FlushCounters();
       return status;
     }
     TxnDelta out = CollectOutputs();
     ResetLogs();
     Cleanup();
+    FlushCounters();
     ++e_.transactions_;
     return out;
+  }
+
+  /// Linear pass over a relation's contents inserting every row into every
+  /// arrangement index (bulk build: reserve once, no flip/deleted
+  /// recording).  Used by the bootstrap fold and checkpoint restore.
+  void BuildArrangements(int rel) {
+    if (!e_.options_.use_arrangements) return;
+    RelState& state = e_.relations_[static_cast<size_t>(rel)];
+    const auto& specs = program_.arrangements()[static_cast<size_t>(rel)];
+    for (size_t a = 0; a < specs.size(); ++a) {
+      const std::vector<int>& positions = specs[a].key_positions;
+      Arrangement& arr = state.arrangements[a];
+      arr.index.reserve(state.counts.size());
+      for (const auto& [row, count] : state.counts) {
+        RowView key = ProjectInto(row, positions, arr_key_buf_);
+        auto it = arr.index.find(key);
+        if (it == arr.index.end()) {
+          ++c_.key_rows_materialized;
+          it = arr.index.emplace(MaterializeKey(key), RowSet{}).first;
+        }
+        it->second.insert(row);
+      }
+    }
+  }
+
+  /// Merges transaction-local hot-path counters into the engine totals.
+  /// Called single-threaded: at the end of Run() for the main transaction,
+  /// and after the pool barrier for bootstrap workers.
+  void FlushCounters() {
+    e_.rule_firings_ += c_.rule_firings;
+    e_.probes_ += c_.probes;
+    e_.probe_hits_ += c_.probe_hits;
+    e_.scans_ += c_.scans;
+    e_.key_rows_materialized_ += c_.key_rows_materialized;
+    e_.key_allocs_saved_ += c_.key_allocs_saved;
+    c_ = Counters{};
   }
 
  private:
@@ -168,7 +222,7 @@ class Engine::Txn {
   void BumpFlip(Arrangement& arr, RowView key, int direction) {
     auto it = arr.flips.find(key);
     if (it == arr.flips.end()) {
-      ++e_.key_rows_materialized_;
+      ++c_.key_rows_materialized;
       arr.flips.emplace(MaterializeKey(key), direction);
       return;
     }
@@ -196,7 +250,7 @@ class Engine::Txn {
         if (direction > 0) {
           auto it = arr.index.find(key);
           if (it == arr.index.end()) {
-            ++e_.key_rows_materialized_;
+            ++c_.key_rows_materialized;
             it = arr.index.emplace(MaterializeKey(key), RowSet{}).first;
             BumpFlip(arr, key, +1);
           }
@@ -207,7 +261,7 @@ class Engine::Txn {
           it->second.erase(*row);
           auto del = arr.deleted.find(key);
           if (del == arr.deleted.end()) {
-            ++e_.key_rows_materialized_;
+            ++c_.key_rows_materialized;
             del = arr.deleted.emplace(MaterializeKey(key),
                                       std::vector<Row>{}).first;
           }
@@ -324,7 +378,7 @@ class Engine::Txn {
         mode == Mode::kOld && !state.set_delta.empty() ? &state.set_delta
                                                        : nullptr;
     if (arrangement >= 0 && !e_.options_.use_arrangements) {
-      ++e_.scans_;
+      ++c_.scans;
       // Ablation mode: scan and filter by the arrangement's key positions.
       const auto& positions =
           program_.arrangements()[static_cast<size_t>(rel)]
@@ -359,12 +413,12 @@ class Engine::Txn {
       return true;
     }
     if (arrangement >= 0) {
-      ++e_.probes_;
-      ++e_.key_allocs_saved_;
+      ++c_.probes;
+      ++c_.key_allocs_saved;
       Arrangement& arr = state.arrangements[static_cast<size_t>(arrangement)];
       auto bucket = arr.index.find(key);
       if (bucket != arr.index.end()) {
-        ++e_.probe_hits_;
+        ++c_.probe_hits;
         for (const Row& row : bucket->second) {
           if (ov != nullptr && OverlayHides(*ov, row)) continue;
           if (txn_inserted != nullptr) {
@@ -395,7 +449,7 @@ class Engine::Txn {
       return true;
     }
     // Full scan.
-    ++e_.scans_;
+    ++c_.scans;
     for (const auto& [row, count] : state.counts) {
       if (ov != nullptr && OverlayHides(*ov, row)) continue;
       if (txn_inserted != nullptr) {
@@ -528,7 +582,7 @@ class Engine::Txn {
                    Sink&& sink) {
     const CompiledRule& rule = *exec.rule;
     if (step_index >= rule.steps.size()) {
-      ++e_.rule_firings_;
+      ++c_.rule_firings;
       return sink(frame_);
     }
     if (static_cast<int>(step_index) == exec.skip_step) {
@@ -554,9 +608,12 @@ class Engine::Txn {
                            std::forward<Sink>(sink));
         }
         Status status = Status::Ok();
+        // Per-depth trail scratch (pre-sized in the ctor): rebinding per
+        // matched row never heap-allocates.
+        std::vector<int>& trail = trail_buffers_[step_index];
         ForEachMatch(step.relation, lookup.arrangement, key, mode,
                      [&](const Row& row) {
-                       std::vector<int> trail;
+                       trail.clear();
                        if (MatchTerms(step.terms, row, trail)) {
                          Status s =
                              ExecSteps(exec, step_index + 1, lookup_index + 1,
@@ -602,7 +659,7 @@ class Engine::Txn {
       }
       case BodyElem::Kind::kAggregate: {
         if (exec.stop_at_aggregate) {
-          ++e_.rule_firings_;
+          ++c_.rule_firings;
           return sink(frame_);
         }
         return Internal("aggregate reached in non-aggregate execution");
@@ -632,9 +689,18 @@ class Engine::Txn {
     return body();
   }
 
-  /// Evaluates the head expressions into a row.
+  /// Evaluates the head expressions into a row.  All-bare-variable heads
+  /// (the common case) gather straight from frame slots — no expression
+  /// evaluation on the emit hot path.
   Result<Row> HeadRow(const CompiledRule& rule) {
     Row row;
+    if (rule.head_all_vars) {
+      row.reserve(rule.head_var_slots.size());
+      for (int slot : rule.head_var_slots) {
+        row.push_back(frame_[static_cast<size_t>(slot)]);
+      }
+      return row;
+    }
     row.reserve(rule.head_exprs.size());
     for (const ExprPtr& expr : rule.head_exprs) {
       NERPA_ASSIGN_OR_RETURN(Value v, EvalExpr(*expr, frame_));
@@ -892,7 +958,9 @@ class Engine::Txn {
     // Non-recursive SCCs contain exactly one relation.
     int head_rel = stratum.relations[0];
     // Scratch z-set reused across strata and transactions: steady-state
-    // commits accumulate head rows with zero hash-table rehashes.
+    // commits accumulate head rows with zero hash-table rehashes.  (A flat
+    // stage-sort-net buffer was measured here and lost: sorting fat
+    // (Row, weight) pairs costs more than warm hash buckets.)
     ZSet& head_delta = head_scratch_;
     head_delta.clear();
     for (int rule_index : stratum.rules) {
@@ -1114,7 +1182,7 @@ class Engine::Txn {
         auto& index = w.inserted_index[a];
         auto it = index.find(key);
         if (it == index.end()) {
-          ++e_.key_rows_materialized_;
+          ++c_.key_rows_materialized;
           it = index.emplace(MaterializeKey(key), std::vector<Row>{}).first;
         }
         it->second.push_back(row);
@@ -1322,6 +1390,10 @@ class Engine::Txn {
   // --- Inputs / outputs / cleanup ---
 
   Status ApplyInputs() {
+    if (e_.pending_.empty()) return Status::Ok();
+    if (e_.pending_.size() <= e_.options_.small_commit_ops) {
+      return ApplyInputsSmall();
+    }
     // Net presence change per (relation, row), respecting op order.
     std::map<int, std::vector<std::pair<Row, int>>> net;
     std::map<int, std::unordered_map<Row, bool, RowHash, RowEq>> finals;
@@ -1343,14 +1415,56 @@ class Engine::Txn {
     return Status::Ok();
   }
 
+  /// Small-commit fast path: the batch is tiny, so last-op-wins netting is
+  /// a quadratic scan over the pending vector and per-relation grouping
+  /// reuses persistent scratch — no std::map nodes, no hash tables, no
+  /// allocations in steady state.
+  Status ApplyInputsSmall() {
+    const auto& pending = e_.pending_;
+    for (auto& [rel, delta] : small_input_scratch_) delta.clear();
+    for (size_t i = 0; i < pending.size(); ++i) {
+      const auto& [rel, row, direction] = pending[i];
+      bool superseded = false;  // a later op on the same (rel, row) wins
+      for (size_t j = i + 1; j < pending.size() && !superseded; ++j) {
+        superseded =
+            std::get<0>(pending[j]) == rel && std::get<1>(pending[j]) == row;
+      }
+      if (superseded) continue;
+      RelState& state = e_.relations_[static_cast<size_t>(rel)];
+      bool present_final = direction > 0;
+      if ((state.counts.count(row) != 0) == present_final) continue;
+      std::vector<std::pair<Row, int>>* delta = nullptr;
+      for (auto& [r, d] : small_input_scratch_) {
+        if (r == rel) {
+          delta = &d;
+          break;
+        }
+      }
+      if (delta == nullptr) {
+        delta = &small_input_scratch_.emplace_back(rel,
+                                                   std::vector<std::pair<Row, int>>{})
+                     .second;
+      }
+      delta->emplace_back(row, present_final ? +1 : -1);
+    }
+    e_.pending_.clear();
+    for (const auto& [rel, delta] : small_input_scratch_) {
+      if (!delta.empty()) FoldSetDelta(rel, delta);
+    }
+    return Status::Ok();
+  }
+
   TxnDelta CollectOutputs() {
     TxnDelta out;
-    for (size_t rel = 0; rel < program_.relations().size(); ++rel) {
-      const RelationDecl& decl = program_.relations()[rel];
+    // Only relations touched this transaction can carry a delta.
+    for (int rel : dirty_rels_) {
+      const RelationDecl& decl =
+          program_.relations()[static_cast<size_t>(rel)];
       if (decl.role != RelationRole::kOutput) continue;
-      RelState& state = e_.relations_[rel];
+      RelState& state = e_.relations_[static_cast<size_t>(rel)];
       if (state.set_delta.empty()) continue;
       SetDelta delta;
+      delta.reserve(state.set_delta.size());
       for (const auto& [row, d] : state.set_delta) {
         if (d != 0) delta.emplace_back(row, d > 0 ? +1 : -1);
       }
@@ -1362,6 +1476,493 @@ class Engine::Txn {
       out.outputs[decl.name] = std::move(delta);
     }
     return out;
+  }
+
+  // --- Bootstrap: full evaluation into a completely empty engine ---
+  //
+  // The delta-rule expansion is wasted work when the engine holds nothing:
+  // every delta variant except "pinned on the last-bound positive literal"
+  // joins against empty OLD state, the undo log records a fold per derived
+  // row that rollback could replace with "wipe to empty", and set-delta
+  // bookkeeping tracks transitions that are all trivially 0 -> 1.  So a
+  // transaction against an empty engine runs here instead: one full
+  // evaluation per rule in uniform NEW mode against the already-folded
+  // lower strata, bulk-built arrangements, and no per-row undo/delta
+  // bookkeeping.  Outputs are byte-identical to the incremental path
+  // (differential-tested); rollback is a wipe back to empty.
+
+  bool EngineIsEmpty() const {
+    for (const RelState& state : e_.relations_) {
+      if (!state.counts.empty()) return false;
+    }
+    for (const AggState& agg : e_.agg_states_) {
+      if (!agg.groups.empty()) return false;
+    }
+    return true;
+  }
+
+  Result<TxnDelta> RunBootstrap() {
+    Status status = ExecuteBootstrap();
+    if (!status.ok()) {
+      WipeToEmpty();
+      FlushCounters();
+      return status;
+    }
+    TxnDelta out = CollectBootstrapOutputs();
+    for (int rel : dirty_rels_) {
+      e_.relations_[static_cast<size_t>(rel)].dirty = false;
+    }
+    dirty_rels_.clear();
+    FlushCounters();
+    ++e_.transactions_;
+    return out;
+  }
+
+  Status ExecuteBootstrap() {
+    ApplyInputsBootstrap();
+    for (const Stratum& stratum : program_.strata()) {
+      if (stratum.recursive) {
+        NERPA_RETURN_IF_ERROR(BootstrapRecursive(stratum));
+      } else {
+        NERPA_RETURN_IF_ERROR(BootstrapNonRecursive(stratum));
+      }
+    }
+    return Status::Ok();
+  }
+
+  /// Nets the queued inputs straight into relation counts.  Last op per
+  /// (relation, row) wins, so the batch is walked backwards and the first
+  /// op seen decides; tombstones are tracked only for final deletes (a
+  /// bootstrap batch — e.g. a monitor full dump — is typically all
+  /// inserts, so the common case allocates nothing extra).
+  void ApplyInputsBootstrap() {
+    std::unordered_map<int, RowSet> final_deletes;
+    for (auto it = e_.pending_.rbegin(); it != e_.pending_.rend(); ++it) {
+      const auto& [rel, row, direction] = *it;
+      if (direction > 0) {
+        auto fd = final_deletes.find(rel);
+        if (fd != final_deletes.end() && fd->second.count(row) != 0) continue;
+        RelState& state = e_.relations_[static_cast<size_t>(rel)];
+        if (state.counts.emplace(row, 1).second) MarkDirty(rel);
+      } else {
+        final_deletes[rel].insert(row);
+      }
+    }
+    e_.pending_.clear();
+    for (int rel : dirty_rels_) BuildArrangements(rel);
+  }
+
+  /// The positive literal whose relation holds the most rows: the best
+  /// axis to partition the join pass across workers.  -1 if the body has
+  /// no positive literal.
+  int ChooseBootstrapPin(const CompiledRule& rule) const {
+    int best = -1;
+    size_t best_rows = 0;
+    for (size_t s = 0; s < rule.steps.size(); ++s) {
+      const StepPlan& step = rule.steps[s];
+      if (step.kind != BodyElem::Kind::kLiteral || step.negated) continue;
+      size_t rows =
+          e_.relations_[static_cast<size_t>(step.relation)].counts.size();
+      if (best < 0 || rows > best_rows) {
+        best = static_cast<int>(s);
+        best_rows = rows;
+      }
+    }
+    return best;
+  }
+
+  static const DeltaPlan* FindDeltaPlan(const CompiledRule& rule,
+                                        int pinned_step) {
+    for (const DeltaPlan& plan : rule.delta_plans) {
+      if (plan.pinned_step == pinned_step) return &plan;
+    }
+    return nullptr;
+  }
+
+  /// Evaluates `rule` over a slice of the pinned relation's rows, with all
+  /// other literals read in NEW mode, appending head derivations to `out`.
+  /// Runs on worker Txns during the parallel bootstrap: reads only shared
+  /// engine state (stable during a stratum's evaluation) and writes only
+  /// this Txn's scratch plus `out`.
+  Status BootstrapEvalPinned(const CompiledRule& rule, const DeltaPlan& plan,
+                             const Row* const* rows, size_t n,
+                             std::vector<Row>& out) {
+    const StepPlan& pinned =
+        rule.steps[static_cast<size_t>(plan.pinned_step)];
+    Exec exec;
+    exec.rule = &rule;
+    exec.lookups = &plan.lookups;
+    exec.skip_step = plan.pinned_step;
+    exec.pinned_step = plan.pinned_step;
+    exec.delta_modes = false;
+    exec.uniform_mode = Mode::kNew;
+    auto emit = [&](std::vector<Value>&) -> Status {
+      return EmitBootstrapHead(rule, out);
+    };
+    std::vector<int>& trail =
+        trail_buffers_[static_cast<size_t>(plan.pinned_step)];
+    for (size_t i = 0; i < n; ++i) {
+      const Row& row = *rows[i];
+      NERPA_RETURN_IF_ERROR(WithFrame(rule, [&]() -> Status {
+        trail.clear();
+        if (!MatchTerms(pinned.terms, row, trail)) return Status::Ok();
+        return ExecSteps(exec, 0, 0, emit);
+      }));
+    }
+    return Status::Ok();
+  }
+
+  /// Lazily builds the engine's bootstrap pool + per-worker Txns; returns
+  /// the worker count (1 = stay serial).
+  size_t EnsureWorkers() {
+    size_t want = e_.options_.bootstrap_threads;
+    if (want == 0) {
+      unsigned hw = std::thread::hardware_concurrency();
+      want = hw == 0 ? 1 : std::min<size_t>(hw, 16);
+    }
+    if (want <= 1) return 1;
+    if (e_.bootstrap_pool_ == nullptr) {
+      e_.bootstrap_pool_ = std::make_unique<nerpa::ThreadPool>(want);
+      for (size_t i = 0; i < want; ++i) {
+        e_.bootstrap_workers_.push_back(std::make_unique<Txn>(&e_));
+      }
+    }
+    return e_.bootstrap_workers_.size();
+  }
+
+  /// Fans one rule's join pass out across the pool: the pinned relation's
+  /// rows are split into contiguous chunks, each worker Txn evaluates its
+  /// chunk into a private row vector (private frame/scratch/counters,
+  /// shared read-only engine state), and the partials concatenate at the
+  /// barrier.  The stratum fold sorts before aggregating derivation
+  /// counts, so concatenation order cannot affect the result — serial and
+  /// parallel bootstraps are byte-identical.
+  Status BootstrapRuleParallel(const CompiledRule& rule, const DeltaPlan& plan,
+                               RelState& pinned_state,
+                               std::vector<Row>& emitted) {
+    std::vector<const Row*> rows;
+    rows.reserve(pinned_state.counts.size());
+    for (const auto& [row, count] : pinned_state.counts) rows.push_back(&row);
+    size_t n = rows.size();
+    size_t workers = e_.bootstrap_workers_.size();
+    size_t chunk = (n + workers - 1) / workers;
+    std::vector<std::vector<Row>> partial(workers);
+    std::vector<Status> status(workers, Status::Ok());
+    for (size_t w = 0; w < workers; ++w) {
+      size_t begin = w * chunk;
+      size_t end = std::min(n, begin + chunk);
+      if (begin >= end) break;
+      Txn* worker = e_.bootstrap_workers_[w].get();
+      std::vector<Row>* out = &partial[w];
+      Status* st = &status[w];
+      e_.bootstrap_pool_->Submit([worker, &rule, &plan, &rows, begin, end,
+                                  out, st]() {
+        *st = worker->BootstrapEvalPinned(rule, plan, rows.data() + begin,
+                                          end - begin, *out);
+      });
+    }
+    e_.bootstrap_pool_->WaitIdle();
+    for (const std::unique_ptr<Txn>& worker : e_.bootstrap_workers_) {
+      worker->FlushCounters();
+    }
+    for (const Status& st : status) NERPA_RETURN_IF_ERROR(st);
+    for (std::vector<Row>& p : partial) {
+      emitted.insert(emitted.end(), std::make_move_iterator(p.begin()),
+                     std::make_move_iterator(p.end()));
+    }
+    return Status::Ok();
+  }
+
+  Status BootstrapRule(const CompiledRule& rule, std::vector<Row>& emitted) {
+    int pin = ChooseBootstrapPin(rule);
+    if (pin >= 0) {
+      const StepPlan& pinned = rule.steps[static_cast<size_t>(pin)];
+      RelState& pinned_state =
+          e_.relations_[static_cast<size_t>(pinned.relation)];
+      if (pinned_state.counts.empty()) return Status::Ok();  // empty join
+      const DeltaPlan* plan = FindDeltaPlan(rule, pin);
+      if (plan != nullptr &&
+          pinned_state.counts.size() >=
+              e_.options_.parallel_bootstrap_min_rows &&
+          EnsureWorkers() > 1) {
+        return BootstrapRuleParallel(rule, *plan, pinned_state, emitted);
+      }
+    }
+    // Serial: one full evaluation against the post-state of lower strata.
+    Exec exec;
+    exec.rule = &rule;
+    exec.lookups = &rule.full_plan.lookups;
+    exec.delta_modes = false;
+    exec.uniform_mode = Mode::kNew;
+    return WithFrame(rule, [&]() -> Status {
+      return ExecSteps(exec, 0, 0, [&](std::vector<Value>&) -> Status {
+        return EmitBootstrapHead(rule, emitted);
+      });
+    });
+  }
+
+  /// Appends `rule`'s head row for the current frame to `out`.  The
+  /// all-bare-variable head gathers in place, skipping the Result<Row>
+  /// plumbing entirely — this runs once per derived tuple during cold
+  /// start, the single hottest call in a bootstrap.
+  Status EmitBootstrapHead(const CompiledRule& rule, std::vector<Row>& out) {
+    if (rule.head_all_vars) {
+      Row& row = out.emplace_back();
+      row.reserve(rule.head_var_slots.size());
+      for (int slot : rule.head_var_slots) {
+        row.push_back(frame_[static_cast<size_t>(slot)]);
+      }
+      return Status::Ok();
+    }
+    NERPA_ASSIGN_OR_RETURN(Row head, HeadRow(rule));
+    out.push_back(std::move(head));
+    return Status::Ok();
+  }
+
+  /// Bootstrap aggregation: collect all bindings with one full evaluation,
+  /// install the group state wholesale (no undo log — rollback wipes), and
+  /// emit each group's result row.
+  Status BootstrapAggRule(const CompiledRule& rule,
+                          std::vector<Row>& emitted) {
+    const StepPlan& agg =
+        rule.steps[static_cast<size_t>(rule.aggregate_step)];
+    std::unordered_map<Row, ZSet, RowHash, RowEq> collected;
+    Exec exec;
+    exec.rule = &rule;
+    exec.lookups = &rule.full_plan.lookups;
+    exec.delta_modes = false;
+    exec.uniform_mode = Mode::kNew;
+    exec.stop_at_aggregate = true;
+    NERPA_RETURN_IF_ERROR(WithFrame(rule, [&]() -> Status {
+      return ExecSteps(exec, 0, 0, [&](std::vector<Value>&) -> Status {
+        Row group = CollectSlots(agg.group_slots);
+        Row binding = CollectSlots(agg.binding_slots);
+        NERPA_ASSIGN_OR_RETURN(Value arg, EvalExpr(*agg.agg_arg, frame_));
+        binding.push_back(std::move(arg));
+        ++collected[std::move(group)][std::move(binding)];
+        return Status::Ok();
+      });
+    }));
+    if (collected.empty()) return Status::Ok();
+    AggState& state =
+        e_.agg_states_[static_cast<size_t>(agg.agg_state_index)];
+    for (auto& [group, bindings] : collected) {
+      ZSet& group_state = state.groups[group];
+      for (auto& [binding, weight] : bindings) group_state[binding] = weight;
+      std::optional<Value> result = ComputeAgg(agg, group_state);
+      if (!result) continue;
+      frame_.assign(static_cast<size_t>(rule.frame_size), Value());
+      bound_.assign(static_cast<size_t>(rule.frame_size), 0);
+      for (size_t g = 0; g < agg.group_slots.size(); ++g) {
+        size_t slot = static_cast<size_t>(agg.group_slots[g]);
+        frame_[slot] = group[g];
+        bound_[slot] = 1;
+      }
+      frame_[static_cast<size_t>(agg.result_slot)] = *result;
+      bound_[static_cast<size_t>(agg.result_slot)] = 1;
+      NERPA_ASSIGN_OR_RETURN(Row row, HeadRow(rule));
+      emitted.push_back(std::move(row));
+    }
+    return Status::Ok();
+  }
+
+  /// Folds a stratum's emitted head rows into its relation: sort, run-length
+  /// aggregate equal rows into derivation counts, bulk-load, and — because
+  /// the rows are now sorted and unique — emit the output set delta as a
+  /// by-product, exactly matching the sorted form CollectOutputs() produces
+  /// on the incremental path.
+  void FoldBootstrapStratum(int rel, std::vector<Row>& emitted) {
+    if (emitted.empty()) return;
+    MarkDirty(rel);
+    std::sort(emitted.begin(), emitted.end());
+    size_t unique = 0;
+    for (size_t i = 0; i < emitted.size(); ++unique) {
+      size_t j = i + 1;
+      while (j < emitted.size() && emitted[i] == emitted[j]) ++j;
+      i = j;
+    }
+    RelState& state = e_.relations_[static_cast<size_t>(rel)];
+    state.counts.reserve(unique);
+    const RelationDecl& decl = program_.relations()[static_cast<size_t>(rel)];
+    SetDelta* delta = nullptr;
+    if (decl.role == RelationRole::kOutput) {
+      delta = &bootstrap_delta_.outputs[decl.name];
+      delta->reserve(unique);
+    }
+    for (size_t i = 0; i < emitted.size();) {
+      size_t j = i + 1;
+      while (j < emitted.size() && emitted[i] == emitted[j]) ++j;
+      if (delta != nullptr) delta->emplace_back(emitted[i], +1);
+      state.counts.emplace(std::move(emitted[i]),
+                           static_cast<int64_t>(j - i));
+      i = j;
+    }
+    BuildArrangements(rel);
+    emitted.clear();
+  }
+
+  Status BootstrapNonRecursive(const Stratum& stratum) {
+    int head_rel = stratum.relations[0];
+    std::vector<Row>& emitted = bootstrap_emit_;
+    emitted.clear();
+    for (int rule_index : stratum.rules) {
+      const CompiledRule& rule =
+          program_.rules()[static_cast<size_t>(rule_index)];
+      if (rule.has_aggregate) {
+        NERPA_RETURN_IF_ERROR(BootstrapAggRule(rule, emitted));
+      } else {
+        NERPA_RETURN_IF_ERROR(BootstrapRule(rule, emitted));
+      }
+    }
+    FoldBootstrapStratum(head_rel, emitted);
+    return Status::Ok();
+  }
+
+  /// Bootstrap recursion: plain semi-naive insertion from empty SCC state.
+  /// Rules without an SCC positive literal seed via full evaluation (they
+  /// read only already-folded externals); the worklist then drives rules
+  /// pinned on each inserted SCC tuple, exactly like the incremental
+  /// insertion phase.  No DRed pass — nothing can be deleted from empty.
+  Status BootstrapRecursive(const Stratum& stratum) {
+    std::unordered_map<int, SccWork> work;
+    for (int rel : stratum.relations) {
+      SccWork& w = work[rel];
+      w.inserted_index.resize(
+          program_.arrangements()[static_cast<size_t>(rel)].size());
+    }
+    auto in_scc = [&](int rel) { return work.count(rel) != 0; };
+
+    Overlay insert_overlay;
+    for (int rel : stratum.relations) {
+      RelOverlay ov;
+      ov.added = &work[rel].inserted;
+      ov.added_index = &work[rel].inserted_index;
+      insert_overlay[rel] = ov;
+    }
+    overlay_ = &insert_overlay;
+    std::vector<std::pair<int, Row>> insert_worklist;
+    auto insert_tuple = [&](int rel, const Row& row) {
+      SccWork& w = work[rel];
+      if (w.inserted.count(row) != 0) return;
+      w.inserted.insert(row);
+      const auto& specs = program_.arrangements()[static_cast<size_t>(rel)];
+      for (size_t a = 0; a < specs.size(); ++a) {
+        RowView key = ProjectInto(row, specs[a].key_positions, arr_key_buf_);
+        auto& index = w.inserted_index[a];
+        auto it = index.find(key);
+        if (it == index.end()) {
+          ++c_.key_rows_materialized;
+          it = index.emplace(MaterializeKey(key), std::vector<Row>{}).first;
+        }
+        it->second.push_back(row);
+      }
+      insert_worklist.emplace_back(rel, row);
+    };
+
+    auto finish = [&](Status status) {
+      overlay_ = nullptr;
+      return status;
+    };
+    for (int rule_index : stratum.rules) {
+      const CompiledRule& rule =
+          program_.rules()[static_cast<size_t>(rule_index)];
+      bool has_scc_positive = false;
+      for (const StepPlan& step : rule.steps) {
+        if (step.kind == BodyElem::Kind::kLiteral && !step.negated &&
+            in_scc(step.relation)) {
+          has_scc_positive = true;
+          break;
+        }
+      }
+      if (has_scc_positive) continue;  // fires only via the worklist
+      Exec exec;
+      exec.rule = &rule;
+      exec.lookups = &rule.full_plan.lookups;
+      exec.delta_modes = false;
+      exec.uniform_mode = Mode::kNew;
+      Status status = WithFrame(rule, [&]() -> Status {
+        return ExecSteps(exec, 0, 0, [&](std::vector<Value>&) -> Status {
+          NERPA_ASSIGN_OR_RETURN(Row head, HeadRow(rule));
+          insert_tuple(rule.head_relation, head);
+          return Status::Ok();
+        });
+      });
+      if (!status.ok()) return finish(status);
+    }
+    while (!insert_worklist.empty()) {
+      auto [rel, row] = std::move(insert_worklist.back());
+      insert_worklist.pop_back();
+      for (int rule_index : stratum.rules) {
+        const CompiledRule& rule =
+            program_.rules()[static_cast<size_t>(rule_index)];
+        for (const DeltaPlan& plan : rule.delta_plans) {
+          const StepPlan& pinned =
+              rule.steps[static_cast<size_t>(plan.pinned_step)];
+          if (pinned.relation != rel || pinned.negated) continue;
+          Exec exec;
+          exec.rule = &rule;
+          exec.lookups = &plan.lookups;
+          exec.skip_step = plan.pinned_step;
+          exec.delta_modes = false;
+          exec.uniform_mode = Mode::kNew;
+          Status status = WithFrame(rule, [&]() -> Status {
+            std::vector<int> trail;
+            if (!MatchTerms(pinned.terms, row, trail)) return Status::Ok();
+            return ExecSteps(exec, 0, 0, [&](std::vector<Value>&) -> Status {
+              NERPA_ASSIGN_OR_RETURN(Row head, HeadRow(rule));
+              insert_tuple(rule.head_relation, head);
+              return Status::Ok();
+            });
+          });
+          if (!status.ok()) return finish(status);
+        }
+      }
+    }
+    overlay_ = nullptr;
+
+    for (int rel : stratum.relations) {
+      SccWork& w = work[rel];
+      if (w.inserted.empty()) continue;
+      // Reuse the stratum fold: semi-naive insertion already deduplicated,
+      // so every run has length 1 (count 1, set semantics in recursion).
+      std::vector<Row>& emitted = bootstrap_emit_;
+      emitted.clear();
+      emitted.reserve(w.inserted.size());
+      for (const Row& row : w.inserted) emitted.push_back(row);
+      FoldBootstrapStratum(rel, emitted);
+    }
+    return Status::Ok();
+  }
+
+  TxnDelta CollectBootstrapOutputs() {
+    TxnDelta out = std::move(bootstrap_delta_);
+    bootstrap_delta_ = TxnDelta{};
+    return out;
+  }
+
+  /// Bootstrap rollback: the pre-transaction state was empty, so undoing
+  /// is wiping every touched structure rather than replaying a log.
+  void WipeToEmpty() {
+    overlay_ = nullptr;
+    for (int rel : dirty_rels_) {
+      RelState& state = e_.relations_[static_cast<size_t>(rel)];
+      state.dirty = false;
+      state.counts = ZSet{};
+      state.set_delta = ZSet{};
+      state.txn_deleted.clear();
+      for (Arrangement& arr : state.arrangements) {
+        arr.index = {};
+        arr.flips = {};
+        arr.deleted = {};
+      }
+    }
+    dirty_rels_.clear();
+    for (AggState& agg : e_.agg_states_) agg.groups = {};
+    bootstrap_emit_ = std::vector<Row>{};
+    bootstrap_delta_ = TxnDelta{};
+    fold_log_.clear();
+    agg_log_.clear();
+    e_.pending_.clear();
   }
 
   /// clear() on an unordered_map keeps its buckets, and that is the fast
@@ -1431,15 +2032,35 @@ class Engine::Txn {
   std::vector<int> dirty_rels_;        // relations touched this transaction
   ValueVec arr_key_buf_;               // scratch for index-maintenance keys
   std::vector<ValueVec> key_buffers_;  // per-step-depth probe-key buffers
+  std::vector<std::vector<int>> trail_buffers_;  // per-step-depth match
+                                                 // trails (no per-row alloc)
   ZSet head_scratch_;                  // head-delta accumulator (reused)
+  std::vector<Row> bootstrap_emit_;    // bootstrap head-row accumulator
+  TxnDelta bootstrap_delta_;           // bootstrap output deltas (pre-sorted
+                                       // by the stratum fold)
+
+  /// Transaction-local hot-path counters (merged via FlushCounters()).
+  struct Counters {
+    uint64_t rule_firings = 0;
+    uint64_t probes = 0;
+    uint64_t probe_hits = 0;
+    uint64_t scans = 0;
+    uint64_t key_rows_materialized = 0;
+    uint64_t key_allocs_saved = 0;
+  };
+  Counters c_;
+
+  // Small-commit input scratch: per-relation net deltas, reused across
+  // commits so the fast path performs no map/node allocations.
+  std::vector<std::pair<int, std::vector<std::pair<Row, int>>>>
+      small_input_scratch_;
 };
 
 // ---------------------------------------------------------------------------
 // Engine
 // ---------------------------------------------------------------------------
 
-Engine::Engine(std::shared_ptr<const Program> program, EngineOptions options)
-    : program_(std::move(program)), options_(options) {
+void Engine::InitRuntime() {
   relations_.resize(program_->relations().size());
   for (size_t rel = 0; rel < relations_.size(); ++rel) {
     relations_[rel].arrangements.resize(program_->arrangements()[rel].size());
@@ -1460,6 +2081,11 @@ Engine::Engine(std::shared_ptr<const Program> program, EngineOptions options)
   }
   agg_states_.resize(static_cast<size_t>(program_->aggregate_state_count()));
   txn_ = std::make_unique<Txn>(this);
+}
+
+Engine::Engine(std::shared_ptr<const Program> program, EngineOptions options)
+    : program_(std::move(program)), options_(options) {
+  InitRuntime();
   Result<TxnDelta> result = txn_->Run(/*is_init=*/true);
   if (result.ok()) {
     initial_delta_ = std::move(result).value();
@@ -1469,6 +2095,15 @@ Engine::Engine(std::shared_ptr<const Program> program, EngineOptions options)
     LOG_ERROR << "dlog: fact evaluation failed: "
               << result.status().ToString();
   }
+}
+
+Engine::Engine(std::shared_ptr<const Program> program, EngineOptions options,
+               RestoreTag)
+    : program_(std::move(program)), options_(options) {
+  // Restore path: runtime structures only.  The caller loads relation and
+  // aggregation state from the checkpoint; the initial fact transaction
+  // must NOT run (its derivations are part of the checkpointed state).
+  InitRuntime();
 }
 
 int Engine::RelationId(std::string_view name) const {
@@ -1507,6 +2142,280 @@ TxnDelta Engine::TakeInitialDelta() {
   TxnDelta out = std::move(initial_delta_);
   initial_delta_ = TxnDelta{};
   return out;
+}
+
+// --- Checkpointing ---
+//
+// Blob layout (all integers little-endian, host-local — checkpoints are
+// read back on the machine that wrote them):
+//
+//   "NDCK" | u32 version | u64 program fingerprint
+//   u32 nrels | nrels x ( u32 namelen | name | u64 nrows |
+//                         nrows x ( row | i64 count ) )
+//   u32 naggs | naggs x ( u64 ngroups | ngroups x ( group-row |
+//                         u64 nbindings | nbindings x ( row | i64 count ) ) )
+//
+// row   = u32 ncols | ncols x value
+// value = tag byte (1 bool, 2 int, 3 bit, 4 string, 5 tuple) + payload
+//
+// Arrangements are deliberately absent: they are pure derived indexes and
+// one linear BuildArrangements() pass per relation rebuilds them far
+// cheaper than storing them.
+
+namespace {
+
+constexpr char kCheckpointMagic[4] = {'N', 'D', 'C', 'K'};
+constexpr uint32_t kCheckpointVersion = 1;
+constexpr int kMaxValueDepth = 64;
+
+void PutU32(std::string& out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out.append(buf, 4);
+}
+
+void PutU64(std::string& out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out.append(buf, 8);
+}
+
+void PutValue(std::string& out, const Value& v) {
+  if (v.is_bool()) {
+    out.push_back(1);
+    out.push_back(v.as_bool() ? 1 : 0);
+  } else if (v.is_int()) {
+    out.push_back(2);
+    PutU64(out, static_cast<uint64_t>(v.as_int()));
+  } else if (v.is_bit()) {
+    out.push_back(3);
+    PutU64(out, v.as_bit());
+  } else if (v.is_string()) {
+    out.push_back(4);
+    const std::string& s = v.as_string();
+    PutU32(out, static_cast<uint32_t>(s.size()));
+    out.append(s);
+  } else {
+    out.push_back(5);
+    const ValueVec& elems = v.as_tuple();
+    PutU32(out, static_cast<uint32_t>(elems.size()));
+    for (const Value& elem : elems) PutValue(out, elem);
+  }
+}
+
+void PutRow(std::string& out, const Row& row) {
+  PutU32(out, static_cast<uint32_t>(row.size()));
+  for (size_t i = 0; i < row.size(); ++i) PutValue(out, row[i]);
+}
+
+/// Bounds-checked cursor over a checkpoint blob.  Any overrun or malformed
+/// tag latches `ok = false`; readers return zero values after that, and the
+/// caller checks `ok` once at the end of each structure.
+struct BlobReader {
+  const char* p;
+  const char* end;
+  bool ok = true;
+
+  bool Need(size_t n) {
+    if (static_cast<size_t>(end - p) < n) {
+      ok = false;
+      return false;
+    }
+    return true;
+  }
+  uint8_t U8() {
+    if (!Need(1)) return 0;
+    return static_cast<uint8_t>(*p++);
+  }
+  uint32_t U32() {
+    if (!Need(4)) return 0;
+    uint32_t v;
+    std::memcpy(&v, p, 4);
+    p += 4;
+    return v;
+  }
+  uint64_t U64() {
+    if (!Need(8)) return 0;
+    uint64_t v;
+    std::memcpy(&v, p, 8);
+    p += 8;
+    return v;
+  }
+  bool ReadValue(Value& out, int depth) {
+    if (!ok || depth > kMaxValueDepth) {
+      ok = false;
+      return false;
+    }
+    switch (U8()) {
+      case 1:
+        out = Value::Bool(U8() != 0);
+        return ok;
+      case 2:
+        out = Value::Int(static_cast<int64_t>(U64()));
+        return ok;
+      case 3:
+        out = Value::Bit(U64());
+        return ok;
+      case 4: {
+        uint32_t len = U32();
+        if (!Need(len)) return false;
+        out = Value::String(std::string(p, len));
+        p += len;
+        return true;
+      }
+      case 5: {
+        uint32_t n = U32();
+        ValueVec elems;
+        if (!Need(n)) return false;  // each element is >= 1 byte
+        elems.reserve(n);
+        for (uint32_t i = 0; i < n; ++i) {
+          Value elem;
+          if (!ReadValue(elem, depth + 1)) return false;
+          elems.push_back(std::move(elem));
+        }
+        out = Value::Tuple(std::move(elems));
+        return true;
+      }
+      default:
+        ok = false;
+        return false;
+    }
+  }
+  bool ReadRow(Row& out) {
+    uint32_t n = U32();
+    if (!Need(n)) return false;  // each value is >= 1 byte
+    out = Row{};
+    out.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      Value v;
+      if (!ReadValue(v, 0)) return false;
+      out.push_back(std::move(v));
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+uint64_t Engine::StateFingerprint() const {
+  // Canonical program text pins rules, relations, and column types; the
+  // format version pins the blob layout.  Options that only shape derived
+  // indexes (use_arrangements, thread counts) are excluded — Restore()
+  // rebuilds those per its own options.
+  uint64_t h = Fnv1a(program_->ast().ToString());
+  return Fnv1a(&kCheckpointVersion, sizeof(kCheckpointVersion), h);
+}
+
+std::string Engine::SerializeState() const {
+  std::string out;
+  out.append(kCheckpointMagic, sizeof(kCheckpointMagic));
+  PutU32(out, kCheckpointVersion);
+  PutU64(out, StateFingerprint());
+  PutU32(out, static_cast<uint32_t>(relations_.size()));
+  for (size_t rel = 0; rel < relations_.size(); ++rel) {
+    const std::string& name = program_->relations()[rel].name;
+    PutU32(out, static_cast<uint32_t>(name.size()));
+    out.append(name);
+    const ZSet& counts = relations_[rel].counts;
+    PutU64(out, counts.size());
+    for (const auto& [row, count] : counts) {
+      PutRow(out, row);
+      PutU64(out, static_cast<uint64_t>(count));
+    }
+  }
+  PutU32(out, static_cast<uint32_t>(agg_states_.size()));
+  for (const AggState& agg : agg_states_) {
+    PutU64(out, agg.groups.size());
+    for (const auto& [group, bindings] : agg.groups) {
+      PutRow(out, group);
+      PutU64(out, bindings.size());
+      for (const auto& [binding, count] : bindings) {
+        PutRow(out, binding);
+        PutU64(out, static_cast<uint64_t>(count));
+      }
+    }
+  }
+  return out;
+}
+
+Result<std::unique_ptr<Engine>> Engine::Restore(
+    std::shared_ptr<const Program> program, std::string_view blob,
+    EngineOptions options) {
+  if (program == nullptr) return InvalidArgument("null program");
+  auto corrupt = [](const char* what) {
+    return FailedPrecondition(std::string("dlog checkpoint rejected: ") +
+                              what);
+  };
+  std::unique_ptr<Engine> engine(
+      new Engine(std::move(program), options, RestoreTag{}));
+  BlobReader r{blob.data(), blob.data() + blob.size()};
+  if (!r.Need(sizeof(kCheckpointMagic)) ||
+      std::memcmp(r.p, kCheckpointMagic, sizeof(kCheckpointMagic)) != 0) {
+    return corrupt("bad magic");
+  }
+  r.p += sizeof(kCheckpointMagic);
+  if (r.U32() != kCheckpointVersion) return corrupt("unsupported version");
+  if (r.U64() != engine->StateFingerprint() || !r.ok) {
+    return corrupt("program fingerprint mismatch");
+  }
+  if (r.U32() != engine->relations_.size()) {
+    return corrupt("relation count mismatch");
+  }
+  for (size_t rel = 0; rel < engine->relations_.size(); ++rel) {
+    const RelationDecl& decl = engine->program_->relations()[rel];
+    uint32_t name_len = r.U32();
+    if (!r.Need(name_len) ||
+        std::string_view(r.p, name_len) != decl.name) {
+      return corrupt("relation name mismatch");
+    }
+    r.p += name_len;
+    uint64_t nrows = r.U64();
+    if (!r.Need(nrows)) return corrupt("truncated relation");
+    ZSet& counts = engine->relations_[rel].counts;
+    counts.reserve(nrows);
+    for (uint64_t i = 0; i < nrows; ++i) {
+      Row row;
+      if (!r.ReadRow(row)) return corrupt("truncated row");
+      if (row.size() != decl.columns.size()) {
+        return corrupt("row arity mismatch");
+      }
+      int64_t count = static_cast<int64_t>(r.U64());
+      if (!r.ok || count <= 0) return corrupt("bad derivation count");
+      counts.emplace(std::move(row), count);
+    }
+  }
+  if (r.U32() != engine->agg_states_.size()) {
+    return corrupt("aggregate state count mismatch");
+  }
+  for (AggState& agg : engine->agg_states_) {
+    uint64_t ngroups = r.U64();
+    if (!r.Need(ngroups)) return corrupt("truncated aggregate state");
+    agg.groups.reserve(ngroups);
+    for (uint64_t g = 0; g < ngroups; ++g) {
+      Row group;
+      if (!r.ReadRow(group)) return corrupt("truncated group key");
+      ZSet& bindings = agg.groups[std::move(group)];
+      uint64_t nbindings = r.U64();
+      if (!r.Need(nbindings)) return corrupt("truncated group");
+      bindings.reserve(nbindings);
+      for (uint64_t b = 0; b < nbindings; ++b) {
+        Row binding;
+        if (!r.ReadRow(binding)) return corrupt("truncated binding");
+        int64_t count = static_cast<int64_t>(r.U64());
+        if (!r.ok || count <= 0) return corrupt("bad binding count");
+        bindings[std::move(binding)] = count;
+      }
+    }
+  }
+  if (!r.ok) return corrupt("truncated blob");
+  if (r.p != r.end) return corrupt("trailing bytes");
+  for (size_t rel = 0; rel < engine->relations_.size(); ++rel) {
+    if (!engine->relations_[rel].counts.empty()) {
+      engine->txn_->BuildArrangements(static_cast<int>(rel));
+    }
+  }
+  engine->txn_->FlushCounters();
+  return engine;
 }
 
 Result<std::vector<Row>> Engine::Dump(std::string_view relation) const {

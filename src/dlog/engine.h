@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "dlog/program.h"
 
 namespace nerpa::dlog {
@@ -60,6 +61,24 @@ struct EngineOptions {
   /// ablation bench quantifies.  Programs with negation are rejected in
   /// this mode (incremental antijoin needs arrangement presence flips).
   bool use_arrangements = true;
+
+  /// Bootstrap fast path: a transaction against a completely empty engine
+  /// (the cold-start case §2.2 concedes) is evaluated as one full
+  /// evaluation per rule instead of the delta-rule expansion — no undo
+  /// logging, no per-row set-delta bookkeeping, bulk-built arrangements —
+  /// and large join passes fan out across a thread pool.  Results are
+  /// byte-identical to the incremental path (differential-tested).
+  bool enable_bootstrap = true;
+  /// Worker threads for the parallel bootstrap; 0 = hardware concurrency
+  /// (capped), 1 = serial bootstrap evaluation.
+  size_t bootstrap_threads = 0;
+  /// Minimum pinned-relation rows before a rule's join pass fans out.
+  size_t parallel_bootstrap_min_rows = 4096;
+
+  /// Small-commit fast path: transactions with at most this many queued
+  /// input ops skip the map-based input netting (linear scans over the
+  /// batch instead — no node allocations on the per-commit hot path).
+  size_t small_commit_ops = 64;
 };
 
 class Engine {
@@ -87,6 +106,30 @@ class Engine {
 
   /// Output rows derived from fact rules at construction time.
   TxnDelta TakeInitialDelta();
+
+  // --- Checkpointing (between transactions) ---
+
+  /// Serializes the engine's full derived state — relation contents with
+  /// derivation counts plus aggregation group state — into a compact
+  /// versioned binary blob prefixed with a fingerprint of the compiled
+  /// program.  Arrangements are not stored; Restore() rebuilds them with
+  /// one linear pass (no join re-evaluation).
+  std::string SerializeState() const;
+
+  /// Restores an engine from a SerializeState() blob: validates the format
+  /// version and program fingerprint, loads relation counts and
+  /// aggregation state, and rebuilds arrangements.  The restored engine is
+  /// byte-identical to the one that produced the blob (same Dump() output,
+  /// same deltas for subsequent commits); its initial delta is empty.
+  /// Fails (so callers fall back to recomputing) on any mismatch or
+  /// truncation.
+  static Result<std::unique_ptr<Engine>> Restore(
+      std::shared_ptr<const Program> program, std::string_view blob,
+      EngineOptions options = {});
+
+  /// Fingerprint binding a checkpoint to the program that produced it:
+  /// hashes the program's canonical text plus state-affecting options.
+  uint64_t StateFingerprint() const;
 
   // --- Introspection (between transactions) ---
 
@@ -143,6 +186,15 @@ class Engine {
 
   int RelationId(std::string_view name) const;
 
+  /// Tag for the Restore() constructor: build runtime state but skip the
+  /// initial fact-evaluation transaction.
+  struct RestoreTag {};
+  Engine(std::shared_ptr<const Program> program, EngineOptions options,
+         RestoreTag);
+  /// Shared constructor body: sizes runtime structures, validates option
+  /// compatibility, creates the transaction processor.
+  void InitRuntime();
+
   std::shared_ptr<const Program> program_;
   EngineOptions options_;
   std::unique_ptr<Txn> txn_;
@@ -152,12 +204,18 @@ class Engine {
   TxnDelta initial_delta_;
   uint64_t rule_firings_ = 0;
   uint64_t transactions_ = 0;
-  // Hot-path counters (see Stats).
+  // Hot-path counters, cumulative (see Stats).  Transactions accumulate
+  // into transaction-local counters and merge here at commit end, so the
+  // parallel bootstrap workers never contend on (or race over) these.
   uint64_t probes_ = 0;
   uint64_t probe_hits_ = 0;
   uint64_t scans_ = 0;
   uint64_t key_rows_materialized_ = 0;
   uint64_t key_allocs_saved_ = 0;
+
+  // Parallel-bootstrap machinery, created lazily on the first fan-out.
+  std::unique_ptr<nerpa::ThreadPool> bootstrap_pool_;
+  std::vector<std::unique_ptr<Txn>> bootstrap_workers_;
 };
 
 }  // namespace nerpa::dlog

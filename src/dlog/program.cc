@@ -546,6 +546,21 @@ class Compiler {
     }
     out.frame_size = next_slot;
 
+    // Head fast path: all-bare-variable heads gather the row from frame
+    // slots directly at emit time.
+    out.head_all_vars = true;
+    for (const ExprPtr& term : rule.head.terms) {
+      if (term->kind != Expr::Kind::kVar || term->var_slot < 0) {
+        out.head_all_vars = false;
+        break;
+      }
+    }
+    if (out.head_all_vars) {
+      for (const ExprPtr& term : rule.head.terms) {
+        out.head_var_slots.push_back(term->var_slot);
+      }
+    }
+
     // Head pattern (for DRed re-derivation): valid when every head term is
     // a plain variable, a constant, or an affine bigint term `var + k` /
     // `var - k` (invertible: matching binds var = value -+ k).

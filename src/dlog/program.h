@@ -111,6 +111,12 @@ struct CompiledRule {
   bool has_aggregate = false;
   int aggregate_step = -1;
 
+  // Head fast path: every head term is a bare variable, so the engine can
+  // gather a head row straight from frame slots — no expression evaluation
+  // or Result plumbing on the hot emit path.
+  bool head_all_vars = false;
+  std::vector<int> head_var_slots;  // one slot per head column
+
   // Delta plans, one per *positive or negative literal* step index that can
   // be pinned.  For aggregate rules only literals before the aggregate.
   std::vector<DeltaPlan> delta_plans;

@@ -13,17 +13,12 @@ namespace nerpa::dlog {
 
 namespace {
 
-constexpr uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
+using internal::kHashGolden;
+constexpr uint64_t kGolden = kHashGolden;
 
 /// boost-style combine over a raw, already-computed hash.
 inline void MixHash(size_t& seed, size_t h) {
-  seed ^= h + kGolden + (seed << 6) + (seed >> 2);
-}
-
-inline size_t HashScalar(uint8_t tag, uint64_t bits) {
-  size_t seed = tag * kGolden;
-  MixHash(seed, Fnv1a(&bits, sizeof bits));
-  return seed;
+  internal::MixRawHash(seed, h);
 }
 
 inline size_t HashStringContent(std::string_view text) {
@@ -198,35 +193,15 @@ Value Value::Tuple(ValueVec elems) {
   return Value(Tag::kTuple, Pool::Instance().Tuple(std::move(elems)));
 }
 
-size_t Value::Hash() const {
-  switch (tag_) {
-    case Tag::kString:
-      return str_->hash;
-    case Tag::kTuple:
-      return tup_->hash;
-    default:
-      return HashScalar(static_cast<uint8_t>(tag_), bits_);
-  }
+bool Value::StringEqualSlow(const Value& o) const {
+  if (str_->hash != o.str_->hash) return false;
+  return str_->text == o.str_->text;
 }
 
-bool Value::operator==(const Value& o) const {
-  if (tag_ != o.tag_) return false;
-  switch (tag_) {
-    case Tag::kString:
-      // Interned: equal strings share one node, so this is a pointer
-      // compare.  The deep fallback keeps mixed interned/uninterned values
-      // correct.
-      if (str_ == o.str_) return true;
-      if (str_->hash != o.str_->hash) return false;
-      return str_->text == o.str_->text;
-    case Tag::kTuple:
-      if (tup_ == o.tup_) return true;
-      if (tup_->hash != o.tup_->hash) return false;
-      return TupleNodeEq::Equal(tup_->elems, o.tup_->elems.data(),
-                                o.tup_->elems.size());
-    default:
-      return bits_ == o.bits_;
-  }
+bool Value::TupleEqualSlow(const Value& o) const {
+  if (tup_->hash != o.tup_->hash) return false;
+  return TupleNodeEq::Equal(tup_->elems, o.tup_->elems.data(),
+                            o.tup_->elems.size());
 }
 
 namespace {
@@ -236,16 +211,8 @@ int ThreeWay(T a, T b) {
 }
 }  // namespace
 
-int Value::Compare(const Value& o) const {
-  if (tag_ != o.tag_) {
-    return static_cast<int>(tag_) < static_cast<int>(o.tag_) ? -1 : 1;
-  }
+int Value::ComparePayloadSlow(const Value& o) const {
   switch (tag_) {
-    case Tag::kBool:
-    case Tag::kBit:
-      return ThreeWay(bits_, o.bits_);
-    case Tag::kInt:
-      return ThreeWay(as_int(), o.as_int());
     case Tag::kString:
       if (str_ == o.str_) return 0;
       return str_->text.compare(o.str_->text);
@@ -260,8 +227,9 @@ int Value::Compare(const Value& o) const {
       }
       return ThreeWay(a.size(), b.size());
     }
+    default:
+      return 0;
   }
-  return 0;
 }
 
 std::string Value::ToString() const {
@@ -287,12 +255,6 @@ std::string Value::ToString() const {
   return "<bad>";
 }
 
-size_t HashValueRange(const Value* data, size_t size) {
-  size_t seed = kGolden ^ size;
-  for (size_t i = 0; i < size; ++i) MixHash(seed, data[i].Hash());
-  return seed == 0 ? 1 : seed;  // 0 is Row's "not yet computed" sentinel
-}
-
 void Row::Grow(size_t need) {
   size_t cap = std::max<size_t>(need, 2 * size_t{capacity_});
   // Value is trivially copyable, so raw storage plus memcpy is enough; the
@@ -302,29 +264,6 @@ void Row::Grow(size_t need) {
   if (data_ != inline_) ::operator delete(data_);
   data_ = fresh;
   capacity_ = static_cast<uint32_t>(cap);
-}
-
-size_t Row::Hash() const {
-  if (hash_ == 0) hash_ = HashValueRange(data_, size_);
-  return hash_;
-}
-
-bool Row::operator==(const Row& o) const {
-  if (size_ != o.size_) return false;
-  if (hash_ != 0 && o.hash_ != 0 && hash_ != o.hash_) return false;
-  for (size_t i = 0; i < size_; ++i) {
-    if (!(data_[i] == o.data_[i])) return false;
-  }
-  return true;
-}
-
-bool Row::operator<(const Row& o) const {
-  size_t n = std::min(size(), o.size());
-  for (size_t i = 0; i < n; ++i) {
-    int c = data_[i].Compare(o.data_[i]);
-    if (c != 0) return c < 0;
-  }
-  return size() < o.size();
 }
 
 std::string RowToString(const Row& row) {

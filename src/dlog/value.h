@@ -40,6 +40,24 @@ struct InternedTuple {
   size_t hash;
 };
 
+constexpr uint64_t kHashGolden = 0x9e3779b97f4a7c15ULL;
+
+/// boost-style combine over a raw, already-computed hash.
+inline void MixRawHash(size_t& seed, size_t h) {
+  seed ^= h + kHashGolden + (seed << 6) + (seed >> 2);
+}
+
+/// splitmix64 finalizer: a strong 64-bit mix in a handful of ALU ops,
+/// much cheaper than byte-wise FNV for fixed-width scalar payloads.
+inline uint64_t MixBits(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
 }  // namespace internal
 
 /// Ablation/testing switch: when disabled, String()/Tuple() still allocate
@@ -96,20 +114,63 @@ class Value {
   }
 
   /// O(1): scalars mix tag and payload; strings/tuples return the hash
-  /// cached in their interned node.
-  size_t Hash() const;
-  bool operator==(const Value& o) const;
+  /// cached in their interned node.  Inline because arrangement probes and
+  /// z-set folds hash millions of values per commit.
+  size_t Hash() const {
+    switch (tag_) {
+      case Tag::kString:
+        return str_->hash;
+      case Tag::kTuple:
+        return tup_->hash;
+      default:
+        return internal::MixBits(
+            bits_ ^ (static_cast<uint8_t>(tag_) * internal::kHashGolden));
+    }
+  }
+  bool operator==(const Value& o) const {
+    if (tag_ != o.tag_) return false;
+    switch (tag_) {
+      case Tag::kString:
+        // Interned: equal strings share one node, so this is a pointer
+        // compare.  The deep fallback keeps mixed interned/uninterned
+        // values correct.
+        return str_ == o.str_ || StringEqualSlow(o);
+      case Tag::kTuple:
+        return tup_ == o.tup_ || TupleEqualSlow(o);
+      default:
+        return bits_ == o.bits_;
+    }
+  }
   bool operator!=(const Value& o) const { return !(*this == o); }
   bool operator<(const Value& o) const { return Compare(o) < 0; }
   /// Three-way comparison (<0, 0, >0) in the same total order as
   /// operator<; lets sorts pay one comparison per element instead of two.
-  int Compare(const Value& o) const;
+  /// Scalar cases stay inline (the output sort is compare-bound); payload
+  /// comparisons go out of line.
+  int Compare(const Value& o) const {
+    if (tag_ != o.tag_) {
+      return static_cast<int>(tag_) < static_cast<int>(o.tag_) ? -1 : 1;
+    }
+    switch (tag_) {
+      case Tag::kBool:
+      case Tag::kBit:
+        return bits_ < o.bits_ ? -1 : (o.bits_ < bits_ ? 1 : 0);
+      case Tag::kInt:
+        return as_int() < o.as_int() ? -1 : (o.as_int() < as_int() ? 1 : 0);
+      default:
+        return ComparePayloadSlow(o);
+    }
+  }
 
   /// Debug form: true, 42, "s", (a, b).
   std::string ToString() const;
 
  private:
   enum class Tag : uint8_t { kBool = 0, kInt, kBit, kString, kTuple };
+
+  bool StringEqualSlow(const Value& o) const;
+  bool TupleEqualSlow(const Value& o) const;
+  int ComparePayloadSlow(const Value& o) const;
 
   Value(Tag tag, uint64_t bits) : tag_(tag), bits_(bits) {}
   Value(Tag tag, const internal::InternedString* s) : tag_(tag), str_(s) {}
@@ -126,6 +187,14 @@ class Value {
 static_assert(sizeof(Value) == 16, "Value must stay a small tagged word");
 static_assert(std::is_trivially_copyable_v<Value>,
               "Value copies must be memcpy-able");
+
+/// Content hash over a value range; identical to Row::Hash() for the same
+/// values (the transparent-lookup contract).
+inline size_t HashValueRange(const Value* data, size_t size) {
+  size_t seed = internal::kHashGolden ^ size;
+  for (size_t i = 0; i < size; ++i) internal::MixRawHash(seed, data[i].Hash());
+  return seed == 0 ? 1 : seed;  // 0 is Row's "not yet computed" sentinel
+}
 
 /// A relation row: a flat run of values with a memoized content hash, so
 /// z-set and arrangement probes hash each row at most once per mutation.
@@ -188,11 +257,28 @@ class Row {
 
   /// Memoized content hash (computed on first use, invalidated by
   /// mutation).  Equal rows hash equal regardless of interning mode.
-  size_t Hash() const;
+  size_t Hash() const {
+    if (hash_ == 0) hash_ = HashValueRange(data_, size_);
+    return hash_;
+  }
 
-  bool operator==(const Row& o) const;
+  bool operator==(const Row& o) const {
+    if (size_ != o.size_) return false;
+    if (hash_ != 0 && o.hash_ != 0 && hash_ != o.hash_) return false;
+    for (size_t i = 0; i < size_; ++i) {
+      if (!(data_[i] == o.data_[i])) return false;
+    }
+    return true;
+  }
   bool operator!=(const Row& o) const { return !(*this == o); }
-  bool operator<(const Row& o) const;
+  bool operator<(const Row& o) const {
+    size_t n = size_ < o.size_ ? size_ : o.size_;
+    for (size_t i = 0; i < n; ++i) {
+      int c = data_[i].Compare(o.data_[i]);
+      if (c != 0) return c < 0;
+    }
+    return size_ < o.size_;
+  }
 
  private:
   void Assign(const Value* src, size_t n) {
@@ -234,10 +320,6 @@ class Row {
 /// A borrowed key: a contiguous run of values (e.g. a probe key assembled
 /// in a scratch buffer) hash/equality-compatible with Row.
 using RowView = std::span<const Value>;
-
-/// Content hash over a value range; identical to Row::Hash() for the same
-/// values (the transparent-lookup contract).
-size_t HashValueRange(const Value* data, size_t size);
 
 /// Transparent hash/equality so arrangement maps can be probed with a
 /// RowView without materializing a key Row per lookup.

@@ -1,6 +1,7 @@
 #include "ha/durable.h"
 
 #include <algorithm>
+#include <cstring>
 #include <filesystem>
 
 #include "common/hash.h"
@@ -14,10 +15,41 @@ namespace {
 constexpr const char* kSnapshotFormat = "nerpa-ha-snapshot-v1";
 constexpr const char* kTrailerPrefix = "#crc32 ";
 
+// Engine-checkpoint sidecar frame: magic, format version, CRC32 of the
+// payload, payload length, payload bytes.  All integers little-endian.
+constexpr char kCkptMagic[8] = {'n', 'e', 'r', 'p', 'a', 'e', 'c', 'k'};
+constexpr uint32_t kCkptVersion = 1;
+
 std::string SnapshotPath(const std::string& dir) {
   return dir + "/snapshot.json";
 }
 std::string WalPath(const std::string& dir) { return dir + "/wal.jsonl"; }
+
+bool ValidCheckpointName(const std::string& name) {
+  if (name.empty()) return false;
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::string CheckpointPath(const std::string& dir, const std::string& name) {
+  return dir + "/engine." + name + ".ckpt";
+}
+
+void PutLe32(std::string& out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, sizeof(v));
+  out.append(buf, sizeof(buf));
+}
+
+void PutLe64(std::string& out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, sizeof(v));
+  out.append(buf, sizeof(buf));
+}
 
 }  // namespace
 
@@ -304,6 +336,57 @@ Status DurableStore::Checkpoint(int64_t digest_seq) {
   return Status::Ok();
 }
 
+Status DurableStore::WriteEngineCheckpoint(const std::string& name,
+                                           std::string_view blob) {
+  if (!ValidCheckpointName(name)) {
+    return InvalidArgument("bad engine checkpoint name '" + name + "'");
+  }
+  std::string framed;
+  framed.reserve(sizeof(kCkptMagic) + 16 + blob.size());
+  framed.append(kCkptMagic, sizeof(kCkptMagic));
+  PutLe32(framed, kCkptVersion);
+  PutLe32(framed, Crc32(blob));
+  PutLe64(framed, blob.size());
+  framed.append(blob);
+  NERPA_RETURN_IF_ERROR(
+      io_->WriteFileAtomic(CheckpointPath(dir_, name), framed));
+  ++engine_checkpoints_;
+  return Status::Ok();
+}
+
+Result<std::string> DurableStore::ReadEngineCheckpoint(
+    const std::string& name) const {
+  if (!ValidCheckpointName(name)) {
+    return InvalidArgument("bad engine checkpoint name '" + name + "'");
+  }
+  const std::string path = CheckpointPath(dir_, name);
+  if (!io_->Exists(path)) {
+    return NotFound("no engine checkpoint '" + name + "'");
+  }
+  NERPA_ASSIGN_OR_RETURN(std::string framed, io_->ReadFile(path));
+  constexpr size_t kHeader = sizeof(kCkptMagic) + 4 + 4 + 8;
+  auto corrupt = [&](const std::string& why) {
+    return Internal("engine checkpoint '" + path + "' rejected: " + why);
+  };
+  if (framed.size() < kHeader) return corrupt("truncated header");
+  if (std::memcmp(framed.data(), kCkptMagic, sizeof(kCkptMagic)) != 0) {
+    return corrupt("bad magic");
+  }
+  uint32_t version = 0;
+  uint32_t crc = 0;
+  uint64_t size = 0;
+  std::memcpy(&version, framed.data() + sizeof(kCkptMagic), sizeof(version));
+  std::memcpy(&crc, framed.data() + sizeof(kCkptMagic) + 4, sizeof(crc));
+  std::memcpy(&size, framed.data() + sizeof(kCkptMagic) + 8, sizeof(size));
+  if (version != kCkptVersion) {
+    return corrupt(StrFormat("unsupported version %u", version));
+  }
+  if (framed.size() - kHeader != size) return corrupt("length mismatch");
+  std::string blob = framed.substr(kHeader);
+  if (Crc32(blob) != crc) return corrupt("crc mismatch");
+  return blob;
+}
+
 DurableStore::Stats DurableStore::stats() const {
   Stats stats;
   stats.checkpoints = checkpoints_;
@@ -314,6 +397,7 @@ DurableStore::Stats DurableStore::stats() const {
       recovered_truncated_tail_ + wal_.truncated_tail_records();
   stats.wal_records_appended = wal_.records_appended();
   stats.snapshot_fallbacks = snapshot_fallbacks_;
+  stats.engine_checkpoints = engine_checkpoints_;
   return stats;
 }
 

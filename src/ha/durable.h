@@ -77,6 +77,22 @@ class DurableStore {
   /// sequence cursor) and compacts the WAL.
   Status Checkpoint(int64_t digest_seq);
 
+  // --- Engine checkpoint sidecars ---
+  //
+  // Opaque per-component blobs (e.g. dlog::Engine::SerializeState) stored
+  // next to the snapshot as <dir>/engine.<name>.ckpt, CRC32-framed and
+  // written atomically (tmp + rename).  A sidecar is strictly an
+  // accelerator: corruption or absence surfaces as an error and the caller
+  // recomputes the state it would have loaded — never a recovery failure.
+
+  /// Atomically writes `blob` as the checkpoint sidecar `name`
+  /// ([A-Za-z0-9_-]+).
+  Status WriteEngineCheckpoint(const std::string& name, std::string_view blob);
+
+  /// Reads sidecar `name` back, verifying the frame and checksum.
+  /// NotFound when absent; Internal when the frame is damaged.
+  Result<std::string> ReadEngineCheckpoint(const std::string& name) const;
+
   struct Stats {
     uint64_t checkpoints = 0;
     uint64_t snapshot_rows = 0;          // rows in the last snapshot written
@@ -85,6 +101,7 @@ class DurableStore {
     uint64_t truncated_tail_records = 0; // dropped interrupted appends
     uint64_t wal_records_appended = 0;   // since last checkpoint
     uint64_t snapshot_fallbacks = 0;     // recoveries off snapshot.json.1
+    uint64_t engine_checkpoints = 0;     // sidecar blobs written
   };
   Stats stats() const;
 
@@ -124,6 +141,7 @@ class DurableStore {
   uint64_t recovered_wal_records_ = 0;
   uint64_t recovered_truncated_tail_ = 0;
   uint64_t snapshot_fallbacks_ = 0;
+  uint64_t engine_checkpoints_ = 0;
 };
 
 /// Convenience: recover just the database (no live store) from `dir`.

@@ -107,12 +107,44 @@ Status Controller::Start() {
           decl.name.c_str(), expected));
     }
   }
-  engine_ = std::make_unique<dlog::Engine>(program_);
+  // Warm start: restore the engine from the checkpoint blob when one was
+  // supplied and it still matches this program; anything the engine
+  // rejects degrades to a cold start (the checkpoint is an accelerator,
+  // not a correctness dependency).
+  if (!options_.engine_checkpoint.empty()) {
+    Result<std::unique_ptr<dlog::Engine>> restored =
+        dlog::Engine::Restore(program_, options_.engine_checkpoint);
+    if (restored.ok()) {
+      engine_ = std::move(restored).value();
+      reconcile_restored_ = true;
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.engine_restores;
+    } else {
+      LOG_WARNING << "controller: engine checkpoint rejected ("
+                  << restored.status().ToString() << "); cold-starting";
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.engine_restore_rejections;
+    }
+  }
+  if (engine_ == nullptr) engine_ = std::make_unique<dlog::Engine>(program_);
   started_ = true;
   // Restart mode: let the engine absorb the initial state without writing
   // to devices, then reconcile each device against the derived state.
   suppress_writes_ = options_.resync_on_start;
-  // Outputs derived from facts.
+  // The restored engine's multicast rows never flowed through a delta, so
+  // the membership bookkeeping must be seeded from a dump before the first
+  // update lands on top of it.
+  if (reconcile_restored_ && !options_.multicast_relation.empty()) {
+    NERPA_ASSIGN_OR_RETURN(std::vector<dlog::Row> rows,
+                           engine_->Dump(options_.multicast_relation));
+    dlog::SetDelta seed;
+    seed.reserve(rows.size());
+    for (dlog::Row& row : rows) seed.emplace_back(std::move(row), +1);
+    std::vector<DeviceBatch> none;
+    NERPA_RETURN_IF_ERROR(ApplyMulticastDelta(seed, none));
+  }
+  // Outputs derived from facts (empty for a restored engine — its fact
+  // derivations are already part of the checkpointed state).
   dlog::TxnDelta initial = engine_->TakeInitialDelta();
   Status applied = ApplyOutputDelta(initial);
   if (!applied.ok()) {
@@ -129,6 +161,12 @@ Status Controller::Start() {
       tables, [this](const ovsdb::TableUpdates& updates) {
         OnOvsdbUpdate(updates);
       });
+  if (reconcile_restored_) {
+    // Every bound table is empty, so the monitor delivered no initial
+    // update and the restored-engine catch-up has not run; drive it with
+    // an empty snapshot (deleting every restored management-plane row).
+    OnOvsdbUpdate(ovsdb::TableUpdates{});
+  }
   if (options_.resync_on_start) {
     suppress_writes_ = false;
     NERPA_RETURN_IF_ERROR(ResyncAllDevices());
@@ -152,6 +190,13 @@ Status Controller::Start() {
     });
   }
   return last_error();
+}
+
+Result<std::string> Controller::CheckpointEngine() {
+  if (!started_) return FailedPrecondition("controller not started");
+  // Plane lock: SerializeState must see the engine between transactions.
+  std::lock_guard<std::mutex> plane(sync_mu_);
+  return engine_->SerializeState();
 }
 
 size_t Controller::DispatchWorkers(size_t jobs) const {
@@ -225,10 +270,48 @@ void Controller::OnOvsdbUpdate(const ovsdb::TableUpdates& updates) {
   }
 }
 
+Status Controller::QueueRestoredCatchUp(const ovsdb::TableUpdates& updates) {
+  // The monitor's first delivery is the full current contents of every
+  // bound table.  The restored engine's inputs reflect the contents at
+  // checkpoint time; anything it holds that the snapshot no longer shows
+  // was deleted while the controller was down.
+  uint64_t deletes = 0;
+  for (const OvsdbBinding& binding : bindings_.ovsdb_tables) {
+    dlog::RowSet present;
+    auto rows = updates.find(binding.table);
+    if (rows != updates.end()) {
+      const ovsdb::TableSchema* schema = db_->schema().FindTable(binding.table);
+      for (const auto& [uuid, update] : rows->second) {
+        if (!update.new_row) continue;
+        NERPA_ASSIGN_OR_RETURN(dlog::Row row,
+                               OvsdbRowToDlog(*schema, *update.new_row));
+        present.insert(std::move(row));
+      }
+    }
+    NERPA_ASSIGN_OR_RETURN(std::vector<dlog::Row> held,
+                           engine_->Dump(binding.relation));
+    for (dlog::Row& row : held) {
+      if (present.count(row) > 0) continue;
+      NERPA_RETURN_IF_ERROR(
+          engine_->Delete(binding.relation, std::move(row)));
+      ++deletes;
+    }
+  }
+  if (deletes > 0) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.catchup_deletes += deletes;
+  }
+  return Status::Ok();
+}
+
 Status Controller::ProcessOvsdbUpdates(const ovsdb::TableUpdates& updates) {
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.ovsdb_updates;
+  }
+  if (reconcile_restored_) {
+    reconcile_restored_ = false;
+    NERPA_RETURN_IF_ERROR(QueueRestoredCatchUp(updates));
   }
   for (const auto& [table_name, rows] : updates) {
     const OvsdbBinding* binding = bindings_.FindOvsdbTable(table_name);
@@ -414,14 +497,17 @@ Status Controller::ExecuteBatch(DeviceBatch& batch) {
           std::lock_guard<std::mutex> lock(stats_mu_);
           tripped = device.breaker != BreakerState::kClosed;
         }
-        if (tripped) {
-          // The failed op and everything after it becomes outbox state;
-          // the half-open probe's resync diff will replay it on rejoin.
-          QuarantineOps(device, {batch.ops.begin() +
-                                     static_cast<std::ptrdiff_t>(i),
-                                 batch.ops.end()});
-          return Status::Ok();
-        }
+        // The failed op and everything after it becomes outbox state
+        // either way: if the breaker tripped, the half-open probe's resync
+        // diff replays it on rejoin; if it did not (strikes below the
+        // threshold), the next anti-entropy pass sees the non-empty outbox
+        // and reconciles the device.  Without the second arm a sub-threshold
+        // failure would drop the delta forever — a later healthy write
+        // clears the strikes and nothing ever repairs the gap.
+        QuarantineOps(device, {batch.ops.begin() +
+                                   static_cast<std::ptrdiff_t>(i),
+                               batch.ops.end()});
+        if (tripped) return Status::Ok();
       }
       return status;
     }
@@ -687,6 +773,7 @@ Status Controller::RunAntiEntropy() {
   int64_t now = MonotonicNanos();
   for (Device& device : devices_) {
     bool probe = false;
+    bool repair = false;
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
       if (device.breaker == BreakerState::kOpen &&
@@ -695,9 +782,26 @@ Status Controller::RunAntiEntropy() {
         stats_.breaker_states[device.name] = "half-open";
         ++stats_.breaker_probes;
         probe = true;
+      } else if (device.breaker == BreakerState::kClosed &&
+                 !device.outbox.empty()) {
+        // A closed breaker with a non-empty outbox means a sub-threshold
+        // write failure parked ops there (ExecuteBatch preserves them even
+        // when the strike count stays below the trip point).  Reconcile now;
+        // on failure the outbox stays populated and the next pass retries.
+        repair = true;
       }
     }
-    if (probe) ProbeDevice(device);
+    if (probe) {
+      ProbeDevice(device);
+    } else if (repair) {
+      Status synced = ResyncDeviceImpl(device);
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      if (synced.ok()) {
+        device.outbox.clear();
+        stats_.outbox_sizes[device.name] = 0;
+        ++stats_.outbox_repairs;
+      }
+    }
   }
   return Status::Ok();
 }

@@ -91,6 +91,18 @@ class Controller {
     /// ha::DurableStore::Checkpoint).
     int64_t initial_digest_seq = 0;
 
+    /// Engine checkpoint blob (from CheckpointEngine(), persisted through
+    /// ha::DurableStore::WriteEngineCheckpoint) to warm-start from.  When
+    /// non-empty, Start() restores the Datalog engine from it instead of
+    /// recomputing every derivation from scratch; the first monitor
+    /// snapshot is then applied as a reconciliation diff (stale rows
+    /// deleted, new rows inserted), so management-plane changes that
+    /// happened after the checkpoint still take effect.  Digest-derived
+    /// state (e.g. learned MACs) survives intact.  A blob the engine
+    /// rejects — wrong program fingerprint, corruption — is logged and
+    /// ignored: Start() falls back to a cold start, never fails.
+    std::string engine_checkpoint;
+
     /// Worker threads for data-plane dispatch.  Writes to distinct devices
     /// are independent, so each output delta is split into one ordered
     /// batch per device and the batches run concurrently on a pool —
@@ -189,10 +201,16 @@ class Controller {
     uint64_t breaker_probes = 0;    // half-open resync attempts
     uint64_t breaker_rejoins = 0;   // probes that closed the breaker
     uint64_t outbox_coalesced = 0;  // ops absorbed while quarantined
+    uint64_t outbox_repairs = 0;    // closed-breaker devices resynced by
+                                    // anti-entropy to drain a non-empty outbox
     /// Device → "closed" | "open" | "half-open".
     std::map<std::string, std::string> breaker_states;
     /// Device → coalesced ops currently pending in its outbox.
     std::map<std::string, uint64_t> outbox_sizes;
+    // --- HA: engine checkpoint warm start ---
+    uint64_t engine_restores = 0;           // engines loaded from checkpoint
+    uint64_t engine_restore_rejections = 0; // blobs rejected (cold-started)
+    uint64_t catchup_deletes = 0;           // stale input rows reconciled away
   };
   /// Snapshot of the counters (thread-safe against concurrent dispatch
   /// and the anti-entropy thread).
@@ -201,6 +219,12 @@ class Controller {
   /// Next digest sequence number to be assigned (checkpoint this through
   /// ha::DurableStore so a restarted controller keeps the order monotone).
   int64_t digest_seq() const { return digest_seq_; }
+
+  /// Serializes the Datalog engine's derived state (between transactions)
+  /// for Options::engine_checkpoint on the next start.  Persist it through
+  /// ha::DurableStore::WriteEngineCheckpoint alongside the management-plane
+  /// snapshot.
+  Result<std::string> CheckpointEngine();
 
   /// First error hit inside a monitor callback (callbacks cannot return
   /// Status); ok() if none.  Snapshot under the stats lock: callbacks may
@@ -248,6 +272,12 @@ class Controller {
 
   void OnOvsdbUpdate(const ovsdb::TableUpdates& updates);
   Status ProcessOvsdbUpdates(const ovsdb::TableUpdates& updates);
+  /// Restored-engine catch-up: queues deletes for input rows the restored
+  /// engine holds that the first monitor snapshot no longer contains
+  /// (management-plane deletions that happened after the checkpoint).
+  /// Inserts need no special handling — re-inserting a present row is a
+  /// set-semantics no-op.
+  Status QueueRestoredCatchUp(const ovsdb::TableUpdates& updates);
   Status ApplyOutputDelta(const dlog::TxnDelta& delta);
   /// Updates multicast membership bookkeeping and appends the resulting
   /// group reprograms to the per-device batches.
@@ -307,6 +337,9 @@ class Controller {
   // suppressed (desired state accumulates in the engine), then reconciles
   // each device against it.
   bool suppress_writes_ = false;
+  // Set when Start() restored the engine from a checkpoint; consumed by
+  // the first ProcessOvsdbUpdates to run the catch-up reconciliation.
+  bool reconcile_restored_ = false;
   int64_t digest_seq_ = 0;
   // (device, group) -> member ports, for multicast reprogramming.
   std::map<std::pair<std::string, uint32_t>, std::vector<uint64_t>>

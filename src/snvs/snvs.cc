@@ -2,11 +2,17 @@
 
 #include <cassert>
 
+#include "common/log.h"
 #include "common/strings.h"
 #include "nerpa/bindings.h"
 #include "p4/text.h"
 
 namespace nerpa::snvs {
+
+namespace {
+/// DurableStore sidecar name for the controller's engine checkpoint.
+constexpr const char* kEngineCheckpointName = "controller";
+}  // namespace
 
 ovsdb::DatabaseSchema SnvsSchema() {
   using ovsdb::BaseType;
@@ -324,6 +330,19 @@ Result<std::unique_ptr<SnvsStack>> BuildSnvsStack(const SnvsOptions& options) {
   controller_options.multicast_relation = "MulticastGroup";
   controller_options.resync_on_start = recovered || options.resync;
   controller_options.initial_digest_seq = digest_seq;
+  if (recovered) {
+    // Warm-start the control plane from the engine checkpoint sidecar when
+    // one survived.  Any failure here (absent, corrupt, stale program) just
+    // means recomputing the derivations — exactly the pre-checkpoint path.
+    Result<std::string> blob =
+        stack->store_->ReadEngineCheckpoint(kEngineCheckpointName);
+    if (blob.ok()) {
+      controller_options.engine_checkpoint = std::move(blob).value();
+    } else if (blob.status().code() != StatusCode::kNotFound) {
+      LOG_WARNING << "snvs: engine checkpoint unusable ("
+                  << blob.status().ToString() << "); recomputing";
+    }
+  }
   controller_options.retry = options.retry;
   controller_options.breaker = options.breaker;
   controller_options.anti_entropy_interval_nanos =
@@ -348,7 +367,12 @@ Status SnvsStack::Checkpoint() {
   if (store_ == nullptr) {
     return FailedPrecondition("stack was built without ha_dir");
   }
-  return store_->Checkpoint(controller_->digest_seq());
+  NERPA_RETURN_IF_ERROR(store_->Checkpoint(controller_->digest_seq()));
+  // Engine sidecar after the snapshot: a crash in between leaves an older
+  // sidecar beside a newer snapshot, which restore reconciles (catch-up
+  // diff for management rows; digest state is soft and re-learned).
+  NERPA_ASSIGN_OR_RETURN(std::string blob, controller_->CheckpointEngine());
+  return store_->WriteEngineCheckpoint(kEngineCheckpointName, blob);
 }
 
 Result<ovsdb::Uuid> SnvsStack::AddPort(const std::string& name, int64_t port,

@@ -146,6 +146,216 @@ TEST(DlogDifferential, InterningAndArrangementsDoNotChangeDeltas) {
 }
 
 // ---------------------------------------------------------------------------
+// Differential property: the bootstrap fast path — serial or parallel —
+// must be byte-identical to the classic incremental first commit, both in
+// the returned delta and in all subsequent transactions.
+// ---------------------------------------------------------------------------
+
+/// Dump of every relation, stringified, for whole-state comparison.
+std::string DumpAll(const Engine& engine) {
+  std::string out;
+  for (const auto& decl : engine.program().relations()) {
+    auto rows = engine.Dump(decl.name);
+    EXPECT_TRUE(rows.ok()) << rows.status().ToString();
+    out += decl.name + ":\n";
+    for (const Row& row : *rows) out += "  " + RowToString(row) + "\n";
+  }
+  return out;
+}
+
+TEST(DlogDifferential, BootstrapSerialParallelAndIncrementalAgree) {
+  auto program = MustParse(kDifferentialProgram);
+  struct Config {
+    const char* name;
+    EngineOptions options;
+  };
+  std::vector<Config> configs;
+  {
+    Config classic{"classic-incremental", {}};
+    classic.options.enable_bootstrap = false;
+    configs.push_back(classic);
+    Config serial{"bootstrap-serial", {}};
+    serial.options.bootstrap_threads = 1;
+    configs.push_back(serial);
+    // The CI box may have one core, so the parallel path needs an explicit
+    // thread count and a low row threshold to actually engage.
+    Config parallel{"bootstrap-parallel", {}};
+    parallel.options.bootstrap_threads = 4;
+    parallel.options.parallel_bootstrap_min_rows = 1;
+    configs.push_back(parallel);
+  }
+
+  std::vector<std::unique_ptr<Engine>> engines;
+  for (const Config& config : configs) {
+    engines.push_back(std::make_unique<Engine>(program, config.options));
+  }
+
+  // Big-bang initial load: several hundred rows so the parallel fan-out
+  // has real shards to work with.
+  std::mt19937_64 rng(20260808);
+  std::vector<Op> initial;
+  for (int k = 0; k < 600; ++k) {
+    Op op;
+    op.sw = "sw-" + std::to_string(rng() % 5);
+    if (k % 5 == 0) {
+      op.relation = "Trunk";
+      op.ints = {static_cast<int64_t>(rng() % 32)};
+    } else {
+      op.relation = "Port";
+      op.ints = {static_cast<int64_t>(rng() % 64),
+                 static_cast<int64_t>(rng() % 8)};
+    }
+    initial.push_back(std::move(op));
+  }
+
+  std::vector<std::string> deltas;
+  for (auto& engine : engines) {
+    for (const Op& op : initial) {
+      ASSERT_TRUE(engine->Insert(op.relation, MaterializeRow(op)).ok());
+    }
+    auto delta = engine->Commit();
+    ASSERT_TRUE(delta.ok()) << delta.status().ToString();
+    deltas.push_back(delta->ToString());
+  }
+  for (size_t e = 1; e < deltas.size(); ++e) {
+    ASSERT_EQ(deltas[0], deltas[e])
+        << configs[e].name << " bootstrap delta diverged";
+  }
+  for (size_t e = 1; e < engines.size(); ++e) {
+    ASSERT_EQ(DumpAll(*engines[0]), DumpAll(*engines[e]))
+        << configs[e].name << " state diverged after bootstrap";
+  }
+
+  // The bootstrapped engines must behave identically incrementally too:
+  // mixed inserts/deletes over rows that do and do not exist.
+  for (int step = 0; step < 10; ++step) {
+    std::vector<Op> ops;
+    for (int k = 0; k < 5; ++k) {
+      Op op;
+      op.sw = "sw-" + std::to_string(rng() % 5);
+      op.relation = k % 3 == 0 ? "Trunk" : "Port";
+      if (op.relation == "Trunk") {
+        op.ints = {static_cast<int64_t>(rng() % 32)};
+      } else {
+        op.ints = {static_cast<int64_t>(rng() % 64),
+                   static_cast<int64_t>(rng() % 8)};
+      }
+      op.insert = rng() % 3 != 0;
+      ops.push_back(std::move(op));
+    }
+    deltas.clear();
+    for (auto& engine : engines) {
+      for (const Op& op : ops) {
+        Row row = MaterializeRow(op);
+        Status status = op.insert ? engine->Insert(op.relation, std::move(row))
+                                  : engine->Delete(op.relation, std::move(row));
+        ASSERT_TRUE(status.ok()) << status.ToString();
+      }
+      auto delta = engine->Commit();
+      ASSERT_TRUE(delta.ok()) << delta.status().ToString();
+      deltas.push_back(delta->ToString());
+    }
+    for (size_t e = 1; e < deltas.size(); ++e) {
+      ASSERT_EQ(deltas[0], deltas[e])
+          << configs[e].name << " diverged at incremental step " << step;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Differential property: a checkpoint-restored engine is byte-identical to
+// the engine that produced the blob — same dumps, same deltas for every
+// subsequent transaction — and a damaged blob is rejected outright.
+// ---------------------------------------------------------------------------
+
+TEST(DlogDifferential, CheckpointRestoreIsByteIdentical) {
+  auto program = MustParse(kDifferentialProgram);
+  Engine original(program);
+
+  std::mt19937_64 rng(20260809);
+  for (int k = 0; k < 200; ++k) {
+    Op op;
+    op.sw = "sw-" + std::to_string(rng() % 4);
+    if (k % 4 == 0) {
+      op.relation = "Trunk";
+      op.ints = {static_cast<int64_t>(rng() % 16)};
+    } else {
+      op.relation = "Port";
+      op.ints = {static_cast<int64_t>(rng() % 32),
+                 static_cast<int64_t>(rng() % 6)};
+    }
+    ASSERT_TRUE(original.Insert(op.relation, MaterializeRow(op)).ok());
+  }
+  ASSERT_TRUE(original.Commit().ok());
+  // A second transaction with deletes, so the checkpoint captures
+  // derivation counts that have been decremented, not just fresh state.
+  auto ports = original.Dump("Port");
+  ASSERT_TRUE(ports.ok());
+  for (size_t i = 0; i < ports->size(); i += 7) {
+    ASSERT_TRUE(original.Delete("Port", (*ports)[i]).ok());
+  }
+  ASSERT_TRUE(original.Commit().ok());
+
+  std::string blob = original.SerializeState();
+  auto restored = Engine::Restore(program, blob);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+
+  EXPECT_EQ(original.StateFingerprint(), (*restored)->StateFingerprint());
+  EXPECT_EQ(DumpAll(original), DumpAll(**restored));
+  EXPECT_TRUE((*restored)->TakeInitialDelta().empty());
+
+  // Subsequent commits must produce byte-identical deltas: the restored
+  // derivation counts and aggregation groups have to match exactly, or a
+  // delete would surface (or fail to surface) differently.
+  for (int step = 0; step < 8; ++step) {
+    std::vector<Op> ops;
+    for (int k = 0; k < 4; ++k) {
+      Op op;
+      op.sw = "sw-" + std::to_string(rng() % 4);
+      op.relation = k % 3 == 0 ? "Trunk" : "Port";
+      if (op.relation == "Trunk") {
+        op.ints = {static_cast<int64_t>(rng() % 16)};
+      } else {
+        op.ints = {static_cast<int64_t>(rng() % 32),
+                   static_cast<int64_t>(rng() % 6)};
+      }
+      op.insert = rng() % 3 != 0;
+      ops.push_back(std::move(op));
+    }
+    std::string original_delta, restored_delta;
+    for (Engine* engine : {&original, restored->get()}) {
+      for (const Op& op : ops) {
+        Row row = MaterializeRow(op);
+        Status status = op.insert ? engine->Insert(op.relation, std::move(row))
+                                  : engine->Delete(op.relation, std::move(row));
+        ASSERT_TRUE(status.ok()) << status.ToString();
+      }
+      auto delta = engine->Commit();
+      ASSERT_TRUE(delta.ok()) << delta.status().ToString();
+      (engine == &original ? original_delta : restored_delta) =
+          delta->ToString();
+    }
+    ASSERT_EQ(original_delta, restored_delta)
+        << "restored engine diverged at step " << step;
+  }
+  EXPECT_EQ(DumpAll(original), DumpAll(**restored));
+
+  // Damage must be detected, not absorbed.  (Whole-blob integrity is the
+  // durability layer's job — its frame carries a CRC32 — so here the
+  // engine only has to reject structural damage: bad magic, truncation,
+  // and wrong-program blobs.)
+  std::string corrupt = blob;
+  corrupt[0] = static_cast<char>(corrupt[0] ^ 0x40);
+  EXPECT_FALSE(Engine::Restore(program, corrupt).ok());
+  EXPECT_FALSE(Engine::Restore(program, std::string_view(blob).substr(
+                                            0, blob.size() - 9)).ok());
+  // And a blob from a different program must be rejected by fingerprint.
+  auto other = MustParse("input relation X(a: bigint)\n");
+  Engine other_engine(other);
+  EXPECT_FALSE(Engine::Restore(program, other_engine.SerializeState()).ok());
+}
+
+// ---------------------------------------------------------------------------
 // Intern pool invariants.
 // ---------------------------------------------------------------------------
 

@@ -377,5 +377,120 @@ TEST(HaRestart, ControllerConvergesThroughInjectedWriteFaults) {
             (*faulty)->faulty(0)->fault_stats().injected_failures);
 }
 
+TEST(HaRestart, WarmStartRestoresEngineAndPreservesLearnedMacs) {
+  std::string dir = FreshDir("warm_start");
+  SurvivingDevice device(SnvsP4Program());
+
+  std::string device_before;
+  int64_t macs_before = 0;
+  {
+    SnvsOptions options;
+    options.ha_dir = dir;
+    options.external_clients = {device.client.get()};
+    auto stack = BuildSnvsStack(options);
+    ASSERT_TRUE(stack.ok()) << stack.status().ToString();
+    ASSERT_TRUE((*stack)->AddPort("p1", 1, "access", 10).ok());
+    ASSERT_TRUE((*stack)->AddPort("p2", 2, "access", 10).ok());
+    ASSERT_TRUE((*stack)->AddPort("t1", 3, "trunk", 0, {10, 20}).ok());
+    // Learned MACs live only in the engine (digest-fed, not in the durable
+    // management plane): exactly the state only a checkpoint can carry
+    // across a restart.
+    auto out = device.sw->ProcessPacket(p4::PacketIn{
+        1, net::MakeEthernetFrame(Mac(0, 0, 0, 0, 0, 0xBB),
+                                  Mac(0, 0, 0, 0, 0, 0xAA), 0x0800,
+                                  {1, 2, 3})});
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+    out = device.sw->ProcessPacket(p4::PacketIn{
+        2, net::MakeEthernetFrame(Mac(0, 0, 0, 0, 0, 0xAA),
+                                  Mac(0, 0, 0, 0, 0, 0xBB), 0x0800,
+                                  {1, 2, 3})});
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+    ASSERT_TRUE((*stack)->controller().SyncDataPlaneNotifications().ok());
+    macs_before =
+        static_cast<int64_t>((*stack)->controller().engine().Size("MacLearn"));
+    ASSERT_GT(macs_before, 0);
+    ASSERT_TRUE((*stack)->Checkpoint().ok());
+    // Mutations after the checkpoint: the warm start has to reconcile the
+    // stale sidecar against the (newer) recovered management plane.
+    ASSERT_TRUE((*stack)->AddPort("p4", 4, "access", 20).ok());
+    ASSERT_TRUE((*stack)->DeletePort("p2").ok());
+    device_before = DeviceState(*device.sw);
+  }  // crash; the device keeps its tables, the sidecar is one txn stale
+
+  uint64_t writes_before = device.client->write_count();
+  SnvsOptions options;
+  options.ha_dir = dir;
+  options.external_clients = {device.client.get()};
+  auto stack = BuildSnvsStack(options);
+  ASSERT_TRUE(stack.ok()) << stack.status().ToString();
+  EXPECT_TRUE((*stack)->store()->recovered());
+
+  const auto& stats = (*stack)->controller().stats();
+  EXPECT_EQ(stats.engine_restores, 1u);
+  EXPECT_EQ(stats.engine_restore_rejections, 0u);
+  // p2 was deleted after the checkpoint: catch-up reconciliation removed
+  // its restored row.  (p4's insert arrives through the normal monitor
+  // snapshot; set semantics make re-inserts of restored rows no-ops.)
+  EXPECT_GE(stats.catchup_deletes, 1u);
+  // The learned MACs survived the restart without any re-learning traffic.
+  EXPECT_EQ((*stack)->controller().engine().Size("MacLearn"),
+            static_cast<size_t>(macs_before));
+  // The restored desired state matches the surviving device exactly —
+  // including the Dmac entries a cold start would have torn down — so the
+  // resync wrote nothing.
+  EXPECT_EQ(device.client->write_count(), writes_before);
+  EXPECT_EQ(DeviceState(*device.sw), device_before);
+
+  // Still live after a warm start.
+  ASSERT_TRUE((*stack)->AddPort("p5", 5, "access", 20).ok());
+  EXPECT_GT(device.client->write_count(), writes_before);
+}
+
+TEST(HaRestart, CorruptEngineCheckpointFallsBackToColdStart) {
+  std::string dir = FreshDir("ckpt_fallback");
+  Json db_before;
+  {
+    SnvsOptions options;
+    options.ha_dir = dir;
+    auto stack = BuildSnvsStack(options);
+    ASSERT_TRUE(stack.ok()) << stack.status().ToString();
+    ASSERT_TRUE((*stack)->AddPort("p1", 1, "access", 10).ok());
+    ASSERT_TRUE((*stack)->AddPort("t1", 3, "trunk", 0, {10, 20}).ok());
+    ASSERT_TRUE((*stack)->Checkpoint().ok());
+    db_before = ha::DurableStore::SnapshotJson((*stack)->db(), 0);
+  }
+
+  // Bit rot inside the sidecar blob: the CRC32 frame check must reject it.
+  {
+    std::string path = dir + "/engine.controller.ckpt";
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    ASSERT_GT(bytes.size(), 24u);
+    bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 1);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  // The checkpoint is an accelerator, never a correctness dependency:
+  // recovery rejects the damaged sidecar, cold-starts the engine, and the
+  // stack comes up fully converged anyway.
+  SnvsOptions options;
+  options.ha_dir = dir;
+  auto stack = BuildSnvsStack(options);
+  ASSERT_TRUE(stack.ok()) << stack.status().ToString();
+  EXPECT_TRUE((*stack)->store()->recovered());
+  auto rejected = (*stack)->store()->ReadEngineCheckpoint("controller");
+  EXPECT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kInternal);
+  const auto& stats = (*stack)->controller().stats();
+  EXPECT_EQ(stats.engine_restores, 0u);
+  EXPECT_EQ(ha::DurableStore::SnapshotJson((*stack)->db(), 0), db_before);
+  // Cold start recomputed the full desired state and programmed it.
+  EXPECT_GT(TotalEntries((*stack)->device()), 0u);
+  ASSERT_TRUE((*stack)->AddPort("p2", 2, "access", 10).ok());
+  ASSERT_TRUE((*stack)->controller().last_error().ok());
+}
+
 }  // namespace
 }  // namespace nerpa::snvs
