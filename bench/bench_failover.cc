@@ -1,0 +1,274 @@
+// Hot-standby failover RTO: how long the data plane goes unmanaged when
+// the leader controller dies.
+//
+// A dual-controller snvs deployment (snvs::SnvsHaPair) is loaded with
+// ports/ACLs/learned MACs and checkpoint-synced to the standby; then the
+// leader's lease is allowed to expire and the recovery-time objective is
+// measured wall-clock from lease expiry to
+//
+//   * promoted:     the standby holds the lease, has arbitrated the
+//                   fencing epoch on every switch, and finished its
+//                   minimal-diff resync (zero writes when the follower
+//                   was hot), and
+//   * first write:  the first post-failover management-plane change is
+//                   installed in the data plane by the new leader.
+//
+// A zombie phase then verifies the fencing invariant the RTO number rests
+// on: the deposed leader keeps issuing writes and every one of them is
+// rejected by the switches — zero stale-epoch writes reach the data plane.
+//
+// Emits BENCH_failover.json.  With --baseline=FILE the p95 total RTO is
+// gated against the checked-in ceiling (metrics.rto_p95_ceiling_us) and
+// the run exits nonzero above it or on any fencing violation.
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/clock.h"
+#include "net/packet.h"
+#include "snvs/ha_pair.h"
+
+namespace nerpa::bench {
+namespace {
+
+net::Packet Frame(net::Mac dst, net::Mac src) {
+  return net::MakeEthernetFrame(dst, src, 0x0800, {0xDE, 0xAD, 0xBE, 0xEF});
+}
+
+/// Writes one replica's controller actually applied (counted only after a
+/// device accepted them — a fenced rejection never increments these).
+uint64_t TotalWriteCount(snvs::SnvsHaPair& pair, size_t replica) {
+  Controller::Stats stats = pair.controller(replica).stats();
+  return stats.entries_inserted + stats.entries_deleted +
+         stats.multicast_updates;
+}
+
+uint64_t TotalStaleWrites(snvs::SnvsHaPair& pair) {
+  uint64_t total = 0;
+  for (size_t d = 0; d < pair.device_count(); ++d) {
+    total += pair.device(d).stale_writes();
+  }
+  return total;
+}
+
+int Run(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+  std::string baseline_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--baseline=", 11) == 0) {
+      baseline_path = argv[i] + 11;
+    }
+  }
+
+  const int kPorts = args.Scaled(48);
+  const int kAcls = args.Scaled(16);
+  const int kFailovers = args.Scaled(20);
+
+  Banner("E-HA2", "hot-standby failover: lease expiry -> recovered writes");
+
+  // The lease clock is manual so expiry is exact and deterministic; the
+  // RTO itself is measured on the real monotonic clock.
+  int64_t now = 1;
+  constexpr int64_t kTtl = 1'000'000;  // 1 ms of "virtual" validity
+
+  snvs::SnvsHaOptions options;
+  options.devices = 2;
+  options.lease_ttl_nanos = kTtl;
+  options.clock = [&now] { return now; };
+  auto built = snvs::BuildSnvsHaPair(options);
+  if (!built.ok()) {
+    std::fprintf(stderr, "bench: %s\n", built.status().ToString().c_str());
+    return 1;
+  }
+  snvs::SnvsHaPair& pair = **built;
+
+  if (pair.Tick() != 0) {
+    std::fprintf(stderr, "bench: replica 0 did not win the first election\n");
+    return 1;
+  }
+
+  // Load-bearing state: access + trunk ports, ACLs, and learned MACs (the
+  // digest-derived soft state the checkpoint handoff preserves).
+  for (int p = 1; p <= kPorts; ++p) {
+    Status added =
+        p % 4 == 0
+            ? pair.AddPort(StrFormat("p%d", p), p, "trunk", 0, {10, 20})
+                  .status()
+            : pair.AddPort(StrFormat("p%d", p), p, "access",
+                           10 + 10 * (p % 2))
+                  .status();
+    if (!added.ok()) {
+      std::fprintf(stderr, "bench: %s\n", added.ToString().c_str());
+      return 1;
+    }
+  }
+  for (int a = 0; a < kAcls; ++a) {
+    (void)pair.AddAclRule(0x4000 + a, 10 + 10 * (a % 2), a % 3 != 0);
+  }
+  for (int h = 0; h < 8; ++h) {
+    net::Mac src(0, 0, 0, 0, 0x10, static_cast<uint8_t>(h + 1));
+    net::Mac dst(0, 0, 0, 0, 0x10, static_cast<uint8_t>(((h + 1) % 8) + 1));
+    (void)pair.InjectPacket(0, static_cast<uint64_t>(h % kPorts) + 1,
+                            Frame(dst, src));
+  }
+
+  std::vector<double> promote_s, total_s;
+  int next_port = kPorts + 1;
+  for (int i = 0; i < kFailovers; ++i) {
+    // Warm the standby with the leader's latest engine checkpoint, then
+    // let the lease run out (the leader "dies": it simply stops renewing
+    // before the jump, which is exactly what a crash looks like from the
+    // lease's point of view).
+    Status synced = pair.Checkpoint();
+    if (synced.ok()) synced = pair.SyncStandby();
+    if (!synced.ok()) {
+      std::fprintf(stderr, "bench: %s\n", synced.ToString().c_str());
+      return 1;
+    }
+    int old_leader = pair.leader();
+    now += 2 * kTtl;  // lease expiry — the outage begins here
+
+    Stopwatch watch;
+    int new_leader = pair.Tick();  // demote old, arbitrate + resync new
+    promote_s.push_back(watch.ElapsedSeconds());
+    if (new_leader < 0 || new_leader == old_leader) {
+      std::fprintf(stderr, "bench: failover %d did not change leadership\n",
+                   i);
+      return 1;
+    }
+    // First post-failover management change, through to the data plane.
+    Status wrote =
+        pair.AddPort(StrFormat("f%d", next_port), next_port, "access", 10)
+            .status();
+    ++next_port;
+    total_s.push_back(watch.ElapsedSeconds());
+    if (!wrote.ok()) {
+      std::fprintf(stderr, "bench: %s\n", wrote.ToString().c_str());
+      return 1;
+    }
+    now += kTtl / 2;
+    pair.Tick();  // settle: new leader renews
+  }
+
+  // --- Zombie phase: the deposed leader keeps writing; fencing must
+  // reject every attempt before it touches a table.
+  int zombie = pair.leader();
+  int standby = 1 - zombie;
+  // Let the lease expire and promote the standby while the old leader
+  // never learns it lost the lease (its coordinator is not ticked — the
+  // GC-pause / partitioned-leader picture).
+  now += 2 * kTtl;
+  pair.coordinator(static_cast<size_t>(standby)).Tick();
+  if (pair.leader() != standby) {
+    std::fprintf(stderr, "bench: standby failed to promote for the zombie "
+                         "phase\n");
+    return 1;
+  }
+  uint64_t stale_before = TotalStaleWrites(pair);
+  uint64_t zombie_applied_before = TotalWriteCount(pair, static_cast<size_t>(zombie));
+  // The next management commit fans out to both controllers; the zombie
+  // (still role=leader, stale epoch) attempts device writes and must be
+  // fenced out by every switch.
+  Status poked =
+      pair.AddPort(StrFormat("z%d", next_port), next_port, "access", 20)
+          .status();
+  ++next_port;
+  if (!poked.ok()) {
+    std::fprintf(stderr, "bench: %s\n", poked.ToString().c_str());
+    return 1;
+  }
+  uint64_t stale_rejections = TotalStaleWrites(pair) - stale_before;
+  uint64_t zombie_applied =
+      TotalWriteCount(pair, static_cast<size_t>(zombie)) -
+      zombie_applied_before;
+  uint64_t zombie_fenced =
+      pair.controller(static_cast<size_t>(zombie)).stats()
+          .fenced_writes_rejected;
+  bool zombie_demoted =
+      pair.controller(static_cast<size_t>(zombie)).role() == Role::kFollower;
+
+  double promote_p50 = Percentile(promote_s, 0.50);
+  double promote_p95 = Percentile(promote_s, 0.95);
+  double total_p50 = Percentile(total_s, 0.50);
+  double total_p95 = Percentile(total_s, 0.95);
+
+  Table table({"metric", "p50", "p95"});
+  table.AddRow({"promotion (fence+resync)", Us(promote_p50), Us(promote_p95)});
+  table.AddRow({"total RTO (to first write)", Us(total_p50), Us(total_p95)});
+  table.Print();
+  std::printf(
+      "\nzombie phase: %llu fenced rejections at the switches, %llu writes "
+      "applied by the deposed leader (must be 0), self-demoted: %s\n",
+      static_cast<unsigned long long>(stale_rejections),
+      static_cast<unsigned long long>(zombie_applied),
+      zombie_demoted ? "yes" : "no");
+
+  JsonEmitter emitter("failover", args);
+  emitter.Param("ports", Json(static_cast<int64_t>(kPorts)));
+  emitter.Param("acls", Json(static_cast<int64_t>(kAcls)));
+  emitter.Param("failovers", Json(static_cast<int64_t>(kFailovers)));
+  emitter.Param("devices", Json(static_cast<int64_t>(2)));
+  emitter.Metric("promote_p50_us", Json(promote_p50 * 1e6));
+  emitter.Metric("promote_p95_us", Json(promote_p95 * 1e6));
+  emitter.Metric("rto_p50_us", Json(total_p50 * 1e6));
+  emitter.Metric("rto_p95_us", Json(total_p95 * 1e6));
+  emitter.Metric("stale_write_rejections",
+                 Json(static_cast<int64_t>(stale_rejections)));
+  emitter.Metric("stale_writes_applied",
+                 Json(static_cast<int64_t>(zombie_applied)));
+  emitter.Metric("zombie_fenced_writes",
+                 Json(static_cast<int64_t>(zombie_fenced)));
+  emitter.Write();
+
+  // --- Correctness gates (always on: an RTO number over a broken fence
+  // is worthless).
+  if (stale_rejections == 0 || zombie_applied != 0 || !zombie_demoted) {
+    std::fprintf(stderr, "bench: FENCING VIOLATION (rejections=%llu, "
+                         "applied=%llu, demoted=%d)\n",
+                 static_cast<unsigned long long>(stale_rejections),
+                 static_cast<unsigned long long>(zombie_applied),
+                 zombie_demoted ? 1 : 0);
+    return 1;
+  }
+
+  // --- CI gate: p95 total RTO against the checked-in ceiling.
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path);
+    if (!in) {
+      std::fprintf(stderr, "bench: cannot open baseline %s\n",
+                   baseline_path.c_str());
+      return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    auto parsed = Json::Parse(text.str());
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "bench: baseline parse: %s\n",
+                   parsed.status().ToString().c_str());
+      return 1;
+    }
+    const Json* metrics = parsed.value().Find("metrics");
+    const Json* ceiling =
+        metrics == nullptr ? nullptr : metrics->Find("rto_p95_ceiling_us");
+    if (ceiling == nullptr || !ceiling->is_number()) {
+      std::fprintf(stderr, "bench: baseline lacks rto_p95_ceiling_us\n");
+      return 1;
+    }
+    std::printf("baseline gate: %.1f us p95 RTO vs %.1f us ceiling\n",
+                total_p95 * 1e6, ceiling->as_double());
+    if (total_p95 * 1e6 > ceiling->as_double()) {
+      std::fprintf(stderr, "bench: REGRESSION: p95 RTO %.1f us > %.1f us\n",
+                   total_p95 * 1e6, ceiling->as_double());
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace nerpa::bench
+
+int main(int argc, char** argv) { return nerpa::bench::Run(argc, argv); }

@@ -41,8 +41,9 @@ run_suite build-ci-asan \
 
 # TSan is incompatible with ASan, so it gets its own build; restrict the run
 # to the suites that actually exercise threads (controller dispatch pool,
-# OVSDB TCP service thread, HTTP gateway event loop + workers, HA restart,
-# chaos fault storms, snvs integration end to end, and the dlog
+# OVSDB TCP service thread, HTTP gateway event loop + workers, HA restart
+# and hot-standby failover, chaos fault storms — including the seeded
+# failover soak in test_chaos — snvs integration end to end, and the dlog
 # differential suite whose parallel-bootstrap case forces a 4-thread
 # semi-naive fan-out regardless of core count) to keep the wall clock
 # sane.
@@ -60,8 +61,10 @@ ctest --test-dir build-ci-tsan --output-on-failure -j "$JOBS" \
   -R 'test_controller|test_ha|test_ha_restart|test_common|test_ovsdb_rpc|test_gateway|test_chaos|test_snvs_integration|test_dlog_differential'
 
 # Chaos soak: the pinned seeds in tests/test_chaos.cc each drive 50+
-# faults across all three planes (device write failures, transport drops,
-# torn/corrupted durability files) and must converge byte-identically.
+# faults across all four seams (device write failures, transport drops,
+# torn/corrupted durability files, and lease storms — expiry, clock skew,
+# zombie leaders — against the hot-standby pair) and must converge
+# byte-identically with every stale-epoch write fenced at the switch.
 # Run explicitly under the ASan/UBSan build so any latent lifetime bug in
 # the recovery paths fails the job, not just a divergence.
 echo "=== chaos soak (ASan/UBSan, pinned seeds) ==="
@@ -103,5 +106,17 @@ echo "--- bench_lb_coldstart --scale=1 (regression gate) ---"
 build-ci-bench/bench/bench_lb_coldstart --scale=1 \
   --baseline=bench/baselines/BENCH_lb_coldstart_baseline.json \
   --out=build-ci-bench/bench-out >/dev/null
+
+# Failover bench is a correctness gate first (zero stale-epoch writes may
+# reach the data plane during the zombie phase, enforced unconditionally)
+# and an RTO gate second: the p95 lease-expiry-to-first-write time must
+# stay under the checked-in ceiling.
+echo "--- bench_failover --scale=0.3 (fencing + RTO gate) ---"
+cmake --build build-ci-bench -j "$JOBS" --target bench_failover
+build-ci-bench/bench/bench_failover --scale=0.3 \
+  --baseline=bench/baselines/BENCH_failover_baseline.json \
+  --out=build-ci-bench/bench-out >/dev/null
+test -s build-ci-bench/bench-out/BENCH_failover.json || {
+  echo "bench_failover produced no BENCH_failover.json" >&2; exit 1; }
 
 echo "CI: all suites passed"

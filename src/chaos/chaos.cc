@@ -105,4 +105,36 @@ bool ChaosIo::Exists(const std::string& path) { return inner_->Exists(path); }
 
 Status ChaosIo::Remove(const std::string& path) { return inner_->Remove(path); }
 
+const char* LeaseFaultName(LeaseFault fault) {
+  switch (fault) {
+    case LeaseFault::kNone: return "none";
+    case LeaseFault::kLeaseLoss: return "lease-loss";
+    case LeaseFault::kClockSkew: return "clock-skew";
+    case LeaseFault::kZombieLeader: return "zombie-leader";
+  }
+  return "?";
+}
+
+LeaseFault DrawLeaseFault(ChaosSchedule& schedule,
+                          const LeaseFaultPolicy& policy) {
+  // All three draws always happen so the PRNG stream stays aligned across
+  // replays no matter which fault fires.
+  bool loss = schedule.Flip(policy.lease_loss_probability);
+  bool skew = schedule.Flip(policy.clock_skew_probability);
+  bool zombie = schedule.Flip(policy.zombie_probability);
+  if (loss) return LeaseFault::kLeaseLoss;
+  if (skew) return LeaseFault::kClockSkew;
+  if (zombie) return LeaseFault::kZombieLeader;
+  return LeaseFault::kNone;
+}
+
+void LeaseFaultTally::Count(LeaseFault fault) {
+  switch (fault) {
+    case LeaseFault::kNone: break;
+    case LeaseFault::kLeaseLoss: ++lease_loss; break;
+    case LeaseFault::kClockSkew: ++clock_skew; break;
+    case LeaseFault::kZombieLeader: ++zombie; break;
+  }
+}
+
 }  // namespace nerpa::chaos

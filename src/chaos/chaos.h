@@ -110,6 +110,49 @@ class ChaosIo : public ha::Io {
   Stats stats_;
 };
 
+// --- Replication seam: leader-lease pathologies -------------------------
+
+/// Which lease pathology (if any) to inject at one scheduling step of a
+/// failover soak.  These target the fourth seam — controller replication —
+/// on top of the three above:
+///
+///   kLeaseLoss:     the leader silently stops renewing; the lease runs
+///                   out its TTL and the standby takes over (the clean
+///                   crash / network-partition case).
+///   kClockSkew:     the shared clock jumps forward mid-lease, expiring
+///                   it from everyone's point of view at once; both
+///                   replicas race to (re)acquire through the CAS.
+///   kZombieLeader:  the leader stops renewing but *keeps issuing
+///                   writes* after the standby promotes — the case the
+///                   fencing tokens exist for.
+enum class LeaseFault { kNone, kLeaseLoss, kClockSkew, kZombieLeader };
+
+const char* LeaseFaultName(LeaseFault fault);
+
+/// Per-step probabilities for the replication seam.  At most one fault
+/// fires per draw; the draw order is fixed (loss, skew, zombie) so a soak
+/// run stays a pure function of its seed.
+struct LeaseFaultPolicy {
+  double lease_loss_probability = 0.0;
+  double clock_skew_probability = 0.0;
+  double zombie_probability = 0.0;
+};
+
+/// Draws the next lease fault from the schedule.  Exactly three Flip()s
+/// are consumed regardless of outcome, keeping the decision stream
+/// aligned across replays even when an early draw fires.
+LeaseFault DrawLeaseFault(ChaosSchedule& schedule,
+                          const LeaseFaultPolicy& policy);
+
+/// Counts of replication-seam faults injected by a soak run.
+struct LeaseFaultTally {
+  uint64_t lease_loss = 0;
+  uint64_t clock_skew = 0;
+  uint64_t zombie = 0;
+  uint64_t total() const { return lease_loss + clock_skew + zombie; }
+  void Count(LeaseFault fault);
+};
+
 }  // namespace nerpa::chaos
 
 #endif  // NERPA_CHAOS_CHAOS_H_

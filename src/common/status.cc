@@ -13,6 +13,7 @@ const char* StatusCodeName(StatusCode code) {
     case StatusCode::kParseError: return "parse error";
     case StatusCode::kConstraintError: return "constraint error";
     case StatusCode::kInternal: return "internal";
+    case StatusCode::kPermissionDenied: return "permission denied";
   }
   return "unknown";
 }
@@ -48,6 +49,9 @@ Status ConstraintError(std::string message) {
 }
 Status Internal(std::string message) {
   return Status(StatusCode::kInternal, std::move(message));
+}
+Status PermissionDenied(std::string message) {
+  return Status(StatusCode::kPermissionDenied, std::move(message));
 }
 
 }  // namespace nerpa

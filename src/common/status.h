@@ -26,6 +26,7 @@ enum class StatusCode {
   kParseError,        // surface-syntax or JSON parse failure
   kConstraintError,   // schema/referential constraint violated
   kInternal,          // invariant violation that was caught dynamically
+  kPermissionDenied,  // caller lacks authority (e.g. stale fencing token)
 };
 
 /// Human-readable name of a StatusCode ("type error", ...).
@@ -106,6 +107,7 @@ Status TypeError(std::string message);
 Status ParseError(std::string message);
 Status ConstraintError(std::string message);
 Status Internal(std::string message);
+Status PermissionDenied(std::string message);
 
 /// Propagates an error Status from an expression that yields Status.
 #define NERPA_RETURN_IF_ERROR(expr)                  \

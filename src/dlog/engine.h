@@ -34,12 +34,18 @@
 
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "dlog/arena.h"
 #include "dlog/program.h"
 
 namespace nerpa::dlog {
 
-/// Weighted tuple collection (row -> weight / derivation count).
-using ZSet = std::unordered_map<Row, int64_t, RowHash, RowEq>;
+/// Weighted tuple collection (row -> weight / derivation count).  Nodes
+/// come from the thread-pooled slab arena (dlog/arena.h): delta passes
+/// build and drop these maps constantly, and per-node malloc round trips
+/// were the measurable constant factor on the small-commit hot path.
+using ZSet =
+    std::unordered_map<Row, int64_t, RowHash, RowEq,
+                       arena::NodePoolAllocator<std::pair<const Row, int64_t>>>;
 using RowSet = std::unordered_set<Row, RowHash, RowEq>;
 
 /// A set-level relation delta: rows with +1 (inserted) or -1 (deleted).

@@ -684,6 +684,24 @@ void Gateway::Dispatch(uint64_t id, Conn& conn, HttpRequest request) {
                     keep_alive);
       return;
     }
+    if (request.path == "/readyz") {
+      // Liveness vs. readiness: /healthz answers 200 as long as the
+      // process serves; /readyz answers 503 on a standby so traffic
+      // drains to the leader (hinted in X-Nerpa-Leader).
+      Readiness state;
+      if (options_.readiness) state = options_.readiness();
+      HttpResponse response = JsonResponse(
+          state.ready ? 200 : 503,
+          Json(Json::Object{{"ready", Json(state.ready)}}));
+      if (!state.ready) {
+        response.headers["Retry-After"] = "1";
+        if (!state.leader_hint.empty()) {
+          response.headers["X-Nerpa-Leader"] = state.leader_hint;
+        }
+      }
+      QueueResponse(id, std::move(response), keep_alive);
+      return;
+    }
     if (request.path == "/v1/stats") {
       QueueResponse(id, HandleStats(), keep_alive);
       return;

@@ -56,6 +56,16 @@ namespace nerpa::gateway {
 
 class Gateway {
  public:
+  /// Answer to a /readyz probe.  Liveness (/healthz) says "the process is
+  /// up"; readiness says "this instance should receive traffic" — in a
+  /// hot-standby deployment only the gateway in front of the *leader*
+  /// controller is ready, and a follower's 503 carries a leader hint so
+  /// clients (and load balancers) can re-aim without a discovery round.
+  struct Readiness {
+    bool ready = true;
+    std::string leader_hint;  // X-Nerpa-Leader header when not ready
+  };
+
   struct Options {
     std::string backend_host = "127.0.0.1";
     uint16_t backend_port = 0;       // OvsdbServer port (required)
@@ -68,6 +78,10 @@ class Gateway {
     size_t max_pending_per_conn = 16;
     size_t max_outbox_bytes = 4u << 20;
     size_t changes_ring_capacity = 1024;
+
+    /// Readiness provider for /readyz (called per probe, must be
+    /// thread-safe).  Null = always ready, the single-controller default.
+    std::function<Readiness()> readiness;
   };
 
   explicit Gateway(Options options);

@@ -1,0 +1,192 @@
+#include "ha/lease.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "common/strings.h"
+
+namespace nerpa::ha {
+
+namespace {
+
+using ovsdb::kLeaderLeaseTable;
+using ovsdb::kLeaseEpochColumn;
+using ovsdb::kLeaseExpiryColumn;
+using ovsdb::kLeaseHolderColumn;
+
+Json LeaseRowJson(const Lease& lease) {
+  Json::Object row;
+  row[kLeaseEpochColumn] = Json(lease.epoch);
+  row[kLeaseHolderColumn] = Json(lease.holder);
+  row[kLeaseExpiryColumn] = Json(lease.expiry_nanos);
+  return Json(std::move(row));
+}
+
+int64_t ScalarInteger(const ovsdb::Row& row, const char* column) {
+  const ovsdb::Datum* datum = row.Find(column);
+  if (datum == nullptr || datum->size() != 1) return 0;
+  return datum->AsInteger();
+}
+
+std::string ScalarString(const ovsdb::Row& row, const char* column) {
+  const ovsdb::Datum* datum = row.Find(column);
+  if (datum == nullptr || datum->size() != 1) return "";
+  return datum->AsString();
+}
+
+}  // namespace
+
+LeaseManager::LeaseManager(ovsdb::Database* db, Options options)
+    : db_(db), options_(std::move(options)) {
+  assert(db_->schema().FindTable(kLeaderLeaseTable) != nullptr &&
+         "database schema lacks the Leader_Lease table (WithLeaderLease)");
+  if (!options_.clock) options_.clock = [] { return MonotonicNanos(); };
+}
+
+std::optional<Lease> LeaseManager::Read() const {
+  std::vector<const ovsdb::Row*> rows = db_->GetRows(kLeaderLeaseTable);
+  if (rows.empty()) return std::nullopt;
+  const ovsdb::Row& row = *rows.front();
+  Lease lease;
+  lease.epoch = ScalarInteger(row, kLeaseEpochColumn);
+  lease.holder = ScalarString(row, kLeaseHolderColumn);
+  lease.expiry_nanos = ScalarInteger(row, kLeaseExpiryColumn);
+  const_cast<LeaseManager*>(this)->last_observed_epoch_ =
+      std::max(last_observed_epoch_, lease.epoch);
+  return lease;
+}
+
+Status LeaseManager::CasInstall(const std::optional<Lease>& expected,
+                                const Lease& next) {
+  Json::Array ops;
+
+  // CAS guard: the record must still be exactly what we read — or still
+  // absent.  Both expiry and epoch are asserted, so a renewal that happened
+  // between our read and this transaction fails the wait even though the
+  // epoch did not move.
+  Json::Object wait;
+  wait["op"] = Json("wait");
+  wait["table"] = Json(std::string(kLeaderLeaseTable));
+  wait["where"] = Json(Json::Array{});
+  wait["columns"] = Json(Json::Array{Json(std::string(kLeaseEpochColumn)),
+                                     Json(std::string(kLeaseHolderColumn)),
+                                     Json(std::string(kLeaseExpiryColumn))});
+  wait["until"] = Json("==");
+  Json::Array expected_rows;
+  if (expected) expected_rows.push_back(LeaseRowJson(*expected));
+  wait["rows"] = Json(std::move(expected_rows));
+  ops.push_back(Json(std::move(wait)));
+
+  Json::Object install;
+  install["op"] = Json(expected ? "update" : "insert");
+  install["table"] = Json(std::string(kLeaderLeaseTable));
+  if (expected) install["where"] = Json(Json::Array{});
+  install["row"] = LeaseRowJson(next);
+  ops.push_back(Json(std::move(install)));
+
+  return db_->Transact(Json(std::move(ops))).status();
+}
+
+Result<int64_t> LeaseManager::TryAcquire() {
+  std::optional<Lease> current = Read();
+  const int64_t now = options_.clock();
+
+  if (current && !current->expired(now)) {
+    if (current->holder != options_.holder_id) {
+      holding_ = false;
+      return FailedPrecondition(StrFormat(
+          "lease held by '%s' (epoch %lld) for another %lld ns",
+          current->holder.c_str(), static_cast<long long>(current->epoch),
+          static_cast<long long>(current->expiry_nanos - now)));
+    }
+    // Still ours: renew in place, epoch unchanged.
+    Lease next{current->epoch, options_.holder_id, now + options_.ttl_nanos};
+    Status cas = CasInstall(current, next);
+    if (!cas.ok()) {
+      holding_ = false;
+      return cas;
+    }
+    holding_ = true;
+    held_epoch_ = current->epoch;
+    return held_epoch_;
+  }
+
+  // Free (absent or expired): take it with a bumped epoch.  The bump floor
+  // includes every epoch we have ever seen, so even a corrupted/reset
+  // record cannot hand out an epoch that downstream fences already saw.
+  const int64_t next_epoch =
+      std::max(current ? current->epoch : 0, last_observed_epoch_) + 1;
+  Lease next{next_epoch, options_.holder_id, now + options_.ttl_nanos};
+  Status cas = CasInstall(current, next);
+  if (!cas.ok()) {
+    holding_ = false;
+    return cas;
+  }
+  holding_ = true;
+  held_epoch_ = next_epoch;
+  last_observed_epoch_ = next_epoch;
+  return held_epoch_;
+}
+
+Status LeaseManager::Renew() {
+  if (!holding_) return FailedPrecondition("not holding the lease");
+  std::optional<Lease> current = Read();
+  const int64_t now = options_.clock();
+  if (!current || current->epoch != held_epoch_ ||
+      current->holder != options_.holder_id) {
+    holding_ = false;
+    return FailedPrecondition("lease lost: record superseded");
+  }
+  if (current->expired(now)) {
+    holding_ = false;
+    return FailedPrecondition("lease lost: expired before renewal");
+  }
+  Lease next{held_epoch_, options_.holder_id, now + options_.ttl_nanos};
+  Status cas = CasInstall(current, next);
+  if (!cas.ok()) holding_ = false;
+  return cas;
+}
+
+Status LeaseManager::Release() {
+  if (!holding_) return Status::Ok();
+  holding_ = false;
+  std::optional<Lease> current = Read();
+  if (!current || current->epoch != held_epoch_ ||
+      current->holder != options_.holder_id) {
+    return Status::Ok();  // already superseded — nothing to give back
+  }
+  // Expire in place (epoch unchanged): the next acquirer bumps it.
+  Lease next{held_epoch_, options_.holder_id, options_.clock()};
+  return CasInstall(current, next);
+}
+
+bool LeaseCoordinator::Tick() {
+  if (leading_) {
+    if (manager_->Renew().ok()) return true;
+    // Lease lost: self-demote.  Do not immediately re-acquire — the next
+    // tick may, but the demotion edge must be observable first.
+    leading_ = false;
+    if (callbacks_.on_lose) callbacks_.on_lose();
+    return false;
+  }
+  Result<int64_t> acquired = manager_->TryAcquire();
+  if (!acquired.ok()) return false;
+  const bool accepted =
+      !callbacks_.on_acquire || callbacks_.on_acquire(acquired.value());
+  if (!accepted) {
+    manager_->Release();
+    return false;
+  }
+  leading_ = true;
+  return true;
+}
+
+void LeaseCoordinator::StepDown() {
+  if (!leading_) return;
+  leading_ = false;
+  manager_->Release();
+  if (callbacks_.on_lose) callbacks_.on_lose();
+}
+
+}  // namespace nerpa::ha

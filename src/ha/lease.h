@@ -1,0 +1,144 @@
+// Leader leases for hot-standby controller replication.
+//
+// An active/standby controller pair elects its leader through a singleton
+// `Leader_Lease` row in the shared (durable) OVSDB: whoever holds an
+// unexpired lease is the leader; the lease epoch doubles as the fencing
+// token every data-plane and management-plane write carries (see
+// ovsdb::Database's assert_fence operation and p4::RuntimeClient's fence
+// token).  The protocol is the classic lease + fencing-token design:
+//
+//   * Acquire: allowed only when the record is absent, expired, or already
+//     ours.  Acquisition by a *new* holder (or re-acquisition of an expired
+//     lease) bumps the epoch; the bump is what fences out the previous
+//     leader everywhere downstream.
+//   * Renew: extends expiry only — the epoch never changes while the same
+//     holder stays leader, so renewal storms cannot invalidate in-flight
+//     writes.
+//   * Every mutation is a CAS transaction: a "wait" operation asserts the
+//     exact (epoch, expiry_nanos) pair the caller last read, then an
+//     "update" installs the new record.  Two racing acquirers serialize
+//     through the database; the loser's wait fails and it re-reads.
+//
+// Expiry is compared against an injectable clock (defaults to
+// MonotonicNanos) so tests and the chaos harness can freeze, skew, or jump
+// time.  The epoch is monotone even across a corrupt or deleted record:
+// the manager remembers the largest epoch it ever observed and always
+// acquires above it.
+#ifndef NERPA_HA_LEASE_H_
+#define NERPA_HA_LEASE_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "ovsdb/database.h"
+
+namespace nerpa::ha {
+
+/// A decoded Leader_Lease record.
+struct Lease {
+  int64_t epoch = 0;
+  std::string holder;
+  int64_t expiry_nanos = 0;
+
+  bool expired(int64_t now_nanos) const { return now_nanos >= expiry_nanos; }
+};
+
+/// One replica's view of the lease.  Not thread-safe; drive it from the
+/// replica's control loop.
+class LeaseManager {
+ public:
+  struct Options {
+    std::string holder_id;                 // unique per replica
+    int64_t ttl_nanos = 500'000'000;       // lease validity per renewal
+    std::function<int64_t()> clock;        // defaults to MonotonicNanos
+  };
+
+  LeaseManager(ovsdb::Database* db, Options options);
+
+  /// Decodes the current lease row; nullopt when absent.  A malformed row
+  /// (wrong arity, lost columns) decodes as epoch 0 / expired — i.e. free
+  /// to take, but still subject to the monotone-epoch floor.
+  std::optional<Lease> Read() const;
+
+  /// Attempts to become (or stay) leader.  Returns the held epoch on
+  /// success.  While we already hold an unexpired lease this renews it
+  /// (same epoch); otherwise it CAS-acquires with a bumped epoch.  Fails
+  /// with kFailedPrecondition when another holder's lease is still live or
+  /// when the CAS loses a race.
+  Result<int64_t> TryAcquire();
+
+  /// Extends the expiry of a lease we hold, keeping the epoch.  Fails with
+  /// kFailedPrecondition (and forgets leadership) when the lease is no
+  /// longer ours or already expired under our clock.
+  Status Renew();
+
+  /// Gives up a held lease by expiring it in place (no epoch change); the
+  /// standby can then acquire immediately instead of waiting out the TTL.
+  /// No-op when not holding.
+  Status Release();
+
+  /// True while the last Acquire/Renew succeeded and has not been revoked.
+  /// (A stale true is possible until the next Renew fails — that window is
+  /// exactly what downstream fencing covers.)
+  bool holding() const { return holding_; }
+
+  /// The epoch we hold (0 when not leader).
+  int64_t epoch() const { return holding_ ? held_epoch_ : 0; }
+
+  /// Largest epoch ever observed in the table (monotone floor for bumps).
+  int64_t last_observed_epoch() const { return last_observed_epoch_; }
+
+  const std::string& holder_id() const { return options_.holder_id; }
+  int64_t ttl_nanos() const { return options_.ttl_nanos; }
+  int64_t now() const { return options_.clock(); }
+
+ private:
+  /// CAS: wait-for (expected epoch/expiry, or absence) then install `next`.
+  Status CasInstall(const std::optional<Lease>& expected, const Lease& next);
+
+  ovsdb::Database* db_;
+  Options options_;
+  bool holding_ = false;
+  int64_t held_epoch_ = 0;
+  int64_t last_observed_epoch_ = 0;
+};
+
+/// Failover policy pump for one replica: Tick() renews while leading and
+/// tries to acquire while following, invoking the callbacks on role edges.
+/// Deterministic — no threads, no sleeps; the caller owns the cadence (the
+/// HA pair's control loop, a test, or the failover bench).
+class LeaseCoordinator {
+ public:
+  struct Callbacks {
+    /// Became leader at `epoch`.  Return false to refuse leadership (e.g.
+    /// promotion failed) — the coordinator releases the lease again.
+    std::function<bool(int64_t epoch)> on_acquire;
+    /// Lost the lease (expired, revoked, or released).
+    std::function<void()> on_lose;
+  };
+
+  LeaseCoordinator(LeaseManager* manager, Callbacks callbacks)
+      : manager_(manager), callbacks_(std::move(callbacks)) {}
+
+  /// One scheduling quantum: leaders renew, followers try to acquire.
+  /// Returns true when this replica is leader after the tick.
+  bool Tick();
+
+  /// Voluntarily steps down (releases the lease, fires on_lose).
+  void StepDown();
+
+  bool leading() const { return leading_; }
+
+ private:
+  LeaseManager* manager_;
+  Callbacks callbacks_;
+  bool leading_ = false;
+};
+
+}  // namespace nerpa::ha
+
+#endif  // NERPA_HA_LEASE_H_

@@ -11,6 +11,15 @@
 
 namespace nerpa {
 
+const char* RoleName(Role role) {
+  switch (role) {
+    case Role::kLeader: return "leader";
+    case Role::kFollower: return "follower";
+    case Role::kCandidate: return "candidate";
+  }
+  return "unknown";
+}
+
 Controller::Controller(ovsdb::Database* db,
                        std::shared_ptr<const dlog::Program> program,
                        std::shared_ptr<const p4::P4Program> p4_program,
@@ -21,6 +30,8 @@ Controller::Controller(ovsdb::Database* db,
       bindings_(std::move(bindings)),
       options_(std::move(options)) {
   digest_seq_ = options_.initial_digest_seq;
+  role_.store(options_.initial_role, std::memory_order_release);
+  fence_epoch_.store(options_.fence_epoch, std::memory_order_release);
 }
 
 Controller::Controller(ovsdb::Database* db,
@@ -52,12 +63,17 @@ Status Controller::AddDevice(std::string name, p4::RuntimeClient* client) {
   devices_.push_back(Device{});
   devices_.back().name = std::move(name);
   devices_.back().client = client;
+  client->set_fence_token(fence_epoch_.load(std::memory_order_acquire));
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     stats_.breaker_states[devices_.back().name] = "closed";
     stats_.outbox_sizes[devices_.back().name] = 0;
   }
-  if (!started_) return Status::Ok();
+  // Followers register without resyncing — Promote() reconciles every
+  // device when (if) leadership arrives.
+  if (!started_ || role_.load(std::memory_order_acquire) != Role::kLeader) {
+    return Status::Ok();
+  }
   // Late registration = a device (re)joining a live controller: bring it
   // to the desired state with the minimal write set.
   Status synced = ResyncDeviceImpl(devices_.back());
@@ -79,6 +95,9 @@ Status Controller::AddDevice(std::string name, p4::RuntimeClient* client) {
 
 Status Controller::ResyncDevice(const std::string& name) {
   if (!started_) return FailedPrecondition("controller not started");
+  if (role_.load(std::memory_order_acquire) != Role::kLeader) {
+    return FailedPrecondition("only the leader resynchronizes devices");
+  }
   std::lock_guard<std::mutex> plane(sync_mu_);
   for (Device& device : devices_) {
     if (device.name == name) return ResyncDeviceImpl(device);
@@ -169,7 +188,11 @@ Status Controller::Start() {
   }
   if (options_.resync_on_start) {
     suppress_writes_ = false;
-    NERPA_RETURN_IF_ERROR(ResyncAllDevices());
+    // A follower skips the device reconciliation — it owns no devices.
+    // Promote() runs exactly this resync when leadership arrives.
+    if (role_.load(std::memory_order_acquire) == Role::kLeader) {
+      NERPA_RETURN_IF_ERROR(ResyncAllDevices());
+    }
   }
   if (options_.anti_entropy_interval_nanos > 0) {
     anti_entropy_thread_ = std::thread([this] {
@@ -197,6 +220,140 @@ Result<std::string> Controller::CheckpointEngine() {
   // Plane lock: SerializeState must see the engine between transactions.
   std::lock_guard<std::mutex> plane(sync_mu_);
   return engine_->SerializeState();
+}
+
+void Controller::SetFenceTokensLocked(uint64_t epoch) {
+  fence_epoch_.store(epoch, std::memory_order_release);
+  for (Device& device : devices_) device.client->set_fence_token(epoch);
+}
+
+Status Controller::ArbitrateAllLocked() {
+  for (Device& device : devices_) {
+    NERPA_RETURN_IF_ERROR(device.client->Arbitrate());
+  }
+  return Status::Ok();
+}
+
+void Controller::RecoverDigestSeqLocked() {
+  // The engine state (possibly the old leader's checkpoint) carries the
+  // sequence numbers the old leader assigned; most-recent-wins rules break
+  // if this leader reuses one, so start strictly above the maximum.
+  int64_t max_seen = -1;
+  for (const DigestBinding& binding : bindings_.digests) {
+    if (!binding.has_seq) continue;
+    Result<std::vector<dlog::Row>> rows = engine_->Dump(binding.relation);
+    if (!rows.ok()) continue;
+    for (const dlog::Row& row : rows.value()) {
+      if (row.size() == 0) continue;
+      max_seen = std::max(max_seen, row[row.size() - 1].as_int());
+    }
+  }
+  digest_seq_ = std::max(digest_seq_, max_seen + 1);
+}
+
+Status Controller::Promote(uint64_t epoch) {
+  if (!started_) return FailedPrecondition("controller not started");
+  if (role_.load(std::memory_order_acquire) == Role::kLeader) {
+    // Already leading (e.g. a renewed mandate): just raise the token.
+    std::lock_guard<std::mutex> plane(sync_mu_);
+    SetFenceTokensLocked(epoch);
+    Status arbitrated = ArbitrateAllLocked();
+    // A failed arbitration means some device already answers to a newer
+    // epoch — we only thought we were still leader.
+    if (!arbitrated.ok()) Demote();
+    return arbitrated;
+  }
+  role_.store(Role::kCandidate, std::memory_order_release);
+  std::lock_guard<std::mutex> plane(sync_mu_);
+  // Stamp the token on every client, then arbitrate: each switch raises
+  // its fence high-water mark *now*, before any write — so the old leader
+  // is locked out even if the resync below turns out to be a zero-write
+  // diff.  Arbitration failure means a newer epoch beat us to a device;
+  // leadership is refused.
+  SetFenceTokensLocked(epoch);
+  Status arbitrated = ArbitrateAllLocked();
+  if (!arbitrated.ok()) {
+    role_.store(Role::kFollower, std::memory_order_release);
+    return arbitrated;
+  }
+  RecoverDigestSeqLocked();
+  Status synced = ResyncAllDevices();
+  if (!synced.ok()) {
+    role_.store(Role::kFollower, std::memory_order_release);
+    return synced;
+  }
+  role_.store(Role::kLeader, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.promotions;
+    // Errors recorded while demoted (aborted batches racing the flip) are
+    // not this mandate's problem; the resync above re-established ground
+    // truth on every device.
+    if (last_error_.code() == StatusCode::kPermissionDenied) {
+      last_error_ = Status::Ok();
+    }
+  }
+  return Status::Ok();
+}
+
+void Controller::Demote() {
+  // Atomic flip, no locks: this is called from inside the write path (a
+  // fenced-out worker while the monitor callback holds sync_mu_), so
+  // taking the plane lock here would deadlock.  In-flight batches see the
+  // flip at their next per-op check and abort.
+  Role expected = role_.load(std::memory_order_acquire);
+  while (expected != Role::kFollower) {
+    if (role_.compare_exchange_weak(expected, Role::kFollower,
+                                    std::memory_order_acq_rel)) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.demotions;
+      return;
+    }
+  }
+}
+
+Status Controller::ReloadEngineCheckpoint(const std::string& checkpoint) {
+  if (!started_) return FailedPrecondition("controller not started");
+  if (role_.load(std::memory_order_acquire) == Role::kLeader) {
+    return FailedPrecondition("leader does not reload engine checkpoints");
+  }
+  std::lock_guard<std::mutex> plane(sync_mu_);
+  Result<std::unique_ptr<dlog::Engine>> restored =
+      dlog::Engine::Restore(program_, checkpoint);
+  if (!restored.ok()) return restored.status();
+  engine_ = std::move(restored).value();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.engine_restores;
+  }
+  // Reseed the multicast bookkeeping from the restored state (same dance
+  // as a warm Start(): those rows never flowed through a delta).
+  multicast_members_.clear();
+  if (!options_.multicast_relation.empty()) {
+    NERPA_ASSIGN_OR_RETURN(std::vector<dlog::Row> rows,
+                           engine_->Dump(options_.multicast_relation));
+    dlog::SetDelta seed;
+    seed.reserve(rows.size());
+    for (dlog::Row& row : rows) seed.emplace_back(std::move(row), +1);
+    std::vector<DeviceBatch> none;
+    NERPA_RETURN_IF_ERROR(ApplyMulticastDelta(seed, none));
+  }
+  RecoverDigestSeqLocked();
+  // Reconcile the checkpoint against the live database: feed the current
+  // contents of every bound table as one synthetic snapshot.  Inserting a
+  // present row is a set-semantics no-op; rows the checkpoint holds that
+  // the database no longer does are deleted by the catch-up pass.
+  reconcile_restored_ = true;
+  ovsdb::TableUpdates snapshot;
+  for (const OvsdbBinding& binding : bindings_.ovsdb_tables) {
+    ovsdb::TableUpdate& table = snapshot[binding.table];
+    for (const ovsdb::Row* row : db_->GetRows(binding.table)) {
+      ovsdb::RowUpdate update;
+      update.new_row = *row;
+      table.emplace(row->uuid, std::move(update));
+    }
+  }
+  return ProcessOvsdbUpdates(snapshot);
 }
 
 size_t Controller::DispatchWorkers(size_t jobs) const {
@@ -260,13 +417,22 @@ void Controller::OnOvsdbUpdate(const ovsdb::TableUpdates& updates) {
   std::lock_guard<std::mutex> plane(sync_mu_);
   Status status = ProcessOvsdbUpdates(updates);
   if (!status.ok()) {
+    // A fenced-out write (stale lease epoch) is the replication protocol
+    // working, not a fault: the controller has already self-demoted and
+    // the new leader owns convergence.  Observable via stats().demotions /
+    // fenced_writes_rejected rather than last_error().
+    bool fenced = status.code() == StatusCode::kPermissionDenied;
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.errors;
-      if (last_error_.ok()) last_error_ = status;
+      if (!fenced) {
+        ++stats_.errors;
+        if (last_error_.ok()) last_error_ = status;
+      }
     }
-    LOG_ERROR << "controller: failed to process management update: "
-              << status.ToString();
+    if (!fenced) {
+      LOG_ERROR << "controller: failed to process management update: "
+                << status.ToString();
+    }
   }
 }
 
@@ -383,6 +549,17 @@ Status Controller::WriteWithRetry(Device& device,
     // are deterministic and would just replay the failure.
     if (status.code() != StatusCode::kInternal) break;
   }
+  if (status.code() == StatusCode::kPermissionDenied) {
+    // Stale fencing token: the device is healthy but belongs to a newer
+    // leader.  Self-demote (atomic — no locks held here) so the rest of
+    // this delta and everything after it stops; no breaker strike, the
+    // device did nothing wrong.
+    Demote();
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.fenced_writes_rejected;
+    ++stats_.write_failures;
+    return status;
+  }
   std::lock_guard<std::mutex> lock(stats_mu_);
   ++stats_.write_failures;
   if (status.code() == StatusCode::kInternal) StrikeLocked(device);
@@ -467,6 +644,12 @@ Status Controller::ExecuteBatch(DeviceBatch& batch) {
   // first error; other devices' batches are unaffected.
   Device& device = *batch.device;
   for (size_t i = 0; i < batch.ops.size(); ++i) {
+    if (role_.load(std::memory_order_acquire) != Role::kLeader) {
+      // Demoted mid-batch (lease loss, or a fenced rejection on another
+      // device of this same delta): abort the remaining ops.  Nothing is
+      // parked — the new leader's promotion resync owns these devices.
+      return PermissionDenied("batch aborted: controller demoted");
+    }
     if (options_.breaker.enabled) {
       bool quarantined;
       {
@@ -491,6 +674,13 @@ Status Controller::ExecuteBatch(DeviceBatch& batch) {
       return device.client->Write({p4::Update{op.type, op.entry}});
     });
     if (!status.ok()) {
+      if (status.code() == StatusCode::kPermissionDenied) {
+        // Fenced out: WriteWithRetry already self-demoted.  Never park
+        // fenced ops in the outbox — the device is healthy and owned by
+        // the new leader; replaying stale state at it later would be
+        // exactly the split-brain the fence exists to stop.
+        return status;
+      }
       if (options_.breaker.enabled) {
         bool tripped;
         {
@@ -553,10 +743,13 @@ Status Controller::RunBatches(std::vector<DeviceBatch>& batches) {
 }
 
 Status Controller::ApplyOutputDelta(const dlog::TxnDelta& delta) {
-  if (suppress_writes_) {
-    // Startup resync: the engine itself accumulates the desired table
-    // state, so entry conversion is deferred to ResyncDeviceImpl; only the
-    // multicast membership bookkeeping must be kept current.
+  if (suppress_writes_ ||
+      role_.load(std::memory_order_acquire) != Role::kLeader) {
+    // Startup resync, or a follower/demoted controller: the engine itself
+    // accumulates the desired table state, so entry conversion is deferred
+    // to ResyncDeviceImpl (at Start() for resync, at Promote() for a
+    // follower); only the multicast membership bookkeeping must be kept
+    // current.
     std::vector<DeviceBatch> none;
     for (const auto& [relation, rows] : delta.outputs) {
       if (relation == options_.multicast_relation) {
@@ -769,6 +962,11 @@ Status Controller::ResyncDeviceImpl(Device& device) {
 
 Status Controller::RunAntiEntropy() {
   if (!started_) return FailedPrecondition("controller not started");
+  // Followers own no devices; probing (= resyncing) one would fight the
+  // leader.  Cheap no-op so callers can pump unconditionally.
+  if (role_.load(std::memory_order_acquire) != Role::kLeader) {
+    return Status::Ok();
+  }
   std::lock_guard<std::mutex> plane(sync_mu_);
   int64_t now = MonotonicNanos();
   for (Device& device : devices_) {
@@ -835,6 +1033,12 @@ Controller::Stats Controller::stats() const {
 
 Status Controller::SyncDataPlaneNotifications() {
   if (!started_) return FailedPrecondition("controller not started");
+  // Digests drain destructively from the switch; a follower polling them
+  // would steal the leader's MAC-learning events.  Followers pick learned
+  // state up through checkpoint reloads instead.
+  if (role_.load(std::memory_order_acquire) != Role::kLeader) {
+    return Status::Ok();
+  }
   std::lock_guard<std::mutex> plane(sync_mu_);
   bool any = false;
   Status first_error;

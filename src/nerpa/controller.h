@@ -16,6 +16,7 @@
 #ifndef NERPA_NERPA_CONTROLLER_H_
 #define NERPA_NERPA_CONTROLLER_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <map>
 #include <memory>
@@ -32,6 +33,17 @@
 #include "p4/runtime.h"
 
 namespace nerpa {
+
+/// Replication role of one controller in a hot-standby pair (src/ha's
+/// leader lease elects the leader; the epoch is the fencing token).
+///   kLeader:    owns the data plane — the only role that writes devices.
+///   kFollower:  runs the full control plane hot (engine, multicast
+///               bookkeeping, monitor deltas) but never writes; ready to
+///               promote with a minimal-diff resync.
+///   kCandidate: transient, during Promote() — devices are being fenced
+///               and resynchronized but leadership is not yet assumed.
+enum class Role { kLeader, kFollower, kCandidate };
+const char* RoleName(Role role);
 
 class Controller {
  public:
@@ -123,6 +135,16 @@ class Controller {
     /// explicitly — the default, matching the repo's no-hidden-threads
     /// convention.
     int64_t anti_entropy_interval_nanos = 0;
+
+    /// Replication role at Start().  Followers track everything but write
+    /// nothing (and never drain digests — those are consumed destructively
+    /// and belong to the leader); Promote() turns a follower into the
+    /// leader.  Default preserves the single-controller behaviour.
+    Role initial_role = Role::kLeader;
+
+    /// Initial fencing token (leader-lease epoch) stamped on every device
+    /// client.  0 = unfenced single-controller deployment.
+    uint64_t fence_epoch = 0;
   };
 
   /// The database and runtime clients must outlive the controller.
@@ -168,6 +190,35 @@ class Controller {
   /// digest stream.)
   Status SyncDataPlaneNotifications();
 
+  // --- Replication role machine (hot-standby failover) ---
+
+  Role role() const { return role_.load(std::memory_order_acquire); }
+
+  /// Follower → leader.  Stamps `epoch` (the freshly-acquired lease epoch)
+  /// as the fencing token on every device client — which simultaneously
+  /// raises each switch's fence high-water mark, locking the old leader
+  /// out — recovers digest-sequence monotonicity from the engine's digest
+  /// relations, then reconciles every device with the minimal-diff resync.
+  /// On success the controller is leader; on failure it returns to
+  /// follower (and the caller should release the lease).  Calling on a
+  /// current leader just raises the fencing token.
+  Status Promote(uint64_t epoch);
+
+  /// Leader → follower, immediately and without blocking: in-flight device
+  /// batches observe the flip at their next per-op check and abort (the
+  /// existing atomic-rollback semantics — nothing partial is retried, and
+  /// nothing is parked for a device the next leader now owns).  Safe to
+  /// call from any thread, including from inside the write path — a
+  /// fenced-out write self-demotes through here.
+  void Demote();
+
+  /// Follower hot-reload: replaces the engine with the leader's checkpoint
+  /// blob (CheckpointEngine() output shipped via ha::DurableStore engine
+  /// sidecars), reseeds the multicast bookkeeping, and reconciles the
+  /// restored inputs against the current database contents so the follower
+  /// stays hot no matter how stale the checkpoint.  Leader refuses.
+  Status ReloadEngineCheckpoint(const std::string& checkpoint);
+
   /// One anti-entropy round: every quarantined device whose cooldown has
   /// elapsed goes half-open and is probed with a full resynchronization
   /// (the minimal read/diff/write set, which subsumes its outbox).  A
@@ -211,6 +262,10 @@ class Controller {
     uint64_t engine_restores = 0;           // engines loaded from checkpoint
     uint64_t engine_restore_rejections = 0; // blobs rejected (cold-started)
     uint64_t catchup_deletes = 0;           // stale input rows reconciled away
+    // --- robustness: hot-standby replication ---
+    uint64_t promotions = 0;                // follower → leader transitions
+    uint64_t demotions = 0;                 // leader → follower transitions
+    uint64_t fenced_writes_rejected = 0;    // writes refused for stale epoch
   };
   /// Snapshot of the counters (thread-safe against concurrent dispatch
   /// and the anti-entropy thread).
@@ -319,6 +374,18 @@ class Controller {
   Status ResyncDeviceImpl(Device& device);
   /// Reconciles every registered device, concurrently when allowed.
   Status ResyncAllDevices();
+  /// Stamps `epoch` on every device client.  Caller holds sync_mu_ (or is
+  /// in single-threaded setup before Start()).
+  void SetFenceTokensLocked(uint64_t epoch);
+  /// Presents the stamped token to every switch (P4Runtime arbitration
+  /// analog) so their fence high-water marks rise before any write.
+  /// Caller holds sync_mu_.
+  Status ArbitrateAllLocked();
+  /// Raises digest_seq_ above every sequence number present in the
+  /// engine's digest relations, so most-recent-wins ordering survives a
+  /// failover (a new leader must never reissue a sequence number the old
+  /// leader already assigned).  Caller holds sync_mu_.
+  void RecoverDigestSeqLocked();
   /// Worker count for `jobs` parallel device tasks under Options.
   size_t DispatchWorkers(size_t jobs) const;
   /// The dispatch pool, (re)sized to at least `want` workers.
@@ -341,6 +408,12 @@ class Controller {
   // the first ProcessOvsdbUpdates to run the catch-up reconciliation.
   bool reconcile_restored_ = false;
   int64_t digest_seq_ = 0;
+  /// Replication role.  Atomic so the write path can observe a demotion
+  /// mid-batch without taking sync_mu_ (a fenced-out ExecuteBatch worker
+  /// self-demotes while the monitor callback holds the plane lock).
+  std::atomic<Role> role_{Role::kLeader};
+  /// Current fencing token (lease epoch) stamped on device clients.
+  std::atomic<uint64_t> fence_epoch_{0};
   // (device, group) -> member ports, for multicast reprogramming.
   std::map<std::pair<std::string, uint32_t>, std::vector<uint64_t>>
       multicast_members_;

@@ -119,6 +119,27 @@ Result<Row> RowFromJson(const TableSchema& schema, const Uuid& uuid,
   return row;
 }
 
+TableSchema LeaderLeaseTableSchema() {
+  TableSchema table;
+  table.name = kLeaderLeaseTable;
+  table.columns = {
+      {kLeaseEpochColumn, ColumnType::Scalar(BaseType::Integer(0)), false,
+       true},
+      {kLeaseHolderColumn, ColumnType::Scalar(BaseType::String()), false,
+       true},
+      {kLeaseExpiryColumn, ColumnType::Scalar(BaseType::Integer()), false,
+       true},
+  };
+  table.is_root = true;
+  table.max_rows = 1;  // the singleton invariant the CAS protocol relies on
+  return table;
+}
+
+DatabaseSchema WithLeaderLease(DatabaseSchema schema) {
+  schema.tables.insert({kLeaderLeaseTable, LeaderLeaseTableSchema()});
+  return schema;
+}
+
 Database::Database(DatabaseSchema schema) : schema_(std::move(schema)) {
   for (const auto& [name, table_schema] : schema_.tables) {
     TableData& data = tables_[name];
@@ -417,7 +438,39 @@ class Database::Txn {
     if (name == "wait") return OpWait(op);
     if (name == "comment") return Json(Json::Object{});
     if (name == "abort") return FailedPrecondition("aborted");
+    if (name == "assert_fence") return OpAssertFence(op);
     return InvalidArgument("unknown operation '" + name + "'");
+  }
+
+  /// Split-brain fencing: the op's epoch must be at least the epoch in the
+  /// Leader_Lease singleton, read at in-transaction state (so an acquire
+  /// that bumps the epoch earlier in the same transaction is visible).  An
+  /// absent row fences nothing — no leader has ever been elected.
+  Result<Json> OpAssertFence(const Json& op) {
+    const Json* epoch = op.Find("epoch");
+    if (epoch == nullptr || !epoch->is_integer()) {
+      return ParseError("assert_fence needs integer 'epoch'");
+    }
+    const int64_t token = epoch->as_integer();
+    const TableSchema* schema = db_->schema_.FindTable(kLeaderLeaseTable);
+    TableData* data = db_->FindTable(kLeaderLeaseTable);
+    if (schema == nullptr || data == nullptr) {
+      return InvalidArgument("assert_fence on a database without a '" +
+                             std::string(kLeaderLeaseTable) + "' table");
+    }
+    for (const auto& [uuid, row] : data->rows) {
+      const Datum* current = row.Find(kLeaseEpochColumn);
+      const int64_t lease_epoch =
+          current != nullptr && !current->empty() ? current->AsInteger() : 0;
+      if (token < lease_epoch) {
+        ++db_->fence_rejections_;
+        return PermissionDenied(
+            StrFormat("stale fencing token: epoch %lld < lease epoch %lld",
+                      static_cast<long long>(token),
+                      static_cast<long long>(lease_epoch)));
+      }
+    }
+    return Json(Json::Object{});
   }
 
   Result<const TableSchema*> GetTableSchema(const Json& op) {
@@ -1299,6 +1352,13 @@ void TxnBuilder::Delete(std::string_view table, std::vector<Clause> where) {
   op["op"] = Json("delete");
   op["table"] = Json(std::string(table));
   op["where"] = WhereToJson(where);
+  ops_.push_back(Json(std::move(op)));
+}
+
+void TxnBuilder::AssertFence(int64_t epoch) {
+  Json::Object op;
+  op["op"] = Json("assert_fence");
+  op["epoch"] = Json(epoch);
   ops_.push_back(Json(std::move(op)));
 }
 

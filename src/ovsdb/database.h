@@ -67,6 +67,29 @@ struct Clause {
   Datum value;
 };
 
+// --- Leader lease (controller replication) ---
+//
+// Hot-standby controller pairs elect a leader through a singleton
+// `Leader_Lease` row (epoch, holder, expiry_nanos) updated with CAS-style
+// wait+update transactions; the lease epoch doubles as a fencing token.  A
+// transaction may carry an extra {"op":"assert_fence","epoch":N} operation:
+// it fails (rolling the whole transaction back) when N is older than the
+// epoch recorded in the lease row, so a paused-then-revived old leader can
+// never push stale writes into a database that has since elected a
+// successor.
+
+/// Name of the lease table and its columns.
+inline constexpr char kLeaderLeaseTable[] = "Leader_Lease";
+inline constexpr char kLeaseEpochColumn[] = "epoch";
+inline constexpr char kLeaseHolderColumn[] = "holder";
+inline constexpr char kLeaseExpiryColumn[] = "expiry_nanos";
+
+/// The lease table schema: max_rows=1 makes the singleton a DB invariant.
+TableSchema LeaderLeaseTableSchema();
+
+/// Returns `schema` extended with the Leader_Lease table (idempotent).
+DatabaseSchema WithLeaderLease(DatabaseSchema schema);
+
 class Database {
  public:
   explicit Database(DatabaseSchema schema);
@@ -74,9 +97,9 @@ class Database {
   const DatabaseSchema& schema() const { return schema_; }
 
   /// Executes a JSON "transact" request: an array of operation objects
-  /// (insert/select/update/mutate/delete/wait/comment/abort).  Returns the
-  /// per-operation result array; if any operation fails the transaction is
-  /// rolled back and the Status is the error.
+  /// (insert/select/update/mutate/delete/wait/comment/abort/assert_fence).
+  /// Returns the per-operation result array; if any operation fails the
+  /// transaction is rolled back and the Status is the error.
   Result<Json> Transact(const Json& operations);
 
   /// Parses `text` as JSON and calls Transact.
@@ -130,6 +153,10 @@ class Database {
 
   /// Number of committed transactions (monotone; useful for tests).
   uint64_t commit_count() const { return commit_count_; }
+
+  /// Transactions rejected because their assert_fence epoch was older than
+  /// the current Leader_Lease epoch (monotone; split-brain observability).
+  uint64_t fence_rejections() const { return fence_rejections_; }
 
   // --- Commit hooks (durability integration, src/ha) ---
 
@@ -195,6 +222,7 @@ class Database {
   uint64_t next_monitor_id_ = 1;
   uint64_t next_hook_id_ = 1;
   uint64_t commit_count_ = 0;
+  uint64_t fence_rejections_ = 0;
   mutable uint64_t indexed_selects_ = 0;
   std::string journal_path_;  // empty = durability off
 };
@@ -233,6 +261,10 @@ class TxnBuilder {
                     std::string_view column, Atom key, Atom value);
   void MutateDelKey(std::string_view table, std::vector<Clause> where,
                     std::string_view column, Atom key);
+
+  /// Adds an assert_fence operation: the transaction commits only if `epoch`
+  /// is at least the current Leader_Lease epoch (split-brain fencing).
+  void AssertFence(int64_t epoch);
 
   /// A JSON value that references the row inserted earlier in this
   /// transaction under `name`.

@@ -22,6 +22,18 @@ const TableState* Switch::GetTable(std::string_view name) const {
   return it == tables_.end() ? nullptr : &it->second;
 }
 
+Status Switch::CheckFence(uint64_t token) {
+  if (token < fence_epoch_ || (token == 0 && fence_epoch_ != 0)) {
+    ++stale_writes_;
+    return PermissionDenied(StrFormat(
+        "stale fencing token: epoch %llu < switch fence epoch %llu",
+        static_cast<unsigned long long>(token),
+        static_cast<unsigned long long>(fence_epoch_)));
+  }
+  if (token > fence_epoch_) fence_epoch_ = token;
+  return Status::Ok();
+}
+
 void Switch::SetMulticastGroup(uint32_t group, std::vector<uint64_t> ports) {
   if (ports.empty()) {
     multicast_.erase(group);

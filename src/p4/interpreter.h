@@ -68,6 +68,24 @@ class Switch {
   /// Drains queued digests (FIFO).
   std::vector<DigestMessage> TakeDigests();
 
+  // --- Fencing (controller replication) ---
+  //
+  // Writers present a fencing token (their leader-lease epoch); the switch
+  // remembers the largest token it has ever accepted and rejects anything
+  // older, so a deposed leader that wakes up mid-batch cannot mutate state
+  // a newer leader already owns.  Token 0 marks an unfenced writer — legal
+  // only while the switch has never seen a fenced write (single-controller
+  // deployments keep working untouched).
+
+  /// Validates `token` against the high-water mark, raising it on success.
+  Status CheckFence(uint64_t token);
+
+  /// Largest fencing token accepted so far (0 = never fenced).
+  uint64_t fence_epoch() const { return fence_epoch_; }
+
+  /// Writes rejected for carrying a stale token (split-brain near misses).
+  uint64_t stale_writes() const { return stale_writes_; }
+
   struct Stats {
     uint64_t packets_in = 0;
     uint64_t packets_out = 0;
@@ -110,6 +128,8 @@ class Switch {
   std::map<uint32_t, std::vector<uint64_t>> multicast_;
   std::vector<DigestMessage> digests_;
   Stats stats_;
+  uint64_t fence_epoch_ = 0;
+  uint64_t stale_writes_ = 0;
 };
 
 }  // namespace nerpa::p4

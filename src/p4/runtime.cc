@@ -84,6 +84,7 @@ Status RuntimeClient::ValidateEntry(const TableEntry& entry,
 }
 
 Status RuntimeClient::Write(const std::vector<Update>& updates) {
+  NERPA_RETURN_IF_ERROR(switch_->CheckFence(fence_token_));
   for (const Update& update : updates) {
     NERPA_RETURN_IF_ERROR(ValidateEntry(update.entry, update.type));
   }
@@ -145,6 +146,7 @@ RuntimeClient::ReadCounters(std::string_view table_name) const {
 
 Status RuntimeClient::SetMulticastGroup(uint32_t group,
                                         std::vector<uint64_t> ports) {
+  NERPA_RETURN_IF_ERROR(switch_->CheckFence(fence_token_));
   switch_->SetMulticastGroup(group, std::move(ports));
   ++write_count_;
   return Status::Ok();

@@ -71,6 +71,25 @@ class RuntimeClient {
   /// resynchronization tests assert "zero writes when converged".
   uint64_t write_count() const { return write_count_; }
 
+  // --- Fencing (controller replication) ---
+  //
+  // The client stamps every Write/SetMulticastGroup with this token (its
+  // controller's leader-lease epoch); the switch rejects stale tokens with
+  // kPermissionDenied (Switch::CheckFence).  0 = unfenced legacy writer.
+  // Decorators (ha::FaultyRuntimeClient) inherit the check by delegating
+  // to the base implementation.
+
+  void set_fence_token(uint64_t token) { fence_token_ = token; }
+  uint64_t fence_token() const { return fence_token_; }
+
+  /// Declares mastership to the switch (the P4Runtime arbitration analog):
+  /// presents the fence token without writing anything, raising the
+  /// switch's high-water mark so lower-epoch writers are locked out
+  /// *immediately* — even when the new leader's resync turns out to be a
+  /// zero-write diff.  Fails with kPermissionDenied when an even newer
+  /// epoch already arbitrated.
+  Status Arbitrate() { return switch_->CheckFence(fence_token_); }
+
   using DigestHandler = std::function<void(const DigestMessage&)>;
 
   /// Registers the digest stream handler (one per client, like the
@@ -95,6 +114,7 @@ class RuntimeClient {
   Switch* switch_;
   DigestHandler digest_handler_;
   uint64_t write_count_ = 0;
+  uint64_t fence_token_ = 0;
 };
 
 }  // namespace nerpa::p4

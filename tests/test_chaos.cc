@@ -17,8 +17,10 @@
 #include "chaos/chaos.h"
 #include "common/strings.h"
 #include "ha/durable.h"
+#include "net/packet.h"
 #include "ovsdb/client.h"
 #include "ovsdb/server.h"
+#include "snvs/ha_pair.h"
 #include "snvs/snvs.h"
 
 namespace nerpa {
@@ -328,9 +330,213 @@ void TransportSoak(uint64_t seed, FaultTally& tally) {
   server->Stop();
 }
 
+// --- replication half: lease pathologies over a hot-standby pair -------
+
+/// Drives a durable dual-controller deployment through a seeded storm of
+/// lease losses, clock skews, zombie leaders, and device write faults;
+/// converges it (heal + final leader resync + checkpoint); and checks the
+/// survivors byte-match a clean rebuild off the same durable directory —
+/// including digest-learned MACs, which only the engine-checkpoint handoff
+/// can carry.
+void FailoverSoak(uint64_t seed, FaultTally& tally,
+                  chaos::LeaseFaultTally& lease_tally) {
+  chaos::ChaosSchedule schedule(seed ^ 0xc2b2ae3d27d4eb4full);
+  std::string dir = FreshDir("failover_" + std::to_string(seed));
+
+  int64_t now = 1;
+  constexpr int64_t kTtl = 1000;
+
+  snvs::SnvsHaOptions options;
+  options.devices = 2;
+  options.ha_dir = dir;
+  options.lease_ttl_nanos = kTtl;
+  options.clock = [&now] { return now; };
+  options.fault.write_fail_probability = 0.10;
+  options.fault.seed = schedule.Fork();
+  options.retry.max_attempts = 3;
+  options.retry.initial_backoff_nanos = 1000;
+  options.retry.max_backoff_nanos = 4000;
+
+  auto built = snvs::BuildSnvsHaPair(options);
+  ASSERT_TRUE(built.ok()) << "seed " << seed << ": "
+                          << built.status().ToString();
+  snvs::SnvsHaPair& pair = **built;
+  ASSERT_EQ(pair.Tick(), 0) << "replica 0 must win the first election";
+
+  chaos::LeaseFaultPolicy lease_policy;
+  lease_policy.lease_loss_probability = 0.10;
+  lease_policy.clock_skew_probability = 0.08;
+  lease_policy.zombie_probability = 0.08;
+
+  std::vector<std::string> ports;
+  int next_port = 1, next_acl = 0, next_mirror = 0, next_host = 1;
+  constexpr int kOps = 120;
+  for (int op = 0; op < kOps; ++op) {
+    uint64_t roll = schedule.Pick(100);
+    if (roll < 50 || ports.empty()) {
+      std::string name = StrFormat("hp%d", next_port);
+      if (schedule.Flip(0.25)) {
+        (void)pair.AddPort(name, next_port, "trunk", 0, {10, 20});
+      } else {
+        int64_t vlan = 10 + 10 * static_cast<int64_t>(schedule.Pick(4));
+        (void)pair.AddPort(name, next_port, "access", vlan);
+      }
+      ports.push_back(name);
+      ++next_port;
+    } else if (roll < 65) {
+      size_t victim = schedule.Pick(ports.size());
+      (void)pair.DeletePort(ports[victim]);
+      ports.erase(ports.begin() + static_cast<ptrdiff_t>(victim));
+    } else if (roll < 80) {
+      (void)pair.AddAclRule(0x2000 + next_acl++,
+                            10 + 10 * static_cast<int64_t>(schedule.Pick(4)),
+                            schedule.Flip(0.5));
+    } else if (roll < 90) {
+      (void)pair.AddMirror(StrFormat("hm%d", next_mirror++),
+                           1 + static_cast<int64_t>(schedule.Pick(16)),
+                           1 + static_cast<int64_t>(schedule.Pick(16)));
+    } else {
+      // MAC learning traffic: digest-only soft state, carried across
+      // failovers purely by the checkpoint handoff.
+      uint8_t h = static_cast<uint8_t>(next_host++ % 200 + 1);
+      (void)pair.InjectPacket(
+          schedule.Pick(2), 1 + schedule.Pick(16),
+          net::MakeEthernetFrame(net::Mac(0, 0, 0, 0, 0x20, h),
+                                 net::Mac(0, 0, 0, 0, 0x20,
+                                          static_cast<uint8_t>(h + 1)),
+                                 0x0800, {0xCA, 0xFE}));
+    }
+    if (schedule.Flip(0.15)) {
+      (void)pair.Checkpoint();
+      (void)pair.SyncStandby();
+    }
+
+    // The replication seam.
+    chaos::LeaseFault fault = chaos::DrawLeaseFault(schedule, lease_policy);
+    lease_tally.Count(fault);
+    switch (fault) {
+      case chaos::LeaseFault::kNone:
+        now += kTtl / 4;
+        pair.Tick();  // routine renewal
+        break;
+      case chaos::LeaseFault::kLeaseLoss:
+        // Leader silently stops renewing; the TTL runs out and the next
+        // tick fails its renewal (demote) while the standby acquires.
+        now += 2 * kTtl;
+        pair.Tick();
+        break;
+      case chaos::LeaseFault::kClockSkew:
+        // The shared clock jumps mid-lease; both replicas see expiry at
+        // once and race to (re)acquire through the CAS.
+        now += kTtl + static_cast<int64_t>(schedule.Pick(3 * kTtl));
+        pair.Tick();
+        break;
+      case chaos::LeaseFault::kZombieLeader: {
+        int zombie = pair.leader();
+        if (zombie < 0) {
+          now += kTtl / 4;
+          pair.Tick();
+          break;
+        }
+        // The standby promotes while the old leader never learns it lost
+        // the lease; the next commit makes the zombie write with a stale
+        // epoch — every switch must fence it out, and it self-demotes.
+        now += 2 * kTtl;
+        pair.coordinator(static_cast<size_t>(1 - zombie)).Tick();
+        uint64_t stale_before = pair.device(0).stale_writes() +
+                                pair.device(1).stale_writes();
+        std::string name = StrFormat("hp%d", next_port);
+        (void)pair.AddPort(name, next_port, "access", 10);
+        ports.push_back(name);
+        ++next_port;
+        EXPECT_GT(pair.device(0).stale_writes() +
+                      pair.device(1).stale_writes(),
+                  stale_before)
+            << "seed " << seed << ": zombie write was not fenced";
+        EXPECT_EQ(pair.controller(static_cast<size_t>(zombie)).role(),
+                  Role::kFollower)
+            << "seed " << seed << ": zombie did not self-demote";
+        pair.Tick();  // settle
+        break;
+      }
+    }
+  }
+
+  // Quiescence: heal the data plane, make sure someone leads, and let the
+  // leader re-establish ground truth on every device (promotion-style
+  // resync repairs anything retry exhaustion dropped mid-storm).
+  for (size_t r = 0; r < snvs::SnvsHaPair::kReplicas; ++r) {
+    for (size_t d = 0; d < pair.device_count(); ++d) {
+      if (ha::FaultyRuntimeClient* faulty = pair.faulty(r, d)) {
+        tally.device += faulty->fault_stats().injected_failures +
+                        faulty->fault_stats().injected_stalls;
+        ha::FaultPolicy healthy = faulty->policy();
+        healthy.write_fail_probability = 0;
+        faulty->set_policy(healthy);
+      }
+    }
+  }
+  int leader = pair.Tick();
+  if (leader < 0) {
+    now += 2 * kTtl;
+    leader = pair.Tick();
+  }
+  ASSERT_GE(leader, 0) << "seed " << seed << ": no leader at quiescence";
+  for (size_t d = 0; d < pair.device_count(); ++d) {
+    ASSERT_TRUE(pair.controller(static_cast<size_t>(leader))
+                    .ResyncDevice(StrFormat("sw%zu", d))
+                    .ok());
+  }
+  // Converged fixpoint: a second resync applies zero writes.
+  Controller::Stats before =
+      pair.controller(static_cast<size_t>(leader)).stats();
+  for (size_t d = 0; d < pair.device_count(); ++d) {
+    ASSERT_TRUE(pair.controller(static_cast<size_t>(leader))
+                    .ResyncDevice(StrFormat("sw%zu", d))
+                    .ok());
+  }
+  Controller::Stats after =
+      pair.controller(static_cast<size_t>(leader)).stats();
+  EXPECT_EQ(after.resync_inserted, before.resync_inserted);
+  EXPECT_EQ(after.resync_deleted, before.resync_deleted);
+  EXPECT_EQ(after.resync_modified, before.resync_modified);
+
+  // Persist everything (engine sidecar carries the learned MACs), capture
+  // the survivors, and rebuild a clean pair off the same directory: the
+  // management plane and every switch must come back byte-identical.
+  ASSERT_TRUE(pair.Checkpoint().ok());
+  uint64_t final_epoch =
+      static_cast<uint64_t>(pair.lease(static_cast<size_t>(leader)).epoch());
+  EXPECT_GE(final_epoch, 1u + lease_tally.total())
+      << "every lease fault should have bumped the epoch";
+  Json db_state = ha::DurableStore::SnapshotJson(pair.db(), 0);
+  std::vector<std::string> device_states;
+  for (size_t d = 0; d < pair.device_count(); ++d) {
+    device_states.push_back(DeviceState(pair.device(d)));
+  }
+  built->reset();
+
+  snvs::SnvsHaOptions clean;
+  clean.devices = 2;
+  clean.ha_dir = dir;
+  clean.lease_ttl_nanos = kTtl;
+  clean.clock = [&now] { return now; };
+  auto reference = snvs::BuildSnvsHaPair(clean);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  // Management plane first — before any Tick, whose lease renewal would
+  // legitimately rewrite the Leader_Lease row.
+  EXPECT_EQ(ha::DurableStore::SnapshotJson((*reference)->db(), 0), db_state)
+      << "seed " << seed << ": management plane diverged";
+  ASSERT_GE((*reference)->Tick(), 0);  // elect: promotion installs devices
+  for (size_t d = 0; d < device_states.size(); ++d) {
+    EXPECT_EQ(DeviceState((*reference)->device(d)), device_states[d])
+        << "seed " << seed << ": device " << d << " diverged";
+  }
+}
+
 // The three fixed seeds the CI chaos-soak job pins (scripts/ci.sh).  Each
-// seed must inject at least 50 faults spanning all three seams and still
-// converge byte-identically.
+// seed must inject at least 50 faults spanning all four seams (device,
+// transport, durability, replication) and still converge byte-identically.
 constexpr uint64_t kSoakSeeds[] = {11, 23, 42};
 
 TEST(ChaosSoak, SeededFaultStormsConvergeAcrossAllThreePlanes) {
@@ -343,6 +549,20 @@ TEST(ChaosSoak, SeededFaultStormsConvergeAcrossAllThreePlanes) {
     EXPECT_GT(tally.device, 0u) << "no device faults fired";
     EXPECT_GT(tally.transport, 0u) << "no transport faults fired";
     EXPECT_GE(tally.total(), 50u) << "fault storm too weak to mean anything";
+  }
+}
+
+TEST(ChaosSoak, SeededLeaseStormsConvergeWithFencedFailovers) {
+  for (uint64_t seed : kSoakSeeds) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    FaultTally tally;
+    chaos::LeaseFaultTally lease_tally;
+    FailoverSoak(seed, tally, lease_tally);
+    EXPECT_GT(tally.device, 0u) << "no device faults fired";
+    EXPECT_GT(lease_tally.lease_loss, 0u) << "no lease losses fired";
+    EXPECT_GT(lease_tally.zombie, 0u) << "no zombie leaders fired";
+    EXPECT_GE(lease_tally.total() + tally.device, 50u)
+        << "replication fault storm too weak to mean anything";
   }
 }
 

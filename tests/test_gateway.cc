@@ -246,6 +246,36 @@ TEST_F(GatewayTest, LocalRoutes) {
   EXPECT_EQ(deleted.status, 405);
 }
 
+TEST_F(GatewayTest, ReadyzTracksLeadershipWhileHealthzStaysLive) {
+  // A follower's gateway: alive but not ready, redirecting via the hint.
+  std::atomic<bool> leading{false};
+  options_.readiness = [&leading] {
+    Gateway::Readiness state;
+    state.ready = leading.load();
+    state.leader_hint = "ctl1.example:8080";
+    return state;
+  };
+  StartGateway();
+
+  // Liveness is unconditional — a standby must not be restarted by its
+  // supervisor just because it is not leading.
+  EXPECT_EQ(Get("/healthz").status, 200);
+
+  HttpConn::Reply reply = Get("/readyz");
+  EXPECT_EQ(reply.status, 503);
+  ASSERT_NE(reply.json.Find("ready"), nullptr);
+  EXPECT_FALSE(reply.json.Find("ready")->as_bool());
+  EXPECT_EQ(reply.Header("x-nerpa-leader"), "ctl1.example:8080");
+  EXPECT_EQ(reply.Header("retry-after"), "1");
+
+  // Promotion flips readiness without a restart.
+  leading.store(true);
+  reply = Get("/readyz");
+  EXPECT_EQ(reply.status, 200);
+  EXPECT_TRUE(reply.json.Find("ready")->as_bool());
+  EXPECT_EQ(reply.Header("x-nerpa-leader"), "");
+}
+
 TEST_F(GatewayTest, TableReadsFilterProjectAndSingleRow) {
   StartGateway();
   std::string uuid_a = InsertPort("a", 1, 10);

@@ -13,7 +13,10 @@
 #include <vector>
 
 #include "ha/durable.h"
+#include "ha/lease.h"
 #include "net/packet.h"
+#include "ovsdb/database.h"
+#include "snvs/ha_pair.h"
 #include "snvs/snvs.h"
 
 namespace nerpa::snvs {
@@ -490,6 +493,246 @@ TEST(HaRestart, CorruptEngineCheckpointFallsBackToColdStart) {
   EXPECT_GT(TotalEntries((*stack)->device()), 0u);
   ASSERT_TRUE((*stack)->AddPort("p2", 2, "access", 10).ok());
   ASSERT_TRUE((*stack)->controller().last_error().ok());
+}
+
+// --- Hot-standby failover (SnvsHaPair): leases, fencing, warm handoff ---
+
+TEST(HaFailover, DoubleFailoverConvergesWithWarmCheckpoints) {
+  int64_t now = 1;
+  constexpr int64_t kTtl = 1000;
+  SnvsHaOptions options;
+  options.devices = 2;
+  options.lease_ttl_nanos = kTtl;
+  options.clock = [&now] { return now; };
+  auto built = BuildSnvsHaPair(options);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  SnvsHaPair& pair = **built;
+
+  ASSERT_EQ(pair.Tick(), 0);  // replica 0 ticks first and wins the election
+  EXPECT_EQ(pair.controller(0).role(), Role::kLeader);
+  EXPECT_EQ(pair.controller(1).role(), Role::kFollower);
+  EXPECT_EQ(pair.lease(0).epoch(), 1);
+
+  ASSERT_TRUE(pair.AddPort("p1", 1, "access", 10).ok());
+  ASSERT_TRUE(pair.AddPort("p2", 2, "access", 10).ok());
+  ASSERT_TRUE(pair.AddPort("t1", 3, "trunk", 0, {10, 20}).ok());
+  ASSERT_TRUE(pair.AddAclRule(0xAA, 10, true).ok());
+  // Learned MACs: digest-fed soft state only the checkpoint handoff can
+  // carry to the standby (followers never drain digests).
+  auto out = pair.InjectPacket(
+      0, 1,
+      net::MakeEthernetFrame(Mac(0, 0, 0, 0, 0, 0xBB),
+                             Mac(0, 0, 0, 0, 0, 0xAA), 0x0800, {1, 2, 3}));
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  out = pair.InjectPacket(
+      0, 2,
+      net::MakeEthernetFrame(Mac(0, 0, 0, 0, 0, 0xAA),
+                             Mac(0, 0, 0, 0, 0, 0xBB), 0x0800, {1, 2, 3}));
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  size_t macs = pair.controller(0).engine().Size("MacLearn");
+  ASSERT_GT(macs, 0u);
+  ASSERT_TRUE(pair.Checkpoint().ok());
+  ASSERT_TRUE(pair.SyncStandby().ok());
+  std::string devices_before =
+      DeviceState(pair.device(0)) + DeviceState(pair.device(1));
+
+  // Failover #1: leader 0 stops renewing (crash); 1 fences and takes over.
+  now += 2 * kTtl;
+  ASSERT_EQ(pair.Tick(), 1);
+  EXPECT_EQ(pair.controller(0).role(), Role::kFollower);
+  EXPECT_EQ(pair.controller(1).role(), Role::kLeader);
+  EXPECT_EQ(pair.lease(1).epoch(), 2);  // new holder bumps the fencing epoch
+  EXPECT_EQ(pair.controller(0).stats().demotions, 1u);
+  {
+    const auto& stats = pair.controller(1).stats();
+    EXPECT_EQ(stats.promotions, 1u);
+    // The warm standby derived the identical desired state, so the
+    // promotion resync read everything and wrote nothing.
+    EXPECT_GT(stats.resync_reads, 0u);
+    EXPECT_EQ(stats.resync_inserted, 0u);
+    EXPECT_EQ(stats.resync_deleted, 0u);
+    EXPECT_EQ(stats.resync_modified, 0u);
+  }
+  // The learned MACs crossed the failover via the checkpoint.
+  EXPECT_EQ(pair.controller(1).engine().Size("MacLearn"), macs);
+  EXPECT_EQ(DeviceState(pair.device(0)) + DeviceState(pair.device(1)),
+            devices_before);
+
+  // The new leader is live.
+  ASSERT_TRUE(pair.AddPort("p4", 4, "access", 20).ok());
+
+  // Failover #2: back to replica 0 the same way.
+  ASSERT_TRUE(pair.Checkpoint().ok());
+  ASSERT_TRUE(pair.SyncStandby().ok());
+  size_t macs2 = pair.controller(1).engine().Size("MacLearn");
+  devices_before = DeviceState(pair.device(0)) + DeviceState(pair.device(1));
+  now += 2 * kTtl;
+  ASSERT_EQ(pair.Tick(), 0);
+  EXPECT_EQ(pair.controller(0).role(), Role::kLeader);
+  EXPECT_EQ(pair.controller(1).role(), Role::kFollower);
+  EXPECT_EQ(pair.lease(0).epoch(), 3);
+  EXPECT_EQ(pair.controller(0).stats().promotions, 2u);
+  EXPECT_EQ(pair.controller(1).stats().demotions, 1u);
+  {
+    const auto& stats = pair.controller(0).stats();
+    EXPECT_EQ(stats.resync_inserted, 0u);
+    EXPECT_EQ(stats.resync_deleted, 0u);
+    EXPECT_EQ(stats.resync_modified, 0u);
+  }
+  EXPECT_EQ(pair.controller(0).engine().Size("MacLearn"), macs2);
+  EXPECT_EQ(DeviceState(pair.device(0)) + DeviceState(pair.device(1)),
+            devices_before);
+  ASSERT_TRUE(pair.AddPort("p5", 5, "access", 10).ok());
+  ASSERT_TRUE(pair.controller(0).last_error().ok());
+}
+
+TEST(HaFailover, ZombieLeaderIsFencedAtTheSwitchAndSelfDemotes) {
+  int64_t now = 1;
+  constexpr int64_t kTtl = 1000;
+  SnvsHaOptions options;
+  options.devices = 2;
+  options.lease_ttl_nanos = kTtl;
+  options.clock = [&now] { return now; };
+  auto built = BuildSnvsHaPair(options);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  SnvsHaPair& pair = **built;
+
+  ASSERT_EQ(pair.Tick(), 0);
+  ASSERT_TRUE(pair.AddPort("p1", 1, "access", 10).ok());
+  ASSERT_TRUE(pair.AddPort("p2", 2, "access", 20).ok());
+  ASSERT_TRUE(pair.Checkpoint().ok());
+  ASSERT_TRUE(pair.SyncStandby().ok());
+
+  // Partition the leader: its lease expires but only the standby's
+  // coordinator runs (a GC pause / network partition from replica 0's
+  // point of view — it still believes it leads).
+  now += 2 * kTtl;
+  ASSERT_TRUE(pair.coordinator(1).Tick());
+  EXPECT_EQ(pair.controller(1).role(), Role::kLeader);
+  EXPECT_EQ(pair.controller(0).role(), Role::kLeader);  // the zombie
+  EXPECT_EQ(pair.leader(), 1);  // disambiguated by the higher lease epoch
+
+  uint64_t stale_before =
+      pair.device(0).stale_writes() + pair.device(1).stale_writes();
+  Controller::Stats zombie_before = pair.controller(0).stats();
+  uint64_t applied_before = zombie_before.entries_inserted +
+                            zombie_before.entries_deleted +
+                            zombie_before.multicast_updates;
+
+  // The next management commit fans out to both controllers.  The zombie
+  // races the real leader to the shared switches and must lose at every
+  // one: its fence token predates the promotion arbitration.
+  ASSERT_TRUE(pair.AddPort("z9", 9, "access", 20).ok());
+
+  uint64_t stale_after =
+      pair.device(0).stale_writes() + pair.device(1).stale_writes();
+  EXPECT_GT(stale_after, stale_before);
+  Controller::Stats zombie_after = pair.controller(0).stats();
+  uint64_t applied_after = zombie_after.entries_inserted +
+                           zombie_after.entries_deleted +
+                           zombie_after.multicast_updates;
+  // Write stats count only device-accepted writes: zero stale writes
+  // reached the data plane.
+  EXPECT_EQ(applied_after, applied_before);
+  EXPECT_GE(zombie_after.fenced_writes_rejected, 1u);
+  EXPECT_GE(zombie_after.demotions, 1u);
+  // The first rejection told the zombie it was deposed: it self-demoted.
+  EXPECT_EQ(pair.controller(0).role(), Role::kFollower);
+  EXPECT_EQ(pair.leader(), 1);
+
+  // The data plane holds exactly the desired state (no duplicates from the
+  // race): a verification resync by the real leader finds zero diff.
+  Controller::Stats leader_before = pair.controller(1).stats();
+  ASSERT_TRUE(pair.controller(1).ResyncDevice("sw0").ok());
+  ASSERT_TRUE(pair.controller(1).ResyncDevice("sw1").ok());
+  Controller::Stats leader_after = pair.controller(1).stats();
+  EXPECT_EQ(leader_after.resync_inserted, leader_before.resync_inserted);
+  EXPECT_EQ(leader_after.resync_deleted, leader_before.resync_deleted);
+  EXPECT_EQ(leader_after.resync_modified, leader_before.resync_modified);
+}
+
+TEST(HaLease, EpochStaysMonotoneAcrossCorruptAndDeletedRecords) {
+  ovsdb::Database db(ovsdb::WithLeaderLease(SnvsSchema()));
+  int64_t now = 1;
+  auto clock = [&now] { return now; };
+  ha::LeaseManager a(&db, {"a", 1000, clock});
+  ha::LeaseManager b(&db, {"b", 1000, clock});
+
+  auto held = a.TryAcquire();
+  ASSERT_TRUE(held.ok()) << held.status().ToString();
+  EXPECT_EQ(*held, 1);
+
+  // A live lease blocks takeover.
+  auto blocked = b.TryAcquire();
+  ASSERT_FALSE(blocked.ok());
+  EXPECT_EQ(blocked.status().code(), StatusCode::kFailedPrecondition);
+
+  // Natural expiry: the new holder acquires with a bumped epoch.
+  now += 2000;
+  held = b.TryAcquire();
+  ASSERT_TRUE(held.ok()) << held.status().ToString();
+  EXPECT_EQ(*held, 2);
+
+  // `a` observes the new epoch through a failed acquire attempt.
+  blocked = a.TryAcquire();
+  ASSERT_FALSE(blocked.ok());
+  EXPECT_EQ(a.last_observed_epoch(), 2);
+
+  // The record is corrupted in place — reset to epoch 0, expired.  The
+  // monotone floor must keep the next acquisition above every epoch the
+  // manager ever saw, or downstream fences would accept a recycled token.
+  auto zeroed = db.TransactText(
+      R"([{"op":"update","table":"Leader_Lease","where":[],)"
+      R"("row":{"epoch":0,"holder":"","expiry_nanos":0}}])");
+  ASSERT_TRUE(zeroed.ok()) << zeroed.status().ToString();
+  held = a.TryAcquire();
+  ASSERT_TRUE(held.ok()) << held.status().ToString();
+  EXPECT_EQ(*held, 3);
+
+  // Deleting the record entirely is no better: the floor survives the
+  // record's death because it lives in the manager, not the row.
+  now += 2000;
+  auto wiped =
+      db.TransactText(R"([{"op":"delete","table":"Leader_Lease","where":[]}])");
+  ASSERT_TRUE(wiped.ok()) << wiped.status().ToString();
+  held = a.TryAcquire();
+  ASSERT_TRUE(held.ok()) << held.status().ToString();
+  EXPECT_EQ(*held, 4);
+  EXPECT_EQ(a.last_observed_epoch(), 4);
+}
+
+TEST(HaLease, AssertFenceRejectsStaleEpochTransactions) {
+  ovsdb::Database db(ovsdb::WithLeaderLease(SnvsSchema()));
+  int64_t now = 1;
+  ha::LeaseManager leader(&db, {"ctl0", 1000, [&now] { return now; }});
+  auto held = leader.TryAcquire();
+  ASSERT_TRUE(held.ok()) << held.status().ToString();
+  ASSERT_EQ(*held, 1);
+
+  // A writer carrying a stale epoch is rejected atomically: the whole
+  // transaction rolls back and the rejection is counted.
+  ovsdb::TxnBuilder stale(&db);
+  stale.AssertFence(0);
+  stale.Update(ovsdb::kLeaderLeaseTable, {},
+               {{ovsdb::kLeaseHolderColumn, ovsdb::Datum::String("evil")}});
+  auto rejected = stale.Commit();
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(db.fence_rejections(), 1u);
+  auto lease = leader.Read();
+  ASSERT_TRUE(lease.has_value());
+  EXPECT_EQ(lease->holder, "ctl0");  // the write never landed
+
+  // The current epoch passes.
+  ovsdb::TxnBuilder current(&db);
+  current.AssertFence(1);
+  current.Update(ovsdb::kLeaderLeaseTable, {},
+                 {{ovsdb::kLeaseHolderColumn, ovsdb::Datum::String("ctl0b")}});
+  ASSERT_TRUE(current.Commit().ok());
+  EXPECT_EQ(db.fence_rejections(), 1u);
+  lease = leader.Read();
+  ASSERT_TRUE(lease.has_value());
+  EXPECT_EQ(lease->holder, "ctl0b");
 }
 
 }  // namespace
