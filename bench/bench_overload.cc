@@ -1,0 +1,523 @@
+// Experiment: full-stack overload behaviour of the northbound gateway.
+//
+// Offers an open-loop mixed workload (health probes / cacheable reads /
+// uncached reads / transacts — the gateway's four priority classes) at
+// 1x, 2x, 4x, and 8x the measured closed-loop capacity, every request
+// carrying a propagated X-Nerpa-Deadline-Ms budget, and measures the
+// per-priority goodput/latency curves.  A robust overload-control layer
+// must show:
+//
+//   * goodput that *plateaus* instead of collapsing: served req/s at 4x
+//     offered load stays within a fraction of the 1x plateau (classic
+//     congestion-collapse detector);
+//   * bounded high-priority latency: health probes are never shed and
+//     their p99 must stay flat no matter how hard the pool saturates;
+//   * deadline honesty: zero requests *served* (200) more than one grace
+//     interval past their propagated deadline — work the client already
+//     abandoned must be dropped (504), not burned.
+//
+// Emits BENCH_overload.json.  With --baseline=FILE the bench gates all
+// three properties against the checked-in thresholds and exits nonzero
+// on a violation — the CI overload gate.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "gateway/gateway.h"
+#include "ovsdb/database.h"
+#include "ovsdb/server.h"
+#include "snvs/snvs.h"
+
+namespace nerpa::bench {
+namespace {
+
+constexpr int kConns = 16;          // open-loop client connections
+constexpr int kWorkers = 4;         // gateway worker pool
+constexpr int kReadKeys = 8;        // distinct cacheable read targets
+constexpr int kDeadlineMs = 250;    // propagated per-request budget
+constexpr int kGraceMs = 250;       // allowed service slack past it
+const double kMultipliers[] = {1.0, 2.0, 4.0, 8.0};
+
+/// A minimal blocking HTTP/1.1 client on one keep-alive connection.
+class BenchConn {
+ public:
+  explicit BenchConn(uint16_t port) {
+    fd_ = socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      close(fd_);
+      fd_ = -1;
+    }
+    int one = 1;
+    if (fd_ >= 0) setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  ~BenchConn() {
+    if (fd_ >= 0) close(fd_);
+  }
+  bool ok() const { return fd_ >= 0; }
+
+  struct Reply {
+    int status = 0;
+  };
+
+  bool RoundTrip(const std::string& method, const std::string& target,
+                 const std::string& body, const std::string& extra_headers,
+                 Reply* reply) {
+    std::string out = method + " " + target + " HTTP/1.1\r\nHost: b\r\n";
+    out += extra_headers;
+    if (!body.empty() || method == "POST") {
+      out += StrFormat("Content-Length: %zu\r\n", body.size());
+    }
+    out += "\r\n" + body;
+    size_t off = 0;
+    while (off < out.size()) {
+      ssize_t sent =
+          send(fd_, out.data() + off, out.size() - off, MSG_NOSIGNAL);
+      if (sent <= 0) return false;
+      off += static_cast<size_t>(sent);
+    }
+    return ReadReply(reply);
+  }
+
+ private:
+  bool Fill() {
+    char chunk[16 * 1024];
+    ssize_t got = recv(fd_, chunk, sizeof(chunk), 0);
+    if (got <= 0) return false;
+    buffer_.append(chunk, static_cast<size_t>(got));
+    return true;
+  }
+
+  bool ReadReply(Reply* reply) {
+    *reply = Reply{};
+    size_t head_end;
+    while ((head_end = buffer_.find("\r\n\r\n")) == std::string::npos) {
+      if (!Fill()) return false;
+    }
+    std::string head = buffer_.substr(0, head_end);
+    buffer_.erase(0, head_end + 4);
+    reply->status = std::atoi(head.c_str() + std::strlen("HTTP/1.1 "));
+    size_t length = 0;
+    size_t at = head.find("Content-Length: ");
+    if (at != std::string::npos) {
+      length = static_cast<size_t>(
+          std::atol(head.c_str() + at + std::strlen("Content-Length: ")));
+    }
+    while (buffer_.size() < length) {
+      if (!Fill()) return false;
+    }
+    buffer_.erase(0, length);
+    return true;
+  }
+
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+/// One priority class's tallies at one offered-load point.
+struct ClassResult {
+  uint64_t attempted = 0;
+  uint64_t served = 0;      // 200
+  uint64_t shed = 0;        // 503
+  uint64_t expired = 0;     // 504 (deadline honoured by dropping)
+  uint64_t errors = 0;
+  std::vector<double> served_s;  // latency of the 200s only
+  /// 200s that landed more than deadline+grace after the request left —
+  /// work the gateway should have dropped as already-abandoned.
+  uint64_t late_served = 0;
+
+  void Fold(const ClassResult& other) {
+    attempted += other.attempted;
+    served += other.served;
+    shed += other.shed;
+    expired += other.expired;
+    errors += other.errors;
+    late_served += other.late_served;
+    served_s.insert(served_s.end(), other.served_s.begin(),
+                    other.served_s.end());
+  }
+};
+
+enum Class { kHealth = 0, kCached = 1, kRead = 2, kTransact = 3 };
+constexpr const char* kClassNames[] = {"health", "cached", "read", "transact"};
+constexpr size_t kClasses = 4;
+
+struct LoadResult {
+  ClassResult per_class[kClasses];
+  double wall_s = 0;
+  double Goodput() const {
+    // Backend-bound goodput (health answers locally and would pad it).
+    uint64_t served = per_class[kCached].served + per_class[kRead].served +
+                      per_class[kTransact].served;
+    return wall_s > 0 ? static_cast<double>(served) / wall_s : 0;
+  }
+  uint64_t LateServed() const {
+    uint64_t late = 0;
+    for (const ClassResult& c : per_class) late += c.late_served;
+    return late;
+  }
+};
+
+/// Open-loop mixed load: kConns connections pace requests at
+/// `offered_per_sec` total; the class mix is 4% health / 38% cacheable
+/// reads / 38% uncached reads / 20% transacts.  Every backend-bound
+/// request carries the propagated deadline header.
+LoadResult RunLoad(uint16_t port, double offered_per_sec, double duration_s,
+                   uint64_t seed) {
+  LoadResult total;
+  std::vector<LoadResult> parts(kConns);
+  std::vector<std::thread> threads;
+  double interval_ns = 1e9 * kConns / offered_per_sec;
+  const std::string deadline_header =
+      StrFormat("X-Nerpa-Deadline-Ms: %d\r\n", kDeadlineMs);
+  const int64_t late_bound_nanos =
+      int64_t{kDeadlineMs + kGraceMs} * 1'000'000;
+  Stopwatch wall;
+  for (int t = 0; t < kConns; ++t) {
+    threads.emplace_back([&, t] {
+      LoadResult& mine = parts[t];
+      BenchConn conn(port);
+      if (!conn.ok()) return;
+      std::mt19937_64 rng(seed + 1000 + static_cast<uint64_t>(t));
+      int64_t start = MonotonicNanos();
+      int64_t until = start + static_cast<int64_t>(duration_s * 1e9);
+      double next = static_cast<double>(start);
+      while (MonotonicNanos() < until) {
+        next += interval_ns;
+        int64_t now = MonotonicNanos();
+        if (static_cast<double>(now) < next) {
+          std::this_thread::sleep_for(std::chrono::nanoseconds(
+              static_cast<int64_t>(next - static_cast<double>(now))));
+        }
+        uint64_t draw = rng() % 100;
+        Class cls;
+        std::string method = "GET", target, body, headers = deadline_header;
+        if (draw < 4) {
+          cls = kHealth;
+          target = "/healthz";
+          headers.clear();  // probes carry no budget — they must always run
+        } else if (draw < 42) {
+          cls = kCached;
+          target = StrFormat("/v1/table/Port?name=bp%llu",
+                             static_cast<unsigned long long>(rng() %
+                                                             kReadKeys));
+        } else if (draw < 80) {
+          cls = kRead;
+          target = StrFormat("/v1/table/Port?name=bp%llu",
+                             static_cast<unsigned long long>(rng() %
+                                                             kReadKeys));
+          headers += "Cache-Control: no-cache\r\n";
+        } else {
+          cls = kTransact;
+          method = "POST";
+          target = "/v1/transact";
+          body = StrFormat(R"([{"op":"mutate","table":"AclRule",)"
+                           R"("where":[["vlan","==",%llu]],)"
+                           R"("mutations":[["mac","+=",1]]}])",
+                           static_cast<unsigned long long>(rng() % 16));
+        }
+        ClassResult& tally = mine.per_class[cls];
+        ++tally.attempted;
+        BenchConn::Reply reply;
+        Stopwatch timer;
+        if (!conn.RoundTrip(method, target, body, headers, &reply)) {
+          ++tally.errors;
+          break;  // connection gone; stay honest rather than reconnect
+        }
+        int64_t elapsed = timer.ElapsedNanos();
+        if (reply.status == 200) {
+          ++tally.served;
+          tally.served_s.push_back(static_cast<double>(elapsed) * 1e-9);
+          if (cls != kHealth && elapsed > late_bound_nanos) {
+            ++tally.late_served;
+          }
+        } else if (reply.status == 503) {
+          ++tally.shed;
+        } else if (reply.status == 504) {
+          ++tally.expired;
+        } else {
+          ++tally.errors;
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  total.wall_s = static_cast<double>(wall.ElapsedNanos()) * 1e-9;
+  for (LoadResult& part : parts) {
+    for (size_t c = 0; c < kClasses; ++c) {
+      total.per_class[c].Fold(part.per_class[c]);
+    }
+  }
+  return total;
+}
+
+/// Seeds kReadKeys Port rows and 16 AclRule rows through the gateway.
+bool SeedRows(uint16_t port) {
+  BenchConn conn(port);
+  if (!conn.ok()) return false;
+  for (int i = 0; i < kReadKeys; ++i) {
+    BenchConn::Reply reply;
+    if (!conn.RoundTrip(
+            "POST", "/v1/transact",
+            StrFormat(R"([{"op":"insert","table":"Port","row":)"
+                      R"({"name":"bp%d","port":%d,"vlan_mode":"access",)"
+                      R"("tag":%d}}])",
+                      i, i + 1, i),
+            "", &reply) ||
+        reply.status != 200) {
+      return false;
+    }
+  }
+  for (int v = 0; v < 16; ++v) {
+    BenchConn::Reply reply;
+    if (!conn.RoundTrip(
+            "POST", "/v1/transact",
+            StrFormat(R"([{"op":"insert","table":"AclRule","row":)"
+                      R"({"mac":%d,"vlan":%d,"allow":true}}])",
+                      2000 + v, v),
+            "", &reply) ||
+        reply.status != 200) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Closed-loop mixed probe of raw capacity (same mix, no pacing).
+double MeasureCapacity(uint16_t port, int per_thread, uint64_t seed) {
+  std::atomic<uint64_t> done{0};
+  std::vector<std::thread> threads;
+  Stopwatch timer;
+  for (int t = 0; t < kWorkers; ++t) {
+    threads.emplace_back([&, t] {
+      BenchConn conn(port);
+      if (!conn.ok()) return;
+      std::mt19937_64 rng(seed + static_cast<uint64_t>(t));
+      for (int i = 0; i < per_thread; ++i) {
+        uint64_t draw = rng() % 100;
+        BenchConn::Reply reply;
+        bool ok;
+        if (draw < 80) {
+          ok = conn.RoundTrip(
+              "GET",
+              StrFormat("/v1/table/Port?name=bp%llu",
+                        static_cast<unsigned long long>(rng() % kReadKeys)),
+              "", "Cache-Control: no-cache\r\n", &reply);
+        } else {
+          ok = conn.RoundTrip(
+              "POST", "/v1/transact",
+              StrFormat(R"([{"op":"mutate","table":"AclRule",)"
+                        R"("where":[["vlan","==",%llu]],)"
+                        R"("mutations":[["mac","+=",1]]}])",
+                        static_cast<unsigned long long>(rng() % 16)),
+              "", &reply);
+        }
+        if (!ok) break;
+        done.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  return static_cast<double>(done.load()) /
+         (static_cast<double>(timer.ElapsedNanos()) * 1e-9);
+}
+
+int Run(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+  std::string baseline_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--baseline=", 11) == 0) {
+      baseline_path = argv[i] + 11;
+    }
+  }
+
+  Banner("overload",
+         "open-loop 1x-8x load: goodput plateau, priority latency, "
+         "deadline honesty");
+
+  ovsdb::OvsdbServer server(
+      std::make_unique<ovsdb::Database>(snvs::SnvsSchema()));
+  if (!server.Start(0).ok()) {
+    std::fprintf(stderr, "bench: backend start failed\n");
+    return 1;
+  }
+
+  // Measure raw capacity with admission wide open.
+  double capacity;
+  {
+    gateway::Gateway::Options open_options;
+    open_options.backend_port = server.port();
+    open_options.workers = kWorkers;
+    gateway::Gateway open_gateway(open_options);
+    if (!open_gateway.Start().ok() || !SeedRows(open_gateway.http_port())) {
+      std::fprintf(stderr, "bench: gateway start/seed failed\n");
+      return 1;
+    }
+    capacity = MeasureCapacity(open_gateway.http_port(), args.Scaled(1500),
+                               args.seed);
+    open_gateway.Stop();
+  }
+  std::printf("closed-loop capacity: %.0f req/s\n", capacity);
+
+  // The gateway under test: token bucket sized to capacity, adaptive
+  // concurrency limit live, deadlines propagated.
+  gateway::Gateway::Options options;
+  options.backend_port = server.port();
+  options.workers = kWorkers;
+  options.admit_rate_per_sec = capacity;
+  options.admit_burst = capacity / 10 + 1;
+  options.max_inflight = static_cast<size_t>(4 * kWorkers);
+  gateway::Gateway gateway(options);
+  if (!gateway.Start().ok()) {
+    std::fprintf(stderr, "bench: limited gateway start failed\n");
+    return 1;
+  }
+
+  double duration_s = args.scale < 1 ? 1.0 : 2.0;
+  std::vector<LoadResult> curve;
+  for (double multiplier : kMultipliers) {
+    double offered = multiplier * capacity;
+    std::printf("offering %.0fx capacity (%.0f req/s) for %.0fs...\n",
+                multiplier, offered, duration_s);
+    curve.push_back(RunLoad(gateway.http_port(), offered, duration_s,
+                            args.seed + static_cast<uint64_t>(multiplier)));
+  }
+  gateway.Stop();
+  server.Stop();
+
+  Table table({"offered", "goodput/s", "health p99", "read p99",
+               "transact p99", "shed", "504", "late-200"});
+  uint64_t late_total = 0;
+  for (size_t i = 0; i < curve.size(); ++i) {
+    const LoadResult& r = curve[i];
+    uint64_t shed = 0, expired = 0;
+    for (const ClassResult& c : r.per_class) {
+      shed += c.shed;
+      expired += c.expired;
+    }
+    late_total += r.LateServed();
+    table.AddRow(
+        {StrFormat("%.0fx", kMultipliers[i]),
+         StrFormat("%.0f", r.Goodput()),
+         Us(Percentile(r.per_class[kHealth].served_s, 0.99)),
+         Us(Percentile(r.per_class[kRead].served_s, 0.99)),
+         Us(Percentile(r.per_class[kTransact].served_s, 0.99)),
+         StrFormat("%llu", static_cast<unsigned long long>(shed)),
+         StrFormat("%llu", static_cast<unsigned long long>(expired)),
+         StrFormat("%llu",
+                   static_cast<unsigned long long>(r.LateServed()))});
+  }
+  table.Print();
+
+  double goodput_1x = curve[0].Goodput();
+  double goodput_4x = curve[2].Goodput();
+  double goodput_4x_frac = goodput_1x > 0 ? goodput_4x / goodput_1x : 0;
+  double health_p99_8x = Percentile(curve[3].per_class[kHealth].served_s,
+                                    0.99);
+
+  JsonEmitter emitter("overload", args);
+  emitter.Param("conns", Json(kConns));
+  emitter.Param("workers", Json(kWorkers));
+  emitter.Param("deadline_ms", Json(kDeadlineMs));
+  emitter.Param("grace_ms", Json(kGraceMs));
+  emitter.Param("duration_s", Json(duration_s));
+  emitter.Metric("capacity_req_per_sec", Json(capacity));
+  for (size_t i = 0; i < curve.size(); ++i) {
+    std::string prefix = StrFormat("x%.0f_", kMultipliers[i]);
+    const LoadResult& r = curve[i];
+    emitter.Metric(prefix + "goodput_per_sec", Json(r.Goodput()));
+    for (size_t c = 0; c < kClasses; ++c) {
+      emitter.Metric(
+          prefix + kClassNames[c] + "_p99_us",
+          Json(Percentile(r.per_class[c].served_s, 0.99) * 1e6));
+      emitter.Metric(prefix + kClassNames[c] + "_served",
+                     Json(static_cast<int64_t>(r.per_class[c].served)));
+      emitter.Metric(prefix + kClassNames[c] + "_shed",
+                     Json(static_cast<int64_t>(r.per_class[c].shed)));
+    }
+  }
+  emitter.Metric("goodput_4x_frac", Json(goodput_4x_frac));
+  emitter.Metric("health_p99_8x_us", Json(health_p99_8x * 1e6));
+  emitter.Metric("late_served", Json(static_cast<int64_t>(late_total)));
+  emitter.Write();
+
+  // Deadline honesty is unconditional: no baseline file needed to know
+  // that serving abandoned work is wrong.
+  if (late_total > 0) {
+    std::fprintf(stderr,
+                 "bench: VIOLATION: %llu responses served more than %dms "
+                 "past their %dms deadline\n",
+                 static_cast<unsigned long long>(late_total), kGraceMs,
+                 kDeadlineMs);
+    return 1;
+  }
+
+  // --- CI gate: goodput plateau + bounded high-priority p99.
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path);
+    if (!in) {
+      std::fprintf(stderr, "bench: cannot open baseline %s\n",
+                   baseline_path.c_str());
+      return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    auto parsed = Json::Parse(text.str());
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "bench: baseline parse: %s\n",
+                   parsed.status().ToString().c_str());
+      return 1;
+    }
+    const Json* metrics = parsed.value().Find("metrics");
+    const Json* frac_floor =
+        metrics == nullptr ? nullptr : metrics->Find("goodput_4x_frac_floor");
+    const Json* p99_ceiling =
+        metrics == nullptr ? nullptr
+                           : metrics->Find("health_p99_8x_us_ceiling");
+    if (frac_floor == nullptr || !frac_floor->is_number() ||
+        p99_ceiling == nullptr || !p99_ceiling->is_number()) {
+      std::fprintf(stderr, "bench: baseline lacks overload thresholds\n");
+      return 1;
+    }
+    std::printf("baseline gate: goodput@4x %.2f of 1x plateau (floor "
+                "%.2f); health p99@8x %.0fus (ceiling %.0fus)\n",
+                goodput_4x_frac, frac_floor->as_double(), health_p99_8x * 1e6,
+                p99_ceiling->as_double());
+    if (goodput_4x_frac < frac_floor->as_double()) {
+      std::fprintf(stderr,
+                   "bench: REGRESSION: goodput collapsed to %.2f of the 1x "
+                   "plateau (floor %.2f)\n",
+                   goodput_4x_frac, frac_floor->as_double());
+      return 1;
+    }
+    if (health_p99_8x * 1e6 > p99_ceiling->as_double()) {
+      std::fprintf(stderr,
+                   "bench: REGRESSION: health p99 %.0fus at 8x load "
+                   "(ceiling %.0fus)\n",
+                   health_p99_8x * 1e6, p99_ceiling->as_double());
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace nerpa::bench
+
+int main(int argc, char** argv) { return nerpa::bench::Run(argc, argv); }

@@ -60,6 +60,19 @@ echo "=== test build-ci-tsan (concurrency suites) ==="
 ctest --test-dir build-ci-tsan --output-on-failure -j "$JOBS" \
   -R 'test_controller|test_ha|test_ha_restart|test_common|test_ovsdb_rpc|test_gateway|test_chaos|test_snvs_integration|test_dlog_differential'
 
+# The gateway's epoll loop + worker pool also gets a UBSan-only pass:
+# ASan shifts object layout and TSan rewrites the memory model, so a
+# plain-layout UBSan build is the one that catches misaligned casts and
+# integer overflow in the HTTP parser as they ship.
+echo "=== configure build-ci-ubsan (gateway) ==="
+cmake -B build-ci-ubsan -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=undefined -fno-sanitize-recover=all"
+echo "=== build build-ci-ubsan (test_gateway) ==="
+cmake --build build-ci-ubsan -j "$JOBS" --target test_gateway
+echo "=== test build-ci-ubsan (test_gateway) ==="
+ctest --test-dir build-ci-ubsan --output-on-failure -R 'test_gateway'
+
 # Chaos soak: the pinned seeds in tests/test_chaos.cc each drive 50+
 # faults across all four seams (device write failures, transport drops,
 # torn/corrupted durability files, and lease storms — expiry, clock skew,
@@ -69,6 +82,21 @@ ctest --test-dir build-ci-tsan --output-on-failure -j "$JOBS" \
 # the recovery paths fails the job, not just a divergence.
 echo "=== chaos soak (ASan/UBSan, pinned seeds) ==="
 ./build-ci-asan/tests/test_chaos --gtest_filter='ChaosSoak.*'
+
+# Nightly long-soak (NERPA_NIGHTLY=1, cron-only): widen the seed matrix
+# well past the pinned three and run the full soak — fault storms, lease
+# storms (expiry/skew/zombies), and the stall-fault deadline-park drain —
+# under both the ASan/UBSan build and the TSan build, so a race or
+# lifetime bug that only one seed in fifty tickles still fails a job
+# within a day instead of shipping.
+if [ "${NERPA_NIGHTLY:-0}" = "1" ]; then
+  echo "=== nightly long-soak (extended seeds, ASan/UBSan + TSan) ==="
+  NIGHTLY_SEEDS="${NERPA_NIGHTLY_SEEDS:-101,211,307,401,503,601,701,809,907,1013}"
+  NERPA_SOAK_EXTRA_SEEDS="$NIGHTLY_SEEDS" \
+    ./build-ci-asan/tests/test_chaos --gtest_filter='ChaosSoak.*'
+  NERPA_SOAK_EXTRA_SEEDS="$NIGHTLY_SEEDS" \
+    ./build-ci-tsan/tests/test_chaos --gtest_filter='ChaosSoak.*'
+fi
 
 # Bench smoke: the perf claims in README/EXPERIMENTS come from Release
 # binaries, so the smoke must prove the Release build runs and emits the
@@ -118,5 +146,18 @@ build-ci-bench/bench/bench_failover --scale=0.3 \
   --out=build-ci-bench/bench-out >/dev/null
 test -s build-ci-bench/bench-out/BENCH_failover.json || {
   echo "bench_failover produced no BENCH_failover.json" >&2; exit 1; }
+
+# Overload bench is both a correctness gate (zero responses served past
+# their propagated deadline plus grace, enforced unconditionally) and a
+# robustness gate: goodput at 4x offered load must hold the checked-in
+# fraction of the 1x plateau (congestion-collapse detector) and
+# health-probe p99 at 8x must stay under its ceiling.
+echo "--- bench_overload --scale=0.3 (deadline + goodput-plateau gate) ---"
+cmake --build build-ci-bench -j "$JOBS" --target bench_overload
+build-ci-bench/bench/bench_overload --scale=0.3 \
+  --baseline=bench/baselines/BENCH_overload_baseline.json \
+  --out=build-ci-bench/bench-out >/dev/null
+test -s build-ci-bench/bench-out/BENCH_overload.json || {
+  echo "bench_overload produced no BENCH_overload.json" >&2; exit 1; }
 
 echo "CI: all suites passed"

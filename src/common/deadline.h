@@ -1,0 +1,94 @@
+// Deadline propagation across the stack.
+//
+// A Deadline is an absolute point on the MonotonicNanos() timeline (which
+// is CLOCK_MONOTONIC — comparable across every thread and process on one
+// host, so a deadline minted at the gateway means the same instant inside
+// the OVSDB server and the controller).  Each layer checks the deadline
+// *before* expensive work — at worker-queue dequeue, before a database
+// transaction evaluates, at engine-commit and device-batch boundaries —
+// and short-circuits with kDeadlineExceeded instead of burning CPU on a
+// request the client has already abandoned.
+//
+// The default-constructed Deadline is infinite: every existing call path
+// keeps its old never-times-out behaviour unless a caller says otherwise.
+#ifndef NERPA_COMMON_DEADLINE_H_
+#define NERPA_COMMON_DEADLINE_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace nerpa {
+
+class Deadline {
+ public:
+  /// Infinite — never expires.
+  constexpr Deadline() = default;
+
+  static constexpr Deadline Infinite() { return Deadline(); }
+
+  /// A deadline at an absolute MonotonicNanos() instant.
+  static constexpr Deadline AtNanos(int64_t abs_nanos) {
+    return Deadline(abs_nanos);
+  }
+
+  /// A deadline `budget_nanos` from now.  Non-positive budgets produce an
+  /// already-expired deadline (the caller's clock ran out upstream).
+  static Deadline AfterNanos(int64_t budget_nanos) {
+    return Deadline(MonotonicNanos() + budget_nanos);
+  }
+
+  bool infinite() const { return nanos_ == kInfinite; }
+
+  /// Absolute expiry instant (kInfinite when infinite()).
+  int64_t nanos() const { return nanos_; }
+
+  bool expired(int64_t now_nanos) const {
+    return !infinite() && now_nanos >= nanos_;
+  }
+  bool expired() const { return !infinite() && MonotonicNanos() >= nanos_; }
+
+  /// Remaining budget, clamped at 0.  Infinite deadlines report kInfinite.
+  int64_t remaining_nanos(int64_t now_nanos) const {
+    if (infinite()) return kInfinite;
+    return nanos_ > now_nanos ? nanos_ - now_nanos : 0;
+  }
+  int64_t remaining_nanos() const { return remaining_nanos(MonotonicNanos()); }
+
+  /// Remaining budget in whole milliseconds for poll()-style timeouts,
+  /// clamped into [0, ceiling_ms].  Infinite deadlines report the ceiling.
+  int remaining_ms(int ceiling_ms) const {
+    if (infinite()) return ceiling_ms;
+    int64_t ms = remaining_nanos() / 1'000'000;
+    if (ms > ceiling_ms) return ceiling_ms;
+    return ms < 0 ? 0 : static_cast<int>(ms);
+  }
+
+  /// The earlier of two deadlines (propagation composes by tightening).
+  Deadline Min(const Deadline& other) const {
+    return nanos_ < other.nanos_ ? *this : other;
+  }
+
+  static constexpr int64_t kInfinite = std::numeric_limits<int64_t>::max();
+
+ private:
+  explicit constexpr Deadline(int64_t abs_nanos) : nanos_(abs_nanos) {}
+
+  int64_t nanos_ = kInfinite;
+};
+
+/// Ok while `deadline` has budget left; kDeadlineExceeded naming `what`
+/// otherwise.  The canonical guard before each unit of expensive work.
+inline Status CheckDeadline(const Deadline& deadline, const char* what) {
+  if (deadline.expired()) {
+    return DeadlineExceeded(std::string(what) + ": deadline exceeded");
+  }
+  return Status::Ok();
+}
+
+}  // namespace nerpa
+
+#endif  // NERPA_COMMON_DEADLINE_H_

@@ -1,0 +1,76 @@
+#include "common/retry.h"
+
+#include <algorithm>
+
+namespace nerpa {
+
+namespace {
+
+uint64_t NextRand(uint64_t* state) {
+  // xorshift64*: tiny, seedable, and plenty for jitter draws.
+  uint64_t x = *state;
+  if (x == 0) x = 0x9e3779b97f4a7c15ULL;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  *state = x;
+  return x * 0x2545f4914f6cdd1dULL;
+}
+
+}  // namespace
+
+int64_t JitterNanos(int64_t nominal_nanos, double frac, uint64_t* rng_state) {
+  if (nominal_nanos <= 0 || frac <= 0) return nominal_nanos;
+  double unit =
+      static_cast<double>(NextRand(rng_state) >> 11) / 9007199254740992.0;
+  double scale = 1.0 - frac + 2.0 * frac * unit;  // uniform in [1-f, 1+f]
+  int64_t jittered =
+      static_cast<int64_t>(static_cast<double>(nominal_nanos) * scale);
+  return std::max<int64_t>(jittered, 0);
+}
+
+Backoff::Backoff(const BackoffPolicy& policy, uint64_t seed)
+    : policy_(policy),
+      nominal_nanos_(policy.initial_nanos),
+      rng_state_(seed != 0 ? seed : 0x9e3779b97f4a7c15ULL) {}
+
+int64_t Backoff::NextDelayNanos() {
+  int64_t nominal = nominal_nanos_;
+  nominal_nanos_ = std::min<int64_t>(
+      policy_.max_nanos,
+      static_cast<int64_t>(static_cast<double>(nominal_nanos_) *
+                           policy_.multiplier));
+  return JitterNanos(nominal, policy_.jitter_frac, &rng_state_);
+}
+
+void Backoff::Reset() { nominal_nanos_ = policy_.initial_nanos; }
+
+RetryBudget::RetryBudget(double max_tokens, double ratio)
+    : max_tokens_(max_tokens), ratio_(ratio), tokens_(max_tokens) {}
+
+void RetryBudget::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  tokens_ = std::min(max_tokens_, tokens_ + ratio_);
+}
+
+bool RetryBudget::TryWithdraw() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tokens_ < 1.0) {
+    ++exhausted_;
+    return false;
+  }
+  tokens_ -= 1.0;
+  return true;
+}
+
+double RetryBudget::tokens() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tokens_;
+}
+
+uint64_t RetryBudget::exhausted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return exhausted_;
+}
+
+}  // namespace nerpa

@@ -14,6 +14,7 @@ const char* StatusCodeName(StatusCode code) {
     case StatusCode::kConstraintError: return "constraint error";
     case StatusCode::kInternal: return "internal";
     case StatusCode::kPermissionDenied: return "permission denied";
+    case StatusCode::kDeadlineExceeded: return "deadline exceeded";
   }
   return "unknown";
 }
@@ -52,6 +53,9 @@ Status Internal(std::string message) {
 }
 Status PermissionDenied(std::string message) {
   return Status(StatusCode::kPermissionDenied, std::move(message));
+}
+Status DeadlineExceeded(std::string message) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(message));
 }
 
 }  // namespace nerpa

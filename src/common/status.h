@@ -27,6 +27,7 @@ enum class StatusCode {
   kConstraintError,   // schema/referential constraint violated
   kInternal,          // invariant violation that was caught dynamically
   kPermissionDenied,  // caller lacks authority (e.g. stale fencing token)
+  kDeadlineExceeded,  // the caller's deadline passed before completion
 };
 
 /// Human-readable name of a StatusCode ("type error", ...).
@@ -108,6 +109,7 @@ Status ParseError(std::string message);
 Status ConstraintError(std::string message);
 Status Internal(std::string message);
 Status PermissionDenied(std::string message);
+Status DeadlineExceeded(std::string message);
 
 /// Propagates an error Status from an expression that yields Status.
 #define NERPA_RETURN_IF_ERROR(expr)                  \

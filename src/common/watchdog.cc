@@ -1,0 +1,58 @@
+#include "common/watchdog.h"
+
+namespace nerpa {
+
+void Watchdog::Beat(const std::string& subsystem) {
+  std::lock_guard<std::mutex> lock(mu_);
+  State& state = subsystems_[subsystem];
+  state.last_beat_nanos = MonotonicNanos();
+  ++state.beats;
+}
+
+void Watchdog::Arm(const std::string& subsystem, int64_t timeout_nanos) {
+  std::lock_guard<std::mutex> lock(mu_);
+  State& state = subsystems_[subsystem];
+  state.armed_at_nanos = MonotonicNanos();
+  state.timeout_nanos = timeout_nanos;
+}
+
+void Watchdog::Disarm(const std::string& subsystem) {
+  std::lock_guard<std::mutex> lock(mu_);
+  State& state = subsystems_[subsystem];
+  state.armed_at_nanos = 0;
+  state.last_beat_nanos = MonotonicNanos();
+  ++state.beats;
+}
+
+bool Watchdog::Stuck(const std::string& subsystem, int64_t now_nanos) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = subsystems_.find(subsystem);
+  return it != subsystems_.end() && StuckLocked(it->second, now_nanos);
+}
+
+std::vector<std::string> Watchdog::StuckSubsystems(int64_t now_nanos) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> stuck;
+  for (const auto& [name, state] : subsystems_) {
+    if (StuckLocked(state, now_nanos)) stuck.push_back(name);
+  }
+  return stuck;
+}
+
+std::map<std::string, Watchdog::Health> Watchdog::Snapshot(
+    int64_t now_nanos) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, Health> out;
+  for (const auto& [name, state] : subsystems_) {
+    Health health;
+    health.last_beat_nanos = state.last_beat_nanos;
+    health.armed_at_nanos = state.armed_at_nanos;
+    health.timeout_nanos = state.timeout_nanos;
+    health.beats = state.beats;
+    health.stuck = StuckLocked(state, now_nanos);
+    out[name] = health;
+  }
+  return out;
+}
+
+}  // namespace nerpa

@@ -1,0 +1,78 @@
+// Per-subsystem heartbeats and stuck-operation detection.
+//
+// Loops that must keep moving (the controller's commit path, the
+// gateway's monitor pump) call Beat() each iteration; operations that
+// must complete within a bound (a WAL fsync) Arm() before starting and
+// Disarm() after.  A supervisor — the gateway's /readyz and /v1/stats
+// handlers, the HA pair's Tick() — snapshots the registry from any
+// thread and turns staleness into a health decision: a subsystem whose
+// armed operation outlived its timeout is *stuck*, which is stronger
+// evidence than a missing heartbeat (an idle subsystem has no reason to
+// beat, but an armed one has promised to finish).
+//
+// The registry is passive: it never spawns threads or fires callbacks
+// (repo convention — the caller owns the cadence).  All methods are
+// thread-safe.
+#ifndef NERPA_COMMON_WATCHDOG_H_
+#define NERPA_COMMON_WATCHDOG_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace nerpa {
+
+class Watchdog {
+ public:
+  struct Health {
+    int64_t last_beat_nanos = 0;  // most recent Beat()/Disarm()
+    int64_t armed_at_nanos = 0;   // 0 = no operation in flight
+    int64_t timeout_nanos = 0;    // bound the armed operation promised
+    uint64_t beats = 0;
+    /// Armed longer than its timeout at snapshot time.
+    bool stuck = false;
+  };
+
+  /// Records one heartbeat for `subsystem` (registering it on first use).
+  void Beat(const std::string& subsystem);
+
+  /// Marks the start of an operation that must finish within
+  /// `timeout_nanos`.  Re-arming replaces the previous arm.
+  void Arm(const std::string& subsystem, int64_t timeout_nanos);
+
+  /// Marks the armed operation finished; also counts as a heartbeat.
+  void Disarm(const std::string& subsystem);
+
+  /// True when `subsystem` has an armed operation past its timeout.
+  bool Stuck(const std::string& subsystem, int64_t now_nanos) const;
+
+  /// Names of every currently stuck subsystem (empty = all healthy).
+  std::vector<std::string> StuckSubsystems(int64_t now_nanos) const;
+
+  /// Point-in-time view of every registered subsystem.
+  std::map<std::string, Health> Snapshot(int64_t now_nanos) const;
+
+ private:
+  struct State {
+    int64_t last_beat_nanos = 0;
+    int64_t armed_at_nanos = 0;
+    int64_t timeout_nanos = 0;
+    uint64_t beats = 0;
+  };
+
+  static bool StuckLocked(const State& state, int64_t now_nanos) {
+    return state.armed_at_nanos != 0 && state.timeout_nanos > 0 &&
+           now_nanos >= state.armed_at_nanos + state.timeout_nanos;
+  }
+
+  mutable std::mutex mu_;
+  std::map<std::string, State> subsystems_;
+};
+
+}  // namespace nerpa
+
+#endif  // NERPA_COMMON_WATCHDOG_H_

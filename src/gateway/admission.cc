@@ -1,21 +1,54 @@
 #include "gateway/admission.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace nerpa::gateway {
+
+const char* PriorityName(Priority priority) {
+  switch (priority) {
+    case Priority::kHealth: return "health";
+    case Priority::kCachedRead: return "cached-read";
+    case Priority::kRead: return "read";
+    case Priority::kTransact: return "transact";
+  }
+  return "unknown";
+}
 
 AdmissionController::AdmissionController(double rate_per_sec, double burst,
                                          size_t max_inflight)
     : rate_per_sec_(rate_per_sec),
       burst_(burst),
       max_inflight_(max_inflight),
-      tokens_(burst) {}
+      tokens_(burst),
+      limit_(static_cast<double>(max_inflight)) {}
 
-bool AdmissionController::TryAdmit(int64_t now_ns) {
+void AdmissionController::set_tuning(const Tuning& tuning) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (max_inflight_ > 0 && inflight_ >= max_inflight_) {
-    ++shed_;
-    return false;
+  tuning_ = tuning;
+}
+
+bool AdmissionController::TryAdmit(int64_t now_ns, Priority priority) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return TryAdmitLocked(now_ns, priority);
+}
+
+bool AdmissionController::TryAdmitLocked(int64_t now_ns, Priority priority) {
+  // Health probes answer whether the gateway is alive; shedding them
+  // would turn overload into a (false) liveness failure.
+  if (priority == Priority::kHealth) {
+    ++inflight_;
+    ++admitted_;
+    return true;
+  }
+  if (max_inflight_ > 0) {
+    double cap = std::min(limit_, static_cast<double>(max_inflight_));
+    if (priority == Priority::kTransact) cap *= tuning_.transact_fraction;
+    cap = std::max(cap, 1.0);
+    if (static_cast<double>(inflight_) >= cap) {
+      RecordShedLocked(now_ns, priority);
+      return false;
+    }
   }
   if (rate_per_sec_ > 0) {
     if (last_refill_ns_ == 0) last_refill_ns_ = now_ns;
@@ -26,7 +59,7 @@ bool AdmissionController::TryAdmit(int64_t now_ns) {
       last_refill_ns_ = now_ns;
     }
     if (tokens_ < 1.0) {
-      ++shed_;
+      RecordShedLocked(now_ns, priority);
       return false;
     }
     tokens_ -= 1.0;
@@ -36,9 +69,108 @@ bool AdmissionController::TryAdmit(int64_t now_ns) {
   return true;
 }
 
+void AdmissionController::RecordShedLocked(int64_t now_ns, Priority priority) {
+  ++shed_;
+  ++shed_by_priority_[static_cast<size_t>(priority)];
+  // Two-bucket sliding window: the current bucket plus the previous one
+  // approximate "sheds within the trailing window" without a ring.
+  if (window_start_ns_ == 0 ||
+      now_ns - window_start_ns_ >= tuning_.brownout_window_nanos) {
+    prev_window_sheds_ =
+        (now_ns - window_start_ns_ >= 2 * tuning_.brownout_window_nanos)
+            ? 0
+            : window_sheds_;
+    window_sheds_ = 0;
+    window_start_ns_ = now_ns;
+  }
+  ++window_sheds_;
+}
+
 void AdmissionController::Release() {
   std::lock_guard<std::mutex> lock(mu_);
   if (inflight_ > 0) --inflight_;
+}
+
+void AdmissionController::OnOutcome(int64_t now_ns, int64_t latency_nanos,
+                                    bool ok) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (inflight_ > 0) --inflight_;
+  if (max_inflight_ == 0) return;  // adaptation disabled with the cap
+  if (latency_nanos < 0) latency_nanos = 0;
+  ewma_latency_ns_ = ewma_latency_ns_ == 0
+                         ? latency_nanos
+                         : (ewma_latency_ns_ * 7 + latency_nanos) / 8;
+  if (ok) {
+    // The floor tracks the best latency the backend has shown; decay it
+    // slowly upward so a permanently slower backend re-baselines instead
+    // of being punished forever.
+    floor_latency_ns_ =
+        floor_latency_ns_ == 0
+            ? latency_nanos
+            : std::min<int64_t>(latency_nanos,
+                                floor_latency_ns_ + floor_latency_ns_ / 256 + 1);
+  }
+  int64_t threshold = std::max<int64_t>(
+      tuning_.latency_slack_nanos,
+      static_cast<int64_t>(static_cast<double>(floor_latency_ns_) *
+                           tuning_.latency_tolerance));
+  bool degraded = !ok || (floor_latency_ns_ > 0 && ewma_latency_ns_ > threshold);
+  if (degraded) {
+    if (now_ns - last_decrease_ns_ >= tuning_.decrease_interval_nanos) {
+      limit_ = std::max(tuning_.min_limit, limit_ * tuning_.decrease_factor);
+      last_decrease_ns_ = now_ns;
+      ++limit_decreases_;
+    }
+  } else {
+    // Additive increase, amortized: ~1 slot per `limit_` healthy calls.
+    limit_ = std::min(static_cast<double>(max_inflight_),
+                      limit_ + 1.0 / std::max(limit_, 1.0));
+  }
+}
+
+int AdmissionController::RetryAfterSeconds(int64_t now_ns) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return RetryAfterSecondsLocked(now_ns);
+}
+
+int AdmissionController::RetryAfterSecondsLocked(int64_t now_ns) const {
+  double wait_sec = 0;
+  if (rate_per_sec_ > 0 && tokens_ < 1.0) {
+    // Refill since the last observation may already cover the deficit.
+    double tokens = tokens_;
+    if (last_refill_ns_ != 0 && now_ns > last_refill_ns_) {
+      tokens = std::min(
+          burst_, tokens + static_cast<double>(now_ns - last_refill_ns_) *
+                               1e-9 * rate_per_sec_);
+    }
+    if (tokens < 1.0) wait_sec = (1.0 - tokens) / rate_per_sec_;
+  }
+  if (max_inflight_ > 0 && static_cast<double>(inflight_) >= limit_ &&
+      ewma_latency_ns_ > 0) {
+    // Every `limit_` concurrent calls drain in ~one EWMA latency; the
+    // backlog above the limit drains in proportion.
+    double excess = static_cast<double>(inflight_) - limit_ + 1.0;
+    double drain_sec = static_cast<double>(ewma_latency_ns_) * 1e-9 * excess /
+                       std::max(limit_, 1.0);
+    wait_sec = std::max(wait_sec, drain_sec);
+  }
+  int seconds = static_cast<int>(std::ceil(wait_sec));
+  return std::clamp(seconds, 1, 30);
+}
+
+bool AdmissionController::InBrownout(int64_t now_ns) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (window_start_ns_ == 0) return false;
+  int64_t age = now_ns - window_start_ns_;
+  uint64_t recent;
+  if (age < tuning_.brownout_window_nanos) {
+    recent = window_sheds_ + prev_window_sheds_;
+  } else if (age < 2 * tuning_.brownout_window_nanos) {
+    recent = window_sheds_;  // current bucket aged into "previous"
+  } else {
+    recent = 0;
+  }
+  return recent >= tuning_.brownout_sheds;
 }
 
 uint64_t AdmissionController::admitted() const {
@@ -51,9 +183,30 @@ uint64_t AdmissionController::shed() const {
   return shed_;
 }
 
+uint64_t AdmissionController::shed_by_priority(Priority priority) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shed_by_priority_[static_cast<size_t>(priority)];
+}
+
 size_t AdmissionController::inflight() const {
   std::lock_guard<std::mutex> lock(mu_);
   return inflight_;
+}
+
+double AdmissionController::limit() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_inflight_ == 0 ? 0 : std::min(limit_,
+                                           static_cast<double>(max_inflight_));
+}
+
+int64_t AdmissionController::ewma_latency_nanos() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ewma_latency_ns_;
+}
+
+uint64_t AdmissionController::limit_decreases() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return limit_decreases_;
 }
 
 }  // namespace nerpa::gateway

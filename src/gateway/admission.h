@@ -1,46 +1,140 @@
-// Admission control for the northbound gateway: a token bucket caps the
-// sustained request rate (with a burst allowance) and an inflight cap
-// bounds concurrent backend work.  A request that fails either check is
-// shed immediately with 503 + Retry-After instead of queueing without
-// bound — bounded latency for admitted work beats best-effort latency
-// for everything, especially at 2x offered load (see bench_gateway).
+// Admission control for the northbound gateway.
+//
+// Three mechanisms compose, checked in order per request:
+//
+//  1. A static token bucket (`rate_per_sec`/`burst`) caps the sustained
+//     backend request rate — the hard ceiling an operator configures.
+//  2. An adaptive AIMD concurrency limit keyed on observed downstream
+//     latency: every completed backend call feeds OnOutcome(); while the
+//     backend answers near its baseline latency the limit creeps up
+//     additively toward max_inflight, and when latency degrades past a
+//     tolerance over the observed floor (or calls fail) the limit cuts
+//     multiplicatively.  The baseline is learned, not configured, so the
+//     same gateway self-tunes on a laptop and a loaded server.
+//  3. Priority classes: health probes are never shed, cached reads bypass
+//     admission entirely (they cost the backend nothing), uncached reads
+//     get the full adaptive limit, and transacts only a fraction of it —
+//     so at saturation writes shed first and the read plane stays up.
+//
+// Shed responses carry an honest Retry-After computed from the actual
+// constraint that rejected the request (token deficit / inflight drain
+// estimate), not a hardcoded constant.  Sustained shedding flips the
+// controller into *brownout*: the gateway then serves possibly-stale
+// cached reads (marked X-Nerpa-Stale) instead of 503s — degraded reads
+// beat no reads while the backend pool is saturated.
 #ifndef NERPA_GATEWAY_ADMISSION_H_
 #define NERPA_GATEWAY_ADMISSION_H_
 
+#include <array>
 #include <cstdint>
 #include <mutex>
 
 namespace nerpa::gateway {
 
+/// Request priority classes, most to least important.
+enum class Priority {
+  kHealth = 0,      // liveness/readiness probes — never shed
+  kCachedRead = 1,  // served from ReadCache — bypasses admission
+  kRead = 2,        // uncached reads — full adaptive limit
+  kTransact = 3,    // writes — first to shed at saturation
+};
+constexpr size_t kPriorityClasses = 4;
+const char* PriorityName(Priority priority);
+
 class AdmissionController {
  public:
+  /// Adaptive-limit and brownout knobs (defaults suit the repo's
+  /// benches; tests override via set_tuning()).
+  struct Tuning {
+    /// Latency degradation tolerance: the limit decreases when the EWMA
+    /// latency exceeds `latency_tolerance` x the observed floor.
+    double latency_tolerance = 4.0;
+    /// Never degrade for latencies under this even if the floor is tiny.
+    int64_t latency_slack_nanos = 5'000'000;  // 5 ms
+    /// Multiplicative decrease factor and the minimum interval between
+    /// decreases (one cut per latency observation window, not per call).
+    double decrease_factor = 0.8;
+    int64_t decrease_interval_nanos = 100'000'000;  // 100 ms
+    /// The adaptive limit never drops below this.
+    double min_limit = 2.0;
+    /// Fraction of the adaptive limit transacts may occupy.
+    double transact_fraction = 0.75;
+    /// Brownout trips when at least `brownout_sheds` requests were shed
+    /// within the trailing `brownout_window_nanos`.
+    uint64_t brownout_sheds = 4;
+    int64_t brownout_window_nanos = 500'000'000;  // 500 ms
+  };
+
   /// `rate_per_sec` tokens accrue per second up to `burst`; at most
-  /// `max_inflight` admitted requests may be outstanding at once.
-  /// A rate of 0 disables the token bucket (inflight cap still applies);
-  /// an inflight cap of 0 disables that check too.
+  /// `max_inflight` admitted requests may be outstanding at once (the
+  /// adaptive limit moves within [min_limit, max_inflight]).  A rate of 0
+  /// disables the token bucket; an inflight cap of 0 disables the
+  /// concurrency limit (and with it the adaptive behaviour).
   AdmissionController(double rate_per_sec, double burst, size_t max_inflight);
 
-  /// Attempts to admit one request at time `now_ns` (MonotonicNanos).
-  /// On success the caller owes a matching Release().
-  bool TryAdmit(int64_t now_ns);
+  void set_tuning(const Tuning& tuning);
 
-  /// Marks one admitted request finished.
+  /// Attempts to admit one request of `priority` at time `now_ns`
+  /// (MonotonicNanos).  On success the caller owes a matching Release()
+  /// (directly or via OnOutcome).
+  bool TryAdmit(int64_t now_ns, Priority priority = Priority::kRead);
+
+  /// Marks one admitted request finished without a latency observation
+  /// (e.g. it was dropped before reaching the backend).
   void Release();
+
+  /// Marks one admitted request finished AND feeds the adaptive limit:
+  /// `latency_nanos` is the backend round-trip, `ok` whether it
+  /// succeeded.  Slow or failed calls shrink the limit; healthy ones
+  /// grow it.
+  void OnOutcome(int64_t now_ns, int64_t latency_nanos, bool ok);
+
+  /// Honest Retry-After (whole seconds, >= 1) computed from the current
+  /// constraint: token-bucket deficit against the refill rate, or the
+  /// estimated drain time of the inflight queue at the observed latency.
+  int RetryAfterSeconds(int64_t now_ns) const;
+
+  /// True while sustained shedding indicates backend saturation; the
+  /// gateway then serves stale cached reads instead of 503s.
+  bool InBrownout(int64_t now_ns) const;
 
   uint64_t admitted() const;
   uint64_t shed() const;
+  uint64_t shed_by_priority(Priority priority) const;
   size_t inflight() const;
+  /// Current adaptive concurrency limit (max_inflight when adaptation is
+  /// disabled or has not yet observed latency).
+  double limit() const;
+  /// EWMA backend latency (0 until the first observation).
+  int64_t ewma_latency_nanos() const;
+  uint64_t limit_decreases() const;
 
  private:
+  bool TryAdmitLocked(int64_t now_ns, Priority priority);
+  void RecordShedLocked(int64_t now_ns, Priority priority);
+  int RetryAfterSecondsLocked(int64_t now_ns) const;
+
   mutable std::mutex mu_;
   const double rate_per_sec_;
   const double burst_;
   const size_t max_inflight_;
+  Tuning tuning_;
   double tokens_;
   int64_t last_refill_ns_ = 0;
   size_t inflight_ = 0;
   uint64_t admitted_ = 0;
   uint64_t shed_ = 0;
+  std::array<uint64_t, kPriorityClasses> shed_by_priority_{};
+  // --- adaptive limit state ---
+  double limit_;
+  int64_t ewma_latency_ns_ = 0;
+  int64_t floor_latency_ns_ = 0;   // observed healthy-latency floor
+  int64_t last_decrease_ns_ = 0;
+  uint64_t limit_decreases_ = 0;
+  // --- brownout detection (two-bucket sliding shed window) ---
+  int64_t window_start_ns_ = 0;
+  uint64_t window_sheds_ = 0;
+  uint64_t prev_window_sheds_ = 0;
 };
 
 }  // namespace nerpa::gateway

@@ -30,12 +30,25 @@ std::optional<std::string> ReadCache::Lookup(const std::string& key) {
       Touch(it->second, key);
       return it->second.body;
     }
-    // Stale: drop it now so the table never fills with dead entries.
-    lru_.erase(it->second.lru_it);
-    entries_.erase(it);
+    // Stale: a miss for coherence purposes, but the body stays resident
+    // (un-touched, so LRU reclaims it under pressure) — during brownout
+    // LookupStale() serves exactly these entries.
   }
   ++misses_;
   return std::nullopt;
+}
+
+std::optional<std::string> ReadCache::LookupStale(const std::string& key,
+                                                 bool* fresh) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  auto gen_it = generations_.find(it->second.table);
+  uint64_t current = gen_it == generations_.end() ? 0 : gen_it->second;
+  if (fresh != nullptr) *fresh = it->second.generation == current;
+  ++stale_hits_;
+  Touch(it->second, key);
+  return it->second.body;
 }
 
 void ReadCache::Insert(const std::string& key, const std::string& table,
@@ -76,6 +89,11 @@ uint64_t ReadCache::misses() const {
 uint64_t ReadCache::evictions() const {
   std::lock_guard<std::mutex> lock(mu_);
   return evictions_;
+}
+
+uint64_t ReadCache::stale_hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stale_hits_;
 }
 
 size_t ReadCache::size() const {

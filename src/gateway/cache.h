@@ -41,6 +41,12 @@ class ReadCache {
   /// or a miss either way.
   std::optional<std::string> Lookup(const std::string& key);
 
+  /// Brownout path: returns the cached body for `key` even when its
+  /// generation is stale (`*fresh` reports which), or nullopt when the
+  /// key was never cached.  Stale serves count in stale_hits(), not
+  /// hits()/misses() — brownout reads must not skew the coherence stats.
+  std::optional<std::string> LookupStale(const std::string& key, bool* fresh);
+
   /// Caches `body` for `key`.  `generation` must be the value of
   /// Generation(table) captured BEFORE the backend read, so an update that
   /// races the fetch invalidates the entry rather than being masked.
@@ -50,6 +56,7 @@ class ReadCache {
   uint64_t hits() const;
   uint64_t misses() const;
   uint64_t evictions() const;
+  uint64_t stale_hits() const;
   size_t size() const;
 
  private:
@@ -70,6 +77,7 @@ class ReadCache {
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   uint64_t evictions_ = 0;
+  uint64_t stale_hits_ = 0;
 };
 
 }  // namespace nerpa::gateway

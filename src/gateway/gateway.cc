@@ -14,6 +14,7 @@
 #include <cstring>
 
 #include "common/clock.h"
+#include "common/retry.h"
 #include "common/strings.h"
 
 namespace nerpa::gateway {
@@ -29,7 +30,8 @@ int SetNonBlocking(int fd) {
   return fcntl(fd, F_SETFL, flags | O_NONBLOCK);
 }
 
-/// Maps a backend Status onto an HTTP response.
+/// Maps a backend Status onto an HTTP response.  Callers that can reach
+/// 503 use Gateway::BackendError, which adds the computed Retry-After.
 HttpResponse StatusResponse(const Status& status) {
   int http = 500;
   switch (status.code()) {
@@ -45,6 +47,9 @@ HttpResponse StatusResponse(const Status& status) {
     case StatusCode::kAlreadyExists:
       http = 409;
       break;
+    case StatusCode::kDeadlineExceeded:
+      http = 504;
+      break;
     case StatusCode::kFailedPrecondition:
       // The client wraps both per-op failures ("transact error: ...") and a
       // dead transport in this code; only the latter is the server's fault.
@@ -54,18 +59,43 @@ HttpResponse StatusResponse(const Status& status) {
       http = 500;
       break;
   }
-  HttpResponse response = JsonResponse(
+  return JsonResponse(
       http, Json(Json::Object{
                 {"error", Json(status.message())},
                 {"code", Json(std::string(StatusCodeName(status.code())))}}));
-  if (http == 503) response.headers["Retry-After"] = "1";
+}
+
+HttpResponse ShedResponse(int retry_after_seconds) {
+  HttpResponse response = ErrorResponse(503, "overloaded, retry later");
+  response.headers["Retry-After"] = std::to_string(retry_after_seconds);
   return response;
 }
 
-HttpResponse ShedResponse() {
-  HttpResponse response = ErrorResponse(503, "overloaded, retry later");
-  response.headers["Retry-After"] = "1";
-  return response;
+HttpResponse DeadlineResponse(const char* where) {
+  return ErrorResponse(
+      504, StrFormat("deadline exceeded (%s)", where));
+}
+
+/// The request's deadline: X-Nerpa-Deadline-Ms (a positive millisecond
+/// budget) when present and parseable, else the configured default, else
+/// infinite.
+Deadline RequestDeadline(const HttpRequest& request,
+                         int64_t default_deadline_nanos) {
+  const std::string& header = request.Header("x-nerpa-deadline-ms");
+  if (!header.empty()) {
+    errno = 0;
+    char* end = nullptr;
+    long long ms = std::strtoll(header.c_str(), &end, 10);
+    if (errno == 0 && end != header.c_str() && *end == '\0') {
+      // A non-positive budget is a budget already spent, not a parse
+      // error: the client said "don't bother" and gets an honest 504.
+      return Deadline::AfterNanos(ms * 1'000'000);
+    }
+  }
+  if (default_deadline_nanos > 0) {
+    return Deadline::AfterNanos(default_deadline_nanos);
+  }
+  return Deadline();
 }
 
 /// Types a query-parameter string as an OVSDB wire atom of `type`.
@@ -233,15 +263,28 @@ void Gateway::Stop() {
 }
 
 void Gateway::PumpThread() {
+  // Jittered backoff between pump recovery attempts: many gateways losing
+  // one backend must not re-dial it in lockstep.
+  BackoffPolicy policy;
+  policy.initial_nanos = 10'000'000;   // 10 ms
+  policy.max_nanos = 500'000'000;      // 500 ms
+  Backoff backoff(policy, reinterpret_cast<uintptr_t>(this) ^
+                              static_cast<uint64_t>(MonotonicNanos()));
   while (!stopping_.load(std::memory_order_relaxed)) {
+    if (options_.watchdog != nullptr) options_.watchdog->Beat("gateway.pump");
     auto delivered = pump_client_->WaitForUpdate(50);
-    if (!delivered.ok()) {
-      // Transport down and the heal budget exhausted for this attempt;
-      // back off and keep trying — the backend may come back.
-      for (int i = 0; i < 10 && !stopping_.load(std::memory_order_relaxed);
-           ++i) {
-        std::this_thread::sleep_for(std::chrono::milliseconds(10));
-      }
+    if (delivered.ok()) {
+      backoff.Reset();
+      continue;
+    }
+    // Transport down and the heal budget exhausted for this attempt; back
+    // off and keep trying — the backend may come back.  Sleep in small
+    // slices so Stop() stays responsive.
+    int64_t remaining = backoff.NextDelayNanos();
+    while (remaining > 0 && !stopping_.load(std::memory_order_relaxed)) {
+      int64_t slice = std::min<int64_t>(remaining, 10'000'000);
+      std::this_thread::sleep_for(std::chrono::nanoseconds(slice));
+      remaining -= slice;
     }
   }
 }
@@ -478,14 +521,39 @@ void Gateway::ReleaseClient(size_t index) {
   clients_cv_.notify_one();
 }
 
+HttpResponse Gateway::BackendError(const Status& status) const {
+  HttpResponse response = StatusResponse(status);
+  if (response.status == 503) {
+    response.headers["Retry-After"] =
+        std::to_string(admission_.RetryAfterSeconds(MonotonicNanos()));
+  }
+  return response;
+}
+
 void Gateway::SubmitBackend(
-    uint64_t id, bool keep_alive, bool admitted,
-    std::function<HttpResponse(ovsdb::OvsdbClient&)> work) {
-  pool_->Submit([this, id, keep_alive, admitted, work = std::move(work)] {
-    size_t index = AcquireClient();
-    HttpResponse response = work(*clients_[index]);
-    ReleaseClient(index);
-    if (admitted) admission_.Release();
+    uint64_t id, bool keep_alive, bool admitted, Deadline deadline,
+    std::function<HttpResponse(ovsdb::OvsdbClient&, const Deadline&)> work) {
+  pool_->Submit([this, id, keep_alive, admitted, deadline,
+                 work = std::move(work)] {
+    int64_t start = MonotonicNanos();
+    HttpResponse response;
+    if (deadline.expired(start)) {
+      // The request aged out while queued: drop it here, before it costs
+      // a backend client, a fetch, or a transact evaluation.
+      deadline_drops_.fetch_add(1, std::memory_order_relaxed);
+      if (admitted) admission_.Release();
+      response = DeadlineResponse("queued at gateway");
+    } else {
+      size_t index = AcquireClient();
+      response = work(*clients_[index], deadline);
+      ReleaseClient(index);
+      if (admitted) {
+        // Feed the adaptive limit: 5xx (including 504) and shed-worthy
+        // latencies shrink it, healthy round-trips grow it.
+        admission_.OnOutcome(MonotonicNanos(), MonotonicNanos() - start,
+                             response.status < 500);
+      }
+    }
     {
       std::lock_guard<std::mutex> lock(completions_mu_);
       completions_.push_back(Completion{id, std::move(response), keep_alive});
@@ -496,15 +564,41 @@ void Gateway::SubmitBackend(
 }
 
 HttpResponse Gateway::HandleStats() const {
+  int64_t now = MonotonicNanos();
   Json::Object cache{{"hits", Json(static_cast<int64_t>(cache_.hits()))},
                      {"misses", Json(static_cast<int64_t>(cache_.misses()))},
                      {"evictions",
                       Json(static_cast<int64_t>(cache_.evictions()))},
+                     {"stale_hits",
+                      Json(static_cast<int64_t>(cache_.stale_hits()))},
                      {"entries", Json(static_cast<int64_t>(cache_.size()))}};
+  Json::Object shed_by_priority;
+  for (size_t i = 0; i < kPriorityClasses; ++i) {
+    Priority priority = static_cast<Priority>(i);
+    shed_by_priority[PriorityName(priority)] =
+        Json(static_cast<int64_t>(admission_.shed_by_priority(priority)));
+  }
   Json::Object admission{
       {"admitted", Json(static_cast<int64_t>(admission_.admitted()))},
       {"shed", Json(static_cast<int64_t>(admission_.shed()))},
-      {"inflight", Json(static_cast<int64_t>(admission_.inflight()))}};
+      {"shed_by_priority", Json(std::move(shed_by_priority))},
+      {"inflight", Json(static_cast<int64_t>(admission_.inflight()))},
+      {"limit", Json(admission_.limit())},
+      {"limit_decreases",
+       Json(static_cast<int64_t>(admission_.limit_decreases()))},
+      {"ewma_latency_nanos", Json(admission_.ewma_latency_nanos())},
+      {"brownout", Json(admission_.InBrownout(now))}};
+  Json::Object health;
+  if (options_.watchdog != nullptr) {
+    for (const auto& [name, state] : options_.watchdog->Snapshot(now)) {
+      health[name] = Json(Json::Object{
+          {"beats", Json(static_cast<int64_t>(state.beats))},
+          {"stuck", Json(state.stuck)},
+          {"last_beat_age_nanos",
+           Json(state.last_beat_nanos == 0 ? int64_t{-1}
+                                           : now - state.last_beat_nanos)}});
+    }
+  }
   uint64_t latest;
   {
     std::lock_guard<std::mutex> lock(changes_mu_);
@@ -517,8 +611,11 @@ HttpResponse Gateway::HandleStats() const {
           {"active_connections", Json(static_cast<int64_t>(conns_.size()))},
           {"slow_client_drops",
            Json(static_cast<int64_t>(slow_client_drops()))},
+          {"deadline_drops", Json(static_cast<int64_t>(deadline_drops()))},
+          {"stale_served", Json(static_cast<int64_t>(stale_served()))},
           {"cache", Json(std::move(cache))},
           {"admission", Json(std::move(admission))},
+          {"health", Json(std::move(health))},
           {"changes_seq", Json(static_cast<int64_t>(latest))}}));
 }
 
@@ -587,9 +684,11 @@ HttpResponse Gateway::DoTableRead(ovsdb::OvsdbClient& client,
                                   std::string table, Json where,
                                   std::vector<std::string> columns,
                                   std::string cache_key, bool cacheable,
-                                  bool single, uint64_t generation) {
-  auto fetched = client.Fetch(table, std::move(where), std::move(columns));
-  if (!fetched.ok()) return StatusResponse(fetched.status());
+                                  bool single, uint64_t generation,
+                                  const Deadline& deadline) {
+  auto fetched =
+      client.Fetch(table, std::move(where), std::move(columns), deadline);
+  if (!fetched.ok()) return BackendError(fetched.status());
   if (single) {
     const Json* rows = fetched.value().Find("rows");
     if (rows != nullptr && rows->is_array() && rows->as_array().empty()) {
@@ -604,23 +703,23 @@ HttpResponse Gateway::DoTableRead(ovsdb::OvsdbClient& client,
   return response;
 }
 
-HttpResponse Gateway::DoTransact(ovsdb::OvsdbClient& client,
-                                 std::string body) {
+HttpResponse Gateway::DoTransact(ovsdb::OvsdbClient& client, std::string body,
+                                 const Deadline& deadline) {
   auto parsed = Json::Parse(body);
-  if (!parsed.ok()) return StatusResponse(parsed.status());
+  if (!parsed.ok()) return BackendError(parsed.status());
   if (!parsed.value().is_array()) {
     return ErrorResponse(400, "transact body must be an array of operations");
   }
-  auto results = client.Transact(std::move(parsed).value());
-  if (!results.ok()) return StatusResponse(results.status());
+  auto results = client.Transact(std::move(parsed).value(), deadline);
+  if (!results.ok()) return BackendError(results.status());
   return JsonResponse(
       200, Json(Json::Object{{"results", std::move(results).value()}}));
 }
 
-HttpResponse Gateway::DoJsonRpc(ovsdb::OvsdbClient& client,
-                                std::string body) {
+HttpResponse Gateway::DoJsonRpc(ovsdb::OvsdbClient& client, std::string body,
+                                const Deadline& deadline) {
   auto parsed = Json::Parse(body);
-  if (!parsed.ok()) return StatusResponse(parsed.status());
+  if (!parsed.ok()) return BackendError(parsed.status());
   const Json& doc = parsed.value();
   const Json* method = doc.Find("method");
   if (method == nullptr || !method->is_string()) {
@@ -648,7 +747,7 @@ HttpResponse Gateway::DoJsonRpc(ovsdb::OvsdbClient& client,
   if (name == "get_schema") return reply(schema_.ToJson());
   if (name == "transact") {
     if (!params.is_array()) return rpc_error("transact params must be array");
-    auto results = client.Transact(std::move(params));
+    auto results = client.Transact(std::move(params), deadline);
     if (!results.ok()) return rpc_error(results.status().ToString());
     return reply(std::move(results).value());
   }
@@ -666,7 +765,7 @@ HttpResponse Gateway::DoJsonRpc(ovsdb::OvsdbClient& client,
       }
     }
     auto fetched =
-        client.Fetch(args[0].as_string(), std::move(where), columns);
+        client.Fetch(args[0].as_string(), std::move(where), columns, deadline);
     if (!fetched.ok()) return rpc_error(fetched.status().ToString());
     return reply(std::move(fetched).value());
   }
@@ -676,6 +775,8 @@ HttpResponse Gateway::DoJsonRpc(ovsdb::OvsdbClient& client,
 void Gateway::Dispatch(uint64_t id, Conn& conn, HttpRequest request) {
   requests_served_.fetch_add(1, std::memory_order_relaxed);
   const bool keep_alive = request.keep_alive();
+  const Deadline deadline =
+      RequestDeadline(request, options_.default_deadline_nanos);
 
   if (request.method == "GET") {
     if (request.path == "/healthz") {
@@ -690,11 +791,24 @@ void Gateway::Dispatch(uint64_t id, Conn& conn, HttpRequest request) {
       // drains to the leader (hinted in X-Nerpa-Leader).
       Readiness state;
       if (options_.readiness) state = options_.readiness();
+      // A stuck subsystem (an armed watchdog operation past its bound —
+      // e.g. a hung WAL fsync or a dead monitor pump) also drains traffic
+      // away, even while leadership says "ready".
+      Json::Array stuck_names;
+      if (options_.watchdog != nullptr) {
+        for (const std::string& name :
+             options_.watchdog->StuckSubsystems(MonotonicNanos())) {
+          stuck_names.push_back(Json(name));
+        }
+      }
+      const bool ready = state.ready && stuck_names.empty();
       HttpResponse response = JsonResponse(
-          state.ready ? 200 : 503,
-          Json(Json::Object{{"ready", Json(state.ready)}}));
-      if (!state.ready) {
-        response.headers["Retry-After"] = "1";
+          ready ? 200 : 503,
+          Json(Json::Object{{"ready", Json(ready)},
+                            {"stuck", Json(std::move(stuck_names))}}));
+      if (!ready) {
+        response.headers["Retry-After"] = std::to_string(
+            admission_.RetryAfterSeconds(MonotonicNanos()));
         if (!state.leader_hint.empty()) {
           response.headers["X-Nerpa-Leader"] = state.leader_hint;
         }
@@ -780,23 +894,44 @@ void Gateway::Dispatch(uint64_t id, Conn& conn, HttpRequest request) {
           return;
         }
       }
-      if (!admission_.TryAdmit(MonotonicNanos())) {
-        QueueResponse(id, ShedResponse(), keep_alive);
+      int64_t now = MonotonicNanos();
+      if (!admission_.TryAdmit(now, Priority::kRead)) {
+        // Brownout: the backend pool is saturated, so a possibly-stale
+        // cached body (marked for the client) beats another 503 — the
+        // paper's read-mostly northbound keeps answering while writes
+        // shed.
+        if (cacheable && admission_.InBrownout(now)) {
+          bool fresh = false;
+          auto stale = cache_.LookupStale(request.target, &fresh);
+          if (stale.has_value()) {
+            stale_served_.fetch_add(1, std::memory_order_relaxed);
+            HttpResponse response;
+            response.status = 200;
+            response.body = std::move(*stale);
+            response.headers["X-Cache"] = fresh ? "hit" : "stale";
+            response.headers["X-Nerpa-Stale"] = fresh ? "0" : "1";
+            QueueResponse(id, response, keep_alive);
+            return;
+          }
+        }
+        QueueResponse(id, ShedResponse(admission_.RetryAfterSeconds(now)),
+                      keep_alive);
         return;
       }
       // Generation captured before the read: an invalidation racing the
       // fetch lands on a smaller generation and the entry misses later.
       uint64_t generation = cache_.Generation(table_name);
       conn.inflight = true;
-      SubmitBackend(id, keep_alive, /*admitted=*/true,
+      SubmitBackend(id, keep_alive, /*admitted=*/true, deadline,
                     [this, table_name, where = std::move(where),
                      columns = std::move(columns),
                      cache_key = request.target, cacheable, single,
-                     generation](ovsdb::OvsdbClient& client) mutable {
+                     generation](ovsdb::OvsdbClient& client,
+                                 const Deadline& remaining) mutable {
                       return DoTableRead(client, table_name, std::move(where),
                                          std::move(columns),
                                          std::move(cache_key), cacheable,
-                                         single, generation);
+                                         single, generation, remaining);
                     });
       return;
     }
@@ -806,28 +941,36 @@ void Gateway::Dispatch(uint64_t id, Conn& conn, HttpRequest request) {
 
   if (request.method == "POST") {
     if (request.path == "/v1/transact") {
-      if (!admission_.TryAdmit(MonotonicNanos())) {
-        QueueResponse(id, ShedResponse(), keep_alive);
+      int64_t now = MonotonicNanos();
+      if (!admission_.TryAdmit(now, Priority::kTransact)) {
+        QueueResponse(id, ShedResponse(admission_.RetryAfterSeconds(now)),
+                      keep_alive);
         return;
       }
       conn.inflight = true;
-      SubmitBackend(id, keep_alive, /*admitted=*/true,
-                    [body = std::move(request.body)](
-                        ovsdb::OvsdbClient& client) mutable {
-                      return DoTransact(client, std::move(body));
+      SubmitBackend(id, keep_alive, /*admitted=*/true, deadline,
+                    [this, body = std::move(request.body)](
+                        ovsdb::OvsdbClient& client,
+                        const Deadline& remaining) mutable {
+                      return DoTransact(client, std::move(body), remaining);
                     });
       return;
     }
     if (request.path == "/jsonrpc") {
-      if (!admission_.TryAdmit(MonotonicNanos())) {
-        QueueResponse(id, ShedResponse(), keep_alive);
+      // JSON-RPC bodies may carry a transact, so the whole route takes the
+      // write-priority class: at saturation it sheds before plain reads.
+      int64_t now = MonotonicNanos();
+      if (!admission_.TryAdmit(now, Priority::kTransact)) {
+        QueueResponse(id, ShedResponse(admission_.RetryAfterSeconds(now)),
+                      keep_alive);
         return;
       }
       conn.inflight = true;
-      SubmitBackend(id, keep_alive, /*admitted=*/true,
+      SubmitBackend(id, keep_alive, /*admitted=*/true, deadline,
                     [this, body = std::move(request.body)](
-                        ovsdb::OvsdbClient& client) mutable {
-                      return DoJsonRpc(client, std::move(body));
+                        ovsdb::OvsdbClient& client,
+                        const Deadline& remaining) mutable {
+                      return DoJsonRpc(client, std::move(body), remaining);
                     });
       return;
     }

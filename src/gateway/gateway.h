@@ -43,9 +43,11 @@
 #include <thread>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/json.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "common/watchdog.h"
 #include "gateway/admission.h"
 #include "gateway/cache.h"
 #include "gateway/http.h"
@@ -79,6 +81,18 @@ class Gateway {
     size_t max_outbox_bytes = 4u << 20;
     size_t changes_ring_capacity = 1024;
 
+    /// Default per-request deadline budget, applied when the client sends
+    /// no X-Nerpa-Deadline-Ms header (0 = requests without the header run
+    /// unbounded, the old behaviour).  The deadline rides every backend
+    /// RPC: expired requests are dropped at worker dequeue with 504 and
+    /// refused by the OVSDB server before evaluation.
+    int64_t default_deadline_nanos = 0;
+
+    /// Optional shared watchdog (not owned): the monitor pump beats
+    /// "gateway.pump" each cycle, /readyz reports 503 while any subsystem
+    /// is stuck, and /v1/stats exposes the full health snapshot.
+    Watchdog* watchdog = nullptr;
+
     /// Readiness provider for /readyz (called per probe, must be
     /// thread-safe).  Null = always ready, the single-controller default.
     std::function<Readiness()> readiness;
@@ -108,6 +122,15 @@ class Gateway {
   }
   uint64_t slow_client_drops() const {
     return slow_client_drops_.load(std::memory_order_relaxed);
+  }
+  /// Requests dropped at worker dequeue because their deadline had
+  /// already expired (answered 504 without touching the backend).
+  uint64_t deadline_drops() const {
+    return deadline_drops_.load(std::memory_order_relaxed);
+  }
+  /// Possibly-stale cached reads served during brownout (X-Nerpa-Stale).
+  uint64_t stale_served() const {
+    return stale_served_.load(std::memory_order_relaxed);
   }
   const ReadCache& cache() const { return cache_; }
   const AdmissionController& admission() const { return admission_; }
@@ -154,10 +177,17 @@ class Gateway {
       const;
 
   /// Submits a backend job; `work` runs on a pool worker with a borrowed
-  /// client and must return the response to send.
+  /// client and must return the response to send.  A job whose `deadline`
+  /// expired while queued is answered 504 at dequeue without touching the
+  /// backend; completed jobs feed their round-trip latency into the
+  /// adaptive admission limit.
   void SubmitBackend(
-      uint64_t id, bool keep_alive, bool admitted,
-      std::function<HttpResponse(ovsdb::OvsdbClient&)> work);
+      uint64_t id, bool keep_alive, bool admitted, Deadline deadline,
+      std::function<HttpResponse(ovsdb::OvsdbClient&, const Deadline&)> work);
+
+  /// StatusResponse plus overload headers: 503s carry the admission
+  /// controller's computed Retry-After instead of a constant.
+  HttpResponse BackendError(const Status& status) const;
 
   size_t AcquireClient();
   void ReleaseClient(size_t index);
@@ -166,9 +196,11 @@ class Gateway {
   HttpResponse DoTableRead(ovsdb::OvsdbClient& client, std::string table,
                            Json where, std::vector<std::string> columns,
                            std::string cache_key, bool cacheable, bool single,
-                           uint64_t generation);
-  static HttpResponse DoTransact(ovsdb::OvsdbClient& client, std::string body);
-  HttpResponse DoJsonRpc(ovsdb::OvsdbClient& client, std::string body);
+                           uint64_t generation, const Deadline& deadline);
+  HttpResponse DoTransact(ovsdb::OvsdbClient& client, std::string body,
+                          const Deadline& deadline);
+  HttpResponse DoJsonRpc(ovsdb::OvsdbClient& client, std::string body,
+                         const Deadline& deadline);
 
   Options options_;
   uint16_t http_port_ = 0;
@@ -215,6 +247,8 @@ class Gateway {
 
   std::atomic<uint64_t> requests_served_{0};
   std::atomic<uint64_t> slow_client_drops_{0};
+  std::atomic<uint64_t> deadline_drops_{0};
+  std::atomic<uint64_t> stale_served_{0};
 };
 
 }  // namespace nerpa::gateway

@@ -70,6 +70,10 @@ class DurableStore {
   /// True when Open() rebuilt state from disk (vs. starting empty).
   bool recovered() const { return recovered_; }
 
+  /// The underlying WAL — exposed so supervisors can attach a watchdog
+  /// to the append/fsync path (see WriteAheadLog::AttachWatchdog).
+  WriteAheadLog& wal() { return wal_; }
+
   /// The digest sequence saved by the last Checkpoint(); 0 if none.
   int64_t recovered_digest_seq() const { return recovered_digest_seq_; }
 

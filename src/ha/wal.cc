@@ -72,7 +72,14 @@ Result<WriteAheadLog> WriteAheadLog::Open(const std::string& path, Io* io) {
 }
 
 Status WriteAheadLog::Append(const Json& record) {
+  // Arm around the flush: if the kernel wedges inside Append (the fsync
+  // path), no code after it runs, so only an armed watchdog can tell a
+  // supervisor the WAL stopped making progress.
+  if (watchdog_ != nullptr) {
+    watchdog_->Arm(watchdog_subsystem_, watchdog_timeout_nanos_);
+  }
   Status appended = out_->Append(FrameRecord(record));
+  if (watchdog_ != nullptr) watchdog_->Disarm(watchdog_subsystem_);
   if (!appended.ok()) {
     return Internal("cannot append to WAL '" + path_ +
                     "': " + appended.ToString());

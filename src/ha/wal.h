@@ -31,6 +31,7 @@
 
 #include "common/json.h"
 #include "common/status.h"
+#include "common/watchdog.h"
 #include "ha/io.h"
 
 namespace nerpa::ha {
@@ -52,6 +53,17 @@ class WriteAheadLog {
 
   /// Appends one checksummed record and flushes it to the OS.
   Status Append(const Json& record);
+
+  /// Attaches a watchdog (not owned): every Append is Arm()ed under
+  /// `subsystem` with `timeout_nanos` and Disarm()ed on return, so a
+  /// flush wedged in the kernel (dying disk, hung NFS) is visible to
+  /// supervisors as a stuck subsystem rather than silent lease loss.
+  void AttachWatchdog(Watchdog* watchdog, std::string subsystem,
+                      int64_t timeout_nanos) {
+    watchdog_ = watchdog;
+    watchdog_subsystem_ = std::move(subsystem);
+    watchdog_timeout_nanos_ = timeout_nanos;
+  }
 
   /// Invokes `apply` on every well-formed record in file order.  Stops
   /// with the error if `apply` fails.  See the recovery policy above for
@@ -95,6 +107,9 @@ class WriteAheadLog {
   std::string path_;
   Io* io_ = nullptr;
   std::unique_ptr<Appender> out_;
+  Watchdog* watchdog_ = nullptr;
+  std::string watchdog_subsystem_;
+  int64_t watchdog_timeout_nanos_ = 0;
   uint64_t records_appended_ = 0;
   uint64_t records_replayed_ = 0;
   uint64_t truncated_tail_records_ = 0;

@@ -503,6 +503,11 @@ Status Controller::ProcessOvsdbUpdates(const ovsdb::TableUpdates& updates) {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.dlog_txns;
   }
+  // The commit loop is alive: whatever the dispatch below does (park,
+  // retry, shed), the engine itself made progress this cycle.
+  if (options_.watchdog != nullptr) {
+    options_.watchdog->Beat("controller.commit");
+  }
   return ApplyOutputDelta(delta);
 }
 
@@ -511,23 +516,38 @@ Status Controller::WriteWithRetry(Device& device,
   const RetryPolicy& retry = options_.retry;
   const int64_t timeout = options_.breaker.write_timeout_nanos;
   int attempts = std::max(1, retry.max_attempts);
-  int64_t backoff = retry.initial_backoff_nanos;
+  BackoffPolicy policy;
+  policy.initial_nanos = retry.initial_backoff_nanos;
+  policy.multiplier = retry.backoff_multiplier;
+  policy.max_nanos = retry.max_backoff_nanos;
+  uint64_t seed;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    seed = ++breaker_rng_;
+  }
+  Backoff backoff(policy, seed);
   Status status;
   for (int attempt = 0; attempt < attempts; ++attempt) {
     if (attempt > 0) {
+      // Every retry across every device draws from one budget: against a
+      // data plane that is mostly down, retries stop amplifying the load
+      // once the budget drains, and the breaker/anti-entropy take over.
+      if (!write_retry_budget_.TryWithdraw()) {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.retry_budget_exhausted;
+        break;  // surface the previous attempt's error
+      }
       {
         std::lock_guard<std::mutex> lock(stats_mu_);
         ++stats_.retries;
       }
-      std::this_thread::sleep_for(std::chrono::nanoseconds(backoff));
-      backoff = std::min<int64_t>(
-          retry.max_backoff_nanos,
-          static_cast<int64_t>(static_cast<double>(backoff) *
-                               retry.backoff_multiplier));
+      std::this_thread::sleep_for(
+          std::chrono::nanoseconds(backoff.NextDelayNanos()));
     }
     int64_t started = timeout > 0 ? MonotonicNanos() : 0;
     status = write();
     if (status.ok()) {
+      write_retry_budget_.RecordSuccess();
       std::lock_guard<std::mutex> lock(stats_mu_);
       if (timeout > 0 && MonotonicNanos() - started > timeout) {
         // The device answered, but too slowly to count as healthy: a
@@ -588,7 +608,13 @@ void Controller::QuarantineLocked(Device& device) {
 void Controller::EscalateCooldownLocked(Device& device) {
   const BreakerPolicy& breaker = options_.breaker;
   int64_t cooldown = device.next_cooldown_nanos;
-  device.cooldown_until_nanos = MonotonicNanos() + cooldown;
+  // Jitter the quiet period: breakers tripped by one shared outage must
+  // not send their half-open probes (each a full resync) in lockstep at
+  // whatever just came back.  The escalation below stays un-jittered so
+  // the nominal schedule is deterministic.
+  int64_t jittered =
+      cooldown > 0 ? JitterNanos(cooldown, 0.2, &breaker_rng_) : cooldown;
+  device.cooldown_until_nanos = MonotonicNanos() + jittered;
   if (cooldown > 0) {
     device.next_cooldown_nanos = std::min<int64_t>(
         breaker.max_cooldown_nanos,
@@ -638,12 +664,26 @@ Status Controller::AppendEntryOps(std::vector<DeviceBatch>& batches,
   return Status::Ok();
 }
 
-Status Controller::ExecuteBatch(DeviceBatch& batch) {
+Status Controller::ExecuteBatch(DeviceBatch& batch, const Deadline& deadline) {
   // Worker-thread body: only this thread touches the batch's device, so
   // the device sees exactly the serial write order.  Stops at the device's
   // first error; other devices' batches are unaffected.
   Device& device = *batch.device;
   for (size_t i = 0; i < batch.ops.size(); ++i) {
+    if (deadline.expired()) {
+      // Commit budget spent (a slow or flapping device ate it): park the
+      // rest of the batch in the outbox and report success.  The commit
+      // stops monopolizing the dispatch path, no op is dropped — the next
+      // anti-entropy pass sees the non-empty outbox and reconciles the
+      // device, exactly like a sub-threshold write failure.
+      size_t parked = batch.ops.size() - i;
+      QuarantineOps(device, {batch.ops.begin() +
+                                 static_cast<std::ptrdiff_t>(i),
+                             batch.ops.end()});
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.deadline_parks += parked;
+      return Status::Ok();
+    }
     if (role_.load(std::memory_order_acquire) != Role::kLeader) {
       // Demoted mid-batch (lease loss, or a fenced rejection on another
       // device of this same delta): abort the remaining ops.  Nothing is
@@ -713,7 +753,8 @@ Status Controller::ExecuteBatch(DeviceBatch& batch) {
   return Status::Ok();
 }
 
-Status Controller::RunBatches(std::vector<DeviceBatch>& batches) {
+Status Controller::RunBatches(std::vector<DeviceBatch>& batches,
+                              const Deadline& deadline) {
   size_t busy = 0;
   for (const DeviceBatch& batch : batches) {
     if (!batch.ops.empty()) ++busy;
@@ -724,7 +765,7 @@ Status Controller::RunBatches(std::vector<DeviceBatch>& batches) {
     Status first;
     for (DeviceBatch& batch : batches) {
       if (batch.ops.empty()) continue;
-      Status status = ExecuteBatch(batch);
+      Status status = ExecuteBatch(batch, deadline);
       if (!status.ok() && first.ok()) first = status;
     }
     return first;
@@ -735,7 +776,9 @@ Status Controller::RunBatches(std::vector<DeviceBatch>& batches) {
     if (batches[i].ops.empty()) continue;
     DeviceBatch* batch = &batches[i];
     Status* slot = &results[i];
-    pool.Submit([this, batch, slot] { *slot = ExecuteBatch(*batch); });
+    pool.Submit([this, batch, slot, deadline] {
+      *slot = ExecuteBatch(*batch, deadline);
+    });
   }
   pool.WaitIdle();
   for (const Status& status : results) NERPA_RETURN_IF_ERROR(status);
@@ -802,7 +845,12 @@ Status Controller::ApplyOutputDelta(const dlog::TxnDelta& delta) {
                                          p4::UpdateType::kInsert,
                                          pending.entry));
   }
-  return RunBatches(batches);
+  // The commit deadline is minted here, after conversion: it budgets the
+  // dispatch (the part that holds devices hostage), not the pure compute.
+  Deadline deadline = options_.commit_deadline_nanos > 0
+                          ? Deadline::AfterNanos(options_.commit_deadline_nanos)
+                          : Deadline();
+  return RunBatches(batches, deadline);
 }
 
 Status Controller::ApplyMulticastDelta(const dlog::SetDelta& delta,

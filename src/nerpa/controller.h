@@ -25,8 +25,11 @@
 #include <thread>
 #include <vector>
 
+#include "common/deadline.h"
+#include "common/retry.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "common/watchdog.h"
 #include "dlog/engine.h"
 #include "nerpa/bindings.h"
 #include "ovsdb/database.h"
@@ -145,6 +148,19 @@ class Controller {
     /// Initial fencing token (leader-lease epoch) stamped on every device
     /// client.  0 = unfenced single-controller deployment.
     uint64_t fence_epoch = 0;
+
+    /// Per-commit data-plane dispatch budget (0 = unbounded, the old
+    /// behaviour).  Each management-plane delta mints one deadline when
+    /// its engine transaction commits; device batches check it at every
+    /// op boundary, and ops left when it expires are parked in the
+    /// per-device outbox for anti-entropy to drain — the commit stops
+    /// consuming the plane lock, but no op is dropped.
+    int64_t commit_deadline_nanos = 0;
+
+    /// Optional shared watchdog (not owned): the commit path beats
+    /// "controller.commit" per processed delta so a supervisor can tell a
+    /// wedged engine from an idle one.
+    Watchdog* watchdog = nullptr;
   };
 
   /// The database and runtime clients must outlive the controller.
@@ -244,6 +260,13 @@ class Controller {
     // --- HA: retry/backoff ---
     uint64_t retries = 0;           // re-attempted writes
     uint64_t write_failures = 0;    // writes that exhausted all attempts
+    /// Retries refused because the shared write-retry budget ran dry (the
+    /// data plane is failing faster than it succeeds; fail fast and let
+    /// the breaker/anti-entropy own recovery).
+    uint64_t retry_budget_exhausted = 0;
+    /// Ops parked in a device outbox because the commit deadline expired
+    /// mid-batch (drained later by anti-entropy, never dropped).
+    uint64_t deadline_parks = 0;
     /// Per-device count of failed write attempts (including retried ones).
     std::map<std::string, uint64_t> device_failures;
     // --- robustness: circuit breakers ---
@@ -343,12 +366,14 @@ class Controller {
                         const std::string& device, p4::UpdateType type,
                         const p4::TableEntry& entry);
   /// Runs each non-empty batch (per-device order preserved; distinct
-  /// devices concurrent when write_parallelism allows).  Every batch runs
-  /// to its own first error; returns the first error in device
-  /// registration order.
-  Status RunBatches(std::vector<DeviceBatch>& batches);
-  /// Executes one device's ops in order (worker-thread body).
-  Status ExecuteBatch(DeviceBatch& batch);
+  /// devices concurrent when write_parallelism allows) under `deadline`.
+  /// Every batch runs to its own first error; returns the first error in
+  /// device registration order.
+  Status RunBatches(std::vector<DeviceBatch>& batches,
+                    const Deadline& deadline);
+  /// Executes one device's ops in order (worker-thread body).  Ops left
+  /// when `deadline` expires are parked in the device outbox.
+  Status ExecuteBatch(DeviceBatch& batch, const Deadline& deadline);
   /// One write attempt loop: runs `write` against `device` under the
   /// retry policy, maintaining retry/failure counters and breaker strikes
   /// (thread-safe).
@@ -425,6 +450,13 @@ class Controller {
   mutable std::mutex stats_mu_;  // guards stats_ + breaker state + last_error_
   Stats stats_;
   Status last_error_;
+  /// One budget for every device's write retries (see common/retry.h):
+  /// healthy writes deposit, each retry withdraws.  Thread-safe itself;
+  /// kept outside stats_mu_ to avoid lock nesting in the write path.
+  RetryBudget write_retry_budget_{32.0, 0.1};
+  /// Jitter state for breaker cooldowns (guarded by stats_mu_, like the
+  /// breaker fields it randomizes).
+  uint64_t breaker_rng_ = 0x9e3779b97f4a7c15ULL;
   // Background anti-entropy loop (Options.anti_entropy_interval_nanos).
   std::thread anti_entropy_thread_;
   std::mutex anti_entropy_mu_;

@@ -23,7 +23,9 @@ OvsdbClient::OvsdbClient()
     // keeps tokens from colliding across processes talking to one server.
     : session_token_(StrFormat("%s/%llx", Uuid::Generate().ToString().c_str(),
                                static_cast<unsigned long long>(
-                                   MonotonicNanos()))) {}
+                                   MonotonicNanos()))),
+      jitter_rng_(static_cast<uint64_t>(MonotonicNanos()) ^
+                  reinterpret_cast<uintptr_t>(this)) {}
 
 OvsdbClient::~OvsdbClient() { Disconnect(); }
 
@@ -101,11 +103,22 @@ Status OvsdbClient::Heal() {
     stats_.*counter += by;
   };
   Status status = Internal("no reconnect attempts allowed");
-  int backoff_ms = heal_.backoff_ms;
+  BackoffPolicy policy;
+  policy.initial_nanos = int64_t{heal_.backoff_ms} * 1'000'000;
+  policy.max_nanos = int64_t{heal_.max_backoff_ms} * 1'000'000;
+  Backoff backoff(policy, ++jitter_rng_);
   for (int attempt = 0; attempt < heal_.max_attempts; ++attempt) {
     if (attempt > 0) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
-      backoff_ms = std::min(backoff_ms * 2, heal_.max_backoff_ms);
+      // Each retry beyond the first withdraws from the session budget:
+      // against a hard-down server the budget drains and the heal fails
+      // fast instead of joining a reconnect storm.
+      if (!heal_budget_.TryWithdraw()) {
+        bump(&SessionStats::heal_budget_exhausted);
+        status = Internal("heal retry budget exhausted");
+        break;
+      }
+      std::this_thread::sleep_for(
+          std::chrono::nanoseconds(backoff.NextDelayNanos()));
     }
     status = Dial();
     if (status.ok()) break;
@@ -176,6 +189,7 @@ Status OvsdbClient::Heal() {
     }
   }
   healing_ = false;
+  heal_budget_.RecordSuccess();
   return Status::Ok();
 }
 
@@ -233,10 +247,17 @@ Json OvsdbClient::NextId() {
 }
 
 Result<JsonRpcMessage> OvsdbClient::CallRaw(const std::string& method,
-                                            Json params, const Json& id) {
+                                            Json params, const Json& id,
+                                            Deadline deadline) {
   if (fd_ < 0) return FailedPrecondition("not connected");
+  if (deadline.expired()) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.deadline_rejects;
+    return DeadlineExceeded(method + ": deadline expired before send");
+  }
   JsonRpcMessage request =
       JsonRpcMessage::Request(method, std::move(params), id);
+  if (!deadline.infinite()) request.deadline_nanos = deadline.nanos();
   std::string wire = request.ToJson().Dump();
   size_t sent = 0;
   while (sent < wire.size()) {
@@ -245,7 +266,8 @@ Result<JsonRpcMessage> OvsdbClient::CallRaw(const std::string& method,
     if (n <= 0) return Internal("send() failed");
     sent += static_cast<size_t>(n);
   }
-  // Wait for the matching response; queue notifications seen on the way.
+  // Wait for the matching response (no longer than the deadline allows);
+  // queue notifications seen on the way.
   for (int spins = 0; spins < 10000; ++spins) {
     for (auto it = inbox_.begin(); it != inbox_.end(); ++it) {
       if (it->kind == JsonRpcMessage::Kind::kResponse && it->id == id) {
@@ -254,24 +276,39 @@ Result<JsonRpcMessage> OvsdbClient::CallRaw(const std::string& method,
         return response;
       }
     }
-    NERPA_RETURN_IF_ERROR(ReadMore(/*timeout_ms=*/1000));
+    if (deadline.expired()) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.deadline_rejects;
+      return DeadlineExceeded(method + ": deadline expired awaiting response");
+    }
+    NERPA_RETURN_IF_ERROR(ReadMore(deadline.remaining_ms(/*ceiling_ms=*/1000)));
   }
   return Internal("no response to '" + method + "'");
 }
 
 Result<JsonRpcMessage> OvsdbClient::Call(const std::string& method,
-                                         Json params) {
+                                         Json params, Deadline deadline) {
   // Keep a copy for the single heal-and-retry; skipped when healing is off
   // (or when already inside a heal, where CallRaw is used directly).
   Json retry_params = heal_.enabled ? params : Json();
   Json id = NextId();
-  Result<JsonRpcMessage> result = CallRaw(method, std::move(params), id);
-  if (result.ok() || !heal_.enabled || healing_) return result;
+  Result<JsonRpcMessage> result =
+      CallRaw(method, std::move(params), id, deadline);
+  if (result.ok()) {
+    heal_budget_.RecordSuccess();
+    return result;
+  }
+  if (!heal_.enabled || healing_ ||
+      result.status().code() == StatusCode::kDeadlineExceeded) {
+    return result;
+  }
+  // A heal is pointless work for a caller whose clock already ran out.
+  NERPA_RETURN_IF_ERROR(CheckDeadline(deadline, method.c_str()));
   NERPA_RETURN_IF_ERROR(Heal());
   // Same id on the retry: if the server applied the request but the
   // response was lost in the fault, it answers from its transact cache
   // instead of applying the transaction a second time.
-  return CallRaw(method, std::move(retry_params), id);
+  return CallRaw(method, std::move(retry_params), id, deadline);
 }
 
 Status OvsdbClient::Echo() {
@@ -293,17 +330,22 @@ Result<DatabaseSchema> OvsdbClient::GetSchema() {
   return DatabaseSchema::FromJson(response.result);
 }
 
-Result<Json> OvsdbClient::Transact(Json operations) {
+Result<Json> OvsdbClient::Transact(Json operations, Deadline deadline) {
   if (!operations.is_array()) {
     return InvalidArgument("transact takes an array of operations");
   }
   Json::Array params;
   params.push_back(Json("db"));
   for (Json& op : operations.as_array()) params.push_back(std::move(op));
-  NERPA_ASSIGN_OR_RETURN(JsonRpcMessage response,
-                         Call("transact", Json(std::move(params))));
+  NERPA_ASSIGN_OR_RETURN(
+      JsonRpcMessage response,
+      Call("transact", Json(std::move(params)), deadline));
   if (!response.error.is_null()) {
-    return FailedPrecondition("transact error: " + response.error.Dump());
+    std::string error = response.error.Dump();
+    if (error.find("deadline exceeded") != std::string::npos) {
+      return DeadlineExceeded("transact: " + error);
+    }
+    return FailedPrecondition("transact error: " + error);
   }
   return response.result;
 }
@@ -366,18 +408,24 @@ Result<Json> OvsdbClient::RegisterMonitor(
 }
 
 Result<Json> OvsdbClient::Fetch(const std::string& table, Json where,
-                                std::vector<std::string> columns) {
+                                std::vector<std::string> columns,
+                                Deadline deadline) {
   Json::Array columns_json;
   for (std::string& column : columns) {
     columns_json.push_back(Json(std::move(column)));
   }
   NERPA_ASSIGN_OR_RETURN(
       JsonRpcMessage response,
-      Call("fetch", Json(Json::Array{Json("db"), Json(table),
-                                     std::move(where),
-                                     Json(std::move(columns_json))})));
+      Call("fetch",
+           Json(Json::Array{Json("db"), Json(table), std::move(where),
+                            Json(std::move(columns_json))}),
+           deadline));
   if (!response.error.is_null()) {
-    return FailedPrecondition("fetch error: " + response.error.Dump());
+    std::string error = response.error.Dump();
+    if (error.find("deadline exceeded") != std::string::npos) {
+      return DeadlineExceeded("fetch: " + error);
+    }
+    return FailedPrecondition("fetch error: " + error);
   }
   return response.result;
 }

@@ -28,6 +28,8 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
+#include "common/retry.h"
 #include "common/status.h"
 #include "ovsdb/jsonrpc.h"
 #include "ovsdb/schema.h"
@@ -62,6 +64,11 @@ class OvsdbClient {
     uint64_t replayed_updates = 0;  // monitor deltas delivered during heals
     uint64_t full_redumps = 0;      // heals that fell back to a full dump
     uint64_t failed_heals = 0;      // heals that exhausted max_attempts
+    /// Heals cut short because the session's retry budget ran dry (the
+    /// backend has been failing faster than it succeeds — fail fast
+    /// instead of hammering it).
+    uint64_t heal_budget_exhausted = 0;
+    uint64_t deadline_rejects = 0;  // calls refused on an expired deadline
   };
   /// Snapshot of the session counters.  Returned by value under a lock:
   /// a supervisor thread may sample stats while the owning thread is
@@ -90,8 +97,11 @@ class OvsdbClient {
   Result<DatabaseSchema> GetSchema();
 
   /// Runs a transaction (array of operation objects, as Database::Transact
-  /// takes); returns the per-op results.
-  Result<Json> Transact(Json operations);
+  /// takes); returns the per-op results.  `deadline` (default infinite)
+  /// rides the request envelope: the server refuses to evaluate an
+  /// already-expired transaction, and the response wait here is bounded by
+  /// the remaining budget instead of the full response timeout.
+  Result<Json> Transact(Json operations, Deadline deadline = Deadline());
 
   using UpdateHandler =
       std::function<void(const Json& monitor_id, const Json& updates)>;
@@ -112,9 +122,10 @@ class OvsdbClient {
 
   /// On-demand read: rows of `table` matching the `where` clause array,
   /// projected onto `columns` (empty = all + _uuid).  Returns the "fetch"
-  /// result object ({"rows": [...]}).
+  /// result object ({"rows": [...]}).  Deadline semantics as Transact().
   Result<Json> Fetch(const std::string& table, Json where,
-                     std::vector<std::string> columns);
+                     std::vector<std::string> columns,
+                     Deadline deadline = Deadline());
 
   /// Marks this session as a priority session (level > 0): the server
   /// services its input first each cycle and exempts it from the
@@ -154,23 +165,28 @@ class OvsdbClient {
   /// monitor registrations.
   Status Dial();
   void CloseSocket();
-  /// Reconnects (bounded backoff) and replays each registration through
-  /// "monitor_since"; delivered deltas are counted in heal_delivered_.
+  /// Reconnects (jittered bounded backoff, gated by the session retry
+  /// budget) and replays each registration through "monitor_since";
+  /// delivered deltas are counted in heal_delivered_.
   Status Heal();
   /// Next request id: a string namespaced by the per-client session token
   /// (unique across reconnects), so the server can deduplicate a
   /// heal-and-retried request that it already applied.
   Json NextId();
   /// Sends a request and blocks for its response, queueing any
-  /// notifications that arrive in between.  No healing.
+  /// notifications that arrive in between.  No healing.  An expired
+  /// deadline refuses before sending; the response wait is bounded by the
+  /// remaining budget.
   Result<JsonRpcMessage> CallRaw(const std::string& method, Json params,
-                                 const Json& id);
+                                 const Json& id,
+                                 Deadline deadline = Deadline());
   /// CallRaw, plus one heal-and-retry on transport failure when enabled.
   /// The retry re-sends the SAME request id: a "transact" the server
   /// applied before the transport died is answered from its response
   /// cache instead of being applied twice (exactly-once, not
   /// at-least-once).
-  Result<JsonRpcMessage> Call(const std::string& method, Json params);
+  Result<JsonRpcMessage> Call(const std::string& method, Json params,
+                              Deadline deadline = Deadline());
   Status ReadMore(int timeout_ms);  // feeds the splitter from the socket
   int DeliverQueued();
 
@@ -191,6 +207,11 @@ class OvsdbClient {
   int heal_delivered_ = 0;  // updates handed to handlers by the last Heal()
   bool healing_ = false;    // re-entrancy guard
   int priority_level_ = 0;  // re-asserted on heal when > 0
+  /// Reconnect attempts beyond the first withdraw from this budget;
+  /// successful calls and heals deposit.  Caps retry amplification when
+  /// the server is hard-down (see common/retry.h).
+  RetryBudget heal_budget_{8.0, 0.1};
+  uint64_t jitter_rng_ = 0;  // heal-backoff jitter state (seeded per client)
 };
 
 }  // namespace nerpa::ovsdb

@@ -9,6 +9,7 @@ Json JsonRpcMessage::ToJson() const {
       obj["method"] = Json(method);
       obj["params"] = params;
       obj["id"] = id;
+      if (deadline_nanos > 0) obj["deadline"] = Json(deadline_nanos);
       break;
     case Kind::kNotification:
       obj["method"] = Json(method);
@@ -32,6 +33,9 @@ Result<JsonRpcMessage> JsonRpcMessage::FromJson(const Json& json) {
   if (method != nullptr && method->is_string()) {
     message.method = method->as_string();
     if (const Json* params = json.Find("params")) message.params = *params;
+    if (const Json* deadline = json.Find("deadline")) {
+      if (deadline->is_integer()) message.deadline_nanos = deadline->as_integer();
+    }
     if (id != nullptr && !id->is_null()) {
       message.kind = Kind::kRequest;
       message.id = *id;

@@ -23,6 +23,11 @@ struct JsonRpcMessage {
   Json id;              // request / response
   Json result;          // response
   Json error;           // response (null when ok)
+  /// Extension field: the request's absolute deadline as a MonotonicNanos
+  /// instant (valid across processes on one host), 0 = none.  Carried on
+  /// the envelope rather than in params so every method propagates it
+  /// uniformly; peers that predate it ignore the extra key.
+  int64_t deadline_nanos = 0;
 
   Json ToJson() const;
   static Result<JsonRpcMessage> FromJson(const Json& json);

@@ -332,6 +332,14 @@ JsonRpcMessage OvsdbServer::HandleRequest(Client& client,
     if (!request.params.is_array() || request.params.as_array().empty()) {
       return fail("transact needs [db, ops...]");
     }
+    // Deadline check AFTER the dedup lookup (a cached answer is free) and
+    // BEFORE evaluation: a transaction the caller has already abandoned
+    // must not consume a database commit.
+    if (request.deadline_nanos > 0 &&
+        MonotonicNanos() >= request.deadline_nanos) {
+      deadline_rejects_.fetch_add(1, std::memory_order_relaxed);
+      return fail("deadline exceeded: transact abandoned before evaluation");
+    }
     Json::Array ops(request.params.as_array().begin() + 1,
                     request.params.as_array().end());
     Result<Json> result = db_->Transact(Json(std::move(ops)));
@@ -364,6 +372,11 @@ JsonRpcMessage OvsdbServer::HandleRequest(Client& client,
     return ok(std::move(result).value());
   }
   if (request.method == "fetch") {
+    if (request.deadline_nanos > 0 &&
+        MonotonicNanos() >= request.deadline_nanos) {
+      deadline_rejects_.fetch_add(1, std::memory_order_relaxed);
+      return fail("deadline exceeded: fetch abandoned before evaluation");
+    }
     Result<Json> result = DoFetch(request.params);
     if (!result.ok()) return fail(result.status().ToString());
     return ok(std::move(result).value());

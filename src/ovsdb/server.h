@@ -75,6 +75,13 @@ class OvsdbServer {
     return slow_consumer_drops_.load(std::memory_order_relaxed);
   }
 
+  /// Requests refused because their envelope deadline had already expired
+  /// when they reached the front of the service queue — work the caller
+  /// abandoned, skipped before evaluation (for tests and ops).
+  uint64_t deadline_rejects() const {
+    return deadline_rejects_.load(std::memory_order_relaxed);
+  }
+
   /// Shrinks the replay history window (call before Start()).  Tests use
   /// a tiny window to force the found=false full-dump path.
   void set_history_limit(size_t limit) { history_limit_ = limit; }
@@ -147,6 +154,7 @@ class OvsdbServer {
   std::atomic<bool> running_{false};
   std::atomic<uint64_t> requests_served_{0};
   std::atomic<uint64_t> slow_consumer_drops_{0};
+  std::atomic<uint64_t> deadline_rejects_{0};
   size_t max_outbox_bytes_ = kMaxOutboxBytes;
   int send_buffer_bytes_ = 0;  // 0 = leave the kernel default
   std::vector<std::unique_ptr<Client>> clients_;

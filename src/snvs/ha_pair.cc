@@ -11,6 +11,9 @@ namespace {
 /// single-controller SnvsStack writes, so a pair can adopt a stack's
 /// state directory and vice versa).
 constexpr const char* kEngineCheckpointName = "controller";
+
+/// Watchdog subsystem name for the shared durable store's WAL.
+constexpr const char* kWalSubsystem = "snvs.wal";
 }  // namespace
 
 Result<std::unique_ptr<SnvsHaPair>> BuildSnvsHaPair(
@@ -34,6 +37,10 @@ Result<std::unique_ptr<SnvsHaPair>> BuildSnvsHaPair(
         ha::DurableStore::Open(shared, options.ha_dir, options.io));
     pair->db_raw_ = &pair->store_->db();
     recovered_digest_seq = pair->store_->recovered_digest_seq();
+    if (options.watchdog != nullptr) {
+      pair->store_->wal().AttachWatchdog(options.watchdog, kWalSubsystem,
+                                         options.wal_stuck_timeout_nanos);
+    }
   } else {
     pair->db_ = std::make_unique<ovsdb::Database>(shared);
     pair->db_raw_ = pair->db_.get();
@@ -105,6 +112,8 @@ Status SnvsHaPair::BuildReplica(size_t index,
   controller_options.engine_checkpoint = warm_checkpoint;
   controller_options.retry = options_.retry;
   controller_options.breaker = options_.breaker;
+  controller_options.watchdog = options_.watchdog;
+  controller_options.commit_deadline_nanos = options_.commit_deadline_nanos;
   replica.controller = std::make_unique<Controller>(
       db_raw_, program_, p4_, bindings_, controller_options);
   for (size_t d = 0; d < switches_.size(); ++d) {
@@ -161,6 +170,23 @@ int SnvsHaPair::leader() const {
 }
 
 int SnvsHaPair::Tick() {
+  // Stuck-WAL self-demotion: a leader whose WAL append has outlived its
+  // bound can no longer durably acknowledge management-plane commits.
+  // Stepping down through the role machine (StepDown releases the lease
+  // and runs on_lose -> Controller::Demote) hands the plane to the
+  // healthy standby within one TTL instead of limping along un-durable.
+  // The watchdog runs on MonotonicNanos, not the injectable lease clock:
+  // tests that jump the lease clock must not fake a stuck disk.
+  if (options_.watchdog != nullptr &&
+      options_.watchdog->Stuck(kWalSubsystem, MonotonicNanos())) {
+    int index = leader();
+    if (index >= 0 && replicas_[index].coordinator != nullptr) {
+      LOG_WARNING << "snvs-ha: WAL stuck past its bound; demoting leader "
+                  << replicas_[index].id;
+      replicas_[index].coordinator->StepDown();
+      ++wal_demotions_;
+    }
+  }
   for (size_t i = 0; i < kReplicas; ++i) {
     if (replicas_[i].coordinator != nullptr) replicas_[i].coordinator->Tick();
   }

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "common/watchdog.h"
 #include "ha/durable.h"
 #include "ha/fault.h"
 #include "ha/lease.h"
@@ -62,6 +63,19 @@ struct SnvsHaOptions {
   /// Injectable lease clock shared by both replicas (null = MonotonicNanos).
   /// Tests drive failover by jumping this past the expiry.
   std::function<int64_t()> clock;
+
+  /// Optional shared watchdog (not owned).  Both controllers beat
+  /// "controller.commit"; with a durable ha_dir the WAL arms
+  /// "snvs.wal" around each append with `wal_stuck_timeout_nanos`, and
+  /// Tick() self-demotes a leader whose WAL is stuck — it can no longer
+  /// durably acknowledge commits, so handing off to the healthy standby
+  /// beats limping along un-durable.
+  Watchdog* watchdog = nullptr;
+  int64_t wal_stuck_timeout_nanos = 2'000'000'000;
+
+  /// Per-delta dispatch deadline forwarded to both controllers
+  /// (Controller::Options::commit_deadline_nanos; 0 = unbounded).
+  int64_t commit_deadline_nanos = 0;
 };
 
 /// A dual-controller snvs deployment (replica 0 and replica 1).
@@ -92,9 +106,13 @@ class SnvsHaPair {
 
   /// One scheduling quantum: pumps both replicas' lease coordinators in
   /// index order (leaders renew, followers try to acquire — acquisition
-  /// runs Controller::Promote, which fences and resyncs).  Returns
-  /// leader() afterwards.
+  /// runs Controller::Promote, which fences and resyncs).  When a
+  /// watchdog is attached and the WAL is stuck, the leader steps down
+  /// first (see SnvsHaOptions::watchdog).  Returns leader() afterwards.
   int Tick();
+
+  /// Leader self-demotions triggered by a stuck WAL (see Tick()).
+  uint64_t wal_demotions() const { return wal_demotions_; }
 
   /// Leader checkpoint: serializes the leader's engine (persisting the
   /// management-plane snapshot + sidecar when durable) and retains the
@@ -163,6 +181,7 @@ class SnvsHaPair {
   std::string program_text_;
   std::string last_engine_checkpoint_;  // latest Checkpoint() blob
   int64_t recovered_digest_seq_ = 0;    // from a recovered durable store
+  uint64_t wal_demotions_ = 0;          // stuck-WAL self-demotions
   Replica replicas_[kReplicas];
 };
 

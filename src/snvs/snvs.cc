@@ -347,6 +347,8 @@ Result<std::unique_ptr<SnvsStack>> BuildSnvsStack(const SnvsOptions& options) {
   controller_options.breaker = options.breaker;
   controller_options.anti_entropy_interval_nanos =
       options.anti_entropy_interval_nanos;
+  controller_options.commit_deadline_nanos = options.commit_deadline_nanos;
+  controller_options.watchdog = options.watchdog;
   stack->controller_ = std::make_unique<Controller>(
       stack->db_raw_, stack->program_, stack->p4_, stack->bindings_,
       controller_options);

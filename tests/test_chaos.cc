@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <filesystem>
 #include <map>
 #include <memory>
@@ -537,10 +538,25 @@ void FailoverSoak(uint64_t seed, FaultTally& tally,
 // The three fixed seeds the CI chaos-soak job pins (scripts/ci.sh).  Each
 // seed must inject at least 50 faults spanning all four seams (device,
 // transport, durability, replication) and still converge byte-identically.
+// The nightly long-soak job extends the matrix through
+// NERPA_SOAK_EXTRA_SEEDS, a comma-separated list appended to the pinned
+// three — same storms, more dice rolls.
 constexpr uint64_t kSoakSeeds[] = {11, 23, 42};
 
+std::vector<uint64_t> SoakSeeds() {
+  std::vector<uint64_t> seeds(std::begin(kSoakSeeds), std::end(kSoakSeeds));
+  if (const char* extra = std::getenv("NERPA_SOAK_EXTRA_SEEDS")) {
+    for (const std::string& token : Split(extra, ',')) {
+      if (!token.empty()) {
+        seeds.push_back(std::strtoull(token.c_str(), nullptr, 10));
+      }
+    }
+  }
+  return seeds;
+}
+
 TEST(ChaosSoak, SeededFaultStormsConvergeAcrossAllThreePlanes) {
-  for (uint64_t seed : kSoakSeeds) {
+  for (uint64_t seed : SoakSeeds()) {
     SCOPED_TRACE("seed " + std::to_string(seed));
     FaultTally tally;
     SnvsSoak(seed, tally);
@@ -553,7 +569,7 @@ TEST(ChaosSoak, SeededFaultStormsConvergeAcrossAllThreePlanes) {
 }
 
 TEST(ChaosSoak, SeededLeaseStormsConvergeWithFencedFailovers) {
-  for (uint64_t seed : kSoakSeeds) {
+  for (uint64_t seed : SoakSeeds()) {
     SCOPED_TRACE("seed " + std::to_string(seed));
     FaultTally tally;
     chaos::LeaseFaultTally lease_tally;
@@ -563,6 +579,107 @@ TEST(ChaosSoak, SeededLeaseStormsConvergeWithFencedFailovers) {
     EXPECT_GT(lease_tally.zombie, 0u) << "no zombie leaders fired";
     EXPECT_GE(lease_tally.total() + tally.device, 50u)
         << "replication fault storm too weak to mean anything";
+  }
+}
+
+// --- overload half: stall faults against a bounded commit dispatch -----
+//
+// Stall-mode device faults (slow, not broken) against a commit deadline
+// small enough that a stalled write blows the dispatch budget.  Expired
+// dispatches must *park* their remaining ops in the per-device outbox —
+// never drop them, never apply them twice — and anti-entropy must drain
+// every parked op once the devices heal.  Runs under TSan in CI: the
+// deadline parks race worker-pool dispatch against the stats lock.
+TEST(ChaosSoak, CommitDeadlineParksOpsThatAntiEntropyDrains) {
+  for (uint64_t seed : SoakSeeds()) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    chaos::ChaosSchedule schedule(seed ^ 0xa0761d6478bd642full);
+
+    snvs::SnvsOptions options;
+    options.devices = 2;
+    options.fault.write_fail_probability = 0.45;
+    options.fault.stall_nanos = 150'000;  // slow device, not a broken one
+    options.fault.seed = schedule.Fork();
+    options.retry.max_attempts = 1;  // stalls succeed; retries are moot
+    options.commit_deadline_nanos = 100'000;  // one stall eats the budget
+    // Breakers on so a write that *fails* (e.g. a delete racing an
+    // earlier parked insert) parks instead of failing the delta — but
+    // with a trip point the storm never reaches, so every parked op
+    // drains through the closed-breaker outbox-repair arm.
+    options.breaker.enabled = true;
+    options.breaker.strike_threshold = 1000;
+    auto built = snvs::BuildSnvsStack(options);
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+    snvs::SnvsStack& stack = **built;
+
+    // Names/ports never reused, so every surviving op is distinguishable
+    // and a double-apply would surface as a duplicate entry at resync.
+    // Op statuses are deliberately ignored: a sub-threshold write failure
+    // parks the delta's remaining ops *and* surfaces the error (sticky in
+    // last_error()), so mid-storm statuses tell us nothing — the
+    // resync-fixpoint check below is the real drop/double-apply oracle.
+    std::vector<std::string> ports;
+    int next_port = 1, next_acl = 0;
+    constexpr int kOps = 80;
+    for (int op = 0; op < kOps; ++op) {
+      uint64_t roll = schedule.Pick(100);
+      if (roll < 60 || ports.empty()) {
+        std::string name = StrFormat("dp%d", next_port);
+        int64_t vlan = 10 + 10 * static_cast<int64_t>(schedule.Pick(4));
+        (void)stack.AddPort(name, next_port, "access", vlan);
+        ports.push_back(name);
+        ++next_port;
+      } else if (roll < 80) {
+        size_t victim = schedule.Pick(ports.size());
+        (void)stack.DeletePort(ports[victim]);
+        ports.erase(ports.begin() + static_cast<ptrdiff_t>(victim));
+      } else {
+        (void)stack.AddAclRule(0x3000 + next_acl++,
+                               10 + 10 * static_cast<int64_t>(schedule.Pick(4)),
+                               schedule.Flip(0.5));
+      }
+    }
+
+    Controller::Stats mid = stack.controller().stats();
+    EXPECT_GT(mid.deadline_parks, 0u)
+        << "seed " << seed << ": storm never expired a commit deadline";
+
+    // Heal the devices, then drain: every parked op must reach its device
+    // through outbox repair within a bounded number of passes.
+    for (size_t d = 0; d < stack.device_count(); ++d) {
+      if (ha::FaultyRuntimeClient* faulty = stack.faulty(d)) {
+        ha::FaultPolicy healthy = faulty->policy();
+        healthy.write_fail_probability = 0;
+        faulty->set_policy(healthy);
+      }
+    }
+    for (int pass = 0; pass < 4; ++pass) {
+      ASSERT_TRUE(stack.controller().RunAntiEntropy().ok());
+    }
+    Controller::Stats drained = stack.controller().stats();
+    for (const auto& [device, size] : drained.outbox_sizes) {
+      EXPECT_EQ(size, 0u) << "seed " << seed << ": " << device
+                          << " still holds parked ops";
+    }
+    EXPECT_GT(drained.outbox_repairs, 0u)
+        << "seed " << seed << ": parked ops drained by something other "
+           "than outbox repair";
+
+    // No op dropped, none double-applied: with every outbox empty a full
+    // reconciliation against the engine's desired state must be a no-op
+    // on every device.
+    Controller::Stats before = stack.controller().stats();
+    for (size_t d = 0; d < stack.device_count(); ++d) {
+      ASSERT_TRUE(
+          stack.controller().ResyncDevice(StrFormat("sw%zu", d)).ok());
+    }
+    Controller::Stats after = stack.controller().stats();
+    EXPECT_EQ(after.resync_inserted, before.resync_inserted)
+        << "seed " << seed << ": an op was dropped (resync re-inserted it)";
+    EXPECT_EQ(after.resync_deleted, before.resync_deleted)
+        << "seed " << seed
+        << ": an op was double-applied (resync had to delete)";
+    EXPECT_EQ(after.resync_modified, before.resync_modified);
   }
 }
 

@@ -1,9 +1,18 @@
-// Unit tests for the common substrate: Status/Result, strings, JSON.
+// Unit tests for the common substrate: Status/Result, strings, JSON,
+// deadlines, retry backoff/budgets, and the watchdog registry.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/deadline.h"
 #include "common/json.h"
+#include "common/retry.h"
 #include "common/status.h"
 #include "common/strings.h"
+#include "common/watchdog.h"
 
 namespace nerpa {
 namespace {
@@ -123,6 +132,135 @@ TEST(Json, IntegerPrecisionPreserved) {
   ASSERT_TRUE(doc.ok());
   ASSERT_TRUE(doc->is_integer());
   EXPECT_EQ(doc->as_integer(), big);
+}
+
+TEST(Deadline, DefaultIsInfinite) {
+  Deadline forever;
+  EXPECT_TRUE(forever.infinite());
+  EXPECT_FALSE(forever.expired());
+  EXPECT_EQ(forever.remaining_nanos(), Deadline::kInfinite);
+  EXPECT_EQ(forever.remaining_ms(250), 250);
+  EXPECT_TRUE(CheckDeadline(forever, "anything").ok());
+}
+
+TEST(Deadline, ExpiryAndRemaining) {
+  Deadline at = Deadline::AtNanos(1000);
+  EXPECT_FALSE(at.expired(999));
+  EXPECT_TRUE(at.expired(1000));
+  EXPECT_TRUE(at.expired(5000));
+  EXPECT_EQ(at.remaining_nanos(400), 600);
+  EXPECT_EQ(at.remaining_nanos(2000), 0);
+
+  // AfterNanos with a non-positive budget is already expired.
+  EXPECT_TRUE(Deadline::AfterNanos(0).expired());
+  EXPECT_TRUE(Deadline::AfterNanos(-5).expired());
+  EXPECT_FALSE(Deadline::AfterNanos(60'000'000'000).expired());
+
+  Status check = CheckDeadline(Deadline::AfterNanos(0), "commit");
+  ASSERT_FALSE(check.ok());
+  EXPECT_EQ(check.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(Deadline, MinTightens) {
+  Deadline early = Deadline::AtNanos(100);
+  Deadline late = Deadline::AtNanos(900);
+  EXPECT_EQ(early.Min(late).nanos(), 100);
+  EXPECT_EQ(late.Min(early).nanos(), 100);
+  EXPECT_EQ(late.Min(Deadline()).nanos(), 900);  // infinite never wins
+}
+
+TEST(Deadline, RemainingMsClampsToCeiling) {
+  Deadline soon = Deadline::AfterNanos(3'000'000);  // 3 ms
+  int ms = soon.remaining_ms(1000);
+  EXPECT_GE(ms, 0);
+  EXPECT_LE(ms, 3);
+  EXPECT_EQ(Deadline::AfterNanos(10'000'000'000).remaining_ms(50), 50);
+}
+
+TEST(Backoff, GrowsToCapAndJitterStaysBounded) {
+  BackoffPolicy policy;
+  policy.initial_nanos = 1000;
+  policy.multiplier = 2.0;
+  policy.max_nanos = 8000;
+  policy.jitter_frac = 0.2;
+  Backoff backoff(policy, 42);
+  int64_t nominal = 1000;
+  for (int i = 0; i < 10; ++i) {
+    int64_t delay = backoff.NextDelayNanos();
+    EXPECT_GE(delay, static_cast<int64_t>(static_cast<double>(nominal) * 0.8));
+    EXPECT_LE(delay, static_cast<int64_t>(static_cast<double>(nominal) * 1.2));
+    nominal = std::min<int64_t>(8000, nominal * 2);
+  }
+  // Reset restarts the schedule at the initial delay.
+  backoff.Reset();
+  int64_t first = backoff.NextDelayNanos();
+  EXPECT_LE(first, 1200);
+}
+
+TEST(Backoff, DeterministicPerSeedDistinctAcrossSeeds) {
+  BackoffPolicy policy;
+  Backoff a(policy, 7), b(policy, 7), c(policy, 8);
+  bool diverged = false;
+  for (int i = 0; i < 8; ++i) {
+    int64_t va = a.NextDelayNanos();
+    EXPECT_EQ(va, b.NextDelayNanos());  // same seed, same schedule
+    if (va != c.NextDelayNanos()) diverged = true;
+  }
+  EXPECT_TRUE(diverged) << "different seeds produced identical jitter";
+}
+
+TEST(JitterNanos, BoundedAndAdvancesState) {
+  uint64_t rng = 12345;
+  uint64_t before = rng;
+  int64_t jittered = JitterNanos(1'000'000, 0.25, &rng);
+  EXPECT_NE(rng, before);
+  EXPECT_GE(jittered, 750'000);
+  EXPECT_LE(jittered, 1'250'000);
+}
+
+TEST(RetryBudget, WithdrawalsDrainAndSuccessesRefill) {
+  RetryBudget budget(2.0, 0.5);
+  EXPECT_TRUE(budget.TryWithdraw());
+  EXPECT_TRUE(budget.TryWithdraw());
+  EXPECT_FALSE(budget.TryWithdraw());  // drained
+  EXPECT_EQ(budget.exhausted(), 1u);
+
+  // Two successes deposit one token (ratio 0.5).
+  budget.RecordSuccess();
+  budget.RecordSuccess();
+  EXPECT_TRUE(budget.TryWithdraw());
+  EXPECT_FALSE(budget.TryWithdraw());
+  EXPECT_EQ(budget.exhausted(), 2u);
+
+  // Deposits cap at max_tokens.
+  for (int i = 0; i < 100; ++i) budget.RecordSuccess();
+  EXPECT_LE(budget.tokens(), 2.0);
+}
+
+TEST(Watchdog, BeatsAndStuckDetection) {
+  Watchdog watchdog;
+  watchdog.Beat("pump");
+  EXPECT_FALSE(watchdog.Stuck("pump", MonotonicNanos()));
+  EXPECT_FALSE(watchdog.Stuck("never-registered", MonotonicNanos()));
+
+  // An armed op within budget is healthy; past it, stuck.
+  int64_t now = MonotonicNanos();
+  watchdog.Arm("wal", 1'000'000'000);
+  EXPECT_FALSE(watchdog.Stuck("wal", now));
+  EXPECT_TRUE(watchdog.Stuck("wal", now + 2'000'000'000));
+  std::vector<std::string> stuck =
+      watchdog.StuckSubsystems(now + 2'000'000'000);
+  ASSERT_EQ(stuck.size(), 1u);
+  EXPECT_EQ(stuck[0], "wal");
+
+  // Disarm ends the promise (and counts as a heartbeat).
+  watchdog.Disarm("wal");
+  EXPECT_FALSE(watchdog.Stuck("wal", now + 2'000'000'000));
+  auto snapshot = watchdog.Snapshot(MonotonicNanos());
+  ASSERT_EQ(snapshot.size(), 2u);
+  EXPECT_EQ(snapshot.at("pump").beats, 1u);
+  EXPECT_GE(snapshot.at("wal").beats, 1u);
+  EXPECT_FALSE(snapshot.at("wal").stuck);
 }
 
 }  // namespace

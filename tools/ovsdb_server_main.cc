@@ -23,6 +23,7 @@
 #include <sstream>
 #include <string>
 
+#include "common/watchdog.h"
 #include "gateway/gateway.h"
 #include "ovsdb/server.h"
 #include "snvs/snvs.h"
@@ -116,12 +117,14 @@ int main(int argc, char** argv) {
   std::printf("ovsdb server: db '%s' listening on 127.0.0.1:%u\n",
               schema_arg.c_str(), server.port());
 
+  nerpa::Watchdog watchdog;  // declared first so it outlives the gateway
   std::unique_ptr<nerpa::gateway::Gateway> gateway;
   if (http_port >= 0) {
     nerpa::gateway::Gateway::Options options;
     options.backend_port = server.port();
     options.http_port = static_cast<uint16_t>(http_port);
     options.workers = http_workers;
+    options.watchdog = &watchdog;
     gateway = std::make_unique<nerpa::gateway::Gateway>(options);
     nerpa::Status up = gateway->Start();
     if (!up.ok()) {
